@@ -1,0 +1,216 @@
+// Benchmarks regenerating the paper's quantitative results, one benchmark
+// (family) per experiment in DESIGN.md's per-experiment index. Rates are
+// reported as the custom metric "updates/s"; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Run everything:   go test -bench=. -benchmem
+// One experiment:   go test -bench=BenchmarkE1 -benchmem
+package hhgb
+
+import (
+	"fmt"
+	"testing"
+
+	"hhgb/internal/baselines"
+	"hhgb/internal/cluster"
+	"hhgb/internal/gb"
+	"hhgb/internal/hier"
+	"hhgb/internal/memsim"
+	"hhgb/internal/powerlaw"
+)
+
+// benchBatch is the per-iteration batch size for the engine benchmarks:
+// large enough to amortize batch overheads, small enough that slow engines
+// finish their minimum iterations quickly.
+const benchBatch = 10_000
+
+// prepBatches pre-generates n distinct batches so generation cost never
+// pollutes an engine measurement; iterations cycle through them.
+func prepBatches(b *testing.B, n int) [][]baselines.Edge {
+	b.Helper()
+	g, err := powerlaw.NewRMAT(26, 0xbe9c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([][]baselines.Edge, n)
+	for k := range out {
+		out[k] = g.Edges(benchBatch)
+	}
+	return out
+}
+
+// benchEngine streams pre-generated batches through a fresh engine and
+// reports updates/s.
+func benchEngine(b *testing.B, factory baselines.Factory) {
+	b.Helper()
+	batches := prepBatches(b, 64)
+	e, err := factory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Ingest(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*benchBatch/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkE1_SingleInstance is experiment E1: the single-instance update
+// rate of the hierarchical hypersparse GraphBLAS matrix with the paper's
+// batch size of 100,000. The paper reports > 1,000,000 updates/s.
+func BenchmarkE1_SingleInstance(b *testing.B) {
+	const batch = 100_000
+	g, err := powerlaw.NewRMAT(32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-generate a pool of full-size batches to cycle through.
+	const pool = 16
+	rows := make([][]gb.Index, pool)
+	cols := make([][]gb.Index, pool)
+	vals := make([]uint64, batch)
+	for k := range vals {
+		vals[k] = 1
+	}
+	for p := 0; p < pool; p++ {
+		rows[p] = make([]gb.Index, batch)
+		cols[p] = make([]gb.Index, batch)
+		if err := g.Fill(rows[p], cols[p]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	h, err := hier.New[uint64](1<<32, 1<<32, hier.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := i % pool
+		if err := h.Update(rows[p], cols[p], vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkE2_Fig2_HierGraphBLAS … BenchmarkE8_Fig2_TPCC are experiments
+// E2–E8: the single-process ingest rates that calibrate each Fig. 2 curve.
+// The full sweep (aggregate rate vs. servers) is cmd/hhgb-fig2.
+
+func BenchmarkE2_Fig2_HierGraphBLAS(b *testing.B) {
+	benchEngine(b, func() (baselines.Engine, error) { return baselines.NewHierGraphBLAS(1<<32, nil) })
+}
+
+func BenchmarkE3_Fig2_HierD4M(b *testing.B) {
+	benchEngine(b, func() (baselines.Engine, error) { return baselines.NewHierD4M(nil) })
+}
+
+func BenchmarkE4_Fig2_AccumuloD4M(b *testing.B) {
+	benchEngine(b, func() (baselines.Engine, error) { return baselines.NewAccumuloD4M(baselines.DefaultAccumuloConfig()) })
+}
+
+func BenchmarkE5_Fig2_SciDB(b *testing.B) {
+	benchEngine(b, func() (baselines.Engine, error) { return baselines.NewSciDB(baselines.DefaultSciDBConfig()) })
+}
+
+func BenchmarkE6_Fig2_Accumulo(b *testing.B) {
+	benchEngine(b, func() (baselines.Engine, error) { return baselines.NewAccumulo(baselines.DefaultAccumuloConfig()) })
+}
+
+func BenchmarkE7_Fig2_CrateDB(b *testing.B) {
+	benchEngine(b, func() (baselines.Engine, error) { return baselines.NewCrateDB(baselines.DefaultCrateDBConfig()) })
+}
+
+func BenchmarkE8_Fig2_TPCC(b *testing.B) {
+	benchEngine(b, func() (baselines.Engine, error) { return baselines.NewTPCC(baselines.DefaultTPCCConfig()) })
+}
+
+// BenchmarkE9_CutSweep is experiment E9: update rate across the cut tuning
+// family (base cut, level count), the paper's tunability claim. The full
+// sweep is cmd/hhgb-tune.
+func BenchmarkE9_CutSweep(b *testing.B) {
+	for _, base := range []int{1 << 10, 1 << 14, 1 << 18} {
+		for _, levels := range []int{2, 4, 6} {
+			name := fmt.Sprintf("levels=%d/c1=%d", levels, base)
+			cuts := hier.GeometricCuts(levels, base, 16)
+			b.Run(name, func(b *testing.B) {
+				benchEngine(b, func() (baselines.Engine, error) {
+					return baselines.NewHierGraphBLAS(1<<32, cuts)
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkE10_MemoryPressure is experiment E10: simulated memory-system
+// cycles per update for flat vs hierarchical ingest address patterns,
+// through the cache-hierarchy simulator. The "cycles/update" metric is the
+// paper's Fig. 1 argument made quantitative.
+func BenchmarkE10_MemoryPressure(b *testing.B) {
+	const updates = 50_000
+	const batch = 100
+	run := func(b *testing.B, f func(h *memsim.Hierarchy) (memsim.IngestCost, error)) {
+		var last memsim.IngestCost
+		for i := 0; i < b.N; i++ {
+			h := memsim.Default()
+			cost, err := f(h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = cost
+		}
+		b.ReportMetric(last.CyclesPerEntry, "simcycles/update")
+	}
+	b.Run("flat", func(b *testing.B) {
+		run(b, func(h *memsim.Hierarchy) (memsim.IngestCost, error) {
+			return memsim.SimulateFlatIngest(h, updates, batch, 1<<30, 7)
+		})
+	})
+	b.Run("hier", func(b *testing.B) {
+		run(b, func(h *memsim.Hierarchy) (memsim.IngestCost, error) {
+			return memsim.SimulateHierIngest(h, updates, batch, []int{2048, 32768}, 1<<30, 7)
+		})
+	})
+}
+
+// BenchmarkE11_FlatVsHier is experiment E11: the same stream through the
+// hierarchical matrix and through a flat hypersparse matrix that
+// materializes every batch — the ablation isolating the hierarchy's
+// contribution on real hardware.
+func BenchmarkE11_FlatVsHier(b *testing.B) {
+	b.Run("hier", func(b *testing.B) {
+		benchEngine(b, func() (baselines.Engine, error) { return baselines.NewHierGraphBLAS(1<<32, nil) })
+	})
+	b.Run("flat", func(b *testing.B) {
+		benchEngine(b, func() (baselines.Engine, error) { return baselines.NewFlatGraphBLAS(1 << 32) })
+	})
+}
+
+// BenchmarkE12_WeakScaling is experiment E12: aggregate rate of P
+// shared-nothing processes on local cores, each streaming its own graphs
+// (the paper's Section III methodology at laptop scale). The per-process
+// engine and workload shape match E2.
+func BenchmarkE12_WeakScaling(b *testing.B) {
+	stream := powerlaw.StreamSpec{TotalEdges: 400_000, SetSize: 100_000, Scale: 28, Seed: 3}
+	factory := func() (baselines.Engine, error) { return baselines.NewHierGraphBLAS(1<<28, nil) }
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			var total int64
+			var seconds float64
+			for i := 0; i < b.N; i++ {
+				r, err := cluster.RunLocalWeak(factory, stream, procs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += r.Updates
+				seconds += r.Seconds
+			}
+			b.ReportMetric(float64(total)/seconds, "updates/s")
+		})
+	}
+}

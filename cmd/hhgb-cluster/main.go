@@ -1,0 +1,71 @@
+// Command hhgb-cluster runs the paper's Section III experiment at local
+// scale (experiment E12): P shared-nothing goroutine "processes", each
+// owning its own hierarchical hypersparse matrix instance and streaming its
+// own share of the power-law sets, with the aggregate sustained rate
+// measured over wall-clock time.
+//
+// Usage:
+//
+//	hhgb-cluster [-edges N] [-set-size N] [-max-procs N] [-engine name] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+
+	"hhgb/internal/baselines"
+	"hhgb/internal/bench"
+	"hhgb/internal/cluster"
+	"hhgb/internal/gb"
+	"hhgb/internal/powerlaw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hhgb-cluster: ")
+	var (
+		edges    = flag.Int("edges", 4_000_000, "total updates")
+		setSize  = flag.Int("set-size", 100_000, "updates per set (paper: 100,000)")
+		maxProcs = flag.Int("max-procs", 2*runtime.GOMAXPROCS(0), "largest process count to test")
+		engine   = flag.String("engine", "hier-graphblas", "engine to scale")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	total := (*edges / *setSize) * *setSize
+	stream := powerlaw.StreamSpec{TotalEdges: total, SetSize: *setSize, Scale: 28, Seed: *seed}
+	registry := baselines.Registry(gb.Index(1) << 28)
+	factory, ok := registry[*engine]
+	if !ok {
+		log.Fatalf("unknown engine %q", *engine)
+	}
+
+	fmt.Printf("local scaling: %s, %d updates in %d sets of %d per process\n",
+		*engine, stream.TotalEdges, stream.Sets(), stream.SetSize)
+	fmt.Printf("machine: GOMAXPROCS=%d\n\n", runtime.GOMAXPROCS(0))
+
+	fmt.Println("weak scaling (paper methodology: each process streams its own graphs):")
+	weak, err := cluster.WeakScaling(factory, stream, *maxProcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResults(weak)
+
+	fmt.Println("\nstrong scaling (fixed total work, divided):")
+	strong, err := cluster.StrongScaling(factory, stream, *maxProcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResults(strong)
+}
+
+func printResults(results []cluster.RunResult) {
+	fmt.Printf("%8s  %14s  %12s  %10s  %10s\n", "procs", "updates/s", "updates", "seconds", "speedup")
+	base := results[0].Rate()
+	for _, r := range results {
+		fmt.Printf("%8d  %14s  %12d  %10.3f  %9.2fx\n",
+			r.Processes, bench.Eng(r.Rate()), r.Updates, r.Seconds, r.Rate()/base)
+	}
+}

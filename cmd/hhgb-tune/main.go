@@ -1,0 +1,121 @@
+// Command hhgb-tune sweeps the hierarchical matrix's tuning parameters —
+// base cut, cut ratio, level count and batch size — and reports the
+// resulting single-instance update rates (experiment E9, the paper's
+// "parameters are easily tunable to achieve optimal performance" claim).
+//
+// Usage:
+//
+//	hhgb-tune [-edges N] [-scale S] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hhgb/internal/bench"
+	"hhgb/internal/gb"
+	"hhgb/internal/hier"
+	"hhgb/internal/powerlaw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hhgb-tune: ")
+	var (
+		edges = flag.Int("edges", 4_000_000, "updates per configuration")
+		scale = flag.Int("scale", 28, "R-MAT scale")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("cut-parameter sweep: %d updates per point, R-MAT scale %d\n", *edges, *scale)
+	fmt.Printf("(stream pre-generated once; the store is made scannable after every batch,\n")
+	fmt.Printf(" as the paper's per-set statistics require)\n\n")
+
+	// Pre-generate the stream so every configuration replays identical
+	// data and generation cost stays out of the measurements.
+	g, err := powerlaw.NewRMAT(*scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamRows := make([]gb.Index, *edges)
+	streamCols := make([]gb.Index, *edges)
+	if err := g.Fill(streamRows, streamCols); err != nil {
+		log.Fatal(err)
+	}
+	sweepState = &sweep{rows: streamRows, cols: streamCols, scale: *scale}
+
+	// Sweep 1: base cut at fixed ratio/levels/batch.
+	fmt.Println("sweep 1: base cut c1 (levels=4, ratio=16, batch=100000)")
+	for _, base := range []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20} {
+		r := measure(100_000, hier.GeometricCuts(4, base, 16))
+		fmt.Printf("  c1 = %8d: %12s updates/s\n", base, bench.Eng(r))
+	}
+
+	// Sweep 2: level count at fixed base/ratio.
+	fmt.Println("\nsweep 2: levels N (base=2^14, ratio=16, batch=100000)")
+	for _, levels := range []int{1, 2, 3, 4, 5, 6, 8} {
+		r := measure(100_000, hier.GeometricCuts(levels, 1<<14, 16))
+		fmt.Printf("  N = %d: %12s updates/s\n", levels, bench.Eng(r))
+	}
+
+	// Sweep 3: cut ratio.
+	fmt.Println("\nsweep 3: cut ratio (levels=4, base=2^14, batch=100000)")
+	for _, ratio := range []int{2, 4, 8, 16, 32, 64} {
+		r := measure(100_000, hier.GeometricCuts(4, 1<<14, ratio))
+		fmt.Printf("  ratio = %2d: %12s updates/s\n", ratio, bench.Eng(r))
+	}
+
+	// Sweep 4: batch size.
+	fmt.Println("\nsweep 4: batch size (levels=4, base=2^14, ratio=16)")
+	for _, batch := range []int{100, 1_000, 10_000, 100_000, 1_000_000} {
+		if batch > *edges {
+			break
+		}
+		r := measure(batch, hier.GeometricCuts(4, 1<<14, 16))
+		fmt.Printf("  batch = %8d: %12s updates/s\n", batch, bench.Eng(r))
+	}
+}
+
+// sweep holds the shared pre-generated stream.
+type sweep struct {
+	rows  []gb.Index
+	cols  []gb.Index
+	scale int
+}
+
+var sweepState *sweep
+
+func measure(batch int, cuts []int) float64 {
+	s := sweepState
+	dim := gb.Index(1) << uint(s.scale)
+	h, err := hier.New[uint64](dim, dim, hier.Config{Cuts: cuts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vals := make([]uint64, batch)
+	for k := range vals {
+		vals[k] = 1
+	}
+	edges := len(s.rows)
+	rate, err := bench.Measure(int64(edges), func() error {
+		for done := 0; done < edges; done += batch {
+			end := done + batch
+			if end > edges {
+				end = edges
+			}
+			if err := h.Update(s.rows[done:end], s.cols[done:end], vals[:end-done]); err != nil {
+				return err
+			}
+			// Per-set statistics require a scannable store after every
+			// batch: O(c1) for a cascade, O(nnz) for a flat matrix.
+			h.Materialize()
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rate.PerSecond()
+}

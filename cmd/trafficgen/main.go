@@ -1,0 +1,104 @@
+// Command trafficgen generates power-law edge streams — the paper's
+// workload — as TSV (row<TAB>col<TAB>count) or the compact binary matrix
+// format, for feeding external tools or replaying fixed workloads.
+//
+// Usage:
+//
+//	trafficgen [-edges N] [-scale S] [-gen rmat|pareto] [-alpha F] [-seed N] [-format tsv|matrix] [-o file]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/powerlaw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trafficgen: ")
+	var (
+		edges  = flag.Int("edges", 1_000_000, "edges to generate")
+		scale  = flag.Int("scale", 24, "vertex-space scale (2^scale vertices)")
+		gen    = flag.String("gen", "rmat", "generator: rmat | pareto")
+		alpha  = flag.Float64("alpha", 1.1, "pareto shape (pareto generator only)")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		format = flag.String("format", "tsv", "output format: tsv | matrix")
+		out    = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+	if err := run(*edges, *scale, *gen, *alpha, *seed, *format, *out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(edges, scale int, gen string, alpha float64, seed uint64, format, out string) error {
+	var next func() powerlaw.Edge
+	switch gen {
+	case "rmat":
+		g, err := powerlaw.NewRMAT(scale, seed)
+		if err != nil {
+			return err
+		}
+		next = g.Edge
+	case "pareto":
+		p, err := powerlaw.NewParetoPairs(gb.Index(1)<<uint(scale), alpha, seed)
+		if err != nil {
+			return err
+		}
+		next = p.Edge
+	default:
+		return fmt.Errorf("unknown generator %q (want rmat or pareto)", gen)
+	}
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch format {
+	case "tsv":
+		bw := bufio.NewWriterSize(w, 1<<20)
+		for k := 0; k < edges; k++ {
+			e := next()
+			if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\n", e.Row, e.Col, e.Val); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	case "matrix":
+		dim := gb.Index(1) << uint(scale)
+		m, err := gb.NewMatrix[uint64](dim, dim)
+		if err != nil {
+			return err
+		}
+		const chunk = 1 << 16
+		rows := make([]gb.Index, 0, chunk)
+		cols := make([]gb.Index, 0, chunk)
+		vals := make([]uint64, 0, chunk)
+		for k := 0; k < edges; k++ {
+			e := next()
+			rows = append(rows, e.Row)
+			cols = append(cols, e.Col)
+			vals = append(vals, e.Val)
+			if len(rows) == chunk || k == edges-1 {
+				if err := m.AppendTuples(rows, cols, vals); err != nil {
+					return err
+				}
+				rows, cols, vals = rows[:0], cols[:0], vals[:0]
+			}
+		}
+		return gb.Encode(w, m, gb.Uint64Codec[uint64]())
+	default:
+		return fmt.Errorf("unknown format %q (want tsv or matrix)", format)
+	}
+}

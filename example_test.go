@@ -1,0 +1,83 @@
+package hhgb_test
+
+import (
+	"fmt"
+	"log"
+
+	"hhgb"
+)
+
+// ExampleNew shows the minimal streaming loop: create, update, query.
+func ExampleNew() {
+	tm, err := hhgb.New(hhgb.IPv4Space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One batch of observations: 10.0.0.1 talks to 8.8.8.8 twice.
+	srcs := []uint64{0x0a000001, 0x0a000001}
+	dsts := []uint64{0x08080808, 0x08080808}
+	if err := tm.Update(srcs, dsts); err != nil {
+		log.Fatal(err)
+	}
+	v, ok, err := tm.Lookup(0x0a000001, 0x08080808)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v, ok)
+	// Output: 2 true
+}
+
+// ExampleTrafficMatrix_Summary shows aggregate statistics over the
+// accumulated matrix.
+func ExampleTrafficMatrix_Summary() {
+	tm, err := hhgb.New(1 << 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tm.UpdateWeighted(
+		[]uint64{1, 1, 2},
+		[]uint64{7, 8, 7},
+		[]uint64{10, 20, 30},
+	); err != nil {
+		log.Fatal(err)
+	}
+	s, err := tm.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("entries=%d sources=%d packets=%d maxFanOut=%d\n",
+		s.Entries, s.Sources, s.TotalPackets, s.MaxOutDegree)
+	// Output: entries=3 sources=2 packets=60 maxFanOut=2
+}
+
+// ExampleWithGeometricCuts shows tuning the cascade geometry, the paper's
+// c_i parameters.
+func ExampleWithGeometricCuts() {
+	tm, err := hhgb.New(hhgb.IPv4Space, hhgb.WithGeometricCuts(5, 1024, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tm.Levels())
+	// Output: 5
+}
+
+// ExampleTrafficMatrix_TopSources shows supernode ranking.
+func ExampleTrafficMatrix_TopSources() {
+	tm, err := hhgb.New(1 << 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tm.UpdateWeighted(
+		[]uint64{42, 42, 7},
+		[]uint64{1, 2, 1},
+		[]uint64{100, 50, 10},
+	); err != nil {
+		log.Fatal(err)
+	}
+	top, err := tm.TopSources(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("source %d sent %d packets\n", top[0].ID, top[0].Value)
+	// Output: source 42 sent 150 packets
+}

@@ -1,0 +1,72 @@
+// Quickstart: create a hierarchical hypersparse traffic matrix, stream
+// updates into it, and query the result — the minimal end-to-end use of
+// the public hhgb API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hhgb"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// An IPv4-scale origin-destination traffic matrix with the default
+	// 4-level cascade. The 2^32 x 2^32 index space costs nothing until
+	// entries arrive: the matrix is hypersparse.
+	tm, err := hhgb.New(hhgb.IPv4Space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created %d-level traffic matrix over 2^32 addresses\n", tm.Levels())
+
+	// Stream a few observation batches. In production each batch is a
+	// window of netflow records; weights are packet counts.
+	srcs := []uint64{0x0a000001, 0x0a000001, 0xc0a80101, 0x0a000001}
+	dsts := []uint64{0x08080808, 0x08080404, 0x08080808, 0x08080808}
+	pkts := []uint64{10, 2, 7, 30}
+	if err := tm.UpdateWeighted(srcs, dsts, pkts); err != nil {
+		log.Fatal(err)
+	}
+	if err := tm.Update([]uint64{0xdeadbeef}, []uint64{0x08080808}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Point query: duplicates were combined by GraphBLAS addition.
+	v, ok, err := tm.Lookup(0x0a000001, 0x08080808)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traffic 10.0.0.1 -> 8.8.8.8: %d packets (present=%v)\n", v, ok)
+
+	// Aggregate analysis.
+	sum, err := tm.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summary: %d entries, %d sources, %d destinations, %d packets total\n",
+		sum.Entries, sum.Sources, sum.Destinations, sum.TotalPackets)
+
+	top, err := tm.TopDestinations(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("busiest destination: 0x%08x with %d packets\n", top[0].ID, top[0].Value)
+
+	// The ingest-side counters show the cascade at work.
+	st := tm.Stats()
+	fmt.Printf("ingest: %d updates in %d batches, cascades per level: %v\n",
+		st.Updates, st.Batches, st.Cascades)
+
+	// Full scan in row-major order.
+	fmt.Println("all entries:")
+	err = tm.Do(func(src, dst, packets uint64) bool {
+		fmt.Printf("  0x%08x -> 0x%08x : %d\n", src, dst, packets)
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

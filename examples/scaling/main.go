@@ -1,0 +1,58 @@
+// Scaling: the paper's Section III experiment in miniature. Shared-nothing
+// "processes" (goroutines), each owning its own hierarchical hypersparse
+// matrix instance, stream independently generated sets of a power-law
+// graph; the aggregate sustained rate is measured, then extrapolated to
+// SuperCloud scale with the calibrated shared-nothing model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"hhgb/internal/baselines"
+	"hhgb/internal/bench"
+	"hhgb/internal/cluster"
+	"hhgb/internal/powerlaw"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	stream := powerlaw.StreamSpec{
+		TotalEdges: 2_000_000,
+		SetSize:    100_000, // the paper's set size
+		Scale:      28,
+		Seed:       7,
+	}
+	factory := func() (baselines.Engine, error) {
+		return baselines.NewHierGraphBLAS(1<<28, nil)
+	}
+
+	fmt.Printf("workload: %d updates in %d sets of %d (one hierarchical matrix per process)\n",
+		stream.TotalEdges, stream.Sets(), stream.SetSize)
+	fmt.Printf("machine: %d cores\n\n", runtime.GOMAXPROCS(0))
+
+	// Measured: real goroutine processes on local cores.
+	results, err := cluster.WeakScaling(factory, stream, runtime.GOMAXPROCS(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("measured (local cores):")
+	for _, r := range results {
+		fmt.Printf("  %2d processes: %12s updates/s\n", r.Processes, bench.Eng(r.Rate()))
+	}
+
+	// Extrapolated: the paper's experiment is shared-nothing, so aggregate
+	// rate composes additively across servers.
+	model, err := cluster.Calibrate("hier-graphblas", factory, stream, 0.5, cluster.DefaultProcsPerServer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncalibrated per-process rate: %s updates/s\n", bench.Eng(model.PerProcessRate))
+	fmt.Printf("extrapolated aggregate (x%d procs/server, eff = n^-0.03):\n", model.ProcsPerServer)
+	for _, servers := range []int{1, 10, 100, 1100} {
+		fmt.Printf("  %5d servers: %12s updates/s\n", servers, bench.Eng(model.Aggregate(servers)))
+	}
+	fmt.Println("\n(the paper reports 75G updates/s at 1,100 servers / 34,000 cores)")
+}

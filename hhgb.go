@@ -1,0 +1,251 @@
+// Package hhgb is the public facade of the hierarchical hypersparse
+// GraphBLAS library: streaming traffic matrices that sustain millions of
+// updates per second per instance by cascading hypersparse GraphBLAS
+// matrices through the memory hierarchy (Kepner et al., IPDPS-W 2020).
+//
+// The flagship type is TrafficMatrix — an N-level hierarchical hypersparse
+// matrix over a 2^64-capable index space with a streaming Update path and
+// analysis-time queries:
+//
+//	tm, _ := hhgb.New(hhgb.IPv4Space)
+//	_ = tm.Update(srcs, dsts)          // millions/second, batched
+//	top, _ := tm.TopSources(10)        // supernode analysis
+//
+// The full algebra (semirings, MxM, associative arrays, the benchmark
+// engines) lives in the internal packages; see README.md for the map.
+package hhgb
+
+import (
+	"fmt"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/hier"
+	"hhgb/internal/stats"
+)
+
+// IPv4Space is the matrix dimension covering the IPv4 address space.
+const IPv4Space uint64 = 1 << 32
+
+// IPv6Space is the largest representable dimension (2^64 addresses are
+// indexed 0 … 2^64-1; the dimension saturates at 2^64-1).
+const IPv6Space uint64 = ^uint64(0)
+
+// Option configures a TrafficMatrix.
+type Option func(*options) error
+
+type options struct {
+	cuts []int
+}
+
+// WithCuts sets explicit cascade cuts c1 … c(N-1); the matrix has
+// len(cuts)+1 levels. An empty slice selects a single flat level.
+func WithCuts(cuts []int) Option {
+	return func(o *options) error {
+		o.cuts = append([]int(nil), cuts...)
+		return nil
+	}
+}
+
+// WithGeometricCuts sets levels with cuts base, base*ratio, base*ratio², …
+// — the tuning family from the paper's Section II.
+func WithGeometricCuts(levels, base, ratio int) Option {
+	return func(o *options) error {
+		if levels < 1 || base < 1 || ratio < 1 {
+			return fmt.Errorf("%w: geometric cuts need levels/base/ratio >= 1", gb.ErrInvalidValue)
+		}
+		o.cuts = hier.GeometricCuts(levels, base, ratio)
+		return nil
+	}
+}
+
+// Ranked is one entry of a top-k result.
+type Ranked struct {
+	ID    uint64 // source or destination id (e.g. an IP address index)
+	Value uint64 // packets or peer count
+}
+
+// Summary aggregates the headline statistics of the accumulated matrix.
+type Summary struct {
+	Entries      int    // stored (src, dst) pairs
+	Sources      int    // distinct sources with traffic
+	Destinations int    // distinct destinations with traffic
+	TotalPackets uint64 // sum of all update weights
+	MaxOutDegree uint64 // largest per-source fan-out
+	MaxInDegree  uint64 // largest per-destination fan-in
+}
+
+// CascadeStats reports the ingest-side work counters.
+type CascadeStats struct {
+	Updates         int64   // entries ingested
+	Batches         int64   // Update calls
+	Cascades        []int64 // per-level promotion counts
+	CascadedEntries []int64 // entries moved per level boundary
+}
+
+// TrafficMatrix is a streaming origin-destination traffic matrix backed by
+// a hierarchical hypersparse GraphBLAS cascade. It is not safe for
+// concurrent use; run one instance per ingest goroutine (the shared-nothing
+// pattern the paper scales to 31,000 instances) or guard it externally.
+type TrafficMatrix struct {
+	h   *hier.Matrix[uint64]
+	dim uint64
+}
+
+// New returns an empty dim x dim traffic matrix. With no options it uses
+// the default 4-level geometric cascade.
+func New(dim uint64, opts ...Option) (*TrafficMatrix, error) {
+	var o options
+	o.cuts = hier.DefaultConfig().Cuts
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	h, err := hier.New[uint64](gb.Index(dim), gb.Index(dim), hier.Config{Cuts: o.cuts})
+	if err != nil {
+		return nil, err
+	}
+	return &TrafficMatrix{h: h, dim: dim}, nil
+}
+
+// Dim returns the matrix dimension.
+func (t *TrafficMatrix) Dim() uint64 { return t.dim }
+
+// Levels returns the cascade depth.
+func (t *TrafficMatrix) Levels() int { return t.h.NumLevels() }
+
+// Update streams a batch of (src, dst) observations with weight 1 each.
+// The slices must have equal length. This is the paper's headline
+// operation: amortized cost is dominated by sorting each batch once and
+// merging inside the cache-resident lowest level.
+func (t *TrafficMatrix) Update(src, dst []uint64) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("%w: src/dst lengths %d/%d differ", gb.ErrInvalidValue, len(src), len(dst))
+	}
+	ones := make([]uint64, len(src))
+	for k := range ones {
+		ones[k] = 1
+	}
+	return t.UpdateWeighted(src, dst, ones)
+}
+
+// UpdateWeighted streams a batch of weighted observations (e.g. packet or
+// byte counts).
+func (t *TrafficMatrix) UpdateWeighted(src, dst, weight []uint64) error {
+	if len(src) != len(dst) || len(src) != len(weight) {
+		return fmt.Errorf("%w: batch lengths %d/%d/%d differ", gb.ErrInvalidValue, len(src), len(dst), len(weight))
+	}
+	rows := make([]gb.Index, len(src))
+	cols := make([]gb.Index, len(dst))
+	for k := range src {
+		rows[k] = gb.Index(src[k])
+		cols[k] = gb.Index(dst[k])
+	}
+	return t.h.Update(rows, cols, weight)
+}
+
+// Entries returns the number of distinct (src, dst) pairs accumulated.
+// It materializes a query, so it is an analysis-time call.
+func (t *TrafficMatrix) Entries() (int, error) { return t.h.NVals() }
+
+// Do materializes the accumulated matrix and visits every entry in
+// row-major order, stopping early if f returns false.
+func (t *TrafficMatrix) Do(f func(src, dst, packets uint64) bool) error {
+	q, err := t.h.Query()
+	if err != nil {
+		return err
+	}
+	q.Iterate(func(i, j gb.Index, v uint64) bool {
+		return f(uint64(i), uint64(j), v)
+	})
+	return nil
+}
+
+// Lookup returns the accumulated weight for one (src, dst) pair and
+// whether any traffic was recorded for it.
+func (t *TrafficMatrix) Lookup(src, dst uint64) (uint64, bool, error) {
+	q, err := t.h.Query()
+	if err != nil {
+		return 0, false, err
+	}
+	v, err := q.ExtractElement(gb.Index(src), gb.Index(dst))
+	if err != nil {
+		if err == gb.ErrNoValue {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// TopSources returns the k sources with the most total traffic.
+func (t *TrafficMatrix) TopSources(k int) ([]Ranked, error) {
+	q, err := t.h.Query()
+	if err != nil {
+		return nil, err
+	}
+	v, err := stats.OutTraffic(q)
+	if err != nil {
+		return nil, err
+	}
+	return rankedOf(v, k)
+}
+
+// TopDestinations returns the k destinations with the most total traffic.
+func (t *TrafficMatrix) TopDestinations(k int) ([]Ranked, error) {
+	q, err := t.h.Query()
+	if err != nil {
+		return nil, err
+	}
+	v, err := stats.InTraffic(q)
+	if err != nil {
+		return nil, err
+	}
+	return rankedOf(v, k)
+}
+
+func rankedOf(v *gb.Vector[uint64], k int) ([]Ranked, error) {
+	top, err := stats.TopK(v, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Ranked, len(top))
+	for i, e := range top {
+		out[i] = Ranked{ID: uint64(e.Index), Value: e.Value}
+	}
+	return out, nil
+}
+
+// Summary computes the aggregate statistics of the accumulated matrix.
+func (t *TrafficMatrix) Summary() (Summary, error) {
+	q, err := t.h.Query()
+	if err != nil {
+		return Summary{}, err
+	}
+	s, err := stats.Summarize(q)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		Entries:      s.Entries,
+		Sources:      s.Sources,
+		Destinations: s.Destinations,
+		TotalPackets: s.TotalPackets,
+		MaxOutDegree: s.MaxOutDegree,
+		MaxInDegree:  s.MaxInDegree,
+	}, nil
+}
+
+// Stats returns the cumulative ingest counters.
+func (t *TrafficMatrix) Stats() CascadeStats {
+	s := t.h.Stats()
+	return CascadeStats{
+		Updates:         s.Updates,
+		Batches:         s.Batches,
+		Cascades:        s.Cascades,
+		CascadedEntries: s.CascadedEntries,
+	}
+}
+
+// Reset empties the matrix, keeping its configuration.
+func (t *TrafficMatrix) Reset() { t.h.Clear() }

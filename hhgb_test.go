@@ -1,0 +1,182 @@
+package hhgb
+
+import (
+	"errors"
+	"testing"
+
+	"hhgb/internal/gb"
+)
+
+func TestNewDefaults(t *testing.T) {
+	tm, err := New(IPv4Space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Dim() != IPv4Space {
+		t.Fatalf("dim = %d", tm.Dim())
+	}
+	if tm.Levels() != 4 {
+		t.Fatalf("levels = %d", tm.Levels())
+	}
+}
+
+func TestOptions(t *testing.T) {
+	tm, err := New(1<<20, WithCuts([]int{10, 100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Levels() != 3 {
+		t.Fatalf("levels = %d", tm.Levels())
+	}
+	flat, err := New(1<<20, WithCuts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Levels() != 1 {
+		t.Fatalf("flat levels = %d", flat.Levels())
+	}
+	geo, err := New(1<<20, WithGeometricCuts(5, 100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.Levels() != 5 {
+		t.Fatalf("geometric levels = %d", geo.Levels())
+	}
+	if _, err := New(1<<20, WithGeometricCuts(0, 100, 10)); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("bad geometric: %v", err)
+	}
+}
+
+func TestUpdateAndLookup(t *testing.T) {
+	tm, err := New(IPv4Space, WithCuts([]int{4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []uint64{10, 10, 20, 10}
+	dst := []uint64{99, 99, 88, 77}
+	if err := tm.Update(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tm.Lookup(10, 99)
+	if err != nil || !ok || v != 2 {
+		t.Fatalf("Lookup(10,99) = %d, %v, %v", v, ok, err)
+	}
+	_, ok, err = tm.Lookup(1, 1)
+	if err != nil || ok {
+		t.Fatalf("absent lookup = %v, %v", ok, err)
+	}
+	n, err := tm.Entries()
+	if err != nil || n != 3 {
+		t.Fatalf("entries = %d, %v", n, err)
+	}
+}
+
+func TestUpdateLengthMismatch(t *testing.T) {
+	tm, _ := New(1 << 20)
+	if err := tm.Update([]uint64{1}, []uint64{1, 2}); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("got %v", err)
+	}
+	if err := tm.UpdateWeighted([]uint64{1}, []uint64{1}, nil); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestUpdateWeightedAndSummary(t *testing.T) {
+	tm, _ := New(1 << 20)
+	if err := tm.UpdateWeighted(
+		[]uint64{1, 1, 2},
+		[]uint64{5, 6, 5},
+		[]uint64{10, 20, 30},
+	); err != nil {
+		t.Fatal(err)
+	}
+	s, err := tm.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Summary{Entries: 3, Sources: 2, Destinations: 2, TotalPackets: 60, MaxOutDegree: 2, MaxInDegree: 2}
+	if s != want {
+		t.Fatalf("summary = %+v, want %+v", s, want)
+	}
+}
+
+func TestTopSourcesAndDestinations(t *testing.T) {
+	tm, _ := New(1 << 20)
+	_ = tm.UpdateWeighted(
+		[]uint64{7, 7, 8},
+		[]uint64{1, 2, 1},
+		[]uint64{100, 50, 10},
+	)
+	srcs, err := tm.TopSources(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 1 || srcs[0].ID != 7 || srcs[0].Value != 150 {
+		t.Fatalf("top sources = %+v", srcs)
+	}
+	dsts, err := tm.TopDestinations(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsts[0].ID != 1 || dsts[0].Value != 110 {
+		t.Fatalf("top destinations = %+v", dsts)
+	}
+}
+
+func TestDoVisitsRowMajor(t *testing.T) {
+	tm, _ := New(1 << 20)
+	_ = tm.Update([]uint64{5, 3, 5}, []uint64{1, 2, 0})
+	var visited [][3]uint64
+	if err := tm.Do(func(s, d, p uint64) bool {
+		visited = append(visited, [3]uint64{s, d, p})
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := [][3]uint64{{3, 2, 1}, {5, 0, 1}, {5, 1, 1}}
+	if len(visited) != len(want) {
+		t.Fatalf("visited = %v", visited)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited[%d] = %v, want %v", i, visited[i], want[i])
+		}
+	}
+	// Early stop.
+	n := 0
+	_ = tm.Do(func(_, _, _ uint64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	tm, _ := New(1<<20, WithCuts([]int{2}))
+	_ = tm.Update([]uint64{1, 2, 3, 4}, []uint64{1, 2, 3, 4})
+	st := tm.Stats()
+	if st.Updates != 4 || st.Batches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Cascades[0] == 0 {
+		t.Fatal("no cascade despite cut=2")
+	}
+	tm.Reset()
+	n, err := tm.Entries()
+	if err != nil || n != 0 {
+		t.Fatalf("after reset: %d, %v", n, err)
+	}
+}
+
+func TestIPv6SpaceConstruct(t *testing.T) {
+	tm, err := New(IPv6Space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Update([]uint64{1 << 63}, []uint64{1<<64 - 2}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tm.Lookup(1<<63, 1<<64-2)
+	if err != nil || !ok || v != 1 {
+		t.Fatalf("huge lookup = %d, %v, %v", v, ok, err)
+	}
+}

@@ -1,0 +1,58 @@
+package assoc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hhgb/internal/gb"
+)
+
+// WriteTSV writes the associative array as "row<TAB>col<TAB>value" lines
+// in row-major key order — the D4M interchange format (ReadCSV/WriteCSV
+// in the Matlab toolbox, with tabs).
+func (a *Assoc) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	rows, cols, vals := a.Triples()
+	for k := range rows {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%v\n", rows[k], cols[k], vals[k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses "row<TAB>col<TAB>value" lines into an associative array,
+// summing duplicate keys. Blank lines are skipped; malformed lines are an
+// error.
+func ReadTSV(r io.Reader) (*Assoc, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var rows, cols []string
+	var vals []float64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%w: line %d has %d fields, want 3", gb.ErrInvalidValue, lineNo, len(parts))
+		}
+		v, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d value %q: %v", gb.ErrInvalidValue, lineNo, parts[2], err)
+		}
+		rows = append(rows, parts[0])
+		cols = append(cols, parts[1])
+		vals = append(vals, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromTriples(rows, cols, vals)
+}

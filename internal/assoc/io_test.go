@@ -1,0 +1,66 @@
+package assoc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hhgb/internal/gb"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(90))
+	rows, cols, vals := triple(r, 60, 25)
+	a, err := FromTriples(rows, cols, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, got) {
+		t.Fatal("TSV round trip mismatch")
+	}
+}
+
+func TestTSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil || got.NNZ() != 0 {
+		t.Fatalf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestReadTSVSumsDuplicates(t *testing.T) {
+	in := "r1\tc1\t2\n\nr1\tc1\t3\n"
+	a, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := a.Value("r1", "c1")
+	if !ok || v != 5 {
+		t.Fatalf("dup sum = %v, %v", v, ok)
+	}
+}
+
+func TestReadTSVRejectsMalformed(t *testing.T) {
+	for i, in := range []string{
+		"r1\tc1\n",           // two fields
+		"r1\tc1\t1\textra\n", // four fields
+		"r1\tc1\tnotanum\n",  // bad value
+	} {
+		if _, err := ReadTSV(strings.NewReader(in)); !errors.Is(err, gb.ErrInvalidValue) {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package baselines
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/skiplist"
+	"hhgb/internal/wal"
+)
+
+// AccumuloConfig sizes the tablet-server model.
+type AccumuloConfig struct {
+	// MemtableBytes is the in-memory map size that triggers a minor
+	// compaction (flush to a sorted run).
+	MemtableBytes int64
+	// MaxRuns is the number of flushed runs that triggers a merging
+	// (major) compaction.
+	MaxRuns int
+	// LogSyncEvery is the group-commit size in mutations for the raw
+	// (continuous-ingest) engine.
+	LogSyncEvery int
+	// LogSink receives the write-ahead log bytes; nil means io.Discard
+	// (the framing/CRC work is still performed).
+	LogSink io.Writer
+}
+
+// DefaultAccumuloConfig returns a laptop-scaled tablet-server model.
+func DefaultAccumuloConfig() AccumuloConfig {
+	return AccumuloConfig{
+		MemtableBytes: 4 << 20,
+		MaxRuns:       10,
+		LogSyncEvery:  1000,
+	}
+}
+
+// run is one flushed, sorted immutable file (RFile analogue).
+type run struct {
+	keys []string
+	vals []uint64
+}
+
+// Accumulo models a single tablet server's ingest path: mutations are
+// framed into a CRC32 write-ahead log, inserted into an ordered memtable
+// (skiplist) with a summing combiner, flushed to sorted runs when the
+// memtable fills, and merge-compacted when runs accumulate.
+type Accumulo struct {
+	cfg      AccumuloConfig
+	mem      *skiplist.List
+	log      *wal.Writer
+	runs     []run
+	count    int64
+	sinceLog int
+	ts       int64
+	closed   bool
+
+	// model statistics
+	flushes     int64
+	compactions int64
+}
+
+// NewAccumulo returns a fresh tablet-server model.
+func NewAccumulo(cfg AccumuloConfig) (*Accumulo, error) {
+	if cfg.MemtableBytes <= 0 {
+		cfg.MemtableBytes = DefaultAccumuloConfig().MemtableBytes
+	}
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = DefaultAccumuloConfig().MaxRuns
+	}
+	if cfg.LogSyncEvery <= 0 {
+		cfg.LogSyncEvery = DefaultAccumuloConfig().LogSyncEvery
+	}
+	sink := cfg.LogSink
+	if sink == nil {
+		sink = io.Discard
+	}
+	return &Accumulo{
+		cfg: cfg,
+		mem: skiplist.New(0x5eed),
+		log: wal.NewWriter(sink),
+	}, nil
+}
+
+// Name implements Engine.
+func (a *Accumulo) Name() string { return "accumulo" }
+
+var sumMerge = func(old, new []byte) []byte {
+	x := binary.LittleEndian.Uint64(old)
+	y := binary.LittleEndian.Uint64(new)
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], x+y)
+	return out[:]
+}
+
+// mutate applies one mutation: WAL append + combining memtable insert.
+func (a *Accumulo) mutate(rowKey, colQual string, val uint64) error {
+	// Mutation wire format: row ‖ 0x00 ‖ colQual ‖ value.
+	rec := make([]byte, 0, len(rowKey)+len(colQual)+9)
+	rec = append(rec, rowKey...)
+	rec = append(rec, 0)
+	rec = append(rec, colQual...)
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], val)
+	rec = append(rec, v[:]...)
+	if err := a.log.Append(rec); err != nil {
+		return err
+	}
+	key := rec[:len(rowKey)+1+len(colQual)]
+	a.mem.PutMerge(key, v[:], sumMerge)
+	if a.mem.Bytes() > a.cfg.MemtableBytes {
+		if err := a.flushMemtable(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupCommit syncs the WAL — the batch-writer commit boundary.
+func (a *Accumulo) groupCommit() error {
+	a.sinceLog = 0
+	return a.log.Sync()
+}
+
+// mutateFull is the continuous-ingest mutation path: unlike the D4M batch
+// writer (which ships bare key/value pairs pre-summed client-side), every
+// cell carries its full Accumulo metadata — column family, visibility
+// label and a formatted timestamp — through the log and the memtable key.
+func (a *Accumulo) mutateFull(rowKey, colQual string, val uint64, ts int64) error {
+	const family = "deg"
+	const visibility = "public|internal"
+	rec := make([]byte, 0, len(rowKey)+len(family)+len(colQual)+len(visibility)+40)
+	rec = append(rec, rowKey...)
+	rec = append(rec, 0)
+	rec = append(rec, family...)
+	rec = append(rec, 0)
+	rec = append(rec, colQual...)
+	rec = append(rec, 0)
+	rec = append(rec, visibility...)
+	rec = append(rec, 0)
+	rec = strconv.AppendInt(rec, ts, 10)
+	rec = append(rec, 0)
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], val)
+	rec = append(rec, v[:]...)
+	if err := a.log.Append(rec); err != nil {
+		return err
+	}
+	// The memtable key carries row ‖ family ‖ qualifier (visibility and
+	// timestamp resolve at combine time).
+	key := make([]byte, 0, len(rowKey)+len(family)+len(colQual)+2)
+	key = append(key, rowKey...)
+	key = append(key, 0)
+	key = append(key, family...)
+	key = append(key, 0)
+	key = append(key, colQual...)
+	a.mem.PutMerge(key, v[:], sumMerge)
+	if a.mem.Bytes() > a.cfg.MemtableBytes {
+		return a.flushMemtable()
+	}
+	return nil
+}
+
+// Ingest implements Engine: the continuous-ingest client sends individual
+// full-metadata mutations with periodic group commits (no client-side
+// combining).
+func (a *Accumulo) Ingest(edges []Edge) error {
+	if a.closed {
+		return errClosed(a.Name())
+	}
+	for _, ed := range edges {
+		a.ts++
+		if err := a.mutateFull(d4mKey('r', uint64(ed.Row)), d4mKey('c', uint64(ed.Col)), ed.Val, a.ts); err != nil {
+			return err
+		}
+		a.sinceLog++
+		if a.sinceLog >= a.cfg.LogSyncEvery {
+			if err := a.groupCommit(); err != nil {
+				return err
+			}
+		}
+	}
+	a.count += int64(len(edges))
+	return nil
+}
+
+// flushMemtable performs a minor compaction: drain the ordered memtable
+// into a sorted immutable run.
+func (a *Accumulo) flushMemtable() error {
+	if a.mem.Len() == 0 {
+		return nil
+	}
+	if err := a.log.Sync(); err != nil {
+		return err
+	}
+	r := run{
+		keys: make([]string, 0, a.mem.Len()),
+		vals: make([]uint64, 0, a.mem.Len()),
+	}
+	a.mem.Iterate(func(k, v []byte) bool {
+		r.keys = append(r.keys, string(k))
+		r.vals = append(r.vals, binary.LittleEndian.Uint64(v))
+		return true
+	})
+	a.mem.Reset()
+	a.runs = append(a.runs, r)
+	a.flushes++
+	if len(a.runs) > a.cfg.MaxRuns {
+		a.compact()
+	}
+	return nil
+}
+
+// compact merge-sorts all runs into one, summing colliding keys — the
+// major compaction with a summing combiner.
+func (a *Accumulo) compact() {
+	if len(a.runs) <= 1 {
+		return
+	}
+	total := 0
+	for _, r := range a.runs {
+		total += len(r.keys)
+	}
+	type cursor struct{ run, pos int }
+	cursors := make([]cursor, len(a.runs))
+	for i := range cursors {
+		cursors[i] = cursor{run: i}
+	}
+	out := run{keys: make([]string, 0, total), vals: make([]uint64, 0, total)}
+	for {
+		best := -1
+		for i, c := range cursors {
+			if c.pos >= len(a.runs[c.run].keys) {
+				continue
+			}
+			if best == -1 || a.runs[c.run].keys[c.pos] < a.runs[cursors[best].run].keys[cursors[best].pos] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := &cursors[best]
+		k := a.runs[c.run].keys[c.pos]
+		v := a.runs[c.run].vals[c.pos]
+		c.pos++
+		if n := len(out.keys); n > 0 && out.keys[n-1] == k {
+			out.vals[n-1] += v
+		} else {
+			out.keys = append(out.keys, k)
+			out.vals = append(out.vals, v)
+		}
+	}
+	a.runs = []run{out}
+	a.compactions++
+}
+
+// Flush implements Engine: minor-compact the memtable and sync the log.
+func (a *Accumulo) Flush() error {
+	if a.closed {
+		return errClosed(a.Name())
+	}
+	if err := a.flushMemtable(); err != nil {
+		return err
+	}
+	return a.log.Sync()
+}
+
+// Count implements Engine.
+func (a *Accumulo) Count() int64 { return a.count }
+
+// Close implements Engine.
+func (a *Accumulo) Close() error {
+	if a.closed {
+		return nil
+	}
+	if err := a.Flush(); err != nil {
+		return err
+	}
+	a.closed = true
+	return nil
+}
+
+// Entries returns the number of distinct keys currently stored across the
+// memtable and all runs (post-combining).
+func (a *Accumulo) Entries() int {
+	keys := make(map[string]struct{})
+	a.mem.Iterate(func(k, _ []byte) bool {
+		keys[string(k)] = struct{}{}
+		return true
+	})
+	for _, r := range a.runs {
+		for _, k := range r.keys {
+			keys[k] = struct{}{}
+		}
+	}
+	return len(keys)
+}
+
+// Lookup returns the summed value for a (row, col) pair across the
+// memtable and runs, checking both the lean D4M key layout and the
+// full-metadata continuous-ingest layout; used by tests.
+func (a *Accumulo) Lookup(rowKey, colQual string) (uint64, bool) {
+	lean := rowKey + "\x00" + colQual
+	full := rowKey + "\x00deg\x00" + colQual
+	var total uint64
+	found := false
+	for _, ks := range []string{lean, full} {
+		if v, ok := a.mem.Get([]byte(ks)); ok {
+			total += binary.LittleEndian.Uint64(v)
+			found = true
+		}
+		for _, r := range a.runs {
+			i := sort.SearchStrings(r.keys, ks)
+			if i < len(r.keys) && r.keys[i] == ks {
+				total += r.vals[i]
+				found = true
+			}
+		}
+	}
+	return total, found
+}
+
+// Recover replays a write-ahead log produced by this model's mutation
+// paths into the memtable, reconstructing the pre-crash in-memory state
+// (flushed runs are durable files and survive on their own). Returns the
+// number of mutations replayed. Corrupt frames abort with wal.ErrCorrupt;
+// a clean EOF ends the replay.
+func (a *Accumulo) Recover(r io.Reader) (int, error) {
+	reader := wal.NewReader(r)
+	replayed := 0
+	for {
+		rec, err := reader.Next()
+		if err == io.EOF {
+			return replayed, nil
+		}
+		if err != nil {
+			return replayed, err
+		}
+		if len(rec) < 9 {
+			return replayed, fmt.Errorf("%w: short wal record (%d bytes)", gb.ErrInvalidValue, len(rec))
+		}
+		// Both mutation layouts end with an 8-byte value; the key is
+		// everything before it, minus the trailing timestamp field for
+		// full-metadata records (detected by its visibility marker).
+		val := rec[len(rec)-8:]
+		key := rec[:len(rec)-8]
+		// Full-metadata records: row ‖ 0 ‖ family ‖ 0 ‖ qual ‖ 0 ‖ vis ‖ 0 ‖ ts ‖ 0.
+		// Their memtable key is row ‖ 0 ‖ family ‖ 0 ‖ qual.
+		if n := bytes.Count(key, []byte{0}); n >= 5 {
+			parts := bytes.SplitN(key, []byte{0}, 4)
+			key = bytes.Join(parts[:3], []byte{0})
+		}
+		a.mem.PutMerge(key, val, sumMerge)
+		replayed++
+		if a.mem.Bytes() > a.cfg.MemtableBytes {
+			if err := a.flushMemtable(); err != nil {
+				return replayed, err
+			}
+		}
+	}
+}
+
+// Flushes returns the number of minor compactions performed.
+func (a *Accumulo) Flushes() int64 { return a.flushes }
+
+// Compactions returns the number of major compactions performed.
+func (a *Accumulo) Compactions() int64 { return a.compactions }
+
+// WALBytes returns the number of log bytes framed.
+func (a *Accumulo) WALBytes() int64 { return a.log.Bytes() }

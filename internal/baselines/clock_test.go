@@ -1,0 +1,7 @@
+package baselines
+
+import "time"
+
+// nowSeconds returns a monotonic wall-clock reading for coarse timing
+// comparisons in tests.
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

@@ -1,0 +1,117 @@
+// Package baselines implements the streaming-ingest engines compared in
+// the paper's Fig. 2, behind a single Engine interface:
+//
+//   - HierGraphBLAS — hierarchical hypersparse GraphBLAS (this paper)
+//   - FlatGraphBLAS — the same substrate without the hierarchy (ablation)
+//   - HierD4M       — hierarchical D4M associative arrays [19]
+//   - AccumuloD4M   — D4M batch ingest into an Accumulo tablet model [25]
+//   - Accumulo      — the Accumulo continuous-ingest model [27]
+//   - SciDB         — chunked-array store with synchronized commits [26]
+//   - CrateDB       — SQL statement + translog + shard refresh model [28]
+//   - TPCC          — OLTP row store: B+tree + redo log + per-txn commit
+//
+// The closed/remote systems are behavioral models: they do real CPU work
+// with the same cost structure as the modelled system (key encoding, WAL
+// framing + CRC, ordered memtable insertion, flush/compaction, SQL
+// formatting/parsing, chunk packing, B+tree splits), not protocol-faithful
+// reimplementations. See DESIGN.md §2 for the substitution rationale.
+package baselines
+
+import (
+	"fmt"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/powerlaw"
+)
+
+// Edge is one streaming update (alias of the generator's edge type).
+type Edge = powerlaw.Edge
+
+// Engine is a streaming-ingest engine under benchmark.
+type Engine interface {
+	// Name identifies the engine in reports ("hier-graphblas", ...).
+	Name() string
+	// Ingest streams one batch of updates into the engine.
+	Ingest(edges []Edge) error
+	// Flush completes all pending work (memtable flushes, commits, ...).
+	Flush() error
+	// Count returns the cumulative number of updates ingested.
+	Count() int64
+	// Close releases resources, flushing first.
+	Close() error
+}
+
+// Queryable is implemented by engines that can materialize the resulting
+// traffic matrix for analysis.
+type Queryable interface {
+	Query() (*gb.Matrix[uint64], error)
+}
+
+// Factory builds a fresh engine instance; the cluster harness gives each
+// simulated process its own instance (shared-nothing).
+type Factory func() (Engine, error)
+
+// Registry maps engine names to factories with the default model
+// configurations used by the Fig. 2 harness.
+func Registry(dim gb.Index) map[string]Factory {
+	return map[string]Factory{
+		"hier-graphblas": func() (Engine, error) { return NewHierGraphBLAS(dim, nil) },
+		"flat-graphblas": func() (Engine, error) { return NewFlatGraphBLAS(dim) },
+		"hier-d4m":       func() (Engine, error) { return NewHierD4M(nil) },
+		"accumulo-d4m":   func() (Engine, error) { return NewAccumuloD4M(DefaultAccumuloConfig()) },
+		"accumulo":       func() (Engine, error) { return NewAccumulo(DefaultAccumuloConfig()) },
+		"scidb":          func() (Engine, error) { return NewSciDB(DefaultSciDBConfig()) },
+		"cratedb":        func() (Engine, error) { return NewCrateDB(DefaultCrateDBConfig()) },
+		"tpcc":           func() (Engine, error) { return NewTPCC(DefaultTPCCConfig()) },
+	}
+}
+
+// Fig2Order lists the engines in the order the paper's Fig. 2 legend
+// presents them (fastest to slowest at scale).
+func Fig2Order() []string {
+	return []string{
+		"hier-graphblas",
+		"hier-d4m",
+		"accumulo-d4m",
+		"scidb",
+		"accumulo",
+		"cratedb",
+		"tpcc",
+	}
+}
+
+// ScalingClass describes how an engine's aggregate throughput composes
+// across servers in the Fig. 2 model.
+type ScalingClass int
+
+const (
+	// ScaleSharedNothing engines run one instance per process/core with
+	// no communication: aggregate = servers x procs/server x rate.
+	// The paper's hierarchical GraphBLAS and hierarchical D4M runs.
+	ScaleSharedNothing ScalingClass = iota
+	// ScalePerServer engines run one internally-parallel server process
+	// per node (tablet server, array instance, SQL node): aggregate =
+	// servers x rate.
+	ScalePerServer
+	// ScaleUp engines are single scale-up systems whose published
+	// cluster results grow far sublinearly: aggregate = rate x
+	// servers^0.3 (Oracle TPC-C).
+	ScaleUp
+)
+
+// ClassOf returns the scaling class of a registered engine.
+func ClassOf(name string) ScalingClass {
+	switch name {
+	case "hier-graphblas", "flat-graphblas", "hier-d4m":
+		return ScaleSharedNothing
+	case "tpcc":
+		return ScaleUp
+	default:
+		return ScalePerServer
+	}
+}
+
+// errClosed is returned when an engine is used after Close.
+func errClosed(name string) error {
+	return fmt.Errorf("%w: engine %s is closed", gb.ErrInvalidValue, name)
+}

@@ -1,0 +1,154 @@
+package baselines
+
+import (
+	"hhgb/internal/gb"
+	"hhgb/internal/hier"
+)
+
+// HierGraphBLAS is the paper's system: a hierarchical hypersparse
+// GraphBLAS matrix ingesting integer-keyed updates.
+type HierGraphBLAS struct {
+	m      *hier.Matrix[uint64]
+	count  int64
+	closed bool
+	rows   []gb.Index
+	cols   []gb.Index
+	vals   []uint64
+}
+
+// NewHierGraphBLAS returns the engine over a dim x dim traffic matrix.
+// A nil cuts slice selects the default 4-level geometric configuration.
+func NewHierGraphBLAS(dim gb.Index, cuts []int) (*HierGraphBLAS, error) {
+	cfg := hier.DefaultConfig()
+	if cuts != nil {
+		cfg = hier.Config{Cuts: cuts}
+	}
+	m, err := hier.New[uint64](dim, dim, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &HierGraphBLAS{m: m}, nil
+}
+
+// Name implements Engine.
+func (e *HierGraphBLAS) Name() string { return "hier-graphblas" }
+
+// Ingest implements Engine.
+func (e *HierGraphBLAS) Ingest(edges []Edge) error {
+	if e.closed {
+		return errClosed(e.Name())
+	}
+	e.rows = e.rows[:0]
+	e.cols = e.cols[:0]
+	e.vals = e.vals[:0]
+	for _, ed := range edges {
+		e.rows = append(e.rows, ed.Row)
+		e.cols = append(e.cols, ed.Col)
+		e.vals = append(e.vals, ed.Val)
+	}
+	if err := e.m.Update(e.rows, e.cols, e.vals); err != nil {
+		return err
+	}
+	e.count += int64(len(edges))
+	return nil
+}
+
+// Flush implements Engine.
+func (e *HierGraphBLAS) Flush() error {
+	if e.closed {
+		return errClosed(e.Name())
+	}
+	_, err := e.m.Flush()
+	return err
+}
+
+// Count implements Engine.
+func (e *HierGraphBLAS) Count() int64 { return e.count }
+
+// Close implements Engine.
+func (e *HierGraphBLAS) Close() error {
+	if e.closed {
+		return nil
+	}
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	e.closed = true
+	return nil
+}
+
+// Query implements Queryable.
+func (e *HierGraphBLAS) Query() (*gb.Matrix[uint64], error) { return e.m.Query() }
+
+// Stats exposes the cascade counters for analysis.
+func (e *HierGraphBLAS) Stats() hier.Stats { return e.m.Stats() }
+
+// FlatGraphBLAS is the no-hierarchy ablation: the same hypersparse
+// substrate, materialized after every batch (as a flat in-memory store
+// serving queries must be).
+type FlatGraphBLAS struct {
+	m      *gb.Matrix[uint64]
+	count  int64
+	closed bool
+	rows   []gb.Index
+	cols   []gb.Index
+	vals   []uint64
+}
+
+// NewFlatGraphBLAS returns the flat-ingest engine over a dim x dim matrix.
+func NewFlatGraphBLAS(dim gb.Index) (*FlatGraphBLAS, error) {
+	m, err := gb.NewMatrix[uint64](dim, dim)
+	if err != nil {
+		return nil, err
+	}
+	return &FlatGraphBLAS{m: m}, nil
+}
+
+// Name implements Engine.
+func (e *FlatGraphBLAS) Name() string { return "flat-graphblas" }
+
+// Ingest implements Engine.
+func (e *FlatGraphBLAS) Ingest(edges []Edge) error {
+	if e.closed {
+		return errClosed(e.Name())
+	}
+	e.rows = e.rows[:0]
+	e.cols = e.cols[:0]
+	e.vals = e.vals[:0]
+	for _, ed := range edges {
+		e.rows = append(e.rows, ed.Row)
+		e.cols = append(e.cols, ed.Col)
+		e.vals = append(e.vals, ed.Val)
+	}
+	if err := e.m.AppendTuples(e.rows, e.cols, e.vals); err != nil {
+		return err
+	}
+	e.m.Wait() // the flat store merges every batch into the full structure
+	e.count += int64(len(edges))
+	return nil
+}
+
+// Flush implements Engine.
+func (e *FlatGraphBLAS) Flush() error {
+	if e.closed {
+		return errClosed(e.Name())
+	}
+	e.m.Wait()
+	return nil
+}
+
+// Count implements Engine.
+func (e *FlatGraphBLAS) Count() int64 { return e.count }
+
+// Close implements Engine.
+func (e *FlatGraphBLAS) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.m.Wait()
+	e.closed = true
+	return nil
+}
+
+// Query implements Queryable.
+func (e *FlatGraphBLAS) Query() (*gb.Matrix[uint64], error) { return e.m.Dup(), nil }

@@ -1,0 +1,201 @@
+// Package btree provides a B+tree keyed by 128-bit composite keys, the
+// row-store index structure used by the Oracle/TPC-C baseline model in
+// internal/baselines. Leaves are chained for ordered scans, and inserts
+// split nodes exactly as a disk-page-oriented OLTP index would.
+package btree
+
+import "fmt"
+
+// Key is a 128-bit composite key (e.g. table id : row id, or row : col).
+type Key struct {
+	Hi uint64
+	Lo uint64
+}
+
+// Less orders keys lexicographically (Hi, then Lo).
+func (k Key) Less(o Key) bool {
+	if k.Hi != o.Hi {
+		return k.Hi < o.Hi
+	}
+	return k.Lo < o.Lo
+}
+
+// order is the maximum number of keys per node; chosen so a node is about
+// one "page" of key material.
+const order = 64
+
+type node struct {
+	keys     []Key
+	vals     []uint64 // leaf only
+	children []*node  // internal only
+	next     *node    // leaf chain
+	leaf     bool
+}
+
+// Tree is a B+tree mapping Key to uint64.
+// It is not safe for concurrent use.
+type Tree struct {
+	root   *node
+	size   int
+	height int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}, height: 1}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *Tree) Height() int { return t.height }
+
+// search returns the index of the first key >= k in n.keys.
+func search(keys []Key, k Key) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid].Less(k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored at k.
+func (t *Tree) Get(k Key) (uint64, bool) {
+	n := t.root
+	for !n.leaf {
+		i := search(n.keys, k)
+		if i < len(n.keys) && !k.Less(n.keys[i]) {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := search(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Upsert inserts k=v, or if k exists replaces its value with
+// merge(existing, v); nil merge means replace. Returns true if a new key
+// was inserted.
+func (t *Tree) Upsert(k Key, v uint64, merge func(old, new uint64) uint64) bool {
+	inserted, split, sepKey, right := t.insert(t.root, k, v, merge)
+	if split {
+		newRoot := &node{
+			keys:     []Key{sepKey},
+			children: []*node{t.root, right},
+		}
+		t.root = newRoot
+		t.height++
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+func (t *Tree) insert(n *node, k Key, v uint64, merge func(old, new uint64) uint64) (inserted, split bool, sepKey Key, right *node) {
+	if n.leaf {
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			if merge != nil {
+				n.vals[i] = merge(n.vals[i], v)
+			} else {
+				n.vals[i] = v
+			}
+			return false, false, Key{}, nil
+		}
+		n.keys = append(n.keys, Key{})
+		n.vals = append(n.vals, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = k
+		n.vals[i] = v
+		if len(n.keys) > order {
+			mid := len(n.keys) / 2
+			r := &node{
+				leaf: true,
+				keys: append([]Key(nil), n.keys[mid:]...),
+				vals: append([]uint64(nil), n.vals[mid:]...),
+				next: n.next,
+			}
+			n.keys = n.keys[:mid]
+			n.vals = n.vals[:mid]
+			n.next = r
+			return true, true, r.keys[0], r
+		}
+		return true, false, Key{}, nil
+	}
+
+	i := search(n.keys, k)
+	if i < len(n.keys) && !k.Less(n.keys[i]) {
+		i++
+	}
+	inserted, childSplit, childSep, childRight := t.insert(n.children[i], k, v, merge)
+	if childSplit {
+		n.keys = append(n.keys, Key{})
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = childSep
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = childRight
+		if len(n.keys) > order {
+			mid := len(n.keys) / 2
+			sep := n.keys[mid]
+			r := &node{
+				keys:     append([]Key(nil), n.keys[mid+1:]...),
+				children: append([]*node(nil), n.children[mid+1:]...),
+			}
+			n.keys = n.keys[:mid]
+			n.children = n.children[:mid+1]
+			return inserted, true, sep, r
+		}
+	}
+	return inserted, false, Key{}, nil
+}
+
+// Iterate visits entries in key order, stopping early if f returns false.
+func (t *Tree) Iterate(f func(k Key, v uint64) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for ; n != nil; n = n.next {
+		for i := range n.keys {
+			if !f(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// CheckInvariants validates ordering and structure; used by tests.
+func (t *Tree) CheckInvariants() error {
+	var prev *Key
+	count := 0
+	var bad error
+	t.Iterate(func(k Key, _ uint64) bool {
+		if prev != nil && !prev.Less(k) {
+			bad = fmt.Errorf("btree: keys out of order: %v then %v", *prev, k)
+			return false
+		}
+		kc := k
+		prev = &kc
+		count++
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but iterated %d", t.size, count)
+	}
+	return nil
+}

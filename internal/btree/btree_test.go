@@ -1,0 +1,158 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyLess(t *testing.T) {
+	if !(Key{0, 5}).Less(Key{1, 0}) {
+		t.Fatal("Hi ordering broken")
+	}
+	if !(Key{1, 2}).Less(Key{1, 3}) {
+		t.Fatal("Lo ordering broken")
+	}
+	if (Key{1, 3}).Less(Key{1, 3}) {
+		t.Fatal("irreflexivity broken")
+	}
+}
+
+func TestUpsertGet(t *testing.T) {
+	tr := New()
+	if !tr.Upsert(Key{1, 2}, 10, nil) {
+		t.Fatal("first insert reported existing")
+	}
+	if tr.Upsert(Key{1, 2}, 20, nil) {
+		t.Fatal("replace reported new")
+	}
+	v, ok := tr.Get(Key{1, 2})
+	if !ok || v != 20 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	if _, ok := tr.Get(Key{9, 9}); ok {
+		t.Fatal("phantom key")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestUpsertMerge(t *testing.T) {
+	tr := New()
+	add := func(old, new uint64) uint64 { return old + new }
+	for k := 0; k < 100; k++ {
+		tr.Upsert(Key{0, 7}, 1, add)
+	}
+	v, _ := tr.Get(Key{0, 7})
+	if v != 100 {
+		t.Fatalf("merged = %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestSplitsAndHeightGrowth(t *testing.T) {
+	tr := New()
+	n := 10000
+	for k := 0; k < n; k++ {
+		tr.Upsert(Key{0, uint64(k)}, uint64(k), nil)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d after %d inserts", tr.Height(), n)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{0, 1, 4999, 9999} {
+		v, ok := tr.Get(Key{0, k})
+		if !ok || v != k {
+			t.Fatalf("Get(%d) = %d, %v", k, v, ok)
+		}
+	}
+}
+
+func TestRandomAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		tr := New()
+		ref := make(map[Key]uint64)
+		for k := 0; k < 2000; k++ {
+			key := Key{uint64(r.Intn(16)), uint64(r.Intn(256))}
+			v := r.Uint64() % 1000
+			tr.Upsert(key, v, nil)
+			ref[key] = v
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for key, want := range ref {
+			got, ok := tr.Get(key)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterateSortedComplete(t *testing.T) {
+	tr := New()
+	r := rand.New(rand.NewSource(2))
+	ref := make(map[Key]uint64)
+	for k := 0; k < 5000; k++ {
+		key := Key{r.Uint64() % 8, r.Uint64()}
+		tr.Upsert(key, 1, func(o, n uint64) uint64 { return o + n })
+		ref[key]++
+	}
+	var prev *Key
+	seen := 0
+	tr.Iterate(func(k Key, v uint64) bool {
+		if prev != nil && !prev.Less(k) {
+			t.Fatalf("out of order: %v then %v", *prev, k)
+		}
+		if ref[k] != v {
+			t.Fatalf("key %v = %d, want %d", k, v, ref[k])
+		}
+		kc := k
+		prev = &kc
+		seen++
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("iterated %d, want %d", seen, len(ref))
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	tr := New()
+	for k := 0; k < 100; k++ {
+		tr.Upsert(Key{0, uint64(k)}, 0, nil)
+	}
+	n := 0
+	tr.Iterate(func(Key, uint64) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestDescendingInsertOrder(t *testing.T) {
+	tr := New()
+	for k := 5000; k > 0; k-- {
+		tr.Upsert(Key{0, uint64(k)}, uint64(k), nil)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := tr.Get(Key{0, 1})
+	if !ok || v != 1 {
+		t.Fatalf("Get(1) = %d, %v", v, ok)
+	}
+}

@@ -1,0 +1,378 @@
+// Package cluster reproduces the paper's Section III methodology: many
+// shared-nothing processes, each owning its own engine instance, streaming
+// independently generated sets of a power-law graph, with the aggregate
+// sustained update rate measured as total updates over wall-clock time.
+//
+// On the MIT SuperCloud the processes span 1,100 servers; on a laptop the
+// same code runs P goroutine "processes" on local cores and calibrates an
+// extrapolation model. Because the paper's workload is embarrassingly
+// parallel (no process ever communicates), aggregate throughput composes
+// additively across servers; the model multiplies the measured per-process
+// rate by the process count and a documented parallel-efficiency factor.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"hhgb/internal/baselines"
+	"hhgb/internal/bench"
+	"hhgb/internal/gb"
+	"hhgb/internal/powerlaw"
+)
+
+// RunResult is one measured local run.
+type RunResult struct {
+	Engine    string
+	Processes int
+	Updates   int64
+	Seconds   float64
+}
+
+// Rate returns the aggregate updates/second of the run.
+func (r RunResult) Rate() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Updates) / r.Seconds
+}
+
+// RunLocal executes the paper's experiment at local scale: procs goroutine
+// processes, each with its own engine instance, each generating and
+// ingesting its own round-robin share of the stream's sets. It returns the
+// measured aggregate result.
+func RunLocal(factory baselines.Factory, stream powerlaw.StreamSpec, procs int) (RunResult, error) {
+	if procs < 1 {
+		return RunResult{}, fmt.Errorf("%w: procs %d < 1", gb.ErrInvalidValue, procs)
+	}
+	if err := stream.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	engines := make([]baselines.Engine, procs)
+	for p := range engines {
+		e, err := factory()
+		if err != nil {
+			return RunResult{}, err
+		}
+		engines[p] = e
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	start := time.Now()
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			e := engines[p]
+			for set := p; set < stream.Sets(); set += procs {
+				edges, err := stream.GenerateSet(set)
+				if err != nil {
+					errs[p] = err
+					return
+				}
+				if err := e.Ingest(edges); err != nil {
+					errs[p] = err
+					return
+				}
+			}
+			errs[p] = e.Close()
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	var total int64
+	for p, err := range errs {
+		if err != nil {
+			return RunResult{}, fmt.Errorf("process %d: %w", p, err)
+		}
+		total += engines[p].Count()
+	}
+	name := "unknown"
+	if procs > 0 {
+		name = engines[0].Name()
+	}
+	return RunResult{Engine: name, Processes: procs, Updates: total, Seconds: elapsed}, nil
+}
+
+// CalibrateTimed measures a single process's sustained ingest rate by
+// streaming sets for at least minSeconds (cycling through a pre-generated
+// pool of the stream's sets, so generation cost stays outside the
+// measurement — the paper's processes load pre-generated data). Slow
+// engines get measured over fewer updates instead of taking unbounded time.
+func CalibrateTimed(factory baselines.Factory, stream powerlaw.StreamSpec, minSeconds float64) (bench.Rate, error) {
+	if err := stream.Validate(); err != nil {
+		return bench.Rate{}, err
+	}
+	e, err := factory()
+	if err != nil {
+		return bench.Rate{}, err
+	}
+	defer e.Close()
+
+	poolSize := stream.Sets()
+	if poolSize > 16 {
+		poolSize = 16
+	}
+	pool := make([][]powerlaw.Edge, poolSize)
+	for k := range pool {
+		edges, err := stream.GenerateSet(k)
+		if err != nil {
+			return bench.Rate{}, err
+		}
+		pool[k] = edges
+	}
+
+	var updates int64
+	start := time.Now()
+	for set := 0; ; set = (set + 1) % len(pool) {
+		if err := e.Ingest(pool[set]); err != nil {
+			return bench.Rate{}, err
+		}
+		updates += int64(len(pool[set]))
+		if time.Since(start).Seconds() >= minSeconds {
+			break
+		}
+	}
+	return bench.Rate{Updates: updates, Seconds: time.Since(start).Seconds()}, nil
+}
+
+// Model extrapolates aggregate throughput to server counts the local
+// machine cannot host, using the shared-nothing additivity of the paper's
+// workload.
+type Model struct {
+	// EngineName identifies the engine the model was calibrated for.
+	EngineName string
+	// PerProcessRate is the measured single-process sustained rate.
+	PerProcessRate float64
+	// ProcsPerServer is the process count per server (the paper runs
+	// ~31,000 instances on 1,100 servers ≈ 28/server; 32 matches the
+	// SuperCloud's cores-per-node scheduling). Applied only to
+	// shared-nothing engines.
+	ProcsPerServer int
+	// Class selects how throughput composes across servers: per-process
+	// shared-nothing (the paper's hierarchical runs), per-server
+	// (distributed databases), or scale-up (Oracle TPC-C).
+	Class baselines.ScalingClass
+	// Efficiency returns the parallel efficiency at a server count;
+	// DefaultEfficiency models the paper's slightly sublinear curve.
+	Efficiency func(servers int) float64
+}
+
+// DefaultProcsPerServer matches the paper's ~28-31 instances per node.
+const DefaultProcsPerServer = 28
+
+// DefaultEfficiency is a mildly sublinear efficiency curve: eff(n) =
+// n^-0.03 (≈ 0.81 at 1,100 servers), matching the slight roll-off of the
+// paper's measured hierarchical curves at full scale.
+func DefaultEfficiency(servers int) float64 {
+	if servers <= 1 {
+		return 1
+	}
+	return math.Pow(float64(servers), -0.03)
+}
+
+// Aggregate returns the modeled aggregate rate at the given server count.
+func (m Model) Aggregate(servers int) float64 {
+	if servers < 1 {
+		return 0
+	}
+	eff := 1.0
+	if m.Efficiency != nil {
+		eff = m.Efficiency(servers)
+	}
+	switch m.Class {
+	case baselines.ScaleUp:
+		return m.PerProcessRate * math.Pow(float64(servers), 0.3)
+	case baselines.ScalePerServer:
+		return float64(servers) * m.PerProcessRate * eff
+	default: // shared-nothing
+		return float64(servers) * float64(m.ProcsPerServer) * m.PerProcessRate * eff
+	}
+}
+
+// Calibrate builds a Model for the engine by measuring its single-process
+// rate over at least minSeconds.
+func Calibrate(name string, factory baselines.Factory, stream powerlaw.StreamSpec, minSeconds float64, procsPerServer int) (Model, error) {
+	if procsPerServer < 1 {
+		procsPerServer = DefaultProcsPerServer
+	}
+	rate, err := CalibrateTimed(factory, stream, minSeconds)
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{
+		EngineName:     name,
+		PerProcessRate: rate.PerSecond(),
+		ProcsPerServer: procsPerServer,
+		Class:          baselines.ClassOf(name),
+		Efficiency:     DefaultEfficiency,
+	}, nil
+}
+
+// Fig2Config drives the Fig. 2 reproduction sweep.
+type Fig2Config struct {
+	// Stream is the workload specification (paper: 1,000 sets of 100,000).
+	Stream powerlaw.StreamSpec
+	// ServerCounts is the x-axis (paper: 1 … 1,100, log-spaced).
+	ServerCounts []int
+	// ProcsPerServer scales servers to processes.
+	ProcsPerServer int
+	// CalibrationSeconds bounds each engine's measurement time.
+	CalibrationSeconds float64
+	// Engines selects and orders the engines; nil means Fig2Order.
+	Engines []string
+	// Dim is the traffic-matrix dimension for the GraphBLAS engines.
+	Dim gb.Index
+}
+
+// DefaultServerCounts returns the paper's log-spaced x-axis up to 1,100.
+func DefaultServerCounts() []int {
+	return []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1100}
+}
+
+// Fig2 runs the full Fig. 2 reproduction: it calibrates every engine
+// locally, then produces one modeled series per engine across the server
+// counts. The returned models carry the measured per-process rates for
+// reporting.
+func Fig2(cfg Fig2Config) ([]bench.Series, []Model, error) {
+	if cfg.ProcsPerServer < 1 {
+		cfg.ProcsPerServer = DefaultProcsPerServer
+	}
+	if cfg.CalibrationSeconds <= 0 {
+		cfg.CalibrationSeconds = 0.5
+	}
+	if cfg.ServerCounts == nil {
+		cfg.ServerCounts = DefaultServerCounts()
+	}
+	if cfg.Dim == 0 {
+		cfg.Dim = 1 << 32
+	}
+	names := cfg.Engines
+	if names == nil {
+		names = baselines.Fig2Order()
+	}
+	registry := baselines.Registry(cfg.Dim)
+	var series []bench.Series
+	var models []Model
+	for _, name := range names {
+		factory, ok := registry[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: unknown engine %q", gb.ErrInvalidValue, name)
+		}
+		model, err := Calibrate(name, factory, cfg.Stream, cfg.CalibrationSeconds, cfg.ProcsPerServer)
+		if err != nil {
+			return nil, nil, fmt.Errorf("calibrating %s: %w", name, err)
+		}
+		s := bench.Series{Name: name}
+		for _, n := range cfg.ServerCounts {
+			s.Add(float64(n), model.Aggregate(n))
+		}
+		series = append(series, s)
+		models = append(models, model)
+	}
+	return series, models, nil
+}
+
+// RunLocalWeak executes the paper's actual experiment shape: every process
+// streams its *own* full copy of the workload ("each creating many
+// different graphs of 100,000,000 edges each"), with per-process seeds so
+// the graphs differ. Total work grows with the process count (weak
+// scaling).
+func RunLocalWeak(factory baselines.Factory, stream powerlaw.StreamSpec, procs int) (RunResult, error) {
+	if procs < 1 {
+		return RunResult{}, fmt.Errorf("%w: procs %d < 1", gb.ErrInvalidValue, procs)
+	}
+	if err := stream.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	engines := make([]baselines.Engine, procs)
+	for p := range engines {
+		e, err := factory()
+		if err != nil {
+			return RunResult{}, err
+		}
+		engines[p] = e
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	start := time.Now()
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			own := stream
+			own.Seed = stream.Seed + 0x9e3779b97f4a7c15*uint64(p+1)
+			e := engines[p]
+			for set := 0; set < own.Sets(); set++ {
+				edges, err := own.GenerateSet(set)
+				if err != nil {
+					errs[p] = err
+					return
+				}
+				if err := e.Ingest(edges); err != nil {
+					errs[p] = err
+					return
+				}
+			}
+			errs[p] = e.Close()
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	var total int64
+	for p, err := range errs {
+		if err != nil {
+			return RunResult{}, fmt.Errorf("process %d: %w", p, err)
+		}
+		total += engines[p].Count()
+	}
+	return RunResult{Engine: engines[0].Name(), Processes: procs, Updates: total, Seconds: elapsed}, nil
+}
+
+// procSweep runs f at power-of-two process counts up to maxProcs.
+func procSweep(maxProcs int, f func(procs int) (RunResult, error)) ([]RunResult, error) {
+	if maxProcs < 1 {
+		maxProcs = runtime.GOMAXPROCS(0)
+	}
+	var out []RunResult
+	for p := 1; p <= maxProcs; p *= 2 {
+		r, err := f(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		if p == maxProcs {
+			break
+		}
+		if p*2 > maxProcs {
+			r, err := f(maxProcs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+			break
+		}
+	}
+	return out, nil
+}
+
+// WeakScaling measures aggregate rate at increasing process counts with
+// per-process constant work (experiment E12, the paper's methodology):
+// each process streams its own full workload copy.
+func WeakScaling(factory baselines.Factory, stream powerlaw.StreamSpec, maxProcs int) ([]RunResult, error) {
+	return procSweep(maxProcs, func(p int) (RunResult, error) {
+		return RunLocalWeak(factory, stream, p)
+	})
+}
+
+// StrongScaling measures aggregate rate at increasing process counts with
+// the total workload fixed and divided among processes.
+func StrongScaling(factory baselines.Factory, stream powerlaw.StreamSpec, maxProcs int) ([]RunResult, error) {
+	return procSweep(maxProcs, func(p int) (RunResult, error) {
+		return RunLocal(factory, stream, p)
+	})
+}

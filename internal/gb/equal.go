@@ -1,0 +1,84 @@
+package gb
+
+// Equal reports whether a and b have identical dimensions, sparsity pattern
+// and values. Pending updates are materialized on both sides first.
+// Explicit zeros are significant: a stored 0 differs from no entry.
+func Equal[T Number](a, b *Matrix[T]) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	a.Wait()
+	b.Wait()
+	if a.nrows != b.nrows || a.ncols != b.ncols || len(a.col) != len(b.col) || len(a.rows) != len(b.rows) {
+		return false
+	}
+	for k := range a.rows {
+		if a.rows[k] != b.rows[k] || a.ptr[k+1] != b.ptr[k+1] {
+			return false
+		}
+	}
+	for k := range a.col {
+		if a.col[k] != b.col[k] || a.val[k] != b.val[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// VecEqual reports whether two vectors are identical in size, pattern and
+// values.
+func VecEqual[T Number](a, b *Vector[T]) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	a.Wait()
+	b.Wait()
+	if a.n != b.n || len(a.idx) != len(b.idx) {
+		return false
+	}
+	for k := range a.idx {
+		if a.idx[k] != b.idx[k] || a.val[k] != b.val[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkInvariants verifies internal DCSR consistency; used by tests.
+func (m *Matrix[T]) checkInvariants() error {
+	if len(m.ptr) != len(m.rows)+1 {
+		return errInvariant("ptr length")
+	}
+	if m.ptr[0] != 0 || m.ptr[len(m.ptr)-1] != len(m.col) {
+		return errInvariant("ptr endpoints")
+	}
+	if len(m.col) != len(m.val) {
+		return errInvariant("col/val length")
+	}
+	for k := 1; k < len(m.rows); k++ {
+		if m.rows[k-1] >= m.rows[k] {
+			return errInvariant("rows not strictly increasing")
+		}
+	}
+	for k := range m.rows {
+		if m.ptr[k] >= m.ptr[k+1] {
+			return errInvariant("empty row stored")
+		}
+		if m.rows[k] >= m.nrows {
+			return errInvariant("row id out of bounds")
+		}
+		for p := m.ptr[k]; p < m.ptr[k+1]; p++ {
+			if m.col[p] >= m.ncols {
+				return errInvariant("col id out of bounds")
+			}
+			if p > m.ptr[k] && m.col[p-1] >= m.col[p] {
+				return errInvariant("cols not strictly increasing within row")
+			}
+		}
+	}
+	return nil
+}
+
+type errInvariant string
+
+func (e errInvariant) Error() string { return "gb: invariant violated: " + string(e) }

@@ -1,0 +1,117 @@
+package gb
+
+import "fmt"
+
+// EWiseAdd returns the set-union element-wise combination of a and b:
+// entries present in both are combined with add; entries present in exactly
+// one operand are copied. This is GraphBLAS eWiseAdd and the single
+// operation the hierarchical cascade is built from.
+func EWiseAdd[T Number](a, b *Matrix[T], add BinaryOp[T]) (*Matrix[T], error) {
+	if a.nrows != b.nrows || a.ncols != b.ncols {
+		return nil, fmt.Errorf("%w: %dx%d + %dx%d", ErrDimensionMismatch, a.nrows, a.ncols, b.nrows, b.ncols)
+	}
+	if add == nil {
+		return nil, fmt.Errorf("%w: nil add operator", ErrInvalidValue)
+	}
+	a.Wait()
+	b.Wait()
+	c := &Matrix[T]{nrows: a.nrows, ncols: a.ncols, accum: a.accum}
+	c.rows, c.ptr, c.col, c.val = mergeDCSR(a.rows, a.ptr, a.col, a.val, b.rows, b.ptr, b.col, b.val, add)
+	return c, nil
+}
+
+// AddAssign performs dst ⊕= src in place (dst keeps its accumulator and
+// dimensions; src is unchanged). It is the cascade step "A(i+1) += A(i)".
+func AddAssign[T Number](dst, src *Matrix[T], add BinaryOp[T]) error {
+	if dst.nrows != src.nrows || dst.ncols != src.ncols {
+		return fmt.Errorf("%w: %dx%d += %dx%d", ErrDimensionMismatch, dst.nrows, dst.ncols, src.nrows, src.ncols)
+	}
+	if add == nil {
+		return fmt.Errorf("%w: nil add operator", ErrInvalidValue)
+	}
+	dst.Wait()
+	src.Wait()
+	if len(src.col) == 0 {
+		return nil
+	}
+	if len(dst.col) == 0 {
+		dst.rows = append([]Index(nil), src.rows...)
+		dst.ptr = append([]int(nil), src.ptr...)
+		dst.col = append([]Index(nil), src.col...)
+		dst.val = append([]T(nil), src.val...)
+		return nil
+	}
+	dst.rows, dst.ptr, dst.col, dst.val = mergeDCSR(
+		dst.rows, dst.ptr, dst.col, dst.val,
+		src.rows, src.ptr, src.col, src.val,
+		add,
+	)
+	return nil
+}
+
+// EWiseMult returns the set-intersection element-wise combination of a and
+// b: only entries present in both operands appear in the result, combined
+// with mul.
+func EWiseMult[T Number](a, b *Matrix[T], mul BinaryOp[T]) (*Matrix[T], error) {
+	if a.nrows != b.nrows || a.ncols != b.ncols {
+		return nil, fmt.Errorf("%w: %dx%d .* %dx%d", ErrDimensionMismatch, a.nrows, a.ncols, b.nrows, b.ncols)
+	}
+	if mul == nil {
+		return nil, fmt.Errorf("%w: nil mul operator", ErrInvalidValue)
+	}
+	a.Wait()
+	b.Wait()
+	c := &Matrix[T]{nrows: a.nrows, ncols: a.ncols, accum: a.accum, ptr: []int{0}}
+
+	i, j := 0, 0
+	for i < len(a.rows) && j < len(b.rows) {
+		switch {
+		case a.rows[i] < b.rows[j]:
+			i++
+		case b.rows[j] < a.rows[i]:
+			j++
+		default:
+			before := len(c.col)
+			x, xe := a.ptr[i], a.ptr[i+1]
+			y, ye := b.ptr[j], b.ptr[j+1]
+			for x < xe && y < ye {
+				switch {
+				case a.col[x] < b.col[y]:
+					x++
+				case b.col[y] < a.col[x]:
+					y++
+				default:
+					c.col = append(c.col, a.col[x])
+					c.val = append(c.val, mul(a.val[x], b.val[y]))
+					x++
+					y++
+				}
+			}
+			if len(c.col) > before {
+				c.rows = append(c.rows, a.rows[i])
+				c.ptr = append(c.ptr, len(c.col))
+			}
+			i++
+			j++
+		}
+	}
+	return c, nil
+}
+
+// Sum folds EWiseAdd over all operands with the plus operator, returning the
+// materialized total. It implements the paper's query step A = Σ Ai. A nil
+// or empty operand list is invalid; single operands are duplicated so the
+// caller may mutate the result freely.
+func Sum[T Number](ms ...*Matrix[T]) (*Matrix[T], error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("%w: Sum of no matrices", ErrInvalidValue)
+	}
+	acc := ms[0].Dup()
+	plus := Plus[T]().Op
+	for _, m := range ms[1:] {
+		if err := AddAssign(acc, m, plus); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}

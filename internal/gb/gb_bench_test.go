@@ -1,0 +1,121 @@
+package gb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchTuples returns n random tuples over a dim x dim space.
+func benchTuples(n int, dim uint64, seed int64) ([]Index, []Index, []uint64) {
+	r := rand.New(rand.NewSource(seed))
+	rows := make([]Index, n)
+	cols := make([]Index, n)
+	vals := make([]uint64, n)
+	for k := 0; k < n; k++ {
+		rows[k] = Index(r.Uint64() % dim)
+		cols[k] = Index(r.Uint64() % dim)
+		vals[k] = 1
+	}
+	return rows, cols, vals
+}
+
+// BenchmarkWaitRadix measures pending-tuple materialization on the packed
+// radix-sort fast path (32-bit indices).
+func BenchmarkWaitRadix(b *testing.B) {
+	const n = 100_000
+	rows, cols, vals := benchTuples(n, 1<<32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := MustNewMatrix[uint64](1<<32, 1<<32)
+		_ = m.AppendTuples(rows, cols, vals)
+		m.Wait()
+	}
+	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkWaitComparison measures the comparison-sort path (indices
+// beyond 32 bits force the generic stable sort).
+func BenchmarkWaitComparison(b *testing.B) {
+	const n = 100_000
+	rows, cols, vals := benchTuples(n, 1<<40, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := MustNewMatrix[uint64](1<<40, 1<<40)
+		_ = m.AppendTuples(rows, cols, vals)
+		m.Wait()
+	}
+	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkEWiseAdd measures the union-merge kernel (the cascade step).
+func BenchmarkEWiseAdd(b *testing.B) {
+	const n = 100_000
+	r1, c1, v1 := benchTuples(n, 1<<32, 3)
+	r2, c2, v2 := benchTuples(n, 1<<32, 4)
+	x, _ := MatrixFromTuples(1<<32, 1<<32, r1, c1, v1, Plus[uint64]().Op)
+	y, _ := MatrixFromTuples(1<<32, 1<<32, r2, c2, v2, Plus[uint64]().Op)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EWiseAdd(x, y, Plus[uint64]().Op); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*2*n/b.Elapsed().Seconds(), "entries/s")
+}
+
+// BenchmarkMxM measures hypersparse SpGEMM over plus.times.
+func BenchmarkMxM(b *testing.B) {
+	const n = 20_000
+	r1, c1, v1 := benchTuples(n, 1<<14, 5)
+	r2, c2, v2 := benchTuples(n, 1<<14, 6)
+	x, _ := MatrixFromTuples(1<<14, 1<<14, r1, c1, v1, Plus[uint64]().Op)
+	y, _ := MatrixFromTuples(1<<14, 1<<14, r2, c2, v2, Plus[uint64]().Op)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MxM(x, y, PlusTimes[uint64]()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMxMMasked measures the masked multiply (triangle-counting
+// kernel) with the output pattern restricted to x's own pattern.
+func BenchmarkMxMMasked(b *testing.B) {
+	const n = 20_000
+	r1, c1, v1 := benchTuples(n, 1<<14, 7)
+	x, _ := MatrixFromTuples(1<<14, 1<<14, r1, c1, v1, Plus[uint64]().Op)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MxMMasked(x, x, PlusPair[uint64](), StructuralMask(x)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranspose measures the bucket transpose.
+func BenchmarkTranspose(b *testing.B) {
+	const n = 100_000
+	r1, c1, v1 := benchTuples(n, 1<<32, 8)
+	x, _ := MatrixFromTuples(1<<32, 1<<32, r1, c1, v1, Plus[uint64]().Op)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Transpose(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "entries/s")
+}
+
+// BenchmarkReduceRows measures the row-reduction (degree vector) kernel.
+func BenchmarkReduceRows(b *testing.B) {
+	const n = 100_000
+	r1, c1, v1 := benchTuples(n, 1<<32, 9)
+	x, _ := MatrixFromTuples(1<<32, 1<<32, r1, c1, v1, Plus[uint64]().Op)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReduceRows(x, Plus[uint64]()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "entries/s")
+}

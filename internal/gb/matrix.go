@@ -1,0 +1,243 @@
+package gb
+
+import "fmt"
+
+// Matrix is a hypersparse matrix of T values, stored row-oriented in DCSR
+// form. The zero value is not usable; construct with NewMatrix.
+//
+// Matrices operate in "non-blocking mode": SetElement and AppendTuples stage
+// updates in a pending-tuple buffer, and any operation that needs the
+// materialized structure calls Wait first. Pending duplicates (and pending
+// entries colliding with stored entries) are combined with the matrix
+// accumulator, which defaults to addition — the semantics the hierarchical
+// cascade requires.
+type Matrix[T Number] struct {
+	nrows Index
+	ncols Index
+
+	// DCSR storage. rows holds the sorted ids of non-empty rows;
+	// col[ptr[k]:ptr[k+1]] and val[ptr[k]:ptr[k+1]] hold the sorted column
+	// ids and values of row rows[k]. len(ptr) == len(rows)+1.
+	rows []Index
+	ptr  []int
+	col  []Index
+	val  []T
+
+	// pending holds staged updates not yet merged into the DCSR arrays.
+	pending []Tuple[T]
+
+	accum BinaryOp[T]
+}
+
+// NewMatrix returns an empty nrows x ncols matrix with the default plus
+// accumulator for pending updates. Dimensions must be nonzero.
+func NewMatrix[T Number](nrows, ncols Index) (*Matrix[T], error) {
+	if nrows == 0 || ncols == 0 {
+		return nil, fmt.Errorf("%w: dimensions must be nonzero (got %d x %d)", ErrInvalidValue, nrows, ncols)
+	}
+	return &Matrix[T]{nrows: nrows, ncols: ncols, accum: Plus[T]().Op, ptr: []int{0}}, nil
+}
+
+// MustNewMatrix is NewMatrix for statically valid dimensions; it panics on
+// error and exists for tests and examples.
+func MustNewMatrix[T Number](nrows, ncols Index) *Matrix[T] {
+	m, err := NewMatrix[T](nrows, ncols)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SetAccum replaces the duplicate-combining operator used when pending
+// updates are materialized. It must be called while no pending updates are
+// staged (typically right after construction).
+func (m *Matrix[T]) SetAccum(op BinaryOp[T]) error {
+	if len(m.pending) != 0 {
+		return fmt.Errorf("%w: cannot change accumulator with pending updates", ErrInvalidValue)
+	}
+	m.accum = op
+	return nil
+}
+
+// NRows returns the number of rows of the matrix's index space.
+func (m *Matrix[T]) NRows() Index { return m.nrows }
+
+// NCols returns the number of columns of the matrix's index space.
+func (m *Matrix[T]) NCols() Index { return m.ncols }
+
+// NVals returns the number of stored entries, materializing pending updates
+// first (like GrB_Matrix_nvals, it forces completion).
+func (m *Matrix[T]) NVals() int {
+	m.Wait()
+	return len(m.col)
+}
+
+// PendingLen reports how many staged (not yet materialized) updates exist.
+// Together with the materialized entry count it bounds NVals from above;
+// the hierarchical cascade uses this to decide when a Wait is worthwhile.
+func (m *Matrix[T]) PendingLen() int { return len(m.pending) }
+
+// MaterializedNVals returns the number of entries in the DCSR structure,
+// ignoring pending updates. NVals() <= MaterializedNVals()+PendingLen().
+func (m *Matrix[T]) MaterializedNVals() int { return len(m.col) }
+
+// SetElement stages the update A(i,j) ⊕= v (⊕ is the matrix accumulator).
+func (m *Matrix[T]) SetElement(i, j Index, v T) error {
+	if i >= m.nrows || j >= m.ncols {
+		return fmt.Errorf("%w: (%d,%d) outside %d x %d", ErrIndexOutOfBounds, i, j, m.nrows, m.ncols)
+	}
+	m.pending = append(m.pending, Tuple[T]{Row: i, Col: j, Val: v})
+	return nil
+}
+
+// AppendTuples stages a batch of updates. It is the bulk equivalent of
+// calling SetElement for each (rows[k], cols[k], vals[k]) and is the fast
+// path used by streaming ingest. The three slices must have equal length.
+func (m *Matrix[T]) AppendTuples(rows, cols []Index, vals []T) error {
+	if len(rows) != len(cols) || len(rows) != len(vals) {
+		return fmt.Errorf("%w: slice lengths %d/%d/%d differ", ErrInvalidValue, len(rows), len(cols), len(vals))
+	}
+	for k := range rows {
+		if rows[k] >= m.nrows || cols[k] >= m.ncols {
+			return fmt.Errorf("%w: (%d,%d) outside %d x %d", ErrIndexOutOfBounds, rows[k], cols[k], m.nrows, m.ncols)
+		}
+	}
+	if cap(m.pending)-len(m.pending) < len(rows) {
+		grown := make([]Tuple[T], len(m.pending), len(m.pending)+len(rows))
+		copy(grown, m.pending)
+		m.pending = grown
+	}
+	for k := range rows {
+		m.pending = append(m.pending, Tuple[T]{Row: rows[k], Col: cols[k], Val: vals[k]})
+	}
+	return nil
+}
+
+// ExtractElement returns the stored value at (i, j). It forces completion of
+// pending updates. The error is ErrNoValue when no entry exists.
+func (m *Matrix[T]) ExtractElement(i, j Index) (T, error) {
+	var zero T
+	if i >= m.nrows || j >= m.ncols {
+		return zero, fmt.Errorf("%w: (%d,%d) outside %d x %d", ErrIndexOutOfBounds, i, j, m.nrows, m.ncols)
+	}
+	m.Wait()
+	k, ok := searchIndex(m.rows, i)
+	if !ok {
+		return zero, ErrNoValue
+	}
+	lo, hi := m.ptr[k], m.ptr[k+1]
+	p, ok := searchIndex(m.col[lo:hi], j)
+	if !ok {
+		return zero, ErrNoValue
+	}
+	return m.val[lo+p], nil
+}
+
+// RemoveElement deletes the entry at (i, j) if present. It forces completion
+// of pending updates. Removing an absent entry is not an error.
+func (m *Matrix[T]) RemoveElement(i, j Index) error {
+	if i >= m.nrows || j >= m.ncols {
+		return fmt.Errorf("%w: (%d,%d) outside %d x %d", ErrIndexOutOfBounds, i, j, m.nrows, m.ncols)
+	}
+	m.Wait()
+	k, ok := searchIndex(m.rows, i)
+	if !ok {
+		return nil
+	}
+	lo, hi := m.ptr[k], m.ptr[k+1]
+	p, ok := searchIndex(m.col[lo:hi], j)
+	if !ok {
+		return nil
+	}
+	at := lo + p
+	m.col = append(m.col[:at], m.col[at+1:]...)
+	m.val = append(m.val[:at], m.val[at+1:]...)
+	for q := k + 1; q < len(m.ptr); q++ {
+		m.ptr[q]--
+	}
+	if m.ptr[k] == m.ptr[k+1] { // row became empty
+		m.rows = append(m.rows[:k], m.rows[k+1:]...)
+		m.ptr = append(m.ptr[:k+1], m.ptr[k+2:]...)
+	}
+	return nil
+}
+
+// Clear removes all entries (stored and pending), keeping dimensions and
+// accumulator. Storage is released so a cleared level really returns its
+// memory, which is the point of the hierarchical cascade.
+func (m *Matrix[T]) Clear() {
+	m.rows = nil
+	m.ptr = []int{0}
+	m.col = nil
+	m.val = nil
+	m.pending = nil
+}
+
+// Dup returns a deep copy. Pending updates are materialized first so the
+// copy shares no state with the original.
+func (m *Matrix[T]) Dup() *Matrix[T] {
+	m.Wait()
+	d := &Matrix[T]{nrows: m.nrows, ncols: m.ncols, accum: m.accum}
+	d.rows = append([]Index(nil), m.rows...)
+	d.ptr = append([]int(nil), m.ptr...)
+	d.col = append([]Index(nil), m.col...)
+	d.val = append([]T(nil), m.val...)
+	return d
+}
+
+// NNZRows returns the number of non-empty rows (the hypersparse row count).
+func (m *Matrix[T]) NNZRows() int {
+	m.Wait()
+	return len(m.rows)
+}
+
+// Iterate calls f for each stored entry in row-major order, stopping early
+// if f returns false. Pending updates are materialized first.
+func (m *Matrix[T]) Iterate(f func(i, j Index, v T) bool) {
+	m.Wait()
+	for k, r := range m.rows {
+		for p := m.ptr[k]; p < m.ptr[k+1]; p++ {
+			if !f(r, m.col[p], m.val[p]) {
+				return
+			}
+		}
+	}
+}
+
+// ExtractTuples returns all stored entries in row-major order. It forces
+// completion of pending updates. The returned slices are fresh copies.
+func (m *Matrix[T]) ExtractTuples() (rows, cols []Index, vals []T) {
+	m.Wait()
+	n := len(m.col)
+	rows = make([]Index, 0, n)
+	cols = append([]Index(nil), m.col...)
+	vals = append([]T(nil), m.val...)
+	for k, r := range m.rows {
+		for p := m.ptr[k]; p < m.ptr[k+1]; p++ {
+			_ = p
+			rows = append(rows, r)
+		}
+	}
+	return rows, cols, vals
+}
+
+// String summarizes the matrix without dumping entries.
+func (m *Matrix[T]) String() string {
+	return fmt.Sprintf("gb.Matrix[%dx%d, nvals=%d(+%d pending), nnzrows=%d]",
+		m.nrows, m.ncols, len(m.col), len(m.pending), len(m.rows))
+}
+
+// searchIndex binary-searches a sorted Index slice and reports the position
+// and whether x was found.
+func searchIndex(s []Index, x Index) (int, bool) {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s) && s[lo] == x
+}

@@ -1,0 +1,123 @@
+package gb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes the matrix in MatrixMarket coordinate format
+// (1-based indices), the interchange format of the sparse-matrix
+// ecosystem (SuiteSparse collection, Graph Challenge data sets).
+func WriteMatrixMarket[T Number](w io.Writer, m *Matrix[T]) error {
+	m.Wait()
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.nrows, m.ncols, len(m.col)); err != nil {
+		return err
+	}
+	var outer error
+	m.Iterate(func(i, j Index, v T) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d %v\n", i+1, j+1, v); err != nil {
+			outer = err
+			return false
+		}
+		return true
+	})
+	if outer != nil {
+		return outer
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket reads a MatrixMarket coordinate file into a float64
+// matrix, summing duplicate coordinates. Pattern files get value 1 per
+// entry; symmetric files are expanded to both triangles.
+func ReadMatrixMarket(r io.Reader) (*Matrix[float64], error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("gb: reading MatrixMarket header: %w", err)
+	}
+	fields := strings.Fields(strings.ToLower(header))
+	if len(fields) < 4 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" || fields[2] != "coordinate" {
+		return nil, fmt.Errorf("%w: unsupported MatrixMarket header %q", ErrInvalidValue, strings.TrimSpace(header))
+	}
+	pattern := fields[3] == "pattern"
+	symmetric := len(fields) >= 5 && fields[4] == "symmetric"
+
+	// Skip comments; read the size line.
+	var sizeLine string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return nil, fmt.Errorf("gb: reading MatrixMarket size line: %w", err)
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "%") {
+			continue
+		}
+		sizeLine = trimmed
+		break
+	}
+	var nrows, ncols uint64
+	var nnz int
+	if _, err := fmt.Sscanf(sizeLine, "%d %d %d", &nrows, &ncols, &nnz); err != nil {
+		return nil, fmt.Errorf("%w: malformed size line %q", ErrInvalidValue, sizeLine)
+	}
+	m, err := NewMatrix[float64](nrows, ncols)
+	if err != nil {
+		return nil, err
+	}
+	read := 0
+	for read < nnz {
+		line, err := br.ReadString('\n')
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" && !strings.HasPrefix(trimmed, "%") {
+			parts := strings.Fields(trimmed)
+			want := 3
+			if pattern {
+				want = 2
+			}
+			if len(parts) < want {
+				return nil, fmt.Errorf("%w: malformed entry %q", ErrInvalidValue, trimmed)
+			}
+			i, err1 := strconv.ParseUint(parts[0], 10, 64)
+			j, err2 := strconv.ParseUint(parts[1], 10, 64)
+			if err1 != nil || err2 != nil || i == 0 || j == 0 {
+				return nil, fmt.Errorf("%w: bad coordinates in %q", ErrInvalidValue, trimmed)
+			}
+			v := 1.0
+			if !pattern {
+				v, err = strconv.ParseFloat(parts[2], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%w: bad value in %q", ErrInvalidValue, trimmed)
+				}
+			}
+			if err := m.SetElement(Index(i-1), Index(j-1), v); err != nil {
+				return nil, err
+			}
+			if symmetric && i != j {
+				if err := m.SetElement(Index(j-1), Index(i-1), v); err != nil {
+					return nil, err
+				}
+			}
+			read++
+		}
+		if err != nil {
+			if err == io.EOF && read == nnz {
+				break
+			}
+			if err == io.EOF {
+				return nil, fmt.Errorf("%w: expected %d entries, got %d", ErrInvalidValue, nnz, read)
+			}
+			return nil, err
+		}
+	}
+	m.Wait()
+	return m, nil
+}

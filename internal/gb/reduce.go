@@ -1,0 +1,71 @@
+package gb
+
+import "fmt"
+
+// ReduceScalar folds all stored values of a with the monoid, returning the
+// monoid identity for an empty matrix.
+func ReduceScalar[T Number](a *Matrix[T], m Monoid[T]) (T, error) {
+	if m.Op == nil {
+		var zero T
+		return zero, fmt.Errorf("%w: monoid with nil operator", ErrInvalidValue)
+	}
+	a.Wait()
+	acc := m.Identity
+	for _, v := range a.val {
+		acc = m.Op(acc, v)
+	}
+	return acc, nil
+}
+
+// ReduceRows reduces each row of a to a single value with the monoid,
+// producing a hypersparse vector with one entry per non-empty row.
+// For the plus monoid on a traffic matrix this is the out-degree /
+// out-traffic vector.
+func ReduceRows[T Number](a *Matrix[T], m Monoid[T]) (*Vector[T], error) {
+	if m.Op == nil {
+		return nil, fmt.Errorf("%w: monoid with nil operator", ErrInvalidValue)
+	}
+	a.Wait()
+	v, err := NewVector[T](a.nrows)
+	if err != nil {
+		return nil, err
+	}
+	v.idx = make([]Index, 0, len(a.rows))
+	v.val = make([]T, 0, len(a.rows))
+	for k, r := range a.rows {
+		acc := m.Identity
+		for p := a.ptr[k]; p < a.ptr[k+1]; p++ {
+			acc = m.Op(acc, a.val[p])
+		}
+		v.idx = append(v.idx, r)
+		v.val = append(v.val, acc)
+	}
+	return v, nil
+}
+
+// ReduceCols reduces each column of a with the monoid, producing a
+// hypersparse vector with one entry per non-empty column (the in-degree /
+// in-traffic vector for plus on a traffic matrix). The monoid must be
+// commutative: entries are folded in row-major order.
+func ReduceCols[T Number](a *Matrix[T], m Monoid[T]) (*Vector[T], error) {
+	if m.Op == nil {
+		return nil, fmt.Errorf("%w: monoid with nil operator", ErrInvalidValue)
+	}
+	a.Wait()
+	v, err := NewVector[T](a.ncols)
+	if err != nil {
+		return nil, err
+	}
+	// Accumulate per distinct column via staged tuples; Wait sorts and
+	// combines them with the monoid operator.
+	if err := v.SetAccum(m.Op); err != nil {
+		return nil, err
+	}
+	for k := range a.rows {
+		for p := a.ptr[k]; p < a.ptr[k+1]; p++ {
+			v.pending = append(v.pending, vecTuple[T]{idx: a.col[p], val: a.val[p]})
+		}
+	}
+	v.Wait()
+	return v, nil
+}

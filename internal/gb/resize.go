@@ -1,0 +1,191 @@
+package gb
+
+import "fmt"
+
+// Resize changes the matrix's dimensions in place (GxB_Matrix_resize).
+// Growing keeps all entries; shrinking drops entries outside the new
+// bounds. Hypersparse storage makes growing free and shrinking O(nnz).
+func (m *Matrix[T]) Resize(nrows, ncols Index) error {
+	if nrows == 0 || ncols == 0 {
+		return fmt.Errorf("%w: resize to %d x %d", ErrInvalidValue, nrows, ncols)
+	}
+	m.Wait()
+	if nrows >= m.nrows && ncols >= m.ncols {
+		m.nrows, m.ncols = nrows, ncols
+		return nil
+	}
+	rows, cols, vals := m.ExtractTuples()
+	kept := 0
+	for k := range rows {
+		if rows[k] < nrows && cols[k] < ncols {
+			rows[kept], cols[kept], vals[kept] = rows[k], cols[k], vals[k]
+			kept++
+		}
+	}
+	m.nrows, m.ncols = nrows, ncols
+	m.Clear()
+	return m.Build(rows[:kept], cols[:kept], vals[:kept], Second[T])
+}
+
+// ConcatRows stacks the operands vertically: the result has the summed row
+// count and each operand's entries offset by the rows above it
+// (GxB_Matrix_concat for an Nx1 tiling). All operands must share ncols.
+func ConcatRows[T Number](ms ...*Matrix[T]) (*Matrix[T], error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("%w: concat of no matrices", ErrInvalidValue)
+	}
+	ncols := ms[0].ncols
+	var totalRows Index
+	for _, m := range ms {
+		if m.ncols != ncols {
+			return nil, fmt.Errorf("%w: concat column counts %d vs %d", ErrDimensionMismatch, m.ncols, ncols)
+		}
+		next := totalRows + m.nrows
+		if next < totalRows {
+			return nil, fmt.Errorf("%w: concat rows overflow", ErrInvalidValue)
+		}
+		totalRows = next
+	}
+	out, err := NewMatrix[T](totalRows, ncols)
+	if err != nil {
+		return nil, err
+	}
+	var offset Index
+	var rr, cc []Index
+	var vv []T
+	for _, m := range ms {
+		m.Wait()
+		rows, cols, vals := m.ExtractTuples()
+		for k := range rows {
+			rr = append(rr, rows[k]+offset)
+			cc = append(cc, cols[k])
+			vv = append(vv, vals[k])
+		}
+		offset += m.nrows
+	}
+	if err := out.Build(rr, cc, vv, Second[T]); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ConcatCols stacks the operands horizontally; all operands must share
+// nrows.
+func ConcatCols[T Number](ms ...*Matrix[T]) (*Matrix[T], error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("%w: concat of no matrices", ErrInvalidValue)
+	}
+	nrows := ms[0].nrows
+	var totalCols Index
+	for _, m := range ms {
+		if m.nrows != nrows {
+			return nil, fmt.Errorf("%w: concat row counts %d vs %d", ErrDimensionMismatch, m.nrows, nrows)
+		}
+		next := totalCols + m.ncols
+		if next < totalCols {
+			return nil, fmt.Errorf("%w: concat cols overflow", ErrInvalidValue)
+		}
+		totalCols = next
+	}
+	out, err := NewMatrix[T](nrows, totalCols)
+	if err != nil {
+		return nil, err
+	}
+	var offset Index
+	var rr, cc []Index
+	var vv []T
+	for _, m := range ms {
+		m.Wait()
+		rows, cols, vals := m.ExtractTuples()
+		for k := range rows {
+			rr = append(rr, rows[k])
+			cc = append(cc, cols[k]+offset)
+			vv = append(vv, vals[k])
+		}
+		offset += m.ncols
+	}
+	if err := out.Build(rr, cc, vv, Second[T]); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyIndexOp maps every stored entry through f(i, j, v), keeping the
+// pattern — the GrB_apply / IndexUnaryOp form used for positional
+// transforms (banding, reweighting by coordinates, ...).
+func ApplyIndexOp[T Number](a *Matrix[T], f func(i, j Index, v T) T) (*Matrix[T], error) {
+	if f == nil {
+		return nil, fmt.Errorf("%w: nil index operator", ErrInvalidValue)
+	}
+	a.Wait()
+	c := a.Dup()
+	k := 0
+	for r, row := range c.rows {
+		for p := c.ptr[r]; p < c.ptr[r+1]; p++ {
+			c.val[k] = f(row, c.col[p], c.val[p])
+			k++
+		}
+	}
+	return c, nil
+}
+
+// VecExtract returns the subvector v(idx[0]), v(idx[1]), … relabeled to
+// positions 0…len(idx)-1; absent entries stay absent. A nil index list
+// copies the vector (GrB_ALL).
+func VecExtract[T Number](v *Vector[T], idx []Index) (*Vector[T], error) {
+	v.Wait()
+	if idx == nil {
+		return v.Dup(), nil
+	}
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("%w: empty extract index list", ErrInvalidValue)
+	}
+	out, err := NewVector[T](Index(uint64(len(idx))))
+	if err != nil {
+		return nil, err
+	}
+	var oi []Index
+	var ov []T
+	for p, i := range idx {
+		if i >= v.n {
+			return nil, fmt.Errorf("%w: index %d outside vector of size %d", ErrIndexOutOfBounds, i, v.n)
+		}
+		if x, err := v.ExtractElement(i); err == nil {
+			oi = append(oi, Index(uint64(p)))
+			ov = append(ov, x)
+		}
+	}
+	if len(oi) > 0 {
+		if err := out.Build(oi, ov, Second[T]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// VecSelect returns the entries of v satisfying pred.
+func VecSelect[T Number](v *Vector[T], pred func(i Index, x T) bool) (*Vector[T], error) {
+	if pred == nil {
+		return nil, fmt.Errorf("%w: nil predicate", ErrInvalidValue)
+	}
+	v.Wait()
+	out, err := NewVector[T](v.n)
+	if err != nil {
+		return nil, err
+	}
+	var oi []Index
+	var ov []T
+	v.Iterate(func(i Index, x T) bool {
+		if pred(i, x) {
+			oi = append(oi, i)
+			ov = append(ov, x)
+		}
+		return true
+	})
+	if len(oi) > 0 {
+		if err := out.Build(oi, ov, Second[T]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+package gb
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResizeGrowKeepsEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(80))
+	a := randMatrix(r, 32, 32, 100)
+	before := a.Dup()
+	if err := a.Resize(1<<40, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	if a.NRows() != 1<<40 || a.NCols() != 1<<40 {
+		t.Fatalf("dims = %dx%d", a.NRows(), a.NCols())
+	}
+	if a.NVals() != before.NVals() {
+		t.Fatalf("grow lost entries: %d vs %d", a.NVals(), before.NVals())
+	}
+	// Entries beyond the old bounds are now legal.
+	if err := a.SetElement(1<<39, 1<<39, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeShrinkDropsOutside(t *testing.T) {
+	a := MustNewMatrix[int64](100, 100)
+	_ = a.SetElement(5, 5, 1)
+	_ = a.SetElement(50, 5, 2)
+	_ = a.SetElement(5, 50, 3)
+	_ = a.SetElement(99, 99, 4)
+	if err := a.Resize(10, 10); err != nil {
+		t.Fatal(err)
+	}
+	mustInvariants(t, a)
+	if a.NVals() != 1 {
+		t.Fatalf("NVals = %d, want 1", a.NVals())
+	}
+	v, err := a.ExtractElement(5, 5)
+	if err != nil || v != 1 {
+		t.Fatalf("survivor = %d, %v", v, err)
+	}
+	if err := a.SetElement(50, 5, 1); !errors.Is(err, ErrIndexOutOfBounds) {
+		t.Fatalf("old bounds still accepted: %v", err)
+	}
+}
+
+func TestResizeRejectsZero(t *testing.T) {
+	a := MustNewMatrix[int64](4, 4)
+	if err := a.Resize(0, 4); !errors.Is(err, ErrInvalidValue) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestConcatRows(t *testing.T) {
+	a := MustNewMatrix[int64](2, 4)
+	_ = a.SetElement(1, 3, 10)
+	b := MustNewMatrix[int64](3, 4)
+	_ = b.SetElement(0, 0, 20)
+	c, err := ConcatRows(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NRows() != 5 || c.NCols() != 4 {
+		t.Fatalf("dims = %dx%d", c.NRows(), c.NCols())
+	}
+	v, _ := c.ExtractElement(1, 3)
+	if v != 10 {
+		t.Fatalf("a entry = %d", v)
+	}
+	v, _ = c.ExtractElement(2, 0) // b's row 0 offset by a's 2 rows
+	if v != 20 {
+		t.Fatalf("b entry = %d", v)
+	}
+	if _, err := ConcatRows[int64](); !errors.Is(err, ErrInvalidValue) {
+		t.Fatalf("empty concat: %v", err)
+	}
+	bad := MustNewMatrix[int64](2, 5)
+	if _, err := ConcatRows(a, bad); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("mismatched cols: %v", err)
+	}
+}
+
+func TestConcatColsMatchesTransposedConcatRows(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	f := func() bool {
+		a := randMatrix(r, 16, 12, 40)
+		b := randMatrix(r, 16, 20, 40)
+		cc, err := ConcatCols(a, b)
+		if err != nil {
+			return false
+		}
+		at, _ := Transpose(a)
+		bt, _ := Transpose(b)
+		cr, err := ConcatRows(at, bt)
+		if err != nil {
+			return false
+		}
+		cct, _ := Transpose(cc)
+		return Equal(cct, cr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatRowsNVals(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	a := randMatrix(r, 8, 8, 30)
+	b := randMatrix(r, 8, 8, 30)
+	c, err := ConcatRows(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NVals() != a.NVals()+b.NVals() {
+		t.Fatalf("concat nnz %d != %d + %d", c.NVals(), a.NVals(), b.NVals())
+	}
+}
+
+func TestApplyIndexOp(t *testing.T) {
+	a := MustNewMatrix[int64](8, 8)
+	_ = a.SetElement(2, 3, 10)
+	_ = a.SetElement(5, 1, 20)
+	c, err := ApplyIndexOp(a, func(i, j Index, v int64) int64 {
+		return v + int64(i)*100 + int64(j)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := c.ExtractElement(2, 3)
+	if v != 10+200+3 {
+		t.Fatalf("indexed apply = %d", v)
+	}
+	v, _ = c.ExtractElement(5, 1)
+	if v != 20+500+1 {
+		t.Fatalf("indexed apply = %d", v)
+	}
+	if _, err := ApplyIndexOp[int64](a, nil); !errors.Is(err, ErrInvalidValue) {
+		t.Fatalf("nil op: %v", err)
+	}
+	// Original untouched.
+	v, _ = a.ExtractElement(2, 3)
+	if v != 10 {
+		t.Fatalf("original mutated: %d", v)
+	}
+}
+
+func TestVecExtract(t *testing.T) {
+	v := MustNewVector[int64](100)
+	_ = v.SetElement(10, 1)
+	_ = v.SetElement(20, 2)
+	_ = v.SetElement(30, 3)
+	sub, err := VecExtract(v, []Index{20, 99, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Size() != 3 || sub.NVals() != 2 {
+		t.Fatalf("sub = size %d nvals %d", sub.Size(), sub.NVals())
+	}
+	x, _ := sub.ExtractElement(0) // position of index 20
+	if x != 2 {
+		t.Fatalf("sub(0) = %d", x)
+	}
+	x, _ = sub.ExtractElement(2) // position of index 10
+	if x != 1 {
+		t.Fatalf("sub(2) = %d", x)
+	}
+	all, err := VecExtract(v, nil)
+	if err != nil || !VecEqual(all, v) {
+		t.Fatalf("GrB_ALL extract: %v", err)
+	}
+	if _, err := VecExtract(v, []Index{}); !errors.Is(err, ErrInvalidValue) {
+		t.Fatalf("empty list: %v", err)
+	}
+	if _, err := VecExtract(v, []Index{200}); !errors.Is(err, ErrIndexOutOfBounds) {
+		t.Fatalf("oob: %v", err)
+	}
+}
+
+func TestVecSelect(t *testing.T) {
+	v := MustNewVector[int64](100)
+	for k := Index(0); k < 10; k++ {
+		_ = v.SetElement(k, int64(k))
+	}
+	odd, err := VecSelect(v, func(_ Index, x int64) bool { return x%2 == 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if odd.NVals() != 5 {
+		t.Fatalf("NVals = %d", odd.NVals())
+	}
+	none, err := VecSelect(v, func(Index, int64) bool { return false })
+	if err != nil || none.NVals() != 0 {
+		t.Fatalf("empty select: %d, %v", none.NVals(), err)
+	}
+	if _, err := VecSelect[int64](v, nil); !errors.Is(err, ErrInvalidValue) {
+		t.Fatalf("nil pred: %v", err)
+	}
+}

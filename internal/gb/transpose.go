@@ -1,0 +1,117 @@
+package gb
+
+// Transpose returns A with rows and columns exchanged. The kernel is a
+// bucket transpose over the distinct column ids: O(nnz log nnzcols) to
+// discover and index the columns, then a single scatter pass.
+func Transpose[T Number](a *Matrix[T]) (*Matrix[T], error) {
+	a.Wait()
+	c := &Matrix[T]{nrows: a.ncols, ncols: a.nrows, accum: a.accum, ptr: []int{0}}
+	nnz := len(a.col)
+	if nnz == 0 {
+		return c, nil
+	}
+
+	// Distinct, sorted column ids become the output's non-empty rows.
+	outRows := append([]Index(nil), a.col...)
+	sortIndices(outRows)
+	outRows = dedupeSorted(outRows)
+
+	counts := make([]int, len(outRows)+1)
+	for _, j := range a.col {
+		k, _ := searchIndex(outRows, j)
+		counts[k+1]++
+	}
+	for k := 1; k < len(counts); k++ {
+		counts[k] += counts[k-1]
+	}
+	ptr := append([]int(nil), counts...)
+
+	col := make([]Index, nnz)
+	val := make([]T, nnz)
+	cursor := append([]int(nil), counts[:len(counts)-1]...)
+	// Row-major input order means each output row receives its (new)
+	// column ids in increasing order, so no per-row sort is needed.
+	for k, r := range a.rows {
+		for p := a.ptr[k]; p < a.ptr[k+1]; p++ {
+			o, _ := searchIndex(outRows, a.col[p])
+			col[cursor[o]] = r
+			val[cursor[o]] = a.val[p]
+			cursor[o]++
+		}
+	}
+	c.rows = outRows
+	c.ptr = ptr
+	c.col = col
+	c.val = val
+	return c, nil
+}
+
+// sortIndices sorts an Index slice ascending (radix-free, stdlib sort).
+func sortIndices(s []Index) {
+	// Simple pdq via sort.Slice; hot paths pre-sort larger structures.
+	if len(s) < 2 {
+		return
+	}
+	quickSortIndices(s)
+}
+
+func quickSortIndices(s []Index) {
+	for len(s) > 12 {
+		p := medianOfThree(s)
+		lo, hi := 0, len(s)-1
+		for lo <= hi {
+			for s[lo] < p {
+				lo++
+			}
+			for s[hi] > p {
+				hi--
+			}
+			if lo <= hi {
+				s[lo], s[hi] = s[hi], s[lo]
+				lo++
+				hi--
+			}
+		}
+		if hi+1 < len(s)-lo { // recurse on smaller side first
+			quickSortIndices(s[:hi+1])
+			s = s[lo:]
+		} else {
+			quickSortIndices(s[lo:])
+			s = s[:hi+1]
+		}
+	}
+	for i := 1; i < len(s); i++ { // insertion sort tail
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func medianOfThree(s []Index) Index {
+	a, b, c := s[0], s[len(s)/2], s[len(s)-1]
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+		if a > b {
+			b = a
+		}
+	}
+	return b
+}
+
+// dedupeSorted removes adjacent duplicates from a sorted slice in place.
+func dedupeSorted(s []Index) []Index {
+	if len(s) == 0 {
+		return s
+	}
+	w := 0
+	for r := 1; r < len(s); r++ {
+		if s[r] != s[w] {
+			w++
+			s[w] = s[r]
+		}
+	}
+	return s[:w+1]
+}

@@ -1,0 +1,216 @@
+package gb
+
+import "slices"
+
+// Wait materializes all pending updates into the DCSR structure, combining
+// duplicates with the matrix accumulator. It is idempotent and cheap when
+// nothing is pending. This is the analogue of GrB_Matrix_wait: after Wait,
+// NVals/Iterate/algebraic kernels see a fully assembled matrix.
+//
+// Cost: O(p log p) to sort p pending tuples plus O(p + nvals) to union-merge
+// with the existing structure. The hierarchical cascade keeps p and nvals
+// small at the lowest level, which is where almost all Waits happen.
+func (m *Matrix[T]) Wait() {
+	if len(m.pending) == 0 {
+		return
+	}
+	sortTuples(m.pending)
+	dd := combineDuplicates(m.pending, m.accum)
+	m.pending = nil
+
+	pr, pp, pc, pv := dcsrFromSortedTuples(dd)
+	if len(m.col) == 0 {
+		m.rows, m.ptr, m.col, m.val = pr, pp, pc, pv
+		return
+	}
+	m.rows, m.ptr, m.col, m.val = mergeDCSR(
+		m.rows, m.ptr, m.col, m.val,
+		pr, pp, pc, pv,
+		m.accum,
+	)
+}
+
+// sortTuples orders tuples by (row, col) ascending; equal keys keep their
+// relative order (stable), so duplicate combination is deterministic even
+// for non-commutative accumulators.
+//
+// When every index fits in 32 bits — the IPv4 traffic-matrix case and the
+// hot path of the streaming benchmarks — the (row, col) pair packs into a
+// single uint64 key and an LSD radix sort (stable by construction) replaces
+// the comparison sort, skipping passes whose key byte is constant.
+func sortTuples[T Number](t []Tuple[T]) {
+	if len(t) < 2 {
+		return
+	}
+	var any Index
+	for k := range t {
+		any |= t[k].Row | t[k].Col
+	}
+	if any < 1<<32 && len(t) >= 128 {
+		radixSortPacked(t)
+		return
+	}
+	slices.SortStableFunc(t, func(a, b Tuple[T]) int {
+		switch {
+		case a.Row < b.Row:
+			return -1
+		case a.Row > b.Row:
+			return 1
+		case a.Col < b.Col:
+			return -1
+		case a.Col > b.Col:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// radixSortPacked sorts tuples by the packed key row<<32|col with an LSD
+// byte-wise counting sort. Counting sort is stable, so the composition is
+// stable. Byte positions where every key agrees (all&any masks) are
+// skipped — power-law batches typically need only 4-6 of the 8 passes.
+func radixSortPacked[T Number](t []Tuple[T]) {
+	type packed struct {
+		key uint64
+		val T
+	}
+	n := len(t)
+	a := make([]packed, n)
+	b := make([]packed, n)
+	andKey := ^uint64(0)
+	orKey := uint64(0)
+	for k := range t {
+		key := uint64(t[k].Row)<<32 | uint64(t[k].Col)
+		a[k] = packed{key: key, val: t[k].Val}
+		andKey &= key
+		orKey |= key
+	}
+	var counts [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		// Skip the pass if this byte is identical across all keys.
+		if byte(andKey>>shift) == byte(orKey>>shift) {
+			continue
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for k := 0; k < n; k++ {
+			counts[byte(a[k].key>>shift)]++
+		}
+		sum := 0
+		for i := range counts {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+		for k := 0; k < n; k++ {
+			d := byte(a[k].key >> shift)
+			b[counts[d]] = a[k]
+			counts[d]++
+		}
+		a, b = b, a
+	}
+	for k := range t {
+		t[k] = Tuple[T]{Row: Index(a[k].key >> 32), Col: Index(a[k].key & 0xffffffff), Val: a[k].val}
+	}
+}
+
+// combineDuplicates collapses runs of equal (row, col) in sorted tuples by
+// folding values left-to-right with op. It reuses the input slice.
+func combineDuplicates[T Number](t []Tuple[T], op BinaryOp[T]) []Tuple[T] {
+	if len(t) == 0 {
+		return t
+	}
+	w := 0
+	for r := 1; r < len(t); r++ {
+		if t[r].Row == t[w].Row && t[r].Col == t[w].Col {
+			t[w].Val = op(t[w].Val, t[r].Val)
+		} else {
+			w++
+			t[w] = t[r]
+		}
+	}
+	return t[:w+1]
+}
+
+// dcsrFromSortedTuples builds DCSR arrays from sorted, duplicate-free tuples.
+func dcsrFromSortedTuples[T Number](t []Tuple[T]) (rows []Index, ptr []int, col []Index, val []T) {
+	col = make([]Index, len(t))
+	val = make([]T, len(t))
+	ptr = []int{0}
+	for k := range t {
+		if len(rows) == 0 || rows[len(rows)-1] != t[k].Row {
+			if len(rows) != 0 {
+				ptr = append(ptr, k)
+			}
+			rows = append(rows, t[k].Row)
+		}
+		col[k] = t[k].Col
+		val[k] = t[k].Val
+	}
+	ptr = append(ptr, len(t))
+	if len(rows) == 0 {
+		ptr = []int{0}
+	}
+	return rows, ptr, col, val
+}
+
+// mergeDCSR union-merges two DCSR structures, combining colliding entries
+// with op (left operand from the a side). It is the single kernel behind
+// Wait and EWiseAdd; its O(nnz(a)+nnz(b)) sequential sweeps are what make
+// the cascade's level-to-level addition memory-friendly.
+func mergeDCSR[T Number](
+	ar []Index, ap []int, ac []Index, av []T,
+	br []Index, bp []int, bc []Index, bv []T,
+	op BinaryOp[T],
+) (rows []Index, ptr []int, col []Index, val []T) {
+	rows = make([]Index, 0, len(ar)+len(br))
+	ptr = make([]int, 1, len(ar)+len(br)+1)
+	col = make([]Index, 0, len(ac)+len(bc))
+	val = make([]T, 0, len(av)+len(bv))
+
+	i, j := 0, 0
+	for i < len(ar) || j < len(br) {
+		switch {
+		case j >= len(br) || (i < len(ar) && ar[i] < br[j]):
+			rows = append(rows, ar[i])
+			col = append(col, ac[ap[i]:ap[i+1]]...)
+			val = append(val, av[ap[i]:ap[i+1]]...)
+			i++
+		case i >= len(ar) || br[j] < ar[i]:
+			rows = append(rows, br[j])
+			col = append(col, bc[bp[j]:bp[j+1]]...)
+			val = append(val, bv[bp[j]:bp[j+1]]...)
+			j++
+		default: // same row id: merge the two sorted column runs
+			rows = append(rows, ar[i])
+			x, xe := ap[i], ap[i+1]
+			y, ye := bp[j], bp[j+1]
+			for x < xe || y < ye {
+				switch {
+				case y >= ye || (x < xe && ac[x] < bc[y]):
+					col = append(col, ac[x])
+					val = append(val, av[x])
+					x++
+				case x >= xe || bc[y] < ac[x]:
+					col = append(col, bc[y])
+					val = append(val, bv[y])
+					y++
+				default:
+					col = append(col, ac[x])
+					val = append(val, op(av[x], bv[y]))
+					x++
+					y++
+				}
+			}
+			i++
+			j++
+		}
+		ptr = append(ptr, len(col))
+	}
+	if len(rows) == 0 {
+		ptr = []int{0}
+	}
+	return rows, ptr, col, val
+}

@@ -1,0 +1,97 @@
+package hier
+
+import (
+	"fmt"
+
+	"hhgb/internal/gb"
+)
+
+// AutoTuner adjusts the base cut of a cascade online, implementing the
+// tuning loop the paper leaves to the operator ("the parameters are easily
+// tunable to achieve optimal performance"): it replays short probe windows
+// of the live stream through candidate configurations and keeps the
+// fastest. The probe uses wall-clock-free work counters (entries moved per
+// update), so the decision is deterministic and test-friendly.
+type AutoTuner struct {
+	// Candidates are the base cuts to consider.
+	Candidates []int
+	// Ratio and Levels fix the rest of the geometry.
+	Ratio  int
+	Levels int
+	// WindowUpdates is how many updates each probe window replays.
+	WindowUpdates int
+}
+
+// DefaultAutoTuner probes base cuts 2^10 … 2^20 with the default geometry.
+func DefaultAutoTuner() AutoTuner {
+	var cands []int
+	for c := 1 << 10; c <= 1<<20; c <<= 2 {
+		cands = append(cands, c)
+	}
+	return AutoTuner{
+		Candidates:    cands,
+		Ratio:         DefaultCutRatio,
+		Levels:        DefaultLevels,
+		WindowUpdates: 200_000,
+	}
+}
+
+// Result reports one candidate's probe outcome.
+type Result struct {
+	BaseCut int
+	// WorkPerUpdate is the number of entry move/merge operations per
+	// ingested update — the deterministic cost proxy (lower is better).
+	WorkPerUpdate float64
+}
+
+// Tune replays the provided stream window (rows/cols parallel slices,
+// batched every batch entries) through every candidate and returns the
+// results sorted as given plus the index of the best candidate.
+func (at AutoTuner) Tune(rows, cols []gb.Index, batch int, dim gb.Index) ([]Result, int, error) {
+	if len(rows) != len(cols) {
+		return nil, 0, fmt.Errorf("%w: probe slices %d/%d differ", gb.ErrInvalidValue, len(rows), len(cols))
+	}
+	if len(rows) == 0 {
+		return nil, 0, fmt.Errorf("%w: empty probe window", gb.ErrInvalidValue)
+	}
+	if batch < 1 {
+		return nil, 0, fmt.Errorf("%w: batch %d < 1", gb.ErrInvalidValue, batch)
+	}
+	if len(at.Candidates) == 0 {
+		return nil, 0, fmt.Errorf("%w: no candidates", gb.ErrInvalidValue)
+	}
+	vals := make([]uint64, batch)
+	for k := range vals {
+		vals[k] = 1
+	}
+	results := make([]Result, 0, len(at.Candidates))
+	best := 0
+	for ci, base := range at.Candidates {
+		h, err := New[uint64](dim, dim, Config{Cuts: GeometricCuts(at.Levels, base, at.Ratio)})
+		if err != nil {
+			return nil, 0, err
+		}
+		for done := 0; done < len(rows); done += batch {
+			end := done + batch
+			if end > len(rows) {
+				end = len(rows)
+			}
+			if err := h.Update(rows[done:end], cols[done:end], vals[:end-done]); err != nil {
+				return nil, 0, err
+			}
+		}
+		s := h.Stats()
+		var moved int64
+		for _, m := range s.CascadedEntries {
+			moved += m
+		}
+		// Each ingested entry is sorted once (1 unit) plus every cascade
+		// move costs a merge touch.
+		work := float64(s.Updates+moved) / float64(s.Updates)
+		results = append(results, Result{BaseCut: base, WorkPerUpdate: work})
+		if work < results[best].WorkPerUpdate {
+			best = ci
+		}
+	}
+	return results, best, nil
+}

@@ -1,0 +1,144 @@
+package hier
+
+import (
+	"fmt"
+	"sync"
+
+	"hhgb/internal/gb"
+)
+
+// Concurrent wraps a hierarchical matrix with a mutex so multiple goroutines
+// can stream into one instance. The paper's experiment gives every process
+// its own instance (shared-nothing, see Sharded); Concurrent exists for
+// applications that must share one logical matrix.
+type Concurrent[T gb.Number] struct {
+	mu sync.Mutex
+	m  *Matrix[T]
+}
+
+// NewConcurrent returns a thread-safe hierarchical matrix.
+func NewConcurrent[T gb.Number](nrows, ncols gb.Index, cfg Config) (*Concurrent[T], error) {
+	m, err := New[T](nrows, ncols, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Concurrent[T]{m: m}, nil
+}
+
+// Update ingests a batch under the lock.
+func (c *Concurrent[T]) Update(rows, cols []gb.Index, vals []T) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Update(rows, cols, vals)
+}
+
+// Query materializes the total under the lock.
+func (c *Concurrent[T]) Query() (*gb.Matrix[T], error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Query()
+}
+
+// Stats returns a copy of the counters under the lock.
+func (c *Concurrent[T]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Stats()
+}
+
+// NVals returns the distinct entry count under the lock.
+func (c *Concurrent[T]) NVals() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.NVals()
+}
+
+// Sharded partitions one logical traffic matrix across K independent
+// hierarchical instances by hashing the row id. Each shard has its own
+// lock, so ingest scales with shard count — the single-node analogue of
+// the paper's 31,000 independent instances.
+type Sharded[T gb.Number] struct {
+	shards []*Concurrent[T]
+}
+
+// NewSharded returns a sharded hierarchical matrix with k shards.
+func NewSharded[T gb.Number](nrows, ncols gb.Index, cfg Config, k int) (*Sharded[T], error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: shard count %d < 1", gb.ErrInvalidValue, k)
+	}
+	s := &Sharded[T]{}
+	for i := 0; i < k; i++ {
+		c, err := NewConcurrent[T](nrows, ncols, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, c)
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Sharded[T]) NumShards() int { return len(s.shards) }
+
+// shardOf routes a row id to a shard with a 64-bit mix (splitmix64 final
+// avalanche), keeping power-law-skewed row spaces balanced.
+func (s *Sharded[T]) shardOf(row gb.Index) int {
+	x := uint64(row)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(len(s.shards)))
+}
+
+// Update routes each tuple to its shard and ingests per-shard sub-batches.
+func (s *Sharded[T]) Update(rows, cols []gb.Index, vals []T) error {
+	if len(rows) != len(cols) || len(rows) != len(vals) {
+		return fmt.Errorf("%w: slice lengths %d/%d/%d differ", gb.ErrInvalidValue, len(rows), len(cols), len(vals))
+	}
+	k := len(s.shards)
+	if k == 1 {
+		return s.shards[0].Update(rows, cols, vals)
+	}
+	bRows := make([][]gb.Index, k)
+	bCols := make([][]gb.Index, k)
+	bVals := make([][]T, k)
+	for i := range rows {
+		sh := s.shardOf(rows[i])
+		bRows[sh] = append(bRows[sh], rows[i])
+		bCols[sh] = append(bCols[sh], cols[i])
+		bVals[sh] = append(bVals[sh], vals[i])
+	}
+	for sh := 0; sh < k; sh++ {
+		if len(bRows[sh]) == 0 {
+			continue
+		}
+		if err := s.shards[sh].Update(bRows[sh], bCols[sh], bVals[sh]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query sums the totals of every shard into one matrix.
+func (s *Sharded[T]) Query() (*gb.Matrix[T], error) {
+	var parts []*gb.Matrix[T]
+	for _, sh := range s.shards {
+		q, err := sh.Query()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, q)
+	}
+	return gb.Sum(parts...)
+}
+
+// NVals returns the distinct entry count of the combined matrix.
+func (s *Sharded[T]) NVals() (int, error) {
+	q, err := s.Query()
+	if err != nil {
+		return 0, err
+	}
+	return q.NVals(), nil
+}

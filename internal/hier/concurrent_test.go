@@ -1,0 +1,144 @@
+package hier
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hhgb/internal/gb"
+)
+
+func TestConcurrentParallelIngest(t *testing.T) {
+	c, err := NewConcurrent[int64](1<<30, 1<<30, Config{Cuts: []int{256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for k := 0; k < perWorker; k++ {
+				rows := []gb.Index{gb.Index(r.Uint64() % (1 << 30))}
+				cols := []gb.Index{gb.Index(r.Uint64() % (1 << 30))}
+				if err := c.Update(rows, cols, []int64{1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Updates != workers*perWorker {
+		t.Fatalf("updates = %d, want %d", s.Updates, workers*perWorker)
+	}
+	q, err := c.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass, _ := gb.ReduceScalar(q, gb.Plus[int64]())
+	if mass != workers*perWorker {
+		t.Fatalf("value mass = %d, want %d", mass, workers*perWorker)
+	}
+}
+
+func TestShardedMatchesUnsharded(t *testing.T) {
+	r := rand.New(rand.NewSource(200))
+	s, err := NewSharded[int64](1<<20, 1<<20, Config{Cuts: []int{64}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := gb.MustNewMatrix[int64](1<<20, 1<<20)
+	for step := 0; step < 100; step++ {
+		sz := 1 + r.Intn(50)
+		rows := make([]gb.Index, sz)
+		cols := make([]gb.Index, sz)
+		vals := make([]int64, sz)
+		for k := 0; k < sz; k++ {
+			rows[k] = gb.Index(r.Uint64() % (1 << 20))
+			cols[k] = gb.Index(r.Uint64() % (1 << 20))
+			vals[k] = int64(r.Intn(5) + 1)
+		}
+		if err := s.Update(rows, cols, vals); err != nil {
+			t.Fatal(err)
+		}
+		_ = flat.AppendTuples(rows, cols, vals)
+	}
+	q, err := s.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gb.Equal(q, flat) {
+		t.Fatal("sharded total != flat reference")
+	}
+	n, err := s.NVals()
+	if err != nil || n != flat.NVals() {
+		t.Fatalf("NVals = %d, want %d (%v)", n, flat.NVals(), err)
+	}
+}
+
+func TestShardedSingleShardFastPath(t *testing.T) {
+	s, err := NewSharded[int64](64, 64, Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != 1 {
+		t.Fatalf("shards = %d", s.NumShards())
+	}
+	if err := s.Update([]gb.Index{1}, []gb.Index{2}, []int64{3}); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := s.Query()
+	v, _ := q.ExtractElement(1, 2)
+	if v != 3 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestShardedRejectsBadArgs(t *testing.T) {
+	if _, err := NewSharded[int64](64, 64, Config{}, 0); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("zero shards: %v", err)
+	}
+	s, _ := NewSharded[int64](64, 64, Config{}, 3)
+	if err := s.Update([]gb.Index{1}, []gb.Index{1, 2}, []int64{1}); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("length mismatch: %v", err)
+	}
+}
+
+func TestShardedParallelIngestConservesMass(t *testing.T) {
+	s, _ := NewSharded[int64](1<<30, 1<<30, Config{Cuts: []int{128}}, 4)
+	const workers = 6
+	const perWorker = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + 1000))
+			for k := 0; k < perWorker; k++ {
+				if err := s.Update(
+					[]gb.Index{gb.Index(r.Uint64() % (1 << 30))},
+					[]gb.Index{gb.Index(r.Uint64() % (1 << 30))},
+					[]int64{1},
+				); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	q, err := s.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass, _ := gb.ReduceScalar(q, gb.Plus[int64]())
+	if mass != workers*perWorker {
+		t.Fatalf("mass = %d, want %d", mass, workers*perWorker)
+	}
+}

@@ -1,0 +1,71 @@
+package hier
+
+import (
+	"fmt"
+	"testing"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/powerlaw"
+)
+
+// benchStream pre-generates pool batches of the given size.
+func benchStream(b *testing.B, pool, batch, scale int) ([][]gb.Index, [][]gb.Index, []uint64) {
+	b.Helper()
+	g, err := powerlaw.NewRMAT(scale, 0xcafe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]gb.Index, pool)
+	cols := make([][]gb.Index, pool)
+	for p := 0; p < pool; p++ {
+		rows[p] = make([]gb.Index, batch)
+		cols[p] = make([]gb.Index, batch)
+		if err := g.Fill(rows[p], cols[p]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	vals := make([]uint64, batch)
+	for k := range vals {
+		vals[k] = 1
+	}
+	return rows, cols, vals
+}
+
+// BenchmarkUpdate measures the streaming ingest path at the paper's batch
+// size across cascade depths.
+func BenchmarkUpdate(b *testing.B) {
+	const batch = 100_000
+	rows, cols, vals := benchStream(b, 8, batch, 32)
+	for _, levels := range []int{1, 2, 4, 6} {
+		b.Run(fmt.Sprintf("levels=%d", levels), func(b *testing.B) {
+			h := MustNew[uint64](1<<32, 1<<32, Config{Cuts: GeometricCuts(levels, DefaultBaseCut, DefaultCutRatio)})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := i % len(rows)
+				if err := h.Update(rows[p], cols[p], vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "updates/s")
+		})
+	}
+}
+
+// BenchmarkQuery measures materializing A = Σ Ai after substantial ingest.
+func BenchmarkQuery(b *testing.B) {
+	const batch = 100_000
+	rows, cols, vals := benchStream(b, 8, batch, 32)
+	h := MustNew[uint64](1<<32, 1<<32, DefaultConfig())
+	for p := 0; p < len(rows); p++ {
+		if err := h.Update(rows[p], cols[p], vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Query(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package hier
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hhgb/internal/gb"
+)
+
+// streamInto pushes n random updates in batches of batch into both a
+// hierarchical matrix and a reference flat matrix.
+func streamInto(t *testing.T, r *rand.Rand, h *Matrix[int64], flat *gb.Matrix[int64], n, batch int, dim gb.Index) {
+	t.Helper()
+	for done := 0; done < n; {
+		sz := batch
+		if n-done < sz {
+			sz = n - done
+		}
+		rows := make([]gb.Index, sz)
+		cols := make([]gb.Index, sz)
+		vals := make([]int64, sz)
+		for k := 0; k < sz; k++ {
+			rows[k] = gb.Index(r.Uint64() % uint64(dim))
+			cols[k] = gb.Index(r.Uint64() % uint64(dim))
+			vals[k] = int64(r.Intn(7) + 1)
+		}
+		if err := h.Update(rows, cols, vals); err != nil {
+			t.Fatal(err)
+		}
+		if err := flat.AppendTuples(rows, cols, vals); err != nil {
+			t.Fatal(err)
+		}
+		done += sz
+	}
+}
+
+func TestGeometricCuts(t *testing.T) {
+	cuts := GeometricCuts(4, 100, 10)
+	want := []int{100, 1000, 10000}
+	if len(cuts) != 3 {
+		t.Fatalf("cuts = %v", cuts)
+	}
+	for i := range want {
+		if cuts[i] != want[i] {
+			t.Fatalf("cuts = %v, want %v", cuts, want)
+		}
+	}
+	if c := GeometricCuts(1, 100, 10); len(c) != 0 {
+		t.Fatalf("single level cuts = %v", c)
+	}
+	if c := GeometricCuts(0, 100, 10); c != nil {
+		t.Fatalf("zero levels cuts = %v", c)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Cuts: []int{10, 0}}).Validate(); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("zero cut: %v", err)
+	}
+	if err := (Config{Cuts: []int{10, 100}}).Validate(); err != nil {
+		t.Fatalf("valid cuts: %v", err)
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config: %v", err)
+	}
+	if got := DefaultConfig().Levels(); got != DefaultLevels {
+		t.Fatalf("default levels = %d", got)
+	}
+}
+
+func TestSingleLevelDegeneratesToFlat(t *testing.T) {
+	h := MustNew[int64](64, 64, Config{})
+	if h.NumLevels() != 1 {
+		t.Fatalf("levels = %d", h.NumLevels())
+	}
+	_ = h.Update([]gb.Index{1}, []gb.Index{2}, []int64{3})
+	q, err := h.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := q.ExtractElement(1, 2)
+	if v != 3 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestLinearityEquivalenceProperty(t *testing.T) {
+	// The paper's central mathematical claim: for ANY cuts, the hierarchy
+	// is exactly equivalent to flat accumulation.
+	r := rand.New(rand.NewSource(100))
+	f := func() bool {
+		levels := 1 + r.Intn(5)
+		cuts := make([]int, levels-1)
+		for i := range cuts {
+			cuts[i] = 1 + r.Intn(200)
+		}
+		h := MustNew[int64](256, 256, Config{Cuts: cuts})
+		flat := gb.MustNewMatrix[int64](256, 256)
+		n := 200 + r.Intn(2000)
+		batch := 1 + r.Intn(97)
+		for done := 0; done < n; done += batch {
+			sz := batch
+			if n-done < sz {
+				sz = n - done
+			}
+			rows := make([]gb.Index, sz)
+			cols := make([]gb.Index, sz)
+			vals := make([]int64, sz)
+			for k := 0; k < sz; k++ {
+				rows[k] = gb.Index(r.Uint64() % 256)
+				cols[k] = gb.Index(r.Uint64() % 256)
+				vals[k] = int64(r.Intn(9) - 4)
+			}
+			if err := h.Update(rows, cols, vals); err != nil {
+				return false
+			}
+			_ = flat.AppendTuples(rows, cols, vals)
+		}
+		q, err := h.Query()
+		if err != nil {
+			return false
+		}
+		return gb.Equal(q, flat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutBoundInvariant(t *testing.T) {
+	// After every Update, nnz(Ai) <= ci for all non-top levels.
+	r := rand.New(rand.NewSource(101))
+	cuts := []int{50, 500}
+	h := MustNew[int64](1<<30, 1<<30, Config{Cuts: cuts})
+	for step := 0; step < 300; step++ {
+		sz := 1 + r.Intn(40)
+		rows := make([]gb.Index, sz)
+		cols := make([]gb.Index, sz)
+		vals := make([]int64, sz)
+		for k := 0; k < sz; k++ {
+			rows[k] = gb.Index(r.Uint64() % (1 << 30))
+			cols[k] = gb.Index(r.Uint64() % (1 << 30))
+			vals[k] = 1
+		}
+		if err := h.Update(rows, cols, vals); err != nil {
+			t.Fatal(err)
+		}
+		lv := h.LevelNVals()
+		for i, cut := range cuts {
+			if lv[i] > cut {
+				t.Fatalf("step %d: level %d has %d > cut %d", step, i, lv[i], cut)
+			}
+		}
+	}
+}
+
+func TestQueryDoesNotDisturbState(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	h := MustNew[int64](128, 128, Config{Cuts: []int{20}})
+	flat := gb.MustNewMatrix[int64](128, 128)
+	streamInto(t, r, h, flat, 500, 13, 128)
+	before := h.LevelNVals()
+	q1, err := h.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := h.LevelNVals()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("Query changed level %d: %d -> %d", i, before[i], after[i])
+		}
+	}
+	// Query is repeatable.
+	q2, err := h.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gb.Equal(q1, q2) {
+		t.Fatal("repeated Query differs")
+	}
+	// And stream can continue after a query.
+	streamInto(t, r, h, flat, 200, 7, 128)
+	q3, _ := h.Query()
+	if !gb.Equal(q3, flat) {
+		t.Fatal("post-query stream diverged from flat reference")
+	}
+}
+
+func TestFlushCollapsesToTop(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	h := MustNew[int64](128, 128, Config{Cuts: []int{10, 100}})
+	flat := gb.MustNewMatrix[int64](128, 128)
+	streamInto(t, r, h, flat, 700, 9, 128)
+	top, err := h.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gb.Equal(top, flat) {
+		t.Fatal("Flush total != flat reference")
+	}
+	lv := h.LevelNVals()
+	for i := 0; i < len(lv)-1; i++ {
+		if lv[i] != 0 {
+			t.Fatalf("level %d not empty after Flush: %d", i, lv[i])
+		}
+	}
+	// Stream continues correctly after Flush.
+	streamInto(t, r, h, flat, 300, 11, 128)
+	q, _ := h.Query()
+	if !gb.Equal(q, flat) {
+		t.Fatal("post-flush stream diverged")
+	}
+}
+
+func TestUpdateMatrix(t *testing.T) {
+	h := MustNew[int64](64, 64, Config{Cuts: []int{5}})
+	a := gb.MustNewMatrix[int64](64, 64)
+	for i := gb.Index(0); i < 10; i++ {
+		_ = a.SetElement(i, i, 2)
+	}
+	if err := h.UpdateMatrix(a); err != nil {
+		t.Fatal(err)
+	}
+	n, err := h.NVals()
+	if err != nil || n != 10 {
+		t.Fatalf("NVals = %d, %v", n, err)
+	}
+	// Cut of 5 exceeded: level 0 must have cascaded.
+	if h.Stats().Cascades[0] != 1 {
+		t.Fatalf("cascades = %v", h.Stats().Cascades)
+	}
+	bad := gb.MustNewMatrix[int64](32, 32)
+	if err := h.UpdateMatrix(bad); !errors.Is(err, gb.ErrDimensionMismatch) {
+		t.Fatalf("dim mismatch: %v", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	h := MustNew[int64](1<<20, 1<<20, Config{Cuts: []int{100}})
+	r := rand.New(rand.NewSource(104))
+	total := 0
+	batches := 0
+	for step := 0; step < 50; step++ {
+		sz := 25
+		rows := make([]gb.Index, sz)
+		cols := make([]gb.Index, sz)
+		vals := make([]int64, sz)
+		for k := 0; k < sz; k++ {
+			rows[k] = gb.Index(r.Uint64() % (1 << 20))
+			cols[k] = gb.Index(r.Uint64() % (1 << 20))
+			vals[k] = 1
+		}
+		_ = h.Update(rows, cols, vals)
+		total += sz
+		batches++
+	}
+	s := h.Stats()
+	if s.Updates != int64(total) || s.Batches != int64(batches) {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Cascades[0] == 0 {
+		t.Fatal("expected cascades with cut=100 and 1250 sparse updates")
+	}
+	// Cascaded traffic into slow memory must be far less than 1 entry per
+	// update ingested — the memory-pressure claim in its simplest form.
+	if s.CascadedEntries[0] > s.Updates {
+		t.Fatalf("cascade moved more entries (%d) than were ingested (%d)", s.CascadedEntries[0], s.Updates)
+	}
+	h.ResetStats()
+	if h.Stats().Updates != 0 || h.Stats().Cascades[0] != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestClear(t *testing.T) {
+	h := MustNew[int64](64, 64, DefaultConfig())
+	_ = h.Update([]gb.Index{1}, []gb.Index{1}, []int64{1})
+	h.Clear()
+	n, err := h.NVals()
+	if err != nil || n != 0 {
+		t.Fatalf("after clear: %d, %v", n, err)
+	}
+}
+
+func TestUpdateOutOfBoundsRejected(t *testing.T) {
+	h := MustNew[int64](16, 16, DefaultConfig())
+	err := h.Update([]gb.Index{16}, []gb.Index{0}, []int64{1})
+	if !errors.Is(err, gb.ErrIndexOutOfBounds) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New[int64](16, 16, Config{Cuts: []int{-1}}); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := New[int64](0, 16, Config{}); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("zero dim: %v", err)
+	}
+}
+
+func TestDuplicateHeavyStreamCollapses(t *testing.T) {
+	// A stream hammering few distinct keys must keep all levels tiny:
+	// duplicates combine in fast memory and cascades stay rare.
+	h := MustNew[int64](1<<40, 1<<40, Config{Cuts: []int{64, 1024}})
+	for step := 0; step < 1000; step++ {
+		rows := []gb.Index{gb.Index(uint64(step % 8))}
+		cols := []gb.Index{gb.Index(uint64(step % 4))}
+		if err := h.Update(rows, cols, []int64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := h.NVals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("distinct entries = %d, want 8", n)
+	}
+	if h.Stats().Cascades[0] != 0 {
+		t.Fatalf("duplicate-heavy stream should never cascade, got %v", h.Stats().Cascades)
+	}
+	q, _ := h.Query()
+	total, _ := gb.ReduceScalar(q, gb.Plus[int64]())
+	if total != 1000 {
+		t.Fatalf("value mass = %d, want 1000", total)
+	}
+}
+
+func TestLevelAccessor(t *testing.T) {
+	h := MustNew[int64](16, 16, Config{Cuts: []int{2}})
+	_ = h.Update([]gb.Index{1}, []gb.Index{1}, []int64{1})
+	if h.Level(0) == nil || h.Level(1) == nil {
+		t.Fatal("nil level")
+	}
+	if h.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestDeepCascadePropagates(t *testing.T) {
+	// Tiny cuts force promotions through every level in one Update.
+	h := MustNew[int64](1<<20, 1<<20, Config{Cuts: []int{1, 2, 3}})
+	rows := make([]gb.Index, 64)
+	cols := make([]gb.Index, 64)
+	vals := make([]int64, 64)
+	for k := range rows {
+		rows[k] = gb.Index(uint64(k))
+		cols[k] = gb.Index(uint64(k))
+		vals[k] = 1
+	}
+	if err := h.Update(rows, cols, vals); err != nil {
+		t.Fatal(err)
+	}
+	s := h.Stats()
+	for i := 0; i < 3; i++ {
+		if s.Cascades[i] == 0 {
+			t.Fatalf("level %d never cascaded: %v", i, s.Cascades)
+		}
+	}
+	lv := h.LevelNVals()
+	if lv[3] != 64 {
+		t.Fatalf("top level holds %d, want 64 (levels: %v)", lv[3], lv)
+	}
+	n, _ := h.NVals()
+	if n != 64 {
+		t.Fatalf("NVals = %d", n)
+	}
+}

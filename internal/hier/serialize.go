@@ -1,0 +1,142 @@
+package hier
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hhgb/internal/gb"
+)
+
+const hierMagic = "HHGBhier"
+
+// Encode writes the complete hierarchical matrix — configuration and every
+// level's contents — in a binary form Decode can restore. Snapshots taken
+// mid-stream resume exactly (cascade state included); this is the
+// checkpoint/restart path a long-running traffic-matrix service needs.
+func Encode[T gb.Number](w io.Writer, h *Matrix[T], c gb.Codec[T]) error {
+	if _, err := io.WriteString(w, hierMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := w.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(h.nrows); err != nil {
+		return err
+	}
+	if err := putUvarint(h.ncols); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(h.cuts))); err != nil {
+		return err
+	}
+	for _, cut := range h.cuts {
+		if err := putUvarint(uint64(cut)); err != nil {
+			return err
+		}
+	}
+	// Each level is written as a length-prefixed block so Decode can hand
+	// each one an isolated reader (gb.Decode buffers internally).
+	var block bytes.Buffer
+	for _, lvl := range h.levels {
+		block.Reset()
+		if err := gb.Encode(&block, lvl, c); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(block.Len())); err != nil {
+			return err
+		}
+		if _, err := w.Write(block.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode restores a hierarchical matrix written by Encode. Statistics
+// counters start fresh; the cascade state (per-level contents) is exact.
+func Decode[T gb.Number](r io.Reader, c gb.Codec[T]) (*Matrix[T], error) {
+	br := byteReaderOf(r)
+	magic := make([]byte, len(hierMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("hier: reading magic: %w", err)
+	}
+	if string(magic) != hierMagic {
+		return nil, fmt.Errorf("%w: bad hierarchical-matrix magic %q", gb.ErrInvalidValue, magic)
+	}
+	nrows, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	ncols, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	ncuts, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	cuts := make([]int, ncuts)
+	for i := range cuts {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		cuts[i] = int(v)
+	}
+	h, err := New[T](nrows, ncols, Config{Cuts: cuts})
+	if err != nil {
+		return nil, err
+	}
+	for i := range h.levels {
+		blockLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("hier: level %d length: %w", i, err)
+		}
+		block := make([]byte, blockLen)
+		if _, err := io.ReadFull(br, block); err != nil {
+			return nil, fmt.Errorf("hier: level %d block: %w", i, err)
+		}
+		lvl, err := gb.Decode[T](bytes.NewReader(block), c)
+		if err != nil {
+			return nil, fmt.Errorf("hier: level %d: %w", i, err)
+		}
+		if lvl.NRows() != nrows || lvl.NCols() != ncols {
+			return nil, fmt.Errorf("%w: level %d dims %dx%d != %dx%d",
+				gb.ErrInvalidValue, i, lvl.NRows(), lvl.NCols(), nrows, ncols)
+		}
+		h.levels[i] = lvl
+	}
+	return h, nil
+}
+
+// byteReaderOf adapts r to io.ByteReader without double-buffering when it
+// already implements it.
+func byteReaderOf(r io.Reader) interface {
+	io.Reader
+	io.ByteReader
+} {
+	if br, ok := r.(interface {
+		io.Reader
+		io.ByteReader
+	}); ok {
+		return br
+	}
+	return &byteReader{r: r}
+}
+
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	_, err := io.ReadFull(b.r, b.one[:])
+	return b.one[0], err
+}

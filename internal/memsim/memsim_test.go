@@ -1,0 +1,207 @@
+package memsim
+
+import (
+	"errors"
+	"testing"
+
+	"hhgb/internal/gb"
+)
+
+func tiny() *Hierarchy {
+	h, err := New([]LevelSpec{
+		{Name: "L1", Sets: 4, Ways: 2, Line: 64, Latency: 1},
+	}, 100)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := New([]LevelSpec{{Name: "x", Sets: 3, Ways: 1, Line: 64, Latency: 1}}, 10); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("non-pow2 sets: %v", err)
+	}
+	if _, err := New([]LevelSpec{{Name: "x", Sets: 4, Ways: 1, Line: 60, Latency: 1}}, 10); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("non-pow2 line: %v", err)
+	}
+	if _, err := New([]LevelSpec{{Name: "x", Sets: 4, Ways: 0, Line: 64, Latency: 1}}, 10); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("zero ways: %v", err)
+	}
+	if _, err := New(nil, 0); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("zero mem latency: %v", err)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := tiny()
+	c1 := h.Access(0x1000)
+	if c1 != 101 { // L1 latency + memory
+		t.Fatalf("cold access = %d cycles, want 101", c1)
+	}
+	c2 := h.Access(0x1000)
+	if c2 != 1 {
+		t.Fatalf("warm access = %d cycles, want 1", c2)
+	}
+	c3 := h.Access(0x1004) // same line
+	if c3 != 1 {
+		t.Fatalf("same-line access = %d cycles, want 1", c3)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 4 sets x 2 ways x 64B lines: addresses 0, 4*64, 8*64 map to set 0.
+	h := tiny()
+	a, b, c := uint64(0), uint64(4*64), uint64(8*64)
+	h.Access(a)
+	h.Access(b)
+	h.Access(a) // a is now MRU
+	h.Access(c) // evicts b (LRU)
+	if h.Access(a) != 1 {
+		t.Fatal("a evicted despite being MRU")
+	}
+	if h.Access(b) == 1 {
+		t.Fatal("b still resident despite LRU eviction")
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	h := tiny()
+	h.Access(0)
+	h.Access(0)
+	st := h.Stats()
+	if st[0].Hits != 1 || st[0].Misses != 1 {
+		t.Fatalf("L1 stats = %+v", st[0])
+	}
+	if st[0].HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", st[0].HitRate())
+	}
+	if h.TotalCycles() == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	h.Reset()
+	if h.TotalCycles() != 0 {
+		t.Fatal("reset kept cycles")
+	}
+	if h.Access(0) != 101 {
+		t.Fatal("reset kept cache contents")
+	}
+	if (LevelStats{}).HitRate() != 0 {
+		t.Fatal("empty hit rate != 0")
+	}
+}
+
+func TestDefaultHierarchyShape(t *testing.T) {
+	h := Default()
+	if got := h.levels[0].spec.SizeBytes(); got != 32*1024 {
+		t.Fatalf("L1 = %d bytes", got)
+	}
+	if got := h.levels[2].spec.SizeBytes(); got != 8*1024*1024 {
+		t.Fatalf("L3 = %d bytes", got)
+	}
+	// A miss in everything costs the full stack.
+	want := 4 + 12 + 40 + 200
+	if c := h.Access(0xdeadbeef000); c != want {
+		t.Fatalf("full miss = %d, want %d", c, want)
+	}
+}
+
+func TestAccessRangeTouchesEachLine(t *testing.T) {
+	h := tiny()
+	cycles := h.AccessRange(0, 256) // 4 lines of 64B
+	if cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	st := h.Stats()
+	if st[0].Hits+st[0].Misses != 4 {
+		t.Fatalf("accesses = %d, want 4", st[0].Hits+st[0].Misses)
+	}
+	if h.AccessRange(0, 0) != 0 {
+		t.Fatal("empty range cost nonzero")
+	}
+}
+
+func TestWorkingSetFitsCacheHasHighHitRate(t *testing.T) {
+	h := Default()
+	// 16 KiB working set inside a 32 KiB L1: after warmup, all hits.
+	for pass := 0; pass < 10; pass++ {
+		h.AccessRange(0, 16*1024)
+	}
+	st := h.Stats()
+	if st[0].HitRate() < 0.85 {
+		t.Fatalf("L1 hit rate = %v for cache-resident set", st[0].HitRate())
+	}
+}
+
+func TestWorkingSetExceedsCacheThrashes(t *testing.T) {
+	h := Default()
+	// 64 MiB working set: far beyond L3, LRU streaming gets no reuse.
+	for pass := 0; pass < 3; pass++ {
+		h.AccessRange(0, 64*1024*1024)
+	}
+	st := h.Stats()
+	if st[2].HitRate() > 0.2 {
+		t.Fatalf("L3 hit rate = %v for thrashing set", st[2].HitRate())
+	}
+}
+
+func TestFlatVsHierIngestAblation(t *testing.T) {
+	// E10: the hierarchical address pattern must be substantially cheaper
+	// per update than the flat pattern once the structure outgrows cache.
+	const updates = 20000
+	const batch = 100
+	const distinct = 1 << 30
+
+	hFlat := Default()
+	flat, err := SimulateFlatIngest(hFlat, updates, batch, distinct, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hHier := Default()
+	hier, err := SimulateHierIngest(hHier, updates, batch, []int{2048, 32768}, distinct, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Updates != updates || hier.Updates != updates {
+		t.Fatalf("update counts: %d / %d", flat.Updates, hier.Updates)
+	}
+	if hier.CyclesPerEntry >= flat.CyclesPerEntry {
+		t.Fatalf("hierarchy not cheaper: flat %.1f vs hier %.1f cycles/update",
+			flat.CyclesPerEntry, hier.CyclesPerEntry)
+	}
+	ratio := flat.CyclesPerEntry / hier.CyclesPerEntry
+	if ratio < 2 {
+		t.Fatalf("speedup only %.2fx; expected >= 2x at these sizes", ratio)
+	}
+	// The flat model must also move far more merge traffic.
+	if hier.MergedEntries >= flat.MergedEntries {
+		t.Fatalf("merge traffic: hier %d >= flat %d", hier.MergedEntries, flat.MergedEntries)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	h := Default()
+	if _, err := SimulateFlatIngest(h, 0, 1, 10, 1); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("zero updates: %v", err)
+	}
+	if _, err := SimulateFlatIngest(h, 10, 0, 10, 1); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("zero batch: %v", err)
+	}
+	if _, err := SimulateFlatIngest(h, 10, 1, 0, 1); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("zero distinct: %v", err)
+	}
+	if _, err := SimulateHierIngest(h, 10, 1, []int{0}, 10, 1); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("zero cut: %v", err)
+	}
+}
+
+func TestGrowNNZSaturates(t *testing.T) {
+	h := Default()
+	// Tiny key space: the structure saturates and merge cost stabilizes.
+	cost, err := SimulateFlatIngest(h, 5000, 50, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+}

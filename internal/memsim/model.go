@@ -1,0 +1,144 @@
+package memsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"hhgb/internal/gb"
+)
+
+// entryBytes is the storage cost of one hypersparse entry
+// (column index + value; row ids amortize across runs).
+const entryBytes = 16
+
+// IngestCost summarizes a simulated ingest run.
+type IngestCost struct {
+	Updates        int64
+	Cycles         int64
+	MergedEntries  int64 // entries read+written by merge sweeps
+	CyclesPerEntry float64
+}
+
+// regionBase spaces structures far apart so they never share cache sets by
+// accident.
+func regionBase(i int) uint64 { return uint64(i+1) << 34 }
+
+// SimulateFlatIngest replays the address pattern of streaming batches into
+// a single flat hypersparse matrix: every batch is sorted (touching the
+// batch buffer) and union-merged with the whole structure, reading and
+// rewriting all current entries.
+func SimulateFlatIngest(h *Hierarchy, updates, batch int, distinct gb.Index, seed uint64) (IngestCost, error) {
+	if err := validateIngest(updates, batch, distinct); err != nil {
+		return IngestCost{}, err
+	}
+	h.Reset()
+	rng := rand.New(rand.NewPCG(seed, seed^0x1234abcd5678ef90))
+	var merged int64
+	size := 0 // current nnz of the flat structure
+	base := regionBase(0)
+	batchBase := regionBase(9)
+	for done := 0; done < updates; done += batch {
+		b := min(batch, updates-done)
+		// Sort pass over the batch buffer: ~log passes touch it; model as
+		// two sequential sweeps (read + write).
+		h.AccessRange(batchBase, b*entryBytes)
+		h.AccessRange(batchBase, b*entryBytes)
+		// Union merge: read the whole structure, write the whole structure.
+		h.AccessRange(base, size*entryBytes)
+		newSize := growNNZ(size, b, distinct, rng)
+		h.AccessRange(base, newSize*entryBytes)
+		merged += int64(size + newSize)
+		size = newSize
+	}
+	return costOf(h, updates, merged), nil
+}
+
+// SimulateHierIngest replays the address pattern of the same stream going
+// through an N-level cascade with the given cuts: batches merge into the
+// small level-1 region; only when a cut trips does a (rare) merge touch the
+// next, larger region.
+func SimulateHierIngest(h *Hierarchy, updates, batch int, cuts []int, distinct gb.Index, seed uint64) (IngestCost, error) {
+	if err := validateIngest(updates, batch, distinct); err != nil {
+		return IngestCost{}, err
+	}
+	for i, c := range cuts {
+		if c < 1 {
+			return IngestCost{}, fmt.Errorf("%w: cut %d is %d", gb.ErrInvalidValue, i, c)
+		}
+	}
+	h.Reset()
+	rng := rand.New(rand.NewPCG(seed, seed^0x0badf00ddeadbeef))
+	levels := len(cuts) + 1
+	size := make([]int, levels)
+	var merged int64
+	batchBase := regionBase(9)
+	for done := 0; done < updates; done += batch {
+		b := min(batch, updates-done)
+		h.AccessRange(batchBase, b*entryBytes)
+		h.AccessRange(batchBase, b*entryBytes)
+		// Merge into level 0.
+		h.AccessRange(regionBase(0), size[0]*entryBytes)
+		newSize := growNNZ(size[0], b, distinct, rng)
+		h.AccessRange(regionBase(0), newSize*entryBytes)
+		merged += int64(size[0] + newSize)
+		size[0] = newSize
+		// Cascade.
+		for i := 0; i < len(cuts) && size[i] > cuts[i]; i++ {
+			h.AccessRange(regionBase(i), size[i]*entryBytes)     // read level i
+			h.AccessRange(regionBase(i+1), size[i+1]*entryBytes) // read level i+1
+			up := growNNZ(size[i+1], size[i], distinct, rng)
+			h.AccessRange(regionBase(i+1), up*entryBytes) // write level i+1
+			merged += int64(size[i] + size[i+1] + up)
+			size[i+1] = up
+			size[i] = 0
+		}
+	}
+	return costOf(h, updates, merged), nil
+}
+
+// growNNZ models how many distinct entries a structure holds after
+// absorbing n more updates drawn from a `distinct`-sized key space:
+// birthday-style collisions shrink growth as the structure fills.
+func growNNZ(cur, n int, distinct gb.Index, rng *rand.Rand) int {
+	space := float64(distinct)
+	c := float64(cur)
+	for k := 0; k < n; k++ {
+		pNew := 1 - c/space
+		if pNew <= 0 {
+			break
+		}
+		if rng.Float64() < pNew {
+			c++
+		}
+	}
+	if c > space {
+		c = space
+	}
+	return int(c)
+}
+
+func validateIngest(updates, batch int, distinct gb.Index) error {
+	if updates < 1 || batch < 1 {
+		return fmt.Errorf("%w: updates %d / batch %d must be >= 1", gb.ErrInvalidValue, updates, batch)
+	}
+	if distinct < 1 {
+		return fmt.Errorf("%w: distinct key space must be >= 1", gb.ErrInvalidValue)
+	}
+	return nil
+}
+
+func costOf(h *Hierarchy, updates int, merged int64) IngestCost {
+	return IngestCost{
+		Updates:        int64(updates),
+		Cycles:         h.TotalCycles(),
+		MergedEntries:  merged,
+		CyclesPerEntry: float64(h.TotalCycles()) / float64(updates),
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

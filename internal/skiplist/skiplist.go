@@ -1,0 +1,134 @@
+// Package skiplist provides an ordered byte-key skiplist, the in-memory
+// memtable structure used by the Accumulo tablet-server model in
+// internal/baselines. Keys are kept in lexicographic order so flushes
+// produce sorted runs directly, exactly as an LSM memtable does.
+package skiplist
+
+import (
+	"bytes"
+	"math/rand/v2"
+)
+
+const maxHeight = 20
+
+type node struct {
+	key  []byte
+	val  []byte
+	next []*node
+}
+
+// List is an ordered map from byte keys to byte values.
+// It is not safe for concurrent use.
+type List struct {
+	head   *node
+	height int
+	size   int
+	bytes  int64
+	rng    *rand.Rand
+}
+
+// New returns an empty skiplist with a deterministic level generator.
+func New(seed uint64) *List {
+	return &List{
+		head:   &node{next: make([]*node, maxHeight)},
+		height: 1,
+		rng:    rand.New(rand.NewPCG(seed, seed^0xdeadbeefcafef00d)),
+	}
+}
+
+// Len returns the number of stored keys.
+func (l *List) Len() int { return l.size }
+
+// Bytes returns the approximate payload size (keys + values) stored.
+func (l *List) Bytes() int64 { return l.bytes }
+
+func (l *List) randomHeight() int {
+	h := 1
+	for h < maxHeight && l.rng.Uint64()&3 == 0 { // p = 1/4
+		h++
+	}
+	return h
+}
+
+// findPredecessors fills prev with the rightmost node < key at every level.
+func (l *List) findPredecessors(key []byte, prev []*node) *node {
+	x := l.head
+	for i := l.height - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		prev[i] = x
+	}
+	return prev[0].next[0]
+}
+
+// PutMerge inserts key=val, or if the key exists replaces its value with
+// merge(existing, val). A nil merge means replace. This is the
+// combiner-iterator behaviour of an Accumulo memtable.
+func (l *List) PutMerge(key, val []byte, merge func(old, new []byte) []byte) {
+	var prev [maxHeight]*node
+	x := l.findPredecessors(key, prev[:])
+	if x != nil && bytes.Equal(x.key, key) {
+		l.bytes -= int64(len(x.val))
+		if merge != nil {
+			x.val = merge(x.val, val)
+		} else {
+			x.val = append([]byte(nil), val...)
+		}
+		l.bytes += int64(len(x.val))
+		return
+	}
+	h := l.randomHeight()
+	if h > l.height {
+		for i := l.height; i < h; i++ {
+			prev[i] = l.head
+		}
+		l.height = h
+	}
+	n := &node{
+		key:  append([]byte(nil), key...),
+		val:  append([]byte(nil), val...),
+		next: make([]*node, h),
+	}
+	for i := 0; i < h; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	l.size++
+	l.bytes += int64(len(n.key) + len(n.val))
+}
+
+// Put inserts or replaces key=val.
+func (l *List) Put(key, val []byte) { l.PutMerge(key, val, nil) }
+
+// Get returns the value stored at key.
+func (l *List) Get(key []byte) ([]byte, bool) {
+	x := l.head
+	for i := l.height - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	x = x.next[0]
+	if x != nil && bytes.Equal(x.key, key) {
+		return x.val, true
+	}
+	return nil, false
+}
+
+// Iterate visits entries in key order, stopping early if f returns false.
+func (l *List) Iterate(f func(key, val []byte) bool) {
+	for x := l.head.next[0]; x != nil; x = x.next[0] {
+		if !f(x.key, x.val) {
+			return
+		}
+	}
+}
+
+// Reset empties the list, keeping the level generator state.
+func (l *List) Reset() {
+	l.head = &node{next: make([]*node, maxHeight)}
+	l.height = 1
+	l.size = 0
+	l.bytes = 0
+}

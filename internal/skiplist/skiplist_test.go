@@ -1,0 +1,164 @@
+package skiplist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	l := New(1)
+	l.Put([]byte("b"), []byte("2"))
+	l.Put([]byte("a"), []byte("1"))
+	l.Put([]byte("c"), []byte("3"))
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	v, ok := l.Get([]byte("b"))
+	if !ok || string(v) != "2" {
+		t.Fatalf("Get(b) = %q, %v", v, ok)
+	}
+	if _, ok := l.Get([]byte("zz")); ok {
+		t.Fatal("phantom key")
+	}
+	l.Put([]byte("b"), []byte("20"))
+	v, _ = l.Get([]byte("b"))
+	if string(v) != "20" {
+		t.Fatalf("replace failed: %q", v)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("replace changed Len: %d", l.Len())
+	}
+}
+
+func TestPutMergeAccumulates(t *testing.T) {
+	l := New(2)
+	add := func(old, new []byte) []byte {
+		a := binary.LittleEndian.Uint64(old)
+		b := binary.LittleEndian.Uint64(new)
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], a+b)
+		return out[:]
+	}
+	one := make([]byte, 8)
+	binary.LittleEndian.PutUint64(one, 1)
+	for k := 0; k < 10; k++ {
+		l.PutMerge([]byte("key"), one, add)
+	}
+	v, _ := l.Get([]byte("key"))
+	if binary.LittleEndian.Uint64(v) != 10 {
+		t.Fatalf("merged = %d", binary.LittleEndian.Uint64(v))
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestIterateSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		l := New(uint64(r.Int63()))
+		ref := make(map[string]string)
+		for k := 0; k < 200; k++ {
+			key := fmt.Sprintf("k%04d", r.Intn(500))
+			val := fmt.Sprintf("v%d", k)
+			l.Put([]byte(key), []byte(val))
+			ref[key] = val
+		}
+		if l.Len() != len(ref) {
+			return false
+		}
+		var keys []string
+		ok := true
+		l.Iterate(func(k, v []byte) bool {
+			keys = append(keys, string(k))
+			if ref[string(k)] != string(v) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok && sort.StringsAreSorted(keys) && len(keys) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	l := New(4)
+	for k := 0; k < 10; k++ {
+		l.Put([]byte{byte(k)}, nil)
+	}
+	n := 0
+	l.Iterate(func(_, _ []byte) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	l := New(5)
+	l.Put([]byte("abc"), []byte("xy"))
+	if l.Bytes() != 5 {
+		t.Fatalf("Bytes = %d", l.Bytes())
+	}
+	l.Put([]byte("abc"), []byte("xyz9"))
+	if l.Bytes() != 7 {
+		t.Fatalf("Bytes after replace = %d", l.Bytes())
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := New(6)
+	l.Put([]byte("a"), []byte("1"))
+	l.Reset()
+	if l.Len() != 0 || l.Bytes() != 0 {
+		t.Fatalf("reset left %d/%d", l.Len(), l.Bytes())
+	}
+	if _, ok := l.Get([]byte("a")); ok {
+		t.Fatal("key survived reset")
+	}
+	l.Put([]byte("b"), []byte("2"))
+	if l.Len() != 1 {
+		t.Fatal("list unusable after reset")
+	}
+}
+
+func TestKeysAreCopied(t *testing.T) {
+	l := New(7)
+	key := []byte("mutable")
+	val := []byte("value")
+	l.Put(key, val)
+	key[0] = 'X'
+	val[0] = 'X'
+	if _, ok := l.Get([]byte("mutable")); !ok {
+		t.Fatal("stored key aliased caller's buffer")
+	}
+	v, _ := l.Get([]byte("mutable"))
+	if !bytes.Equal(v, []byte("value")) {
+		t.Fatal("stored value aliased caller's buffer")
+	}
+}
+
+func TestLargeInsertStaysOrdered(t *testing.T) {
+	l := New(8)
+	r := rand.New(rand.NewSource(9))
+	for k := 0; k < 20000; k++ {
+		var key [8]byte
+		binary.BigEndian.PutUint64(key[:], r.Uint64())
+		l.Put(key[:], nil)
+	}
+	var prev []byte
+	l.Iterate(func(k, _ []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("order violated")
+		}
+		prev = append(prev[:0], k...)
+		return true
+	})
+}

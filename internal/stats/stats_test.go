@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"errors"
+	"testing"
+
+	"hhgb/internal/gb"
+)
+
+// sample builds the matrix
+//
+//	src 1 -> dst 2 (5 pkts), dst 3 (1 pkt)
+//	src 4 -> dst 2 (7 pkts)
+func sample(t *testing.T) *gb.Matrix[uint64] {
+	t.Helper()
+	m, err := gb.MatrixFromTuples(1<<32, 1<<32,
+		[]gb.Index{1, 1, 4}, []gb.Index{2, 3, 2},
+		[]uint64{5, 1, 7}, gb.Plus[uint64]().Op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDegreesAndTraffic(t *testing.T) {
+	m := sample(t)
+	od, err := OutDegrees(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := od.ExtractElement(1); v != 2 {
+		t.Fatalf("outdeg(1) = %d", v)
+	}
+	if v, _ := od.ExtractElement(4); v != 1 {
+		t.Fatalf("outdeg(4) = %d", v)
+	}
+	id, err := InDegrees(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := id.ExtractElement(2); v != 2 {
+		t.Fatalf("indeg(2) = %d", v)
+	}
+	ot, err := OutTraffic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ot.ExtractElement(1); v != 6 {
+		t.Fatalf("outtraffic(1) = %d", v)
+	}
+	it, err := InTraffic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := it.ExtractElement(2); v != 12 {
+		t.Fatalf("intraffic(2) = %d", v)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	m := sample(t)
+	it, _ := InTraffic(m)
+	top, err := TopK(it, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Index != 2 || top[0].Value != 12 {
+		t.Fatalf("top = %+v", top)
+	}
+	all, err := TopK(it, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("len = %d", len(all))
+	}
+	// Descending order.
+	if all[0].Value < all[1].Value {
+		t.Fatalf("not descending: %+v", all)
+	}
+	if _, err := TopK(it, -1); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("negative k: %v", err)
+	}
+	zero, err := TopK(it, 0)
+	if err != nil || len(zero) != 0 {
+		t.Fatalf("k=0: %v, %v", zero, err)
+	}
+}
+
+func TestTopKTieBreak(t *testing.T) {
+	v := gb.MustNewVector[uint64](100)
+	_ = v.SetElement(9, 5)
+	_ = v.SetElement(3, 5)
+	top, err := TopK(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].Index != 3 || top[1].Index != 9 {
+		t.Fatalf("tie break by index broken: %+v", top)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m := sample(t)
+	s, err := Summarize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Summary{
+		Entries:      3,
+		Sources:      2,
+		Destinations: 2,
+		TotalPackets: 13,
+		MaxOutDegree: 2,
+		MaxInDegree:  2,
+	}
+	if s != want {
+		t.Fatalf("summary = %+v, want %+v", s, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	m := gb.MustNewMatrix[uint64](16, 16)
+	s, err := Summarize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestBackgroundAbsorbAndDecay(t *testing.T) {
+	b, err := NewBackground(1<<16, 1<<16, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := gb.MatrixFromTuples(1<<16, 1<<16,
+		[]gb.Index{1}, []gb.Index{2}, []uint64{8}, gb.Plus[uint64]().Op)
+	if err := b.Absorb(w1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Model().ExtractElement(1, 2)
+	if err != nil || v != 4 { // 0.5 * 8
+		t.Fatalf("model(1,2) = %v, %v", v, err)
+	}
+	// Second empty window halves it.
+	w2 := gb.MustNewMatrix[uint64](1<<16, 1<<16)
+	if err := b.Absorb(w2); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = b.Model().ExtractElement(1, 2)
+	if v != 2 {
+		t.Fatalf("decayed model(1,2) = %v", v)
+	}
+	if b.Windows() != 2 {
+		t.Fatalf("windows = %d", b.Windows())
+	}
+}
+
+func TestBackgroundValidation(t *testing.T) {
+	if _, err := NewBackground(16, 16, 0); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("alpha 0: %v", err)
+	}
+	if _, err := NewBackground(16, 16, 1.5); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("alpha > 1: %v", err)
+	}
+}
+
+func TestAnomalies(t *testing.T) {
+	b, err := NewBackground(1<<16, 1<<16, 1.0) // model = last window
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := gb.MatrixFromTuples(1<<16, 1<<16,
+		[]gb.Index{1, 2}, []gb.Index{1, 2}, []uint64{10, 10}, gb.Plus[uint64]().Op)
+	if err := b.Absorb(base); err != nil {
+		t.Fatal(err)
+	}
+	// Next window: (1,1) normal, (2,2) hot (x10), (5,5) brand new & hot.
+	window, _ := gb.MatrixFromTuples(1<<16, 1<<16,
+		[]gb.Index{1, 2, 5, 6}, []gb.Index{1, 2, 5, 6}, []uint64{11, 100, 50, 1}, gb.Plus[uint64]().Op)
+	anom, err := b.Anomalies(window, 3.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anom.NVals() != 2 {
+		t.Fatalf("anomalies = %d, want 2", anom.NVals())
+	}
+	if _, err := anom.ExtractElement(2, 2); err != nil {
+		t.Fatal("hot edge (2,2) missed")
+	}
+	if _, err := anom.ExtractElement(5, 5); err != nil {
+		t.Fatal("new edge (5,5) missed")
+	}
+	// (6,6) is new but under the packet floor.
+	if _, err := anom.ExtractElement(6, 6); !errors.Is(err, gb.ErrNoValue) {
+		t.Fatal("noise edge (6,6) flagged")
+	}
+	if _, err := b.Anomalies(window, 0, 1); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("factor 0: %v", err)
+	}
+}
