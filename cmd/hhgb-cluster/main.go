@@ -4,9 +4,14 @@
 // own share of the power-law sets, with the aggregate sustained rate
 // measured over wall-clock time.
 //
+// With -engine sharded-graphblas each "process" is one internally-parallel
+// sharded instance; -shards sets its shard count (0 = all cores). That
+// variant composes the two scaling axes: shards within a process,
+// shared-nothing processes across the machine.
+//
 // Usage:
 //
-//	hhgb-cluster [-edges N] [-set-size N] [-max-procs N] [-engine name] [-seed N]
+//	hhgb-cluster [-edges N] [-set-size N] [-max-procs N] [-engine name] [-shards N] [-seed N]
 package main
 
 import (
@@ -30,16 +35,30 @@ func main() {
 		setSize  = flag.Int("set-size", 100_000, "updates per set (paper: 100,000)")
 		maxProcs = flag.Int("max-procs", 2*runtime.GOMAXPROCS(0), "largest process count to test")
 		engine   = flag.String("engine", "hier-graphblas", "engine to scale")
+		shards   = flag.Int("shards", 0, "shard count for -engine sharded-graphblas (0 = all cores)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
 
 	total := (*edges / *setSize) * *setSize
 	stream := powerlaw.StreamSpec{TotalEdges: total, SetSize: *setSize, Scale: 28, Seed: *seed}
-	registry := baselines.Registry(gb.Index(1) << 28)
+	const dim = gb.Index(1) << 28
+	registry := baselines.Registry(dim)
 	factory, ok := registry[*engine]
 	if !ok {
 		log.Fatalf("unknown engine %q", *engine)
+	}
+	if *shards < 0 {
+		log.Fatalf("-shards %d: shard count must be >= 0 (0 = all cores)", *shards)
+	}
+	if *engine == "sharded-graphblas" {
+		// Rebuild the factory with the explicit shard count so every
+		// simulated process gets its own sharded frontend.
+		factory = func() (baselines.Engine, error) {
+			return baselines.NewShardedGraphBLAS(dim, nil, *shards)
+		}
+	} else if *shards != 0 {
+		log.Fatalf("-shards applies only to -engine sharded-graphblas, not %q", *engine)
 	}
 
 	fmt.Printf("local scaling: %s, %d updates in %d sets of %d per process\n",

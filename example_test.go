@@ -81,3 +81,28 @@ func ExampleTrafficMatrix_TopSources() {
 	fmt.Printf("source %d sent %d packets\n", top[0].ID, top[0].Value)
 	// Output: source 42 sent 150 packets
 }
+
+// ExampleNewSharded shows the concurrent ingest frontend: the same
+// streaming loop as ExampleNew, but hash-partitioned across independent
+// cascades so many goroutines can feed one logical matrix.
+func ExampleNewSharded() {
+	sm, err := hhgb.NewSharded(hhgb.IPv4Space, hhgb.WithShards(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Safe to call from any number of goroutines; here one suffices.
+	srcs := []uint64{0x0a000001, 0x0a000001, 0x0a000002}
+	dsts := []uint64{0x08080808, 0x08080808, 0x01010101}
+	if err := sm.Update(srcs, dsts); err != nil {
+		log.Fatal(err)
+	}
+	if err := sm.Close(); err != nil { // drain the shard queues
+		log.Fatal(err)
+	}
+	v, ok, err := sm.Lookup(0x0a000001, 0x08080808)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v, ok, sm.Shards())
+	// Output: 2 true 4
+}

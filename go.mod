@@ -1,0 +1,3 @@
+module hhgb
+
+go 1.24

@@ -11,6 +11,14 @@
 //	_ = tm.Update(srcs, dsts)          // millions/second, batched
 //	top, _ := tm.TopSources(10)        // supernode analysis
 //
+// For multi-core ingest, Sharded hash-partitions one logical matrix across
+// independent cascades fed by worker goroutines — the single-node analogue
+// of the paper's shared-nothing scaling — while answering the same queries:
+//
+//	sm, _ := hhgb.NewSharded(hhgb.IPv4Space)   // one shard per core
+//	_ = sm.Update(srcs, dsts)                  // safe from any goroutine
+//	_ = sm.Close()                             // drain; stays queryable
+//
 // The full algebra (semirings, MxM, associative arrays, the benchmark
 // engines) lives in the internal packages; see README.md for the map.
 package hhgb
@@ -30,11 +38,13 @@ const IPv4Space uint64 = 1 << 32
 // indexed 0 … 2^64-1; the dimension saturates at 2^64-1).
 const IPv6Space uint64 = ^uint64(0)
 
-// Option configures a TrafficMatrix.
+// Option configures a TrafficMatrix or a Sharded matrix.
 type Option func(*options) error
 
 type options struct {
-	cuts []int
+	cuts       []int
+	shards     int
+	queueDepth int
 }
 
 // WithCuts sets explicit cascade cuts c1 … c(N-1); the matrix has
@@ -54,6 +64,34 @@ func WithGeometricCuts(levels, base, ratio int) Option {
 			return fmt.Errorf("%w: geometric cuts need levels/base/ratio >= 1", gb.ErrInvalidValue)
 		}
 		o.cuts = hier.GeometricCuts(levels, base, ratio)
+		return nil
+	}
+}
+
+// WithShards sets the shard count of a Sharded matrix: the number of
+// independent hierarchical cascades (and ingest worker goroutines) the
+// logical matrix is hash-partitioned across. The default is
+// runtime.GOMAXPROCS(0). It applies only to NewSharded; New rejects it.
+func WithShards(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("%w: shard count %d < 1", gb.ErrInvalidValue, n)
+		}
+		o.shards = n
+		return nil
+	}
+}
+
+// WithQueueDepth sets the per-shard ingest queue depth in batches for a
+// Sharded matrix (default 8). Deeper queues decouple bursty producers from
+// a momentarily-cascading shard at the cost of more buffered batches. It
+// applies only to NewSharded; New rejects it.
+func WithQueueDepth(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("%w: queue depth %d < 1", gb.ErrInvalidValue, n)
+		}
+		o.queueDepth = n
 		return nil
 	}
 }
@@ -100,6 +138,9 @@ func New(dim uint64, opts ...Option) (*TrafficMatrix, error) {
 		if err := opt(&o); err != nil {
 			return nil, err
 		}
+	}
+	if o.shards != 0 || o.queueDepth != 0 {
+		return nil, fmt.Errorf("%w: sharding options apply to NewSharded, not New", gb.ErrInvalidValue)
 	}
 	h, err := hier.New[uint64](gb.Index(dim), gb.Index(dim), hier.Config{Cuts: o.cuts})
 	if err != nil {
@@ -168,14 +209,7 @@ func (t *TrafficMatrix) Lookup(src, dst uint64) (uint64, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	v, err := q.ExtractElement(gb.Index(src), gb.Index(dst))
-	if err != nil {
-		if err == gb.ErrNoValue {
-			return 0, false, nil
-		}
-		return 0, false, err
-	}
-	return v, true, nil
+	return lookupIn(q, src, dst)
 }
 
 // TopSources returns the k sources with the most total traffic.
@@ -184,11 +218,7 @@ func (t *TrafficMatrix) TopSources(k int) ([]Ranked, error) {
 	if err != nil {
 		return nil, err
 	}
-	v, err := stats.OutTraffic(q)
-	if err != nil {
-		return nil, err
-	}
-	return rankedOf(v, k)
+	return topSourcesOf(q, k)
 }
 
 // TopDestinations returns the k destinations with the most total traffic.
@@ -197,11 +227,7 @@ func (t *TrafficMatrix) TopDestinations(k int) ([]Ranked, error) {
 	if err != nil {
 		return nil, err
 	}
-	v, err := stats.InTraffic(q)
-	if err != nil {
-		return nil, err
-	}
-	return rankedOf(v, k)
+	return topDestinationsOf(q, k)
 }
 
 func rankedOf(v *gb.Vector[uint64], k int) ([]Ranked, error) {
@@ -222,18 +248,7 @@ func (t *TrafficMatrix) Summary() (Summary, error) {
 	if err != nil {
 		return Summary{}, err
 	}
-	s, err := stats.Summarize(q)
-	if err != nil {
-		return Summary{}, err
-	}
-	return Summary{
-		Entries:      s.Entries,
-		Sources:      s.Sources,
-		Destinations: s.Destinations,
-		TotalPackets: s.TotalPackets,
-		MaxOutDegree: s.MaxOutDegree,
-		MaxInDegree:  s.MaxInDegree,
-	}, nil
+	return summaryOf(q)
 }
 
 // Stats returns the cumulative ingest counters.

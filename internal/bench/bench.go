@@ -40,6 +40,17 @@ func Measure(updates int64, f func() error) (Rate, error) {
 	return Rate{Updates: updates, Seconds: time.Since(start).Seconds()}, nil
 }
 
+// Speedup returns how many times faster the improved rate is than the
+// base rate (0 when the base is unmeasurable). The scaling harnesses use
+// it to report sharded-vs-flat and P-process-vs-1-process ratios.
+func Speedup(base, improved Rate) float64 {
+	b := base.PerSecond()
+	if b <= 0 {
+		return 0
+	}
+	return improved.PerSecond() / b
+}
+
 // Eng formats a number with an engineering suffix (K, M, G, T).
 func Eng(v float64) string {
 	abs := math.Abs(v)

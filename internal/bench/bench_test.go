@@ -20,6 +20,17 @@ func TestRatePerSecond(t *testing.T) {
 	}
 }
 
+func TestSpeedup(t *testing.T) {
+	base := Rate{Updates: 1000, Seconds: 1}
+	fast := Rate{Updates: 4000, Seconds: 1}
+	if got := Speedup(base, fast); got != 4 {
+		t.Fatalf("Speedup = %v, want 4", got)
+	}
+	if got := Speedup(Rate{}, fast); got != 0 {
+		t.Fatalf("Speedup over zero base = %v, want 0", got)
+	}
+}
+
 func TestMeasure(t *testing.T) {
 	r, err := Measure(42, func() error { return nil })
 	if err != nil {

@@ -9,6 +9,15 @@
 // parallel (no process ever communicates), aggregate throughput composes
 // additively across servers; the model multiplies the measured per-process
 // rate by the process count and a documented parallel-efficiency factor.
+//
+// The harness is engine-agnostic: any baselines.Factory slots in,
+// including "sharded-graphblas" — the concurrent ingest frontend that runs
+// the shared-nothing composition *inside* one process across cores. For
+// that variant the natural shape is one internally-parallel process
+// (procs=1, shards=cores), and its Model composes per server
+// (baselines.ScalePerServer) rather than per process, so the two scaling
+// axes — shards within a node, shared-nothing processes across nodes —
+// multiply in the extrapolation.
 package cluster
 
 import (
@@ -135,6 +144,15 @@ func CalibrateTimed(factory baselines.Factory, stream powerlaw.StreamSpec, minSe
 		updates += int64(len(pool[set]))
 		if time.Since(start).Seconds() >= minSeconds {
 			break
+		}
+	}
+	// Asynchronous engines (the sharded frontend) accept batches into
+	// queues; drain inside the measured window so the rate counts only
+	// work that actually completed, keeping the comparison honest against
+	// the synchronous engines.
+	if d, ok := e.(baselines.Drainer); ok {
+		if err := d.Drain(); err != nil {
+			return bench.Rate{}, err
 		}
 	}
 	return bench.Rate{Updates: updates, Seconds: time.Since(start).Seconds()}, nil

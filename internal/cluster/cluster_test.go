@@ -41,6 +41,44 @@ func TestRunLocalConservesUpdates(t *testing.T) {
 	}
 }
 
+// TestRunLocalShardedEngine drives the cluster harness with the concurrent
+// sharded frontend: one internally-parallel instance per "process". The
+// update count must be conserved through the hash-partitioned async path,
+// and the calibrated model must compose per server.
+func TestRunLocalShardedEngine(t *testing.T) {
+	stream := testStream()
+	factory := func() (baselines.Engine, error) {
+		return baselines.NewShardedGraphBLAS(1<<20, nil, 2)
+	}
+	r, err := RunLocal(factory, stream, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Updates != int64(stream.TotalEdges) {
+		t.Fatalf("updates = %d, want %d", r.Updates, stream.TotalEdges)
+	}
+	if r.Engine != "sharded-graphblas" {
+		t.Fatalf("engine = %q", r.Engine)
+	}
+
+	m, err := Calibrate("sharded-graphblas", factory, stream, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Class != baselines.ScalePerServer {
+		t.Fatalf("sharded model class = %v, want ScalePerServer", m.Class)
+	}
+	if m.PerProcessRate <= 0 {
+		t.Fatalf("per-process rate = %v", m.PerProcessRate)
+	}
+	// Per-server composition: 10 servers ≈ 10x one server (x efficiency),
+	// with no procs-per-server multiplier.
+	one, ten := m.Aggregate(1), m.Aggregate(10)
+	if ten <= 5*one || ten > 10*one {
+		t.Fatalf("Aggregate(10) = %v vs Aggregate(1) = %v; want sublinear 10x", ten, one)
+	}
+}
+
 func TestRunLocalValidation(t *testing.T) {
 	if _, err := RunLocal(hierFactory(), testStream(), 0); !errors.Is(err, gb.ErrInvalidValue) {
 		t.Fatalf("zero procs: %v", err)

@@ -1,0 +1,363 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/hier"
+)
+
+// ErrClosed is returned by Update after Close.
+var ErrClosed = errors.New("shard: group is closed")
+
+// DefaultDepth is the default per-shard queue depth in batches. Deep enough
+// to decouple producers from a momentarily-cascading shard, shallow enough
+// that a Flush barrier stays cheap and queued batches stay cache-warm.
+const DefaultDepth = 8
+
+// Config describes a sharded ingest group.
+type Config struct {
+	// Shards is the number of independent cascades (and worker
+	// goroutines). Zero or negative selects runtime.GOMAXPROCS(0).
+	Shards int
+	// Depth is the per-shard queue depth in batches; zero or negative
+	// selects DefaultDepth.
+	Depth int
+	// Hier configures every shard's cascade. As in hier.New, nil Cuts
+	// yields a single flat level.
+	Hier hier.Config
+}
+
+// withDefaults resolves zero values to the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Depth <= 0 {
+		c.Depth = DefaultDepth
+	}
+	return c
+}
+
+// msg is one unit of work on a shard queue: a batch to ingest (rows set),
+// or a control request to run on the worker's goroutine (do set). Control
+// requests double as barriers: the queue is FIFO, so by the time do runs,
+// every batch enqueued before it has been ingested.
+type msg[T gb.Number] struct {
+	rows []gb.Index
+	cols []gb.Index
+	vals []T
+	do   func(m *hier.Matrix[T])
+	done chan struct{}
+}
+
+// worker is one shard: a cascade owned by a single goroutine.
+type worker[T gb.Number] struct {
+	in  chan msg[T]
+	m   *hier.Matrix[T]
+	err error // first ingest error; owned by the worker goroutine
+}
+
+func (w *worker[T]) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for msg := range w.in {
+		if msg.do != nil {
+			msg.do(w.m)
+			close(msg.done)
+			continue
+		}
+		if w.err != nil {
+			continue // sticky: drop batches after the first failure
+		}
+		w.err = w.m.Update(msg.rows, msg.cols, msg.vals)
+	}
+}
+
+// Group is one logical nrows x ncols traffic matrix hash-partitioned across
+// independent hierarchical cascades. Update is safe for concurrent use by
+// any number of producer goroutines; the analysis-time queries may run
+// concurrently with ingest and observe a batch-atomic merged snapshot:
+// every accepted batch is either entirely included or entirely excluded
+// (the query barrier excludes in-flight Update calls, see run).
+type Group[T gb.Number] struct {
+	nrows, ncols gb.Index
+	cfg          Config
+	workers      []*worker[T]
+	wg           sync.WaitGroup
+
+	mu       sync.RWMutex // guards closed vs. channel sends and close
+	closed   bool
+	closeErr error
+}
+
+// NewGroup returns a running sharded group; its workers idle until the
+// first Update. Callers that finish ingesting should Close it.
+func NewGroup[T gb.Number](nrows, ncols gb.Index, cfg Config) (*Group[T], error) {
+	cfg = cfg.withDefaults()
+	g := &Group[T]{nrows: nrows, ncols: ncols, cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		m, err := hier.New[T](nrows, ncols, cfg.Hier)
+		if err != nil {
+			return nil, err
+		}
+		g.workers = append(g.workers, &worker[T]{
+			in: make(chan msg[T], cfg.Depth),
+			m:  m,
+		})
+	}
+	g.wg.Add(len(g.workers))
+	for _, w := range g.workers {
+		go w.loop(&g.wg)
+	}
+	return g, nil
+}
+
+// NRows returns the row dimension.
+func (g *Group[T]) NRows() gb.Index { return g.nrows }
+
+// NCols returns the column dimension.
+func (g *Group[T]) NCols() gb.Index { return g.ncols }
+
+// NumShards returns the shard count.
+func (g *Group[T]) NumShards() int { return len(g.workers) }
+
+// Levels returns the per-shard cascade depth.
+func (g *Group[T]) Levels() int { return g.workers[0].m.NumLevels() }
+
+// shardOf routes an entry to a shard by mixing both coordinates (splitmix64
+// final avalanche over src ⊕ rotated dst). Hashing the full (src, dst) pair
+// keeps shards balanced even when a single power-law supernode source
+// dominates the stream — row-only hashing would funnel that hot row into
+// one shard.
+func (g *Group[T]) shardOf(row, col gb.Index) int {
+	x := uint64(row) ^ (uint64(col)<<32 | uint64(col)>>32)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(len(g.workers)))
+}
+
+// Update hash-partitions one batch of updates and enqueues the per-shard
+// sub-batches, blocking only when a destination queue is full. The input
+// slices are copied before the call returns and may be reused immediately.
+// Ingest is asynchronous: a nil return means the batch was accepted, not
+// ingested; ingest errors surface on Flush, Close, Err, and the queries.
+func (g *Group[T]) Update(rows, cols []gb.Index, vals []T) error {
+	if len(rows) != len(cols) || len(rows) != len(vals) {
+		return fmt.Errorf("%w: slice lengths %d/%d/%d differ", gb.ErrInvalidValue, len(rows), len(cols), len(vals))
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	// Validate bounds before partitioning so a bad batch is rejected
+	// synchronously and atomically, like gb.Matrix.AppendTuples.
+	for k := range rows {
+		if rows[k] >= g.nrows || cols[k] >= g.ncols {
+			return fmt.Errorf("%w: (%d,%d) outside %d x %d", gb.ErrIndexOutOfBounds, rows[k], cols[k], g.nrows, g.ncols)
+		}
+	}
+
+	k := len(g.workers)
+	bRows := make([][]gb.Index, k)
+	bCols := make([][]gb.Index, k)
+	bVals := make([][]T, k)
+	if k == 1 {
+		bRows[0] = append([]gb.Index(nil), rows...)
+		bCols[0] = append([]gb.Index(nil), cols...)
+		bVals[0] = append([]T(nil), vals...)
+	} else {
+		for i := range rows {
+			sh := g.shardOf(rows[i], cols[i])
+			bRows[sh] = append(bRows[sh], rows[i])
+			bCols[sh] = append(bCols[sh], cols[i])
+			bVals[sh] = append(bVals[sh], vals[i])
+		}
+	}
+
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.closed {
+		return ErrClosed
+	}
+	for sh := 0; sh < k; sh++ {
+		if len(bRows[sh]) == 0 {
+			continue
+		}
+		g.workers[sh].in <- msg[T]{rows: bRows[sh], cols: bCols[sh], vals: bVals[sh]}
+	}
+	return nil
+}
+
+// run executes f(i, w) once per shard on the shard's own goroutine (a
+// barrier: all batches enqueued before the call are ingested first), then
+// waits for every shard. The barrier messages are enqueued under the write
+// lock, so no Update can interleave its per-shard sub-batches with them:
+// every accepted batch is either entirely before the barrier on all its
+// shards or entirely after, making the observed state batch-atomic. After
+// Close the workers are gone and the cascades are drained; f then runs
+// inline, still under the write lock so concurrent post-Close queries are
+// serialized (the matrices are no longer protected by worker goroutines).
+// The per-shard f calls may run concurrently with each other before Close;
+// f must only touch shard-local state.
+func (g *Group[T]) run(f func(i int, w *worker[T])) error {
+	g.mu.Lock()
+	if g.closed {
+		defer g.mu.Unlock()
+		for i, w := range g.workers {
+			f(i, w)
+		}
+		return g.closeErr
+	}
+	dones := make([]chan struct{}, len(g.workers))
+	for i, w := range g.workers {
+		done := make(chan struct{})
+		dones[i] = done
+		w.in <- msg[T]{do: func(m *hier.Matrix[T]) { f(i, w) }, done: done}
+	}
+	g.mu.Unlock() // the barrier is placed; waiting needs no lock
+	for _, done := range dones {
+		<-done
+	}
+	return nil
+}
+
+// Err reports the first sticky ingest error, if any shard has failed. It
+// doubles as a drain barrier: on return, every batch accepted before the
+// call has been ingested (unlike Flush it does not force the cascades to
+// promote, so it is the cheap way to wait for queued work).
+func (g *Group[T]) Err() error {
+	errs := make([]error, len(g.workers))
+	_ = g.run(func(i int, w *worker[T]) { errs[i] = w.err })
+	return firstError(errs)
+}
+
+// Flush drains every queue and completes all pending cascade work, so a
+// subsequent Query reflects every batch accepted before the call. It
+// returns the first ingest or flush error.
+func (g *Group[T]) Flush() error {
+	errs := make([]error, len(g.workers))
+	if err := g.run(func(i int, w *worker[T]) {
+		if w.err != nil {
+			errs[i] = w.err
+			return
+		}
+		_, errs[i] = w.m.Flush()
+	}); err != nil {
+		return err
+	}
+	return firstError(errs)
+}
+
+// Close drains the queues, stops the workers, and completes all cascade
+// work. The group stays readable — queries keep working on the final
+// state — but Update returns ErrClosed. Close is idempotent and returns
+// the first ingest or flush error.
+func (g *Group[T]) Close() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return g.closeErr
+	}
+	g.closed = true
+	for _, w := range g.workers {
+		close(w.in)
+	}
+	g.wg.Wait() // workers drain their queues before exiting
+	errs := make([]error, len(g.workers))
+	for i, w := range g.workers {
+		if w.err != nil {
+			errs[i] = w.err
+			continue
+		}
+		_, errs[i] = w.m.Flush()
+	}
+	g.closeErr = firstError(errs)
+	return g.closeErr
+}
+
+func firstError(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Query materializes the merged total A = Σ over shards Σ over levels.
+// Because GraphBLAS addition is linear, the result is exactly the matrix a
+// single unsharded cascade would hold after the same stream.
+func (g *Group[T]) Query() (*gb.Matrix[T], error) {
+	parts := make([]*gb.Matrix[T], len(g.workers))
+	errs := make([]error, len(g.workers))
+	if err := g.run(func(i int, w *worker[T]) {
+		if w.err != nil {
+			errs[i] = w.err
+			return
+		}
+		parts[i], errs[i] = w.m.Query()
+	}); err != nil {
+		return nil, err
+	}
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return gb.Sum(parts...)
+}
+
+// NVals returns the number of distinct stored entries in the merged matrix.
+func (g *Group[T]) NVals() (int, error) {
+	q, err := g.Query()
+	if err != nil {
+		return 0, err
+	}
+	return q.NVals(), nil
+}
+
+// ShardStats snapshots every shard's cascade counters.
+func (g *Group[T]) ShardStats() []hier.Stats {
+	out := make([]hier.Stats, len(g.workers))
+	_ = g.run(func(i int, w *worker[T]) { out[i] = w.m.Stats() })
+	return out
+}
+
+// Stats merges the per-shard cascade counters into one view: scalar
+// counters add, and the per-level promotion counters add elementwise
+// (every shard has the same depth by construction).
+func (g *Group[T]) Stats() hier.Stats {
+	per := g.ShardStats()
+	merged := hier.Stats{
+		Cascades:        make([]int64, g.Levels()),
+		CascadedEntries: make([]int64, g.Levels()),
+	}
+	for _, s := range per {
+		merged.Updates += s.Updates
+		merged.Batches += s.Batches
+		merged.Queries += s.Queries
+		for l := range s.Cascades {
+			merged.Cascades[l] += s.Cascades[l]
+			merged.CascadedEntries[l] += s.CascadedEntries[l]
+		}
+	}
+	return merged
+}
+
+// LevelNVals reports the merged per-level occupancy across shards.
+func (g *Group[T]) LevelNVals() []int {
+	out := make([]int, g.Levels())
+	var mu sync.Mutex
+	_ = g.run(func(i int, w *worker[T]) {
+		lv := w.m.LevelNVals()
+		mu.Lock()
+		defer mu.Unlock()
+		for l, n := range lv {
+			out[l] += n
+		}
+	})
+	return out
+}

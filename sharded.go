@@ -1,0 +1,230 @@
+package hhgb
+
+import (
+	"fmt"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/hier"
+	"hhgb/internal/shard"
+	"hhgb/internal/stats"
+)
+
+// Sharded is a concurrent streaming traffic matrix: one logical dim x dim
+// matrix hash-partitioned across S independent hierarchical hypersparse
+// cascades, each owned by a dedicated worker goroutine behind a bounded
+// batch queue. It is the single-node analogue of the paper's shared-nothing
+// scaling experiment — aggregate update throughput scales with cores while
+// every query remains exactly equivalent to the unsharded TrafficMatrix.
+//
+// Unlike TrafficMatrix, Update is safe for concurrent use by any number of
+// goroutines, and ingest is asynchronous: a nil return means the batch was
+// accepted. Call Flush to make all accepted batches visible to queries (the
+// queries also barrier internally, so they observe a batch-atomic snapshot:
+// each accepted batch is either entirely included or entirely excluded),
+// and Close when done ingesting; after Close the matrix stays queryable
+// but Update fails.
+type Sharded struct {
+	g   *shard.Group[uint64]
+	dim uint64
+}
+
+// NewSharded returns an empty sharded dim x dim traffic matrix. With no
+// options it uses runtime.GOMAXPROCS(0) shards, each a default 4-level
+// geometric cascade; see WithShards, WithQueueDepth, WithCuts, and
+// WithGeometricCuts.
+func NewSharded(dim uint64, opts ...Option) (*Sharded, error) {
+	o := options{cuts: hier.DefaultConfig().Cuts}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	g, err := shard.NewGroup[uint64](gb.Index(dim), gb.Index(dim), shard.Config{
+		Shards: o.shards,
+		Depth:  o.queueDepth,
+		Hier:   hier.Config{Cuts: o.cuts},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{g: g, dim: dim}, nil
+}
+
+// Dim returns the matrix dimension.
+func (s *Sharded) Dim() uint64 { return s.dim }
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return s.g.NumShards() }
+
+// Levels returns the per-shard cascade depth.
+func (s *Sharded) Levels() int { return s.g.Levels() }
+
+// Update streams a batch of (src, dst) observations with weight 1 each.
+// Safe for concurrent use; the slices are copied before the call returns.
+func (s *Sharded) Update(src, dst []uint64) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("%w: src/dst lengths %d/%d differ", gb.ErrInvalidValue, len(src), len(dst))
+	}
+	ones := make([]uint64, len(src))
+	for k := range ones {
+		ones[k] = 1
+	}
+	return s.UpdateWeighted(src, dst, ones)
+}
+
+// UpdateWeighted streams a batch of weighted observations. Safe for
+// concurrent use; the slices are copied before the call returns.
+func (s *Sharded) UpdateWeighted(src, dst, weight []uint64) error {
+	if len(src) != len(dst) || len(src) != len(weight) {
+		return fmt.Errorf("%w: batch lengths %d/%d/%d differ", gb.ErrInvalidValue, len(src), len(dst), len(weight))
+	}
+	rows := make([]gb.Index, len(src))
+	cols := make([]gb.Index, len(dst))
+	for k := range src {
+		rows[k] = gb.Index(src[k])
+		cols[k] = gb.Index(dst[k])
+	}
+	return s.g.Update(rows, cols, weight)
+}
+
+// Flush drains every shard queue and completes all pending cascade work,
+// surfacing any asynchronous ingest error.
+func (s *Sharded) Flush() error { return s.g.Flush() }
+
+// Close stops the ingest workers after draining their queues. The matrix
+// stays queryable; Update after Close fails. Close is idempotent.
+func (s *Sharded) Close() error { return s.g.Close() }
+
+// Err reports the first asynchronous ingest error, if any shard failed.
+func (s *Sharded) Err() error { return s.g.Err() }
+
+// Entries returns the number of distinct (src, dst) pairs accumulated.
+func (s *Sharded) Entries() (int, error) { return s.g.NVals() }
+
+// Do materializes the merged matrix and visits every entry in row-major
+// order, stopping early if f returns false.
+func (s *Sharded) Do(f func(src, dst, packets uint64) bool) error {
+	q, err := s.g.Query()
+	if err != nil {
+		return err
+	}
+	q.Iterate(func(i, j gb.Index, v uint64) bool {
+		return f(uint64(i), uint64(j), v)
+	})
+	return nil
+}
+
+// Lookup returns the accumulated weight for one (src, dst) pair and
+// whether any traffic was recorded for it.
+func (s *Sharded) Lookup(src, dst uint64) (uint64, bool, error) {
+	q, err := s.g.Query()
+	if err != nil {
+		return 0, false, err
+	}
+	return lookupIn(q, src, dst)
+}
+
+// TopSources returns the k sources with the most total traffic, merged
+// across shards.
+func (s *Sharded) TopSources(k int) ([]Ranked, error) {
+	q, err := s.g.Query()
+	if err != nil {
+		return nil, err
+	}
+	return topSourcesOf(q, k)
+}
+
+// TopDestinations returns the k destinations with the most total traffic,
+// merged across shards.
+func (s *Sharded) TopDestinations(k int) ([]Ranked, error) {
+	q, err := s.g.Query()
+	if err != nil {
+		return nil, err
+	}
+	return topDestinationsOf(q, k)
+}
+
+// Summary computes the aggregate statistics of the merged matrix.
+func (s *Sharded) Summary() (Summary, error) {
+	q, err := s.g.Query()
+	if err != nil {
+		return Summary{}, err
+	}
+	return summaryOf(q)
+}
+
+// Stats returns the cumulative ingest counters merged across shards:
+// scalar counters add, per-level promotion counters add elementwise.
+func (s *Sharded) Stats() CascadeStats {
+	st := s.g.Stats()
+	return CascadeStats{
+		Updates:         st.Updates,
+		Batches:         st.Batches,
+		Cascades:        st.Cascades,
+		CascadedEntries: st.CascadedEntries,
+	}
+}
+
+// ShardStats reports every shard's own cascade counters, for inspecting
+// partition balance.
+func (s *Sharded) ShardStats() []CascadeStats {
+	per := s.g.ShardStats()
+	out := make([]CascadeStats, len(per))
+	for i, st := range per {
+		out[i] = CascadeStats{
+			Updates:         st.Updates,
+			Batches:         st.Batches,
+			Cascades:        st.Cascades,
+			CascadedEntries: st.CascadedEntries,
+		}
+	}
+	return out
+}
+
+// lookupIn extracts one entry from a materialized query matrix.
+func lookupIn(q *gb.Matrix[uint64], src, dst uint64) (uint64, bool, error) {
+	v, err := q.ExtractElement(gb.Index(src), gb.Index(dst))
+	if err != nil {
+		if err == gb.ErrNoValue {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// topSourcesOf ranks per-source traffic of a materialized query matrix.
+func topSourcesOf(q *gb.Matrix[uint64], k int) ([]Ranked, error) {
+	v, err := stats.OutTraffic(q)
+	if err != nil {
+		return nil, err
+	}
+	return rankedOf(v, k)
+}
+
+// topDestinationsOf ranks per-destination traffic of a materialized query
+// matrix.
+func topDestinationsOf(q *gb.Matrix[uint64], k int) ([]Ranked, error) {
+	v, err := stats.InTraffic(q)
+	if err != nil {
+		return nil, err
+	}
+	return rankedOf(v, k)
+}
+
+// summaryOf computes the aggregate statistics of a materialized query
+// matrix.
+func summaryOf(q *gb.Matrix[uint64]) (Summary, error) {
+	s, err := stats.Summarize(q)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		Entries:      s.Entries,
+		Sources:      s.Sources,
+		Destinations: s.Destinations,
+		TotalPackets: s.TotalPackets,
+		MaxOutDegree: s.MaxOutDegree,
+		MaxInDegree:  s.MaxInDegree,
+	}, nil
+}

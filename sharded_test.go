@@ -1,0 +1,257 @@
+package hhgb_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"hhgb"
+)
+
+// streamInto feeds the same deterministic weighted stream to any updater.
+type updater interface {
+	UpdateWeighted(src, dst, weight []uint64) error
+}
+
+func feedStream(t *testing.T, u updater, batches, size int) {
+	t.Helper()
+	// Deterministic pseudo-stream with supernodes and repeats, exercising
+	// both accumulation and distinct-entry growth.
+	state := uint64(0x243f6a8885a308d3)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for b := 0; b < batches; b++ {
+		src := make([]uint64, size)
+		dst := make([]uint64, size)
+		w := make([]uint64, size)
+		for i := range src {
+			src[i] = next() % 1000
+			dst[i] = next() % 1000
+			w[i] = 1 + next()%4
+		}
+		if err := u.UpdateWeighted(src, dst, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardedMatchesTrafficMatrix verifies the headline equivalence: every
+// query of the sharded matrix is identical to the unsharded TrafficMatrix
+// over the same stream.
+func TestShardedMatchesTrafficMatrix(t *testing.T) {
+	const dim = 1 << 20
+	tm, err := hhgb.New(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := hhgb.NewSharded(dim, hhgb.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm.Close()
+	feedStream(t, tm, 10, 300)
+	feedStream(t, sm, 10, 300)
+
+	tSum, err := tm.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSum, err := sm.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tSum != sSum {
+		t.Fatalf("summaries differ:\n  flat    %+v\n  sharded %+v", tSum, sSum)
+	}
+
+	tTop, err := tm.TopSources(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sTop, err := sm.TopSources(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tTop) != len(sTop) {
+		t.Fatalf("top-k lengths differ: %d vs %d", len(tTop), len(sTop))
+	}
+	for i := range tTop {
+		if tTop[i].Value != sTop[i].Value {
+			t.Fatalf("top source %d differs: %+v vs %+v", i, tTop[i], sTop[i])
+		}
+	}
+
+	// Spot-check lookups across the whole flat matrix.
+	if err := tm.Do(func(src, dst, packets uint64) bool {
+		v, ok, err := sm.Lookup(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || v != packets {
+			t.Fatalf("sharded Lookup(%d,%d) = %d,%v; want %d,true", src, dst, v, ok, packets)
+		}
+		return src < 50 // bound the quadratic-ish check
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedConcurrentIngest(t *testing.T) {
+	sm, err := hhgb.NewSharded(1<<20, hhgb.WithShards(3), hhgb.WithQueueDepth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 6
+	const perProducer = 5000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			src := make([]uint64, perProducer)
+			dst := make([]uint64, perProducer)
+			for i := range src {
+				src[i] = uint64(p*perProducer + i)
+				dst[i] = uint64(i % 97)
+			}
+			if err := sm.Update(src, dst); err != nil {
+				t.Error(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := sm.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sm.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(producers * perProducer); sum.TotalPackets != want {
+		t.Fatalf("TotalPackets = %d, want %d", sum.TotalPackets, want)
+	}
+	if sum.Entries != producers*perProducer {
+		t.Fatalf("Entries = %d, want %d (all pairs distinct)", sum.Entries, producers*perProducer)
+	}
+	st := sm.Stats()
+	if st.Updates != int64(producers*perProducer) {
+		t.Fatalf("merged Updates = %d, want %d", st.Updates, producers*perProducer)
+	}
+	// Per-shard counters partition the merged ones.
+	var perShard int64
+	for _, s := range sm.ShardStats() {
+		perShard += s.Updates
+	}
+	if perShard != st.Updates {
+		t.Fatalf("shard stats sum to %d, merged says %d", perShard, st.Updates)
+	}
+	if err := sm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Update([]uint64{1}, []uint64{2}); err == nil {
+		t.Fatal("Update after Close should fail")
+	}
+	// Still queryable after Close.
+	if _, err := sm.Entries(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedOptionValidation(t *testing.T) {
+	if _, err := hhgb.New(1<<16, hhgb.WithShards(4)); err == nil {
+		t.Fatal("New should reject WithShards")
+	}
+	if _, err := hhgb.New(1<<16, hhgb.WithQueueDepth(4)); err == nil {
+		t.Fatal("New should reject WithQueueDepth")
+	}
+	if _, err := hhgb.NewSharded(1<<16, hhgb.WithShards(0)); err == nil {
+		t.Fatal("WithShards(0) should fail")
+	}
+	if _, err := hhgb.NewSharded(1<<16, hhgb.WithQueueDepth(0)); err == nil {
+		t.Fatal("WithQueueDepth(0) should fail")
+	}
+	sm, err := hhgb.NewSharded(1<<16, hhgb.WithShards(5), hhgb.WithGeometricCuts(3, 64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm.Close()
+	if sm.Shards() != 5 {
+		t.Fatalf("Shards() = %d, want 5", sm.Shards())
+	}
+	if sm.Levels() != 3 {
+		t.Fatalf("Levels() = %d, want 3", sm.Levels())
+	}
+	if sm.Dim() != 1<<16 {
+		t.Fatalf("Dim() = %d, want %d", sm.Dim(), 1<<16)
+	}
+	if err := sm.Update([]uint64{1, 2}, []uint64{3}); err == nil {
+		t.Fatal("mismatched Update lengths should fail")
+	}
+	if err := sm.UpdateWeighted([]uint64{1}, []uint64{3}, []uint64{1, 2}); err == nil {
+		t.Fatal("mismatched UpdateWeighted lengths should fail")
+	}
+}
+
+// TestShardedDoOrdering checks Do visits the merged matrix in row-major
+// order like TrafficMatrix.Do.
+func TestShardedDoOrdering(t *testing.T) {
+	sm, err := hhgb.NewSharded(1<<16, hhgb.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm.Close()
+	src := []uint64{9, 3, 7, 3, 1}
+	dst := []uint64{1, 5, 2, 4, 8}
+	if err := sm.Update(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	var visited []uint64
+	if err := sm.Do(func(s, d, p uint64) bool {
+		visited = append(visited, s<<32|d)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 5 {
+		t.Fatalf("visited %d entries, want 5", len(visited))
+	}
+	if !sort.SliceIsSorted(visited, func(i, j int) bool { return visited[i] < visited[j] }) {
+		t.Fatalf("Do order not row-major: %v", visited)
+	}
+}
+
+func ExampleSharded() {
+	// A sharded matrix accepts concurrent batches from many collectors.
+	sm, err := hhgb.NewSharded(hhgb.IPv4Space, hhgb.WithShards(4))
+	if err != nil {
+		panic(err)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c uint64) {
+			defer wg.Done()
+			// Every collector sees the same two flows.
+			srcs := []uint64{0x0a000001, 0x0a000002}
+			dsts := []uint64{0x08080808, 0x08080808}
+			if err := sm.Update(srcs, dsts); err != nil {
+				panic(err)
+			}
+		}(uint64(c))
+	}
+	wg.Wait()
+	if err := sm.Close(); err != nil { // drain all queues
+		panic(err)
+	}
+	sum, err := sm.Summary()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sum.Entries, sum.TotalPackets)
+	// Output: 2 8
+}
