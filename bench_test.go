@@ -195,10 +195,12 @@ func BenchmarkE11_FlatVsHier(b *testing.B) {
 // frontend against the flat (single-cascade, single-goroutine) path on the
 // same pre-generated stream. The flat case is the E1 configuration; the
 // sharded cases hash-partition one logical matrix across S cascades and
-// feed it from GOMAXPROCS producer goroutines. On a machine with >= 4
-// cores the shards=4 (and higher) rows sustain >= 2x the flat aggregate
-// update throughput; timing includes the final drain (Close), so queued
-// batches cannot inflate the rate.
+// feed it from GOMAXPROCS producer goroutines — "sharded-N" through the
+// pooled Update path, "append-N" through per-producer Appenders (each
+// parallel worker owns its shard buffers, the zero-contention fast path).
+// On a machine with >= 4 cores the shards=4 (and higher) rows sustain
+// >= 2x the flat aggregate update throughput; timing includes the final
+// drain (Close), so queued or buffered batches cannot inflate the rate.
 func BenchmarkE13_ShardedVsFlat(b *testing.B) {
 	const batch = 10_000
 	prep := func(b *testing.B, seed uint64) ([][]gb.Index, [][]gb.Index, []uint64) {
@@ -243,8 +245,8 @@ func BenchmarkE13_ShardedVsFlat(b *testing.B) {
 		b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "updates/s")
 	})
 
-	for _, shards := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+	shardedCase := func(shards int, useAppenders bool) func(b *testing.B) {
+		return func(b *testing.B) {
 			rows, cols, vals := prep(b, 0xe13)
 			sm, err := NewSharded(1<<32, WithShards(shards))
 			if err != nil {
@@ -262,10 +264,19 @@ func BenchmarkE13_ShardedVsFlat(b *testing.B) {
 			}
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
+				push := sm.UpdateWeighted
+				if useAppenders {
+					a, err := sm.NewAppender()
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					push = a.AppendWeighted
+				}
 				k := 0
 				for pb.Next() {
 					p := k % len(uRows)
-					if err := sm.UpdateWeighted(uRows[p], uCols[p], vals); err != nil {
+					if err := push(uRows[p], uCols[p], vals); err != nil {
 						b.Error(err)
 						return
 					}
@@ -277,7 +288,13 @@ func BenchmarkE13_ShardedVsFlat(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "updates/s")
-		})
+		}
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sharded-%d", shards), shardedCase(shards, false))
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("append-%d", shards), shardedCase(shards, true))
 	}
 }
 

@@ -1,0 +1,210 @@
+// Command hhgb-shards measures the single-node shard-scaling figure: one
+// logical traffic matrix, shard count on the x-axis, a fixed pool of
+// producer goroutines streaming a fixed workload through per-producer
+// appenders. It is the dedicated harness for the concurrent sharded ingest
+// frontend (the ROADMAP's "shards on x-axis" figure) and the source of the
+// BENCH_shards.json trajectory artifact CI accumulates.
+//
+// The sweep reports, per shard count, the aggregate ingest rate (timed
+// through the final drain, so buffered or queued work is never credited)
+// and the speedup over a flat single-goroutine cascade streamed the same
+// workload. It then cross-checks the pushdown query path: top-k and entry
+// counts computed shard-locally and merged must equal the materialized
+// merged matrix exactly.
+//
+// Usage:
+//
+//	hhgb-shards [-edges N] [-batch N] [-scale S] [-producers P]
+//	            [-shards 1,2,4,8] [-levels N] [-base-cut N] [-ratio N]
+//	            [-handoff N] [-out BENCH_shards.json] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hhgb/internal/bench"
+	"hhgb/internal/cluster"
+	"hhgb/internal/gb"
+	"hhgb/internal/hier"
+	"hhgb/internal/powerlaw"
+	"hhgb/internal/shard"
+	"hhgb/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hhgb-shards: ")
+	var (
+		edges     = flag.Int("edges", 4_000_000, "total updates per sweep point")
+		batch     = flag.Int("batch", 100_000, "updates per batch (the paper's set size)")
+		scale     = flag.Int("scale", 24, "R-MAT scale (2^scale vertices)")
+		producers = flag.Int("producers", 0, "producer goroutines (0 = all cores)")
+		shardsCSV = flag.String("shards", "", "comma-separated shard counts (default: powers of two through 2x cores)")
+		levels    = flag.Int("levels", hier.DefaultLevels, "cascade levels per shard")
+		baseCut   = flag.Int("base-cut", hier.DefaultBaseCut, "cut c1 of the lowest level")
+		ratio     = flag.Int("ratio", hier.DefaultCutRatio, "geometric cut ratio")
+		handoff   = flag.Int("handoff", shard.DefaultHandoff, "per-shard producer buffer size in entries")
+		out       = flag.String("out", "BENCH_shards.json", "trajectory JSON output path (empty to skip)")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if err := run(*edges, *batch, *scale, *producers, *shardsCSV, *levels, *baseCut, *ratio, *handoff, *out, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseShards(csv string) ([]int, error) {
+	if csv == "" {
+		return nil, nil // cluster.ShardSweep picks the default
+	}
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-shards %q: counts must be positive integers", csv)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(edges, batch, scale, producers int, shardsCSV string, levels, baseCut, ratio, handoff int, out string, seed uint64) error {
+	shardCounts, err := parseShards(shardsCSV)
+	if err != nil {
+		return err
+	}
+	if producers < 1 {
+		producers = runtime.GOMAXPROCS(0)
+	}
+	cuts := hier.GeometricCuts(levels, baseCut, ratio)
+	cfg := cluster.ShardSweepConfig{
+		Cuts:        cuts,
+		Stream:      powerlaw.StreamSpec{TotalEdges: edges, SetSize: batch, Scale: scale, Seed: seed},
+		ShardCounts: shardCounts,
+		Producers:   producers,
+		Handoff:     handoff,
+	}
+
+	fmt.Printf("single-node shard scaling: one logical 2^%d x 2^%d matrix\n", scale, scale)
+	fmt.Printf("  workload: %d updates in batches of %d   producers: %d   cuts: %v   handoff: %d\n\n",
+		edges, batch, producers, cuts, handoff)
+
+	res, err := cluster.ShardSweep(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("flat baseline (1 cascade, 1 goroutine): %s\n\n", res.Flat)
+	series := bench.Series{Name: "sharded"}
+	for _, p := range res.Points {
+		series.Add(float64(p.Shards), p.Rate())
+	}
+	flatSeries := bench.Series{Name: "flat"}
+	for _, p := range res.Points {
+		flatSeries.Add(float64(p.Shards), res.Flat.PerSecond())
+	}
+	fmt.Print(bench.FormatTable("shards", []bench.Series{series, flatSeries}))
+	fmt.Println()
+	for _, p := range res.Points {
+		fmt.Printf("  shards=%-3d %12s updates/s   %.2fx vs flat\n", p.Shards, bench.Eng(p.Rate()), p.Speedup)
+	}
+	fmt.Println()
+	fmt.Print(bench.PlotLogLog([]bench.Series{series, flatSeries}, 56, 12))
+
+	if err := checkPushdown(scale, cuts, batch, seed); err != nil {
+		return err
+	}
+
+	if out != "" {
+		traj := bench.NewTrajectory("shards", "updates/s")
+		traj.Meta = map[string]string{
+			"edges":     strconv.Itoa(edges),
+			"batch":     strconv.Itoa(batch),
+			"scale":     strconv.Itoa(scale),
+			"producers": strconv.Itoa(producers),
+			"handoff":   strconv.Itoa(handoff),
+		}
+		traj.AddPoint("flat", 0, res.Flat.PerSecond(), nil)
+		for _, p := range res.Points {
+			traj.AddPoint(fmt.Sprintf("shards=%d", p.Shards), float64(p.Shards), p.Rate(),
+				map[string]float64{"speedup_vs_flat": p.Speedup})
+		}
+		if err := traj.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote trajectory point: %s\n", out)
+	}
+	return nil
+}
+
+// checkPushdown streams one small workload and verifies the pushdown
+// queries against the materialized merged matrix, timing both paths —
+// the read-side half of the sharding story.
+func checkPushdown(scale int, cuts []int, batch int, seed uint64) error {
+	const sets = 8
+	dim := gb.Index(1) << uint(scale)
+	g, err := shard.NewGroup[uint64](dim, dim, shard.Config{Hier: hier.Config{Cuts: cuts}})
+	if err != nil {
+		return err
+	}
+	stream := powerlaw.StreamSpec{TotalEdges: sets * batch, SetSize: batch, Scale: scale, Seed: seed}
+	for k := 0; k < sets; k++ {
+		edgesK, err := stream.GenerateSet(k)
+		if err != nil {
+			return err
+		}
+		r, c, v := powerlaw.ToTuples(edgesK)
+		if err := g.Update(r, c, v); err != nil {
+			return err
+		}
+	}
+	defer g.Close()
+
+	const k = 10
+	t0 := time.Now()
+	top, err := g.TopRows(k)
+	if err != nil {
+		return err
+	}
+	nvals, err := g.NVals()
+	if err != nil {
+		return err
+	}
+	pushdown := time.Since(t0)
+
+	t0 = time.Now()
+	q, err := g.Query()
+	if err != nil {
+		return err
+	}
+	vec, err := gb.ReduceRows(q, gb.Plus[uint64]())
+	if err != nil {
+		return err
+	}
+	want, err := stats.SelectTopK(vec, k)
+	if err != nil {
+		return err
+	}
+	materialized := time.Since(t0)
+
+	if nvals != q.NVals() {
+		return fmt.Errorf("pushdown NVals %d != materialized %d", nvals, q.NVals())
+	}
+	if len(top) != len(want) {
+		return fmt.Errorf("pushdown top-k length %d != materialized %d", len(top), len(want))
+	}
+	for i := range top {
+		if top[i] != want[i] {
+			return fmt.Errorf("pushdown top-k[%d] = %+v, materialized %+v", i, top[i], want[i])
+		}
+	}
+	fmt.Printf("\npushdown query check: top-%d and nvals identical to materialized merge\n", k)
+	fmt.Printf("  pushdown %v   materialized %v   (%d entries)\n", pushdown.Round(time.Microsecond), materialized.Round(time.Microsecond), nvals)
+	return nil
+}

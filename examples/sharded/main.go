@@ -40,7 +40,14 @@ func main() {
 				go func(p int) {
 					defer wg.Done()
 					// Each producer generates its own power-law stream —
-					// think one packet collector per ingress link.
+					// think one packet collector per ingress link — and
+					// owns an Appender: its private set of shard buffers,
+					// so partitioning never contends across collectors.
+					a, err := sm.NewAppender()
+					if err != nil {
+						log.Fatal(err)
+					}
+					defer a.Close()
 					g, err := powerlaw.NewRMAT(scale, uint64(1+p))
 					if err != nil {
 						log.Fatal(err)
@@ -52,18 +59,20 @@ func main() {
 							e := g.Edge()
 							src[i], dst[i] = uint64(e.Row), uint64(e.Col)
 						}
-						if err := sm.Update(src, dst); err != nil {
+						if err := a.Append(src, dst); err != nil {
 							log.Fatal(err)
 						}
 					}
 				}(p)
 			}
 			wg.Wait()
-			return sm.Close() // drain every shard queue
+			return sm.Close() // drain every buffer and shard queue
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Summary is a pushdown query: per-shard reductions merged at
+		// read time, no global matrix ever materialized.
 		sum, err := sm.Summary()
 		if err != nil {
 			log.Fatal(err)

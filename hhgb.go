@@ -45,6 +45,7 @@ type options struct {
 	cuts       []int
 	shards     int
 	queueDepth int
+	handoff    int
 }
 
 // WithCuts sets explicit cascade cuts c1 … c(N-1); the matrix has
@@ -96,6 +97,22 @@ func WithQueueDepth(n int) Option {
 	}
 }
 
+// WithHandoff sets the per-shard producer buffer size in entries for a
+// Sharded matrix (default 4096): each producer's entries for a shard are
+// buffered locally and handed to the shard worker once the buffer reaches
+// this size (and at every flush or query barrier). Larger buffers amortize
+// queue handoffs further; smaller ones reduce the batch latency floor. It
+// applies only to NewSharded; New rejects it.
+func WithHandoff(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("%w: handoff size %d < 1", gb.ErrInvalidValue, n)
+		}
+		o.handoff = n
+		return nil
+	}
+}
+
 // Ranked is one entry of a top-k result.
 type Ranked struct {
 	ID    uint64 // source or destination id (e.g. an IP address index)
@@ -139,7 +156,7 @@ func New(dim uint64, opts ...Option) (*TrafficMatrix, error) {
 			return nil, err
 		}
 	}
-	if o.shards != 0 || o.queueDepth != 0 {
+	if o.shards != 0 || o.queueDepth != 0 || o.handoff != 0 {
 		return nil, fmt.Errorf("%w: sharding options apply to NewSharded, not New", gb.ErrInvalidValue)
 	}
 	h, err := hier.New[uint64](gb.Index(dim), gb.Index(dim), hier.Config{Cuts: o.cuts})
@@ -160,29 +177,13 @@ func (t *TrafficMatrix) Levels() int { return t.h.NumLevels() }
 // operation: amortized cost is dominated by sorting each batch once and
 // merging inside the cache-resident lowest level.
 func (t *TrafficMatrix) Update(src, dst []uint64) error {
-	if len(src) != len(dst) {
-		return fmt.Errorf("%w: src/dst lengths %d/%d differ", gb.ErrInvalidValue, len(src), len(dst))
-	}
-	ones := make([]uint64, len(src))
-	for k := range ones {
-		ones[k] = 1
-	}
-	return t.UpdateWeighted(src, dst, ones)
+	return appendUnit(src, dst, t.UpdateWeighted)
 }
 
 // UpdateWeighted streams a batch of weighted observations (e.g. packet or
 // byte counts).
 func (t *TrafficMatrix) UpdateWeighted(src, dst, weight []uint64) error {
-	if len(src) != len(dst) || len(src) != len(weight) {
-		return fmt.Errorf("%w: batch lengths %d/%d/%d differ", gb.ErrInvalidValue, len(src), len(dst), len(weight))
-	}
-	rows := make([]gb.Index, len(src))
-	cols := make([]gb.Index, len(dst))
-	for k := range src {
-		rows[k] = gb.Index(src[k])
-		cols[k] = gb.Index(dst[k])
-	}
-	return t.h.Update(rows, cols, weight)
+	return appendWeighted(src, dst, weight, t.h.Update)
 }
 
 // Entries returns the number of distinct (src, dst) pairs accumulated.
@@ -228,6 +229,83 @@ func (t *TrafficMatrix) TopDestinations(k int) ([]Ranked, error) {
 		return nil, err
 	}
 	return topDestinationsOf(q, k)
+}
+
+// appendUnit expands a unit-weight (src, dst) batch and funnels it to the
+// weighted push — the shared front half of every Update/Append method.
+func appendUnit(src, dst []uint64, pushWeighted func(src, dst, weight []uint64) error) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("%w: src/dst lengths %d/%d differ", gb.ErrInvalidValue, len(src), len(dst))
+	}
+	ones := make([]uint64, len(src))
+	for k := range ones {
+		ones[k] = 1
+	}
+	return pushWeighted(src, dst, ones)
+}
+
+// appendWeighted validates one weighted batch, converts it to gb tuples,
+// and hands them to push — the shared back half of every weighted ingest
+// method.
+func appendWeighted(src, dst, weight []uint64, push func(rows, cols []gb.Index, vals []uint64) error) error {
+	if len(src) != len(dst) || len(src) != len(weight) {
+		return fmt.Errorf("%w: batch lengths %d/%d/%d differ", gb.ErrInvalidValue, len(src), len(dst), len(weight))
+	}
+	rows := make([]gb.Index, len(src))
+	cols := make([]gb.Index, len(dst))
+	for k := range src {
+		rows[k] = gb.Index(src[k])
+		cols[k] = gb.Index(dst[k])
+	}
+	return push(rows, cols, weight)
+}
+
+// lookupIn extracts one entry from a materialized query matrix.
+func lookupIn(q *gb.Matrix[uint64], src, dst uint64) (uint64, bool, error) {
+	v, err := q.ExtractElement(gb.Index(src), gb.Index(dst))
+	if err != nil {
+		if err == gb.ErrNoValue {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// topSourcesOf ranks per-source traffic of a materialized query matrix.
+func topSourcesOf(q *gb.Matrix[uint64], k int) ([]Ranked, error) {
+	v, err := stats.OutTraffic(q)
+	if err != nil {
+		return nil, err
+	}
+	return rankedOf(v, k)
+}
+
+// topDestinationsOf ranks per-destination traffic of a materialized query
+// matrix.
+func topDestinationsOf(q *gb.Matrix[uint64], k int) ([]Ranked, error) {
+	v, err := stats.InTraffic(q)
+	if err != nil {
+		return nil, err
+	}
+	return rankedOf(v, k)
+}
+
+// summaryOf computes the aggregate statistics of a materialized query
+// matrix.
+func summaryOf(q *gb.Matrix[uint64]) (Summary, error) {
+	s, err := stats.Summarize(q)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		Entries:      s.Entries,
+		Sources:      s.Sources,
+		Destinations: s.Destinations,
+		TotalPackets: s.TotalPackets,
+		MaxOutDegree: s.MaxOutDegree,
+		MaxInDegree:  s.MaxInDegree,
+	}, nil
 }
 
 func rankedOf(v *gb.Vector[uint64], k int) ([]Ranked, error) {

@@ -7,15 +7,20 @@ import (
 	"hhgb/internal/hier"
 	"hhgb/internal/powerlaw"
 	"hhgb/internal/shard"
+	"hhgb/internal/stats"
 )
 
 // ShardedGraphBLAS is the concurrent ingest frontend as a benchmark
 // engine: one logical matrix hash-partitioned across S hierarchical
-// cascades, each behind a bounded queue drained by a worker goroutine.
-// Unlike the other engines it is internally parallel, so one instance per
-// node is the natural deployment (ScalePerServer); its Ingest is also safe
-// for concurrent producers, which the shared-nothing harnesses never need
-// but application frontends do.
+// cascades, each behind a bounded queue drained by a worker goroutine
+// (batches are partitioned into striped producer-local shard buffers, so
+// concurrent Ingest calls never contend on a shared splitter). Unlike the
+// other engines it is internally parallel, so one instance per node is the
+// natural deployment (ScalePerServer); its Ingest is also safe for
+// concurrent producers, which the shared-nothing harnesses never need but
+// application frontends do. Its analysis queries are pushed down to the
+// shard workers and merged at read time, so they run concurrently with
+// ingest at result-size serial cost.
 type ShardedGraphBLAS struct {
 	g      *shard.Group[uint64]
 	count  atomic.Int64
@@ -94,8 +99,30 @@ func (e *ShardedGraphBLAS) Close() error {
 	return e.g.Close()
 }
 
-// Query implements Queryable: the merged total across shards.
+// Query implements Queryable: the merged total across shards. Prefer the
+// pushdown queries below when the full matrix is not needed.
 func (e *ShardedGraphBLAS) Query() (*gb.Matrix[uint64], error) { return e.g.Query() }
+
+// NVals returns the distinct stored entry count: per-shard counts summed,
+// no global materialization.
+func (e *ShardedGraphBLAS) NVals() (int, error) { return e.g.NVals() }
+
+// Lookup returns one cell's accumulated weight, routed to the single shard
+// that owns the cell.
+func (e *ShardedGraphBLAS) Lookup(row, col gb.Index) (uint64, bool, error) {
+	return e.g.Lookup(row, col)
+}
+
+// TopSources returns the k sources with the most total traffic: per-shard
+// row sums pushed down to the workers, merged, and heap-selected.
+func (e *ShardedGraphBLAS) TopSources(k int) ([]stats.Top[uint64], error) {
+	return e.g.TopRows(k)
+}
+
+// TopDestinations is TopSources over destinations (column sums).
+func (e *ShardedGraphBLAS) TopDestinations(k int) ([]stats.Top[uint64], error) {
+	return e.g.TopCols(k)
+}
 
 // Stats exposes the merged cascade counters for analysis.
 func (e *ShardedGraphBLAS) Stats() hier.Stats { return e.g.Stats() }

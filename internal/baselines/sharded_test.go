@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"hhgb/internal/gb"
+	"hhgb/internal/powerlaw"
+	"hhgb/internal/stats"
 )
 
 // TestShardedEngineMatchesHier is the engine-level linearity invariant for
@@ -73,4 +75,64 @@ func TestShardedEngineConcurrentIngest(t *testing.T) {
 	if err := se.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestShardedEnginePushdownQueries checks the pushdown accessors agree
+// with the materialized query.
+func TestShardedEnginePushdownQueries(t *testing.T) {
+	e, err := NewShardedGraphBLAS(1<<24, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	g, err := powerlaw.NewRMAT(24, 0x5eed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ingest(g.Edges(5000)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.NVals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != q.NVals() {
+		t.Fatalf("NVals = %d, materialized %d", n, q.NVals())
+	}
+	top, err := e.TopSources(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := stats.OutTraffic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := stats.SelectTopK(vec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != len(want) {
+		t.Fatalf("top-k length %d, want %d", len(top), len(want))
+	}
+	for i := range top {
+		if top[i] != want[i] {
+			t.Fatalf("top[%d] = %+v, want %+v", i, top[i], want[i])
+		}
+	}
+	if _, err := e.TopDestinations(5); err != nil {
+		t.Fatal(err)
+	}
+	var hits int
+	q.Iterate(func(i, j gb.Index, v uint64) bool {
+		got, ok, err := e.Lookup(i, j)
+		if err != nil || !ok || got != v {
+			t.Fatalf("Lookup(%d,%d) = %d,%v,%v; want %d,true,nil", i, j, got, ok, err, v)
+		}
+		hits++
+		return hits < 10
+	})
 }

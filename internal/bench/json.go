@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Trajectory is the schema of the BENCH_*.json artifacts the CI bench-smoke
+// job uploads: one benchmark family per file, with enough environment
+// context (host shape, commit supplied via Meta) that points from different
+// runs can be compared over time. The perf trajectory of the project is the
+// accumulated sequence of these files.
+type Trajectory struct {
+	// Benchmark names the family, e.g. "shards".
+	Benchmark string `json:"benchmark"`
+	// Unit is the unit of every point's Value, e.g. "updates/s".
+	Unit string `json:"unit"`
+	// Timestamp is the measurement time in RFC 3339 UTC.
+	Timestamp string `json:"timestamp"`
+	// GoMaxProcs records the core budget of the measuring host — shard
+	// scaling numbers are meaningless without it.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Meta carries free-form context (flag values, commit, host class).
+	Meta map[string]string `json:"meta,omitempty"`
+	// Points is the measured series.
+	Points []TrajectoryPoint `json:"points"`
+}
+
+// TrajectoryPoint is one measured sample of a trajectory.
+type TrajectoryPoint struct {
+	// Label names the configuration, e.g. "shards=4".
+	Label string `json:"label"`
+	// X is the sweep coordinate (shard count, batch size, ...).
+	X float64 `json:"x"`
+	// Value is the measurement in the trajectory's Unit.
+	Value float64 `json:"value"`
+	// Extra carries secondary per-point measurements (speedup, balance).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// NewTrajectory returns a trajectory stamped with the current time and
+// host shape.
+func NewTrajectory(benchmark, unit string) *Trajectory {
+	return &Trajectory{
+		Benchmark:  benchmark,
+		Unit:       unit,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}
+
+// AddPoint appends one sample.
+func (t *Trajectory) AddPoint(label string, x, value float64, extra map[string]float64) {
+	t.Points = append(t.Points, TrajectoryPoint{Label: label, X: x, Value: value, Extra: extra})
+}
+
+// WriteFile writes the trajectory as indented JSON, atomically enough for
+// CI (temp file + rename, so a crashed run never leaves a torn artifact).
+func (t *Trajectory) WriteFile(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadTrajectory loads a trajectory written by WriteFile.
+func ReadTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &t, nil
+}

@@ -243,6 +243,35 @@ func (h *Matrix[T]) Flush() (*gb.Matrix[T], error) {
 	return top, nil
 }
 
+// ExtractElement returns the accumulated value at (i, j), summed across
+// levels, and whether any level stores the cell. Because a cell can live at
+// several levels at once (recent traffic in A1, cascaded history above),
+// the per-level values are combined with the accumulation operator — by
+// linearity this equals the value a full Query would materialize, at
+// O(levels x log nnz) cost instead of O(nnz).
+func (h *Matrix[T]) ExtractElement(i, j gb.Index) (T, bool, error) {
+	var total T
+	if i >= h.nrows || j >= h.ncols {
+		return total, false, fmt.Errorf("%w: (%d,%d) outside %d x %d", gb.ErrIndexOutOfBounds, i, j, h.nrows, h.ncols)
+	}
+	found := false
+	for _, lvl := range h.levels {
+		v, err := lvl.ExtractElement(i, j)
+		if err != nil {
+			if err == gb.ErrNoValue {
+				continue
+			}
+			return total, false, err
+		}
+		if !found {
+			total, found = v, true
+			continue
+		}
+		total = h.plus(total, v)
+	}
+	return total, found, nil
+}
+
 // NVals returns the exact number of distinct stored entries across the
 // hierarchy. It requires a full Query (entries may be split across levels),
 // so it is an analysis-time operation, not an ingest-time one.

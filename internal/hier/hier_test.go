@@ -369,3 +369,38 @@ func TestDeepCascadePropagates(t *testing.T) {
 		t.Fatalf("NVals = %d", n)
 	}
 }
+
+// TestExtractElementSumsLevels checks the point lookup equals the
+// materialized query for cells living at one level, split across levels,
+// and absent — plus the bounds error.
+func TestExtractElementSumsLevels(t *testing.T) {
+	h := MustNew[uint64](1<<20, 1<<20, Config{Cuts: []int{2, 8}})
+	// Repeatedly update one cell so copies of it cascade upward and the
+	// cell exists at several levels at once.
+	for i := 0; i < 12; i++ {
+		if err := h.Update([]gb.Index{7, uint64(100 + i)}, []gb.Index{9, 3}, []uint64{5, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := h.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := q.ExtractElement(7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := h.ExtractElement(7, 9)
+	if err != nil || !ok {
+		t.Fatalf("ExtractElement(7,9) ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("ExtractElement(7,9) = %d, Query says %d", got, want)
+	}
+	if _, ok, err := h.ExtractElement(8, 8); err != nil || ok {
+		t.Fatalf("absent cell: ok=%v err=%v; want false, nil", ok, err)
+	}
+	if _, _, err := h.ExtractElement(1<<20, 0); err == nil {
+		t.Fatal("out of bounds should fail")
+	}
+}

@@ -1,0 +1,296 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/hier"
+)
+
+// TestAppenderMatchesFlat feeds the same stream through per-producer
+// appenders (small handoff so buffers cycle many times) and a flat
+// cascade; the merged query must be bit-identical.
+func TestAppenderMatchesFlat(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.Handoff = 64 // force many mid-batch handoffs
+	g, err := NewGroup[uint64](testDim, testDim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := hier.MustNew[uint64](testDim, testDim, cfg.Hier)
+	rows, cols, vals := genBatches(t, 12, 500, 99)
+	a, err := g.NewAppender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range rows {
+		if err := a.Append(rows[k], cols[k], vals[k]); err != nil {
+			t.Fatal(err)
+		}
+		if err := flat.Update(rows[k], cols[k], vals[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := flat.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gb.Equal(got, want) {
+		t.Fatalf("appender-fed query (nvals %d) differs from flat (nvals %d)", got.NVals(), want.NVals())
+	}
+}
+
+// TestAppenderBuffersDrainOnBarrier checks that entries still sitting in
+// an appender's local buffers are visible to every query barrier without
+// an explicit appender Flush.
+func TestAppenderBuffersDrainOnBarrier(t *testing.T) {
+	g, err := NewGroup[uint64](testDim, testDim, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	a, err := g.NewAppender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Append([]gb.Index{1, 2, 3}, []gb.Index{4, 5, 6}, []uint64{7, 7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Buffered() != 3 {
+		t.Fatalf("Buffered = %d, want 3 (below handoff threshold)", a.Buffered())
+	}
+	n, err := g.NVals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("NVals = %d, want 3: query barrier must drain appender buffers", n)
+	}
+	if a.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after barrier, want 0", a.Buffered())
+	}
+}
+
+// TestAppenderLifecycle covers the error paths: Append/Flush after
+// appender Close, Append/Flush/NewAppender after group Close, double
+// closes of both, and that a closing appender hands off its buffers.
+func TestAppenderLifecycle(t *testing.T) {
+	g, err := NewGroup[uint64](testDim, testDim, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.NewAppender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append([]gb.Index{10}, []gb.Index{20}, []uint64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := a.Append([]gb.Index{1}, []gb.Index{1}, []uint64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after appender Close = %v, want ErrClosed", err)
+	}
+	if err := a.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after appender Close = %v, want ErrClosed", err)
+	}
+	// The buffered entry was handed off by Close.
+	if n, err := g.NVals(); err != nil || n != 1 {
+		t.Fatalf("NVals = %d, %v; want 1, nil", n, err)
+	}
+
+	b, err := g.NewAppender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append([]gb.Index{11}, []gb.Index{21}, []uint64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Group Close drained b's buffer even though b was never closed.
+	if n, err := g.NVals(); err != nil || n != 2 {
+		t.Fatalf("NVals after group Close = %d, %v; want 2, nil", n, err)
+	}
+	if err := b.Append([]gb.Index{1}, []gb.Index{1}, []uint64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after group Close = %v, want ErrClosed", err)
+	}
+	if err := b.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("appender Flush after group Close = %v, want ErrClosed", err)
+	}
+	if err := b.Close(); err != nil { // detach after group close is fine
+		t.Fatal(err)
+	}
+	if _, err := g.NewAppender(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("NewAppender after group Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestGroupFlushAfterClose pins the Flush-after-Close contract: it reports
+// the Close outcome (nil on a clean close) instead of whatever the dead
+// queues would do, and the group stays queryable.
+func TestGroupFlushAfterClose(t *testing.T) {
+	g, err := NewGroup[uint64](testDim, testDim, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Update([]gb.Index{1}, []gb.Index{2}, []uint64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil { // double Close is idempotent
+		t.Fatal(err)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatalf("Flush after clean Close = %v, want nil", err)
+	}
+	if err := g.Err(); err != nil {
+		t.Fatalf("Err after clean Close = %v, want nil", err)
+	}
+	if n, err := g.NVals(); err != nil || n != 1 {
+		t.Fatalf("NVals after Close = %d, %v; want 1, nil", n, err)
+	}
+}
+
+// TestConcurrentAppendFlush hammers appenders from many producers while
+// other goroutines Flush, query, and finally Close the group — the -race
+// proof for the buffered ingest path and its barrier coordination.
+func TestConcurrentAppendFlush(t *testing.T) {
+	const producers = 4
+	const batches = 20
+	const batchSize = 200
+	cfg := testConfig(3)
+	cfg.Handoff = 128
+	g, err := NewGroup[uint64](testDim, testDim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			a, err := g.NewAppender()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer a.Close()
+			rows, cols, vals := genBatches(t, batches, batchSize, uint64(500+p))
+			for k := range rows {
+				if err := a.Append(rows[k], cols[k], vals[k]); err != nil {
+					t.Error(err)
+					return
+				}
+				if k%7 == 0 {
+					if err := a.Flush(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	// Concurrent group-level flushes and queries against the appenders.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			if err := g.Flush(); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := g.NVals(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.Updates != int64(producers*batches*batchSize) {
+		t.Fatalf("Updates = %d, want %d", st.Updates, producers*batches*batchSize)
+	}
+}
+
+// TestAppenderRejectsBadBatches checks Append validates like Update: a
+// malformed batch is rejected whole with nothing buffered.
+func TestAppenderRejectsBadBatches(t *testing.T) {
+	g, err := NewGroup[uint64](1<<10, 1<<10, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	a, err := g.NewAppender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Append([]gb.Index{1}, []gb.Index{2, 3}, []uint64{1}); !errors.Is(err, gb.ErrInvalidValue) {
+		t.Fatalf("mismatched lengths = %v, want ErrInvalidValue", err)
+	}
+	if err := a.Append([]gb.Index{1 << 10}, []gb.Index{0}, []uint64{1}); !errors.Is(err, gb.ErrIndexOutOfBounds) {
+		t.Fatalf("out of bounds = %v, want ErrIndexOutOfBounds", err)
+	}
+	if a.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after rejected batches, want 0", a.Buffered())
+	}
+}
+
+// TestUpdatePoolReuse drives the pooled Update path long enough that
+// appenders are recycled, and checks nothing is lost or duplicated.
+func TestUpdatePoolReuse(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Handoff = 100
+	g, err := NewGroup[uint64](testDim, testDim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 8
+	const batches = 15
+	const batchSize = 333
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rows, cols, vals := genBatches(t, batches, batchSize, uint64(900+p))
+			for k := range rows {
+				if err := g.Update(rows[k], cols[k], vals[k]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.Updates != int64(producers*batches*batchSize) {
+		t.Fatalf("Updates = %d, want %d", st.Updates, producers*batches*batchSize)
+	}
+}

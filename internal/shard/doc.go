@@ -7,23 +7,38 @@
 // paper reaches 75B inserts/second by running ~31,000 shared-nothing
 // hierarchical matrix instances across 1,100 servers; the follow-up work
 // (arXiv:2108.06650) shows the same shared-nothing composition applies
-// *inside* one node across cores. A Group is exactly that composition:
+// *inside* one node across cores. A Group is exactly that composition, with
+// per-producer shard buffers so partitioning is amortized and P producers
+// never contend on a shared splitter:
 //
-//	producer(s) ──Update──▶ hash(src,dst) ─┬─▶ chan ─▶ worker 0 ─▶ cascade 0
-//	                                       ├─▶ chan ─▶ worker 1 ─▶ cascade 1
-//	                                       ┆                    ┆
-//	                                       └─▶ chan ─▶ worker S-1 ─▶ cascade S-1
+//	producer 0 ─Append─▶ S local buffers ─┐ (handoff on full buffer)
+//	producer 1 ─Append─▶ S local buffers ─┼─▶ chan ─▶ worker 0 ─▶ cascade 0
+//	     ┆                                ├─▶ chan ─▶ worker 1 ─▶ cascade 1
+//	producer P ─Append─▶ S local buffers ─┘        ┆            ┆
+//	                                       ─▶ chan ─▶ worker S-1 ─▶ cascade S-1
 //
 // Ingest is wait-free between shards: each worker sorts and merges only its
-// own sub-batches inside its own cache-resident level-1 matrix, so aggregate
+// own buffers inside its own cache-resident level-1 matrix, so aggregate
 // update throughput scales with cores until memory bandwidth saturates.
-// Because GraphBLAS addition is linear, the union of the shard cascades is
-// exactly equivalent to one flat accumulation; analysis-time queries merge
-// the per-shard totals with Σ and are bit-identical to the unsharded path
-// (a property the package tests verify).
+// Each producer either calls Update (which borrows a striped buffer set)
+// or owns an Appender (its own P×S buffer row above); a buffer is handed to its
+// shard queue when it reaches Config.Handoff entries, so the per-entry
+// producer cost is one hash and one append regardless of shard count.
 //
-// Lifecycle: Update may be called from any number of goroutines. Flush
-// drains every queue and completes all cascade work. Close flushes, stops
-// the workers, and leaves the group readable (queries keep working on the
-// drained state); Update after Close returns ErrClosed.
+// Because GraphBLAS addition is linear and the hash assigns every (row,
+// col) cell to exactly one shard, the union of the shard cascades is
+// exactly equivalent to one flat accumulation. Analysis queries are pushed
+// down to the shards and merged at read time — degrees, sums, and counts by
+// monoid merge, top-k by bounded heap, single cells by routing to the one
+// owning shard — so the serial read-time cost is the result size, not the
+// total stored nnz; Query still materializes the full merged Σ when the
+// whole matrix is wanted. Every query observes a batch-atomic snapshot and
+// is bit-identical to the unsharded path (properties the package tests
+// verify).
+//
+// Lifecycle: Update/Append may be called from any number of goroutines
+// (each Appender from one). Flush drains every producer buffer and queue
+// and completes all cascade work. Close flushes, stops the workers, and
+// leaves the group readable (queries keep working on the drained state);
+// Update and Append after Close return ErrClosed.
 package shard

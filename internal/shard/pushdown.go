@@ -1,0 +1,361 @@
+package shard
+
+import (
+	"fmt"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/hier"
+	"hhgb/internal/stats"
+)
+
+// Pushdown queries.
+//
+// Every query here runs its per-shard computation on the shard's own
+// worker goroutine (through the run barrier, so the snapshot is
+// batch-atomic and concurrent with ingest on the other shards) and merges
+// the S partial results at read time. Because the hash partition assigns
+// each (row, col) cell to exactly one shard, the merges are exact:
+//
+//   - counts and value totals add (monoid merge),
+//   - row/column vectors (sums, degrees) merge elementwise with the plus
+//     monoid — a cell contributes on exactly one shard, so no entry is
+//     double-counted,
+//   - top-k ranks the merged vector with a bounded heap.
+//
+// The old path — materialize the global Σ over shards and levels, then
+// reduce — cost O(total nnz) serially per query. Here the O(shard nnz)
+// work runs on S workers concurrently and the serial read-time merge is
+// O(result size): vector length for degrees/sums, k for top-k, one cell
+// for Lookup, a scalar for counts. The package tests verify every pushdown
+// result is bit-identical to reducing the materialized flat matrix.
+
+// NVals returns the number of distinct stored entries in the logical
+// matrix: the per-shard counts, summed.
+func (g *Group[T]) NVals() (int, error) {
+	ns := make([]int, len(g.workers))
+	errs := make([]error, len(g.workers))
+	if err := g.run(func(i int, w *worker[T]) {
+		if w.err != nil {
+			errs[i] = w.err
+			return
+		}
+		ns[i], errs[i] = w.m.NVals()
+	}); err != nil {
+		return 0, err
+	}
+	if err := firstError(errs); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range ns {
+		total += n
+	}
+	return total, nil
+}
+
+// Total returns the sum of every stored value. It is fully incremental:
+// each worker reduces its levels directly (value sums are linear, so no
+// shard ever materializes its Σ) and the S partial sums add.
+func (g *Group[T]) Total() (T, error) {
+	parts := make([]T, len(g.workers))
+	errs := make([]error, len(g.workers))
+	plus := gb.Plus[T]()
+	if err := g.run(func(i int, w *worker[T]) {
+		if w.err != nil {
+			errs[i] = w.err
+			return
+		}
+		var acc T
+		for l := 0; l < w.m.NumLevels(); l++ {
+			s, err := gb.ReduceScalar(w.m.Level(l), plus)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			acc = plus.Op(acc, s)
+		}
+		parts[i] = acc
+	}); err != nil {
+		var zero T
+		return zero, err
+	}
+	var total T
+	if err := firstError(errs); err != nil {
+		return total, err
+	}
+	for _, p := range parts {
+		total = plus.Op(total, p)
+	}
+	return total, nil
+}
+
+// Lookup returns the accumulated value of one cell and whether any traffic
+// was recorded for it. The cell lives on exactly one shard, so only that
+// shard is drained and barriered and only its worker does lookup work —
+// O(levels x log shard-nnz), with no materialization anywhere and latency
+// independent of the other shards' queue depth.
+func (g *Group[T]) Lookup(row, col gb.Index) (T, bool, error) {
+	var zero T
+	if row >= g.nrows || col >= g.ncols {
+		return zero, false, fmt.Errorf("%w: (%d,%d) outside %d x %d", gb.ErrIndexOutOfBounds, row, col, g.nrows, g.ncols)
+	}
+	sh := g.shardOf(row, col)
+	var v T
+	var ok bool
+	var lookupErr error
+	if err := g.runOne(sh, func(w *worker[T]) {
+		if w.err != nil {
+			lookupErr = w.err
+			return
+		}
+		v, ok, lookupErr = w.m.ExtractElement(row, col)
+	}); err != nil {
+		return zero, false, err
+	}
+	if lookupErr != nil {
+		return zero, false, fmt.Errorf("shard %d: %w", sh, lookupErr)
+	}
+	return v, ok, nil
+}
+
+// mergeVecs folds per-shard partial vectors elementwise with add. Nil
+// partials (shards that computed nothing) are skipped; the merge of all-nil
+// returns an empty vector of the given length.
+func mergeVecs[T gb.Number](parts []*gb.Vector[T], n gb.Index, add gb.BinaryOp[T]) (*gb.Vector[T], error) {
+	var acc *gb.Vector[T]
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if acc == nil {
+			acc = p
+			continue
+		}
+		var err error
+		acc, err = gb.VecEWiseAdd(acc, p, add)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if acc == nil {
+		return gb.NewVector[T](n)
+	}
+	return acc, nil
+}
+
+// vectorKind selects which per-shard vector a pushdown query computes.
+type vectorKind int
+
+const (
+	rowSums vectorKind = iota
+	colSums
+	rowDegrees
+	colDegrees
+)
+
+// shardVector computes one shard's partial vector on the worker goroutine.
+// Sums are linear, so they reduce level by level with no materialization;
+// degrees count distinct cells (not linear across levels, which can store
+// the same cell), so they reduce the shard's materialized Σ.
+func shardVector[T gb.Number](m *hier.Matrix[T], kind vectorKind, n gb.Index) (*gb.Vector[T], error) {
+	plus := gb.Plus[T]()
+	switch kind {
+	case rowSums, colSums:
+		var acc *gb.Vector[T]
+		for l := 0; l < m.NumLevels(); l++ {
+			lvl := m.Level(l)
+			var v *gb.Vector[T]
+			var err error
+			if kind == rowSums {
+				v, err = gb.ReduceRows(lvl, plus)
+			} else {
+				v, err = gb.ReduceCols(lvl, plus)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if acc == nil {
+				acc = v
+				continue
+			}
+			acc, err = gb.VecEWiseAdd(acc, v, plus.Op)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if acc == nil {
+			return gb.NewVector[T](n)
+		}
+		return acc, nil
+	default:
+		q, err := m.Query()
+		if err != nil {
+			return nil, err
+		}
+		ones, err := gb.Apply(q, func(T) T { return 1 })
+		if err != nil {
+			return nil, err
+		}
+		if kind == rowDegrees {
+			return gb.ReduceRows(ones, plus)
+		}
+		return gb.ReduceCols(ones, plus)
+	}
+}
+
+// vector runs one pushdown vector query: per-shard partials on the
+// workers, merged with the plus monoid at read time.
+func (g *Group[T]) vector(kind vectorKind) (*gb.Vector[T], error) {
+	n := g.nrows
+	if kind == colSums || kind == colDegrees {
+		n = g.ncols
+	}
+	parts := make([]*gb.Vector[T], len(g.workers))
+	errs := make([]error, len(g.workers))
+	if err := g.run(func(i int, w *worker[T]) {
+		if w.err != nil {
+			errs[i] = w.err
+			return
+		}
+		parts[i], errs[i] = shardVector[T](w.m, kind, n)
+	}); err != nil {
+		return nil, err
+	}
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return mergeVecs(parts, n, gb.Plus[T]().Op)
+}
+
+// RowSums returns the per-row value totals (out-traffic for a traffic
+// matrix), one entry per non-empty row.
+func (g *Group[T]) RowSums() (*gb.Vector[T], error) { return g.vector(rowSums) }
+
+// ColSums returns the per-column value totals (in-traffic), one entry per
+// non-empty column.
+func (g *Group[T]) ColSums() (*gb.Vector[T], error) { return g.vector(colSums) }
+
+// RowDegrees returns, per non-empty row, the number of distinct stored
+// cells in it (out-degree: destination fan-out).
+func (g *Group[T]) RowDegrees() (*gb.Vector[T], error) { return g.vector(rowDegrees) }
+
+// ColDegrees returns, per non-empty column, the number of distinct stored
+// cells in it (in-degree: source fan-in).
+func (g *Group[T]) ColDegrees() (*gb.Vector[T], error) { return g.vector(colDegrees) }
+
+// TopRows returns the k rows with the largest value totals, in descending
+// order with ties broken by lower index — exactly the flat path's answer.
+// The per-shard sums are pushed down to the workers; the merge plus a
+// bounded-heap selection is all that runs serially.
+func (g *Group[T]) TopRows(k int) ([]stats.Top[T], error) {
+	v, err := g.RowSums()
+	if err != nil {
+		return nil, err
+	}
+	return stats.SelectTopK(v, k)
+}
+
+// TopCols returns the k columns with the largest value totals; see TopRows.
+func (g *Group[T]) TopCols(k int) ([]stats.Top[T], error) {
+	v, err := g.ColSums()
+	if err != nil {
+		return nil, err
+	}
+	return stats.SelectTopK(v, k)
+}
+
+// Aggregates is a batch-atomic snapshot of every standard aggregate, taken
+// in ONE barrier so all fields describe the same instant of the stream
+// (chaining the individual queries would let ingest slip between them).
+type Aggregates[T gb.Number] struct {
+	NVals      int           // distinct stored cells
+	Total      T             // sum of all values
+	RowSums    *gb.Vector[T] // per-row value totals
+	ColSums    *gb.Vector[T] // per-column value totals
+	RowDegrees *gb.Vector[T] // per-row distinct-cell counts
+	ColDegrees *gb.Vector[T] // per-column distinct-cell counts
+}
+
+// AggregateAll computes all pushdown aggregates in a single barrier: each
+// worker materializes its own Σ once and derives its six partials from it;
+// the merge is monoid/elementwise as in the individual queries.
+func (g *Group[T]) AggregateAll() (Aggregates[T], error) {
+	type partial struct {
+		nvals                  int
+		total                  T
+		rowS, colS, rowD, colD *gb.Vector[T]
+	}
+	plus := gb.Plus[T]()
+	parts := make([]partial, len(g.workers))
+	errs := make([]error, len(g.workers))
+	if err := g.run(func(i int, w *worker[T]) {
+		if w.err != nil {
+			errs[i] = w.err
+			return
+		}
+		q, err := w.m.Query()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		p := partial{nvals: q.NVals()}
+		if p.total, err = gb.ReduceScalar(q, plus); err != nil {
+			errs[i] = err
+			return
+		}
+		if p.rowS, err = gb.ReduceRows(q, plus); err != nil {
+			errs[i] = err
+			return
+		}
+		if p.colS, err = gb.ReduceCols(q, plus); err != nil {
+			errs[i] = err
+			return
+		}
+		ones, err := gb.Apply(q, func(T) T { return 1 })
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if p.rowD, err = gb.ReduceRows(ones, plus); err != nil {
+			errs[i] = err
+			return
+		}
+		if p.colD, err = gb.ReduceCols(ones, plus); err != nil {
+			errs[i] = err
+			return
+		}
+		parts[i] = p
+	}); err != nil {
+		return Aggregates[T]{}, err
+	}
+	if err := firstError(errs); err != nil {
+		return Aggregates[T]{}, err
+	}
+
+	var agg Aggregates[T]
+	collect := func(pick func(partial) *gb.Vector[T], n gb.Index) (*gb.Vector[T], error) {
+		vs := make([]*gb.Vector[T], len(parts))
+		for i, p := range parts {
+			vs[i] = pick(p)
+		}
+		return mergeVecs(vs, n, plus.Op)
+	}
+	var err error
+	for _, p := range parts {
+		agg.NVals += p.nvals
+		agg.Total = plus.Op(agg.Total, p.total)
+	}
+	if agg.RowSums, err = collect(func(p partial) *gb.Vector[T] { return p.rowS }, g.nrows); err != nil {
+		return Aggregates[T]{}, err
+	}
+	if agg.ColSums, err = collect(func(p partial) *gb.Vector[T] { return p.colS }, g.ncols); err != nil {
+		return Aggregates[T]{}, err
+	}
+	if agg.RowDegrees, err = collect(func(p partial) *gb.Vector[T] { return p.rowD }, g.nrows); err != nil {
+		return Aggregates[T]{}, err
+	}
+	if agg.ColDegrees, err = collect(func(p partial) *gb.Vector[T] { return p.colD }, g.ncols); err != nil {
+		return Aggregates[T]{}, err
+	}
+	return agg, nil
+}

@@ -1,0 +1,220 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/stats"
+)
+
+// feedGroup streams a deterministic batch set into a group and returns the
+// materialized merged matrix as the reference answer.
+func feedGroup(t *testing.T, g *Group[uint64], seed uint64) *gb.Matrix[uint64] {
+	t.Helper()
+	rows, cols, vals := genBatches(t, 16, 400, seed)
+	for k := range rows {
+		if err := g.Update(rows[k], cols[k], vals[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := g.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestPushdownMatchesMaterialized is the read-side correctness keystone:
+// every pushdown query — per-shard partials merged at read time — must be
+// bit-identical to reducing the materialized merged matrix, which the
+// original implementation did (and TestGroupMatchesFlat ties to the flat
+// path). Covers NVals, Total, row/col sums, row/col degrees, top-k, and
+// Lookup, across shard counts, both before and after Close.
+func TestPushdownMatchesMaterialized(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			g, err := NewGroup[uint64](testDim, testDim, testConfig(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := feedGroup(t, g, uint64(40+shards))
+			check := func(t *testing.T) {
+				t.Helper()
+				plus := gb.Plus[uint64]()
+
+				nvals, err := g.NVals()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if nvals != q.NVals() {
+					t.Fatalf("NVals = %d, want %d", nvals, q.NVals())
+				}
+
+				total, err := g.Total()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantTotal, err := gb.ReduceScalar(q, plus)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if total != wantTotal {
+					t.Fatalf("Total = %d, want %d", total, wantTotal)
+				}
+
+				vecChecks := []struct {
+					name string
+					got  func() (*gb.Vector[uint64], error)
+					want func() (*gb.Vector[uint64], error)
+				}{
+					{"RowSums", g.RowSums, func() (*gb.Vector[uint64], error) { return gb.ReduceRows(q, plus) }},
+					{"ColSums", g.ColSums, func() (*gb.Vector[uint64], error) { return gb.ReduceCols(q, plus) }},
+					{"RowDegrees", g.RowDegrees, func() (*gb.Vector[uint64], error) { return stats.OutDegrees(q) }},
+					{"ColDegrees", g.ColDegrees, func() (*gb.Vector[uint64], error) { return stats.InDegrees(q) }},
+				}
+				for _, vc := range vecChecks {
+					got, err := vc.got()
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := vc.want()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !gb.VecEqual(got, want) {
+						t.Fatalf("%s: pushdown vector differs from materialized reduction (nvals %d vs %d)",
+							vc.name, got.NVals(), want.NVals())
+					}
+				}
+
+				for _, k := range []int{0, 1, 5, 1 << 20} {
+					top, err := g.TopRows(k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					vec, err := gb.ReduceRows(q, plus)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := stats.SelectTopK(vec, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(top) != len(want) {
+						t.Fatalf("TopRows(%d) length %d, want %d", k, len(top), len(want))
+					}
+					for i := range top {
+						if top[i] != want[i] {
+							t.Fatalf("TopRows(%d)[%d] = %+v, want %+v", k, i, top[i], want[i])
+						}
+					}
+				}
+
+				// Lookup every stored cell of a row slice plus an absent one.
+				count := 0
+				q.Iterate(func(i, j gb.Index, v uint64) bool {
+					got, ok, err := g.Lookup(i, j)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ok || got != v {
+						t.Fatalf("Lookup(%d,%d) = %d,%v; want %d,true", i, j, got, ok, v)
+					}
+					count++
+					return count < 25
+				})
+				if _, ok, err := g.Lookup(testDim-1, testDim-1); err != nil || ok {
+					t.Fatalf("Lookup(absent) = ok=%v err=%v; want false, nil", ok, err)
+				}
+				if _, _, err := g.Lookup(testDim, 0); err == nil {
+					t.Fatal("Lookup out of bounds should fail")
+				}
+			}
+			check(t)
+			if err := g.Close(); err != nil {
+				t.Fatal(err)
+			}
+			check(t) // the pushdown path must keep working post-Close
+		})
+	}
+}
+
+// TestAggregateAllMatchesIndividuals checks the single-barrier combined
+// snapshot agrees with the individual pushdown queries on a quiescent
+// group (no ingest between calls, so they all see the same state).
+func TestAggregateAllMatchesIndividuals(t *testing.T) {
+	g, err := NewGroup[uint64](testDim, testDim, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	feedGroup(t, g, 77)
+	agg, err := g.AggregateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvals, err := g.NVals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.NVals != nvals {
+		t.Fatalf("AggregateAll.NVals = %d, NVals() = %d", agg.NVals, nvals)
+	}
+	total, err := g.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Total != total {
+		t.Fatalf("AggregateAll.Total = %d, Total() = %d", agg.Total, total)
+	}
+	pairs := []struct {
+		name string
+		got  *gb.Vector[uint64]
+		want func() (*gb.Vector[uint64], error)
+	}{
+		{"RowSums", agg.RowSums, g.RowSums},
+		{"ColSums", agg.ColSums, g.ColSums},
+		{"RowDegrees", agg.RowDegrees, g.RowDegrees},
+		{"ColDegrees", agg.ColDegrees, g.ColDegrees},
+	}
+	for _, p := range pairs {
+		want, err := p.want()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gb.VecEqual(p.got, want) {
+			t.Fatalf("AggregateAll.%s differs from %s()", p.name, p.name)
+		}
+	}
+}
+
+// TestPushdownOnEmptyGroup checks the zero-traffic edge: empty vectors,
+// zero counts, no phantom entries.
+func TestPushdownOnEmptyGroup(t *testing.T) {
+	g, err := NewGroup[uint64](testDim, testDim, testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if n, err := g.NVals(); err != nil || n != 0 {
+		t.Fatalf("NVals = %d, %v; want 0, nil", n, err)
+	}
+	if total, err := g.Total(); err != nil || total != 0 {
+		t.Fatalf("Total = %d, %v; want 0, nil", total, err)
+	}
+	v, err := g.RowSums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NVals() != 0 {
+		t.Fatalf("RowSums on empty group has %d entries", v.NVals())
+	}
+	top, err := g.TopRows(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 0 {
+		t.Fatalf("TopRows on empty group returned %d entries", len(top))
+	}
+}

@@ -5,18 +5,27 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hhgb/internal/gb"
 	"hhgb/internal/hier"
 )
 
-// ErrClosed is returned by Update after Close.
+// ErrClosed is returned by Update, Append, and Appender.Flush after the
+// group is closed.
 var ErrClosed = errors.New("shard: group is closed")
 
 // DefaultDepth is the default per-shard queue depth in batches. Deep enough
 // to decouple producers from a momentarily-cascading shard, shallow enough
 // that a Flush barrier stays cheap and queued batches stay cache-warm.
 const DefaultDepth = 8
+
+// DefaultHandoff is the default per-shard appender buffer size in entries.
+// Large enough that the per-entry partitioning cost (one hash, one append)
+// dominates the per-buffer handoff cost (one channel send, three
+// allocations), small enough that a buffer still fits in cache while the
+// producer fills it.
+const DefaultHandoff = 4096
 
 // Config describes a sharded ingest group.
 type Config struct {
@@ -26,6 +35,11 @@ type Config struct {
 	// Depth is the per-shard queue depth in batches; zero or negative
 	// selects DefaultDepth.
 	Depth int
+	// Handoff is the per-shard producer buffer size in entries: an
+	// appender hands a shard's buffer to the shard queue when it reaches
+	// this size (and at every flush or query barrier). Zero or negative
+	// selects DefaultHandoff.
+	Handoff int
 	// Hier configures every shard's cascade. As in hier.New, nil Cuts
 	// yields a single flat level.
 	Hier hier.Config
@@ -39,13 +53,16 @@ func (c Config) withDefaults() Config {
 	if c.Depth <= 0 {
 		c.Depth = DefaultDepth
 	}
+	if c.Handoff <= 0 {
+		c.Handoff = DefaultHandoff
+	}
 	return c
 }
 
-// msg is one unit of work on a shard queue: a batch to ingest (rows set),
+// msg is one unit of work on a shard queue: a buffer to ingest (rows set),
 // or a control request to run on the worker's goroutine (do set). Control
 // requests double as barriers: the queue is FIFO, so by the time do runs,
-// every batch enqueued before it has been ingested.
+// every buffer enqueued before it has been ingested.
 type msg[T gb.Number] struct {
 	rows []gb.Index
 	cols []gb.Index
@@ -70,7 +87,7 @@ func (w *worker[T]) loop(wg *sync.WaitGroup) {
 			continue
 		}
 		if w.err != nil {
-			continue // sticky: drop batches after the first failure
+			continue // sticky: drop buffers after the first failure
 		}
 		w.err = w.m.Update(msg.rows, msg.cols, msg.vals)
 	}
@@ -78,19 +95,50 @@ func (w *worker[T]) loop(wg *sync.WaitGroup) {
 
 // Group is one logical nrows x ncols traffic matrix hash-partitioned across
 // independent hierarchical cascades. Update is safe for concurrent use by
-// any number of producer goroutines; the analysis-time queries may run
-// concurrently with ingest and observe a batch-atomic merged snapshot:
-// every accepted batch is either entirely included or entirely excluded
-// (the query barrier excludes in-flight Update calls, see run).
+// any number of producer goroutines; dedicated producers can amortize the
+// partitioning further with a NewAppender handle each. The analysis-time
+// queries may run concurrently with ingest and observe a batch-atomic
+// merged snapshot: every accepted batch is either entirely included or
+// entirely excluded (the query barrier drains all producer buffers and
+// excludes in-flight Update/Append calls, see run).
 type Group[T gb.Number] struct {
 	nrows, ncols gb.Index
 	cfg          Config
 	workers      []*worker[T]
 	wg           sync.WaitGroup
 
-	mu       sync.RWMutex // guards closed vs. channel sends and close
+	// mu is the producer/barrier lock: Update and Appender.Append hold it
+	// shared while partitioning into buffers and sending on the shard
+	// queues; barriers (run, Close) hold it exclusively while draining
+	// every producer buffer and placing their cut, which is what makes
+	// snapshots batch-atomic. It also guards closed vs. sends and close.
+	mu       sync.RWMutex
 	closed   bool
 	closeErr error
+
+	// regMu guards the appender registry alone and nests inside mu:
+	// registration happens under mu held shared (NewAppender), reads
+	// happen under mu held exclusively (barrier drains).
+	regMu     sync.Mutex
+	appenders []*Appender[T]
+
+	// stripes serve the handle-free Update path: a fixed set of
+	// registered appenders, each behind its own mutex, picked round-robin
+	// so concurrent callers get producer-local buffers without contending
+	// on one shared splitter. Fixed size keeps the registry — and with it
+	// every barrier's drain cost — bounded for the life of the group.
+	stripes   []*stripe[T]
+	stripeIdx atomic.Uint32
+}
+
+// stripe is one Update-path appender and the mutex that hands it to a
+// single caller at a time. Stripe mutexes nest inside mu (held shared by
+// the caller); barriers hold mu exclusively, which already excludes every
+// stripe user, so they drain stripe appenders without touching stripe
+// locks.
+type stripe[T gb.Number] struct {
+	mu sync.Mutex
+	a  *Appender[T]
 }
 
 // NewGroup returns a running sharded group; its workers idle until the
@@ -107,6 +155,13 @@ func NewGroup[T gb.Number](nrows, ncols gb.Index, cfg Config) (*Group[T], error)
 			in: make(chan msg[T], cfg.Depth),
 			m:  m,
 		})
+	}
+	// 2x GOMAXPROCS stripes: enough that round-robin rarely lands two
+	// concurrent Updates on the same stripe, few enough that the
+	// registry stays trivially small. Buffers allocate lazily, so idle
+	// stripes cost only the struct.
+	for i := 0; i < 2*runtime.GOMAXPROCS(0); i++ {
+		g.stripes = append(g.stripes, &stripe[T]{a: g.register(newAppender(g))})
 	}
 	g.wg.Add(len(g.workers))
 	for _, w := range g.workers {
@@ -131,7 +186,8 @@ func (g *Group[T]) Levels() int { return g.workers[0].m.NumLevels() }
 // final avalanche over src ⊕ rotated dst). Hashing the full (src, dst) pair
 // keeps shards balanced even when a single power-law supernode source
 // dominates the stream — row-only hashing would funnel that hot row into
-// one shard.
+// one shard — and assigns every cell to exactly one shard, the property the
+// pushdown queries rely on to merge partial results exactly.
 func (g *Group[T]) shardOf(row, col gb.Index) int {
 	x := uint64(row) ^ (uint64(col)<<32 | uint64(col)>>32)
 	x ^= x >> 30
@@ -142,68 +198,94 @@ func (g *Group[T]) shardOf(row, col gb.Index) int {
 	return int(x % uint64(len(g.workers)))
 }
 
-// Update hash-partitions one batch of updates and enqueues the per-shard
-// sub-batches, blocking only when a destination queue is full. The input
-// slices are copied before the call returns and may be reused immediately.
-// Ingest is asynchronous: a nil return means the batch was accepted, not
-// ingested; ingest errors surface on Flush, Close, Err, and the queries.
-func (g *Group[T]) Update(rows, cols []gb.Index, vals []T) error {
+// validate rejects a malformed batch synchronously and atomically, like
+// gb.Matrix.AppendTuples, before any entry is buffered or enqueued.
+func (g *Group[T]) validate(rows, cols []gb.Index, vals []T) error {
 	if len(rows) != len(cols) || len(rows) != len(vals) {
 		return fmt.Errorf("%w: slice lengths %d/%d/%d differ", gb.ErrInvalidValue, len(rows), len(cols), len(vals))
 	}
-	if len(rows) == 0 {
-		return nil
-	}
-	// Validate bounds before partitioning so a bad batch is rejected
-	// synchronously and atomically, like gb.Matrix.AppendTuples.
 	for k := range rows {
 		if rows[k] >= g.nrows || cols[k] >= g.ncols {
 			return fmt.Errorf("%w: (%d,%d) outside %d x %d", gb.ErrIndexOutOfBounds, rows[k], cols[k], g.nrows, g.ncols)
 		}
 	}
+	return nil
+}
 
-	k := len(g.workers)
-	bRows := make([][]gb.Index, k)
-	bCols := make([][]gb.Index, k)
-	bVals := make([][]T, k)
-	if k == 1 {
-		bRows[0] = append([]gb.Index(nil), rows...)
-		bCols[0] = append([]gb.Index(nil), cols...)
-		bVals[0] = append([]T(nil), vals...)
-	} else {
-		for i := range rows {
-			sh := g.shardOf(rows[i], cols[i])
-			bRows[sh] = append(bRows[sh], rows[i])
-			bCols[sh] = append(bCols[sh], cols[i])
-			bVals[sh] = append(bVals[sh], vals[i])
+// register adds an appender to the registry so barriers can drain it.
+func (g *Group[T]) register(a *Appender[T]) *Appender[T] {
+	g.regMu.Lock()
+	g.appenders = append(g.appenders, a)
+	g.regMu.Unlock()
+	return a
+}
+
+// unregister removes an appender from the registry.
+func (g *Group[T]) unregister(a *Appender[T]) {
+	g.regMu.Lock()
+	defer g.regMu.Unlock()
+	for i, x := range g.appenders {
+		if x == a {
+			g.appenders[i] = g.appenders[len(g.appenders)-1]
+			g.appenders = g.appenders[:len(g.appenders)-1]
+			return
 		}
 	}
+}
 
+// drainAppenders hands every registered appender's buffered entries to the
+// shard queues. It requires g.mu held exclusively — no Update or Append can
+// be mid-flight — so the drain plus whatever the caller enqueues next (a
+// barrier, or nothing before Close) forms one atomic cut of the stream.
+func (g *Group[T]) drainAppenders() {
+	g.regMu.Lock()
+	apps := append([]*Appender[T](nil), g.appenders...)
+	g.regMu.Unlock()
+	for _, a := range apps {
+		a.flushBuffers()
+	}
+}
+
+// Update hash-partitions one batch of updates into producer-local shard
+// buffers (a striped set of internal appenders, so concurrent callers
+// never contend on one shared splitter) and hands full buffers to their
+// shard queues, blocking only when a destination queue is full. The input
+// slices are copied before the call returns and may be reused immediately.
+// Ingest is asynchronous: a nil return means the batch was accepted, not
+// ingested; buffered entries become visible at the next Flush, Close, or
+// query barrier, and ingest errors surface on Flush, Close, Err, and the
+// queries. Dedicated producer goroutines can skip the stripes with
+// NewAppender.
+func (g *Group[T]) Update(rows, cols []gb.Index, vals []T) error {
+	if err := g.validate(rows, cols, vals); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	if g.closed {
 		return ErrClosed
 	}
-	for sh := 0; sh < k; sh++ {
-		if len(bRows[sh]) == 0 {
-			continue
-		}
-		g.workers[sh].in <- msg[T]{rows: bRows[sh], cols: bCols[sh], vals: bVals[sh]}
-	}
+	s := g.stripes[int(g.stripeIdx.Add(1))%len(g.stripes)]
+	s.mu.Lock()
+	s.a.append(rows, cols, vals)
+	s.mu.Unlock()
 	return nil
 }
 
 // run executes f(i, w) once per shard on the shard's own goroutine (a
-// barrier: all batches enqueued before the call are ingested first), then
-// waits for every shard. The barrier messages are enqueued under the write
-// lock, so no Update can interleave its per-shard sub-batches with them:
-// every accepted batch is either entirely before the barrier on all its
-// shards or entirely after, making the observed state batch-atomic. After
-// Close the workers are gone and the cascades are drained; f then runs
-// inline, still under the write lock so concurrent post-Close queries are
-// serialized (the matrices are no longer protected by worker goroutines).
-// The per-shard f calls may run concurrently with each other before Close;
-// f must only touch shard-local state.
+// barrier: all batches accepted before the call are ingested first), then
+// waits for every shard. Appender buffers are drained and the barrier
+// messages enqueued under the write lock, so no Update or Append can
+// interleave with them: every accepted batch is either entirely before the
+// barrier on all its shards or entirely after, making the observed state
+// batch-atomic. After Close the workers are gone and the cascades are
+// drained; f then runs inline, still under the write lock so concurrent
+// post-Close queries are serialized (the matrices are no longer protected
+// by worker goroutines). The per-shard f calls may run concurrently with
+// each other before Close; f must only touch shard-local state.
 func (g *Group[T]) run(f func(i int, w *worker[T])) error {
 	g.mu.Lock()
 	if g.closed {
@@ -213,6 +295,7 @@ func (g *Group[T]) run(f func(i int, w *worker[T])) error {
 		}
 		return g.closeErr
 	}
+	g.drainAppenders()
 	dones := make([]chan struct{}, len(g.workers))
 	for i, w := range g.workers {
 		done := make(chan struct{})
@@ -226,6 +309,37 @@ func (g *Group[T]) run(f func(i int, w *worker[T])) error {
 	return nil
 }
 
+// runOne is run for a single shard: it drains only that shard's slice of
+// every producer buffer and barriers only that shard's queue, so the
+// latency of a shard-local read (Lookup) is independent of the other
+// shards' queue depth. Consistency: all of a batch's entries for THIS
+// shard sit in one buffer slice and are drained together, so any state f
+// observes includes each accepted batch's contribution to this shard
+// either entirely or not at all — exactly the batch atomicity a
+// shard-local read can distinguish.
+func (g *Group[T]) runOne(sh int, f func(w *worker[T])) error {
+	g.mu.Lock()
+	if g.closed {
+		defer g.mu.Unlock()
+		f(g.workers[sh])
+		return g.closeErr
+	}
+	g.regMu.Lock()
+	apps := append([]*Appender[T](nil), g.appenders...)
+	g.regMu.Unlock()
+	for _, a := range apps {
+		if len(a.rows[sh]) > 0 {
+			a.handoffShard(sh)
+		}
+	}
+	w := g.workers[sh]
+	done := make(chan struct{})
+	w.in <- msg[T]{do: func(m *hier.Matrix[T]) { f(w) }, done: done}
+	g.mu.Unlock()
+	<-done
+	return nil
+}
+
 // Err reports the first sticky ingest error, if any shard has failed. It
 // doubles as a drain barrier: on return, every batch accepted before the
 // call has been ingested (unlike Flush it does not force the cascades to
@@ -236,9 +350,10 @@ func (g *Group[T]) Err() error {
 	return firstError(errs)
 }
 
-// Flush drains every queue and completes all pending cascade work, so a
-// subsequent Query reflects every batch accepted before the call. It
-// returns the first ingest or flush error.
+// Flush drains every producer buffer and shard queue and completes all
+// pending cascade work, so a subsequent Query reflects every batch accepted
+// before the call. It returns the first ingest or flush error; after Close
+// it reports the Close outcome.
 func (g *Group[T]) Flush() error {
 	errs := make([]error, len(g.workers))
 	if err := g.run(func(i int, w *worker[T]) {
@@ -253,16 +368,17 @@ func (g *Group[T]) Flush() error {
 	return firstError(errs)
 }
 
-// Close drains the queues, stops the workers, and completes all cascade
-// work. The group stays readable — queries keep working on the final
-// state — but Update returns ErrClosed. Close is idempotent and returns
-// the first ingest or flush error.
+// Close drains the producer buffers and queues, stops the workers, and
+// completes all cascade work. The group stays readable — queries keep
+// working on the final state — but Update and Append return ErrClosed.
+// Close is idempotent and returns the first ingest or flush error.
 func (g *Group[T]) Close() error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.closed {
 		return g.closeErr
 	}
+	g.drainAppenders() // before the queues close: buffered entries count
 	g.closed = true
 	for _, w := range g.workers {
 		close(w.in)
@@ -291,7 +407,10 @@ func firstError(errs []error) error {
 
 // Query materializes the merged total A = Σ over shards Σ over levels.
 // Because GraphBLAS addition is linear, the result is exactly the matrix a
-// single unsharded cascade would hold after the same stream.
+// single unsharded cascade would hold after the same stream. Analyses that
+// only need degrees, sums, top-k, counts, or single cells should prefer the
+// pushdown queries (RowSums, TopRows, NVals, Lookup, Aggregates, ...),
+// which skip this global materialization.
 func (g *Group[T]) Query() (*gb.Matrix[T], error) {
 	parts := make([]*gb.Matrix[T], len(g.workers))
 	errs := make([]error, len(g.workers))
@@ -308,15 +427,6 @@ func (g *Group[T]) Query() (*gb.Matrix[T], error) {
 		return nil, err
 	}
 	return gb.Sum(parts...)
-}
-
-// NVals returns the number of distinct stored entries in the merged matrix.
-func (g *Group[T]) NVals() (int, error) {
-	q, err := g.Query()
-	if err != nil {
-		return 0, err
-	}
-	return q.NVals(), nil
 }
 
 // ShardStats snapshots every shard's cascade counters.

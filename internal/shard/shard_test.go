@@ -197,27 +197,26 @@ func TestConcurrentQueriesAfterClose(t *testing.T) {
 
 // TestQueryBatchAtomicity checks that a query concurrent with ingest never
 // observes a torn batch: every Update carries a batch whose weights sum to
-// a fixed amount, so any barrier-consistent snapshot has TotalPackets
-// divisible by that amount.
+// a fixed amount, so any barrier-consistent snapshot has a total mass
+// divisible by that amount — even while entries sit in producer-local
+// appender buffers (the barrier drains them atomically). The concurrent
+// probes use the pushdown Total; the final state is cross-checked against
+// a full materialization.
 func TestQueryBatchAtomicity(t *testing.T) {
 	const batchMass = 64 // weights per batch sum to this
+	const producers = 3
+	const batchesPerProducer = 300
 	g, err := NewGroup[uint64](testDim, testDim, testConfig(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	stop := make(chan struct{})
 	var wg sync.WaitGroup
-	for p := 0; p < 3; p++ {
+	for p := 0; p < producers; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
 			rng := uint64(p + 1)
-			for i := 0; ; i++ {
-				select {
-				case <-stop:
-					return
-				default:
-				}
+			for i := 0; i < batchesPerProducer; i++ {
 				rows := make([]gb.Index, batchMass)
 				cols := make([]gb.Index, batchMass)
 				vals := make([]uint64, batchMass)
@@ -237,23 +236,29 @@ func TestQueryBatchAtomicity(t *testing.T) {
 		}(p)
 	}
 	for q := 0; q < 10; q++ {
-		m, err := g.Query()
+		mass, err := g.Total()
 		if err != nil {
 			t.Fatal(err)
 		}
-		var mass uint64
-		m.Iterate(func(i, j gb.Index, v uint64) bool {
-			mass += v
-			return true
-		})
 		if mass%batchMass != 0 {
 			t.Fatalf("query %d observed a torn batch: total mass %d not a multiple of %d", q, mass, batchMass)
 		}
 	}
-	close(stop)
 	wg.Wait()
 	if err := g.Close(); err != nil {
 		t.Fatal(err)
+	}
+	m, err := g.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mass uint64
+	m.Iterate(func(i, j gb.Index, v uint64) bool {
+		mass += v
+		return true
+	})
+	if want := uint64(producers * batchesPerProducer * batchMass); mass != want {
+		t.Fatalf("final mass %d, want %d", mass, want)
 	}
 }
 

@@ -51,24 +51,93 @@ func InTraffic(m *gb.Matrix[uint64]) (*gb.Vector[uint64], error) {
 // first, ordered descending by value. k larger than the entry count
 // returns everything.
 func TopK(v *gb.Vector[uint64], k int) ([]Entry, error) {
+	top, err := SelectTopK(v, k)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]Entry, len(top))
+	for i, e := range top {
+		entries[i] = Entry{Index: e.Index, Value: e.Value}
+	}
+	return entries, nil
+}
+
+// Top is one ranked entry of a SelectTopK result.
+type Top[T gb.Number] struct {
+	Index gb.Index
+	Value T
+}
+
+// topLess is the selection order: an entry ranks higher when its value is
+// larger, ties broken by lower index. The order is total (indices are
+// distinct), so bounded-heap selection returns exactly the entries a full
+// sort would.
+func topLess[T gb.Number](a, b Top[T]) bool {
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	return a.Index < b.Index
+}
+
+// SelectTopK returns the k largest entries of v in descending order (ties
+// broken by lower index first) using a bounded min-heap: O(n log k) time
+// and O(k) space instead of TopK's full O(n log n) sort, so selecting a
+// handful of supernodes from a merged degree vector costs (nearly) result
+// size, not a sort of every vertex. k larger than the entry count returns
+// everything; the output is identical to sorting all entries and keeping
+// the first k.
+func SelectTopK[T gb.Number](v *gb.Vector[T], k int) ([]Top[T], error) {
 	if k < 0 {
 		return nil, fmt.Errorf("%w: k = %d", gb.ErrInvalidValue, k)
 	}
-	idx, vals := v.ExtractTuples()
-	entries := make([]Entry, len(idx))
-	for i := range idx {
-		entries[i] = Entry{Index: idx[i], Value: vals[i]}
-	}
-	sort.Slice(entries, func(a, b int) bool {
-		if entries[a].Value != entries[b].Value {
-			return entries[a].Value > entries[b].Value
+	// heap keeps the current best k with the weakest entry at the root —
+	// the one a stronger newcomer evicts. "a is weaker than b" is
+	// topLess(b, a), since the selection order is a total order.
+	weaker := func(a, b Top[T]) bool { return topLess(b, a) }
+	heap := make([]Top[T], 0, k)
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !weaker(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
 		}
-		return entries[a].Index < entries[b].Index
-	})
-	if k < len(entries) {
-		entries = entries[:k]
 	}
-	return entries, nil
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			w := i
+			if l < len(heap) && weaker(heap[l], heap[w]) {
+				w = l
+			}
+			if r < len(heap) && weaker(heap[r], heap[w]) {
+				w = r
+			}
+			if w == i {
+				return
+			}
+			heap[i], heap[w] = heap[w], heap[i]
+			i = w
+		}
+	}
+	v.Iterate(func(i gb.Index, x T) bool {
+		e := Top[T]{Index: i, Value: x}
+		if len(heap) < k {
+			heap = append(heap, e)
+			siftUp(len(heap) - 1)
+			return true
+		}
+		if k > 0 && topLess(e, heap[0]) {
+			heap[0] = e
+			siftDown()
+		}
+		return true
+	})
+	sort.Slice(heap, func(a, b int) bool { return topLess(heap[a], heap[b]) })
+	return heap, nil
 }
 
 // Summary aggregates the headline statistics of a traffic matrix.

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"errors"
+	"sort"
 	"testing"
 
 	"hhgb/internal/gb"
@@ -199,5 +200,79 @@ func TestAnomalies(t *testing.T) {
 	}
 	if _, err := b.Anomalies(window, 0, 1); !errors.Is(err, gb.ErrInvalidValue) {
 		t.Fatalf("factor 0: %v", err)
+	}
+}
+
+// TestSelectTopKMatchesFullSort fuzzes the bounded-heap selection against
+// a reference full sort: identical output for every k, including value
+// ties (broken by lower index) and k beyond the entry count.
+func TestSelectTopKMatchesFullSort(t *testing.T) {
+	v := gb.MustNewVector[uint64](1 << 20)
+	rng := uint64(0x9e3779b97f4a7c15)
+	n := 500
+	idx := make([]gb.Index, 0, n)
+	vals := make([]uint64, 0, n)
+	seen := map[gb.Index]bool{}
+	for len(idx) < n {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		i := gb.Index(rng % (1 << 20))
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		idx = append(idx, i)
+		vals = append(vals, rng%17) // few distinct values: lots of ties
+	}
+	if err := v.Build(idx, vals, gb.Plus[uint64]().Op); err != nil {
+		t.Fatal(err)
+	}
+	reference := func(k int) []Top[uint64] {
+		all := make([]Top[uint64], 0, n)
+		v.Iterate(func(i gb.Index, x uint64) bool {
+			all = append(all, Top[uint64]{Index: i, Value: x})
+			return true
+		})
+		sort.Slice(all, func(a, b int) bool { return topLess(all[a], all[b]) })
+		if k < len(all) {
+			all = all[:k]
+		}
+		return all
+	}
+	for _, k := range []int{0, 1, 2, 7, 99, n, n + 100} {
+		got, err := SelectTopK(v, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want := reference(k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d entries, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d entry %d: got %+v, want %+v", k, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := SelectTopK(v, -1); err == nil {
+		t.Fatal("negative k should fail")
+	}
+}
+
+// TestTopKDelegatesToSelect checks the uint64 wrapper stays consistent
+// with the generic selection.
+func TestTopKDelegatesToSelect(t *testing.T) {
+	m := sample(t)
+	ot, err := OutTraffic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := TopK(ot, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0] != (Entry{Index: 4, Value: 7}) || top[1] != (Entry{Index: 1, Value: 6}) {
+		t.Fatalf("TopK = %+v", top)
 	}
 }

@@ -1,13 +1,15 @@
 package hhgb
 
 import (
-	"fmt"
-
 	"hhgb/internal/gb"
 	"hhgb/internal/hier"
 	"hhgb/internal/shard"
-	"hhgb/internal/stats"
 )
+
+// ErrClosed is the sentinel returned by Append, AppendWeighted, Update,
+// UpdateWeighted, and Appender methods once the Sharded matrix (or the
+// individual Appender) has been closed. Test with errors.Is.
+var ErrClosed = shard.ErrClosed
 
 // Sharded is a concurrent streaming traffic matrix: one logical dim x dim
 // matrix hash-partitioned across S independent hierarchical hypersparse
@@ -16,13 +18,25 @@ import (
 // scaling experiment — aggregate update throughput scales with cores while
 // every query remains exactly equivalent to the unsharded TrafficMatrix.
 //
-// Unlike TrafficMatrix, Update is safe for concurrent use by any number of
-// goroutines, and ingest is asynchronous: a nil return means the batch was
-// accepted. Call Flush to make all accepted batches visible to queries (the
-// queries also barrier internally, so they observe a batch-atomic snapshot:
-// each accepted batch is either entirely included or entirely excluded),
-// and Close when done ingesting; after Close the matrix stays queryable
-// but Update fails.
+// Ingest: Append (and Update, its alias) is safe for concurrent use by any
+// number of goroutines; each call partitions into producer-local shard
+// buffers (a bounded striped set) that are handed to the shard workers as
+// they fill, so producers never contend on a shared splitter.
+// A dedicated producer goroutine can hold its own buffers with NewAppender.
+// Ingest is asynchronous: a nil return means the batch was accepted.
+//
+// Queries: analysis calls are pushed down to the shard workers and merged
+// at read time (degree and traffic vectors by monoid merge, top-k by
+// bounded heap, Lookup by routing to the one owning shard), so their
+// serial cost tracks the result size rather than the total stored entries.
+// Queries barrier internally and observe a batch-atomic snapshot: each
+// accepted batch is either entirely included or entirely excluded.
+//
+// Lifecycle: NewSharded starts the shard workers. Call Flush to make all
+// accepted batches visible to queries mid-stream, and Close when done
+// ingesting: Close drains every buffer and queue, stops the workers, and
+// leaves the matrix fully queryable. After Close, Append/Update (and any
+// outstanding Appender's Append) fail with ErrClosed. Close is idempotent.
 type Sharded struct {
 	g   *shard.Group[uint64]
 	dim uint64
@@ -30,8 +44,8 @@ type Sharded struct {
 
 // NewSharded returns an empty sharded dim x dim traffic matrix. With no
 // options it uses runtime.GOMAXPROCS(0) shards, each a default 4-level
-// geometric cascade; see WithShards, WithQueueDepth, WithCuts, and
-// WithGeometricCuts.
+// geometric cascade; see WithShards, WithQueueDepth, WithHandoff, WithCuts,
+// and WithGeometricCuts.
 func NewSharded(dim uint64, opts ...Option) (*Sharded, error) {
 	o := options{cuts: hier.DefaultConfig().Cuts}
 	for _, opt := range opts {
@@ -40,9 +54,10 @@ func NewSharded(dim uint64, opts ...Option) (*Sharded, error) {
 		}
 	}
 	g, err := shard.NewGroup[uint64](gb.Index(dim), gb.Index(dim), shard.Config{
-		Shards: o.shards,
-		Depth:  o.queueDepth,
-		Hier:   hier.Config{Cuts: o.cuts},
+		Shards:  o.shards,
+		Depth:   o.queueDepth,
+		Handoff: o.handoff,
+		Hier:    hier.Config{Cuts: o.cuts},
 	})
 	if err != nil {
 		return nil, err
@@ -59,50 +74,93 @@ func (s *Sharded) Shards() int { return s.g.NumShards() }
 // Levels returns the per-shard cascade depth.
 func (s *Sharded) Levels() int { return s.g.Levels() }
 
-// Update streams a batch of (src, dst) observations with weight 1 each.
+// Append streams a batch of (src, dst) observations with weight 1 each.
 // Safe for concurrent use; the slices are copied before the call returns.
-func (s *Sharded) Update(src, dst []uint64) error {
-	if len(src) != len(dst) {
-		return fmt.Errorf("%w: src/dst lengths %d/%d differ", gb.ErrInvalidValue, len(src), len(dst))
-	}
-	ones := make([]uint64, len(src))
-	for k := range ones {
-		ones[k] = 1
-	}
-	return s.UpdateWeighted(src, dst, ones)
+// After Close it returns ErrClosed.
+func (s *Sharded) Append(src, dst []uint64) error {
+	return appendUnit(src, dst, s.AppendWeighted)
 }
 
-// UpdateWeighted streams a batch of weighted observations. Safe for
-// concurrent use; the slices are copied before the call returns.
+// AppendWeighted streams a batch of weighted observations. Safe for
+// concurrent use; the slices are copied before the call returns. After
+// Close it returns ErrClosed.
+func (s *Sharded) AppendWeighted(src, dst, weight []uint64) error {
+	return appendWeighted(src, dst, weight, s.g.Update)
+}
+
+// Update is Append under its original name.
+func (s *Sharded) Update(src, dst []uint64) error { return s.Append(src, dst) }
+
+// UpdateWeighted is AppendWeighted under its original name.
 func (s *Sharded) UpdateWeighted(src, dst, weight []uint64) error {
-	if len(src) != len(dst) || len(src) != len(weight) {
-		return fmt.Errorf("%w: batch lengths %d/%d/%d differ", gb.ErrInvalidValue, len(src), len(dst), len(weight))
-	}
-	rows := make([]gb.Index, len(src))
-	cols := make([]gb.Index, len(dst))
-	for k := range src {
-		rows[k] = gb.Index(src[k])
-		cols[k] = gb.Index(dst[k])
-	}
-	return s.g.Update(rows, cols, weight)
+	return s.AppendWeighted(src, dst, weight)
 }
 
-// Flush drains every shard queue and completes all pending cascade work,
-// surfacing any asynchronous ingest error.
+// Appender is a per-producer ingest handle over a Sharded matrix: it owns
+// one set of shard-local buffers, so a dedicated producer goroutine
+// partitions straight into them with no pool round-trip and hands a buffer
+// to a shard worker only when it fills. Not safe for concurrent use —
+// create one per goroutine with Sharded.NewAppender. The matrix's queries,
+// Flush, and Close all drain outstanding appender buffers, so appended
+// entries are never stranded; Close the appender (or the matrix) when done.
+type Appender struct {
+	a *shard.Appender[uint64]
+}
+
+// NewAppender returns a new per-producer appender. It fails with ErrClosed
+// after the matrix is closed.
+func (s *Sharded) NewAppender() (*Appender, error) {
+	a, err := s.g.NewAppender()
+	if err != nil {
+		return nil, err
+	}
+	return &Appender{a: a}, nil
+}
+
+// Append streams a batch of (src, dst) observations with weight 1 each
+// into the producer-local buffers. After the appender or its matrix is
+// closed it returns ErrClosed.
+func (a *Appender) Append(src, dst []uint64) error {
+	return appendUnit(src, dst, a.AppendWeighted)
+}
+
+// AppendWeighted streams a batch of weighted observations into the
+// producer-local buffers.
+func (a *Appender) AppendWeighted(src, dst, weight []uint64) error {
+	return appendWeighted(src, dst, weight, a.a.Append)
+}
+
+// Buffered reports how many accepted entries are still staged in this
+// appender's local buffers (not yet handed to a shard worker).
+func (a *Appender) Buffered() int { return a.a.Buffered() }
+
+// Flush hands the buffered entries to the shard workers without waiting
+// for ingest; the matrix's Flush (or any query) then makes them visible.
+func (a *Appender) Flush() error { return a.a.Flush() }
+
+// Close hands off any buffered entries and detaches the appender; further
+// Append calls return ErrClosed. Close is idempotent.
+func (a *Appender) Close() error { return a.a.Close() }
+
+// Flush drains every producer buffer and shard queue and completes all
+// pending cascade work, surfacing any asynchronous ingest error.
 func (s *Sharded) Flush() error { return s.g.Flush() }
 
-// Close stops the ingest workers after draining their queues. The matrix
-// stays queryable; Update after Close fails. Close is idempotent.
+// Close stops the ingest workers after draining the producer buffers and
+// queues. The matrix stays queryable; Append/Update after Close fail with
+// ErrClosed. Close is idempotent.
 func (s *Sharded) Close() error { return s.g.Close() }
 
 // Err reports the first asynchronous ingest error, if any shard failed.
 func (s *Sharded) Err() error { return s.g.Err() }
 
-// Entries returns the number of distinct (src, dst) pairs accumulated.
+// Entries returns the number of distinct (src, dst) pairs accumulated:
+// the per-shard counts, summed (each pair lives on exactly one shard).
 func (s *Sharded) Entries() (int, error) { return s.g.NVals() }
 
 // Do materializes the merged matrix and visits every entry in row-major
-// order, stopping early if f returns false.
+// order, stopping early if f returns false. This is the one query that
+// genuinely needs the full Σ materialization.
 func (s *Sharded) Do(f func(src, dst, packets uint64) bool) error {
 	q, err := s.g.Query()
 	if err != nil {
@@ -115,42 +173,67 @@ func (s *Sharded) Do(f func(src, dst, packets uint64) bool) error {
 }
 
 // Lookup returns the accumulated weight for one (src, dst) pair and
-// whether any traffic was recorded for it.
+// whether any traffic was recorded for it. The pair lives on exactly one
+// shard, so the lookup is pushed down to that shard alone — no merged
+// matrix is ever built.
 func (s *Sharded) Lookup(src, dst uint64) (uint64, bool, error) {
-	q, err := s.g.Query()
-	if err != nil {
-		return 0, false, err
-	}
-	return lookupIn(q, src, dst)
+	return s.g.Lookup(gb.Index(src), gb.Index(dst))
 }
 
-// TopSources returns the k sources with the most total traffic, merged
-// across shards.
+// TopSources returns the k sources with the most total traffic. Per-shard
+// traffic vectors are computed on the shard workers and merged at read
+// time; the result is identical to the unsharded TrafficMatrix's.
 func (s *Sharded) TopSources(k int) ([]Ranked, error) {
-	q, err := s.g.Query()
+	top, err := s.g.TopRows(k)
 	if err != nil {
 		return nil, err
 	}
-	return topSourcesOf(q, k)
+	out := make([]Ranked, len(top))
+	for i, e := range top {
+		out[i] = Ranked{ID: uint64(e.Index), Value: e.Value}
+	}
+	return out, nil
 }
 
 // TopDestinations returns the k destinations with the most total traffic,
-// merged across shards.
+// merged across shards like TopSources.
 func (s *Sharded) TopDestinations(k int) ([]Ranked, error) {
-	q, err := s.g.Query()
+	top, err := s.g.TopCols(k)
 	if err != nil {
 		return nil, err
 	}
-	return topDestinationsOf(q, k)
+	out := make([]Ranked, len(top))
+	for i, e := range top {
+		out[i] = Ranked{ID: uint64(e.Index), Value: e.Value}
+	}
+	return out, nil
 }
 
-// Summary computes the aggregate statistics of the merged matrix.
+// Summary computes the aggregate statistics of the merged matrix in a
+// single batch-atomic barrier: every field describes the same instant of
+// the stream, and all reductions run shard-local before a result-sized
+// merge.
 func (s *Sharded) Summary() (Summary, error) {
-	q, err := s.g.Query()
+	agg, err := s.g.AggregateAll()
 	if err != nil {
 		return Summary{}, err
 	}
-	return summaryOf(q)
+	maxOut, err := gb.VecReduce(agg.RowDegrees, gb.MaxWith[uint64](0))
+	if err != nil {
+		return Summary{}, err
+	}
+	maxIn, err := gb.VecReduce(agg.ColDegrees, gb.MaxWith[uint64](0))
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		Entries:      agg.NVals,
+		Sources:      agg.RowDegrees.NVals(),
+		Destinations: agg.ColDegrees.NVals(),
+		TotalPackets: agg.Total,
+		MaxOutDegree: maxOut,
+		MaxInDegree:  maxIn,
+	}, nil
 }
 
 // Stats returns the cumulative ingest counters merged across shards:
@@ -179,52 +262,4 @@ func (s *Sharded) ShardStats() []CascadeStats {
 		}
 	}
 	return out
-}
-
-// lookupIn extracts one entry from a materialized query matrix.
-func lookupIn(q *gb.Matrix[uint64], src, dst uint64) (uint64, bool, error) {
-	v, err := q.ExtractElement(gb.Index(src), gb.Index(dst))
-	if err != nil {
-		if err == gb.ErrNoValue {
-			return 0, false, nil
-		}
-		return 0, false, err
-	}
-	return v, true, nil
-}
-
-// topSourcesOf ranks per-source traffic of a materialized query matrix.
-func topSourcesOf(q *gb.Matrix[uint64], k int) ([]Ranked, error) {
-	v, err := stats.OutTraffic(q)
-	if err != nil {
-		return nil, err
-	}
-	return rankedOf(v, k)
-}
-
-// topDestinationsOf ranks per-destination traffic of a materialized query
-// matrix.
-func topDestinationsOf(q *gb.Matrix[uint64], k int) ([]Ranked, error) {
-	v, err := stats.InTraffic(q)
-	if err != nil {
-		return nil, err
-	}
-	return rankedOf(v, k)
-}
-
-// summaryOf computes the aggregate statistics of a materialized query
-// matrix.
-func summaryOf(q *gb.Matrix[uint64]) (Summary, error) {
-	s, err := stats.Summarize(q)
-	if err != nil {
-		return Summary{}, err
-	}
-	return Summary{
-		Entries:      s.Entries,
-		Sources:      s.Sources,
-		Destinations: s.Destinations,
-		TotalPackets: s.TotalPackets,
-		MaxOutDegree: s.MaxOutDegree,
-		MaxInDegree:  s.MaxInDegree,
-	}, nil
 }

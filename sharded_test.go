@@ -1,6 +1,7 @@
 package hhgb_test
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -69,6 +70,8 @@ func TestShardedMatchesTrafficMatrix(t *testing.T) {
 		t.Fatalf("summaries differ:\n  flat    %+v\n  sharded %+v", tSum, sSum)
 	}
 
+	// The pushdown top-k uses the same total order as the flat path
+	// (value desc, ties by lower id), so IDs must match exactly too.
 	tTop, err := tm.TopSources(5)
 	if err != nil {
 		t.Fatal(err)
@@ -81,8 +84,24 @@ func TestShardedMatchesTrafficMatrix(t *testing.T) {
 		t.Fatalf("top-k lengths differ: %d vs %d", len(tTop), len(sTop))
 	}
 	for i := range tTop {
-		if tTop[i].Value != sTop[i].Value {
+		if tTop[i] != sTop[i] {
 			t.Fatalf("top source %d differs: %+v vs %+v", i, tTop[i], sTop[i])
+		}
+	}
+	tDst, err := tm.TopDestinations(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sDst, err := sm.TopDestinations(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tDst) != len(sDst) {
+		t.Fatalf("top destinations lengths differ: %d vs %d", len(tDst), len(sDst))
+	}
+	for i := range tDst {
+		if tDst[i] != sDst[i] {
+			t.Fatalf("top destination %d differs: %+v vs %+v", i, tDst[i], sDst[i])
 		}
 	}
 
@@ -169,11 +188,17 @@ func TestShardedOptionValidation(t *testing.T) {
 	if _, err := hhgb.New(1<<16, hhgb.WithQueueDepth(4)); err == nil {
 		t.Fatal("New should reject WithQueueDepth")
 	}
+	if _, err := hhgb.New(1<<16, hhgb.WithHandoff(64)); err == nil {
+		t.Fatal("New should reject WithHandoff")
+	}
 	if _, err := hhgb.NewSharded(1<<16, hhgb.WithShards(0)); err == nil {
 		t.Fatal("WithShards(0) should fail")
 	}
 	if _, err := hhgb.NewSharded(1<<16, hhgb.WithQueueDepth(0)); err == nil {
 		t.Fatal("WithQueueDepth(0) should fail")
+	}
+	if _, err := hhgb.NewSharded(1<<16, hhgb.WithHandoff(0)); err == nil {
+		t.Fatal("WithHandoff(0) should fail")
 	}
 	sm, err := hhgb.NewSharded(1<<16, hhgb.WithShards(5), hhgb.WithGeometricCuts(3, 64, 4))
 	if err != nil {
@@ -222,6 +247,131 @@ func TestShardedDoOrdering(t *testing.T) {
 	}
 	if !sort.SliceIsSorted(visited, func(i, j int) bool { return visited[i] < visited[j] }) {
 		t.Fatalf("Do order not row-major: %v", visited)
+	}
+}
+
+// TestShardedAppendLifecycle pins the documented lifecycle: Append (and
+// Update, its alias) fails with the ErrClosed sentinel after Close, Close
+// is idempotent, and the matrix stays queryable.
+func TestShardedAppendLifecycle(t *testing.T) {
+	sm, err := hhgb.NewSharded(1<<20, hhgb.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Append([]uint64{1, 2}, []uint64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := sm.Append([]uint64{9}, []uint64{9}); !errors.Is(err, hhgb.ErrClosed) {
+		t.Fatalf("Append after Close = %v, want hhgb.ErrClosed", err)
+	}
+	if err := sm.Update([]uint64{9}, []uint64{9}); !errors.Is(err, hhgb.ErrClosed) {
+		t.Fatalf("Update after Close = %v, want hhgb.ErrClosed", err)
+	}
+	if err := sm.AppendWeighted([]uint64{9}, []uint64{9}, []uint64{1}); !errors.Is(err, hhgb.ErrClosed) {
+		t.Fatalf("AppendWeighted after Close = %v, want hhgb.ErrClosed", err)
+	}
+	if _, err := sm.NewAppender(); !errors.Is(err, hhgb.ErrClosed) {
+		t.Fatalf("NewAppender after Close = %v, want hhgb.ErrClosed", err)
+	}
+	if n, err := sm.Entries(); err != nil || n != 2 {
+		t.Fatalf("Entries after Close = %d, %v; want 2, nil", n, err)
+	}
+	if v, ok, err := sm.Lookup(1, 3); err != nil || !ok || v != 1 {
+		t.Fatalf("Lookup after Close = %d,%v,%v; want 1,true,nil", v, ok, err)
+	}
+}
+
+// TestShardedAppenders runs one dedicated appender per producer and
+// checks the result matches the same stream through plain Append calls,
+// plus the appender-side ErrClosed paths.
+func TestShardedAppenders(t *testing.T) {
+	const producers = 4
+	mk := func() *hhgb.Sharded {
+		sm, err := hhgb.NewSharded(1<<20, hhgb.WithShards(3), hhgb.WithHandoff(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sm
+	}
+	viaAppend := mk()
+	viaAppenders := mk()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			a, err := viaAppenders.NewAppender()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer a.Close()
+			src := make([]uint64, 500)
+			dst := make([]uint64, 500)
+			for i := range src {
+				src[i] = uint64(p*1000 + i)
+				dst[i] = uint64(i % 61)
+			}
+			if err := a.Append(src, dst); err != nil {
+				t.Error(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < producers; p++ {
+		src := make([]uint64, 500)
+		dst := make([]uint64, 500)
+		for i := range src {
+			src[i] = uint64(p*1000 + i)
+			dst[i] = uint64(i % 61)
+		}
+		if err := viaAppend.Append(src, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aSum, err := viaAppenders.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uSum, err := viaAppend.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aSum != uSum {
+		t.Fatalf("appender stream summary %+v differs from Append stream %+v", aSum, uSum)
+	}
+
+	a, err := viaAppenders.NewAppender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append([]uint64{5}, []uint64{6}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Buffered() != 1 {
+		t.Fatalf("Buffered = %d, want 1", a.Buffered())
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append([]uint64{1}, []uint64{1}); !errors.Is(err, hhgb.ErrClosed) {
+		t.Fatalf("Append after appender Close = %v, want hhgb.ErrClosed", err)
+	}
+	// The buffered entry was handed off on Close.
+	if v, ok, err := viaAppenders.Lookup(5, 6); err != nil || !ok || v != 1 {
+		t.Fatalf("Lookup(5,6) = %d,%v,%v; want 1,true,nil", v, ok, err)
+	}
+	if err := viaAppend.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaAppenders.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
