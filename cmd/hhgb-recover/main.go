@@ -1,0 +1,276 @@
+// Command hhgb-recover measures the durability story of the sharded
+// frontend end to end and is the source of the BENCH_durability.json
+// trajectory artifact CI accumulates:
+//
+//  1. ingest rate of the plain in-memory sharded group (the baseline);
+//  2. ingest rate with per-shard write-ahead logging at the configured
+//     group-commit interval, and the overhead ratio vs. the baseline;
+//  3. checkpoint latency (sync + per-shard snapshot + manifest commit);
+//  4. crash recovery: the durable group is abandoned un-Closed after a
+//     final Flush (exactly the state a kill -9 leaves, minus unsynced
+//     tails), then RecoverGroup rebuilds it — timed, and verified to
+//     answer the pushdown queries identically to the pre-crash group.
+//
+// Usage:
+//
+//	hhgb-recover [-edges N] [-batch N] [-scale S] [-shards N] [-sync N]
+//	             [-levels N] [-base-cut N] [-ratio N] [-dir D]
+//	             [-out BENCH_durability.json] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"time"
+
+	"hhgb/internal/bench"
+	"hhgb/internal/gb"
+	"hhgb/internal/hier"
+	"hhgb/internal/powerlaw"
+	"hhgb/internal/shard"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hhgb-recover: ")
+	var (
+		edges   = flag.Int("edges", 2_000_000, "total updates per measured phase")
+		batch   = flag.Int("batch", 100_000, "updates per batch (the paper's set size)")
+		scale   = flag.Int("scale", 24, "R-MAT scale (2^scale vertices)")
+		shards  = flag.Int("shards", 0, "shard count (0 = all cores)")
+		sync    = flag.Int("sync", shard.DefaultSyncEvery, "group-commit interval: fsync the WAL every N batches")
+		levels  = flag.Int("levels", hier.DefaultLevels, "cascade levels per shard")
+		baseCut = flag.Int("base-cut", hier.DefaultBaseCut, "cut c1 of the lowest level")
+		ratio   = flag.Int("ratio", hier.DefaultCutRatio, "geometric cut ratio")
+		dir     = flag.String("dir", "", "durability directory (default: a temp dir, removed on exit)")
+		out     = flag.String("out", "BENCH_durability.json", "trajectory JSON output path (empty to skip)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if err := run(*edges, *batch, *scale, *shards, *sync, *levels, *baseCut, *ratio, *dir, *out, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// pool is the pre-generated workload, so generation cost never pollutes a
+// measured ingest loop.
+type pool struct {
+	rows [][]gb.Index
+	cols [][]gb.Index
+	vals [][]uint64
+	n    int64
+}
+
+func generate(edges, batch, scale int, seed uint64) (*pool, error) {
+	stream := powerlaw.StreamSpec{TotalEdges: edges, SetSize: batch, Scale: scale, Seed: seed}
+	p := &pool{}
+	for k := 0; k < stream.Sets(); k++ {
+		set, err := stream.GenerateSet(k)
+		if err != nil {
+			return nil, err
+		}
+		r, c, v := powerlaw.ToTuples(set)
+		p.rows = append(p.rows, r)
+		p.cols = append(p.cols, c)
+		p.vals = append(p.vals, v)
+		p.n += int64(len(r))
+	}
+	return p, nil
+}
+
+// copyDir clones the flat durability directory into dst, reproducing the
+// exact on-disk state a kill -9 of the owner would leave behind.
+func copyDir(src, dst string) (string, error) {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return "", err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return "", err
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return "", err
+		}
+	}
+	return dst, nil
+}
+
+// ingest streams the pool into g and drains it (Flush), so buffered or
+// queued work is never credited.
+func ingest(g *shard.Group[uint64], p *pool) error {
+	for k := range p.rows {
+		if err := g.Update(p.rows[k], p.cols[k], p.vals[k]); err != nil {
+			return err
+		}
+	}
+	return g.Flush()
+}
+
+func run(edges, batch, scale, shards, sync, levels, baseCut, ratio int, dir, out string, seed uint64) error {
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	cuts := hier.GeometricCuts(levels, baseCut, ratio)
+	dim := gb.Index(1) << uint(scale)
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "hhgb-recover-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	fmt.Printf("durability benchmark: 2^%d x 2^%d matrix, %d shards, cuts %v\n", scale, scale, shards, cuts)
+	fmt.Printf("  workload: %d updates in batches of %d   group commit: every %d batches\n\n", edges, batch, sync)
+
+	p, err := generate(edges, batch, scale, seed)
+	if err != nil {
+		return err
+	}
+
+	// 1. In-memory baseline.
+	mem, err := shard.NewGroup[uint64](dim, dim, shard.Config{Shards: shards, Hier: hier.Config{Cuts: cuts}})
+	if err != nil {
+		return err
+	}
+	memRate, err := bench.Measure(p.n, func() error { return ingest(mem, p) })
+	if err != nil {
+		return err
+	}
+	if err := mem.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("in-memory ingest:  %s\n", memRate)
+
+	// 2. Durable ingest: same workload, WAL on.
+	durDir := dir + "/group"
+	dur, err := shard.NewGroup[uint64](dim, dim, shard.Config{
+		Shards: shards,
+		Hier:   hier.Config{Cuts: cuts},
+		Durable: shard.Durability{
+			Dir:       durDir,
+			SyncEvery: sync,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	durRate, err := bench.Measure(p.n, func() error { return ingest(dur, p) })
+	if err != nil {
+		return err
+	}
+	overhead := memRate.PerSecond() / durRate.PerSecond()
+	fmt.Printf("durable ingest:    %s   (%.2fx overhead vs in-memory)\n", durRate, overhead)
+
+	// 3. Checkpoint latency.
+	ckptStart := time.Now()
+	if err := dur.Checkpoint(); err != nil {
+		return err
+	}
+	ckpt := time.Since(ckptStart)
+	fmt.Printf("checkpoint:        %v (sync + %d snapshots + manifest)\n", ckpt.Round(time.Microsecond), shards)
+
+	// 4. Crash + recovery. A post-checkpoint tail forces WAL replay; the
+	// pre-crash pushdown answers are the reference the recovered group
+	// must reproduce.
+	tailFrom := len(p.rows) / 2
+	for k := tailFrom; k < len(p.rows); k++ {
+		if err := dur.Update(p.rows[k], p.cols[k], p.vals[k]); err != nil {
+			return err
+		}
+	}
+	if err := dur.Flush(); err != nil { // group commit: the tail is durable
+		return err
+	}
+	wantN, err := dur.NVals()
+	if err != nil {
+		return err
+	}
+	wantTotal, err := dur.Total()
+	if err != nil {
+		return err
+	}
+	wantTop, err := dur.TopRows(10)
+	if err != nil {
+		return err
+	}
+	// The crash: dur is abandoned — never Closed, so no final checkpoint
+	// happens and recovery must replay the logged tail. The directory is
+	// copied first (outside the timed region): a real crash would kill
+	// the owning process, but here it is still alive in-process and the
+	// single-owner lock rightly refuses to recover out from under it.
+	crashDir, err := copyDir(durDir, dir+"/crash")
+	if err != nil {
+		return err
+	}
+	recStart := time.Now()
+	rec, st, err := shard.RecoverGroup[uint64](shard.Config{Durable: shard.Durability{Dir: crashDir}})
+	if err != nil {
+		return err
+	}
+	recDur := time.Since(recStart)
+	gotN, err := rec.NVals()
+	if err != nil {
+		return err
+	}
+	gotTotal, err := rec.Total()
+	if err != nil {
+		return err
+	}
+	gotTop, err := rec.TopRows(10)
+	if err != nil {
+		return err
+	}
+	if err := rec.Close(); err != nil {
+		return err
+	}
+	if gotN != wantN || gotTotal != wantTotal {
+		return fmt.Errorf("recovered state differs: nvals %d/%d total %d/%d", gotN, wantN, gotTotal, wantTotal)
+	}
+	for i := range wantTop {
+		if gotTop[i] != wantTop[i] {
+			return fmt.Errorf("recovered top-k[%d] = %+v, want %+v", i, gotTop[i], wantTop[i])
+		}
+	}
+	fmt.Printf("recovery:          %v (snapshot decode + %d replayed batches / %d entries, %d torn tails)\n",
+		recDur.Round(time.Microsecond), st.ReplayedBatches, st.ReplayedEntries, st.TornTails)
+	fmt.Printf("  recovered state verified: nvals, total, and top-k identical to pre-crash group\n")
+
+	if out != "" {
+		traj := bench.NewTrajectory("durability", "updates/s")
+		traj.Meta = map[string]string{
+			"edges":  strconv.Itoa(edges),
+			"batch":  strconv.Itoa(batch),
+			"scale":  strconv.Itoa(scale),
+			"shards": strconv.Itoa(shards),
+			"sync":   strconv.Itoa(sync),
+		}
+		traj.AddPoint("in-memory", 0, memRate.PerSecond(), nil)
+		// Latencies ride in Extra so every point's Value stays in the
+		// trajectory's unit (updates/s).
+		traj.AddPoint(fmt.Sprintf("durable sync=%d", sync), float64(sync), durRate.PerSecond(),
+			map[string]float64{
+				"overhead_x":       overhead,
+				"checkpoint_s":     ckpt.Seconds(),
+				"recover_s":        recDur.Seconds(),
+				"replayed_batches": float64(st.ReplayedBatches),
+				"replayed_entries": float64(st.ReplayedEntries),
+			})
+		if err := traj.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote trajectory point: %s\n", out)
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package hhgb_test
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"hhgb"
 )
@@ -105,4 +106,71 @@ func ExampleNewSharded() {
 	}
 	fmt.Println(v, ok, sm.Shards())
 	// Output: 2 true 4
+}
+
+// ExampleSharded_checkpoint shows the durable ingest loop: a sharded
+// matrix that write-ahead-logs every batch and compacts the logs into
+// per-shard snapshots at each checkpoint.
+func ExampleSharded_checkpoint() {
+	dir, err := os.MkdirTemp("", "hhgb-durable")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sm, err := hhgb.NewSharded(1<<20, hhgb.WithShards(2), hhgb.WithDurability(dir))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sm.Update([]uint64{1, 2, 3}, []uint64{7, 8, 9}); err != nil {
+		log.Fatal(err)
+	}
+	// The checkpoint is a batch-atomic barrier: every accepted batch is
+	// fsynced, snapshotted per shard, and the logs truncate.
+	if err := sm.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	sum, err := sm.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sum.Entries, sum.TotalPackets)
+	_ = sm.Close()
+	// Output: 3 3
+}
+
+// ExampleRecover shows a durable matrix surviving a restart: ingest, shut
+// down, then rebuild from the directory. After a real crash the same
+// Recover call additionally replays the write-ahead-log tails — every
+// batch accepted before the last Flush or Checkpoint comes back.
+func ExampleRecover() {
+	dir, err := os.MkdirTemp("", "hhgb-recover")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sm, err := hhgb.NewSharded(1<<20, hhgb.WithShards(2), hhgb.WithDurability(dir))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sm.UpdateWeighted([]uint64{1, 1, 2}, []uint64{7, 7, 8}, []uint64{10, 5, 1}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sm.Close(); err != nil { // final checkpoint; releases the dir
+		log.Fatal(err)
+	}
+	// The process restarts here. Recover rebuilds the matrix from the
+	// manifest, snapshots, and any surviving log tails.
+	rm, err := hhgb.Recover(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rm.Close()
+	v, ok, err := rm.Lookup(1, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v, ok, rm.Shards())
+	// Output: 15 true 2
 }

@@ -19,8 +19,20 @@
 //	_ = sm.Update(srcs, dsts)                  // safe from any goroutine
 //	_ = sm.Close()                             // drain; stays queryable
 //
+// A Sharded matrix becomes crash-safe with WithDurability: each shard
+// write-ahead-logs its batches with a group-commit sync policy, Checkpoint
+// compacts the logs into per-shard snapshots, and Recover rebuilds the
+// matrix from the directory after a crash or restart:
+//
+//	sm, _ := hhgb.NewSharded(dim, hhgb.WithDurability(dir))
+//	_ = sm.Flush()                             // group commit: batches durable
+//	_ = sm.Checkpoint()                        // snapshot; logs truncate
+//	sm, _ = hhgb.Recover(dir)                  // after a crash
+//
 // The full algebra (semirings, MxM, associative arrays, the benchmark
-// engines) lives in the internal packages; see README.md for the map.
+// engines) lives in the internal packages; see README.md for the package
+// map and docs/ARCHITECTURE.md for the end-to-end ingest, query-pushdown,
+// and durability/recovery design.
 package hhgb
 
 import (
@@ -46,6 +58,8 @@ type options struct {
 	shards     int
 	queueDepth int
 	handoff    int
+	durDir     string
+	syncEvery  int
 }
 
 // WithCuts sets explicit cascade cuts c1 … c(N-1); the matrix has
@@ -113,6 +127,45 @@ func WithHandoff(n int) Option {
 	}
 }
 
+// WithDurability makes a Sharded matrix crash-safe: each shard worker
+// writes a per-shard write-ahead log under dir, and Checkpoint (and Close)
+// serialize per-shard snapshots plus a manifest there, truncating the
+// logs. Flush becomes a group-commit point — every batch accepted before
+// it survives a crash — and Recover restores the matrix from the same
+// directory after one. The directory must not already hold a durable
+// matrix (restore that with Recover instead). It applies only to
+// NewSharded; New rejects it. See docs/ARCHITECTURE.md for the on-disk
+// layout and the crash-window guarantees.
+func WithDurability(dir string) Option {
+	return func(o *options) error {
+		if dir == "" {
+			return fmt.Errorf("%w: durability directory must be non-empty", gb.ErrInvalidValue)
+		}
+		o.durDir = dir
+		return nil
+	}
+}
+
+// WithSyncEvery sets the group-commit interval of a durable Sharded
+// matrix: each shard's log is fsynced after every n logged batches
+// (default 64; 1 makes every batch durable as soon as its shard drains
+// it). Barriers — Flush, Checkpoint, Close — always sync regardless, so n
+// only bounds how much accepted-but-unsynced tail a crash between barriers
+// can lose. The interval applies per shard: between barriers a crash may
+// persist a batch's entries on the shards that happened to group-commit
+// and lose them on the shards that had not yet — only the barriers are
+// cross-shard-atomic durability points, and recovery after a mid-interval
+// crash restores each shard's own logged prefix. Requires WithDurability.
+func WithSyncEvery(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("%w: sync interval %d < 1", gb.ErrInvalidValue, n)
+		}
+		o.syncEvery = n
+		return nil
+	}
+}
+
 // Ranked is one entry of a top-k result.
 type Ranked struct {
 	ID    uint64 // source or destination id (e.g. an IP address index)
@@ -158,6 +211,9 @@ func New(dim uint64, opts ...Option) (*TrafficMatrix, error) {
 	}
 	if o.shards != 0 || o.queueDepth != 0 || o.handoff != 0 {
 		return nil, fmt.Errorf("%w: sharding options apply to NewSharded, not New", gb.ErrInvalidValue)
+	}
+	if o.durDir != "" || o.syncEvery != 0 {
+		return nil, fmt.Errorf("%w: durability options apply to NewSharded, not New", gb.ErrInvalidValue)
 	}
 	h, err := hier.New[uint64](gb.Index(dim), gb.Index(dim), hier.Config{Cuts: o.cuts})
 	if err != nil {

@@ -327,8 +327,12 @@ func (a *Accumulo) Lookup(rowKey, colQual string) (uint64, bool) {
 // Recover replays a write-ahead log produced by this model's mutation
 // paths into the memtable, reconstructing the pre-crash in-memory state
 // (flushed runs are durable files and survive on their own). Returns the
-// number of mutations replayed. Corrupt frames abort with wal.ErrCorrupt;
-// a clean EOF ends the replay.
+// number of mutations replayed. A clean EOF ends the replay; a corrupt
+// frame — including the torn final frame a crash between Append and Sync
+// leaves — aborts with an error wrapping wal.ErrCorrupt, the intact
+// prefix already applied. Callers replaying a crash-cut log may treat
+// that error as the end of the log (the sharded frontend's recovery does
+// exactly this for each shard's newest segment; see shard.RecoverGroup).
 func (a *Accumulo) Recover(r io.Reader) (int, error) {
 	reader := wal.NewReader(r)
 	replayed := 0

@@ -82,12 +82,23 @@ func (a *Appender[T]) Append(rows, cols []gb.Index, vals []T) error {
 // appender to be exclusively owned for the duration of the call.
 func (a *Appender[T]) append(rows, cols []gb.Index, vals []T) {
 	if len(a.rows) == 1 {
-		// Single shard: bulk-copy, no hashing.
-		a.rows[0] = append(a.rows[0], rows...)
-		a.cols[0] = append(a.cols[0], cols...)
-		a.vals[0] = append(a.vals[0], vals...)
-		if len(a.rows[0]) >= a.handoff {
-			a.handoffShard(0)
+		// Single shard: bulk-copy in handoff-sized chunks, no hashing.
+		// Chunking (rather than copying the whole batch then checking)
+		// bounds every queued buffer — and with it every WAL record a
+		// durable worker frames from it — by the handoff size, matching
+		// the per-entry bound of the multi-shard path.
+		for len(rows) > 0 {
+			n := a.handoff - len(a.rows[0])
+			if n > len(rows) {
+				n = len(rows)
+			}
+			a.rows[0] = append(a.rows[0], rows[:n]...)
+			a.cols[0] = append(a.cols[0], cols[:n]...)
+			a.vals[0] = append(a.vals[0], vals[:n]...)
+			if len(a.rows[0]) >= a.handoff {
+				a.handoffShard(0)
+			}
+			rows, cols, vals = rows[n:], cols[n:], vals[n:]
 		}
 		return
 	}

@@ -36,9 +36,19 @@
 // is bit-identical to the unsharded path (properties the package tests
 // verify).
 //
+// Durability: with Config.Durable set, each worker additionally owns a
+// CRC32-framed write-ahead log (internal/wal) and logs every batch before
+// applying it, fsyncing on a group-commit interval; Checkpoint serializes
+// each shard's cascade into a snapshot (hier.Encode), commits a manifest
+// atomically, and truncates the logs; RecoverGroup restores manifest +
+// snapshots + surviving log tails after a crash, tolerating a torn final
+// frame. See durable.go for the epoch protocol and its crash-window
+// guarantees.
+//
 // Lifecycle: Update/Append may be called from any number of goroutines
 // (each Appender from one). Flush drains every producer buffer and queue
-// and completes all cascade work. Close flushes, stops the workers, and
-// leaves the group readable (queries keep working on the drained state);
-// Update and Append after Close return ErrClosed.
+// and completes all cascade work (and fsyncs the logs of a durable
+// group). Close flushes, stops the workers — after a final checkpoint on
+// a durable group — and leaves the group readable (queries keep working
+// on the drained state); Update and Append after Close return ErrClosed.
 package shard

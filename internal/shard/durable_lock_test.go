@@ -1,0 +1,63 @@
+//go:build unix
+
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"hhgb/internal/hier"
+)
+
+// TestDirLockRefusesLiveFlockOwner pins the cross-process half of the
+// single-owner guarantee: a live flock on the LOCK file — what another
+// running process would hold — refuses every claim, releasing it makes
+// the directory claimable again, and a clean Close never leaves the
+// directory permanently locked.
+func TestDirLockRefusesLiveFlockOwner(t *testing.T) {
+	dir := t.TempDir()
+	g, err := NewGroup[uint64](ktDim, ktDim, Config{
+		Shards: 1, Hier: hier.Config{Cuts: ktCuts},
+		Durable: Durability{Dir: dir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a live foreign owner: flock the LOCK from an independent
+	// descriptor (flock conflicts across open file descriptions, so this
+	// behaves exactly like another process holding it).
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		t.Fatalf("test flock: %v", err)
+	}
+	if _, _, err := RecoverGroup[uint64](Config{Durable: Durability{Dir: dir}}); err == nil ||
+		!strings.Contains(err.Error(), "locked by") {
+		t.Fatalf("RecoverGroup under a live foreign flock: %v", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN); err != nil {
+		t.Fatal(err)
+	}
+
+	// Released: claimable again, and reclaimable after every clean Close
+	// (a crashed owner releases implicitly — flock dies with the process).
+	for i := 0; i < 2; i++ {
+		r, _, err := RecoverGroup[uint64](Config{Durable: Durability{Dir: dir}})
+		if err != nil {
+			t.Fatalf("recover round %d: %v", i, err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+//go:build !unix
+
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// lockDir on platforms without flock(2) falls back to an advisory pid
+// lock file claimed with an O_EXCL create. This scheme has two windows
+// flock does not: a crash between create and pid write leaves an
+// unparseable LOCK an operator must delete by hand, and two processes
+// observing the same dead owner can race the steal. It exists so the
+// package still builds and behaves reasonably off unix; deployments that
+// need the hard guarantee run where flock is available.
+func lockDir(dir string) (io.Closer, error) {
+	path := filepath.Join(dir, lockName)
+	me := []byte(strconv.Itoa(os.Getpid()) + "\n")
+	for attempt := 0; attempt < 4; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			if _, err := f.Write(me); err == nil {
+				err = f.Sync()
+			}
+			if err != nil {
+				// Never leave a half-written LOCK behind: an empty file
+				// would read as "held by an unknown owner" forever.
+				f.Close()
+				os.Remove(path)
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			return pidLock{path: path}, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // holder just released; retry the claim
+			}
+			return nil, err
+		}
+		pid, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if perr != nil || (pid != os.Getpid() && processAlive(pid)) {
+			// Unparseable counts as held: the owner may be mid-write,
+			// and corrupting a live group is worse than asking the
+			// operator to delete a stale LOCK by hand.
+			return nil, fmt.Errorf("shard: %s is locked by %q; remove %s only if that owner is gone", dir, strings.TrimSpace(string(data)), lockName)
+		}
+		os.Remove(path) // dead, or our own crash-abandoned lock: steal and retry
+	}
+	return nil, fmt.Errorf("shard: could not claim %s under contention", filepath.Join(dir, lockName))
+}
+
+// pidLock releases the fallback lock by deleting the LOCK file.
+type pidLock struct{ path string }
+
+func (l pidLock) Close() error { return os.Remove(l.path) }
+
+// processAlive reports whether pid names a running process. Signal 0 is
+// the liveness probe; an indeterminate answer counts as alive, so the
+// lock errs toward refusing rather than corrupting.
+func processAlive(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	if err == nil {
+		return true
+	}
+	return !errors.Is(err, os.ErrProcessDone)
+}

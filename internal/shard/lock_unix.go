@@ -1,0 +1,36 @@
+//go:build unix
+
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"syscall"
+)
+
+// lockDir claims the durability directory's LOCK file via flock(2): the
+// claim is atomic (no read-check-write window for two simultaneous
+// starters to race through), exclusive across processes, and released by
+// the kernel the instant the owning process dies — a crashed owner can
+// never leave a stale lock behind. The pid written into the file is an
+// operator breadcrumb only; correctness comes from the kernel lock. The
+// file is deliberately NOT removed on release: unlinking a lock file
+// reopens the classic race where one process holds an fd to the unlinked
+// inode while another locks a fresh file of the same name, and both
+// believe they own the directory.
+func lockDir(dir string) (io.Closer, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shard: %s is locked by another live group (flock: %v)", dir, err)
+	}
+	_ = f.Truncate(0)
+	_, _ = f.WriteAt([]byte(strconv.Itoa(os.Getpid())+"\n"), 0)
+	return f, nil // closing the file releases the flock
+}

@@ -15,6 +15,10 @@ import (
 // group is closed.
 var ErrClosed = errors.New("shard: group is closed")
 
+// ErrNotDurable is returned by Checkpoint and RecoverGroup when the group
+// has no durability directory configured.
+var ErrNotDurable = errors.New("shard: group has no durability directory")
+
 // DefaultDepth is the default per-shard queue depth in batches. Deep enough
 // to decouple producers from a momentarily-cascading shard, shallow enough
 // that a Flush barrier stays cheap and queued batches stay cache-warm.
@@ -43,6 +47,9 @@ type Config struct {
 	// Hier configures every shard's cascade. As in hier.New, nil Cuts
 	// yields a single flat level.
 	Hier hier.Config
+	// Durable configures per-shard write-ahead logging and checkpointing.
+	// The zero value keeps the group purely in-memory.
+	Durable Durability
 }
 
 // withDefaults resolves zero values to the documented defaults.
@@ -55,6 +62,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Handoff <= 0 {
 		c.Handoff = DefaultHandoff
+	}
+	if c.Durable.Dir != "" && c.Durable.SyncEvery <= 0 {
+		c.Durable.SyncEvery = DefaultSyncEvery
 	}
 	return c
 }
@@ -71,11 +81,14 @@ type msg[T gb.Number] struct {
 	done chan struct{}
 }
 
-// worker is one shard: a cascade owned by a single goroutine.
+// worker is one shard: a cascade owned by a single goroutine, plus — when
+// the group is durable — the shard's write-ahead log, owned by the same
+// goroutine (barrier callbacks run on it too, so the log needs no lock).
 type worker[T gb.Number] struct {
 	in  chan msg[T]
 	m   *hier.Matrix[T]
-	err error // first ingest error; owned by the worker goroutine
+	log *shardWAL[T] // nil when the group is not durable
+	err error        // first ingest error; owned by the worker goroutine
 }
 
 func (w *worker[T]) loop(wg *sync.WaitGroup) {
@@ -88,6 +101,17 @@ func (w *worker[T]) loop(wg *sync.WaitGroup) {
 		}
 		if w.err != nil {
 			continue // sticky: drop buffers after the first failure
+		}
+		// Log before applying (the WAL convention). A crash between the
+		// two replays the batch on recovery; the reverse order could not
+		// lose anything either (the loop is sequential, so an unlogged
+		// applied batch is always the last work the shard ever did), but
+		// log-first keeps "in the log" ⊇ "in the matrix" at every instant.
+		if w.log != nil {
+			if err := w.log.logBatch(msg.rows, msg.cols, msg.vals); err != nil {
+				w.err = fmt.Errorf("wal: %w", err)
+				continue
+			}
 		}
 		w.err = w.m.Update(msg.rows, msg.cols, msg.vals)
 	}
@@ -129,6 +153,30 @@ type Group[T gb.Number] struct {
 	// every barrier's drain cost — bounded for the life of the group.
 	stripes   []*stripe[T]
 	stripeIdx atomic.Uint32
+
+	// codec converts values to and from the 8-byte wire word the WAL and
+	// snapshots use; chosen per T (floats bit-exact, integers lossless).
+	codec gb.Codec[T]
+	// ckptMu serializes checkpoints (and Close's final checkpoint) so
+	// epoch numbers advance monotonically and manifest commits never
+	// interleave. Lock order: ckptMu before mu.
+	ckptMu sync.Mutex
+	// epoch is the current checkpoint attempt number; the live WAL
+	// segments carry it in their names. Guarded by ckptMu after
+	// construction. It advances even when a checkpoint fails, so segment
+	// and snapshot names are never reused (reuse could truncate a live
+	// segment on a shard that had already rotated).
+	epoch uint64
+	// ckptFailed is true while the latest checkpoint attempt has not
+	// fully committed; it blocks the Close-time "nothing changed, skip
+	// the final checkpoint" shortcut, because a failed attempt may have
+	// reset per-shard dirty counters without committing their snapshots.
+	// Guarded by ckptMu.
+	ckptFailed bool
+	// ckptHook, when set (tests only), is called between checkpoint
+	// stages: "snapshots" after every shard has synced, snapshotted and
+	// rotated; "manifest" after the manifest commit, before pruning.
+	ckptHook func(stage string)
 }
 
 // stripe is one Update-path appender and the mutex that hands it to a
@@ -142,14 +190,40 @@ type stripe[T gb.Number] struct {
 }
 
 // NewGroup returns a running sharded group; its workers idle until the
-// first Update. Callers that finish ingesting should Close it.
+// first Update. Callers that finish ingesting should Close it. With
+// Config.Durable set, the group opens one write-ahead log per shard under
+// the durability directory (which must not already hold a durable group —
+// restart from existing state with RecoverGroup instead).
 func NewGroup[T gb.Number](nrows, ncols gb.Index, cfg Config) (*Group[T], error) {
 	cfg = cfg.withDefaults()
-	g := &Group[T]{nrows: nrows, ncols: ncols, cfg: cfg}
-	for i := 0; i < cfg.Shards; i++ {
-		m, err := hier.New[T](nrows, ncols, cfg.Hier)
-		if err != nil {
+	g, err := buildGroup[T](nrows, ncols, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Durable.Dir != "" {
+		if err := g.initDurability(); err != nil {
 			return nil, err
+		}
+	}
+	g.start()
+	return g, nil
+}
+
+// buildGroup constructs a group without starting its workers. ms, when
+// non-nil, supplies recovered per-shard matrices (len must equal
+// cfg.Shards); nil builds empty cascades. cfg must already be resolved.
+func buildGroup[T gb.Number](nrows, ncols gb.Index, cfg Config, ms []*hier.Matrix[T]) (*Group[T], error) {
+	g := &Group[T]{nrows: nrows, ncols: ncols, cfg: cfg, codec: defaultCodec[T]()}
+	for i := 0; i < cfg.Shards; i++ {
+		m := (*hier.Matrix[T])(nil)
+		if ms != nil {
+			m = ms[i]
+		} else {
+			var err error
+			m, err = hier.New[T](nrows, ncols, cfg.Hier)
+			if err != nil {
+				return nil, err
+			}
 		}
 		g.workers = append(g.workers, &worker[T]{
 			in: make(chan msg[T], cfg.Depth),
@@ -163,11 +237,16 @@ func NewGroup[T gb.Number](nrows, ncols gb.Index, cfg Config) (*Group[T], error)
 	for i := 0; i < 2*runtime.GOMAXPROCS(0); i++ {
 		g.stripes = append(g.stripes, &stripe[T]{a: g.register(newAppender(g))})
 	}
+	return g, nil
+}
+
+// start launches the worker goroutines. Everything the workers read —
+// matrices, WAL handles — must be in place before the call.
+func (g *Group[T]) start() {
 	g.wg.Add(len(g.workers))
 	for _, w := range g.workers {
 		go w.loop(&g.wg)
 	}
-	return g, nil
 }
 
 // NRows returns the row dimension.
@@ -352,8 +431,11 @@ func (g *Group[T]) Err() error {
 
 // Flush drains every producer buffer and shard queue and completes all
 // pending cascade work, so a subsequent Query reflects every batch accepted
-// before the call. It returns the first ingest or flush error; after Close
-// it reports the Close outcome.
+// before the call. On a durable group it is also a group-commit point: each
+// shard's WAL is fsynced, so every batch accepted before the call survives
+// a crash (a cheaper durability point than Checkpoint, which additionally
+// snapshots and truncates the logs). It returns the first ingest or flush
+// error; after Close it reports the Close outcome.
 func (g *Group[T]) Flush() error {
 	errs := make([]error, len(g.workers))
 	if err := g.run(func(i int, w *worker[T]) {
@@ -362,6 +444,17 @@ func (g *Group[T]) Flush() error {
 			return
 		}
 		_, errs[i] = w.m.Flush()
+		if errs[i] == nil && w.log != nil {
+			if err := w.log.sync(); err != nil {
+				// Sticky, like a logBatch failure: after a failed fsync
+				// the log can no longer prove durability (the kernel may
+				// have dropped the dirty pages), so the shard must stop
+				// accepting batches rather than let a retried Flush
+				// report success over a hole in the log.
+				w.err = fmt.Errorf("wal: %w", err)
+				errs[i] = w.err
+			}
+		}
 	}); err != nil {
 		return err
 	}
@@ -371,8 +464,13 @@ func (g *Group[T]) Flush() error {
 // Close drains the producer buffers and queues, stops the workers, and
 // completes all cascade work. The group stays readable — queries keep
 // working on the final state — but Update and Append return ErrClosed.
-// Close is idempotent and returns the first ingest or flush error.
+// On a durable group Close also takes a final checkpoint (so a later
+// RecoverGroup restores from snapshots alone, with no log replay) and
+// closes the WAL files. Close is idempotent and returns the first ingest,
+// flush, or checkpoint error.
 func (g *Group[T]) Close() error {
+	g.ckptMu.Lock() // before mu: Checkpoint takes ckptMu then mu
+	defer g.ckptMu.Unlock()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.closed {
@@ -393,6 +491,23 @@ func (g *Group[T]) Close() error {
 		_, errs[i] = w.m.Flush()
 	}
 	g.closeErr = firstError(errs)
+	if g.cfg.Durable.Dir != "" {
+		if g.closeErr == nil {
+			// Final checkpoint: the workers are gone, so the shard steps
+			// run inline — safe, nothing else touches the matrices while
+			// mu is held.
+			g.closeErr = g.checkpointLocked()
+		}
+		for _, w := range g.workers {
+			if w.log != nil {
+				if err := w.log.close(); err != nil && g.closeErr == nil {
+					g.closeErr = err
+				}
+				w.log = nil
+			}
+		}
+		releaseDirLock(g.cfg.Durable.Dir)
+	}
 	return g.closeErr
 }
 

@@ -1,7 +1,32 @@
-// Package wal implements a CRC32-framed append-only write-ahead log: the
-// durability path shared by the Accumulo, CrateDB and TPC-C baseline models.
-// Records are framed as uvarint(length) ‖ crc32c ‖ payload; Sync flushes
-// the buffered group (the group-commit boundary the models charge for).
+// Package wal implements a CRC32-framed append-only write-ahead log. It is
+// the durability path shared by the Accumulo, CrateDB and TPC-C baseline
+// models and by the sharded ingest frontend's per-shard logs.
+//
+// # Framing
+//
+// A log is a sequence of self-delimiting frames with no file header:
+//
+//	frame := uvarint(len(payload)) ‖ crc32c(payload) ‖ payload
+//
+// The length is a standard unsigned varint (1–10 bytes); the checksum is a
+// little-endian CRC-32 of the payload alone using the Castagnoli
+// polynomial. A frame never spans files. Because frames carry no
+// end-marker, the only way a log ends cleanly is exactly at a frame
+// boundary; a crash while appending can leave a final frame that is torn
+// (cut mid-length, mid-checksum, or mid-payload) or that fails its
+// checksum. Reader.Next distinguishes the three outcomes a recovery loop
+// must handle:
+//
+//   - io.EOF: the clean end of the log — the previous frame was the last.
+//   - ErrCorrupt (wrapped, inspect with errors.Is): the bytes at the read
+//     position are not a whole valid frame — a torn tail or bit rot.
+//     Everything before this frame replayed intact; nothing at or after it
+//     can be trusted.
+//   - any other error: an I/O failure from the underlying reader.
+//
+// Records become durable at Sync, the group-commit boundary: Writer buffers
+// frames in memory, and Sync flushes the buffered group (File.Sync also
+// fsyncs, making the group crash-durable rather than merely visible).
 package wal
 
 import (
@@ -11,10 +36,24 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 )
 
-// ErrCorrupt is returned when a frame fails its checksum.
+// ErrCorrupt is returned when the log does not continue with a whole valid
+// frame: a checksum mismatch, a torn final frame, or an absurd length.
+// It is always wrapped with context; test with errors.Is.
 var ErrCorrupt = errors.New("wal: corrupt record")
+
+// ErrRecordTooLarge is returned by Append for a record beyond MaxRecord.
+var ErrRecordTooLarge = errors.New("wal: record exceeds MaxRecord")
+
+// MaxRecord caps a single record's payload length, enforced on BOTH sides:
+// Append refuses to write a larger record (a reader would have to treat
+// the oversized frame as corruption, silently discarding data the writer
+// fsync-confirmed), and a length prefix beyond it is treated as corruption
+// rather than an allocation request — a torn or bit-rotted length varint
+// would otherwise ask for gigabytes.
+const MaxRecord = 1 << 30
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -32,8 +71,12 @@ func NewWriter(w io.Writer) *Writer {
 }
 
 // Append frames and buffers one record. The record becomes durable at the
-// next Sync.
+// next Sync. Records longer than MaxRecord are rejected with
+// ErrRecordTooLarge before anything is written.
 func (w *Writer) Append(rec []byte) error {
+	if len(rec) > MaxRecord {
+		return fmt.Errorf("%w: %d bytes > %d", ErrRecordTooLarge, len(rec), MaxRecord)
+	}
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(rec)))
 	if _, err := w.bw.Write(hdr[:n]); err != nil {
@@ -77,26 +120,115 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
 }
 
-// Next returns the next record, io.EOF at the clean end of the log, or
-// ErrCorrupt if a frame fails its checksum.
+// Next returns the next record. At the end of the log it returns io.EOF if
+// the log ends cleanly on a frame boundary, or an error wrapping ErrCorrupt
+// if the final frame is torn (the log stops mid-frame — the signature of a
+// crash between Append and Sync) or fails its checksum. Frames before a
+// corrupt one are unaffected; nothing at or after it should be trusted.
 func (r *Reader) Next() ([]byte, error) {
-	length, err := binary.ReadUvarint(r.br)
+	length, n, err := readUvarint(r.br)
 	if err != nil {
+		if n == 0 && errors.Is(err, io.EOF) {
+			return nil, io.EOF // clean end: no bytes of a next frame exist
+		}
 		if errors.Is(err, io.EOF) {
-			return nil, io.EOF
+			return nil, fmt.Errorf("wal: torn frame length (%d bytes): %w", n, ErrCorrupt)
 		}
 		return nil, fmt.Errorf("wal: reading frame length: %w", err)
 	}
+	if length > MaxRecord {
+		return nil, fmt.Errorf("wal: frame length %d exceeds %d: %w", length, MaxRecord, ErrCorrupt)
+	}
 	var crc [4]byte
 	if _, err := io.ReadFull(r.br, crc[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("wal: torn frame checksum: %w", ErrCorrupt)
+		}
 		return nil, fmt.Errorf("wal: reading crc: %w", err)
 	}
 	rec := make([]byte, length)
 	if _, err := io.ReadFull(r.br, rec); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("wal: torn frame payload: %w", ErrCorrupt)
+		}
 		return nil, fmt.Errorf("wal: reading payload: %w", err)
 	}
 	if crc32.Checksum(rec, castagnoli) != binary.LittleEndian.Uint32(crc[:]) {
-		return nil, ErrCorrupt
+		return nil, fmt.Errorf("wal: checksum mismatch: %w", ErrCorrupt)
 	}
 	return rec, nil
+}
+
+// readUvarint is binary.ReadUvarint, additionally reporting how many bytes
+// were consumed so the caller can tell a clean EOF (zero bytes) from a torn
+// varint (some bytes, then EOF).
+func readUvarint(br io.ByteReader) (uint64, int, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return x, i, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return x, i + 1, fmt.Errorf("wal: frame length varint overflows: %w", ErrCorrupt)
+			}
+			return x | uint64(b)<<s, i + 1, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return x, binary.MaxVarintLen64, fmt.Errorf("wal: frame length varint too long: %w", ErrCorrupt)
+}
+
+// File is a Writer bound to an operating-system file, adding the fsync and
+// segment-rotation halves a crash-durable log needs. Its Sync makes the
+// buffered group durable (flush + fsync), not merely visible.
+type File struct {
+	*Writer
+	f    *os.File
+	path string
+}
+
+// Create creates (or truncates) a log file at path.
+func Create(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Writer: NewWriter(f), f: f, path: path}, nil
+}
+
+// Path returns the file path the log writes to.
+func (l *File) Path() string { return l.path }
+
+// Sync flushes the buffered frames and fsyncs the file: on return, every
+// appended record survives a crash.
+func (l *File) Sync() error {
+	if err := l.Writer.Sync(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close syncs and closes the file. The *File must not be used afterwards.
+func (l *File) Close() error {
+	syncErr := l.Sync()
+	closeErr := l.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Rotate syncs and closes the current segment and starts a fresh one at
+// path, returning the new *File. The old segment is left on disk for the
+// caller to retire once whatever supersedes it (a checkpoint manifest) is
+// durable. On error the current segment may already be closed.
+func (l *File) Rotate(path string) (*File, error) {
+	if err := l.Close(); err != nil {
+		return nil, err
+	}
+	return Create(path)
 }

@@ -1,15 +1,24 @@
 package hhgb
 
 import (
+	"fmt"
+
 	"hhgb/internal/gb"
 	"hhgb/internal/hier"
 	"hhgb/internal/shard"
 )
 
-// ErrClosed is the sentinel returned by Append, AppendWeighted, Update,
-// UpdateWeighted, and Appender methods once the Sharded matrix (or the
-// individual Appender) has been closed. Test with errors.Is.
+// ErrClosed is the sentinel returned by every ingest entry point — Append,
+// AppendWeighted, Update, UpdateWeighted, Checkpoint, and the Append,
+// AppendWeighted, and Flush methods of any Appender — once the Sharded
+// matrix (or, for its own methods, the individual Appender) has been
+// closed. Queries never return it: a closed matrix stays fully readable.
+// Test with errors.Is.
 var ErrClosed = shard.ErrClosed
+
+// ErrNotDurable is returned by Checkpoint on a Sharded matrix built
+// without WithDurability. Test with errors.Is.
+var ErrNotDurable = shard.ErrNotDurable
 
 // Sharded is a concurrent streaming traffic matrix: one logical dim x dim
 // matrix hash-partitioned across S independent hierarchical hypersparse
@@ -32,11 +41,18 @@ var ErrClosed = shard.ErrClosed
 // Queries barrier internally and observe a batch-atomic snapshot: each
 // accepted batch is either entirely included or entirely excluded.
 //
+// Durability: with WithDurability(dir) each shard worker additionally
+// write-ahead-logs its batches under dir with a group-commit sync policy
+// (WithSyncEvery). Flush then guarantees every accepted batch survives a
+// crash; Checkpoint compacts the logs into per-shard snapshots; Recover
+// rebuilds the matrix from the directory after a crash or restart.
+//
 // Lifecycle: NewSharded starts the shard workers. Call Flush to make all
 // accepted batches visible to queries mid-stream, and Close when done
-// ingesting: Close drains every buffer and queue, stops the workers, and
-// leaves the matrix fully queryable. After Close, Append/Update (and any
-// outstanding Appender's Append) fail with ErrClosed. Close is idempotent.
+// ingesting: Close drains every buffer and queue, stops the workers (on a
+// durable matrix, after a final checkpoint), and leaves the matrix fully
+// queryable. After Close, Append/Update (and any outstanding Appender's
+// Append) fail with ErrClosed. Close is idempotent.
 type Sharded struct {
 	g   *shard.Group[uint64]
 	dim uint64
@@ -45,7 +61,7 @@ type Sharded struct {
 // NewSharded returns an empty sharded dim x dim traffic matrix. With no
 // options it uses runtime.GOMAXPROCS(0) shards, each a default 4-level
 // geometric cascade; see WithShards, WithQueueDepth, WithHandoff, WithCuts,
-// and WithGeometricCuts.
+// WithGeometricCuts, WithDurability, and WithSyncEvery.
 func NewSharded(dim uint64, opts ...Option) (*Sharded, error) {
 	o := options{cuts: hier.DefaultConfig().Cuts}
 	for _, opt := range opts {
@@ -53,17 +69,74 @@ func NewSharded(dim uint64, opts ...Option) (*Sharded, error) {
 			return nil, err
 		}
 	}
+	if o.syncEvery != 0 && o.durDir == "" {
+		return nil, fmt.Errorf("%w: WithSyncEvery requires WithDurability", gb.ErrInvalidValue)
+	}
 	g, err := shard.NewGroup[uint64](gb.Index(dim), gb.Index(dim), shard.Config{
 		Shards:  o.shards,
 		Depth:   o.queueDepth,
 		Handoff: o.handoff,
 		Hier:    hier.Config{Cuts: o.cuts},
+		Durable: shard.Durability{Dir: o.durDir, SyncEvery: o.syncEvery},
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Sharded{g: g, dim: dim}, nil
 }
+
+// Recover restores a durable Sharded matrix from the directory a previous
+// WithDurability matrix wrote: the manifest fixes the dimension, shard
+// count, and cascade cuts (so WithShards/WithCuts must not be passed);
+// per-shard snapshots are decoded and the surviving write-ahead-log tails
+// replayed on top, tolerating the torn final frame a crash mid-append
+// leaves. Every batch accepted before the last Flush or Checkpoint is
+// restored bit-identically; later batches come back per shard as far as
+// each shard's own group commit reached (see WithSyncEvery), and the
+// unsynced tails are lost, exactly as group-commit promises. When
+// anything was replayed, the recovered matrix checkpoints immediately
+// (compacting the replayed logs away); either way it is ready to ingest.
+//
+// WithQueueDepth, WithHandoff, and WithSyncEvery tune the recovered
+// matrix as they would a new one.
+//
+// The directory has a single owner at a time: Recover refuses a directory
+// owned by a live matrix — in this process or any other (two groups over
+// one directory would prune each other's logs). The on-disk lock is
+// kernel-held (flock on unix) and releases the moment its owner dies, so
+// a crashed owner never blocks recovery.
+func Recover(dir string, opts ...Option) (*Sharded, error) {
+	var o options
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if o.shards != 0 || o.cuts != nil {
+		return nil, fmt.Errorf("%w: shard count and cuts are fixed by the recovered manifest", gb.ErrInvalidValue)
+	}
+	if o.durDir != "" && o.durDir != dir {
+		return nil, fmt.Errorf("%w: WithDurability(%q) conflicts with Recover dir %q", gb.ErrInvalidValue, o.durDir, dir)
+	}
+	g, _, err := shard.RecoverGroup[uint64](shard.Config{
+		Depth:   o.queueDepth,
+		Handoff: o.handoff,
+		Durable: shard.Durability{Dir: dir, SyncEvery: o.syncEvery},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{g: g, dim: uint64(g.NRows())}, nil
+}
+
+// Checkpoint makes the entire accepted stream durable and compact: a
+// batch-atomic barrier at which every shard fsyncs its write-ahead log,
+// serializes its cascade into a snapshot file, and truncates the log, with
+// the set committed atomically via the manifest. After Checkpoint returns,
+// Recover needs only the snapshots — no replay. It fails with ErrClosed
+// after Close (which already took a final checkpoint) and with
+// ErrNotDurable on a matrix built without WithDurability.
+func (s *Sharded) Checkpoint() error { return s.g.Checkpoint() }
 
 // Dim returns the matrix dimension.
 func (s *Sharded) Dim() uint64 { return s.dim }
@@ -88,10 +161,12 @@ func (s *Sharded) AppendWeighted(src, dst, weight []uint64) error {
 	return appendWeighted(src, dst, weight, s.g.Update)
 }
 
-// Update is Append under its original name.
+// Update is Append under its original name; it shares Append's ErrClosed
+// semantics.
 func (s *Sharded) Update(src, dst []uint64) error { return s.Append(src, dst) }
 
-// UpdateWeighted is AppendWeighted under its original name.
+// UpdateWeighted is AppendWeighted under its original name; it shares
+// AppendWeighted's ErrClosed semantics.
 func (s *Sharded) UpdateWeighted(src, dst, weight []uint64) error {
 	return s.AppendWeighted(src, dst, weight)
 }
@@ -125,7 +200,8 @@ func (a *Appender) Append(src, dst []uint64) error {
 }
 
 // AppendWeighted streams a batch of weighted observations into the
-// producer-local buffers.
+// producer-local buffers. After the appender or its matrix is closed it
+// returns ErrClosed.
 func (a *Appender) AppendWeighted(src, dst, weight []uint64) error {
 	return appendWeighted(src, dst, weight, a.a.Append)
 }
@@ -136,19 +212,25 @@ func (a *Appender) Buffered() int { return a.a.Buffered() }
 
 // Flush hands the buffered entries to the shard workers without waiting
 // for ingest; the matrix's Flush (or any query) then makes them visible.
+// After the appender or its matrix is closed it returns ErrClosed (the
+// closer already drained the buffers — appended entries are never lost).
 func (a *Appender) Flush() error { return a.a.Flush() }
 
 // Close hands off any buffered entries and detaches the appender; further
-// Append calls return ErrClosed. Close is idempotent.
+// Append, AppendWeighted, and Flush calls return ErrClosed. Close is
+// idempotent and safe after the matrix itself closed.
 func (a *Appender) Close() error { return a.a.Close() }
 
 // Flush drains every producer buffer and shard queue and completes all
-// pending cascade work, surfacing any asynchronous ingest error.
+// pending cascade work, surfacing any asynchronous ingest error. On a
+// durable matrix it is also a group-commit point: every batch accepted
+// before the call is fsynced and survives a crash.
 func (s *Sharded) Flush() error { return s.g.Flush() }
 
 // Close stops the ingest workers after draining the producer buffers and
-// queues. The matrix stays queryable; Append/Update after Close fail with
-// ErrClosed. Close is idempotent.
+// queues; on a durable matrix it then takes a final checkpoint, so a later
+// Recover restores from snapshots alone. The matrix stays queryable;
+// Append/Update after Close fail with ErrClosed. Close is idempotent.
 func (s *Sharded) Close() error { return s.g.Close() }
 
 // Err reports the first asynchronous ingest error, if any shard failed.

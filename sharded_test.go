@@ -3,6 +3,8 @@ package hhgb_test
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
@@ -404,4 +406,159 @@ func ExampleSharded() {
 	}
 	fmt.Println(sum.Entries, sum.TotalPackets)
 	// Output: 2 8
+}
+
+// copyDirTo snapshots a durability directory — the on-disk state a crash
+// would leave — so recovery can run against it while the abandoned
+// original still owns its own directory.
+func copyDirTo(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestShardedDurableRecover drives the facade durability path end to end:
+// durable ingest, a simulated crash (the directory state is snapshotted
+// while the matrix is abandoned un-Closed), and Recover producing a matrix
+// whose queries match a plain in-memory reference.
+func TestShardedDurableRecover(t *testing.T) {
+	dir := t.TempDir()
+	sm, err := hhgb.NewSharded(1<<16,
+		hhgb.WithShards(3), hhgb.WithGeometricCuts(3, 64, 4),
+		hhgb.WithDurability(dir), hhgb.WithSyncEvery(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := hhgb.New(1<<16, hhgb.WithGeometricCuts(3, 64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStream(t, sm, 20, 500)
+	feedStream(t, ref, 20, 500)
+	if err := sm.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// A post-checkpoint tail, made durable by Flush (group commit): the
+	// recovered state must be snapshot + WAL-tail replay.
+	feedStream(t, sm, 5, 500)
+	if err := sm.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	feedStream(t, ref, 5, 500)
+	// Crash: sm is abandoned un-Closed; recovery runs on the directory
+	// state as-is (a copy, since the live abandoned matrix still owns
+	// the original — a real crash would have released it).
+	rm, err := hhgb.Recover(copyDirTo(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rm.Close()
+	if rm.Dim() != 1<<16 || rm.Shards() != 3 {
+		t.Fatalf("recovered dim=%d shards=%d, want %d/3", rm.Dim(), rm.Shards(), 1<<16)
+	}
+	rs, err := rm.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := ref.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs != ws {
+		t.Fatalf("recovered Summary %+v != reference %+v", rs, ws)
+	}
+	rTop, err := rm.TopSources(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wTop, err := ref.TopSources(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wTop {
+		if rTop[i] != wTop[i] {
+			t.Fatalf("TopSources[%d] = %+v, want %+v", i, rTop[i], wTop[i])
+		}
+	}
+	// The recovered matrix keeps ingesting and checkpointing.
+	feedStream(t, rm, 2, 100)
+	if err := rm.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	n1, err := rm.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == 0 {
+		t.Fatal("recovered matrix lost its entries")
+	}
+}
+
+// TestShardedDurabilityOptionValidation pins the facade-level option and
+// lifecycle errors of the durability path.
+func TestShardedDurabilityOptionValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := hhgb.New(1<<16, hhgb.WithDurability(dir)); err == nil {
+		t.Fatal("New should reject WithDurability")
+	}
+	if _, err := hhgb.NewSharded(1<<16, hhgb.WithSyncEvery(4)); err == nil {
+		t.Fatal("WithSyncEvery without WithDurability should fail")
+	}
+	if _, err := hhgb.NewSharded(1<<16, hhgb.WithDurability("")); err == nil {
+		t.Fatal("WithDurability(\"\") should fail")
+	}
+	if _, err := hhgb.Recover(dir, hhgb.WithShards(2)); err == nil {
+		t.Fatal("Recover should reject WithShards (manifest fixes it)")
+	}
+	if _, err := hhgb.Recover(t.TempDir()); err == nil {
+		t.Fatal("Recover on an empty directory should fail")
+	}
+	plain, err := hhgb.NewSharded(1<<16, hhgb.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if err := plain.Checkpoint(); !errors.Is(err, hhgb.ErrNotDurable) {
+		t.Fatalf("Checkpoint without durability = %v, want ErrNotDurable", err)
+	}
+	sm, err := hhgb.NewSharded(1<<16, hhgb.WithShards(2), hhgb.WithDurability(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Update([]uint64{1}, []uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	// A second durable matrix on the same directory must refuse.
+	if _, err := hhgb.NewSharded(1<<16, hhgb.WithDurability(dir)); err == nil {
+		t.Fatal("NewSharded on a live durable dir should fail")
+	}
+	if err := sm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Checkpoint(); !errors.Is(err, hhgb.ErrClosed) {
+		t.Fatalf("Checkpoint after Close = %v, want ErrClosed", err)
+	}
+	// Closed means checkpointed: recovery needs no replay and the state
+	// is intact.
+	rm, err := hhgb.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rm.Close()
+	if v, ok, err := rm.Lookup(1, 2); err != nil || !ok || v != 1 {
+		t.Fatalf("Lookup after recover = %d,%v,%v; want 1,true,nil", v, ok, err)
+	}
 }
