@@ -9,7 +9,9 @@ package hhgb
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"hhgb/internal/baselines"
 	"hhgb/internal/cluster"
@@ -198,11 +200,22 @@ func BenchmarkE11_FlatVsHier(b *testing.B) {
 // feed it from GOMAXPROCS producer goroutines — "sharded-N" through the
 // pooled Update path, "append-N" through per-producer Appenders (each
 // parallel worker owns its shard buffers, the zero-contention fast path).
-// On a machine with >= 4 cores the shards=4 (and higher) rows sustain
-// >= 2x the flat aggregate update throughput; timing includes the final
-// drain (Close), so queued or buffered batches cannot inflate the rate.
+// Timing includes the final drain (Close), so queued or buffered batches
+// cannot inflate the rate.
+//
+// The >= 2x speedup expectation holds only where the parallelism exists
+// to pay for it: on runtime.NumCPU() >= 4 hosts the shards=4 (and higher)
+// rows are asserted to beat the flat rate 2x (on measured runs — the CI
+// -benchtime=1x smoke is below the measurement floor and skips the
+// check); on smaller hosts the ratio is logged instead, since sharding
+// there can only win what producer/consumer pipelining buys (~1.1-1.4x
+// on the 1-core dev container).
 func BenchmarkE13_ShardedVsFlat(b *testing.B) {
 	const batch = 10_000
+	// e13MinMeasured: below this elapsed time a ratio is noise, not a
+	// measurement (the -benchtime=1x CI smoke lands here).
+	const e13MinMeasured = 200 * time.Millisecond
+	var flatRate float64
 	prep := func(b *testing.B, seed uint64) ([][]gb.Index, [][]gb.Index, []uint64) {
 		b.Helper()
 		g, err := powerlaw.NewRMAT(32, seed)
@@ -242,7 +255,11 @@ func BenchmarkE13_ShardedVsFlat(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StopTimer()
-		b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "updates/s")
+		rate := float64(b.N) * batch / b.Elapsed().Seconds()
+		if b.Elapsed() >= e13MinMeasured {
+			flatRate = rate
+		}
+		b.ReportMetric(rate, "updates/s")
 	})
 
 	shardedCase := func(shards int, useAppenders bool) func(b *testing.B) {
@@ -287,7 +304,21 @@ func BenchmarkE13_ShardedVsFlat(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "updates/s")
+			rate := float64(b.N) * batch / b.Elapsed().Seconds()
+			b.ReportMetric(rate, "updates/s")
+			if flatRate > 0 && b.Elapsed() >= e13MinMeasured {
+				ratio := rate / flatRate
+				switch {
+				case shards >= 4 && runtime.NumCPU() >= 4 && ratio < 2:
+					b.Errorf("sharded-%d sustained %.2fx the flat rate on a %d-core host; want >= 2x",
+						shards, ratio, runtime.NumCPU())
+				case runtime.NumCPU() < 4:
+					b.Logf("%d-core host: %.2fx vs flat is pipelining-only (>= 2x needs >= 4 cores)",
+						runtime.NumCPU(), ratio)
+				default:
+					b.Logf("%.2fx vs flat", ratio)
+				}
+			}
 		}
 	}
 	for _, shards := range []int{1, 2, 4, 8} {

@@ -1,0 +1,233 @@
+// Command hhgb-netbench measures the network ingest service on loopback:
+// aggregate inserts/second against connection count, for single-entry
+// frames (the unbatched baseline) versus batched frames. Each sweep point
+// runs a fresh matrix + server + clients in this process, so points are
+// comparable and the whole bench needs no setup.
+//
+// Usage:
+//
+//	hhgb-netbench [-edges N] [-single-edges N] [-scale S] [-shards N]
+//	              [-conns 1,2,4] [-batch 4096] [-seed N] [-out BENCH_net.json]
+//
+// It writes the bench.Trajectory artifact BENCH_net.json (uploaded by
+// CI's bench-smoke job) with one point per (mode, conns) pair; batched
+// points carry the speedup over the single-frame point at the same
+// connection count in their extras. The paper's aggregate-rate framing
+// (inserts/s vs producers) maps directly: connections are the network
+// analogue of ingest processes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hhgb"
+	"hhgb/hhgbclient"
+	"hhgb/internal/bench"
+	"hhgb/internal/powerlaw"
+	"hhgb/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hhgb-netbench: ")
+	var (
+		edges       = flag.Int("edges", 1_000_000, "edges per batched sweep point")
+		singleEdges = flag.Int("single-edges", 0, "edges per single-frame point (0 = edges/10; single frames are ~10x slower)")
+		scale       = flag.Int("scale", 24, "matrix dimension is 2^scale")
+		shards      = flag.Int("shards", 0, "server shard count (0 = GOMAXPROCS)")
+		connsFlag   = flag.String("conns", "1,2,4", "comma-separated connection counts to sweep")
+		batch       = flag.Int("batch", 4096, "entries per insert frame in batched mode")
+		seed        = flag.Uint64("seed", 1, "workload seed")
+		out         = flag.String("out", "BENCH_net.json", "trajectory output file")
+	)
+	flag.Parse()
+	if *singleEdges <= 0 {
+		*singleEdges = *edges / 10
+		if *singleEdges < 1 {
+			*singleEdges = 1
+		}
+	}
+	connCounts, err := parseConns(*connsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run(*edges, *singleEdges, *scale, *shards, connCounts, *batch, *seed, *out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseConns(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -conns entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(edges, singleEdges, scale, shards int, connCounts []int, batch int, seed uint64, out string) error {
+	traj := bench.NewTrajectory("net", "inserts/s")
+	traj.Meta = map[string]string{
+		"edges":        fmt.Sprint(edges),
+		"single_edges": fmt.Sprint(singleEdges),
+		"scale":        fmt.Sprint(scale),
+		"batch":        fmt.Sprint(batch),
+	}
+	singleRates := make(map[int]float64)
+	for _, mode := range []string{"single", "batched"} {
+		for _, conns := range connCounts {
+			e, frame := edges, batch
+			if mode == "single" {
+				e, frame = singleEdges, 1
+			}
+			rate, err := point(e, scale, shards, conns, frame, seed)
+			if err != nil {
+				return fmt.Errorf("%s/conns=%d: %w", mode, conns, err)
+			}
+			extra := map[string]float64{"edges": float64(e), "frame_entries": float64(frame)}
+			if mode == "single" {
+				singleRates[conns] = rate
+			} else if s, ok := singleRates[conns]; ok && s > 0 {
+				extra["speedup_vs_single"] = rate / s
+			}
+			label := fmt.Sprintf("%s/conns=%d", mode, conns)
+			traj.AddPoint(label, float64(conns), rate, extra)
+			log.Printf("%-18s %12.0f inserts/s", label, rate)
+		}
+	}
+	if err := traj.WriteFile(out); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (%d points)", out, len(traj.Points))
+	return nil
+}
+
+// point measures one (conns, frame size) configuration end to end: fresh
+// matrix, fresh server, conns concurrent clients streaming edges/conns
+// each, timed through the final Flush (so queued work cannot inflate the
+// rate), then verified against the server's entry count.
+func point(edges, scale, shards, conns, frame int, seed uint64) (float64, error) {
+	var opts []hhgb.Option
+	if shards > 0 {
+		opts = append(opts, hhgb.WithShards(shards))
+	}
+	m, err := hhgb.NewSharded(uint64(1)<<uint(scale), opts...)
+	if err != nil {
+		return 0, err
+	}
+	defer m.Close()
+	srv, err := server.New(server.Config{Matrix: m})
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	per := edges / conns
+	if per < 1 {
+		per = 1
+	}
+	// Pre-generate every connection's stream so the timed window measures
+	// the wire and ingest path, not the edge generator (the convention of
+	// the in-process benchmarks, bench_test.go).
+	srcs := make([][]uint64, conns)
+	dsts := make([][]uint64, conns)
+	for i := range srcs {
+		g, err := powerlaw.NewRMAT(scale, seed+uint64(i)*0x9e3779b9)
+		if err != nil {
+			return 0, err
+		}
+		srcs[i] = make([]uint64, per)
+		dsts[i] = make([]uint64, per)
+		for k := 0; k < per; k++ {
+			e := g.Edge()
+			srcs[i][k], dsts[i][k] = e.Row, e.Col
+		}
+	}
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := hhgbclient.Dial(addr,
+				hhgbclient.WithFlushEntries(frame),
+				hhgbclient.WithFlushInterval(0),
+				hhgbclient.WithMaxPending(1024))
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer c.Close()
+			src, dst := srcs[i], dsts[i]
+			if frame == 1 {
+				// Single-frame mode: one Append per entry, so every
+				// entry pays the full frame + write cost — the honest
+				// unbatched baseline.
+				for k := 0; k < per; k++ {
+					if err := c.Append(src[k:k+1], dst[k:k+1]); err != nil {
+						fail(err)
+						return
+					}
+				}
+			} else {
+				for k := 0; k < per; k += frame {
+					end := k + frame
+					if end > per {
+						end = per
+					}
+					if err := c.Append(src[k:end], dst[k:end]); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+			if err := c.Flush(); err != nil {
+				fail(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if first != nil {
+		return 0, first
+	}
+	elapsed := time.Since(start)
+	// The cross-check behind the number: every streamed entry had weight
+	// 1, so the matrix's packet total must equal the insert count — a
+	// wire path that dropped or duplicated frames would fail here, not
+	// emit a plausible artifact.
+	sum, err := m.Summary()
+	if err != nil {
+		return 0, err
+	}
+	if want := uint64(per * conns); sum.TotalPackets != want {
+		return 0, fmt.Errorf("server holds %d packets after %d acked inserts", sum.TotalPackets, want)
+	}
+	return float64(per*conns) / elapsed.Seconds(), nil
+}

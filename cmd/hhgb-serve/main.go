@@ -1,0 +1,149 @@
+// Command hhgb-serve runs the network ingest service: one hhgb.Sharded
+// traffic matrix behind the binary wire protocol, fed by any number of
+// hhgbclient connections (cmd/trafficgen -connect is a ready-made load
+// generator).
+//
+// Usage:
+//
+//	hhgb-serve [-addr host:port] [-scale S] [-shards N]
+//	           [-durable dir] [-sync-every N]
+//	           [-stats host:port] [-max-inflight N] [-max-batch N] [-queue-depth N]
+//
+// With -durable, ingest is write-ahead-logged under dir and a client
+// Flush is a group-commit point; if dir already holds a durable matrix
+// (a previous run's state — clean shutdown or crash), it is recovered
+// first, so restarting after kill -9 resumes from the durable prefix.
+//
+// The process prints one "listening on ADDR" line once it accepts
+// connections (scripts parse it to learn a :0 port), serves operator
+// stats as JSON at -stats (path /stats), and shuts down gracefully on
+// SIGINT/SIGTERM: the listener stops, every connection drains and acks,
+// and the matrix closes (final checkpoint when durable).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"hhgb"
+	"hhgb/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hhgb-serve: ")
+	var (
+		addr        = flag.String("addr", "127.0.0.1:4739", "listen address (use :0 for an ephemeral port)")
+		scale       = flag.Int("scale", 32, "matrix dimension is 2^scale")
+		shards      = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
+		durable     = flag.String("durable", "", "durability directory (empty = in-memory only)")
+		syncEvery   = flag.Int("sync-every", 0, "group-commit interval in batches (0 = default; needs -durable)")
+		statsAddr   = flag.String("stats", "", "serve JSON stats on this address at /stats (empty = off)")
+		maxInflight = flag.Int64("max-inflight", 0, "aggregate in-flight entry budget (0 = default)")
+		maxBatch    = flag.Int("max-batch", 0, "per-frame entry cap (0 = default)")
+		queueDepth  = flag.Int("queue-depth", 0, "per-connection apply queue depth in frames (0 = default)")
+	)
+	flag.Parse()
+	if err := run(*addr, *scale, *shards, *durable, *syncEvery, *statsAddr, *maxInflight, *maxBatch, *queueDepth); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, scale, shards int, durable string, syncEvery int, statsAddr string, maxInflight int64, maxBatch, queueDepth int) error {
+	m, err := openMatrix(scale, shards, durable, syncEvery)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Matrix:      m,
+		MaxBatch:    maxBatch,
+		QueueDepth:  queueDepth,
+		MaxInFlight: maxInflight,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		m.Close()
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		m.Close()
+		return err
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	if statsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/stats", srv.StatsHandler())
+		sl, err := net.Listen("tcp", statsAddr)
+		if err != nil {
+			ln.Close()
+			m.Close()
+			return err
+		}
+		fmt.Printf("stats on http://%s/stats\n", sl.Addr())
+		go http.Serve(sl, mux)
+	}
+
+	// Graceful shutdown: drain connections, then close the matrix (final
+	// checkpoint when durable).
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("%v: draining", s)
+		srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, server.ErrServerClosed) {
+		m.Close()
+		return err
+	}
+	srv.Close() // idempotent; covers Serve ending on a listener error
+	st := srv.Stats()
+	log.Printf("drained: %d conns served, %d batches, %d entries, %d overloads",
+		st.TotalConns, st.InsertBatches, st.InsertEntries, st.Overloads)
+	return m.Close()
+}
+
+// openMatrix builds the service's matrix: in-memory, freshly durable, or
+// recovered from a previous run's durable state.
+func openMatrix(scale, shards int, durable string, syncEvery int) (*hhgb.Sharded, error) {
+	dim := uint64(1) << uint(scale)
+	var opts []hhgb.Option
+	if shards > 0 {
+		opts = append(opts, hhgb.WithShards(shards))
+	}
+	if durable == "" {
+		if syncEvery != 0 {
+			return nil, fmt.Errorf("-sync-every requires -durable")
+		}
+		return hhgb.NewSharded(dim, opts...)
+	}
+	if syncEvery > 0 {
+		opts = append(opts, hhgb.WithSyncEvery(syncEvery))
+	}
+	if _, err := os.Stat(filepath.Join(durable, "MANIFEST.json")); err == nil {
+		// Existing durable state: recover it (the manifest fixes the
+		// dimension and shard count; -scale/-shards are ignored).
+		var ropts []hhgb.Option
+		if syncEvery > 0 {
+			ropts = append(ropts, hhgb.WithSyncEvery(syncEvery))
+		}
+		m, err := hhgb.Recover(durable, ropts...)
+		if err != nil {
+			return nil, fmt.Errorf("recovering %s: %w", durable, err)
+		}
+		log.Printf("recovered durable matrix from %s (dim %d, %d shards)", durable, m.Dim(), m.Shards())
+		return m, nil
+	}
+	return hhgb.NewSharded(dim, append(opts, hhgb.WithDurability(durable))...)
+}

@@ -1,10 +1,18 @@
 // Command trafficgen generates power-law edge streams — the paper's
-// workload — as TSV (row<TAB>col<TAB>count) or the compact binary matrix
-// format, for feeding external tools or replaying fixed workloads.
+// workload — as TSV (row<TAB>col<TAB>count), the compact binary matrix
+// format, or a live network stream into a running hhgb-serve instance.
 //
 // Usage:
 //
 //	trafficgen [-edges N] [-scale S] [-gen rmat|pareto] [-alpha F] [-seed N] [-format tsv|matrix] [-o file]
+//	trafficgen -connect host:port [-conns N] [-batch N] [-edges N] [-scale S] [-gen ...] [-seed N]
+//
+// With -connect, the generator becomes a load driver: -conns client
+// connections stream -edges edges total (split evenly) as batched insert
+// frames of -batch entries, then Flush — so the run ends at a durable
+// point on a durable server — and report the aggregate insert rate.
+// Several trafficgen processes can hammer one server concurrently; each
+// should get its own -seed.
 package main
 
 import (
@@ -13,7 +21,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync"
+	"time"
 
+	"hhgb/hhgbclient"
 	"hhgb/internal/gb"
 	"hhgb/internal/powerlaw"
 )
@@ -22,37 +33,145 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trafficgen: ")
 	var (
-		edges  = flag.Int("edges", 1_000_000, "edges to generate")
-		scale  = flag.Int("scale", 24, "vertex-space scale (2^scale vertices)")
-		gen    = flag.String("gen", "rmat", "generator: rmat | pareto")
-		alpha  = flag.Float64("alpha", 1.1, "pareto shape (pareto generator only)")
-		seed   = flag.Uint64("seed", 1, "generator seed")
-		format = flag.String("format", "tsv", "output format: tsv | matrix")
-		out    = flag.String("o", "-", "output file (- for stdout)")
+		edges   = flag.Int("edges", 1_000_000, "edges to generate")
+		scale   = flag.Int("scale", 24, "vertex-space scale (2^scale vertices)")
+		gen     = flag.String("gen", "rmat", "generator: rmat | pareto")
+		alpha   = flag.Float64("alpha", 1.1, "pareto shape (pareto generator only)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		format  = flag.String("format", "tsv", "output format: tsv | matrix")
+		out     = flag.String("o", "-", "output file (- for stdout)")
+		connect = flag.String("connect", "", "stream to a hhgb-serve address instead of writing a file")
+		conns   = flag.Int("conns", 1, "client connections (with -connect)")
+		batch   = flag.Int("batch", 4096, "entries per insert frame (with -connect)")
 	)
 	flag.Parse()
+	if *connect != "" {
+		if err := runConnect(*connect, *conns, *batch, *edges, *scale, *gen, *alpha, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*edges, *scale, *gen, *alpha, *seed, *format, *out); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(edges, scale int, gen string, alpha float64, seed uint64, format, out string) error {
-	var next func() powerlaw.Edge
+// newGen builds one edge generator; each connection gets its own (with a
+// distinct seed) so streams never share state.
+func newGen(gen string, scale int, alpha float64, seed uint64) (func() powerlaw.Edge, error) {
 	switch gen {
 	case "rmat":
 		g, err := powerlaw.NewRMAT(scale, seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		next = g.Edge
+		return g.Edge, nil
 	case "pareto":
 		p, err := powerlaw.NewParetoPairs(gb.Index(1)<<uint(scale), alpha, seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		next = p.Edge
+		return p.Edge, nil
 	default:
-		return fmt.Errorf("unknown generator %q (want rmat or pareto)", gen)
+		return nil, fmt.Errorf("unknown generator %q (want rmat or pareto)", gen)
+	}
+}
+
+// runConnect streams the workload into a server over conns connections
+// and reports the aggregate rate.
+func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha float64, seed uint64) error {
+	if conns < 1 {
+		return fmt.Errorf("-conns %d < 1", conns)
+	}
+	per := edges / conns
+	if per < 1 {
+		return fmt.Errorf("-edges %d gives no work for %d conns", edges, conns)
+	}
+	// The remainder rides on the last connection, so exactly -edges edges
+	// are streamed whatever the split.
+	rem := edges % conns
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mine := per
+			if i == conns-1 {
+				mine += rem
+			}
+			next, err := newGen(gen, scale, alpha, seed+uint64(i)*0x9e3779b9)
+			if err != nil {
+				fail(err)
+				return
+			}
+			c, err := hhgbclient.Dial(addr, hhgbclient.WithFlushEntries(batch))
+			if err != nil {
+				fail(fmt.Errorf("conn %d: %w", i, err))
+				return
+			}
+			defer c.Close()
+			src := make([]uint64, 0, batch)
+			dst := make([]uint64, 0, batch)
+			wgt := make([]uint64, 0, batch)
+			for k := 0; k < mine; k++ {
+				e := next()
+				src = append(src, e.Row)
+				dst = append(dst, e.Col)
+				wgt = append(wgt, e.Val)
+				if len(src) == batch || k == mine-1 {
+					if err := c.AppendWeighted(src, dst, wgt); err != nil {
+						fail(fmt.Errorf("conn %d: %w", i, err))
+						return
+					}
+					src, dst, wgt = src[:0], dst[:0], wgt[:0]
+				}
+			}
+			if err := c.Flush(); err != nil {
+				fail(fmt.Errorf("conn %d: flush: %w", i, err))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if first != nil {
+		return first
+	}
+	elapsed := time.Since(start)
+	total := edges
+	log.Printf("streamed %d edges over %d conns in %.2fs (%.0f inserts/s, batch %d)",
+		total, conns, elapsed.Seconds(), float64(total)/elapsed.Seconds(), batch)
+
+	// One extra connection reads the server's aggregate view, so a smoke
+	// run doubles as an end-to-end query check.
+	c, err := hhgbclient.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	sum, err := c.Summary()
+	if err != nil {
+		return err
+	}
+	log.Printf("server summary: %d entries, %d sources, %d destinations, %d packets",
+		sum.Entries, sum.Sources, sum.Destinations, sum.TotalPackets)
+	return nil
+}
+
+func run(edges, scale int, gen string, alpha float64, seed uint64, format, out string) error {
+	next, err := newGen(gen, scale, alpha, seed)
+	if err != nil {
+		return err
 	}
 
 	w := os.Stdout

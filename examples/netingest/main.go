@@ -1,0 +1,127 @@
+// Netingest: the network ingest service end to end, in one process. The
+// paper's 75B inserts/second come from thousands of distributed producers
+// feeding hierarchical hypersparse matrices; this example is that shape
+// in miniature — a TCP server fronting one sharded matrix, several
+// producer connections streaming power-law traffic into it through the
+// auto-batching client, and an analyst connection watching the merged
+// whole. In deployment the pieces split into processes: `hhgb-serve` is
+// the server, `trafficgen -connect` the producers, and any hhgbclient
+// user the analyst.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"hhgb"
+	"hhgb/hhgbclient"
+	"hhgb/internal/powerlaw"
+	"hhgb/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		scale     = 24 // 2^24 addresses
+		producers = 3
+		batches   = 50
+		batchSize = 10_000
+	)
+
+	// The service: one sharded matrix behind a loopback listener. A
+	// durable deployment would add hhgb.WithDurability(dir) here — the
+	// protocol is identical, and a client Flush then guarantees the
+	// acked stream survives kill -9.
+	m, err := hhgb.NewSharded(1 << scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Matrix: m})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+	fmt.Printf("server: %s (dim 2^%d, %d shards)\n\n", addr, scale, m.Shards())
+
+	// Producers: one connection each, streaming R-MAT batches through the
+	// client's auto-batching Append. Acks pipeline under the hood; Flush
+	// is each producer's commit point.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			g, err := powerlaw.NewRMAT(scale, uint64(p)+1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c, err := hhgbclient.Dial(addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer c.Close()
+			src := make([]uint64, batchSize)
+			dst := make([]uint64, batchSize)
+			for b := 0; b < batches; b++ {
+				for k := range src {
+					e := g.Edge()
+					src[k], dst[k] = e.Row, e.Col
+				}
+				if err := c.Append(src, dst); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := c.Flush(); err != nil {
+				log.Fatal(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := producers * batches * batchSize
+	fmt.Printf("streamed %d updates over %d connections in %.2fs (%.1f M inserts/s)\n\n",
+		total, producers, elapsed.Seconds(), float64(total)/elapsed.Seconds()/1e6)
+
+	// The analyst: a separate connection sees the merged matrix — the
+	// same queries hhgb.Sharded answers locally, over the wire.
+	c, err := hhgbclient.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	sum, err := c.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summary: %d entries, %d sources, %d destinations, %d packets\n",
+		sum.Entries, sum.Sources, sum.Destinations, sum.TotalPackets)
+	top, err := c.TopSources(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top sources over the wire:")
+	for i, t := range top {
+		fmt.Printf("  %d. %-12d %d packets\n", i+1, t.ID, t.Value)
+	}
+
+	// Shut down: drain connections, then the matrix.
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st := srv.Stats()
+	fmt.Printf("\nserver counters: %d conns, %d batches, %d entries, %d overloads\n",
+		st.TotalConns, st.InsertBatches, st.InsertEntries, st.Overloads)
+	if err := m.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

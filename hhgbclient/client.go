@@ -1,0 +1,784 @@
+// Package hhgbclient is the streaming client for the hhgb network ingest
+// service (internal/server, cmd/hhgb-serve): it turns a TCP connection
+// into something that feels like a local hhgb.Sharded — an auto-batching
+// Append fast path plus the analysis round-trips — while pipelining
+// acknowledgements under the hood.
+//
+//	c, _ := hhgbclient.Dial("ingest:4739")
+//	_ = c.Append(srcs, dsts)       // buffered; frames ship at the threshold
+//	_ = c.Flush()                  // applied (+fsynced on a durable server)
+//	top, _ := c.TopSources(10)
+//	_ = c.Close()
+//
+// # Batching and pipelining
+//
+// Append copies entries into a local buffer; every WithFlushEntries
+// entries (default 4096) the buffer ships as one insert frame, without
+// waiting for the ack — up to WithMaxPending frames (default 64) ride the
+// wire at once, so throughput is bounded by the pipe, not the round-trip.
+// A background ticker (WithFlushInterval, default 100ms) ships a partial
+// buffer so a trickling stream is never stranded locally; Flush, the
+// queries, and Close ship it deterministically.
+//
+// # Error and durability semantics
+//
+// An insert ack means the server accepted the batch into its ingest
+// pipeline. Flush returns once the server acked its flush — every batch
+// this client appended before the call is applied and, on a durable
+// server (Durable reports it), fsynced: it survives a server kill -9 from
+// that point on. Checkpoint additionally compacts the server's logs.
+//
+// Asynchronous failures (a rejected batch, an overloaded server dropping
+// a frame, a broken connection) are sticky: the first one is returned by
+// every subsequent call, so a producer loop cannot silently stream into
+// a black hole. Test with errors.Is against ErrOverloaded, ErrRejected,
+// ErrServerClosed, and ErrDisconnected.
+//
+// # Reconnect
+//
+// With WithReconnect, a client whose connection died re-dials and
+// re-handshakes on the next call. Batches that were acked are safe on the
+// server; batches still buffered locally (never sent) carry over to the
+// new session and ship normally. Batches sent but unacked at the moment
+// of disconnect have unknown fate — the server may or may not have
+// applied them — so the client does NOT re-send them (a duplicate would
+// double-count, since inserts accumulate); it counts them in Lost and
+// clears the sticky error only if there were none. A stream that needs
+// exactly-once across reconnects should Flush at its own commit points
+// and treat a non-zero Lost as the signal to reconcile (e.g. via Lookup)
+// before resuming.
+package hhgbclient
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hhgb"
+	"hhgb/internal/proto"
+)
+
+// Sticky client errors; test with errors.Is.
+var (
+	// ErrClosed: the client was closed locally.
+	ErrClosed = errors.New("hhgbclient: client is closed")
+	// ErrOverloaded: the server's in-flight budget dropped a batch.
+	ErrOverloaded = errors.New("hhgbclient: server overloaded, batch dropped")
+	// ErrRejected: the server refused a batch (validation) or request.
+	ErrRejected = errors.New("hhgbclient: request rejected by server")
+	// ErrServerClosed: the server's matrix is closed or draining.
+	ErrServerClosed = errors.New("hhgbclient: server is closed")
+	// ErrDisconnected: the connection died (dial again, or WithReconnect).
+	ErrDisconnected = errors.New("hhgbclient: connection lost")
+)
+
+// Defaults for the Dial options.
+const (
+	DefaultFlushEntries  = 4096
+	DefaultFlushInterval = 100 * time.Millisecond
+	DefaultMaxPending    = 64
+)
+
+// Option configures Dial.
+type Option func(*options) error
+
+type options struct {
+	flushEntries  int
+	flushInterval time.Duration
+	intervalSet   bool
+	maxPending    int
+	dialTimeout   time.Duration
+	reconnect     bool
+}
+
+// WithFlushEntries sets the auto-batching threshold in entries: the local
+// buffer ships as one insert frame when it reaches n (1 sends every entry
+// as its own frame — the unbatched baseline; cap proto.MaxBatch).
+func WithFlushEntries(n int) Option {
+	return func(o *options) error {
+		if n < 1 || n > proto.MaxBatch {
+			return fmt.Errorf("hhgbclient: flush threshold %d outside [1, %d]", n, proto.MaxBatch)
+		}
+		o.flushEntries = n
+		return nil
+	}
+}
+
+// WithFlushInterval sets the background flush period for partial buffers;
+// 0 disables the ticker (Flush/queries/Close still ship the buffer).
+func WithFlushInterval(d time.Duration) Option {
+	return func(o *options) error {
+		if d < 0 {
+			return fmt.Errorf("hhgbclient: negative flush interval %v", d)
+		}
+		o.flushInterval = d
+		o.intervalSet = true
+		return nil
+	}
+}
+
+// WithMaxPending bounds how many insert frames may be unacked at once —
+// the pipelining window. Append blocks when the window is full, so a slow
+// server backpressures the producer instead of buffering without bound.
+func WithMaxPending(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("hhgbclient: pending window %d < 1", n)
+		}
+		o.maxPending = n
+		return nil
+	}
+}
+
+// WithDialTimeout bounds Dial (and each reconnect attempt).
+func WithDialTimeout(d time.Duration) Option {
+	return func(o *options) error {
+		o.dialTimeout = d
+		return nil
+	}
+}
+
+// WithReconnect makes a client whose connection died re-dial on the next
+// call instead of failing it; see the package comment for the semantics.
+func WithReconnect() Option {
+	return func(o *options) error {
+		o.reconnect = true
+		return nil
+	}
+}
+
+// call is one pipelined request awaiting its response.
+type call struct {
+	kind    byte
+	entries int           // insert frames: batch size, for Lost accounting
+	done    chan response // nil for inserts (acked in the background)
+}
+
+type response struct {
+	err     error
+	found   bool
+	value   uint64
+	top     []hhgb.Ranked
+	summary hhgb.Summary
+}
+
+// Client is a connection to a network ingest server. All methods are safe
+// for concurrent use; Append calls from multiple goroutines interleave at
+// batch granularity.
+type Client struct {
+	addr string
+	opt  options
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signaled when the pipeline window opens or the conn dies
+	nc      net.Conn
+	w       *proto.Writer
+	welcome proto.Welcome
+	seq     uint64
+	pending map[uint64]*call
+	unacked int // pending insert frames
+	src     []uint64
+	dst     []uint64
+	wgt     []uint64
+	err     error // sticky: first async failure
+	dead    bool  // connection-level failure (reconnect can clear)
+	closing bool  // Goodbye in flight: the server hanging up is expected
+	closed  bool
+	gen     int // bumped per (re)connect; receivers tag themselves with it
+
+	lostBatches int64
+	lostEntries int64
+	// unackedLoss marks losses not yet acknowledged by Reconnect: it —
+	// not the cumulative Lost counters — gates auto-reconnect, so a
+	// later loss-free disconnect still auto-reconnects once earlier
+	// losses were acknowledged.
+	unackedLoss bool
+
+	tick *time.Ticker
+	stop chan struct{}
+}
+
+// Dial connects to a server, performs the protocol handshake, and starts
+// the background ack receiver (and flush ticker, unless disabled).
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := options{
+		flushEntries:  DefaultFlushEntries,
+		flushInterval: DefaultFlushInterval,
+		maxPending:    DefaultMaxPending,
+	}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	c := &Client{addr: addr, opt: o, stop: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	c.mu.Lock()
+	err := c.connectLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if o.flushInterval > 0 {
+		c.tick = time.NewTicker(o.flushInterval)
+		go c.flusher()
+	}
+	return c, nil
+}
+
+// connectLocked dials and handshakes, replacing the session state. Callers
+// hold mu.
+func (c *Client) connectLocked() error {
+	var (
+		nc  net.Conn
+		err error
+	)
+	if c.opt.dialTimeout > 0 {
+		nc, err = net.DialTimeout("tcp", c.addr, c.opt.dialTimeout)
+	} else {
+		nc, err = net.Dial("tcp", c.addr)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrDisconnected, err)
+	}
+	w := proto.NewWriter(nc)
+	r := proto.NewReader(nc)
+	if err := w.WriteFrame(proto.KindHello, proto.AppendHello(nil)); err != nil {
+		nc.Close()
+		return fmt.Errorf("%w: %v", ErrDisconnected, err)
+	}
+	if err := w.Flush(); err != nil {
+		nc.Close()
+		return fmt.Errorf("%w: %v", ErrDisconnected, err)
+	}
+	f, err := r.Next()
+	if err != nil {
+		nc.Close()
+		return fmt.Errorf("%w: handshake: %v", ErrDisconnected, err)
+	}
+	switch f.Kind {
+	case proto.KindWelcome:
+	case proto.KindError:
+		_, code, msg, perr := proto.ParseError(f.Body)
+		nc.Close()
+		if perr != nil {
+			return fmt.Errorf("hhgbclient: handshake: %v", perr)
+		}
+		return fmt.Errorf("%w: code %d: %s", errForCode(code), code, msg)
+	default:
+		nc.Close()
+		return fmt.Errorf("hhgbclient: handshake reply kind %#x", f.Kind)
+	}
+	wel, err := proto.ParseWelcome(f.Body)
+	if err != nil {
+		nc.Close()
+		return fmt.Errorf("hhgbclient: handshake: %v", err)
+	}
+	c.nc = nc
+	c.w = w
+	c.welcome = wel
+	c.seq = 0
+	c.pending = make(map[uint64]*call)
+	c.unacked = 0
+	c.dead = false
+	c.err = nil
+	c.gen++
+	go c.receive(r, nc, c.gen)
+	return nil
+}
+
+// errForCode maps a wire error code to the client's sentinel errors.
+func errForCode(code uint64) error {
+	switch code {
+	case proto.ErrCodeOverload:
+		return ErrOverloaded
+	case proto.ErrCodeRejected:
+		return ErrRejected
+	case proto.ErrCodeClosed:
+		return ErrServerClosed
+	default:
+		return ErrRejected
+	}
+}
+
+// receive is the background ack loop of one session (generation tags keep
+// a dead session's receiver from touching its successor's state).
+func (c *Client) receive(r *proto.Reader, nc net.Conn, gen int) {
+	for {
+		f, err := r.Next()
+		if err != nil {
+			c.sessionFailed(gen, fmt.Errorf("%w: %v", ErrDisconnected, err))
+			return
+		}
+		if fatal := c.dispatch(gen, f); fatal {
+			return
+		}
+	}
+}
+
+// dispatch routes one response frame; it reports true when the session is
+// gone (connection-level error).
+func (c *Client) dispatch(gen int, f proto.Frame) (fatal bool) {
+	var seq uint64
+	var resp response
+	switch f.Kind {
+	case proto.KindAck:
+		s, err := proto.ParseSeq(f.Body)
+		if err != nil {
+			c.sessionFailed(gen, fmt.Errorf("%w: %v", ErrDisconnected, err))
+			return true
+		}
+		seq = s
+	case proto.KindLookupResp:
+		s, found, v, err := proto.ParseLookupResp(f.Body)
+		if err != nil {
+			c.sessionFailed(gen, fmt.Errorf("%w: %v", ErrDisconnected, err))
+			return true
+		}
+		seq, resp.found, resp.value = s, found, v
+	case proto.KindTopKResp:
+		s, top, err := proto.ParseTopKResp(f.Body)
+		if err != nil {
+			c.sessionFailed(gen, fmt.Errorf("%w: %v", ErrDisconnected, err))
+			return true
+		}
+		seq = s
+		resp.top = make([]hhgb.Ranked, len(top))
+		for i, t := range top {
+			resp.top[i] = hhgb.Ranked{ID: t.ID, Value: t.Value}
+		}
+	case proto.KindSummaryResp:
+		s, sum, err := proto.ParseSummaryResp(f.Body)
+		if err != nil {
+			c.sessionFailed(gen, fmt.Errorf("%w: %v", ErrDisconnected, err))
+			return true
+		}
+		seq = s
+		resp.summary = hhgb.Summary{
+			Entries:      int(sum.Entries),
+			Sources:      int(sum.Sources),
+			Destinations: int(sum.Destinations),
+			TotalPackets: sum.TotalPackets,
+			MaxOutDegree: sum.MaxOutDegree,
+			MaxInDegree:  sum.MaxInDegree,
+		}
+	case proto.KindError:
+		s, code, msg, err := proto.ParseError(f.Body)
+		if err != nil {
+			c.sessionFailed(gen, fmt.Errorf("%w: %v", ErrDisconnected, err))
+			return true
+		}
+		if s == 0 { // connection-level: the server is tearing us down
+			c.sessionFailed(gen, fmt.Errorf("%w: code %d: %s", errForCode(code), code, msg))
+			return true
+		}
+		seq = s
+		resp.err = fmt.Errorf("%w: code %d: %s", errForCode(code), code, msg)
+	default:
+		c.sessionFailed(gen, fmt.Errorf("%w: unexpected frame kind %#x", ErrDisconnected, f.Kind))
+		return true
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return true
+	}
+	call, ok := c.pending[seq]
+	if !ok {
+		// Unknown seq: protocol violation from the server.
+		c.failLocked(fmt.Errorf("%w: response for unknown seq %d", ErrDisconnected, seq))
+		return true
+	}
+	delete(c.pending, seq)
+	if call.kind == proto.KindInsert {
+		c.unacked--
+		if resp.err != nil {
+			// The server dropped this batch (overload, validation): its
+			// entries are definitively lost, and the failure is sticky —
+			// a producer loop must not keep streaming into a black hole.
+			c.lostBatches++
+			c.lostEntries += int64(call.entries)
+			if c.err == nil {
+				c.err = resp.err
+			}
+		}
+		c.cond.Broadcast()
+		return false
+	}
+	call.done <- resp
+	return false
+}
+
+// sessionFailed marks the session dead and fails every pending call.
+func (c *Client) sessionFailed(gen int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen || c.dead {
+		return
+	}
+	c.failLocked(err)
+}
+
+// failLocked is the shared connection-death path: record the sticky
+// error, count unacked insert frames as lost, fail waiting calls, wake
+// blocked senders.
+func (c *Client) failLocked(err error) {
+	c.dead = true
+	if c.err == nil && !c.closed && !c.closing {
+		c.err = err
+	}
+	for seq, call := range c.pending {
+		delete(c.pending, seq)
+		if call.kind == proto.KindInsert {
+			c.lostBatches++
+			c.lostEntries += int64(call.entries)
+			c.unackedLoss = true
+			c.unacked--
+		} else {
+			call.done <- response{err: err}
+		}
+	}
+	if c.nc != nil {
+		c.nc.Close()
+	}
+	c.cond.Broadcast()
+}
+
+// ready ensures the session is usable, reconnecting when allowed. Callers
+// hold mu.
+func (c *Client) readyLocked() error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.dead && c.opt.reconnect && !c.unackedLoss {
+		// Nothing of unacknowledged unknown fate: a fresh session is
+		// indistinguishable from an uninterrupted one (modulo
+		// server-side state, which acked batches already reached).
+		if err := c.connectLocked(); err != nil {
+			return err
+		}
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if c.dead {
+		return ErrDisconnected
+	}
+	return nil
+}
+
+// flusher ships partial buffers on the ticker.
+func (c *Client) flusher() {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.tick.C:
+			c.mu.Lock()
+			if !c.closed && !c.dead && c.err == nil && len(c.src) > 0 {
+				if err := c.shipBufferLocked(); err == nil {
+					_ = c.flushWireLocked()
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Dim returns the server matrix's dimension (from the handshake).
+func (c *Client) Dim() uint64 { return c.welcome.Dim }
+
+// Shards returns the server matrix's shard count (from the handshake).
+func (c *Client) Shards() int { return int(c.welcome.Shards) }
+
+// Durable reports whether the server write-ahead-logs inserts: if true,
+// a nil Flush means everything appended before it survives a server
+// crash.
+func (c *Client) Durable() bool { return c.welcome.Durable }
+
+// Reconnect explicitly restarts a failed session — a dead connection, or
+// a live one poisoned by a sticky batch error — even when batches were
+// lost (WithReconnect only auto-reconnects loss-free sessions): calling
+// it acknowledges the losses, which stay readable via Lost. It is a
+// no-op on a healthy session and fails with ErrClosed after Close.
+func (c *Client) Reconnect() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if !c.dead && c.err == nil {
+		return nil
+	}
+	if !c.dead {
+		c.failLocked(c.err) // tear the poisoned session down first
+	}
+	c.unackedLoss = false // calling Reconnect acknowledges the losses
+	return c.connectLocked()
+}
+
+// Lost reports the insert frames (and their entries) whose fate is
+// unknown: sent but unacked when a connection died. They were not
+// re-sent; see the package comment.
+func (c *Client) Lost() (batches, entries int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lostBatches, c.lostEntries
+}
+
+// Err returns the sticky error, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Append buffers a batch of (src, dst) observations with weight 1 each,
+// shipping full frames as the buffer crosses the flush threshold. It
+// blocks only when the pipelining window is full (the server is behind).
+// The slices are copied before the call returns.
+func (c *Client) Append(src, dst []uint64) error {
+	return c.append(src, dst, nil)
+}
+
+// AppendWeighted buffers a batch of weighted observations; see Append.
+func (c *Client) AppendWeighted(src, dst, weight []uint64) error {
+	if len(weight) != len(src) {
+		return fmt.Errorf("hhgbclient: src/weight lengths %d/%d differ", len(src), len(weight))
+	}
+	return c.append(src, dst, weight)
+}
+
+func (c *Client) append(src, dst, weight []uint64) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("hhgbclient: src/dst lengths %d/%d differ", len(src), len(dst))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.readyLocked(); err != nil {
+		return err
+	}
+	c.src = append(c.src, src...)
+	c.dst = append(c.dst, dst...)
+	if weight == nil {
+		for range src {
+			c.wgt = append(c.wgt, 1)
+		}
+	} else {
+		c.wgt = append(c.wgt, weight...)
+	}
+	for len(c.src) >= c.opt.flushEntries {
+		if err := c.shipBufferLocked(); err != nil {
+			return err
+		}
+	}
+	return c.flushWireLocked()
+}
+
+// shipBufferLocked sends up to one threshold-sized insert frame from the
+// local buffer, waiting for the pipelining window. Callers hold mu.
+func (c *Client) shipBufferLocked() error {
+	if len(c.src) == 0 {
+		return nil
+	}
+	for c.unacked >= c.opt.maxPending && c.err == nil && !c.dead && !c.closed {
+		c.cond.Wait()
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if c.dead {
+		return ErrDisconnected
+	}
+	// Size the frame only AFTER the window wait: mu was released inside
+	// cond.Wait, so a concurrent shipper (the interval flusher, another
+	// Append) may have drained the buffer — a stale count would re-slice
+	// past len and re-send already-shipped entries.
+	n := len(c.src)
+	if n == 0 {
+		return nil
+	}
+	if n > c.opt.flushEntries {
+		n = c.opt.flushEntries
+	}
+	c.seq++
+	seq := c.seq
+	body, err := proto.AppendInsert(nil, seq, c.src[:n], c.dst[:n], c.wgt[:n])
+	if err != nil {
+		return err
+	}
+	if err := c.w.WriteFrame(proto.KindInsert, body); err != nil {
+		c.failLocked(fmt.Errorf("%w: %v", ErrDisconnected, err))
+		return c.err
+	}
+	c.pending[seq] = &call{kind: proto.KindInsert, entries: n}
+	c.unacked++
+	c.src = c.src[:copy(c.src, c.src[n:])]
+	c.dst = c.dst[:copy(c.dst, c.dst[n:])]
+	c.wgt = c.wgt[:copy(c.wgt, c.wgt[n:])]
+	return nil
+}
+
+// flushWireLocked pushes buffered frames to the socket. Callers hold mu.
+func (c *Client) flushWireLocked() error {
+	if err := c.w.Flush(); err != nil {
+		c.failLocked(fmt.Errorf("%w: %v", ErrDisconnected, err))
+		return c.err
+	}
+	return nil
+}
+
+// roundTrip ships the local buffer, sends one request frame, and waits
+// for its response.
+func (c *Client) roundTrip(kind byte, build func(seq uint64) []byte) (response, error) {
+	c.mu.Lock()
+	if err := c.readyLocked(); err != nil {
+		c.mu.Unlock()
+		return response{}, err
+	}
+	for len(c.src) > 0 {
+		if err := c.shipBufferLocked(); err != nil {
+			c.mu.Unlock()
+			return response{}, err
+		}
+	}
+	c.seq++
+	seq := c.seq
+	call := &call{kind: kind, done: make(chan response, 1)}
+	if err := c.w.WriteFrame(kind, build(seq)); err != nil {
+		c.failLocked(fmt.Errorf("%w: %v", ErrDisconnected, err))
+		err := c.err
+		c.mu.Unlock()
+		return response{}, err
+	}
+	c.pending[seq] = call
+	if err := c.flushWireLocked(); err != nil {
+		c.mu.Unlock()
+		return response{}, err
+	}
+	c.mu.Unlock()
+	resp := <-call.done
+	return resp, resp.err
+}
+
+// Flush ships the local buffer and waits for the server's flush ack: on
+// return every batch appended before the call is applied to the matrix
+// and, on a durable server, fsynced. It then reports any sticky error —
+// so a nil Flush additionally certifies that no earlier pipelined batch
+// was dropped.
+func (c *Client) Flush() error {
+	if _, err := c.roundTrip(proto.KindFlush, func(seq uint64) []byte {
+		return proto.AppendSeq(nil, seq)
+	}); err != nil {
+		return err
+	}
+	return c.Err()
+}
+
+// Checkpoint is Flush plus server-side log compaction (snapshot +
+// truncate); it fails with ErrRejected on a non-durable server.
+func (c *Client) Checkpoint() error {
+	if _, err := c.roundTrip(proto.KindCheckpoint, func(seq uint64) []byte {
+		return proto.AppendSeq(nil, seq)
+	}); err != nil {
+		return err
+	}
+	return c.Err()
+}
+
+// Lookup returns the accumulated weight for one (src, dst) pair. Like
+// every query it first ships the local buffer, so entries this client
+// appended are visible to it.
+func (c *Client) Lookup(src, dst uint64) (uint64, bool, error) {
+	resp, err := c.roundTrip(proto.KindLookup, func(seq uint64) []byte {
+		return proto.AppendLookup(nil, seq, src, dst)
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.value, resp.found, nil
+}
+
+// TopSources returns the server's k sources with the most total traffic.
+func (c *Client) TopSources(k int) ([]hhgb.Ranked, error) {
+	resp, err := c.roundTrip(proto.KindTopK, func(seq uint64) []byte {
+		return proto.AppendTopK(nil, seq, proto.AxisSources, uint64(k))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.top, nil
+}
+
+// TopDestinations returns the k destinations with the most total traffic.
+func (c *Client) TopDestinations(k int) ([]hhgb.Ranked, error) {
+	resp, err := c.roundTrip(proto.KindTopK, func(seq uint64) []byte {
+		return proto.AppendTopK(nil, seq, proto.AxisDestinations, uint64(k))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.top, nil
+}
+
+// Summary returns the server matrix's aggregate statistics.
+func (c *Client) Summary() (hhgb.Summary, error) {
+	resp, err := c.roundTrip(proto.KindSummary, func(seq uint64) []byte {
+		return proto.AppendSeq(nil, seq)
+	})
+	if err != nil {
+		return hhgb.Summary{}, err
+	}
+	return resp.summary, nil
+}
+
+// Close ships the local buffer, exchanges Goodbye (so the server drains
+// this connection's entries), and tears the client down. A dead
+// connection closes locally without the exchange. Close is idempotent;
+// it returns the sticky error, if any.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed || c.closing {
+		// Idempotent, and safe concurrently: exactly one caller runs the
+		// goodbye + teardown below.
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.closing = true
+	c.mu.Unlock()
+
+	var goodbyeErr error
+	if c.Err() == nil {
+		_, goodbyeErr = c.roundTrip(proto.KindGoodbye, func(seq uint64) []byte {
+			return proto.AppendSeq(nil, seq)
+		})
+	}
+
+	c.mu.Lock()
+	c.closed = true
+	if c.tick != nil {
+		c.tick.Stop()
+	}
+	close(c.stop)
+	if c.nc != nil {
+		c.nc.Close()
+	}
+	c.dead = true
+	c.cond.Broadcast()
+	err := c.err
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if goodbyeErr != nil && !errors.Is(goodbyeErr, ErrDisconnected) {
+		return goodbyeErr
+	}
+	return nil
+}

@@ -1,0 +1,608 @@
+package hhgbclient_test
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hhgb"
+	"hhgb/hhgbclient"
+	"hhgb/internal/server"
+)
+
+// startServer runs an in-process ingest server over a fresh matrix.
+func startServer(t *testing.T, dim uint64, cfg server.Config) (*server.Server, *hhgb.Sharded, string) {
+	t.Helper()
+	m, err := hhgb.NewSharded(dim, hhgb.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	cfg.Matrix = m
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return s, m, ln.Addr().String()
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	_, _, addr := startServer(t, 1<<20, server.Config{})
+	c, err := hhgbclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Dim() != 1<<20 || c.Shards() != 2 || c.Durable() {
+		t.Fatalf("handshake: dim %d shards %d durable %v", c.Dim(), c.Shards(), c.Durable())
+	}
+	if err := c.Append([]uint64{7, 7}, []uint64{8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AppendWeighted([]uint64{9}, []uint64{10}, []uint64{5}); err != nil {
+		t.Fatal(err)
+	}
+	// Program order: a query right after Append observes it (the local
+	// buffer ships ahead of the query frame).
+	v, found, err := c.Lookup(7, 8)
+	if err != nil || !found || v != 2 {
+		t.Fatalf("Lookup(7,8) = %d, %v, %v; want 2", v, found, err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Entries != 2 || sum.TotalPackets != 7 {
+		t.Fatalf("Summary = %+v", sum)
+	}
+	top, err := c.TopSources(1)
+	if err != nil || len(top) != 1 || top[0] != (hhgb.Ranked{ID: 9, Value: 5}) {
+		t.Fatalf("TopSources = %v, %v", top, err)
+	}
+	dsts, err := c.TopDestinations(2)
+	if err != nil || len(dsts) != 2 || dsts[0] != (hhgb.Ranked{ID: 10, Value: 5}) {
+		t.Fatalf("TopDestinations = %v, %v", dsts, err)
+	}
+	if err := c.Checkpoint(); !errors.Is(err, hhgbclient.ErrRejected) {
+		t.Fatalf("Checkpoint on non-durable server = %v, want ErrRejected", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append([]uint64{1}, []uint64{2}); !errors.Is(err, hhgbclient.ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}
+
+// streamDeterministic appends batches*perBatch edges in a client-unique
+// region and returns the edges for the reference matrix.
+func streamDeterministic(t *testing.T, c *hhgbclient.Client, id, batches, perBatch int, dim uint64) (src, dst, wgt []uint64) {
+	t.Helper()
+	for b := 0; b < batches; b++ {
+		s := make([]uint64, perBatch)
+		d := make([]uint64, perBatch)
+		w := make([]uint64, perBatch)
+		for k := 0; k < perBatch; k++ {
+			x := uint64(id)<<32 | uint64(b*perBatch+k)
+			s[k] = (x * 2654435761) % dim
+			d[k] = (x*2246822519 + 3) % dim
+			w[k] = uint64(k%7 + 1)
+		}
+		if err := c.AppendWeighted(s, d, w); err != nil {
+			t.Errorf("client %d: %v", id, err)
+			return
+		}
+		src = append(src, s...)
+		dst = append(dst, d...)
+		wgt = append(wgt, w...)
+	}
+	return src, dst, wgt
+}
+
+// TestConcurrentClientsMatchReference streams from several concurrent
+// clients and proves the server matrix ends bit-identical to a flat
+// reference fed the same stream.
+func TestConcurrentClientsMatchReference(t *testing.T) {
+	const (
+		dim      = uint64(1) << 24
+		clients  = 4
+		batches  = 30
+		perBatch = 257 // deliberately not a divisor of the flush threshold
+	)
+	_, m, addr := startServer(t, dim, server.Config{})
+	var (
+		mu               sync.Mutex
+		refS, refD, refW []uint64
+		wg               sync.WaitGroup
+	)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := hhgbclient.Dial(addr, hhgbclient.WithFlushEntries(512))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s, d, w := streamDeterministic(t, c, id, batches, perBatch, dim)
+			if err := c.Flush(); err != nil {
+				t.Errorf("client %d flush: %v", id, err)
+			}
+			if err := c.Close(); err != nil {
+				t.Errorf("client %d close: %v", id, err)
+			}
+			mu.Lock()
+			refS = append(refS, s...)
+			refD = append(refD, d...)
+			refW = append(refW, w...)
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	ref, err := hhgb.New(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.UpdateWeighted(refS, refD, refW); err != nil {
+		t.Fatal(err)
+	}
+	assertSameState(t, m, ref)
+}
+
+// assertSameState compares a sharded matrix's full contents and summary
+// against a flat reference.
+func assertSameState(t *testing.T, got *hhgb.Sharded, want *hhgb.TrafficMatrix) {
+	t.Helper()
+	type cell struct{ s, d, v uint64 }
+	var g, w []cell
+	if err := got.Do(func(s, d, v uint64) bool { g = append(g, cell{s, d, v}); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Do(func(s, d, v uint64) bool { w = append(w, cell{s, d, v}); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != len(w) {
+		t.Fatalf("entry count %d != reference %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("entry %d: %+v != reference %+v", i, g[i], w[i])
+		}
+	}
+	gs, err := got.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := want.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs != ws {
+		t.Fatalf("summary %+v != reference %+v", gs, ws)
+	}
+}
+
+// TestBatchedVsSingleFrameThroughput is the loopback half of the
+// BENCH_net.json claim: batched insert frames must beat single-entry
+// frames by at least 5x (cmd/hhgb-netbench measures the full sweep).
+func TestBatchedVsSingleFrameThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison in -short mode")
+	}
+	const dim = uint64(1) << 24
+	const entries = 20_000
+	src := make([]uint64, entries)
+	dst := make([]uint64, entries)
+	for i := range src {
+		src[i] = (uint64(i) * 2654435761) % dim
+		dst[i] = (uint64(i)*2246822519 + 3) % dim
+	}
+	run := func(flushEntries int) float64 {
+		_, _, addr := startServer(t, dim, server.Config{})
+		c, err := hhgbclient.Dial(addr,
+			hhgbclient.WithFlushEntries(flushEntries),
+			hhgbclient.WithMaxPending(1024),
+			hhgbclient.WithFlushInterval(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		start := time.Now()
+		if flushEntries == 1 {
+			for i := 0; i < entries; i++ {
+				if err := c.Append(src[i:i+1], dst[i:i+1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else if err := c.Append(src, dst); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(entries) / time.Since(start).Seconds()
+	}
+	single := run(1)
+	batched := run(4096)
+	t.Logf("single-frame: %.0f inserts/s, batched: %.0f inserts/s (%.1fx)", single, batched, batched/single)
+	if batched < 5*single {
+		t.Fatalf("batched frames %.0f/s < 5x single frames %.0f/s", batched, single)
+	}
+}
+
+// TestFullWindowConcurrentShippersNoDuplicates drives the narrowest
+// pipelining race: a window of one unacked frame, a fast background
+// flusher, and several appending goroutines all contending to ship the
+// same buffer. Every entry must reach the server exactly once — a
+// shipper that sizes its frame before waiting on the window re-sends
+// drained entries.
+func TestFullWindowConcurrentShippersNoDuplicates(t *testing.T) {
+	_, _, addr := startServer(t, 1<<20, server.Config{})
+	c, err := hhgbclient.Dial(addr,
+		hhgbclient.WithMaxPending(1),
+		hhgbclient.WithFlushEntries(64),
+		hhgbclient.WithFlushInterval(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const (
+		producers = 4
+		appends   = 200
+		perAppend = 16
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			src := make([]uint64, perAppend)
+			dst := make([]uint64, perAppend)
+			for a := 0; a < appends; a++ {
+				for k := range src {
+					x := uint64(p)<<40 | uint64(a*perAppend+k)
+					src[k] = x % (1 << 20)
+					dst[k] = (x * 31) % (1 << 20)
+				}
+				if err := c.Append(src, dst); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(producers * appends * perAppend); sum.TotalPackets != want {
+		t.Fatalf("server holds %d packets, want exactly %d (lost or duplicated frames)", sum.TotalPackets, want)
+	}
+}
+
+func TestOverloadSurfacesAndReconnectRecovers(t *testing.T) {
+	_, _, addr := startServer(t, 1<<20, server.Config{MaxInFlight: 4})
+	c, err := hhgbclient.Dial(addr, hhgbclient.WithFlushEntries(8), hhgbclient.WithFlushInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// An 8-entry frame exceeds the server's budget of 4: dropped with an
+	// overload error, which must stick.
+	if err := c.Append(make([]uint64, 8), make([]uint64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.Err(); !errors.Is(err, hhgbclient.ErrOverloaded) {
+		t.Fatalf("sticky error = %v, want ErrOverloaded", err)
+	}
+	if err := c.Flush(); !errors.Is(err, hhgbclient.ErrOverloaded) {
+		t.Fatalf("Flush after overload = %v, want ErrOverloaded", err)
+	}
+	if b, e := c.Lost(); b != 1 || e != 8 {
+		t.Fatalf("Lost = %d batches, %d entries; want 1, 8", b, e)
+	}
+	// Reconnect acknowledges the loss; smaller batches then fit.
+	if err := c.Reconnect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append([]uint64{1, 2}, []uint64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Summary()
+	if err != nil || sum.Entries != 2 {
+		t.Fatalf("after reconnect Summary = %+v, %v", sum, err)
+	}
+}
+
+// TestAutoReconnect severs the client's server and brings a new one up on
+// the same address: a loss-free client with WithReconnect resumes
+// transparently.
+func TestAutoReconnect(t *testing.T) {
+	m1, err := hhgb.NewSharded(1<<20, hhgb.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Close()
+	s1, err := server.New(server.Config{Matrix: m1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln1.Addr().String()
+	go s1.Serve(ln1)
+
+	c, err := hhgbclient.Dial(addr, hhgbclient.WithReconnect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Append([]uint64{5}, []uint64{6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil { // all acked: the session is loss-free
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	// Second server, same address, fresh matrix.
+	m2, err := hhgb.NewSharded(1<<20, hhgb.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	s2, err := server.New(server.Config{Matrix: m2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s2.Serve(ln2)
+	defer s2.Close()
+
+	// The first call(s) after the cut may fail while the death is still
+	// being noticed; the client must recover without manual Reconnect.
+	var sum hhgb.Summary
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sum, err = c.Summary()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no auto-reconnect before deadline; last error: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if sum.Entries != 0 {
+		t.Fatalf("fresh server Summary = %+v", sum)
+	}
+	if b, _ := c.Lost(); b != 0 {
+		t.Fatalf("loss-free session reports %d lost batches", b)
+	}
+	if err := c.Append([]uint64{1}, []uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, err := c.Lookup(1, 2); err != nil || !found || v != 1 {
+		t.Fatalf("Lookup after reconnect = %d, %v, %v", v, found, err)
+	}
+}
+
+// buildServe compiles cmd/hhgb-serve once per test run.
+func buildServe(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hhgb-serve")
+	cmd := exec.Command("go", "build", "-o", bin, "hhgb/cmd/hhgb-serve")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building hhgb-serve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestKillNineDurableServerRecovers is the acceptance-criterion test: a
+// durable server is killed with SIGKILL mid-stream, and the recovered
+// directory must hold a state bit-identical to everything the clients
+// were durably acked — proven against a flat reference matrix fed exactly
+// the acked stream, via full iteration and the pushdown queries.
+func TestKillNineDurableServerRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill -9 test in -short mode")
+	}
+	bin := buildServe(t)
+	dir := filepath.Join(t.TempDir(), "state")
+	const dim = uint64(1) << 20
+
+	// -sync-every huge: the WAL fsyncs only at barriers (client Flush /
+	// Checkpoint), so the post-checkpoint tail is guaranteed undurable —
+	// the sharpest possible crash window.
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-scale", "20", "-shards", "2",
+		"-durable", dir, "-sync-every", "1000000")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("server never reported its address (scan err %v)", sc.Err())
+	}
+
+	// Concurrent clients stream their loads; Flush guarantees every batch
+	// is applied and fsynced before we record the reference.
+	const clients = 2
+	var (
+		mu               sync.Mutex
+		refS, refD, refW []uint64
+		wg               sync.WaitGroup
+		conns            [clients]*hhgbclient.Client
+	)
+	for id := 0; id < clients; id++ {
+		c, err := hhgbclient.Dial(addr, hhgbclient.WithFlushEntries(256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Durable() {
+			t.Fatal("server did not report durability")
+		}
+		conns[id] = c
+		wg.Add(1)
+		go func(id int, c *hhgbclient.Client) {
+			defer wg.Done()
+			s, d, w := streamDeterministic(t, c, id, 25, 199, dim)
+			if err := c.Flush(); err != nil {
+				t.Errorf("client %d flush: %v", id, err)
+				return
+			}
+			mu.Lock()
+			refS = append(refS, s...)
+			refD = append(refD, d...)
+			refW = append(refW, w...)
+			mu.Unlock()
+		}(id, conns[id])
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Record the acked state through the wire, then checkpoint it.
+	ackedSum, err := conns[0].Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackedTop, err := conns[0].TopSources(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conns[0].Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Undurable tail: accepted, maybe acked, never flushed — its loss is
+	// exactly what group commit promises.
+	for id, c := range conns {
+		tail := make([]uint64, 256)
+		for k := range tail {
+			tail[k] = uint64(id*1000 + k + 1)
+		}
+		if err := c.Append(tail, tail); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	killed = true
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no checkpoint
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Recover in-process (the kernel released the dead server's flock).
+	rec, err := hhgb.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	ref, err := hhgb.New(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.UpdateWeighted(refS, refD, refW); err != nil {
+		t.Fatal(err)
+	}
+	assertSameState(t, rec, ref)
+
+	recSum, err := rec.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recSum != ackedSum {
+		t.Fatalf("recovered Summary %+v != acked-over-the-wire %+v", recSum, ackedSum)
+	}
+	recTop, err := rec.TopSources(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recTop) != len(ackedTop) {
+		t.Fatalf("recovered TopSources %v != acked %v", recTop, ackedTop)
+	}
+	for i := range recTop {
+		if recTop[i] != ackedTop[i] {
+			t.Fatalf("recovered TopSources[%d] %+v != acked %+v", i, recTop[i], ackedTop[i])
+		}
+	}
+	// Spot-check pushdown lookups across the acked stream.
+	for i := 0; i < len(refS); i += 997 {
+		want, wantFound, err := ref.Lookup(refS[i], refD[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotFound, err := rec.Lookup(refS[i], refD[i])
+		if err != nil || got != want || gotFound != wantFound {
+			t.Fatalf("Lookup(%d,%d) = %d,%v,%v; want %d,%v", refS[i], refD[i], got, gotFound, err, want, wantFound)
+		}
+	}
+	// The tail must be gone: recovery restored the checkpoint exactly.
+	if v, found, err := rec.Lookup(1001, 1001); err != nil || found {
+		t.Fatalf("undurable tail cell survived: %d, %v, %v", v, found, err)
+	}
+}

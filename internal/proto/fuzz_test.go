@@ -1,0 +1,88 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// The fuzz targets assert the protocol-robustness contract: arbitrary
+// bytes fed to the frame reader and every body parser must produce an
+// error or a value — never a panic — and must never allocate more than the
+// input could justify (the parsers bound counts by the remaining bytes
+// before allocating; an out-of-memory abort here is a finding). CI runs
+// each target for a short fixed time on every push.
+
+// FuzzReaderNext streams arbitrary bytes through the frame reader until it
+// errors or the stream is exhausted.
+func FuzzReaderNext(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewWriter(&seed)
+	body, _ := AppendInsert(nil, 1, []uint64{1, 2}, []uint64{3, 4}, []uint64{5, 6})
+	_ = w.WriteFrame(KindInsert, body)
+	_ = w.WriteFrame(KindFlush, AppendSeq(nil, 2))
+	_ = w.Flush()
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			fr, err := r.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrMalformed) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if len(fr.Body) > MaxFrame {
+				t.Fatalf("frame body %d exceeds MaxFrame", len(fr.Body))
+			}
+		}
+	})
+}
+
+// FuzzParseInsert feeds arbitrary bodies to the insert parser — the one
+// carrying attacker-sized batches.
+func FuzzParseInsert(f *testing.F) {
+	good, _ := AppendInsert(nil, 9, []uint64{1, 1 << 60}, []uint64{2, 3}, []uint64{1, 1})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		seq, rows, cols, vals, err := ParseInsert(body)
+		if err != nil {
+			return
+		}
+		if len(rows) != len(cols) || len(rows) != len(vals) {
+			t.Fatalf("uneven batch: %d/%d/%d", len(rows), len(cols), len(vals))
+		}
+		if len(rows) > MaxBatch {
+			t.Fatalf("batch %d exceeds MaxBatch", len(rows))
+		}
+		_ = seq
+	})
+}
+
+// FuzzParseBodies drives every remaining parser over the same corpus; all
+// must be total (error, never panic).
+func FuzzParseBodies(f *testing.F) {
+	f.Add(AppendWelcome(nil, Welcome{Version: 1, Dim: 1 << 32, Shards: 4, Durable: true}))
+	f.Add(AppendTopKResp(nil, 5, []Ranked{{1, 2}, {3, 4}}))
+	f.Add(AppendSummaryResp(nil, 6, Summary{Entries: 10}))
+	f.Add(AppendError(nil, 7, ErrCodeOverload, "overloaded"))
+	f.Add(AppendHello(nil))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		_, _ = ParseHello(body)
+		_, _ = ParseWelcome(body)
+		_, _ = ParseSeq(body)
+		_, _, _, _ = ParseLookup(body)
+		_, _, _, _ = ParseLookupResp(body)
+		_, _, _, _ = ParseTopK(body)
+		if _, top, err := ParseTopKResp(body); err == nil && len(top) > len(body) {
+			t.Fatalf("top-k result larger than its encoding")
+		}
+		_, _, _ = ParseSummaryResp(body)
+		_, _, _, _ = ParseError(body)
+	})
+}

@@ -1,0 +1,562 @@
+// Package proto defines the binary wire protocol between the network
+// ingest server (internal/server) and its clients (hhgbclient): a
+// length-prefixed frame stream over any reliable byte transport (TCP).
+//
+// # Framing
+//
+// Every message is one self-delimiting frame:
+//
+//	frame := uvarint(len) ‖ kind(1 byte) ‖ body(len-1 bytes)
+//
+// len counts the kind byte plus the body and is capped at MaxFrame, so a
+// torn or hostile length prefix is an error, never an allocation request.
+// There is no per-frame checksum: the transport (TCP) already provides
+// integrity, and the durable server re-frames batches into its CRC32-framed
+// write-ahead log (internal/wal) before acknowledging a flush.
+//
+// # Session
+//
+// A session opens with the client's Hello (magic + protocol version) and
+// the server's Welcome (negotiated version, matrix dimension, shard count,
+// durability flag). Then the client pipelines requests, each carrying a
+// client-assigned sequence number (starting at 1; 0 is reserved for
+// connection-level errors), and the server responds per request:
+//
+//	Insert     → Ack          batch accepted into the ingest pipeline
+//	Flush      → Ack          all prior accepted batches applied (+fsynced)
+//	Checkpoint → Ack          ditto, plus snapshot compaction
+//	Lookup     → LookupResp
+//	TopK       → TopKResp
+//	Summary    → SummaryResp
+//	Goodbye    → Ack          server drained this connection's buffers
+//	(any)      → Error        per-request failure (seq echoes the request)
+//
+// Insert bodies reuse the WAL batch record codec (wal.AppendBatchRecord):
+// uvarint count, then rows, cols, values, all uvarints — the same bytes a
+// durable shard worker frames into its log.
+//
+// Responses to a connection's requests arrive in request order, with one
+// exception: an overloaded server rejects an Insert from its reader loop
+// (Error code ErrCodeOverload) while earlier requests may still be queued,
+// so that Error can overtake their responses. Clients must match responses
+// to requests by seq, not by arrival order.
+package proto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hhgb/internal/wal"
+)
+
+// Magic opens every Hello body: "HGB1" big-endian.
+const Magic uint32 = 0x48474231
+
+// Version is the protocol version this package speaks. A server refuses a
+// Hello with a different version (ErrCodeVersion) rather than guessing.
+const Version = 1
+
+// MaxFrame caps a frame's length prefix (kind + body). Larger prefixes are
+// malformed: the reader errors instead of allocating.
+const MaxFrame = 1 << 24
+
+// MaxBatch caps the entry count of one Insert frame, enforced on both
+// sides: AppendInsert refuses to build a larger frame, and ParseInsert
+// treats a larger count as malformed before allocating.
+const MaxBatch = 1 << 16
+
+// ErrMalformed is returned (wrapped; test with errors.Is) for any frame or
+// body that does not parse: torn length, oversized frame, truncated or
+// trailing body bytes, bad magic.
+var ErrMalformed = errors.New("proto: malformed frame")
+
+// Frame kinds. Client-to-server kinds have the high bit clear,
+// server-to-client kinds have it set.
+const (
+	KindHello      byte = 0x01
+	KindInsert     byte = 0x02
+	KindFlush      byte = 0x03
+	KindCheckpoint byte = 0x04
+	KindLookup     byte = 0x05
+	KindTopK       byte = 0x06
+	KindSummary    byte = 0x07
+	KindGoodbye    byte = 0x08
+
+	KindWelcome     byte = 0x81
+	KindAck         byte = 0x82
+	KindLookupResp  byte = 0x83
+	KindTopKResp    byte = 0x84
+	KindSummaryResp byte = 0x85
+	KindError       byte = 0x86
+)
+
+// Error codes carried by Error frames.
+const (
+	// ErrCodeVersion: the Hello's magic or version was not acceptable.
+	// Connection-level (seq 0); the server closes after sending it.
+	ErrCodeVersion uint64 = 1
+	// ErrCodeMalformed: a frame or body failed to parse. Connection-level
+	// (seq 0 when the request's seq could not be read); the server closes.
+	ErrCodeMalformed uint64 = 2
+	// ErrCodeOverload: the server's in-flight entry budget is exhausted;
+	// the Insert was dropped (not applied). Retryable after backoff.
+	ErrCodeOverload uint64 = 3
+	// ErrCodeTooLarge: the Insert exceeds the server's batch cap.
+	ErrCodeTooLarge uint64 = 4
+	// ErrCodeRejected: the batch failed validation (out-of-bounds index,
+	// mismatched slice lengths); nothing was applied.
+	ErrCodeRejected uint64 = 5
+	// ErrCodeClosed: the matrix is closed or the server is draining.
+	ErrCodeClosed uint64 = 6
+	// ErrCodeInternal: an ingest or query error on the server; the message
+	// carries detail.
+	ErrCodeInternal uint64 = 7
+)
+
+// TopK axes.
+const (
+	AxisSources      byte = 0
+	AxisDestinations byte = 1
+)
+
+// Frame is one decoded frame: its kind and its body bytes. The body slice
+// is only valid until the reader's next call.
+type Frame struct {
+	Kind byte
+	Body []byte
+}
+
+// Reader decodes a frame stream. It is not safe for concurrent use.
+type Reader struct {
+	br    *bufio.Reader
+	buf   []byte
+	bytes int64
+}
+
+// NewReader returns a frame reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Bytes returns the total framed bytes consumed.
+func (r *Reader) Bytes() int64 { return r.bytes }
+
+// Next reads one frame. io.EOF means the stream ended cleanly on a frame
+// boundary; a frame cut mid-way returns io.ErrUnexpectedEOF; a length
+// prefix beyond MaxFrame (or of zero length — every frame has a kind)
+// returns an ErrMalformed-wrapped error. The returned body aliases an
+// internal buffer reused by the next call.
+func (r *Reader) Next() (Frame, error) {
+	length, n, err := wal.ReadUvarint(r.br)
+	if err != nil {
+		if n == 0 && errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF // clean end: no bytes of a next frame
+		}
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		if errors.Is(err, wal.ErrVarint) {
+			return Frame{}, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		return Frame{}, err
+	}
+	if length == 0 {
+		return Frame{}, fmt.Errorf("%w: zero-length frame", ErrMalformed)
+	}
+	if length > MaxFrame {
+		return Frame{}, fmt.Errorf("%w: frame length %d exceeds %d", ErrMalformed, length, MaxFrame)
+	}
+	if uint64(cap(r.buf)) < length {
+		r.buf = make([]byte, length)
+	}
+	buf := r.buf[:length]
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	r.bytes += int64(n) + int64(length)
+	return Frame{Kind: buf[0], Body: buf[1:]}, nil
+}
+
+// Writer encodes frames onto an underlying writer, buffered: frames are
+// sent at Flush (or when the buffer fills). It is not safe for concurrent
+// use.
+type Writer struct {
+	bw    *bufio.Writer
+	buf   []byte
+	bytes int64
+}
+
+// NewWriter returns a frame writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Bytes returns the total framed bytes produced.
+func (w *Writer) Bytes() int64 { return w.bytes }
+
+// WriteFrame frames kind+body and buffers it.
+func (w *Writer) WriteFrame(kind byte, body []byte) error {
+	length := uint64(1 + len(body))
+	if length > MaxFrame {
+		return fmt.Errorf("%w: frame length %d exceeds %d", ErrMalformed, length, MaxFrame)
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], length)
+	if _, err := w.bw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if err := w.bw.WriteByte(kind); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(body); err != nil {
+		return err
+	}
+	w.bytes += int64(n) + int64(length)
+	return nil
+}
+
+// Flush sends every buffered frame to the transport.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Body builders and parsers. Builders append to a caller-owned buffer
+// (pass buf[:0] to reuse); parsers reject truncated or trailing bytes with
+// ErrMalformed-wrapped errors and never over-allocate.
+
+// bodyReader parses uvarint fields off a body slice.
+type bodyReader struct {
+	b   []byte
+	off int
+}
+
+func (r *bodyReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated field", ErrMalformed)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *bodyReader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("%w: truncated field", ErrMalformed)
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *bodyReader) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// AppendHello builds a Hello body: magic (4 bytes big-endian) + version.
+func AppendHello(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, Magic)
+	return binary.AppendUvarint(buf, Version)
+}
+
+// ParseHello returns the client's protocol version.
+func ParseHello(body []byte) (version uint64, err error) {
+	if len(body) < 4 {
+		return 0, fmt.Errorf("%w: hello too short", ErrMalformed)
+	}
+	if binary.BigEndian.Uint32(body) != Magic {
+		return 0, fmt.Errorf("%w: bad magic %#x", ErrMalformed, binary.BigEndian.Uint32(body))
+	}
+	r := bodyReader{b: body, off: 4}
+	if version, err = r.uvarint(); err != nil {
+		return 0, err
+	}
+	return version, r.done()
+}
+
+// Welcome is the server's half of the handshake.
+type Welcome struct {
+	Version uint64
+	Dim     uint64 // matrix dimension
+	Shards  uint64 // server-side shard count (informational)
+	Durable bool   // inserts are write-ahead-logged; Flush acks durability
+}
+
+// AppendWelcome builds a Welcome body.
+func AppendWelcome(buf []byte, w Welcome) []byte {
+	buf = binary.AppendUvarint(buf, w.Version)
+	buf = binary.AppendUvarint(buf, w.Dim)
+	buf = binary.AppendUvarint(buf, w.Shards)
+	flags := byte(0)
+	if w.Durable {
+		flags = 1
+	}
+	return append(buf, flags)
+}
+
+// ParseWelcome decodes a Welcome body.
+func ParseWelcome(body []byte) (Welcome, error) {
+	var w Welcome
+	r := bodyReader{b: body}
+	var err error
+	if w.Version, err = r.uvarint(); err != nil {
+		return w, err
+	}
+	if w.Dim, err = r.uvarint(); err != nil {
+		return w, err
+	}
+	if w.Shards, err = r.uvarint(); err != nil {
+		return w, err
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return w, err
+	}
+	if flags > 1 {
+		return w, fmt.Errorf("%w: unknown welcome flags %#x", ErrMalformed, flags)
+	}
+	w.Durable = flags == 1
+	return w, r.done()
+}
+
+// AppendInsert builds an Insert body: seq, then the batch in the WAL record
+// codec. Batches beyond MaxBatch are refused (split them upstream).
+func AppendInsert(buf []byte, seq uint64, rows, cols, vals []uint64) ([]byte, error) {
+	if len(rows) > MaxBatch {
+		return nil, fmt.Errorf("%w: batch of %d entries exceeds %d", ErrMalformed, len(rows), MaxBatch)
+	}
+	buf = binary.AppendUvarint(buf, seq)
+	return wal.AppendBatchRecord(buf, rows, cols, vals, func(v uint64) uint64 { return v }), nil
+}
+
+// ParseInsert decodes an Insert body. The batch's slice lengths always
+// match; index bounds are the server's to validate.
+func ParseInsert(body []byte) (seq uint64, rows, cols, vals []uint64, err error) {
+	r := bodyReader{b: body}
+	if seq, err = r.uvarint(); err != nil {
+		return 0, nil, nil, nil, err
+	}
+	// Peek the batch count so an oversized batch errors before the WAL
+	// decoder's (record-bounded, but larger) allocation.
+	n, k := binary.Uvarint(body[r.off:])
+	if k <= 0 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: truncated batch count", ErrMalformed)
+	}
+	if n > MaxBatch {
+		return 0, nil, nil, nil, fmt.Errorf("%w: batch of %d entries exceeds %d", ErrMalformed, n, MaxBatch)
+	}
+	rows, cols, vals, err = wal.DecodeBatchRecord(body[r.off:], func(v uint64) uint64 { return v })
+	if err != nil {
+		return 0, nil, nil, nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return seq, rows, cols, vals, nil
+}
+
+// AppendSeq builds the body shared by Flush, Checkpoint, Summary, Goodbye,
+// and Ack frames: the sequence number alone.
+func AppendSeq(buf []byte, seq uint64) []byte {
+	return binary.AppendUvarint(buf, seq)
+}
+
+// ParseSeq decodes a seq-only body.
+func ParseSeq(body []byte) (seq uint64, err error) {
+	r := bodyReader{b: body}
+	if seq, err = r.uvarint(); err != nil {
+		return 0, err
+	}
+	return seq, r.done()
+}
+
+// AppendLookup builds a Lookup body.
+func AppendLookup(buf []byte, seq, src, dst uint64) []byte {
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, src)
+	return binary.AppendUvarint(buf, dst)
+}
+
+// ParseLookup decodes a Lookup body.
+func ParseLookup(body []byte) (seq, src, dst uint64, err error) {
+	r := bodyReader{b: body}
+	if seq, err = r.uvarint(); err != nil {
+		return
+	}
+	if src, err = r.uvarint(); err != nil {
+		return
+	}
+	if dst, err = r.uvarint(); err != nil {
+		return
+	}
+	return seq, src, dst, r.done()
+}
+
+// AppendLookupResp builds a LookupResp body.
+func AppendLookupResp(buf []byte, seq uint64, found bool, value uint64) []byte {
+	buf = binary.AppendUvarint(buf, seq)
+	f := byte(0)
+	if found {
+		f = 1
+	}
+	buf = append(buf, f)
+	return binary.AppendUvarint(buf, value)
+}
+
+// ParseLookupResp decodes a LookupResp body.
+func ParseLookupResp(body []byte) (seq uint64, found bool, value uint64, err error) {
+	r := bodyReader{b: body}
+	if seq, err = r.uvarint(); err != nil {
+		return
+	}
+	f, err := r.byte()
+	if err != nil {
+		return 0, false, 0, err
+	}
+	if f > 1 {
+		return 0, false, 0, fmt.Errorf("%w: bad found flag %#x", ErrMalformed, f)
+	}
+	if value, err = r.uvarint(); err != nil {
+		return 0, false, 0, err
+	}
+	return seq, f == 1, value, r.done()
+}
+
+// AppendTopK builds a TopK body.
+func AppendTopK(buf []byte, seq uint64, axis byte, k uint64) []byte {
+	buf = binary.AppendUvarint(buf, seq)
+	buf = append(buf, axis)
+	return binary.AppendUvarint(buf, k)
+}
+
+// ParseTopK decodes a TopK body.
+func ParseTopK(body []byte) (seq uint64, axis byte, k uint64, err error) {
+	r := bodyReader{b: body}
+	if seq, err = r.uvarint(); err != nil {
+		return
+	}
+	if axis, err = r.byte(); err != nil {
+		return
+	}
+	if axis > AxisDestinations {
+		return 0, 0, 0, fmt.Errorf("%w: unknown axis %d", ErrMalformed, axis)
+	}
+	if k, err = r.uvarint(); err != nil {
+		return
+	}
+	return seq, axis, k, r.done()
+}
+
+// Ranked is one TopKResp entry.
+type Ranked struct {
+	ID    uint64
+	Value uint64
+}
+
+// AppendTopKResp builds a TopKResp body.
+func AppendTopKResp(buf []byte, seq uint64, top []Ranked) []byte {
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(top)))
+	for _, t := range top {
+		buf = binary.AppendUvarint(buf, t.ID)
+		buf = binary.AppendUvarint(buf, t.Value)
+	}
+	return buf
+}
+
+// ParseTopKResp decodes a TopKResp body.
+func ParseTopKResp(body []byte) (seq uint64, top []Ranked, err error) {
+	r := bodyReader{b: body}
+	if seq, err = r.uvarint(); err != nil {
+		return 0, nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	// Each entry needs >= 2 bytes; bound n before allocating.
+	if n > uint64(len(body)-r.off)/2 {
+		return 0, nil, fmt.Errorf("%w: top-k count %d exceeds body", ErrMalformed, n)
+	}
+	top = make([]Ranked, n)
+	for i := range top {
+		if top[i].ID, err = r.uvarint(); err != nil {
+			return 0, nil, err
+		}
+		if top[i].Value, err = r.uvarint(); err != nil {
+			return 0, nil, err
+		}
+	}
+	return seq, top, r.done()
+}
+
+// Summary mirrors the facade's Summary over the wire.
+type Summary struct {
+	Entries      uint64
+	Sources      uint64
+	Destinations uint64
+	TotalPackets uint64
+	MaxOutDegree uint64
+	MaxInDegree  uint64
+}
+
+// AppendSummaryResp builds a SummaryResp body.
+func AppendSummaryResp(buf []byte, seq uint64, s Summary) []byte {
+	buf = binary.AppendUvarint(buf, seq)
+	for _, v := range [...]uint64{s.Entries, s.Sources, s.Destinations, s.TotalPackets, s.MaxOutDegree, s.MaxInDegree} {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	return buf
+}
+
+// ParseSummaryResp decodes a SummaryResp body.
+func ParseSummaryResp(body []byte) (seq uint64, s Summary, err error) {
+	r := bodyReader{b: body}
+	if seq, err = r.uvarint(); err != nil {
+		return 0, s, err
+	}
+	for _, p := range [...]*uint64{&s.Entries, &s.Sources, &s.Destinations, &s.TotalPackets, &s.MaxOutDegree, &s.MaxInDegree} {
+		if *p, err = r.uvarint(); err != nil {
+			return 0, s, err
+		}
+	}
+	return seq, s, r.done()
+}
+
+// MaxErrorMsg caps an Error frame's message length.
+const MaxErrorMsg = 1 << 10
+
+// AppendError builds an Error body. Messages are truncated to MaxErrorMsg.
+func AppendError(buf []byte, seq, code uint64, msg string) []byte {
+	if len(msg) > MaxErrorMsg {
+		msg = msg[:MaxErrorMsg]
+	}
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, code)
+	buf = binary.AppendUvarint(buf, uint64(len(msg)))
+	return append(buf, msg...)
+}
+
+// ParseError decodes an Error body.
+func ParseError(body []byte) (seq, code uint64, msg string, err error) {
+	r := bodyReader{b: body}
+	if seq, err = r.uvarint(); err != nil {
+		return
+	}
+	if code, err = r.uvarint(); err != nil {
+		return
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, 0, "", err
+	}
+	if n > MaxErrorMsg || n > uint64(len(body)-r.off) {
+		return 0, 0, "", fmt.Errorf("%w: error message length %d exceeds body", ErrMalformed, n)
+	}
+	msg = string(body[r.off : r.off+int(n)])
+	r.off += int(n)
+	return seq, code, msg, r.done()
+}

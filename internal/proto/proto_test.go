@@ -1,0 +1,223 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// roundTrip frames a body, reads it back, and returns the received frame.
+func roundTrip(t *testing.T, kind byte, body []byte) Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(kind, body); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	r := NewReader(&buf)
+	f, err := r.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if f.Kind != kind {
+		t.Fatalf("kind = %#x, want %#x", f.Kind, kind)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("second Next = %v, want io.EOF", err)
+	}
+	return f
+}
+
+func TestHelloWelcomeRoundTrip(t *testing.T) {
+	f := roundTrip(t, KindHello, AppendHello(nil))
+	v, err := ParseHello(f.Body)
+	if err != nil || v != Version {
+		t.Fatalf("ParseHello = %d, %v", v, err)
+	}
+
+	in := Welcome{Version: Version, Dim: 1 << 32, Shards: 8, Durable: true}
+	f = roundTrip(t, KindWelcome, AppendWelcome(nil, in))
+	out, err := ParseWelcome(f.Body)
+	if err != nil || out != in {
+		t.Fatalf("ParseWelcome = %+v, %v; want %+v", out, err, in)
+	}
+}
+
+func TestInsertRoundTrip(t *testing.T) {
+	rows := []uint64{1, 1 << 40, 3}
+	cols := []uint64{2, 5, 1<<64 - 1}
+	vals := []uint64{1, 7, 9}
+	body, err := AppendInsert(nil, 42, rows, cols, vals)
+	if err != nil {
+		t.Fatalf("AppendInsert: %v", err)
+	}
+	f := roundTrip(t, KindInsert, body)
+	seq, r, c, v, err := ParseInsert(f.Body)
+	if err != nil {
+		t.Fatalf("ParseInsert: %v", err)
+	}
+	if seq != 42 {
+		t.Fatalf("seq = %d", seq)
+	}
+	for i := range rows {
+		if r[i] != rows[i] || c[i] != cols[i] || v[i] != vals[i] {
+			t.Fatalf("entry %d: (%d,%d,%d) != (%d,%d,%d)", i, r[i], c[i], v[i], rows[i], cols[i], vals[i])
+		}
+	}
+}
+
+func TestInsertOverMaxBatch(t *testing.T) {
+	rows := make([]uint64, MaxBatch+1)
+	if _, err := AppendInsert(nil, 1, rows, rows, rows); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("AppendInsert over cap = %v, want ErrMalformed", err)
+	}
+	// A hostile count larger than MaxBatch must error before allocating.
+	body := binary.AppendUvarint(nil, 1)                   // seq
+	body = binary.AppendUvarint(body, uint64(MaxBatch)*16) // count
+	if _, _, _, _, err := ParseInsert(body); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("ParseInsert hostile count = %v, want ErrMalformed", err)
+	}
+}
+
+func TestQueryBodiesRoundTrip(t *testing.T) {
+	{
+		f := roundTrip(t, KindLookup, AppendLookup(nil, 7, 11, 13))
+		seq, src, dst, err := ParseLookup(f.Body)
+		if err != nil || seq != 7 || src != 11 || dst != 13 {
+			t.Fatalf("ParseLookup = %d,%d,%d,%v", seq, src, dst, err)
+		}
+	}
+	{
+		f := roundTrip(t, KindLookupResp, AppendLookupResp(nil, 7, true, 99))
+		seq, found, v, err := ParseLookupResp(f.Body)
+		if err != nil || seq != 7 || !found || v != 99 {
+			t.Fatalf("ParseLookupResp = %d,%v,%d,%v", seq, found, v, err)
+		}
+	}
+	{
+		f := roundTrip(t, KindTopK, AppendTopK(nil, 8, AxisDestinations, 10))
+		seq, axis, k, err := ParseTopK(f.Body)
+		if err != nil || seq != 8 || axis != AxisDestinations || k != 10 {
+			t.Fatalf("ParseTopK = %d,%d,%d,%v", seq, axis, k, err)
+		}
+	}
+	{
+		in := []Ranked{{ID: 3, Value: 100}, {ID: 9, Value: 50}}
+		f := roundTrip(t, KindTopKResp, AppendTopKResp(nil, 8, in))
+		seq, top, err := ParseTopKResp(f.Body)
+		if err != nil || seq != 8 || len(top) != 2 || top[0] != in[0] || top[1] != in[1] {
+			t.Fatalf("ParseTopKResp = %d,%v,%v", seq, top, err)
+		}
+	}
+	{
+		in := Summary{Entries: 1, Sources: 2, Destinations: 3, TotalPackets: 4, MaxOutDegree: 5, MaxInDegree: 6}
+		f := roundTrip(t, KindSummaryResp, AppendSummaryResp(nil, 9, in))
+		seq, out, err := ParseSummaryResp(f.Body)
+		if err != nil || seq != 9 || out != in {
+			t.Fatalf("ParseSummaryResp = %d,%+v,%v", seq, out, err)
+		}
+	}
+	{
+		f := roundTrip(t, KindError, AppendError(nil, 4, ErrCodeOverload, "busy"))
+		seq, code, msg, err := ParseError(f.Body)
+		if err != nil || seq != 4 || code != ErrCodeOverload || msg != "busy" {
+			t.Fatalf("ParseError = %d,%d,%q,%v", seq, code, msg, err)
+		}
+	}
+	{
+		f := roundTrip(t, KindFlush, AppendSeq(nil, 12))
+		seq, err := ParseSeq(f.Body)
+		if err != nil || seq != 12 {
+			t.Fatalf("ParseSeq = %d,%v", seq, err)
+		}
+	}
+}
+
+func TestReaderTornAndHostileFrames(t *testing.T) {
+	// Clean EOF on an empty stream.
+	if _, err := NewReader(strings.NewReader("")).Next(); err != io.EOF {
+		t.Fatalf("empty stream = %v, want io.EOF", err)
+	}
+	// A frame cut mid-length, mid-body.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(KindSummary, AppendSeq(nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		if _, err := NewReader(bytes.NewReader(whole[:cut])).Next(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// Oversized length prefix: error, not an allocation.
+	huge := binary.AppendUvarint(nil, MaxFrame+1)
+	if _, err := NewReader(bytes.NewReader(huge)).Next(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized frame = %v, want ErrMalformed", err)
+	}
+	// Zero-length frame: malformed (no kind byte).
+	if _, err := NewReader(bytes.NewReader([]byte{0})).Next(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("zero-length frame = %v, want ErrMalformed", err)
+	}
+	// Non-terminating varint.
+	bad := bytes.Repeat([]byte{0xff}, 11)
+	if _, err := NewReader(bytes.NewReader(bad)).Next(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("overlong varint = %v, want ErrMalformed", err)
+	}
+}
+
+func TestWriterRefusesOversizedFrame(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WriteFrame(KindInsert, make([]byte, MaxFrame)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized WriteFrame = %v, want ErrMalformed", err)
+	}
+}
+
+// TestParsersRejectTruncation walks every parser over every strict prefix
+// of a valid body: each must error (never panic) and never succeed on a
+// truncated body with trailing data absent.
+func TestParsersRejectTruncation(t *testing.T) {
+	insert, err := AppendInsert(nil, 3, []uint64{1, 2}, []uint64{3, 4}, []uint64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		body  []byte
+		parse func([]byte) error
+	}{
+		{"hello", AppendHello(nil), func(b []byte) error { _, err := ParseHello(b); return err }},
+		{"welcome", AppendWelcome(nil, Welcome{Version: 1, Dim: 10, Shards: 2}), func(b []byte) error { _, err := ParseWelcome(b); return err }},
+		{"insert", insert, func(b []byte) error { _, _, _, _, err := ParseInsert(b); return err }},
+		{"seq", AppendSeq(nil, 300), func(b []byte) error { _, err := ParseSeq(b); return err }},
+		{"lookup", AppendLookup(nil, 1, 300, 400), func(b []byte) error { _, _, _, err := ParseLookup(b); return err }},
+		{"lookupresp", AppendLookupResp(nil, 1, true, 300), func(b []byte) error { _, _, _, err := ParseLookupResp(b); return err }},
+		{"topk", AppendTopK(nil, 1, AxisSources, 300), func(b []byte) error { _, _, _, err := ParseTopK(b); return err }},
+		{"topkresp", AppendTopKResp(nil, 1, []Ranked{{300, 400}}), func(b []byte) error { _, _, err := ParseTopKResp(b); return err }},
+		{"summaryresp", AppendSummaryResp(nil, 1, Summary{Entries: 300}), func(b []byte) error { _, _, err := ParseSummaryResp(b); return err }},
+		{"error", AppendError(nil, 1, ErrCodeInternal, "boom"), func(b []byte) error { _, _, _, err := ParseError(b); return err }},
+	}
+	for _, tc := range cases {
+		if err := tc.parse(tc.body); err != nil {
+			t.Fatalf("%s: whole body failed: %v", tc.name, err)
+		}
+		for cut := 0; cut < len(tc.body); cut++ {
+			if err := tc.parse(tc.body[:cut]); err == nil {
+				t.Fatalf("%s: prefix of %d/%d bytes parsed without error", tc.name, cut, len(tc.body))
+			}
+		}
+		// Trailing garbage must be rejected too.
+		if err := tc.parse(append(append([]byte(nil), tc.body...), 0)); err == nil {
+			t.Fatalf("%s: trailing byte parsed without error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,638 @@
+// Package server is the network ingest frontend: a TCP listener that
+// speaks the internal/proto wire protocol in front of one hhgb.Sharded
+// matrix, turning the in-process concurrent ingest path into a service
+// remote producers stream into (the deployment shape of RedisGraph's
+// protocol frontend and the MIT real-time traffic pipeline).
+//
+// # Per-connection pipeline
+//
+// Each accepted connection runs two goroutines wired by a bounded queue:
+//
+//	reader ──▶ apply queue (Config.QueueDepth frames) ──▶ applier ──▶ per-conn Appender ──▶ shard queues
+//
+// The reader decodes frames and enqueues requests; the applier executes
+// them in order — inserts go into the connection's own hhgb.Appender (one
+// producer, zero cross-connection contention), queries and flushes run the
+// facade's barrier path — and writes the responses. Per-connection program
+// order is therefore preserved: a Lookup after an acked Insert on the same
+// connection observes that insert.
+//
+// # Backpressure and overload
+//
+// Two mechanisms bound the server's memory, one blocking and one explicit:
+//
+//   - The apply queue is bounded. When a connection's applier falls behind
+//     (its shard queues are full, a barrier is running), the reader blocks
+//     enqueueing, stops reading, and TCP backpressure reaches the client —
+//     no data is dropped, the pipe just fills.
+//   - The aggregate entry budget (Config.MaxInFlight, summed over all
+//     connections' decoded-but-unapplied inserts) bounds what the queues
+//     can hold across every connection. An Insert that would exceed it is
+//     dropped and answered immediately with an Error frame
+//     (proto.ErrCodeOverload) from the reader — overtaking queued
+//     responses, so the client learns it outran the server while its
+//     earlier frames are still draining. Overloaded inserts are NOT
+//     applied; the client decides whether to back off and retry.
+//
+// # Ack semantics
+//
+// Ack(Insert) means accepted: validated and handed to the matrix's ingest
+// pipeline. It does NOT mean applied or durable. Ack(Flush) means every
+// insert acked before it on any connection is applied and — on a durable
+// matrix — fsynced (hhgb's group-commit point). Ack(Checkpoint) adds
+// snapshot compaction. A kill -9 after Ack(Flush) therefore loses nothing
+// that was flush-acked; inserts acked after the last Flush recover per
+// shard as far as each shard's group commit reached.
+//
+// # Shutdown
+//
+// Close stops the listener, then drains: every connection's reader stops,
+// its queued requests are applied and acked, its appender hands off its
+// buffers, and the connection closes. Accepted (acked) inserts are never
+// dropped by shutdown. The matrix itself stays open — it belongs to the
+// caller, who typically calls its Close (final checkpoint) next.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hhgb"
+	"hhgb/internal/proto"
+)
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// DefaultQueueDepth is the default per-connection apply-queue depth in
+// frames: the pipelining window between the connection's reader and
+// applier.
+const DefaultQueueDepth = 32
+
+// DefaultMaxInFlight is the default aggregate in-flight entry budget.
+const DefaultMaxInFlight = 1 << 21
+
+// Config describes a network ingest server.
+type Config struct {
+	// Matrix is the sharded matrix the server fronts. Required; owned by
+	// the caller (Close does not close it).
+	Matrix *hhgb.Sharded
+	// MaxBatch caps the entries of one insert frame; zero selects
+	// proto.MaxBatch. Larger frames are refused with ErrCodeTooLarge.
+	MaxBatch int
+	// QueueDepth is the per-connection apply queue in frames; zero selects
+	// DefaultQueueDepth.
+	QueueDepth int
+	// MaxInFlight is the aggregate decoded-but-unapplied entry budget
+	// across all connections; zero selects DefaultMaxInFlight. Inserts
+	// beyond it are answered with ErrCodeOverload and dropped.
+	MaxInFlight int64
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server accepts proto connections and feeds one Sharded matrix.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*conn]struct{}
+	nextID uint64
+	closed bool
+	wg     sync.WaitGroup
+
+	inFlight atomic.Int64
+
+	totalConns  atomic.Int64
+	batches     atomic.Int64
+	entries     atomic.Int64
+	overloads   atomic.Int64
+	rejected    atomic.Int64
+	flushes     atomic.Int64
+	checkpoints atomic.Int64
+	queries     atomic.Int64
+	// bytes of connections that have already closed; live connections are
+	// summed at Stats time.
+	closedBytesIn  atomic.Int64
+	closedBytesOut atomic.Int64
+}
+
+// New returns a server over cfg.Matrix. Serve starts accepting.
+func New(cfg Config) (*Server, error) {
+	if cfg.Matrix == nil {
+		return nil, errors.New("server: Config.Matrix is required")
+	}
+	if cfg.MaxBatch <= 0 || cfg.MaxBatch > proto.MaxBatch {
+		cfg.MaxBatch = proto.MaxBatch
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	return &Server{cfg: cfg, conns: make(map[*conn]struct{})}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until Close. It returns ErrServerClosed
+// after a graceful Close, or the accept error that stopped it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.nextID++
+		// The queue is allocated here, before the conn is visible to
+		// Stats, so stats() reading len(c.queue) never races run()'s
+		// post-handshake setup.
+		c := &conn{srv: s, id: s.nextID, nc: nc, queue: make(chan request, s.cfg.QueueDepth)}
+		s.conns[c] = struct{}{}
+		s.totalConns.Add(1)
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			c.run()
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+			s.closedBytesIn.Add(c.bytesIn.Load())
+			s.closedBytesOut.Add(c.bytesOut.Load())
+		}()
+	}
+}
+
+// Close stops the listener and drains every connection: queued requests
+// are applied and acked, appender buffers hand off, and the connections
+// close. It returns once all connection goroutines have exited. The
+// matrix is left open. Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.beginDrain()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	ActiveConns     int         `json:"active_conns"`
+	TotalConns      int64       `json:"total_conns"`
+	InsertBatches   int64       `json:"insert_batches"`
+	InsertEntries   int64       `json:"insert_entries"`
+	Overloads       int64       `json:"overloads"`
+	Rejected        int64       `json:"rejected"`
+	Flushes         int64       `json:"flushes"`
+	Checkpoints     int64       `json:"checkpoints"`
+	Queries         int64       `json:"queries"`
+	InFlightEntries int64       `json:"in_flight_entries"`
+	BytesIn         int64       `json:"bytes_in"`
+	BytesOut        int64       `json:"bytes_out"`
+	Conns           []ConnStats `json:"conns,omitempty"`
+}
+
+// ConnStats is one live connection's slice of the counters.
+type ConnStats struct {
+	ID            uint64 `json:"id"`
+	Remote        string `json:"remote"`
+	InsertBatches int64  `json:"insert_batches"`
+	InsertEntries int64  `json:"insert_entries"`
+	Overloads     int64  `json:"overloads"`
+	Pending       int    `json:"pending"`
+	BytesIn       int64  `json:"bytes_in"`
+	BytesOut      int64  `json:"bytes_out"`
+}
+
+// Stats snapshots the aggregate and per-connection counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		TotalConns:      s.totalConns.Load(),
+		InsertBatches:   s.batches.Load(),
+		InsertEntries:   s.entries.Load(),
+		Overloads:       s.overloads.Load(),
+		Rejected:        s.rejected.Load(),
+		Flushes:         s.flushes.Load(),
+		Checkpoints:     s.checkpoints.Load(),
+		Queries:         s.queries.Load(),
+		InFlightEntries: s.inFlight.Load(),
+		BytesIn:         s.closedBytesIn.Load(),
+		BytesOut:        s.closedBytesOut.Load(),
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		cs := c.stats()
+		st.Conns = append(st.Conns, cs)
+		st.BytesIn += cs.BytesIn
+		st.BytesOut += cs.BytesOut
+	}
+	s.mu.Unlock()
+	st.ActiveConns = len(st.Conns)
+	sort.Slice(st.Conns, func(i, j int) bool { return st.Conns[i].ID < st.Conns[j].ID })
+	return st
+}
+
+// StatsHandler serves the Stats snapshot as JSON — the expvar-style
+// introspection endpoint (mount it wherever the operator's HTTP mux
+// lives; cmd/hhgb-serve exposes it at /stats).
+func (s *Server) StatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Stats())
+	})
+}
+
+// request is one decoded client frame on a connection's apply queue.
+type request struct {
+	kind             byte
+	seq              uint64
+	rows, cols, vals []uint64 // insert
+	src, dst         uint64   // lookup
+	axis             byte     // topk
+	k                uint64   // topk
+}
+
+// conn is one accepted connection.
+type conn struct {
+	srv *Server
+	id  uint64
+	nc  net.Conn
+
+	wmu sync.Mutex // guards w: the applier writes responses, the reader overload/fatal errors
+	w   *proto.Writer
+
+	queue    chan request
+	draining atomic.Bool
+
+	batches   atomic.Int64
+	entries   atomic.Int64
+	overloads atomic.Int64
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+}
+
+func (c *conn) stats() ConnStats {
+	return ConnStats{
+		ID:            c.id,
+		Remote:        c.nc.RemoteAddr().String(),
+		InsertBatches: c.batches.Load(),
+		InsertEntries: c.entries.Load(),
+		Overloads:     c.overloads.Load(),
+		Pending:       len(c.queue),
+		BytesIn:       c.bytesIn.Load(),
+		BytesOut:      c.bytesOut.Load(),
+	}
+}
+
+// drainWriteGrace bounds how long a draining connection may block writing
+// its final acks: a healthy client drains them in microseconds, while a
+// stalled or malicious one that stopped reading would otherwise wedge its
+// applier in a full kernel send buffer and hang Server.Close forever.
+const drainWriteGrace = 5 * time.Second
+
+// beginDrain asks the connection to stop reading: the reader observes the
+// flag (its blocking read is interrupted by the deadline) and falls into
+// the normal shutdown path — drain the queue, ack, close. The write side
+// gets a grace deadline so a peer that stopped reading cannot block the
+// drain indefinitely (its applier falls into the write-error path and
+// exits).
+func (c *conn) beginDrain() {
+	c.draining.Store(true)
+	c.nc.SetReadDeadline(time.Now())
+	c.nc.SetWriteDeadline(time.Now().Add(drainWriteGrace))
+}
+
+// send writes one frame under the write lock; flush pushes it (and
+// everything buffered) to the wire.
+func (c *conn) send(kind byte, body []byte, flush bool) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.w.WriteFrame(kind, body); err != nil {
+		return err
+	}
+	if flush {
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+	}
+	c.bytesOut.Store(c.w.Bytes())
+	return nil
+}
+
+func (c *conn) sendErr(seq, code uint64, msg string, flush bool) error {
+	return c.send(proto.KindError, proto.AppendError(nil, seq, code, msg), flush)
+}
+
+// run owns the connection end to end: handshake, then the reader loop
+// feeding the applier goroutine, then teardown.
+func (c *conn) run() {
+	defer c.nc.Close()
+	r := proto.NewReader(c.nc)
+	c.w = proto.NewWriter(c.nc)
+
+	// Handshake. The first frame must be a valid Hello at our version.
+	f, err := r.Next()
+	if err != nil {
+		c.srv.logf("conn %d: handshake read: %v", c.id, err)
+		return
+	}
+	if f.Kind != proto.KindHello {
+		c.sendErr(0, proto.ErrCodeMalformed, "expected hello", true)
+		return
+	}
+	v, err := proto.ParseHello(f.Body)
+	if err != nil {
+		c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
+		return
+	}
+	if v != proto.Version {
+		c.sendErr(0, proto.ErrCodeVersion, fmt.Sprintf("server speaks version %d, client %d", proto.Version, v), true)
+		return
+	}
+	m := c.srv.cfg.Matrix
+	app, err := m.NewAppender()
+	if err != nil {
+		c.sendErr(0, proto.ErrCodeClosed, "matrix is closed", true)
+		return
+	}
+	welcome := proto.AppendWelcome(nil, proto.Welcome{
+		Version: proto.Version,
+		Dim:     m.Dim(),
+		Shards:  uint64(m.Shards()),
+		Durable: m.Durable(),
+	})
+	if err := c.send(proto.KindWelcome, welcome, true); err != nil {
+		app.Close()
+		return
+	}
+
+	// Applier: executes requests in order, writes responses. The write
+	// side flushes whenever the queue is momentarily empty — batching
+	// acks under load, bounding latency when idle.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.apply(app)
+	}()
+
+	// Reader loop.
+	for {
+		f, err := r.Next()
+		c.bytesIn.Store(r.Bytes())
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !c.draining.Load() {
+				if errors.Is(err, proto.ErrMalformed) {
+					c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
+				}
+				c.srv.logf("conn %d: read: %v", c.id, err)
+			}
+			break
+		}
+		req, fatal, drop := c.decode(f)
+		if fatal {
+			break
+		}
+		if drop {
+			continue
+		}
+		c.queue <- req
+		if req.kind == proto.KindGoodbye {
+			break
+		}
+	}
+	close(c.queue)
+	<-done
+}
+
+// decode turns one frame into a request, applying the overload and size
+// policies that run on the reader (so their error frames can overtake
+// queued work). fatal=true tears the connection down; drop=true skips
+// just this frame.
+func (c *conn) decode(f proto.Frame) (req request, fatal, drop bool) {
+	s := c.srv
+	switch f.Kind {
+	case proto.KindInsert:
+		seq, rows, cols, vals, err := proto.ParseInsert(f.Body)
+		if err != nil {
+			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
+			return req, true, false
+		}
+		if len(rows) > s.cfg.MaxBatch {
+			c.sendErr(seq, proto.ErrCodeTooLarge,
+				fmt.Sprintf("batch of %d entries exceeds server cap %d", len(rows), s.cfg.MaxBatch), true)
+			return req, false, true
+		}
+		n := int64(len(rows))
+		if s.inFlight.Add(n) > s.cfg.MaxInFlight {
+			s.inFlight.Add(-n)
+			c.overloads.Add(1)
+			s.overloads.Add(1)
+			c.sendErr(seq, proto.ErrCodeOverload,
+				fmt.Sprintf("in-flight entry budget %d exhausted", s.cfg.MaxInFlight), true)
+			return req, false, true
+		}
+		return request{kind: f.Kind, seq: seq, rows: rows, cols: cols, vals: vals}, false, false
+	case proto.KindFlush, proto.KindCheckpoint, proto.KindSummary, proto.KindGoodbye:
+		seq, err := proto.ParseSeq(f.Body)
+		if err != nil {
+			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
+			return req, true, false
+		}
+		return request{kind: f.Kind, seq: seq}, false, false
+	case proto.KindLookup:
+		seq, src, dst, err := proto.ParseLookup(f.Body)
+		if err != nil {
+			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
+			return req, true, false
+		}
+		return request{kind: f.Kind, seq: seq, src: src, dst: dst}, false, false
+	case proto.KindTopK:
+		seq, axis, k, err := proto.ParseTopK(f.Body)
+		if err != nil {
+			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
+			return req, true, false
+		}
+		return request{kind: f.Kind, seq: seq, axis: axis, k: k}, false, false
+	default:
+		c.sendErr(0, proto.ErrCodeMalformed, fmt.Sprintf("unexpected frame kind %#x", f.Kind), true)
+		return req, true, false
+	}
+}
+
+// apply executes queued requests in order. Responses flush when the queue
+// is momentarily empty (or on error frames), so acks batch under load.
+func (c *conn) apply(app *hhgb.Appender) {
+	defer app.Close() // hands off any buffered entries
+	s := c.srv
+	m := s.cfg.Matrix
+	for req := range c.queue {
+		flush := len(c.queue) == 0
+		var err error
+		switch req.kind {
+		case proto.KindInsert:
+			n := int64(len(req.rows))
+			ierr := app.AppendWeighted(req.rows, req.cols, req.vals)
+			s.inFlight.Add(-n)
+			if ierr != nil {
+				code := proto.ErrCodeRejected
+				if errors.Is(ierr, hhgb.ErrClosed) {
+					code = proto.ErrCodeClosed
+				}
+				s.rejected.Add(1)
+				err = c.sendErr(req.seq, code, ierr.Error(), true)
+				break
+			}
+			c.batches.Add(1)
+			c.entries.Add(n)
+			s.batches.Add(1)
+			s.entries.Add(n)
+			err = c.send(proto.KindAck, proto.AppendSeq(nil, req.seq), flush)
+		case proto.KindFlush:
+			s.flushes.Add(1)
+			err = c.ackOp(req.seq, m.Flush(), flush)
+		case proto.KindCheckpoint:
+			s.checkpoints.Add(1)
+			err = c.ackOp(req.seq, m.Checkpoint(), flush)
+		case proto.KindGoodbye:
+			// Drain this connection's buffers so a client that saw the
+			// ack can immediately observe its inserts via another
+			// connection's queries.
+			err = c.ackOp(req.seq, app.Flush(), true)
+		case proto.KindLookup:
+			s.queries.Add(1)
+			v, found, qerr := m.Lookup(req.src, req.dst)
+			if qerr != nil {
+				err = c.sendErr(req.seq, proto.ErrCodeRejected, qerr.Error(), true)
+				break
+			}
+			err = c.send(proto.KindLookupResp, proto.AppendLookupResp(nil, req.seq, found, v), flush)
+		case proto.KindTopK:
+			s.queries.Add(1)
+			var top []hhgb.Ranked
+			var qerr error
+			if req.axis == proto.AxisSources {
+				top, qerr = m.TopSources(int(req.k))
+			} else {
+				top, qerr = m.TopDestinations(int(req.k))
+			}
+			if qerr != nil {
+				err = c.sendErr(req.seq, proto.ErrCodeInternal, qerr.Error(), true)
+				break
+			}
+			wire := make([]proto.Ranked, len(top))
+			for i, t := range top {
+				wire[i] = proto.Ranked{ID: t.ID, Value: t.Value}
+			}
+			err = c.send(proto.KindTopKResp, proto.AppendTopKResp(nil, req.seq, wire), flush)
+		case proto.KindSummary:
+			s.queries.Add(1)
+			sum, qerr := m.Summary()
+			if qerr != nil {
+				err = c.sendErr(req.seq, proto.ErrCodeInternal, qerr.Error(), true)
+				break
+			}
+			err = c.send(proto.KindSummaryResp, proto.AppendSummaryResp(nil, req.seq, proto.Summary{
+				Entries:      uint64(sum.Entries),
+				Sources:      uint64(sum.Sources),
+				Destinations: uint64(sum.Destinations),
+				TotalPackets: sum.TotalPackets,
+				MaxOutDegree: sum.MaxOutDegree,
+				MaxInDegree:  sum.MaxInDegree,
+			}), flush)
+		}
+		if err != nil {
+			// The write side is gone; stop responding but keep draining
+			// the queue so in-flight accounting and appender handoff
+			// stay correct.
+			c.srv.logf("conn %d: write: %v", c.id, err)
+			c.drainQuietly()
+			return
+		}
+	}
+	c.flushWriter()
+}
+
+// ackOp acks a flush/checkpoint-style op, or reports its failure.
+func (c *conn) ackOp(seq uint64, opErr error, flush bool) error {
+	if opErr != nil {
+		code := proto.ErrCodeInternal
+		switch {
+		case errors.Is(opErr, hhgb.ErrClosed):
+			code = proto.ErrCodeClosed
+		case errors.Is(opErr, hhgb.ErrNotDurable):
+			code = proto.ErrCodeRejected
+		}
+		return c.sendErr(seq, code, opErr.Error(), true)
+	}
+	return c.send(proto.KindAck, proto.AppendSeq(nil, seq), flush)
+}
+
+// drainQuietly consumes the rest of the queue after the write side failed,
+// releasing the in-flight budget without applying anything further.
+func (c *conn) drainQuietly() {
+	for req := range c.queue {
+		if req.kind == proto.KindInsert {
+			c.srv.inFlight.Add(-int64(len(req.rows)))
+		}
+	}
+}
+
+func (c *conn) flushWriter() {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_ = c.w.Flush()
+	c.bytesOut.Store(c.w.Bytes())
+}

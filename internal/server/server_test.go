@@ -1,0 +1,332 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http/httptest"
+	"testing"
+
+	"hhgb"
+	"hhgb/internal/proto"
+)
+
+// startServer runs a server over a fresh matrix on a loopback listener and
+// returns the dial address plus a cleanup-registered handle.
+func startServer(t *testing.T, dim uint64, cfg Config) (*Server, *hhgb.Sharded, string) {
+	t.Helper()
+	m, err := hhgb.NewSharded(dim, hhgb.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	cfg.Matrix = m
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return s, m, ln.Addr().String()
+}
+
+// rawConn is a minimal hand-rolled protocol client for exercising the
+// server below the hhgbclient conveniences.
+type rawConn struct {
+	t  *testing.T
+	nc net.Conn
+	r  *proto.Reader
+	w  *proto.Writer
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return &rawConn{t: t, nc: nc, r: proto.NewReader(nc), w: proto.NewWriter(nc)}
+}
+
+func (c *rawConn) send(kind byte, body []byte) {
+	c.t.Helper()
+	if err := c.w.WriteFrame(kind, body); err != nil {
+		c.t.Fatal(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *rawConn) next() proto.Frame {
+	c.t.Helper()
+	f, err := c.r.Next()
+	if err != nil {
+		c.t.Fatalf("Next: %v", err)
+	}
+	return f
+}
+
+func (c *rawConn) handshake() proto.Welcome {
+	c.t.Helper()
+	c.send(proto.KindHello, proto.AppendHello(nil))
+	f := c.next()
+	if f.Kind != proto.KindWelcome {
+		c.t.Fatalf("handshake reply kind %#x", f.Kind)
+	}
+	w, err := proto.ParseWelcome(f.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return w
+}
+
+func (c *rawConn) expectAck(seq uint64) {
+	c.t.Helper()
+	f := c.next()
+	if f.Kind == proto.KindError {
+		_, code, msg, _ := proto.ParseError(f.Body)
+		c.t.Fatalf("want ack %d, got error code %d: %s", seq, code, msg)
+	}
+	if f.Kind != proto.KindAck {
+		c.t.Fatalf("want ack, got kind %#x", f.Kind)
+	}
+	got, err := proto.ParseSeq(f.Body)
+	if err != nil || got != seq {
+		c.t.Fatalf("ack seq = %d, %v; want %d", got, err, seq)
+	}
+}
+
+func TestHandshakeAndIngestQueryRoundTrip(t *testing.T) {
+	_, _, addr := startServer(t, 1<<20, Config{})
+	c := dialRaw(t, addr)
+	w := c.handshake()
+	if w.Dim != 1<<20 || w.Shards != 2 || w.Durable {
+		t.Fatalf("welcome = %+v", w)
+	}
+
+	body, err := proto.AppendInsert(nil, 1, []uint64{7, 7, 9}, []uint64{8, 8, 10}, []uint64{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.send(proto.KindInsert, body)
+	c.expectAck(1)
+	c.send(proto.KindFlush, proto.AppendSeq(nil, 2))
+	c.expectAck(2)
+
+	c.send(proto.KindLookup, proto.AppendLookup(nil, 3, 7, 8))
+	f := c.next()
+	if f.Kind != proto.KindLookupResp {
+		t.Fatalf("lookup reply kind %#x", f.Kind)
+	}
+	seq, found, v, err := proto.ParseLookupResp(f.Body)
+	if err != nil || seq != 3 || !found || v != 3 {
+		t.Fatalf("lookup = seq %d, found %v, v %d, err %v", seq, found, v, err)
+	}
+
+	c.send(proto.KindSummary, proto.AppendSeq(nil, 4))
+	f = c.next()
+	if f.Kind != proto.KindSummaryResp {
+		t.Fatalf("summary reply kind %#x", f.Kind)
+	}
+	_, sum, err := proto.ParseSummaryResp(f.Body)
+	if err != nil || sum.Entries != 2 || sum.TotalPackets != 8 {
+		t.Fatalf("summary = %+v, %v", sum, err)
+	}
+
+	c.send(proto.KindTopK, proto.AppendTopK(nil, 5, proto.AxisSources, 1))
+	f = c.next()
+	if f.Kind != proto.KindTopKResp {
+		t.Fatalf("topk reply kind %#x", f.Kind)
+	}
+	_, top, err := proto.ParseTopKResp(f.Body)
+	if err != nil || len(top) != 1 || top[0].ID != 9 || top[0].Value != 5 {
+		t.Fatalf("topk = %v, %v", top, err)
+	}
+
+	c.send(proto.KindGoodbye, proto.AppendSeq(nil, 6))
+	c.expectAck(6)
+	if _, err := c.r.Next(); err != io.EOF {
+		t.Fatalf("after goodbye = %v, want io.EOF", err)
+	}
+}
+
+func TestVersionMismatchRefused(t *testing.T) {
+	_, _, addr := startServer(t, 1<<10, Config{})
+	c := dialRaw(t, addr)
+	body := proto.AppendHello(nil)
+	body[len(body)-1] = 99 // corrupt the version varint (single byte)
+	c.send(proto.KindHello, body)
+	f := c.next()
+	if f.Kind != proto.KindError {
+		t.Fatalf("reply kind %#x, want error", f.Kind)
+	}
+	seq, code, _, err := proto.ParseError(f.Body)
+	if err != nil || seq != 0 || code != proto.ErrCodeVersion {
+		t.Fatalf("error = seq %d code %d err %v", seq, code, err)
+	}
+	if _, err := c.r.Next(); err != io.EOF {
+		t.Fatalf("after version error = %v, want io.EOF", err)
+	}
+}
+
+func TestMalformedFrameTearsConnection(t *testing.T) {
+	_, _, addr := startServer(t, 1<<10, Config{})
+	c := dialRaw(t, addr)
+	c.handshake()
+	c.send(proto.KindInsert, []byte{}) // truncated insert body
+	f := c.next()
+	if f.Kind != proto.KindError {
+		t.Fatalf("reply kind %#x, want error", f.Kind)
+	}
+	seq, code, _, err := proto.ParseError(f.Body)
+	if err != nil || seq != 0 || code != proto.ErrCodeMalformed {
+		t.Fatalf("error = seq %d code %d err %v", seq, code, err)
+	}
+	if _, err := c.r.Next(); err != io.EOF {
+		t.Fatalf("after malformed = %v, want io.EOF", err)
+	}
+}
+
+func TestOutOfBoundsInsertRejected(t *testing.T) {
+	_, _, addr := startServer(t, 16, Config{})
+	c := dialRaw(t, addr)
+	c.handshake()
+	body, err := proto.AppendInsert(nil, 1, []uint64{99}, []uint64{0}, []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.send(proto.KindInsert, body)
+	f := c.next()
+	seq, code, _, perr := proto.ParseError(f.Body)
+	if f.Kind != proto.KindError || perr != nil || seq != 1 || code != proto.ErrCodeRejected {
+		t.Fatalf("reply = kind %#x seq %d code %d err %v", f.Kind, seq, code, perr)
+	}
+	// The connection survives a rejected batch.
+	c.send(proto.KindFlush, proto.AppendSeq(nil, 2))
+	c.expectAck(2)
+}
+
+func TestOverloadErrorFrame(t *testing.T) {
+	s, _, addr := startServer(t, 1<<10, Config{MaxInFlight: 4})
+	c := dialRaw(t, addr)
+	c.handshake()
+	body, err := proto.AppendInsert(nil, 1, make([]uint64, 8), make([]uint64, 8), make([]uint64, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.send(proto.KindInsert, body)
+	f := c.next()
+	seq, code, _, perr := proto.ParseError(f.Body)
+	if f.Kind != proto.KindError || perr != nil || seq != 1 || code != proto.ErrCodeOverload {
+		t.Fatalf("reply = kind %#x seq %d code %d err %v", f.Kind, seq, code, perr)
+	}
+	if got := s.Stats().Overloads; got != 1 {
+		t.Fatalf("Stats().Overloads = %d, want 1", got)
+	}
+	// A batch within the budget still lands.
+	small, err := proto.AppendInsert(nil, 2, []uint64{1}, []uint64{2}, []uint64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.send(proto.KindInsert, small)
+	c.expectAck(2)
+}
+
+func TestCheckpointWithoutDurabilityRejected(t *testing.T) {
+	_, _, addr := startServer(t, 1<<10, Config{})
+	c := dialRaw(t, addr)
+	c.handshake()
+	c.send(proto.KindCheckpoint, proto.AppendSeq(nil, 1))
+	f := c.next()
+	seq, code, _, perr := proto.ParseError(f.Body)
+	if f.Kind != proto.KindError || perr != nil || seq != 1 || code != proto.ErrCodeRejected {
+		t.Fatalf("reply = kind %#x seq %d code %d err %v", f.Kind, seq, code, perr)
+	}
+}
+
+// TestGracefulDrain proves Close's contract: every acked insert is in the
+// matrix after Close returns, even though the client never flushed.
+func TestGracefulDrain(t *testing.T) {
+	s, m, addr := startServer(t, 1<<20, Config{})
+	c := dialRaw(t, addr)
+	c.handshake()
+	const batches = 10
+	for i := uint64(1); i <= batches; i++ {
+		body, err := proto.AppendInsert(nil, i, []uint64{i}, []uint64{i + 1}, []uint64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.send(proto.KindInsert, body)
+		c.expectAck(i)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != batches {
+		t.Fatalf("after drain Entries = %d, want %d", n, batches)
+	}
+	if st := s.Stats(); st.InsertBatches != batches || st.InFlightEntries != 0 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+}
+
+func TestServeAfterCloseRefused(t *testing.T) {
+	m, err := hhgb.NewSharded(1<<10, hhgb.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s, err := New(Config{Matrix: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(ln); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve after Close = %v, want ErrServerClosed", err)
+	}
+}
+
+func TestStatsHandlerServesJSON(t *testing.T) {
+	s, _, addr := startServer(t, 1<<10, Config{})
+	c := dialRaw(t, addr)
+	c.handshake()
+	body, err := proto.AppendInsert(nil, 1, []uint64{1}, []uint64{2}, []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.send(proto.KindInsert, body)
+	c.expectAck(1)
+
+	rec := httptest.NewRecorder()
+	s.StatsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var st Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, rec.Body.String())
+	}
+	if st.InsertBatches != 1 || st.InsertEntries != 1 || st.ActiveConns != 1 || len(st.Conns) != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Conns[0].Remote == "" || st.BytesIn == 0 || st.BytesOut == 0 {
+		t.Fatalf("per-conn stats = %+v", st.Conns[0])
+	}
+}

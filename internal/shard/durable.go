@@ -2,7 +2,6 @@ package shard
 
 import (
 	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -283,7 +282,7 @@ type shardWAL[T gb.Number] struct {
 // logBatch frames one ingest batch into the log and applies the
 // group-commit policy: every syncEvery-th batch forces an fsync.
 func (l *shardWAL[T]) logBatch(rows, cols []gb.Index, vals []T) error {
-	l.buf = appendBatchRecord(l.buf[:0], rows, cols, vals, l.put)
+	l.buf = wal.AppendBatchRecord(l.buf[:0], rows, cols, vals, l.put)
 	if err := l.f.Append(l.buf); err != nil {
 		return err
 	}
@@ -329,75 +328,6 @@ func (l *shardWAL[T]) rotate(dir string, epoch uint64) error {
 }
 
 func (l *shardWAL[T]) close() error { return l.f.Close() }
-
-// appendBatchRecord encodes one batch as the WAL record payload:
-// uvarint(n), then n row indices, n column indices, and n codec-converted
-// values, all as uvarints. Column-major field grouping keeps the deltas of
-// a future delta-encoding cheap and the decode loop branch-free.
-func appendBatchRecord[T gb.Number](buf []byte, rows, cols []gb.Index, vals []T, put func(T) uint64) []byte {
-	buf = binary.AppendUvarint(buf, uint64(len(rows)))
-	for _, r := range rows {
-		buf = binary.AppendUvarint(buf, uint64(r))
-	}
-	for _, c := range cols {
-		buf = binary.AppendUvarint(buf, uint64(c))
-	}
-	for _, v := range vals {
-		buf = binary.AppendUvarint(buf, put(v))
-	}
-	return buf
-}
-
-// decodeBatchRecord parses a record produced by appendBatchRecord.
-func decodeBatchRecord[T gb.Number](rec []byte, get func(uint64) T) (rows, cols []gb.Index, vals []T, err error) {
-	n, k := binary.Uvarint(rec)
-	if k <= 0 {
-		return nil, nil, nil, fmt.Errorf("%w: wal record: bad batch length", gb.ErrInvalidValue)
-	}
-	off := k
-	// Each entry needs >=3 bytes (one per field); bound n before the
-	// three n-element allocations so a corrupt count can't demand
-	// gigabytes ahead of the truncated-field error it would hit anyway.
-	if n > uint64(len(rec)-k)/3 {
-		return nil, nil, nil, fmt.Errorf("%w: wal record: batch length %d exceeds record", gb.ErrInvalidValue, n)
-	}
-	next := func() (uint64, error) {
-		v, k := binary.Uvarint(rec[off:])
-		if k <= 0 {
-			return 0, fmt.Errorf("%w: wal record: truncated field", gb.ErrInvalidValue)
-		}
-		off += k
-		return v, nil
-	}
-	rows = make([]gb.Index, n)
-	cols = make([]gb.Index, n)
-	vals = make([]T, n)
-	for i := range rows {
-		v, err := next()
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		rows[i] = gb.Index(v)
-	}
-	for i := range cols {
-		v, err := next()
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		cols[i] = gb.Index(v)
-	}
-	for i := range vals {
-		v, err := next()
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		vals[i] = get(v)
-	}
-	if off != len(rec) {
-		return nil, nil, nil, fmt.Errorf("%w: wal record: %d trailing bytes", gb.ErrInvalidValue, len(rec)-off)
-	}
-	return rows, cols, vals, nil
-}
 
 // defaultCodec picks the lossless wire codec for T: bit-exact for float
 // types, sign-preserving two's-complement for every integer type. The
@@ -708,48 +638,38 @@ func RecoverGroup[T gb.Number](cfg Config) (*Group[T], RecoverStats, error) {
 	cfg = cfg.withDefaults()
 	codec := defaultCodec[T]()
 
-	// 1. Restore each shard's snapshot (or an empty cascade).
-	ms := make([]*hier.Matrix[T], man.Shards)
-	for i := range ms {
-		if snap := man.Snapshots[i]; snap != "" {
-			m, err := readSnapshot[T](filepath.Join(dir, snap), codec)
-			if err != nil {
-				return nil, st, fmt.Errorf("shard %d: snapshot %s: %w", i, snap, err)
-			}
-			if m.NRows() != man.NRows || m.NCols() != man.NCols {
-				return nil, st, fmt.Errorf("%w: shard %d snapshot dims %dx%d != manifest %dx%d",
-					gb.ErrInvalidValue, i, m.NRows(), m.NCols(), man.NRows, man.NCols)
-			}
-			ms[i] = m
-		} else {
-			m, err := hier.New[T](man.NRows, man.NCols, hier.Config{Cuts: man.Cuts})
-			if err != nil {
-				return nil, st, err
-			}
-			ms[i] = m
-		}
-	}
-
-	// 2. Replay surviving segments with epoch >= the manifest's, oldest
-	// first. Segments below the manifest epoch are stale leftovers of a
-	// crash between manifest commit and prune; they are ignored (and
-	// removed by the checkpoint below).
+	// 1+2. Restore each shard — decode its snapshot (or build an empty
+	// cascade) and replay its surviving segments with epoch >= the
+	// manifest's, oldest first — in one goroutine per shard: the shards'
+	// files are disjoint and their matrices independent, so restart
+	// latency on a multi-core host is the slowest single shard, not the
+	// sum. The first error wins (the others finish and are discarded).
+	// Segments below the manifest epoch are stale leftovers of a crash
+	// between manifest commit and prune; they are ignored (and removed by
+	// the checkpoint below).
 	segs, maxEpoch, err := listSegments(dir, man)
 	if err != nil {
 		return nil, st, err
 	}
-	for i, shardSegs := range segs {
-		for si, seg := range shardSegs {
-			batches, entries, torn, err := replaySegment(seg.path, ms[i], codec, si == len(shardSegs)-1)
-			if err != nil {
-				return nil, st, fmt.Errorf("shard %d: replaying %s: %w", i, filepath.Base(seg.path), err)
-			}
-			st.ReplayedBatches += batches
-			st.ReplayedEntries += entries
-			if torn {
-				st.TornTails++
-			}
-		}
+	ms := make([]*hier.Matrix[T], man.Shards)
+	perShard := make([]RecoverStats, man.Shards)
+	shardErrs := make([]error, man.Shards)
+	var wg sync.WaitGroup
+	for i := range ms {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ms[i], perShard[i], shardErrs[i] = recoverShard[T](dir, man, i, segs[i], codec)
+		}(i)
+	}
+	wg.Wait()
+	if err := firstError(shardErrs); err != nil {
+		return nil, st, err
+	}
+	for _, ps := range perShard {
+		st.ReplayedBatches += ps.ReplayedBatches
+		st.ReplayedEntries += ps.ReplayedEntries
+		st.TornTails += ps.TornTails
 	}
 
 	// 3. Build the group around the restored matrices and — when anything
@@ -773,12 +693,20 @@ func RecoverGroup[T gb.Number](cfg Config) (*Group[T], RecoverStats, error) {
 	g.epoch = maxEpoch + 1
 	if st.ReplayedBatches > 0 || st.TornTails > 0 {
 		snaps := make([]string, len(g.workers))
+		snapErrs := make([]error, len(g.workers))
+		var swg sync.WaitGroup
 		for i, w := range g.workers {
-			name := snapName(i, g.epoch)
-			if err := writeSnapshot(filepath.Join(dir, name), w.m, g.codec); err != nil {
-				return nil, st, err
-			}
-			snaps[i] = name
+			swg.Add(1)
+			go func(i int, m *hier.Matrix[T]) {
+				defer swg.Done()
+				name := snapName(i, g.epoch)
+				snapErrs[i] = writeSnapshot(filepath.Join(dir, name), m, g.codec)
+				snaps[i] = name
+			}(i, w.m)
+		}
+		swg.Wait()
+		if err := firstError(snapErrs); err != nil {
+			return nil, st, err
 		}
 		if err := g.commitManifest(g.epoch, snaps); err != nil {
 			return nil, st, err
@@ -806,6 +734,44 @@ func RecoverGroup[T gb.Number](cfg Config) (*Group[T], RecoverStats, error) {
 	g.start()
 	recovered = true // the lock now belongs to the running group
 	return g, st, nil
+}
+
+// recoverShard rebuilds one shard's matrix: snapshot decode (or an empty
+// cascade), then segment replay in epoch order, tolerating a torn final
+// frame only in the newest segment. It touches only shard-local state, so
+// RecoverGroup runs one per goroutine.
+func recoverShard[T gb.Number](dir string, man *manifest, i int, shardSegs []segment, codec gb.Codec[T]) (*hier.Matrix[T], RecoverStats, error) {
+	var st RecoverStats
+	var m *hier.Matrix[T]
+	if snap := man.Snapshots[i]; snap != "" {
+		var err error
+		m, err = readSnapshot[T](filepath.Join(dir, snap), codec)
+		if err != nil {
+			return nil, st, fmt.Errorf("snapshot %s: %w", snap, err)
+		}
+		if m.NRows() != man.NRows || m.NCols() != man.NCols {
+			return nil, st, fmt.Errorf("%w: snapshot dims %dx%d != manifest %dx%d",
+				gb.ErrInvalidValue, m.NRows(), m.NCols(), man.NRows, man.NCols)
+		}
+	} else {
+		var err error
+		m, err = hier.New[T](man.NRows, man.NCols, hier.Config{Cuts: man.Cuts})
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	for si, seg := range shardSegs {
+		batches, entries, torn, err := replaySegment(seg.path, m, codec, si == len(shardSegs)-1)
+		if err != nil {
+			return nil, st, fmt.Errorf("replaying %s: %w", filepath.Base(seg.path), err)
+		}
+		st.ReplayedBatches += batches
+		st.ReplayedEntries += entries
+		if torn {
+			st.TornTails++
+		}
+	}
+	return m, st, nil
 }
 
 type segment struct {
@@ -871,7 +837,7 @@ func replaySegment[T gb.Number](path string, m *hier.Matrix[T], codec gb.Codec[T
 		if err != nil {
 			return batches, entries, false, err
 		}
-		rows, cols, vals, err := decodeBatchRecord(rec, codec.Get)
+		rows, cols, vals, err := wal.DecodeBatchRecord(rec, codec.Get)
 		if err != nil {
 			return batches, entries, false, err
 		}

@@ -29,6 +29,55 @@ import (
 // for Lookup, a scalar for counts. The package tests verify every pushdown
 // result is bit-identical to reducing the materialized flat matrix.
 
+// shardCache memoizes one shard's pushdown reductions between ingest
+// batches. It is owned by the worker goroutine (queries run there, and
+// the ingest loop clears it whenever a batch lands — see worker.loop), so
+// repeated analytics on a quiescent stream cost only the read-time merge:
+// every per-shard scalar, vector, and degree reduction is served from
+// here. Cached vectors are materialized (Wait) before they are stored and
+// treated as immutable afterwards, so handing the same *gb.Vector to
+// several concurrent merges is safe.
+type shardCache[T gb.Number] struct {
+	nvals *int
+	total *T
+	vecs  [4]*gb.Vector[T] // indexed by vectorKind
+}
+
+// hit/miss bump the worker-owned counters (exposed via CacheStats).
+func (w *worker[T]) hit()  { w.cacheHits++ }
+func (w *worker[T]) miss() { w.cacheMisses++ }
+
+// cacheVec stores a freshly computed per-shard vector, materialized so
+// later readers never mutate it.
+func (w *worker[T]) cacheVec(kind vectorKind, v *gb.Vector[T]) {
+	v.Wait()
+	w.cache.vecs[kind] = v
+}
+
+// CacheCounters aggregates the per-shard pushdown-cache counters: one hit
+// or miss is counted per shard per cached quantity a query touches.
+type CacheCounters struct {
+	Hits   int64
+	Misses int64
+}
+
+// CacheStats sums the per-shard pushdown cache counters (a barrier, like
+// every query).
+func (g *Group[T]) CacheStats() CacheCounters {
+	hits := make([]int64, len(g.workers))
+	misses := make([]int64, len(g.workers))
+	_ = g.run(func(i int, w *worker[T]) {
+		hits[i] = w.cacheHits
+		misses[i] = w.cacheMisses
+	})
+	var out CacheCounters
+	for i := range hits {
+		out.Hits += hits[i]
+		out.Misses += misses[i]
+	}
+	return out
+}
+
 // NVals returns the number of distinct stored entries in the logical
 // matrix: the per-shard counts, summed.
 func (g *Group[T]) NVals() (int, error) {
@@ -39,7 +88,17 @@ func (g *Group[T]) NVals() (int, error) {
 			errs[i] = w.err
 			return
 		}
+		if w.cache.nvals != nil {
+			w.hit()
+			ns[i] = *w.cache.nvals
+			return
+		}
+		w.miss()
 		ns[i], errs[i] = w.m.NVals()
+		if errs[i] == nil {
+			n := ns[i]
+			w.cache.nvals = &n
+		}
 	}); err != nil {
 		return 0, err
 	}
@@ -65,6 +124,12 @@ func (g *Group[T]) Total() (T, error) {
 			errs[i] = w.err
 			return
 		}
+		if w.cache.total != nil {
+			w.hit()
+			parts[i] = *w.cache.total
+			return
+		}
+		w.miss()
 		var acc T
 		for l := 0; l < w.m.NumLevels(); l++ {
 			s, err := gb.ReduceScalar(w.m.Level(l), plus)
@@ -75,6 +140,7 @@ func (g *Group[T]) Total() (T, error) {
 			acc = plus.Op(acc, s)
 		}
 		parts[i] = acc
+		w.cache.total = &acc
 	}); err != nil {
 		var zero T
 		return zero, err
@@ -217,14 +283,33 @@ func (g *Group[T]) vector(kind vectorKind) (*gb.Vector[T], error) {
 			errs[i] = w.err
 			return
 		}
+		if v := w.cache.vecs[kind]; v != nil {
+			w.hit()
+			parts[i] = v
+			return
+		}
+		w.miss()
 		parts[i], errs[i] = shardVector[T](w.m, kind, n)
+		if errs[i] == nil {
+			w.cacheVec(kind, parts[i])
+		}
 	}); err != nil {
 		return nil, err
 	}
 	if err := firstError(errs); err != nil {
 		return nil, err
 	}
-	return mergeVecs(parts, n, gb.Plus[T]().Op)
+	v, err := mergeVecs(parts, n, gb.Plus[T]().Op)
+	if err != nil {
+		return nil, err
+	}
+	if len(g.workers) == 1 {
+		// A single-shard merge returns the shard's partial itself, which
+		// may be the cached vector; hand the caller a copy so the cache
+		// entry stays immutable.
+		v = v.Dup()
+	}
+	return v, nil
 }
 
 // RowSums returns the per-row value totals (out-traffic for a traffic
@@ -293,6 +378,19 @@ func (g *Group[T]) AggregateAll() (Aggregates[T], error) {
 			errs[i] = w.err
 			return
 		}
+		c := &w.cache
+		if c.nvals != nil && c.total != nil &&
+			c.vecs[rowSums] != nil && c.vecs[colSums] != nil &&
+			c.vecs[rowDegrees] != nil && c.vecs[colDegrees] != nil {
+			w.hit()
+			parts[i] = partial{
+				nvals: *c.nvals, total: *c.total,
+				rowS: c.vecs[rowSums], colS: c.vecs[colSums],
+				rowD: c.vecs[rowDegrees], colD: c.vecs[colDegrees],
+			}
+			return
+		}
+		w.miss()
 		q, err := w.m.Query()
 		if err != nil {
 			errs[i] = err
@@ -325,6 +423,14 @@ func (g *Group[T]) AggregateAll() (Aggregates[T], error) {
 			return
 		}
 		parts[i] = p
+		// One Σ paid for all six reductions: cache them all, so the next
+		// quiescent query of ANY pushdown kind is a hit.
+		n, t := p.nvals, p.total
+		c.nvals, c.total = &n, &t
+		w.cacheVec(rowSums, p.rowS)
+		w.cacheVec(colSums, p.colS)
+		w.cacheVec(rowDegrees, p.rowD)
+		w.cacheVec(colDegrees, p.colD)
 	}); err != nil {
 		return Aggregates[T]{}, err
 	}
@@ -338,7 +444,14 @@ func (g *Group[T]) AggregateAll() (Aggregates[T], error) {
 		for i, p := range parts {
 			vs[i] = pick(p)
 		}
-		return mergeVecs(vs, n, plus.Op)
+		v, err := mergeVecs(vs, n, plus.Op)
+		if err != nil {
+			return nil, err
+		}
+		if len(g.workers) == 1 {
+			v = v.Dup() // never alias a cache entry to the caller
+		}
+		return v, nil
 	}
 	var err error
 	for _, p := range parts {

@@ -84,11 +84,17 @@ type msg[T gb.Number] struct {
 // worker is one shard: a cascade owned by a single goroutine, plus — when
 // the group is durable — the shard's write-ahead log, owned by the same
 // goroutine (barrier callbacks run on it too, so the log needs no lock).
+// The pushdown result cache (see pushdown.go) lives here for the same
+// reason: queries execute on the worker goroutine, so cache reads, fills,
+// and the ingest-side invalidation all happen on one owner, lock-free.
 type worker[T gb.Number] struct {
 	in  chan msg[T]
 	m   *hier.Matrix[T]
 	log *shardWAL[T] // nil when the group is not durable
 	err error        // first ingest error; owned by the worker goroutine
+
+	cache                  shardCache[T]
+	cacheHits, cacheMisses int64
 }
 
 func (w *worker[T]) loop(wg *sync.WaitGroup) {
@@ -113,6 +119,7 @@ func (w *worker[T]) loop(wg *sync.WaitGroup) {
 				continue
 			}
 		}
+		w.cache = shardCache[T]{} // this shard's reductions are stale now
 		w.err = w.m.Update(msg.rows, msg.cols, msg.vals)
 	}
 }
@@ -257,6 +264,9 @@ func (g *Group[T]) NCols() gb.Index { return g.ncols }
 
 // NumShards returns the shard count.
 func (g *Group[T]) NumShards() int { return len(g.workers) }
+
+// Durable reports whether the group write-ahead-logs its ingest.
+func (g *Group[T]) Durable() bool { return g.cfg.Durable.Dir != "" }
 
 // Levels returns the per-shard cascade depth.
 func (g *Group[T]) Levels() int { return g.workers[0].m.NumLevels() }

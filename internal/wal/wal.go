@@ -126,13 +126,16 @@ func NewReader(r io.Reader) *Reader {
 // crash between Append and Sync) or fails its checksum. Frames before a
 // corrupt one are unaffected; nothing at or after it should be trusted.
 func (r *Reader) Next() ([]byte, error) {
-	length, n, err := readUvarint(r.br)
+	length, n, err := ReadUvarint(r.br)
 	if err != nil {
 		if n == 0 && errors.Is(err, io.EOF) {
 			return nil, io.EOF // clean end: no bytes of a next frame exist
 		}
 		if errors.Is(err, io.EOF) {
 			return nil, fmt.Errorf("wal: torn frame length (%d bytes): %w", n, ErrCorrupt)
+		}
+		if errors.Is(err, ErrVarint) {
+			return nil, fmt.Errorf("wal: frame length: %v: %w", err, ErrCorrupt)
 		}
 		return nil, fmt.Errorf("wal: reading frame length: %w", err)
 	}
@@ -159,10 +162,19 @@ func (r *Reader) Next() ([]byte, error) {
 	return rec, nil
 }
 
-// readUvarint is binary.ReadUvarint, additionally reporting how many bytes
-// were consumed so the caller can tell a clean EOF (zero bytes) from a torn
-// varint (some bytes, then EOF).
-func readUvarint(br io.ByteReader) (uint64, int, error) {
+// ErrVarint is returned (wrapped) by ReadUvarint for an overlong or
+// overflowing length varint; each framing layer maps it to its own
+// corruption sentinel (this package to ErrCorrupt, the network protocol
+// to its malformed-frame error).
+var ErrVarint = errors.New("wal: invalid length varint")
+
+// ReadUvarint is binary.ReadUvarint, additionally reporting how many bytes
+// were consumed — so a caller can tell a clean EOF (zero bytes) from a
+// torn varint (some bytes, then EOF) — and rejecting non-canonical
+// overlong encodings with an ErrVarint-wrapped error. It is the shared
+// length-prefix reader of the WAL frame format and the network protocol's
+// frame format.
+func ReadUvarint(br io.ByteReader) (uint64, int, error) {
 	var x uint64
 	var s uint
 	for i := 0; i < binary.MaxVarintLen64; i++ {
@@ -172,14 +184,14 @@ func readUvarint(br io.ByteReader) (uint64, int, error) {
 		}
 		if b < 0x80 {
 			if i == binary.MaxVarintLen64-1 && b > 1 {
-				return x, i + 1, fmt.Errorf("wal: frame length varint overflows: %w", ErrCorrupt)
+				return x, i + 1, fmt.Errorf("%w: overflows uint64", ErrVarint)
 			}
 			return x | uint64(b)<<s, i + 1, nil
 		}
 		x |= uint64(b&0x7f) << s
 		s += 7
 	}
-	return x, binary.MaxVarintLen64, fmt.Errorf("wal: frame length varint too long: %w", ErrCorrupt)
+	return x, binary.MaxVarintLen64, fmt.Errorf("%w: longer than %d bytes", ErrVarint, binary.MaxVarintLen64)
 }
 
 // File is a Writer bound to an operating-system file, adding the fsync and

@@ -141,6 +141,11 @@ func (s *Sharded) Checkpoint() error { return s.g.Checkpoint() }
 // Dim returns the matrix dimension.
 func (s *Sharded) Dim() uint64 { return s.dim }
 
+// Durable reports whether the matrix was built with WithDurability (or
+// restored by Recover): its ingest is write-ahead-logged and Flush is a
+// group-commit point.
+func (s *Sharded) Durable() bool { return s.g.Durable() }
+
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return s.g.NumShards() }
 
