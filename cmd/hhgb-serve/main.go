@@ -1,27 +1,36 @@
 // Command hhgb-serve runs the network ingest service: one hhgb.Sharded
-// traffic matrix behind the binary wire protocol, fed by any number of
-// hhgbclient connections (cmd/trafficgen -connect is a ready-made load
-// generator).
+// traffic matrix — or, with -window, one hhgb.Windowed temporal store —
+// behind the binary wire protocol, fed by any number of hhgbclient
+// connections (cmd/trafficgen -connect is a ready-made load generator).
 //
 // Usage:
 //
 //	hhgb-serve [-addr host:port] [-scale S] [-shards N]
+//	           [-window D] [-rollups 60,60] [-retentions 5m,0] [-lateness D]
 //	           [-durable dir] [-sync-every N]
+//	           [-tls-cert file -tls-key file]
 //	           [-stats host:port] [-max-inflight N] [-max-batch N] [-queue-depth N]
 //
-// With -durable, ingest is write-ahead-logged under dir and a client
-// Flush is a group-commit point; if dir already holds a durable matrix
-// (a previous run's state — clean shutdown or crash), it is recovered
-// first, so restarting after kill -9 resumes from the durable prefix.
+// With -window, inserts must carry event timestamps (hhgbclient.AppendAt);
+// the stream partitions into windows of that duration, rolled up by the
+// -rollups factors, expired per level by -retentions, and every sealed
+// window's summary streams to subscribed clients. With -durable, ingest
+// is write-ahead-logged under dir and a client Flush is a group-commit
+// point; if dir already holds durable state (a previous run's — clean
+// shutdown or crash), it is recovered first, so restarting after kill -9
+// resumes from the durable prefix. With -tls-cert/-tls-key, every
+// connection speaks TLS.
 //
 // The process prints one "listening on ADDR" line once it accepts
 // connections (scripts parse it to learn a :0 port), serves operator
-// stats as JSON at -stats (path /stats), and shuts down gracefully on
-// SIGINT/SIGTERM: the listener stops, every connection drains and acks,
-// and the matrix closes (final checkpoint when durable).
+// stats as JSON at -stats (path /stats, schema versioned by
+// server.StatsVersion), and shuts down gracefully on SIGINT/SIGTERM: the
+// listener stops, every connection drains and acks, and the store closes
+// (final checkpoint when durable).
 package main
 
 import (
+	"crypto/tls"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,7 +40,10 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
+	"time"
 
 	"hhgb"
 	"hhgb/internal/server"
@@ -44,38 +56,71 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:4739", "listen address (use :0 for an ephemeral port)")
 		scale       = flag.Int("scale", 32, "matrix dimension is 2^scale")
 		shards      = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
+		window      = flag.Duration("window", 0, "temporal window duration (0 = flat, un-windowed server)")
+		rollups     = flag.String("rollups", "", "comma-separated roll-up factors, e.g. 60,60 (needs -window)")
+		retentions  = flag.String("retentions", "", "comma-separated per-level retentions, e.g. 5m,0 (0 = forever; needs -window)")
+		lateness    = flag.Duration("lateness", 0, "out-of-orderness budget before windows seal (needs -window)")
 		durable     = flag.String("durable", "", "durability directory (empty = in-memory only)")
 		syncEvery   = flag.Int("sync-every", 0, "group-commit interval in batches (0 = default; needs -durable)")
+		tlsCert     = flag.String("tls-cert", "", "TLS certificate file (with -tls-key; empty = plaintext)")
+		tlsKey      = flag.String("tls-key", "", "TLS private key file")
 		statsAddr   = flag.String("stats", "", "serve JSON stats on this address at /stats (empty = off)")
 		maxInflight = flag.Int64("max-inflight", 0, "aggregate in-flight entry budget (0 = default)")
 		maxBatch    = flag.Int("max-batch", 0, "per-frame entry cap (0 = default)")
 		queueDepth  = flag.Int("queue-depth", 0, "per-connection apply queue depth in frames (0 = default)")
 	)
 	flag.Parse()
-	if err := run(*addr, *scale, *shards, *durable, *syncEvery, *statsAddr, *maxInflight, *maxBatch, *queueDepth); err != nil {
+	if err := run(*addr, *scale, *shards, *window, *rollups, *retentions, *lateness,
+		*durable, *syncEvery, *tlsCert, *tlsKey, *statsAddr, *maxInflight, *maxBatch, *queueDepth); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, scale, shards int, durable string, syncEvery int, statsAddr string, maxInflight int64, maxBatch, queueDepth int) error {
-	m, err := openMatrix(scale, shards, durable, syncEvery)
-	if err != nil {
-		return err
-	}
-	srv, err := server.New(server.Config{
-		Matrix:      m,
+func run(addr string, scale, shards int, window time.Duration, rollups, retentions string, lateness time.Duration,
+	durable string, syncEvery int, tlsCert, tlsKey, statsAddr string, maxInflight int64, maxBatch, queueDepth int) error {
+	cfg := server.Config{
 		MaxBatch:    maxBatch,
 		QueueDepth:  queueDepth,
 		MaxInFlight: maxInflight,
 		Logf:        log.Printf,
-	})
+	}
+	if (tlsCert == "") != (tlsKey == "") {
+		return fmt.Errorf("-tls-cert and -tls-key go together")
+	}
+	if tlsCert != "" {
+		cert, err := tls.LoadX509KeyPair(tlsCert, tlsKey)
+		if err != nil {
+			return fmt.Errorf("loading TLS keypair: %w", err)
+		}
+		cfg.TLS = &tls.Config{Certificates: []tls.Certificate{cert}}
+	}
+	var closeStore func() error
+	if window > 0 {
+		wm, err := openWindowed(scale, shards, window, rollups, retentions, lateness, durable, syncEvery)
+		if err != nil {
+			return err
+		}
+		cfg.Windowed = wm
+		closeStore = wm.Close
+	} else {
+		if rollups != "" || retentions != "" || lateness != 0 {
+			return fmt.Errorf("-rollups/-retentions/-lateness need -window")
+		}
+		m, err := openMatrix(scale, shards, durable, syncEvery)
+		if err != nil {
+			return err
+		}
+		cfg.Matrix = m
+		closeStore = m.Close
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
-		m.Close()
+		closeStore()
 		return err
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		m.Close()
+		closeStore()
 		return err
 	}
 	fmt.Printf("listening on %s\n", ln.Addr())
@@ -86,14 +131,14 @@ func run(addr string, scale, shards int, durable string, syncEvery int, statsAdd
 		sl, err := net.Listen("tcp", statsAddr)
 		if err != nil {
 			ln.Close()
-			m.Close()
+			closeStore()
 			return err
 		}
 		fmt.Printf("stats on http://%s/stats\n", sl.Addr())
 		go http.Serve(sl, mux)
 	}
 
-	// Graceful shutdown: drain connections, then close the matrix (final
+	// Graceful shutdown: drain connections, then close the store (final
 	// checkpoint when durable).
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -104,18 +149,103 @@ func run(addr string, scale, shards int, durable string, syncEvery int, statsAdd
 	}()
 
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, server.ErrServerClosed) {
-		m.Close()
+		closeStore()
 		return err
 	}
 	srv.Close() // idempotent; covers Serve ending on a listener error
 	st := srv.Stats()
-	log.Printf("drained: %d conns served, %d batches, %d entries, %d overloads",
-		st.TotalConns, st.InsertBatches, st.InsertEntries, st.Overloads)
-	return m.Close()
+	log.Printf("drained: %d conns served, %d batches, %d entries, %d overloads, %d summaries pushed",
+		st.TotalConns, st.InsertBatches, st.InsertEntries, st.Overloads, st.WindowSummaries)
+	return closeStore()
 }
 
-// openMatrix builds the service's matrix: in-memory, freshly durable, or
-// recovered from a previous run's durable state.
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseDurations(s string) ([]time.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "0" {
+			out = append(out, 0)
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad duration %q", part)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// openWindowed builds the service's temporal store: in-memory, freshly
+// durable, or recovered from a previous run's durable root.
+func openWindowed(scale, shards int, window time.Duration, rollups, retentions string, lateness time.Duration,
+	durable string, syncEvery int) (*hhgb.Windowed, error) {
+	if syncEvery != 0 && durable == "" {
+		return nil, fmt.Errorf("-sync-every requires -durable")
+	}
+	if durable != "" {
+		if _, err := os.Stat(filepath.Join(durable, "WINDOWSTORE.json")); err == nil {
+			// Existing durable store: recover it (the manifest fixes the
+			// shape; -scale/-shards/-window/... are ignored).
+			var ropts []hhgb.Option
+			if syncEvery > 0 {
+				ropts = append(ropts, hhgb.WithSyncEvery(syncEvery))
+			}
+			wm, err := hhgb.RecoverWindowed(durable, ropts...)
+			if err != nil {
+				return nil, fmt.Errorf("recovering %s: %w", durable, err)
+			}
+			log.Printf("recovered windowed store from %s (dim %d, window %v, %d levels)",
+				durable, wm.Dim(), wm.Window(), wm.Levels())
+			return wm, nil
+		}
+	}
+	var opts []hhgb.Option
+	if shards > 0 {
+		opts = append(opts, hhgb.WithShards(shards))
+	}
+	if lateness > 0 {
+		opts = append(opts, hhgb.WithLateness(lateness))
+	}
+	if f, err := parseInts(rollups); err != nil {
+		return nil, fmt.Errorf("-rollups: %w", err)
+	} else if f != nil {
+		opts = append(opts, hhgb.WithRollUps(f...))
+	}
+	if r, err := parseDurations(retentions); err != nil {
+		return nil, fmt.Errorf("-retentions: %w", err)
+	} else if r != nil {
+		opts = append(opts, hhgb.WithRetentions(r...))
+	}
+	if durable != "" {
+		opts = append(opts, hhgb.WithDurability(durable))
+		if syncEvery > 0 {
+			opts = append(opts, hhgb.WithSyncEvery(syncEvery))
+		}
+	}
+	return hhgb.NewWindowed(uint64(1)<<uint(scale), window, opts...)
+}
+
+// openMatrix builds the service's flat matrix: in-memory, freshly
+// durable, or recovered from a previous run's durable state.
 func openMatrix(scale, shards int, durable string, syncEvery int) (*hhgb.Sharded, error) {
 	dim := uint64(1) << uint(scale)
 	var opts []hhgb.Option

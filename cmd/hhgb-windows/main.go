@@ -1,0 +1,253 @@
+// Command hhgb-windows measures the temporal window store against the
+// flat sharded path and characterizes range-query locality, emitting the
+// BENCH_window.json trajectory artifact CI uploads alongside the shard,
+// durability, and network points.
+//
+// Usage:
+//
+//	hhgb-windows [-edges N] [-scale S] [-shards N] [-batch N]
+//	             [-windows W] [-window D] [-rollup F]
+//	             [-benchtime Nx] [-out BENCH_window.json]
+//
+// Two experiment families ride in the artifact:
+//
+//   - Ingest: the same pre-generated power-law stream is pushed through a
+//     flat hhgb.Sharded matrix and through a hhgb.Windowed store whose
+//     event clock sweeps -windows windows (sealing and rolling up as it
+//     goes). The windowed point carries windowed_vs_flat in its extras —
+//     the temporal layer's ingest overhead at default settings.
+//   - Range queries: against the fully-sealed store, spans of 1, 2, 4, …
+//     windows are resolved and aggregated (TotalPackets + TopSources),
+//     timing each. The windows_touched extra shows latency tracking the
+//     cover size, not the store's total nnz: doubling the span roughly
+//     doubles the cost, while the untouched windows' contents never
+//     enter it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"hhgb"
+	"hhgb/internal/bench"
+	"hhgb/internal/powerlaw"
+)
+
+var base = time.Unix(1_700_000_000, 0)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hhgb-windows: ")
+	var (
+		edges     = flag.Int("edges", 500_000, "edges per experiment")
+		scale     = flag.Int("scale", 22, "matrix dimension is 2^scale")
+		shards    = flag.Int("shards", 0, "shard count per store (0 = GOMAXPROCS)")
+		batch     = flag.Int("batch", 4096, "entries per append batch")
+		windows   = flag.Int("windows", 16, "level-0 windows the stream spans")
+		window    = flag.Duration("window", time.Second, "window duration (event time)")
+		rollup    = flag.Int("rollup", 4, "roll-up factor (0 = no roll-ups)")
+		benchtime = flag.String("benchtime", "3x", "repetitions per point, as Nx (best of N is reported)")
+		out       = flag.String("out", "BENCH_window.json", "trajectory output file")
+	)
+	flag.Parse()
+	reps, err := parseBenchtime(*benchtime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run(*edges, *scale, *shards, *batch, *windows, *window, *rollup, reps, *out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseBenchtime accepts the go-test-style fixed-count form "Nx".
+func parseBenchtime(s string) (int, error) {
+	v, ok := strings.CutSuffix(s, "x")
+	if !ok {
+		return 0, fmt.Errorf("-benchtime %q: only the Nx form is supported", s)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("-benchtime %q: bad repetition count", s)
+	}
+	return n, nil
+}
+
+// workload pre-generates the edge stream and its event timestamps, so the
+// timed sections measure ingest, not generation. Timestamps sweep the
+// configured number of windows uniformly in edge order.
+type workload struct {
+	src, dst []uint64
+	ts       []time.Time
+}
+
+func genWorkload(edges, scale, windows int, window time.Duration) (*workload, error) {
+	g, err := powerlaw.NewRMAT(scale, 1)
+	if err != nil {
+		return nil, err
+	}
+	w := &workload{
+		src: make([]uint64, edges),
+		dst: make([]uint64, edges),
+		ts:  make([]time.Time, edges),
+	}
+	span := time.Duration(windows) * window
+	for k := 0; k < edges; k++ {
+		e := g.Edge()
+		w.src[k], w.dst[k] = e.Row, e.Col
+		w.ts[k] = base.Add(time.Duration(float64(k) / float64(edges) * float64(span)))
+	}
+	return w, nil
+}
+
+func run(edges, scale, shards, batch, windows int, window time.Duration, rollup, reps int, out string) error {
+	wl, err := genWorkload(edges, scale, windows, window)
+	if err != nil {
+		return err
+	}
+	dim := uint64(1) << uint(scale)
+	var opts []hhgb.Option
+	if shards > 0 {
+		opts = append(opts, hhgb.WithShards(shards))
+	}
+	traj := bench.NewTrajectory("window", "inserts/s")
+	traj.Meta = map[string]string{
+		"edges":   fmt.Sprint(edges),
+		"scale":   fmt.Sprint(scale),
+		"batch":   fmt.Sprint(batch),
+		"windows": fmt.Sprint(windows),
+		"window":  window.String(),
+		"rollup":  fmt.Sprint(rollup),
+		"reps":    fmt.Sprint(reps),
+	}
+
+	// Ingest: flat baseline.
+	flatRate := 0.0
+	for r := 0; r < reps; r++ {
+		m, err := hhgb.NewSharded(dim, opts...)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for k := 0; k < edges; k += batch {
+			end := min(k+batch, edges)
+			if err := m.Append(wl.src[k:end], wl.dst[k:end]); err != nil {
+				m.Close()
+				return err
+			}
+		}
+		if err := m.Flush(); err != nil {
+			m.Close()
+			return err
+		}
+		rate := float64(edges) / time.Since(start).Seconds()
+		flatRate = max(flatRate, rate)
+		m.Close()
+	}
+	traj.AddPoint("ingest/flat", 0, flatRate, map[string]float64{"edges": float64(edges)})
+	log.Printf("%-16s %12.0f inserts/s", "ingest/flat", flatRate)
+
+	// Ingest: windowed, the event clock sweeping every window (sealing
+	// and rolling up inline — the honest cost of the temporal layer).
+	wopts := append(append([]hhgb.Option(nil), opts...), hhgb.WithLateness(0))
+	if rollup > 1 {
+		wopts = append(wopts, hhgb.WithRollUps(rollup))
+	}
+	winRate := 0.0
+	for r := 0; r < reps; r++ {
+		wm, err := hhgb.NewWindowed(dim, window, wopts...)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for k := 0; k < edges; k += batch {
+			end := min(k+batch, edges)
+			// A batch shares its first edge's timestamp; the sweep is
+			// monotone, so nothing lands behind the frontier.
+			if err := wm.Append(wl.ts[k], wl.src[k:end], wl.dst[k:end]); err != nil {
+				wm.Close()
+				return err
+			}
+		}
+		if err := wm.Flush(); err != nil {
+			wm.Close()
+			return err
+		}
+		rate := float64(edges) / time.Since(start).Seconds()
+		winRate = max(winRate, rate)
+		wm.Close()
+	}
+	ratio := 0.0
+	if winRate > 0 {
+		ratio = flatRate / winRate
+	}
+	traj.AddPoint("ingest/windowed", 1, winRate, map[string]float64{
+		"edges":            float64(edges),
+		"windowed_vs_flat": ratio, // flat/windowed: 1.0 = free, 1.5 = the budget
+	})
+	log.Printf("%-16s %12.0f inserts/s (flat/windowed = %.2fx)", "ingest/windowed", winRate, ratio)
+
+	// Range queries against a fully-sealed store: latency vs windows
+	// touched. Built once; each span timed reps times, best kept.
+	wm, err := hhgb.NewWindowed(dim, window, wopts...)
+	if err != nil {
+		return err
+	}
+	defer wm.Close()
+	for k := 0; k < edges; k += batch {
+		end := min(k+batch, edges)
+		if err := wm.Append(wl.ts[k], wl.src[k:end], wl.dst[k:end]); err != nil {
+			return err
+		}
+	}
+	if err := wm.Seal(base.Add(time.Duration(windows) * window)); err != nil {
+		return err
+	}
+	totalEntries, err := func() (int, error) {
+		v, err := wm.AllTime()
+		if err != nil {
+			return 0, err
+		}
+		return v.Entries()
+	}()
+	if err != nil {
+		return err
+	}
+	for span := 1; span <= windows; span *= 2 {
+		bestUs := 0.0
+		touched := 0
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			v, err := wm.QueryRange(base, base.Add(time.Duration(span)*window))
+			if err != nil {
+				return err
+			}
+			if _, err := v.TotalPackets(); err != nil {
+				return err
+			}
+			if _, err := v.TopSources(10); err != nil {
+				return err
+			}
+			us := float64(time.Since(start).Microseconds())
+			if bestUs == 0 || us < bestUs {
+				bestUs = us
+			}
+			touched = v.Windows()
+		}
+		traj.AddPoint(fmt.Sprintf("range/span=%d", span), float64(span), bestUs, map[string]float64{
+			"windows_touched": float64(touched),
+			"store_entries":   float64(totalEntries),
+			"unit_us":         1, // this family's Value is microseconds, not inserts/s
+		})
+		log.Printf("range/span=%-4d %10.0f us (%d windows touched of %d total)", span, bestUs, touched, windows)
+	}
+
+	if err := traj.WriteFile(out); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (%d points)", out, len(traj.Points))
+	return nil
+}

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	trafficgen [-edges N] [-scale S] [-gen rmat|pareto] [-alpha F] [-seed N] [-format tsv|matrix] [-o file]
-//	trafficgen -connect host:port [-conns N] [-batch N] [-edges N] [-scale S] [-gen ...] [-seed N]
+//	trafficgen [-edges N] [-scale S] [-gen rmat|pareto] [-alpha F] [-seed N]
+//	           [-rate R] [-start T] [-format tsv|matrix] [-o file]
+//	trafficgen -connect host:port [-conns N] [-batch N] [-edges N] [-scale S] [-gen ...] [-seed N] [-rate R] [-start T]
 //
 // With -connect, the generator becomes a load driver: -conns client
 // connections stream -edges edges total (split evenly) as batched insert
@@ -13,6 +14,12 @@
 // point on a durable server — and report the aggregate insert rate.
 // Several trafficgen processes can hammer one server concurrently; each
 // should get its own -seed.
+//
+// With -rate, edges carry event timestamps advancing 1/R seconds per edge
+// from -start (unix seconds): TSV output gains a fourth ts column
+// (nanoseconds), and -connect streams timestamped inserts — required
+// against a windowed hhgb-serve, whose window duration the client learns
+// in the handshake and uses to cut frames at window boundaries.
 package main
 
 import (
@@ -43,16 +50,30 @@ func main() {
 		connect = flag.String("connect", "", "stream to a hhgb-serve address instead of writing a file")
 		conns   = flag.Int("conns", 1, "client connections (with -connect)")
 		batch   = flag.Int("batch", 4096, "entries per insert frame (with -connect)")
+		rate    = flag.Float64("rate", 0, "event-time edges per second; 0 = untimestamped edges")
+		start   = flag.Int64("start", 1_700_000_000, "event time of the first edge, unix seconds (with -rate)")
 	)
 	flag.Parse()
 	if *connect != "" {
-		if err := runConnect(*connect, *conns, *batch, *edges, *scale, *gen, *alpha, *seed); err != nil {
+		if err := runConnect(*connect, *conns, *batch, *edges, *scale, *gen, *alpha, *seed, *rate, *start); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	if err := run(*edges, *scale, *gen, *alpha, *seed, *format, *out); err != nil {
+	if err := run(*edges, *scale, *gen, *alpha, *seed, *format, *out, *rate, *start); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// stamper assigns event timestamps: edge k happens k/rate seconds after
+// the start time. A nil stamper means untimestamped generation.
+func newStamper(rate float64, startSec int64) func(k int) int64 {
+	if rate <= 0 {
+		return nil
+	}
+	startNs := startSec * int64(time.Second)
+	return func(k int) int64 {
+		return startNs + int64(float64(k)*float64(time.Second)/rate)
 	}
 }
 
@@ -79,7 +100,7 @@ func newGen(gen string, scale int, alpha float64, seed uint64) (func() powerlaw.
 
 // runConnect streams the workload into a server over conns connections
 // and reports the aggregate rate.
-func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha float64, seed uint64) error {
+func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha float64, seed uint64, rate float64, startSec int64) error {
 	if conns < 1 {
 		return fmt.Errorf("-conns %d < 1", conns)
 	}
@@ -122,21 +143,63 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 				return
 			}
 			defer c.Close()
+			stamp := newStamper(rate, startSec)
+			if (c.Window() != 0) != (stamp != nil) {
+				if stamp == nil {
+					fail(fmt.Errorf("conn %d: server is windowed; stream timestamped edges with -rate", i))
+				} else {
+					fail(fmt.Errorf("conn %d: server is not windowed; drop -rate", i))
+				}
+				return
+			}
 			src := make([]uint64, 0, batch)
 			dst := make([]uint64, 0, batch)
 			wgt := make([]uint64, 0, batch)
+			var batchTS int64 // event time of the buffered batch (timestamped mode)
+			ship := func() error {
+				if len(src) == 0 {
+					return nil
+				}
+				var err error
+				if stamp != nil {
+					err = c.AppendWeightedAt(time.Unix(0, batchTS), src, dst, wgt)
+				} else {
+					err = c.AppendWeighted(src, dst, wgt)
+				}
+				src, dst, wgt = src[:0], dst[:0], wgt[:0]
+				return err
+			}
 			for k := 0; k < mine; k++ {
 				e := next()
+				if stamp != nil {
+					// Entries sharing a batch share its event time; cut
+					// the batch whenever the stamp leaves the server
+					// window holding it, so no edge shifts windows.
+					ts := stamp(k)
+					w := int64(c.Window())
+					if len(src) > 0 && ts-ts%w != batchTS-batchTS%w {
+						if err := ship(); err != nil {
+							fail(fmt.Errorf("conn %d: %w", i, err))
+							return
+						}
+					}
+					if len(src) == 0 {
+						batchTS = ts
+					}
+				}
 				src = append(src, e.Row)
 				dst = append(dst, e.Col)
 				wgt = append(wgt, e.Val)
-				if len(src) == batch || k == mine-1 {
-					if err := c.AppendWeighted(src, dst, wgt); err != nil {
+				if len(src) == batch {
+					if err := ship(); err != nil {
 						fail(fmt.Errorf("conn %d: %w", i, err))
 						return
 					}
-					src, dst, wgt = src[:0], dst[:0], wgt[:0]
 				}
+			}
+			if err := ship(); err != nil {
+				fail(fmt.Errorf("conn %d: %w", i, err))
+				return
 			}
 			if err := c.Flush(); err != nil {
 				fail(fmt.Errorf("conn %d: flush: %w", i, err))
@@ -168,10 +231,14 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 	return nil
 }
 
-func run(edges, scale int, gen string, alpha float64, seed uint64, format, out string) error {
+func run(edges, scale int, gen string, alpha float64, seed uint64, format, out string, rate float64, startSec int64) error {
 	next, err := newGen(gen, scale, alpha, seed)
 	if err != nil {
 		return err
+	}
+	stamp := newStamper(rate, startSec)
+	if stamp != nil && format != "tsv" {
+		return fmt.Errorf("-rate timestamps are only representable in tsv output")
 	}
 
 	w := os.Stdout
@@ -189,7 +256,13 @@ func run(edges, scale int, gen string, alpha float64, seed uint64, format, out s
 		bw := bufio.NewWriterSize(w, 1<<20)
 		for k := 0; k < edges; k++ {
 			e := next()
-			if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\n", e.Row, e.Col, e.Val); err != nil {
+			var err error
+			if stamp != nil {
+				_, err = fmt.Fprintf(bw, "%d\t%d\t%d\t%d\n", e.Row, e.Col, e.Val, stamp(k))
+			} else {
+				_, err = fmt.Fprintf(bw, "%d\t%d\t%d\n", e.Row, e.Col, e.Val)
+			}
+			if err != nil {
 				return err
 			}
 		}

@@ -29,6 +29,16 @@
 //	_ = sm.Checkpoint()                        // snapshot; logs truncate
 //	sm, _ = hhgb.Recover(dir)                  // after a crash
 //
+// For continuous capture, Windowed partitions the stream into
+// fixed-duration event-time windows — each its own sharded cascade —
+// rolled up into coarser epochs, expired by retention, and queryable by
+// time range at a cost proportional to the windows touched:
+//
+//	wm, _ := hhgb.NewWindowed(dim, time.Second, hhgb.WithRollUps(60, 60))
+//	_ = wm.Append(ts, srcs, dsts)              // routed by event time
+//	v, _ := wm.QueryRange(t0, t1)              // only the windows in range
+//	sub := wm.Subscribe(0)                     // one summary per sealed window
+//
 // The full algebra (semirings, MxM, associative arrays, the benchmark
 // engines) lives in the internal packages; see README.md for the package
 // map and docs/ARCHITECTURE.md for the end-to-end ingest, query-pushdown,
@@ -37,6 +47,7 @@ package hhgb
 
 import (
 	"fmt"
+	"time"
 
 	"hhgb/internal/gb"
 	"hhgb/internal/hier"
@@ -60,6 +71,15 @@ type options struct {
 	handoff    int
 	durDir     string
 	syncEvery  int
+	rollups    []int
+	retentions []time.Duration
+	lateness   time.Duration
+}
+
+// windowedOnly reports whether any option applying only to NewWindowed
+// was set; New and NewSharded reject those.
+func (o *options) windowedOnly() bool {
+	return o.rollups != nil || o.retentions != nil || o.lateness != 0
 }
 
 // WithCuts sets explicit cascade cuts c1 … c(N-1); the matrix has
@@ -166,6 +186,61 @@ func WithSyncEvery(n int) Option {
 	}
 }
 
+// WithRollUps configures a Windowed matrix's roll-up hierarchy: level i+1
+// windows span factors[i] level-i windows (each factor >= 2), merged by
+// matrix addition as soon as their span seals. WithRollUps(60, 60) over a
+// one-second window yields the 1s → 1m → 1h cascade. It applies only to
+// NewWindowed; New and NewSharded reject it.
+func WithRollUps(factors ...int) Option {
+	return func(o *options) error {
+		if len(factors) == 0 {
+			return fmt.Errorf("%w: WithRollUps needs at least one factor", gb.ErrInvalidValue)
+		}
+		for i, f := range factors {
+			if f < 2 {
+				return fmt.Errorf("%w: roll-up factor %d at level %d (need >= 2)", gb.ErrInvalidValue, f, i)
+			}
+		}
+		o.rollups = append([]int(nil), factors...)
+		return nil
+	}
+}
+
+// WithRetentions sets a Windowed matrix's per-level retention: a sealed
+// level-i window is expired (removed, durable state deleted) once the
+// watermark passes its end by per[i]; zero (or a missing level) keeps
+// that level forever. Expired fine windows keep serving aligned
+// long-range queries through their roll-ups, so a level's retention
+// should be at least the next level's span. It applies only to
+// NewWindowed; New and NewSharded reject it.
+func WithRetentions(per ...time.Duration) Option {
+	return func(o *options) error {
+		for i, d := range per {
+			if d < 0 {
+				return fmt.Errorf("%w: negative retention %v at level %d", gb.ErrInvalidValue, d, i)
+			}
+		}
+		o.retentions = append([]time.Duration(nil), per...)
+		return nil
+	}
+}
+
+// WithLateness sets a Windowed matrix's out-of-orderness budget: a window
+// seals only once the event-time watermark passes its end by d, so
+// stragglers up to d behind the newest timestamp still land. Appends
+// behind the resulting frontier fail with ErrLate. The default is 0
+// (windows seal the moment the watermark crosses their end). It applies
+// only to NewWindowed; New and NewSharded reject it.
+func WithLateness(d time.Duration) Option {
+	return func(o *options) error {
+		if d < 0 {
+			return fmt.Errorf("%w: negative lateness %v", gb.ErrInvalidValue, d)
+		}
+		o.lateness = d
+		return nil
+	}
+}
+
 // Ranked is one entry of a top-k result.
 type Ranked struct {
 	ID    uint64 // source or destination id (e.g. an IP address index)
@@ -214,6 +289,9 @@ func New(dim uint64, opts ...Option) (*TrafficMatrix, error) {
 	}
 	if o.durDir != "" || o.syncEvery != 0 {
 		return nil, fmt.Errorf("%w: durability options apply to NewSharded, not New", gb.ErrInvalidValue)
+	}
+	if o.windowedOnly() {
+		return nil, fmt.Errorf("%w: windowing options apply to NewWindowed, not New", gb.ErrInvalidValue)
 	}
 	h, err := hier.New[uint64](gb.Index(dim), gb.Index(dim), hier.Config{Cuts: o.cuts})
 	if err != nil {

@@ -10,6 +10,14 @@
 //	top, _ := c.TopSources(10)
 //	_ = c.Close()
 //
+// Against a windowed server (Window reports its duration from the
+// handshake), appends carry event timestamps and the temporal queries
+// open up:
+//
+//	_ = c.AppendAt(pktTime, srcs, dsts)        // frames cut at window bounds
+//	sum, _ := c.RangeSummary(t0, t1)           // only the windows in range
+//	cancel, _ := c.Subscribe(0, func(ws hhgb.WindowSummary) { ... })
+//
 // # Batching and pipelining
 //
 // Append copies entries into a local buffer; every WithFlushEntries
@@ -50,6 +58,7 @@
 package hhgbclient
 
 import (
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -91,6 +100,7 @@ type options struct {
 	maxPending    int
 	dialTimeout   time.Duration
 	reconnect     bool
+	tls           *tls.Config
 }
 
 // WithFlushEntries sets the auto-batching threshold in entries: the local
@@ -149,6 +159,19 @@ func WithReconnect() Option {
 	}
 }
 
+// WithTLS dials the server over TLS with the given configuration (nil is
+// rejected — pass an explicit config, e.g. one whose RootCAs hold the
+// server's certificate). Reconnects use it too.
+func WithTLS(cfg *tls.Config) Option {
+	return func(o *options) error {
+		if cfg == nil {
+			return errors.New("hhgbclient: WithTLS needs a non-nil config")
+		}
+		o.tls = cfg
+		return nil
+	}
+}
+
 // call is one pipelined request awaiting its response.
 type call struct {
 	kind    byte
@@ -182,11 +205,17 @@ type Client struct {
 	src     []uint64
 	dst     []uint64
 	wgt     []uint64
-	err     error // sticky: first async failure
-	dead    bool  // connection-level failure (reconnect can clear)
-	closing bool  // Goodbye in flight: the server hanging up is expected
-	closed  bool
-	gen     int // bumped per (re)connect; receivers tag themselves with it
+	// bufTS is the event-time bucket of the buffered entries (windowed
+	// sessions; meaningful only when bufTimed). All buffered entries share
+	// one bucket: AppendAt ships the buffer before starting a new one.
+	bufTS    int64
+	bufTimed bool
+	subs     map[uint64]*clientSub // live subscriptions keyed by their seq
+	err      error                 // sticky: first async failure
+	dead     bool                  // connection-level failure (reconnect can clear)
+	closing  bool                  // Goodbye in flight: the server hanging up is expected
+	closed   bool
+	gen      int // bumped per (re)connect; receivers tag themselves with it
 
 	lostBatches int64
 	lostEntries int64
@@ -235,8 +264,11 @@ func (c *Client) connectLocked() error {
 		nc  net.Conn
 		err error
 	)
-	if c.opt.dialTimeout > 0 {
-		nc, err = net.DialTimeout("tcp", c.addr, c.opt.dialTimeout)
+	d := &net.Dialer{Timeout: c.opt.dialTimeout}
+	if c.opt.tls != nil {
+		nc, err = tls.DialWithDialer(d, "tcp", c.addr, c.opt.tls)
+	} else if c.opt.dialTimeout > 0 {
+		nc, err = d.Dial("tcp", c.addr)
 	} else {
 		nc, err = net.Dial("tcp", c.addr)
 	}
@@ -285,6 +317,14 @@ func (c *Client) connectLocked() error {
 	c.dead = false
 	c.err = nil
 	c.gen++
+	// Subscriptions are per-session server state: a fresh session has
+	// none, so any survivors of the old one end here (their callbacks
+	// stop; re-Subscribe on the new session to resume).
+	for seq, sub := range c.subs {
+		delete(c.subs, seq)
+		sub.close()
+	}
+	c.subs = make(map[uint64]*clientSub)
 	go c.receive(r, nc, c.gen)
 	return nil
 }
@@ -321,6 +361,34 @@ func (c *Client) receive(r *proto.Reader, nc net.Conn, gen int) {
 // dispatch routes one response frame; it reports true when the session is
 // gone (connection-level error).
 func (c *Client) dispatch(gen int, f proto.Frame) (fatal bool) {
+	if f.Kind == proto.KindWindowSummary {
+		// Unsolicited push, not a response: route to the subscription the
+		// frame is tagged with. Frames for a cancelled subscription are
+		// discarded — the server pushes until the connection closes.
+		ws, err := proto.ParseWindowSummary(f.Body)
+		if err != nil {
+			c.sessionFailed(gen, fmt.Errorf("%w: %v", ErrDisconnected, err))
+			return true
+		}
+		c.mu.Lock()
+		var sub *clientSub
+		if gen == c.gen {
+			sub = c.subs[ws.Sub]
+		}
+		c.mu.Unlock()
+		if sub != nil {
+			sub.push(hhgb.WindowSummary{
+				Level:        int(ws.Level),
+				Start:        time.Unix(0, int64(ws.Start)),
+				End:          time.Unix(0, int64(ws.End)),
+				Entries:      int(ws.Entries),
+				Sources:      int(ws.Sources),
+				Destinations: int(ws.Destinations),
+				Packets:      ws.Packets,
+			})
+		}
+		return false
+	}
 	var seq uint64
 	var resp response
 	switch f.Kind {
@@ -393,7 +461,7 @@ func (c *Client) dispatch(gen int, f proto.Frame) (fatal bool) {
 		return true
 	}
 	delete(c.pending, seq)
-	if call.kind == proto.KindInsert {
+	if call.kind == proto.KindInsert || call.kind == proto.KindInsertAt {
 		c.unacked--
 		if resp.err != nil {
 			// The server dropped this batch (overload, validation): its
@@ -432,7 +500,7 @@ func (c *Client) failLocked(err error) {
 	}
 	for seq, call := range c.pending {
 		delete(c.pending, seq)
-		if call.kind == proto.KindInsert {
+		if call.kind == proto.KindInsert || call.kind == proto.KindInsertAt {
 			c.lostBatches++
 			c.lostEntries += int64(call.entries)
 			c.unackedLoss = true
@@ -440,6 +508,10 @@ func (c *Client) failLocked(err error) {
 		} else {
 			call.done <- response{err: err}
 		}
+	}
+	for seq, sub := range c.subs {
+		delete(c.subs, seq)
+		sub.close()
 	}
 	if c.nc != nil {
 		c.nc.Close()
@@ -499,6 +571,11 @@ func (c *Client) Shards() int { return int(c.welcome.Shards) }
 // crash.
 func (c *Client) Durable() bool { return c.welcome.Durable }
 
+// Window returns the server's level-0 window duration (from the
+// handshake); 0 means the server is flat. On a windowed server use
+// AppendAt/AppendWeightedAt — plain Append is refused on both ends.
+func (c *Client) Window() time.Duration { return time.Duration(c.welcome.Window) }
+
 // Reconnect explicitly restarts a failed session — a dead connection, or
 // a live one poisoned by a sticky batch error — even when batches were
 // lost (WithReconnect only auto-reconnects loss-free sessions): calling
@@ -539,9 +616,11 @@ func (c *Client) Err() error {
 // Append buffers a batch of (src, dst) observations with weight 1 each,
 // shipping full frames as the buffer crosses the flush threshold. It
 // blocks only when the pipelining window is full (the server is behind).
-// The slices are copied before the call returns.
+// The slices are copied before the call returns. On a windowed server it
+// fails — use AppendAt, which carries the event timestamp the server
+// routes by.
 func (c *Client) Append(src, dst []uint64) error {
-	return c.append(src, dst, nil)
+	return c.append(src, dst, nil, 0, false)
 }
 
 // AppendWeighted buffers a batch of weighted observations; see Append.
@@ -549,10 +628,29 @@ func (c *Client) AppendWeighted(src, dst, weight []uint64) error {
 	if len(weight) != len(src) {
 		return fmt.Errorf("hhgbclient: src/weight lengths %d/%d differ", len(src), len(weight))
 	}
-	return c.append(src, dst, weight)
+	return c.append(src, dst, weight, 0, false)
 }
 
-func (c *Client) append(src, dst, weight []uint64) error {
+// AppendAt buffers a batch of (src, dst) observations with weight 1 each,
+// all stamped with the event time ts, for a windowed server. Entries
+// whose timestamps share a server window accumulate into one frame; a
+// timestamp crossing a window boundary ships the buffer first, so every
+// frame lands in exactly one window. Appends behind the server's seal
+// frontier surface ErrRejected (sticky, like any dropped batch).
+func (c *Client) AppendAt(ts time.Time, src, dst []uint64) error {
+	return c.append(src, dst, nil, ts.UnixNano(), true)
+}
+
+// AppendWeightedAt buffers a batch of weighted observations at event time
+// ts; see AppendAt.
+func (c *Client) AppendWeightedAt(ts time.Time, src, dst, weight []uint64) error {
+	if len(weight) != len(src) {
+		return fmt.Errorf("hhgbclient: src/weight lengths %d/%d differ", len(src), len(weight))
+	}
+	return c.append(src, dst, weight, ts.UnixNano(), true)
+}
+
+func (c *Client) append(src, dst, weight []uint64, ts int64, timed bool) error {
 	if len(src) != len(dst) {
 		return fmt.Errorf("hhgbclient: src/dst lengths %d/%d differ", len(src), len(dst))
 	}
@@ -560,6 +658,29 @@ func (c *Client) append(src, dst, weight []uint64) error {
 	defer c.mu.Unlock()
 	if err := c.readyLocked(); err != nil {
 		return err
+	}
+	if timed != (c.welcome.Window != 0) {
+		if timed {
+			return fmt.Errorf("hhgbclient: server is not windowed; use Append")
+		}
+		return fmt.Errorf("hhgbclient: server is windowed; use AppendAt")
+	}
+	if timed {
+		if ts < 0 {
+			return fmt.Errorf("hhgbclient: negative timestamp %d", ts)
+		}
+		bucket := ts - ts%int64(c.welcome.Window)
+		if len(c.src) > 0 && bucket != c.bufTS {
+			// The batch starts a new window: everything buffered belongs
+			// to the previous one and must ride its own frame.
+			for len(c.src) > 0 {
+				if err := c.shipBufferLocked(); err != nil {
+					return err
+				}
+			}
+		}
+		c.bufTS = bucket
+		c.bufTimed = true
 	}
 	c.src = append(c.src, src...)
 	c.dst = append(c.dst, dst...)
@@ -609,15 +730,23 @@ func (c *Client) shipBufferLocked() error {
 	}
 	c.seq++
 	seq := c.seq
-	body, err := proto.AppendInsert(nil, seq, c.src[:n], c.dst[:n], c.wgt[:n])
+	kind := proto.KindInsert
+	var body []byte
+	var err error
+	if c.bufTimed {
+		kind = proto.KindInsertAt
+		body, err = proto.AppendInsertAt(nil, seq, uint64(c.bufTS), c.src[:n], c.dst[:n], c.wgt[:n])
+	} else {
+		body, err = proto.AppendInsert(nil, seq, c.src[:n], c.dst[:n], c.wgt[:n])
+	}
 	if err != nil {
 		return err
 	}
-	if err := c.w.WriteFrame(proto.KindInsert, body); err != nil {
+	if err := c.w.WriteFrame(kind, body); err != nil {
 		c.failLocked(fmt.Errorf("%w: %v", ErrDisconnected, err))
 		return c.err
 	}
-	c.pending[seq] = &call{kind: proto.KindInsert, entries: n}
+	c.pending[seq] = &call{kind: kind, entries: n}
 	c.unacked++
 	c.src = c.src[:copy(c.src, c.src[n:])]
 	c.dst = c.dst[:copy(c.dst, c.dst[n:])]
@@ -727,7 +856,8 @@ func (c *Client) TopDestinations(k int) ([]hhgb.Ranked, error) {
 	return resp.top, nil
 }
 
-// Summary returns the server matrix's aggregate statistics.
+// Summary returns the server matrix's aggregate statistics (on a windowed
+// server: over everything retained).
 func (c *Client) Summary() (hhgb.Summary, error) {
 	resp, err := c.roundTrip(proto.KindSummary, func(seq uint64) []byte {
 		return proto.AppendSeq(nil, seq)
@@ -736,6 +866,190 @@ func (c *Client) Summary() (hhgb.Summary, error) {
 		return hhgb.Summary{}, err
 	}
 	return resp.summary, nil
+}
+
+// tsRange validates and converts a client-side event-time range. UnixNano
+// overflow (times outside 1678–2262) wraps negative, so the sign and
+// order checks also reject out-of-range inputs.
+func tsRange(t0, t1 time.Time) (uint64, uint64, error) {
+	a, b := t0.UnixNano(), t1.UnixNano()
+	if a < 0 || b <= a {
+		return 0, 0, fmt.Errorf("hhgbclient: bad event-time range [%v, %v)", t0, t1)
+	}
+	return uint64(a), uint64(b), nil
+}
+
+// RangeSummary returns the aggregate statistics of the traffic in
+// [t0, t1) on a windowed server: only the windows covering the range are
+// touched.
+func (c *Client) RangeSummary(t0, t1 time.Time) (hhgb.Summary, error) {
+	a, b, err := tsRange(t0, t1)
+	if err != nil {
+		return hhgb.Summary{}, err
+	}
+	resp, err := c.roundTrip(proto.KindRangeSummary, func(seq uint64) []byte {
+		return proto.AppendRangeSummary(nil, seq, a, b)
+	})
+	if err != nil {
+		return hhgb.Summary{}, err
+	}
+	return resp.summary, nil
+}
+
+// RangeTopSources returns the k sources with the most traffic in [t0, t1).
+func (c *Client) RangeTopSources(k int, t0, t1 time.Time) ([]hhgb.Ranked, error) {
+	return c.rangeTopK(proto.AxisSources, k, t0, t1)
+}
+
+// RangeTopDestinations returns the k destinations with the most traffic
+// in [t0, t1).
+func (c *Client) RangeTopDestinations(k int, t0, t1 time.Time) ([]hhgb.Ranked, error) {
+	return c.rangeTopK(proto.AxisDestinations, k, t0, t1)
+}
+
+func (c *Client) rangeTopK(axis byte, k int, t0, t1 time.Time) ([]hhgb.Ranked, error) {
+	a, b, err := tsRange(t0, t1)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(proto.KindRangeTopK, func(seq uint64) []byte {
+		return proto.AppendRangeTopK(nil, seq, axis, uint64(k), a, b)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.top, nil
+}
+
+// RangeLookup returns the accumulated weight for one (src, dst) pair over
+// [t0, t1).
+func (c *Client) RangeLookup(src, dst uint64, t0, t1 time.Time) (uint64, bool, error) {
+	a, b, err := tsRange(t0, t1)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := c.roundTrip(proto.KindRangeLookup, func(seq uint64) []byte {
+		return proto.AppendRangeLookup(nil, seq, src, dst, a, b)
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.value, resp.found, nil
+}
+
+// SubscribeAllLevels selects every hierarchy level in Subscribe.
+const SubscribeAllLevels = -1
+
+// clientSub delivers one subscription's summaries to its callback from a
+// dedicated goroutine, preserving seal order without ever blocking the
+// receive loop.
+type clientSub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []hhgb.WindowSummary
+	closed bool
+}
+
+func newClientSub(fn func(hhgb.WindowSummary)) *clientSub {
+	s := &clientSub{}
+	s.cond = sync.NewCond(&s.mu)
+	go func() {
+		for {
+			s.mu.Lock()
+			for len(s.queue) == 0 && !s.closed {
+				s.cond.Wait()
+			}
+			if len(s.queue) == 0 {
+				s.mu.Unlock()
+				return
+			}
+			ws := s.queue[0]
+			s.queue = s.queue[1:]
+			s.mu.Unlock()
+			fn(ws)
+		}
+	}()
+	return s
+}
+
+func (s *clientSub) push(ws hhgb.WindowSummary) {
+	s.mu.Lock()
+	if !s.closed {
+		s.queue = append(s.queue, ws)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+func (s *clientSub) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Subscribe asks a windowed server to push a summary for every window it
+// seals at the given level (SubscribeAllLevels = every level). fn runs on
+// a dedicated goroutine, one call per sealed window, in seal order; it
+// must not call back into the client's Close. The returned cancel stops
+// the callbacks (after any already-queued summaries drain; the server
+// keeps pushing until the connection closes — frames for a cancelled
+// subscription are discarded). Subscriptions do not survive reconnects:
+// a new session starts with none, so re-Subscribe after Reconnect.
+func (c *Client) Subscribe(level int, fn func(hhgb.WindowSummary)) (cancel func(), err error) {
+	if fn == nil {
+		return nil, fmt.Errorf("hhgbclient: Subscribe needs a callback")
+	}
+	if level < SubscribeAllLevels || level >= int(proto.SubscribeAllLevels) {
+		return nil, fmt.Errorf("hhgbclient: bad subscription level %d", level)
+	}
+	lv := proto.SubscribeAllLevels
+	if level >= 0 {
+		lv = byte(level)
+	}
+	c.mu.Lock()
+	if err := c.readyLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.welcome.Window == 0 {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("hhgbclient: server is not windowed")
+	}
+	// Register the handler BEFORE the frame ships: the server's first
+	// summary may arrive right behind the ack, and the receive loop must
+	// already know where to route it.
+	c.seq++
+	seq := c.seq
+	sub := newClientSub(fn)
+	c.subs[seq] = sub
+	call := &call{kind: proto.KindSubscribe, done: make(chan response, 1)}
+	if err := c.w.WriteFrame(proto.KindSubscribe, proto.AppendSubscribe(nil, seq, lv)); err != nil {
+		c.failLocked(fmt.Errorf("%w: %v", ErrDisconnected, err))
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[seq] = call
+	if err := c.flushWireLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Unlock()
+	resp := <-call.done
+	if resp.err != nil {
+		c.mu.Lock()
+		delete(c.subs, seq)
+		c.mu.Unlock()
+		sub.close()
+		return nil, resp.err
+	}
+	return func() {
+		c.mu.Lock()
+		delete(c.subs, seq)
+		c.mu.Unlock()
+		sub.close()
+	}, nil
 }
 
 // Close ships the local buffer, exchanges Goodbye (so the server drains
@@ -771,6 +1085,10 @@ func (c *Client) Close() error {
 		c.nc.Close()
 	}
 	c.dead = true
+	for seq, sub := range c.subs {
+		delete(c.subs, seq)
+		sub.close()
+	}
 	c.cond.Broadcast()
 	err := c.err
 	c.mu.Unlock()

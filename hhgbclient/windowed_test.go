@@ -1,0 +1,280 @@
+package hhgbclient_test
+
+import (
+	"bufio"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"math/big"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hhgb"
+	"hhgb/hhgbclient"
+)
+
+var winBase = time.Unix(1_700_000_000, 0)
+
+// spawnServe starts a real hhgb-serve process with the given extra flags
+// and returns its dial address. The process is killed at cleanup.
+func spawnServe(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			go func() { // keep draining so the child never blocks on stdout
+				for sc.Scan() {
+				}
+			}()
+			return a
+		}
+	}
+	t.Fatalf("server never reported its address (scan err %v)", sc.Err())
+	return ""
+}
+
+// TestWindowedSubscribeE2E is the acceptance-criterion test: against a
+// real hhgb-serve -window process fed by concurrent multi-connection
+// ingest, a subscribing client receives exactly one summary per sealed
+// window, in seal order, with the per-window aggregates intact.
+func TestWindowedSubscribeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e test in -short mode")
+	}
+	bin := buildServe(t)
+	// Lateness covers producer skew, so racing connections never trip
+	// the seal frontier mid-stream; the sentinel appends at the end push
+	// the watermark far enough to seal every data window deterministically.
+	addr := spawnServe(t, bin, "-scale", "20", "-shards", "2", "-window", "1s", "-lateness", "30s")
+
+	const (
+		producers = 3
+		nWindows  = 10
+	)
+	// Subscribe before any ingest, so no seal can be missed.
+	subC, err := hhgbclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subC.Close()
+	if subC.Window() != time.Second {
+		t.Fatalf("handshake window = %v, want 1s", subC.Window())
+	}
+	var (
+		sumMu sync.Mutex
+		sums  []hhgb.WindowSummary
+	)
+	cancel, err := subC.Subscribe(0, func(ws hhgb.WindowSummary) {
+		sumMu.Lock()
+		sums = append(sums, ws)
+		sumMu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	// A plain Append is refused client-side on a windowed session.
+	if err := subC.Append([]uint64{1}, []uint64{2}); err == nil {
+		t.Fatal("plain Append accepted on a windowed session")
+	}
+
+	// Producer p writes one weight-(p+1) observation of (100+p, w) into
+	// every window w, concurrently.
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			c, err := hhgbclient.Dial(addr, hhgbclient.WithFlushEntries(4))
+			if err != nil {
+				t.Errorf("producer %d: %v", p, err)
+				return
+			}
+			defer c.Close()
+			for w := 0; w < nWindows; w++ {
+				ts := winBase.Add(time.Duration(w)*time.Second + time.Duration(p+1)*time.Millisecond)
+				if err := c.AppendWeightedAt(ts, []uint64{uint64(100 + p)}, []uint64{uint64(w)}, []uint64{uint64(p + 1)}); err != nil {
+					t.Errorf("producer %d window %d: %v", p, w, err)
+					return
+				}
+			}
+			if err := c.Flush(); err != nil {
+				t.Errorf("producer %d flush: %v", p, err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	// With every producer drained, one sentinel pushes the watermark past
+	// every data window's end + lateness, sealing all ten; its own window
+	// stays active. Sent only now — mid-stream it would race slower
+	// producers behind the advancing frontier.
+	if err := subC.AppendAt(winBase.Add(45*time.Second), []uint64{999}, []uint64{999}); err != nil {
+		t.Fatal(err)
+	}
+	if err := subC.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The summaries drain asynchronously; wait for all ten.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sumMu.Lock()
+		n := len(sums)
+		sumMu.Unlock()
+		if n >= nWindows {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d summaries before timeout, want %d", n, nWindows)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sumMu.Lock()
+	got := append([]hhgb.WindowSummary(nil), sums...)
+	sumMu.Unlock()
+	if len(got) != nWindows {
+		t.Fatalf("received %d summaries, want exactly %d", len(got), nWindows)
+	}
+	for w, ws := range got {
+		if want := winBase.Add(time.Duration(w) * time.Second); !ws.Start.Equal(want) {
+			t.Fatalf("summary %d out of order: start %v, want %v", w, ws.Start, want)
+		}
+		if ws.Level != 0 || ws.Entries != producers || ws.Sources != producers || ws.Destinations != 1 {
+			t.Fatalf("summary %d shape: %+v", w, ws)
+		}
+		if ws.Packets != 1+2+3 {
+			t.Fatalf("summary %d packets = %d, want 6", w, ws.Packets)
+		}
+	}
+
+	// Range queries through the client: windows 2..5 hold 4 windows x 6
+	// packets.
+	sum, err := subC.RangeSummary(winBase.Add(2*time.Second), winBase.Add(6*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalPackets != 24 || sum.Entries != 3*4 {
+		t.Fatalf("range summary = %+v", sum)
+	}
+	top, err := subC.RangeTopSources(1, winBase.Add(2*time.Second), winBase.Add(6*time.Second))
+	if err != nil || len(top) != 1 || top[0].ID != 102 || top[0].Value != 3*4 {
+		t.Fatalf("range top sources = %v (%v)", top, err)
+	}
+	v, found, err := subC.RangeLookup(101, 3, winBase.Add(3*time.Second), winBase.Add(4*time.Second))
+	if err != nil || !found || v != 2 {
+		t.Fatalf("range lookup = %d/%v/%v, want 2", v, found, err)
+	}
+	// Cancelling stops the callbacks; later seals push no more summaries
+	// into the collected slice.
+	cancel()
+}
+
+// writeSelfSigned mints a loopback certificate and writes PEM cert/key
+// files, returning their paths and a pool trusting the cert.
+func writeSelfSigned(t *testing.T) (certFile, keyFile string, pool *x509.CertPool) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "hhgb-e2e"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IPAddresses:           []net.IP{net.ParseIP("127.0.0.1")},
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	certFile = filepath.Join(dir, "cert.pem")
+	keyFile = filepath.Join(dir, "key.pem")
+	if err := os.WriteFile(certFile, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyFile, pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool = x509.NewCertPool()
+	pool.AddCert(leaf)
+	return certFile, keyFile, pool
+}
+
+// TestTLSEndToEnd is the TLS satellite's e2e: a real hhgb-serve with
+// -tls-cert/-tls-key, a client dialing with WithTLS and a verified chain,
+// the full ingest + query round trip over the encrypted transport — and a
+// client without TLS failing to handshake.
+func TestTLSEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e test in -short mode")
+	}
+	bin := buildServe(t)
+	certFile, keyFile, pool := writeSelfSigned(t)
+	addr := spawnServe(t, bin, "-scale", "20", "-shards", "2", "-tls-cert", certFile, "-tls-key", keyFile)
+
+	c, err := hhgbclient.Dial(addr, hhgbclient.WithTLS(&tls.Config{RootCAs: pool, ServerName: "127.0.0.1"}))
+	if err != nil {
+		t.Fatalf("TLS dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.AppendWeighted([]uint64{5}, []uint64{6}, []uint64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, err := c.Lookup(5, 6); err != nil || !found || v != 7 {
+		t.Fatalf("Lookup over TLS = %d/%v/%v, want 7", v, found, err)
+	}
+	sum, err := c.Summary()
+	if err != nil || sum.TotalPackets != 7 {
+		t.Fatalf("Summary over TLS = %+v (%v)", sum, err)
+	}
+
+	// A plaintext client cannot handshake against the TLS listener.
+	if pc, err := hhgbclient.Dial(addr, hhgbclient.WithDialTimeout(2*time.Second)); err == nil {
+		pc.Close()
+		t.Fatal("plaintext dial succeeded against a TLS server")
+	}
+}

@@ -67,11 +67,14 @@ func FuzzParseInsert(f *testing.F) {
 // FuzzParseBodies drives every remaining parser over the same corpus; all
 // must be total (error, never panic).
 func FuzzParseBodies(f *testing.F) {
-	f.Add(AppendWelcome(nil, Welcome{Version: 1, Dim: 1 << 32, Shards: 4, Durable: true}))
+	f.Add(AppendWelcome(nil, Welcome{Version: 1, Dim: 1 << 32, Shards: 4, Durable: true, Window: 1e9}))
 	f.Add(AppendTopKResp(nil, 5, []Ranked{{1, 2}, {3, 4}}))
 	f.Add(AppendSummaryResp(nil, 6, Summary{Entries: 10}))
 	f.Add(AppendError(nil, 7, ErrCodeOverload, "overloaded"))
 	f.Add(AppendHello(nil))
+	f.Add(AppendRangeTopK(nil, 8, AxisSources, 10, 1e9, 2e9))
+	f.Add(AppendSubscribe(nil, 9, SubscribeAllLevels))
+	f.Add(AppendWindowSummary(nil, WindowSummary{Sub: 9, Start: 1e9, End: 2e9, Entries: 5, Packets: 50}))
 	f.Fuzz(func(t *testing.T, body []byte) {
 		_, _ = ParseHello(body)
 		_, _ = ParseWelcome(body)
@@ -84,5 +87,30 @@ func FuzzParseBodies(f *testing.F) {
 		}
 		_, _, _ = ParseSummaryResp(body)
 		_, _, _, _ = ParseError(body)
+		_, _, _, _, _, _ = ParseRangeLookup(body)
+		_, _, _, _, _, _ = ParseRangeTopK(body)
+		_, _, _, _ = ParseRangeSummary(body)
+		_, _, _ = ParseSubscribe(body)
+		_, _ = ParseWindowSummary(body)
+	})
+}
+
+// FuzzParseInsertAt covers the timestamped insert parser — like
+// FuzzParseInsert, the body carrying attacker-sized batches.
+func FuzzParseInsertAt(f *testing.F) {
+	good, _ := AppendInsertAt(nil, 9, 1e9, []uint64{1, 1 << 60}, []uint64{2, 3}, []uint64{1, 1})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		_, _, rows, cols, vals, err := ParseInsertAt(body)
+		if err != nil {
+			return
+		}
+		if len(rows) != len(cols) || len(rows) != len(vals) {
+			t.Fatalf("uneven batch: %d/%d/%d", len(rows), len(cols), len(vals))
+		}
+		if len(rows) > MaxBatch {
+			t.Fatalf("batch %d exceeds MaxBatch", len(rows))
+		}
 	})
 }

@@ -22,24 +22,34 @@
 // client-assigned sequence number (starting at 1; 0 is reserved for
 // connection-level errors), and the server responds per request:
 //
-//	Insert     → Ack          batch accepted into the ingest pipeline
-//	Flush      → Ack          all prior accepted batches applied (+fsynced)
-//	Checkpoint → Ack          ditto, plus snapshot compaction
-//	Lookup     → LookupResp
-//	TopK       → TopKResp
-//	Summary    → SummaryResp
-//	Goodbye    → Ack          server drained this connection's buffers
-//	(any)      → Error        per-request failure (seq echoes the request)
+//	Insert      → Ack          batch accepted into the ingest pipeline
+//	InsertAt    → Ack          ditto, timestamped (windowed servers)
+//	Flush       → Ack          all prior accepted batches applied (+fsynced)
+//	Checkpoint  → Ack          ditto, plus snapshot compaction
+//	Lookup      → LookupResp
+//	TopK        → TopKResp
+//	Summary     → SummaryResp
+//	RangeLookup → LookupResp   over an event-time range (windowed servers)
+//	RangeTopK   → TopKResp     over an event-time range
+//	RangeSummary→ SummaryResp  over an event-time range
+//	Subscribe   → Ack, then a stream of WindowSummary frames
+//	Goodbye     → Ack          server drained this connection's buffers
+//	(any)       → Error        per-request failure (seq echoes the request)
 //
-// Insert bodies reuse the WAL batch record codec (wal.AppendBatchRecord):
-// uvarint count, then rows, cols, values, all uvarints — the same bytes a
-// durable shard worker frames into its log.
+// Insert and InsertAt bodies reuse the WAL batch record codec
+// (wal.AppendBatchRecord): uvarint count, then rows, cols, values, all
+// uvarints — the same bytes a durable shard worker frames into its log.
+// InsertAt prefixes the batch with an event timestamp (unix nanoseconds);
+// all of a frame's entries share it, so a windowed server routes the
+// whole frame into one window.
 //
-// Responses to a connection's requests arrive in request order, with one
-// exception: an overloaded server rejects an Insert from its reader loop
+// Responses to a connection's requests arrive in request order, with two
+// exceptions: an overloaded server rejects an Insert from its reader loop
 // (Error code ErrCodeOverload) while earlier requests may still be queued,
-// so that Error can overtake their responses. Clients must match responses
-// to requests by seq, not by arrival order.
+// so that Error can overtake their responses; and WindowSummary frames —
+// pushed by the server whenever a window seals, after the Subscribe ack —
+// interleave arbitrarily with responses, tagged with the Subscribe's seq.
+// Clients must match responses to requests by seq, not by arrival order.
 package proto
 
 import (
@@ -57,7 +67,9 @@ const Magic uint32 = 0x48474231
 
 // Version is the protocol version this package speaks. A server refuses a
 // Hello with a different version (ErrCodeVersion) rather than guessing.
-const Version = 1
+// Version 2 added the temporal frames (InsertAt, Range*, Subscribe,
+// WindowSummary) and the Welcome window-duration field.
+const Version = 2
 
 // MaxFrame caps a frame's length prefix (kind + body). Larger prefixes are
 // malformed: the reader errors instead of allocating.
@@ -76,21 +88,27 @@ var ErrMalformed = errors.New("proto: malformed frame")
 // Frame kinds. Client-to-server kinds have the high bit clear,
 // server-to-client kinds have it set.
 const (
-	KindHello      byte = 0x01
-	KindInsert     byte = 0x02
-	KindFlush      byte = 0x03
-	KindCheckpoint byte = 0x04
-	KindLookup     byte = 0x05
-	KindTopK       byte = 0x06
-	KindSummary    byte = 0x07
-	KindGoodbye    byte = 0x08
+	KindHello        byte = 0x01
+	KindInsert       byte = 0x02
+	KindFlush        byte = 0x03
+	KindCheckpoint   byte = 0x04
+	KindLookup       byte = 0x05
+	KindTopK         byte = 0x06
+	KindSummary      byte = 0x07
+	KindGoodbye      byte = 0x08
+	KindInsertAt     byte = 0x09
+	KindRangeLookup  byte = 0x0a
+	KindRangeTopK    byte = 0x0b
+	KindRangeSummary byte = 0x0c
+	KindSubscribe    byte = 0x0d
 
-	KindWelcome     byte = 0x81
-	KindAck         byte = 0x82
-	KindLookupResp  byte = 0x83
-	KindTopKResp    byte = 0x84
-	KindSummaryResp byte = 0x85
-	KindError       byte = 0x86
+	KindWelcome       byte = 0x81
+	KindAck           byte = 0x82
+	KindLookupResp    byte = 0x83
+	KindTopKResp      byte = 0x84
+	KindSummaryResp   byte = 0x85
+	KindError         byte = 0x86
+	KindWindowSummary byte = 0x87
 )
 
 // Error codes carried by Error frames.
@@ -286,6 +304,12 @@ type Welcome struct {
 	Dim     uint64 // matrix dimension
 	Shards  uint64 // server-side shard count (informational)
 	Durable bool   // inserts are write-ahead-logged; Flush acks durability
+	// Window is the server's level-0 window duration in nanoseconds; 0
+	// means the server is flat (not windowed). A windowed server accepts
+	// InsertAt/Range*/Subscribe and refuses plain Insert; a flat server
+	// the reverse. Clients also use it to cut timestamped batches at
+	// window boundaries.
+	Window uint64
 }
 
 // AppendWelcome builds a Welcome body.
@@ -297,7 +321,8 @@ func AppendWelcome(buf []byte, w Welcome) []byte {
 	if w.Durable {
 		flags = 1
 	}
-	return append(buf, flags)
+	buf = append(buf, flags)
+	return binary.AppendUvarint(buf, w.Window)
 }
 
 // ParseWelcome decodes a Welcome body.
@@ -322,6 +347,9 @@ func ParseWelcome(body []byte) (Welcome, error) {
 		return w, fmt.Errorf("%w: unknown welcome flags %#x", ErrMalformed, flags)
 	}
 	w.Durable = flags == 1
+	if w.Window, err = r.uvarint(); err != nil {
+		return w, err
+	}
 	return w, r.done()
 }
 
@@ -356,6 +384,170 @@ func ParseInsert(body []byte) (seq uint64, rows, cols, vals []uint64, err error)
 		return 0, nil, nil, nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 	return seq, rows, cols, vals, nil
+}
+
+// AppendInsertAt builds an InsertAt body: seq, event timestamp (unix
+// nanoseconds; every entry in the frame shares it, so the server routes
+// the whole batch into one window), then the batch in the WAL record
+// codec. Batches beyond MaxBatch are refused (split them upstream).
+func AppendInsertAt(buf []byte, seq uint64, ts uint64, rows, cols, vals []uint64) ([]byte, error) {
+	if len(rows) > MaxBatch {
+		return nil, fmt.Errorf("%w: batch of %d entries exceeds %d", ErrMalformed, len(rows), MaxBatch)
+	}
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, ts)
+	return wal.AppendBatchRecord(buf, rows, cols, vals, func(v uint64) uint64 { return v }), nil
+}
+
+// ParseInsertAt decodes an InsertAt body.
+func ParseInsertAt(body []byte) (seq, ts uint64, rows, cols, vals []uint64, err error) {
+	r := bodyReader{b: body}
+	if seq, err = r.uvarint(); err != nil {
+		return 0, 0, nil, nil, nil, err
+	}
+	if ts, err = r.uvarint(); err != nil {
+		return 0, 0, nil, nil, nil, err
+	}
+	n, k := binary.Uvarint(body[r.off:])
+	if k <= 0 {
+		return 0, 0, nil, nil, nil, fmt.Errorf("%w: truncated batch count", ErrMalformed)
+	}
+	if n > MaxBatch {
+		return 0, 0, nil, nil, nil, fmt.Errorf("%w: batch of %d entries exceeds %d", ErrMalformed, n, MaxBatch)
+	}
+	rows, cols, vals, err = wal.DecodeBatchRecord(body[r.off:], func(v uint64) uint64 { return v })
+	if err != nil {
+		return 0, 0, nil, nil, nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return seq, ts, rows, cols, vals, nil
+}
+
+// AppendRangeLookup builds a RangeLookup body: a Lookup restricted to the
+// event-time range [t0, t1) (unix nanoseconds). Answered by LookupResp.
+func AppendRangeLookup(buf []byte, seq, src, dst, t0, t1 uint64) []byte {
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, src)
+	buf = binary.AppendUvarint(buf, dst)
+	buf = binary.AppendUvarint(buf, t0)
+	return binary.AppendUvarint(buf, t1)
+}
+
+// ParseRangeLookup decodes a RangeLookup body.
+func ParseRangeLookup(body []byte) (seq, src, dst, t0, t1 uint64, err error) {
+	r := bodyReader{b: body}
+	for _, p := range [...]*uint64{&seq, &src, &dst, &t0, &t1} {
+		if *p, err = r.uvarint(); err != nil {
+			return 0, 0, 0, 0, 0, err
+		}
+	}
+	return seq, src, dst, t0, t1, r.done()
+}
+
+// AppendRangeTopK builds a RangeTopK body: a TopK restricted to [t0, t1).
+// Answered by TopKResp.
+func AppendRangeTopK(buf []byte, seq uint64, axis byte, k, t0, t1 uint64) []byte {
+	buf = binary.AppendUvarint(buf, seq)
+	buf = append(buf, axis)
+	buf = binary.AppendUvarint(buf, k)
+	buf = binary.AppendUvarint(buf, t0)
+	return binary.AppendUvarint(buf, t1)
+}
+
+// ParseRangeTopK decodes a RangeTopK body.
+func ParseRangeTopK(body []byte) (seq uint64, axis byte, k, t0, t1 uint64, err error) {
+	r := bodyReader{b: body}
+	if seq, err = r.uvarint(); err != nil {
+		return
+	}
+	if axis, err = r.byte(); err != nil {
+		return
+	}
+	if axis > AxisDestinations {
+		return 0, 0, 0, 0, 0, fmt.Errorf("%w: unknown axis %d", ErrMalformed, axis)
+	}
+	for _, p := range [...]*uint64{&k, &t0, &t1} {
+		if *p, err = r.uvarint(); err != nil {
+			return 0, 0, 0, 0, 0, err
+		}
+	}
+	return seq, axis, k, t0, t1, r.done()
+}
+
+// AppendRangeSummary builds a RangeSummary body: the facade Summary over
+// [t0, t1). Answered by SummaryResp.
+func AppendRangeSummary(buf []byte, seq, t0, t1 uint64) []byte {
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, t0)
+	return binary.AppendUvarint(buf, t1)
+}
+
+// ParseRangeSummary decodes a RangeSummary body.
+func ParseRangeSummary(body []byte) (seq, t0, t1 uint64, err error) {
+	r := bodyReader{b: body}
+	for _, p := range [...]*uint64{&seq, &t0, &t1} {
+		if *p, err = r.uvarint(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	return seq, t0, t1, r.done()
+}
+
+// SubscribeAllLevels is the Subscribe level wildcard: summaries of every
+// hierarchy level.
+const SubscribeAllLevels byte = 0xff
+
+// AppendSubscribe builds a Subscribe body: the server acks it, then pushes
+// one WindowSummary frame per sealed window of the requested level
+// (SubscribeAllLevels = every level), tagged with this seq, until the
+// connection closes.
+func AppendSubscribe(buf []byte, seq uint64, level byte) []byte {
+	buf = binary.AppendUvarint(buf, seq)
+	return append(buf, level)
+}
+
+// ParseSubscribe decodes a Subscribe body.
+func ParseSubscribe(body []byte) (seq uint64, level byte, err error) {
+	r := bodyReader{b: body}
+	if seq, err = r.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	if level, err = r.byte(); err != nil {
+		return 0, 0, err
+	}
+	return seq, level, r.done()
+}
+
+// WindowSummary is the per-window digest a windowed server pushes to a
+// subscribed connection when a window seals.
+type WindowSummary struct {
+	Sub          uint64 // the Subscribe request's seq
+	Level        uint64 // 0 = finest
+	Start, End   uint64 // event-time bounds, unix nanoseconds
+	Entries      uint64 // distinct stored cells
+	Sources      uint64 // non-empty rows
+	Destinations uint64 // non-empty columns
+	Packets      uint64 // sum of stored weights
+}
+
+// AppendWindowSummary builds a WindowSummary body.
+func AppendWindowSummary(buf []byte, ws WindowSummary) []byte {
+	for _, v := range [...]uint64{ws.Sub, ws.Level, ws.Start, ws.End, ws.Entries, ws.Sources, ws.Destinations, ws.Packets} {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	return buf
+}
+
+// ParseWindowSummary decodes a WindowSummary body.
+func ParseWindowSummary(body []byte) (WindowSummary, error) {
+	var ws WindowSummary
+	r := bodyReader{b: body}
+	var err error
+	for _, p := range [...]*uint64{&ws.Sub, &ws.Level, &ws.Start, &ws.End, &ws.Entries, &ws.Sources, &ws.Destinations, &ws.Packets} {
+		if *p, err = r.uvarint(); err != nil {
+			return ws, err
+		}
+	}
+	return ws, r.done()
 }
 
 // AppendSeq builds the body shared by Flush, Checkpoint, Summary, Goodbye,

@@ -139,6 +139,83 @@ func TestQueryBodiesRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTemporalBodiesRoundTrip(t *testing.T) {
+	{
+		rows := []uint64{1, 1 << 40}
+		cols := []uint64{2, 5}
+		vals := []uint64{1, 7}
+		body, err := AppendInsertAt(nil, 42, 1_700_000_000_000_000_000, rows, cols, vals)
+		if err != nil {
+			t.Fatalf("AppendInsertAt: %v", err)
+		}
+		f := roundTrip(t, KindInsertAt, body)
+		seq, ts, r, c, v, err := ParseInsertAt(f.Body)
+		if err != nil || seq != 42 || ts != 1_700_000_000_000_000_000 {
+			t.Fatalf("ParseInsertAt = %d,%d,%v", seq, ts, err)
+		}
+		for i := range rows {
+			if r[i] != rows[i] || c[i] != cols[i] || v[i] != vals[i] {
+				t.Fatalf("entry %d mismatch", i)
+			}
+		}
+	}
+	{
+		rows := make([]uint64, MaxBatch+1)
+		if _, err := AppendInsertAt(nil, 1, 0, rows, rows, rows); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("AppendInsertAt over cap = %v, want ErrMalformed", err)
+		}
+		body := binary.AppendUvarint(nil, 1)                   // seq
+		body = binary.AppendUvarint(body, 9)                   // ts
+		body = binary.AppendUvarint(body, uint64(MaxBatch)*16) // count
+		if _, _, _, _, _, err := ParseInsertAt(body); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("ParseInsertAt hostile count = %v, want ErrMalformed", err)
+		}
+	}
+	{
+		f := roundTrip(t, KindRangeLookup, AppendRangeLookup(nil, 7, 11, 13, 100, 200))
+		seq, src, dst, t0, t1, err := ParseRangeLookup(f.Body)
+		if err != nil || seq != 7 || src != 11 || dst != 13 || t0 != 100 || t1 != 200 {
+			t.Fatalf("ParseRangeLookup = %d,%d,%d,%d,%d,%v", seq, src, dst, t0, t1, err)
+		}
+	}
+	{
+		f := roundTrip(t, KindRangeTopK, AppendRangeTopK(nil, 8, AxisSources, 10, 100, 200))
+		seq, axis, k, t0, t1, err := ParseRangeTopK(f.Body)
+		if err != nil || seq != 8 || axis != AxisSources || k != 10 || t0 != 100 || t1 != 200 {
+			t.Fatalf("ParseRangeTopK = %d,%d,%d,%d,%d,%v", seq, axis, k, t0, t1, err)
+		}
+	}
+	{
+		f := roundTrip(t, KindRangeSummary, AppendRangeSummary(nil, 9, 100, 200))
+		seq, t0, t1, err := ParseRangeSummary(f.Body)
+		if err != nil || seq != 9 || t0 != 100 || t1 != 200 {
+			t.Fatalf("ParseRangeSummary = %d,%d,%d,%v", seq, t0, t1, err)
+		}
+	}
+	{
+		f := roundTrip(t, KindSubscribe, AppendSubscribe(nil, 5, SubscribeAllLevels))
+		seq, level, err := ParseSubscribe(f.Body)
+		if err != nil || seq != 5 || level != SubscribeAllLevels {
+			t.Fatalf("ParseSubscribe = %d,%d,%v", seq, level, err)
+		}
+	}
+	{
+		in := WindowSummary{Sub: 5, Level: 1, Start: 100, End: 200, Entries: 3, Sources: 2, Destinations: 3, Packets: 44}
+		f := roundTrip(t, KindWindowSummary, AppendWindowSummary(nil, in))
+		out, err := ParseWindowSummary(f.Body)
+		if err != nil || out != in {
+			t.Fatalf("ParseWindowSummary = %+v, %v; want %+v", out, err, in)
+		}
+	}
+	// The Welcome window field survives the round trip for a windowed
+	// server.
+	in := Welcome{Version: Version, Dim: 1 << 24, Shards: 2, Window: 1_000_000_000}
+	out, err := ParseWelcome(roundTrip(t, KindWelcome, AppendWelcome(nil, in)).Body)
+	if err != nil || out != in {
+		t.Fatalf("windowed Welcome = %+v, %v; want %+v", out, err, in)
+	}
+}
+
 func TestReaderTornAndHostileFrames(t *testing.T) {
 	// Clean EOF on an empty stream.
 	if _, err := NewReader(strings.NewReader("")).Next(); err != io.EOF {
@@ -190,6 +267,10 @@ func TestParsersRejectTruncation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	insertAt, err := AppendInsertAt(nil, 3, 300, []uint64{1, 2}, []uint64{3, 4}, []uint64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name  string
 		body  []byte
@@ -205,6 +286,12 @@ func TestParsersRejectTruncation(t *testing.T) {
 		{"topkresp", AppendTopKResp(nil, 1, []Ranked{{300, 400}}), func(b []byte) error { _, _, err := ParseTopKResp(b); return err }},
 		{"summaryresp", AppendSummaryResp(nil, 1, Summary{Entries: 300}), func(b []byte) error { _, _, err := ParseSummaryResp(b); return err }},
 		{"error", AppendError(nil, 1, ErrCodeInternal, "boom"), func(b []byte) error { _, _, _, err := ParseError(b); return err }},
+		{"insertat", insertAt, func(b []byte) error { _, _, _, _, _, err := ParseInsertAt(b); return err }},
+		{"rangelookup", AppendRangeLookup(nil, 1, 300, 400, 500, 600), func(b []byte) error { _, _, _, _, _, err := ParseRangeLookup(b); return err }},
+		{"rangetopk", AppendRangeTopK(nil, 1, AxisSources, 300, 400, 500), func(b []byte) error { _, _, _, _, _, err := ParseRangeTopK(b); return err }},
+		{"rangesummary", AppendRangeSummary(nil, 1, 300, 400), func(b []byte) error { _, _, _, err := ParseRangeSummary(b); return err }},
+		{"subscribe", AppendSubscribe(nil, 300, 0), func(b []byte) error { _, _, err := ParseSubscribe(b); return err }},
+		{"windowsummary", AppendWindowSummary(nil, WindowSummary{Sub: 300, Start: 400, End: 500, Packets: 600}), func(b []byte) error { _, err := ParseWindowSummary(b); return err }},
 	}
 	for _, tc := range cases {
 		if err := tc.parse(tc.body); err != nil {

@@ -1,8 +1,11 @@
-// Package server is the network ingest frontend: a TCP listener that
-// speaks the internal/proto wire protocol in front of one hhgb.Sharded
-// matrix, turning the in-process concurrent ingest path into a service
-// remote producers stream into (the deployment shape of RedisGraph's
-// protocol frontend and the MIT real-time traffic pipeline).
+// Package server is the network ingest frontend: a TCP listener
+// (optionally TLS) that speaks the internal/proto wire protocol in front
+// of one hhgb.Sharded matrix — or one hhgb.Windowed temporal store, which
+// additionally serves timestamped inserts, event-time range queries, and
+// pushed per-window seal summaries (Subscribe) — turning the in-process
+// concurrent ingest path into a service remote producers stream into
+// (the deployment shape of RedisGraph's protocol frontend and the MIT
+// real-time traffic pipeline).
 //
 // # Per-connection pipeline
 //
@@ -54,10 +57,12 @@
 package server
 
 import (
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"sort"
@@ -82,9 +87,17 @@ const DefaultMaxInFlight = 1 << 21
 
 // Config describes a network ingest server.
 type Config struct {
-	// Matrix is the sharded matrix the server fronts. Required; owned by
-	// the caller (Close does not close it).
+	// Matrix is the sharded matrix the server fronts. Exactly one of
+	// Matrix and Windowed is required; both are owned by the caller
+	// (Close does not close them).
 	Matrix *hhgb.Sharded
+	// Windowed is the temporal window store the server fronts instead of
+	// a flat Matrix: inserts must carry event timestamps (InsertAt),
+	// range queries and Subscribe work, and plain Insert is refused.
+	Windowed *hhgb.Windowed
+	// TLS, when set, wraps the listener: every accepted connection
+	// performs the TLS handshake before the protocol handshake.
+	TLS *tls.Config
 	// MaxBatch caps the entries of one insert frame; zero selects
 	// proto.MaxBatch. Larger frames are refused with ErrCodeTooLarge.
 	MaxBatch int
@@ -112,24 +125,27 @@ type Server struct {
 
 	inFlight atomic.Int64
 
-	totalConns  atomic.Int64
-	batches     atomic.Int64
-	entries     atomic.Int64
-	overloads   atomic.Int64
-	rejected    atomic.Int64
-	flushes     atomic.Int64
-	checkpoints atomic.Int64
-	queries     atomic.Int64
+	totalConns    atomic.Int64
+	batches       atomic.Int64
+	entries       atomic.Int64
+	overloads     atomic.Int64
+	rejected      atomic.Int64
+	flushes       atomic.Int64
+	checkpoints   atomic.Int64
+	queries       atomic.Int64
+	subscriptions atomic.Int64
+	summariesOut  atomic.Int64
 	// bytes of connections that have already closed; live connections are
 	// summed at Stats time.
 	closedBytesIn  atomic.Int64
 	closedBytesOut atomic.Int64
 }
 
-// New returns a server over cfg.Matrix. Serve starts accepting.
+// New returns a server over cfg.Matrix or cfg.Windowed. Serve starts
+// accepting.
 func New(cfg Config) (*Server, error) {
-	if cfg.Matrix == nil {
-		return nil, errors.New("server: Config.Matrix is required")
+	if (cfg.Matrix == nil) == (cfg.Windowed == nil) {
+		return nil, errors.New("server: exactly one of Config.Matrix and Config.Windowed is required")
 	}
 	if cfg.MaxBatch <= 0 || cfg.MaxBatch > proto.MaxBatch {
 		cfg.MaxBatch = proto.MaxBatch
@@ -149,9 +165,14 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Serve accepts connections on ln until Close. It returns ErrServerClosed
-// after a graceful Close, or the accept error that stopped it.
+// Serve accepts connections on ln until Close. With Config.TLS set, the
+// listener is wrapped so every connection speaks TLS. It returns
+// ErrServerClosed after a graceful Close, or the accept error that
+// stopped it.
 func (s *Server) Serve(ln net.Listener) error {
+	if s.cfg.TLS != nil {
+		ln = tls.NewListener(ln, s.cfg.TLS)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -226,8 +247,18 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Stats is a point-in-time snapshot of the server's counters.
+// StatsVersion identifies the /stats JSON schema. It increments whenever
+// a field of Stats or ConnStats is renamed, retyped, or removed — adding
+// a field is compatible and does NOT bump it. Dashboards should pin the
+// version they were written against; TestStatsSchemaPinned asserts the
+// exact field set shipped for this version, so accidental drift fails CI
+// instead of silently breaking consumers.
+const StatsVersion = 1
+
+// Stats is a point-in-time snapshot of the server's counters — the
+// versioned schema served at /stats.
 type Stats struct {
+	Version         int         `json:"version"`
 	ActiveConns     int         `json:"active_conns"`
 	TotalConns      int64       `json:"total_conns"`
 	InsertBatches   int64       `json:"insert_batches"`
@@ -237,6 +268,8 @@ type Stats struct {
 	Flushes         int64       `json:"flushes"`
 	Checkpoints     int64       `json:"checkpoints"`
 	Queries         int64       `json:"queries"`
+	Subscriptions   int64       `json:"subscriptions"`
+	WindowSummaries int64       `json:"window_summaries_pushed"`
 	InFlightEntries int64       `json:"in_flight_entries"`
 	BytesIn         int64       `json:"bytes_in"`
 	BytesOut        int64       `json:"bytes_out"`
@@ -258,6 +291,7 @@ type ConnStats struct {
 // Stats snapshots the aggregate and per-connection counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
+		Version:         StatsVersion,
 		TotalConns:      s.totalConns.Load(),
 		InsertBatches:   s.batches.Load(),
 		InsertEntries:   s.entries.Load(),
@@ -266,6 +300,8 @@ func (s *Server) Stats() Stats {
 		Flushes:         s.flushes.Load(),
 		Checkpoints:     s.checkpoints.Load(),
 		Queries:         s.queries.Load(),
+		Subscriptions:   s.subscriptions.Load(),
+		WindowSummaries: s.summariesOut.Load(),
 		InFlightEntries: s.inFlight.Load(),
 		BytesIn:         s.closedBytesIn.Load(),
 		BytesOut:        s.closedBytesOut.Load(),
@@ -299,10 +335,13 @@ func (s *Server) StatsHandler() http.Handler {
 type request struct {
 	kind             byte
 	seq              uint64
-	rows, cols, vals []uint64 // insert
-	src, dst         uint64   // lookup
-	axis             byte     // topk
-	k                uint64   // topk
+	rows, cols, vals []uint64 // insert, insertAt
+	ts               uint64   // insertAt: event time, unix nanoseconds
+	src, dst         uint64   // lookup, rangeLookup
+	axis             byte     // topk, rangeTopK
+	k                uint64   // topk, rangeTopK
+	t0, t1           uint64   // range queries: event-time bounds
+	level            byte     // subscribe
 }
 
 // conn is one accepted connection.
@@ -311,11 +350,19 @@ type conn struct {
 	id  uint64
 	nc  net.Conn
 
-	wmu sync.Mutex // guards w: the applier writes responses, the reader overload/fatal errors
+	wmu sync.Mutex // guards w: the applier writes responses, the reader overload/fatal errors, subscription pushers
 	w   *proto.Writer
 
 	queue    chan request
 	draining atomic.Bool
+
+	// subs are this connection's live window subscriptions; each owns a
+	// pusher goroutine writing WindowSummary frames under wmu. Guarded by
+	// subMu; closed (and waited for) at teardown.
+	subMu  sync.Mutex
+	subs   []*hhgb.WindowSub
+	subWG  sync.WaitGroup
+	closed atomic.Bool // teardown begun: refuse new subscriptions
 
 	batches   atomic.Int64
 	entries   atomic.Int64
@@ -402,20 +449,36 @@ func (c *conn) run() {
 		c.sendErr(0, proto.ErrCodeVersion, fmt.Sprintf("server speaks version %d, client %d", proto.Version, v), true)
 		return
 	}
-	m := c.srv.cfg.Matrix
-	app, err := m.NewAppender()
-	if err != nil {
-		c.sendErr(0, proto.ErrCodeClosed, "matrix is closed", true)
-		return
+	var (
+		wel proto.Welcome
+		app *hhgb.Appender
+	)
+	if wm := c.srv.cfg.Windowed; wm != nil {
+		wel = proto.Welcome{
+			Version: proto.Version,
+			Dim:     wm.Dim(),
+			Shards:  uint64(wm.Shards()),
+			Durable: wm.Durable(),
+			Window:  uint64(wm.Window()),
+		}
+	} else {
+		m := c.srv.cfg.Matrix
+		app, err = m.NewAppender()
+		if err != nil {
+			c.sendErr(0, proto.ErrCodeClosed, "matrix is closed", true)
+			return
+		}
+		wel = proto.Welcome{
+			Version: proto.Version,
+			Dim:     m.Dim(),
+			Shards:  uint64(m.Shards()),
+			Durable: m.Durable(),
+		}
 	}
-	welcome := proto.AppendWelcome(nil, proto.Welcome{
-		Version: proto.Version,
-		Dim:     m.Dim(),
-		Shards:  uint64(m.Shards()),
-		Durable: m.Durable(),
-	})
-	if err := c.send(proto.KindWelcome, welcome, true); err != nil {
-		app.Close()
+	if err := c.send(proto.KindWelcome, proto.AppendWelcome(nil, wel), true); err != nil {
+		if app != nil {
+			app.Close()
+		}
 		return
 	}
 
@@ -455,6 +518,63 @@ func (c *conn) run() {
 	}
 	close(c.queue)
 	<-done
+	c.closeSubs()
+}
+
+// closeSubs ends every subscription and waits for their pushers, so no
+// goroutine outlives the connection.
+func (c *conn) closeSubs() {
+	c.closed.Store(true)
+	c.subMu.Lock()
+	subs := c.subs
+	c.subs = nil
+	c.subMu.Unlock()
+	for _, sub := range subs {
+		sub.Close()
+	}
+	c.subWG.Wait()
+}
+
+// startSub registers one subscription and its pusher goroutine: summaries
+// stream to the client in seal order, tagged with the Subscribe seq,
+// until the subscription (or the connection) closes. The pusher writes
+// under wmu, interleaving whole frames with the applier's responses.
+func (c *conn) startSub(sub *hhgb.WindowSub, seq uint64) {
+	c.subMu.Lock()
+	if c.closed.Load() {
+		c.subMu.Unlock()
+		sub.Close()
+		return
+	}
+	c.subs = append(c.subs, sub)
+	c.subWG.Add(1)
+	c.subMu.Unlock()
+	go func() {
+		defer c.subWG.Done()
+		for {
+			ws, ok := sub.Next()
+			if !ok {
+				return
+			}
+			body := proto.AppendWindowSummary(nil, proto.WindowSummary{
+				Sub:          seq,
+				Level:        uint64(ws.Level),
+				Start:        uint64(ws.Start.UnixNano()),
+				End:          uint64(ws.End.UnixNano()),
+				Entries:      uint64(ws.Entries),
+				Sources:      uint64(ws.Sources),
+				Destinations: uint64(ws.Destinations),
+				Packets:      ws.Packets,
+			})
+			if err := c.send(proto.KindWindowSummary, body, true); err != nil {
+				// The write side is gone; the reader/applier teardown
+				// will close the connection. Stop pushing.
+				sub.Close()
+				return
+			}
+			c.srv.summariesOut.Add(1)
+		}
+	}()
 }
 
 // decode turns one frame into a request, applying the overload and size
@@ -485,6 +605,27 @@ func (c *conn) decode(f proto.Frame) (req request, fatal, drop bool) {
 			return req, false, true
 		}
 		return request{kind: f.Kind, seq: seq, rows: rows, cols: cols, vals: vals}, false, false
+	case proto.KindInsertAt:
+		seq, ts, rows, cols, vals, err := proto.ParseInsertAt(f.Body)
+		if err != nil {
+			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
+			return req, true, false
+		}
+		if len(rows) > s.cfg.MaxBatch {
+			c.sendErr(seq, proto.ErrCodeTooLarge,
+				fmt.Sprintf("batch of %d entries exceeds server cap %d", len(rows), s.cfg.MaxBatch), true)
+			return req, false, true
+		}
+		n := int64(len(rows))
+		if s.inFlight.Add(n) > s.cfg.MaxInFlight {
+			s.inFlight.Add(-n)
+			c.overloads.Add(1)
+			s.overloads.Add(1)
+			c.sendErr(seq, proto.ErrCodeOverload,
+				fmt.Sprintf("in-flight entry budget %d exhausted", s.cfg.MaxInFlight), true)
+			return req, false, true
+		}
+		return request{kind: f.Kind, seq: seq, ts: ts, rows: rows, cols: cols, vals: vals}, false, false
 	case proto.KindFlush, proto.KindCheckpoint, proto.KindSummary, proto.KindGoodbye:
 		seq, err := proto.ParseSeq(f.Body)
 		if err != nil {
@@ -492,6 +633,34 @@ func (c *conn) decode(f proto.Frame) (req request, fatal, drop bool) {
 			return req, true, false
 		}
 		return request{kind: f.Kind, seq: seq}, false, false
+	case proto.KindRangeLookup:
+		seq, src, dst, t0, t1, err := proto.ParseRangeLookup(f.Body)
+		if err != nil {
+			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
+			return req, true, false
+		}
+		return request{kind: f.Kind, seq: seq, src: src, dst: dst, t0: t0, t1: t1}, false, false
+	case proto.KindRangeTopK:
+		seq, axis, k, t0, t1, err := proto.ParseRangeTopK(f.Body)
+		if err != nil {
+			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
+			return req, true, false
+		}
+		return request{kind: f.Kind, seq: seq, axis: axis, k: k, t0: t0, t1: t1}, false, false
+	case proto.KindRangeSummary:
+		seq, t0, t1, err := proto.ParseRangeSummary(f.Body)
+		if err != nil {
+			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
+			return req, true, false
+		}
+		return request{kind: f.Kind, seq: seq, t0: t0, t1: t1}, false, false
+	case proto.KindSubscribe:
+		seq, level, err := proto.ParseSubscribe(f.Body)
+		if err != nil {
+			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
+			return req, true, false
+		}
+		return request{kind: f.Kind, seq: seq, level: level}, false, false
 	case proto.KindLookup:
 		seq, src, dst, err := proto.ParseLookup(f.Body)
 		if err != nil {
@@ -512,19 +681,75 @@ func (c *conn) decode(f proto.Frame) (req request, fatal, drop bool) {
 	}
 }
 
+// rangeView resolves the windowed store's view for one range request,
+// mapping a zero t1 to "everything" and validating the bounds.
+func rangeView(wm *hhgb.Windowed, t0, t1 uint64) (*hhgb.RangeView, error) {
+	if t1 == 0 {
+		return wm.AllTime()
+	}
+	if t0 > math.MaxInt64 || t1 > math.MaxInt64 || t1 <= t0 {
+		return nil, fmt.Errorf("bad event-time range [%d, %d)", t0, t1)
+	}
+	return wm.QueryRange(time.Unix(0, int64(t0)), time.Unix(0, int64(t1)))
+}
+
 // apply executes queued requests in order. Responses flush when the queue
 // is momentarily empty (or on error frames), so acks batch under load.
+// app is the per-connection appender on a flat server, nil on a windowed
+// one (windowed appends route through the store's own window groups).
 func (c *conn) apply(app *hhgb.Appender) {
-	defer app.Close() // hands off any buffered entries
+	if app != nil {
+		defer app.Close() // hands off any buffered entries
+	}
 	s := c.srv
 	m := s.cfg.Matrix
+	wm := s.cfg.Windowed
+	// notWindowed/onlyWindowed reject the ops the fronted store cannot
+	// serve — with a typed per-request error, never a torn connection.
+	reject := func(seq uint64, msg string) error {
+		s.rejected.Add(1)
+		return c.sendErr(seq, proto.ErrCodeRejected, msg, true)
+	}
 	for req := range c.queue {
 		flush := len(c.queue) == 0
 		var err error
 		switch req.kind {
 		case proto.KindInsert:
 			n := int64(len(req.rows))
+			if wm != nil {
+				s.inFlight.Add(-n)
+				err = reject(req.seq, "server is windowed; use timestamped inserts (InsertAt)")
+				break
+			}
 			ierr := app.AppendWeighted(req.rows, req.cols, req.vals)
+			s.inFlight.Add(-n)
+			if ierr != nil {
+				code := proto.ErrCodeRejected
+				if errors.Is(ierr, hhgb.ErrClosed) {
+					code = proto.ErrCodeClosed
+				}
+				s.rejected.Add(1)
+				err = c.sendErr(req.seq, code, ierr.Error(), true)
+				break
+			}
+			c.batches.Add(1)
+			c.entries.Add(n)
+			s.batches.Add(1)
+			s.entries.Add(n)
+			err = c.send(proto.KindAck, proto.AppendSeq(nil, req.seq), flush)
+		case proto.KindInsertAt:
+			n := int64(len(req.rows))
+			if wm == nil {
+				s.inFlight.Add(-n)
+				err = reject(req.seq, "server is not windowed; use plain inserts")
+				break
+			}
+			var ierr error
+			if req.ts > math.MaxInt64 {
+				ierr = fmt.Errorf("timestamp %d overflows", req.ts)
+			} else {
+				ierr = wm.AppendWeighted(time.Unix(0, int64(req.ts)), req.rows, req.cols, req.vals)
+			}
 			s.inFlight.Add(-n)
 			if ierr != nil {
 				code := proto.ErrCodeRejected
@@ -542,31 +767,93 @@ func (c *conn) apply(app *hhgb.Appender) {
 			err = c.send(proto.KindAck, proto.AppendSeq(nil, req.seq), flush)
 		case proto.KindFlush:
 			s.flushes.Add(1)
-			err = c.ackOp(req.seq, m.Flush(), flush)
+			if wm != nil {
+				err = c.ackOp(req.seq, wm.Flush(), flush)
+			} else {
+				err = c.ackOp(req.seq, m.Flush(), flush)
+			}
 		case proto.KindCheckpoint:
 			s.checkpoints.Add(1)
-			err = c.ackOp(req.seq, m.Checkpoint(), flush)
+			if wm != nil {
+				err = c.ackOp(req.seq, wm.Checkpoint(), flush)
+			} else {
+				err = c.ackOp(req.seq, m.Checkpoint(), flush)
+			}
 		case proto.KindGoodbye:
 			// Drain this connection's buffers so a client that saw the
 			// ack can immediately observe its inserts via another
-			// connection's queries.
-			err = c.ackOp(req.seq, app.Flush(), true)
-		case proto.KindLookup:
+			// connection's queries. Windowed appends apply synchronously;
+			// Flush makes them query-visible the same way.
+			if wm != nil {
+				err = c.ackOp(req.seq, wm.Flush(), true)
+			} else {
+				err = c.ackOp(req.seq, app.Flush(), true)
+			}
+		case proto.KindLookup, proto.KindRangeLookup:
 			s.queries.Add(1)
-			v, found, qerr := m.Lookup(req.src, req.dst)
+			var (
+				v        uint64
+				found    bool
+				qerr     error
+				rejected bool
+			)
+			switch {
+			case req.kind == proto.KindLookup && wm == nil:
+				v, found, qerr = m.Lookup(req.src, req.dst)
+			case wm == nil:
+				err = reject(req.seq, "range queries need a windowed server")
+				rejected = true
+			default:
+				var view *hhgb.RangeView
+				if req.kind == proto.KindLookup {
+					view, qerr = wm.AllTime()
+				} else {
+					view, qerr = rangeView(wm, req.t0, req.t1)
+				}
+				if qerr == nil {
+					v, found, qerr = view.Lookup(req.src, req.dst)
+				}
+			}
+			if rejected {
+				break // the error frame already answered (err holds its write outcome)
+			}
 			if qerr != nil {
 				err = c.sendErr(req.seq, proto.ErrCodeRejected, qerr.Error(), true)
 				break
 			}
 			err = c.send(proto.KindLookupResp, proto.AppendLookupResp(nil, req.seq, found, v), flush)
-		case proto.KindTopK:
+		case proto.KindTopK, proto.KindRangeTopK:
 			s.queries.Add(1)
 			var top []hhgb.Ranked
 			var qerr error
-			if req.axis == proto.AxisSources {
-				top, qerr = m.TopSources(int(req.k))
-			} else {
-				top, qerr = m.TopDestinations(int(req.k))
+			var rejected bool
+			switch {
+			case req.kind == proto.KindTopK && wm == nil:
+				if req.axis == proto.AxisSources {
+					top, qerr = m.TopSources(int(req.k))
+				} else {
+					top, qerr = m.TopDestinations(int(req.k))
+				}
+			case wm == nil:
+				err = reject(req.seq, "range queries need a windowed server")
+				rejected = true
+			default:
+				var view *hhgb.RangeView
+				if req.kind == proto.KindTopK {
+					view, qerr = wm.AllTime()
+				} else {
+					view, qerr = rangeView(wm, req.t0, req.t1)
+				}
+				if qerr == nil {
+					if req.axis == proto.AxisSources {
+						top, qerr = view.TopSources(int(req.k))
+					} else {
+						top, qerr = view.TopDestinations(int(req.k))
+					}
+				}
+			}
+			if rejected {
+				break
 			}
 			if qerr != nil {
 				err = c.sendErr(req.seq, proto.ErrCodeInternal, qerr.Error(), true)
@@ -577,9 +864,31 @@ func (c *conn) apply(app *hhgb.Appender) {
 				wire[i] = proto.Ranked{ID: t.ID, Value: t.Value}
 			}
 			err = c.send(proto.KindTopKResp, proto.AppendTopKResp(nil, req.seq, wire), flush)
-		case proto.KindSummary:
+		case proto.KindSummary, proto.KindRangeSummary:
 			s.queries.Add(1)
-			sum, qerr := m.Summary()
+			var sum hhgb.Summary
+			var qerr error
+			var rejected bool
+			switch {
+			case req.kind == proto.KindSummary && wm == nil:
+				sum, qerr = m.Summary()
+			case wm == nil:
+				err = reject(req.seq, "range queries need a windowed server")
+				rejected = true
+			default:
+				var view *hhgb.RangeView
+				if req.kind == proto.KindSummary {
+					view, qerr = wm.AllTime()
+				} else {
+					view, qerr = rangeView(wm, req.t0, req.t1)
+				}
+				if qerr == nil {
+					sum, qerr = view.Summary()
+				}
+			}
+			if rejected {
+				break
+			}
 			if qerr != nil {
 				err = c.sendErr(req.seq, proto.ErrCodeInternal, qerr.Error(), true)
 				break
@@ -592,6 +901,29 @@ func (c *conn) apply(app *hhgb.Appender) {
 				MaxOutDegree: sum.MaxOutDegree,
 				MaxInDegree:  sum.MaxInDegree,
 			}), flush)
+		case proto.KindSubscribe:
+			if wm == nil {
+				err = reject(req.seq, "subscriptions need a windowed server")
+				break
+			}
+			var sub *hhgb.WindowSub
+			if req.level == proto.SubscribeAllLevels {
+				sub = wm.Subscribe()
+			} else if int(req.level) < wm.Levels() {
+				sub = wm.Subscribe(int(req.level))
+			} else {
+				err = reject(req.seq, fmt.Sprintf("level %d beyond the server's %d levels", req.level, wm.Levels()))
+				break
+			}
+			s.subscriptions.Add(1)
+			// Ack first (under program order), then start the pusher:
+			// every summary the client sees follows its subscribe ack.
+			err = c.send(proto.KindAck, proto.AppendSeq(nil, req.seq), true)
+			if err != nil {
+				sub.Close()
+				break
+			}
+			c.startSub(sub, req.seq)
 		}
 		if err != nil {
 			// The write side is gone; stop responding but keep draining
@@ -624,7 +956,7 @@ func (c *conn) ackOp(seq uint64, opErr error, flush bool) error {
 // releasing the in-flight budget without applying anything further.
 func (c *conn) drainQuietly() {
 	for req := range c.queue {
-		if req.kind == proto.KindInsert {
+		if req.kind == proto.KindInsert || req.kind == proto.KindInsertAt {
 			c.srv.inFlight.Add(-int64(len(req.rows)))
 		}
 	}

@@ -125,6 +125,17 @@ func acquireDirLock(dir string) error {
 	return err
 }
 
+// AcquireDirLock claims single-owner access to a directory for a caller
+// outside this package (internal/window uses it for a window store's root
+// directory; each window's group still claims its own subdirectory through
+// NewGroup/RecoverGroup). Semantics match the per-group lock: refused while
+// any live owner exists, in this process or another; released by
+// ReleaseDirLock, or by the kernel the instant the owning process dies.
+func AcquireDirLock(dir string) error { return acquireDirLock(dir) }
+
+// ReleaseDirLock releases a claim taken with AcquireDirLock.
+func ReleaseDirLock(dir string) { releaseDirLock(dir) }
+
 func releaseDirLock(dir string) {
 	key, err := filepath.Abs(dir)
 	if err != nil {

@@ -1,0 +1,330 @@
+package window
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/shard"
+)
+
+// TestConcurrentAppendsStraddlingWindowBoundary hammers the seal frontier:
+// producers append single-entry batches whose timestamps interleave across
+// window boundaries while zero lateness makes every watermark advance seal
+// aggressively. Every append must either apply entirely (nil error) or be
+// refused entirely (ErrLate), and the accounting must balance exactly:
+// accepted weight equals the stored total, refused entries equal the
+// LateDrops counter.
+func TestConcurrentAppendsStraddlingWindowBoundary(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 400
+		nWindows  = 10
+	)
+	s, err := New[uint64](dim, dim, Config{
+		Window: time.Second,
+		Shard:  shard.Config{Shards: 2, Handoff: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var accepted, refused atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				// Each producer sweeps the stream at its own phase, so at
+				// any instant some producers are ahead (sealing windows)
+				// while others still write near a boundary just behind.
+				ts := int64(i)*int64(nWindows)*int64(time.Second)/perProd + int64(p)*137
+				err := s.Append(ts, []gb.Index{gb.Index(p)}, []gb.Index{gb.Index(i % 50)}, []uint64{1})
+				switch {
+				case err == nil:
+					accepted.Add(1)
+				case errors.Is(err, ErrLate):
+					refused.Add(1)
+				default:
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := s.Seal(int64(nWindows) * int64(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := s.QueryRange(0, int64(nWindows)*int64(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := r.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(total) != accepted.Load() {
+		t.Fatalf("stored total %d != accepted appends %d (refused %d)", total, accepted.Load(), refused.Load())
+	}
+	if got := s.Stats().LateDrops; got != refused.Load() {
+		t.Fatalf("LateDrops = %d, want %d", got, refused.Load())
+	}
+	if accepted.Load()+refused.Load() != producers*perProd {
+		t.Fatalf("accounting leak: %d + %d != %d", accepted.Load(), refused.Load(), producers*perProd)
+	}
+}
+
+// TestExpiryRacingRangeQuery races retention-driven expiry against range
+// queries two ways: a resolved Range must keep answering from its pinned
+// (closed, still queryable) windows even after the store expired them, and
+// concurrent QueryRange/expiry traffic must stay error- and race-free.
+func TestExpiryRacingRangeQuery(t *testing.T) {
+	sec := int64(time.Second)
+	cfg := Config{
+		Window:     time.Second,
+		Retentions: []time.Duration{5 * time.Second},
+		Lateness:   1000 * time.Second,
+		Shard:      shard.Config{Shards: 2, Handoff: 8},
+	}
+	s, err := New[uint64](dim, dim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Three sealed windows, one entry each.
+	for w := int64(0); w < 3; w++ {
+		if err := s.Append(w*sec+1, []gb.Index{1}, []gb.Index{gb.Index(w)}, []uint64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(3 * sec); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.QueryRange(0, 3*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance far enough that retention expires all three windows.
+	if err := s.Seal(10 * sec); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Expired; got != 3 {
+		t.Fatalf("Expired = %d, want 3", got)
+	}
+	// The stale Range still answers from its pinned windows.
+	total, err := r.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 {
+		t.Fatalf("stale range total = %d, want 3", total)
+	}
+	// A fresh resolve sees the holes instead.
+	r2, err := s.QueryRange(0, 3*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Windows() != 0 || len(r2.Uncovered) == 0 {
+		t.Fatalf("post-expiry resolve: windows=%d uncovered=%v", r2.Windows(), r2.Uncovered)
+	}
+
+	// Racy half: appenders advancing the frontier (sealing + expiring
+	// continuously) against query loops. Assert only absence of errors;
+	// the race detector asserts the rest.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for q := 0; q < 3; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hi := s.Watermark()
+				if hi < sec {
+					continue
+				}
+				r, err := s.QueryRange(0, hi)
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				if _, err := r.Total(); err != nil {
+					t.Errorf("total: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	base := int64(20) * sec
+	for i := 0; i < 400; i++ {
+		ts := base + int64(i)*sec/10
+		err := s.Append(ts, []gb.Index{2}, []gb.Index{3}, []uint64{1})
+		if err != nil && !errors.Is(err, ErrLate) {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRangeExactDuringRollUp: a range query racing a roll-up must never
+// observe the half-filled parent — the cover serves the sealed children
+// until the parent itself seals, so the total is exact at every instant.
+func TestRangeExactDuringRollUp(t *testing.T) {
+	const perWindow = 20000
+	sec := int64(time.Second)
+	cfg := testCfg(2)
+	s, err := New[uint64](dim, dim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for w := int64(0); w < 2; w++ {
+		for off := 0; off < perWindow; off += 500 {
+			rows := make([]gb.Index, 500)
+			cols := make([]gb.Index, 500)
+			vals := make([]uint64, 500)
+			for i := range rows {
+				rows[i] = gb.Index(off + i)
+				cols[i] = gb.Index(w)
+				vals[i] = 1
+			}
+			if err := s.Append(w*sec+1, rows, cols, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	const want = 2 * perWindow
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for q := 0; q < 2; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r, err := s.QueryRange(0, 2*sec)
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				total, err := r.Total()
+				if err != nil {
+					t.Errorf("total: %v", err)
+					return
+				}
+				if total != want {
+					t.Errorf("mid-rollup range total = %d, want %d (cover %v)", total, want, r.Spans())
+					return
+				}
+			}
+		}()
+	}
+	// Sealing both windows completes a factor-2 roll-up while the
+	// queriers hammer the same span.
+	if err := s.Seal(2 * sec); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.Stats().RollUps; got != 1 {
+		t.Fatalf("RollUps = %d, want 1", got)
+	}
+	// And once sealed, the parent serves the aligned span alone.
+	r, err := s.QueryRange(0, 2*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Windows() != 1 {
+		t.Fatalf("post-rollup cover = %v", r.Spans())
+	}
+	if total, _ := r.Total(); total != want {
+		t.Fatalf("post-rollup total = %d, want %d", total, want)
+	}
+}
+
+// TestSubscribeUnderConcurrentIngest: with many producers racing the
+// sealer, a subscriber still sees exactly one summary per sealed level-0
+// window, in seal order.
+func TestSubscribeUnderConcurrentIngest(t *testing.T) {
+	const (
+		producers = 6
+		nWindows  = 12
+	)
+	sec := int64(time.Second)
+	s, err := New[uint64](dim, dim, Config{
+		Window:   time.Second,
+		Lateness: 2 * time.Second,
+		Shard:    shard.Config{Shards: 2, Handoff: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := s.Subscribe(0)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for w := 0; w < nWindows; w++ {
+				ts := int64(w)*sec + int64(p+1)
+				if err := s.Append(ts, []gb.Index{gb.Index(p)}, []gb.Index{gb.Index(w)}, []uint64{1}); err != nil && !errors.Is(err, ErrLate) {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := s.Seal(int64(nWindows) * sec); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	seen := map[int64]bool{}
+	last := int64(-1)
+	n := 0
+	for {
+		sum, ok := sub.Next()
+		if !ok {
+			break
+		}
+		n++
+		if sum.Level != 0 {
+			t.Fatalf("level-%d summary on a level-0 subscription", sum.Level)
+		}
+		if seen[sum.Start] {
+			t.Fatalf("duplicate summary for window starting %d", sum.Start)
+		}
+		seen[sum.Start] = true
+		if sum.Start <= last {
+			t.Fatalf("summary order violated: %d after %d", sum.Start, last)
+		}
+		last = sum.Start
+	}
+	if n != nWindows {
+		t.Fatalf("received %d summaries, want %d", n, nWindows)
+	}
+}

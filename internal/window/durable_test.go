@@ -1,0 +1,358 @@
+package window
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/shard"
+)
+
+// The windowed kill-point table extends the shard layer's crash-window
+// audit (internal/shard/durable_test.go) one level up: a crash is
+// simulated by copying the store root mid-stream — exactly the bytes a
+// kill -9 would leave — and recovering from the copy while the original
+// store keeps running. Each window's own shard-layer guarantees carry
+// over per window; these tests pin the store-layer windows on top:
+//
+//	crash window                      recovered state
+//	after Flush, windows active       every window live, content exact
+//	after Seal, marker present        sealed windows final, no replay
+//	after Seal, marker lost           re-sealed idempotently (Resealed>0)
+//	rolled up, then crash             parent + rolled children both durable
+//	after Close                       clean restart, active windows resume
+//	accepted, never flushed           per-window durable prefix only
+
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	var walk func(rel string)
+	walk = func(rel string) {
+		ents, err := os.ReadDir(filepath.Join(src, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			r := filepath.Join(rel, e.Name())
+			if e.IsDir() {
+				if err := os.MkdirAll(filepath.Join(dst, r), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				walk(r)
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(src, r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, r), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	walk(".")
+	return dst
+}
+
+func durableCfg(dir string) Config {
+	return Config{
+		Window:   time.Second,
+		RollUps:  []int{4},
+		Lateness: 1000 * time.Second,
+		Shard: shard.Config{
+			Shards:  2,
+			Handoff: 16,
+			Durable: shard.Durability{Dir: dir, SyncEvery: 1},
+		},
+	}
+}
+
+// seedDurable builds a durable store with 6 windows of known content:
+// windows 0..3 sealed (and rolled into one 4s parent), 4..5 active and
+// flushed. Entry weights are 10*w+1 at cell (w, w), one per window.
+func seedDurable(t *testing.T, dir string) (*Store[uint64], []entry) {
+	t.Helper()
+	s, err := New[uint64](dim, dim, durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := int64(time.Second)
+	var entries []entry
+	for w := int64(0); w < 6; w++ {
+		e := entry{ts: w*sec + 5, r: gb.Index(w), c: gb.Index(w), v: uint64(10*w + 1)}
+		entries = append(entries, e)
+		if err := s.Append(e.ts, []gb.Index{e.r}, []gb.Index{e.c}, []uint64{e.v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(4 * sec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return s, entries
+}
+
+// verifyRecovered checks a recovered store serves the exact reference
+// content over the full span.
+func verifyRecovered(t *testing.T, s *Store[uint64], entries []entry, t0, t1 int64) {
+	t.Helper()
+	r, err := s.QueryRange(t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Uncovered) != 0 {
+		t.Fatalf("recovered range uncovered: %v", r.Uncovered)
+	}
+	got, err := r.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(got, reference(t, entries, t0, t1)) {
+		t.Fatalf("recovered content differs from reference over [%d,%d)", t0, t1)
+	}
+}
+
+func TestDurableWindowedKillPoints(t *testing.T) {
+	sec := int64(time.Second)
+
+	t.Run("after-flush-active-windows", func(t *testing.T) {
+		dir := t.TempDir()
+		s, entries := seedDurable(t, dir)
+		defer s.Close()
+		crash := copyDir(t, dir) // kill -9 with two active windows
+		rec, st, err := Recover[uint64](durableCfg(crash))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rec.Close()
+		if st.Sealed != 5 || st.Active != 2 { // 4 sealed L0 + 1 roll-up
+			t.Fatalf("recovered sealed=%d active=%d, want 5/2", st.Sealed, st.Active)
+		}
+		verifyRecovered(t, rec, entries, 0, 6*sec)
+		// Active windows resume: a fresh append to window 5 lands.
+		if err := rec.Append(5*sec+7, []gb.Index{99}, []gb.Index{99}, []uint64{5}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := rec.QueryRange(5*sec, 6*sec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := r.Lookup(99, 99)
+		if err != nil || !ok || v != 5 {
+			t.Fatalf("post-recovery append: lookup = %d/%v/%v", v, ok, err)
+		}
+		// And appends behind the recovered frontier stay refused.
+		if err := rec.Append(2*sec, []gb.Index{1}, []gb.Index{1}, []uint64{1}); !errors.Is(err, ErrLate) {
+			t.Fatalf("append behind recovered frontier: %v, want ErrLate", err)
+		}
+	})
+
+	t.Run("seal-marker-lost", func(t *testing.T) {
+		dir := t.TempDir()
+		s, entries := seedDurable(t, dir)
+		defer s.Close()
+		crash := copyDir(t, dir)
+		// Simulate a crash between a seal's group close and its marker:
+		// drop one sealed window's SEALED file in the copy.
+		victim := filepath.Join(crash, filepath.Base(victimDir(t, crash, 0, 2*sec)), sealedMarkerName)
+		if err := os.Remove(victim); err != nil {
+			t.Fatal(err)
+		}
+		rec, st, err := Recover[uint64](durableCfg(crash))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rec.Close()
+		if st.Resealed != 1 {
+			t.Fatalf("Resealed = %d, want 1", st.Resealed)
+		}
+		if st.Sealed != 5 {
+			t.Fatalf("Sealed = %d, want 5", st.Sealed)
+		}
+		verifyRecovered(t, rec, entries, 0, 6*sec)
+		// The re-seal restored the marker, so a second recovery is clean.
+		if _, err := os.Stat(victim); err != nil {
+			t.Fatalf("re-seal did not restore the marker: %v", err)
+		}
+	})
+
+	t.Run("rollup-durable", func(t *testing.T) {
+		dir := t.TempDir()
+		s, entries := seedDurable(t, dir)
+		defer s.Close()
+		crash := copyDir(t, dir)
+		rec, _, err := Recover[uint64](durableCfg(crash))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rec.Close()
+		// The aligned epoch answers from the recovered roll-up alone.
+		r, err := rec.QueryRange(0, 4*sec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Windows() != 1 {
+			t.Fatalf("recovered rolled epoch covered by %d windows: %v", r.Windows(), r.Spans())
+		}
+		got, err := r.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matricesEqual(got, reference(t, entries, 0, 4*sec)) {
+			t.Fatal("recovered roll-up differs from reference")
+		}
+		// Children recovered as rolled: sealing onward must not re-roll.
+		if got := rec.Stats().RollUps; got != 0 {
+			t.Fatalf("recovery re-materialized %d roll-ups", got)
+		}
+	})
+
+	t.Run("rollup-marker-lost-discards-partial-parent", func(t *testing.T) {
+		dir := t.TempDir()
+		s, entries := seedDurable(t, dir)
+		defer s.Close()
+		crash := copyDir(t, dir)
+		// A roll-up directory without its SEALED marker is a crash mid-
+		// materialization: its group manifest exists but may hold any
+		// prefix of the children's sum. Recovery must discard it, NOT
+		// promote it.
+		parent := victimDir(t, crash, 1, 0)
+		if err := os.Remove(filepath.Join(parent, sealedMarkerName)); err != nil {
+			t.Fatal(err)
+		}
+		rec, st, err := Recover[uint64](durableCfg(crash))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rec.Close()
+		if st.Sealed != 4 { // the 4 level-0 children; no parent
+			t.Fatalf("recovered sealed=%d, want 4", st.Sealed)
+		}
+		if _, err := os.Stat(parent); !os.IsNotExist(err) {
+			t.Fatalf("partial roll-up directory survived recovery: %v", err)
+		}
+		// The children answer exactly in the meantime…
+		verifyRecovered(t, rec, entries, 0, 4*sec)
+		// …and the next seal pass re-materializes the parent from them.
+		if err := rec.Seal(5 * sec); err != nil {
+			t.Fatal(err)
+		}
+		if got := rec.Stats().RollUps; got != 1 {
+			t.Fatalf("re-materialized RollUps = %d, want 1", got)
+		}
+		r, err := rec.QueryRange(0, 4*sec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Windows() != 1 {
+			t.Fatalf("re-rolled epoch cover = %v", r.Spans())
+		}
+		got, err := r.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matricesEqual(got, reference(t, entries, 0, 4*sec)) {
+			t.Fatal("re-materialized roll-up differs from reference")
+		}
+	})
+
+	t.Run("after-close-clean-restart", func(t *testing.T) {
+		dir := t.TempDir()
+		s, entries := seedDurable(t, dir)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rec, st, err := Recover[uint64](durableCfg(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rec.Close()
+		if st.ReplayedBatches != 0 {
+			t.Fatalf("clean restart replayed %d batches", st.ReplayedBatches)
+		}
+		if st.Active != 2 {
+			t.Fatalf("clean restart active=%d, want 2", st.Active)
+		}
+		verifyRecovered(t, rec, entries, 0, 6*sec)
+		// Sealing continues where the stream left off.
+		if err := rec.Seal(6 * sec); err != nil {
+			t.Fatal(err)
+		}
+		if got := rec.Stats().Seals; got != 7 { // 5 recovered + 2 new
+			t.Fatalf("Seals after resumed sealing = %d, want 7", got)
+		}
+	})
+
+	t.Run("accepted-never-flushed", func(t *testing.T) {
+		dir := t.TempDir()
+		s, entries := seedDurable(t, dir)
+		defer s.Close()
+		// One more accepted-but-never-flushed append: its fate after the
+		// crash is per that window's group commit; everything flushed
+		// before it must survive regardless.
+		if err := s.Append(5*sec+800, []gb.Index{77}, []gb.Index{77}, []uint64{3}); err != nil {
+			t.Fatal(err)
+		}
+		crash := copyDir(t, dir)
+		rec, _, err := Recover[uint64](durableCfg(crash))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rec.Close()
+		verifyRecovered(t, rec, entries, 0, 5*sec) // the flushed prefix, exact
+	})
+}
+
+// victimDir returns the window directory for (level, start) under root.
+func victimDir(t *testing.T, root string, level int, start int64) string {
+	t.Helper()
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if l, st, ok := parseWinDir(e.Name()); ok && l == level && st == start {
+			return filepath.Join(root, e.Name())
+		}
+	}
+	t.Fatalf("no window dir for level %d start %d", level, start)
+	return ""
+}
+
+// TestDurableLifecycleErrors pins the misuse errors: double-open of a
+// fresh root, Recover of a live root, Recover of a non-durable config.
+func TestDurableLifecycleErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New[uint64](dim, dim, durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New[uint64](dim, dim, durableCfg(dir)); err == nil {
+		t.Fatal("second New over a live root succeeded")
+	}
+	if _, _, err := Recover[uint64](durableCfg(dir)); err == nil {
+		t.Fatal("Recover of a live root succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New[uint64](dim, dim, durableCfg(dir)); err == nil {
+		t.Fatal("New over an existing (closed) root succeeded; want Recover-only")
+	}
+	if _, _, err := Recover[uint64](Config{Window: time.Second}); !errors.Is(err, shard.ErrNotDurable) {
+		t.Fatalf("Recover without a directory: %v, want ErrNotDurable", err)
+	}
+	rec, _, err := Recover[uint64](durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Close()
+}

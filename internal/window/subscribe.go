@@ -1,0 +1,110 @@
+package window
+
+import (
+	"sync"
+
+	"hhgb/internal/gb"
+)
+
+// Summary is the per-window digest published to subscribers when a window
+// seals. Err is non-nil when the seal-time aggregation failed (the window
+// itself sealed regardless); the counting fields are zero then.
+type Summary[T gb.Number] struct {
+	Level        int
+	Start, End   int64 // the window's event-time bounds, unix nanoseconds
+	Entries      int   // distinct stored cells
+	Sources      int   // non-empty rows
+	Destinations int   // non-empty columns
+	Total        T     // sum of stored values
+	Err          error
+}
+
+// Subscription is one live feed of seal summaries. The store publishes
+// exactly one Summary per sealed window, in global seal order; the queue
+// is unbounded, so a slow consumer delays nobody (it trades memory for
+// the ordering guarantee). Close it when done; the store's Close ends
+// every subscription.
+type Subscription[T gb.Number] struct {
+	store  *Store[T]
+	id     uint64
+	levels map[int]bool // nil = all levels
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Summary[T]
+	closed bool
+}
+
+// Subscribe registers a feed of seal summaries for the given levels (none
+// = every level). Windows sealed before the call are not replayed.
+func (s *Store[T]) Subscribe(levels ...int) *Subscription[T] {
+	sub := &Subscription[T]{store: s}
+	sub.cond = sync.NewCond(&sub.mu)
+	if len(levels) > 0 {
+		sub.levels = make(map[int]bool, len(levels))
+		for _, l := range levels {
+			sub.levels[l] = true
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sub.Close()
+		return sub
+	}
+	s.nextSub++
+	sub.id = s.nextSub
+	s.subs[sub.id] = sub
+	s.mu.Unlock()
+	return sub
+}
+
+func (sub *Subscription[T]) wants(level int) bool {
+	return sub.levels == nil || sub.levels[level]
+}
+
+func (sub *Subscription[T]) push(sum Summary[T]) {
+	sub.mu.Lock()
+	if !sub.closed {
+		sub.queue = append(sub.queue, sum)
+		sub.cond.Signal()
+	}
+	sub.mu.Unlock()
+}
+
+// Next blocks until the next summary is available and returns it; ok is
+// false once the subscription is closed and its queue drained.
+func (sub *Subscription[T]) Next() (sum Summary[T], ok bool) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	for len(sub.queue) == 0 && !sub.closed {
+		sub.cond.Wait()
+	}
+	if len(sub.queue) == 0 {
+		return sum, false
+	}
+	sum = sub.queue[0]
+	sub.queue = sub.queue[1:]
+	return sum, true
+}
+
+// Pending returns the queued, not-yet-consumed summary count.
+func (sub *Subscription[T]) Pending() int {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return len(sub.queue)
+}
+
+// Close ends the subscription: Next drains the queue, then reports done.
+// Idempotent; safe concurrently with the store sealing windows.
+func (sub *Subscription[T]) Close() {
+	if sub.store != nil && sub.id != 0 {
+		sub.store.mu.Lock()
+		delete(sub.store.subs, sub.id)
+		sub.store.mu.Unlock()
+	}
+	sub.mu.Lock()
+	sub.closed = true
+	sub.cond.Broadcast()
+	sub.mu.Unlock()
+}

@@ -1,0 +1,849 @@
+// Package window is the temporal frontend of the sharded ingest engine: a
+// Store partitions the insert stream into fixed-duration time windows, each
+// backed by its own shard.Group cascade, and arranges the sealed windows
+// into a roll-up hierarchy (fine windows summed into coarser epochs by
+// matrix addition — the time-axis analogue of the paper's hierarchical
+// accumulation, following "Vertical, Temporal, and Horizontal Scaling of
+// Hierarchical Hypersparse GraphBLAS Matrices", arXiv:2108.06650).
+//
+// # Windows and sealing
+//
+// Every append carries an event timestamp; the entry lands in the level-0
+// window [k·W, (k+1)·W) containing it, where W is Config.Window. The store
+// tracks the high watermark (largest timestamp seen) and seals a window
+// once the watermark passes its end by Config.Lateness: sealing excludes
+// in-flight appends (a per-window barrier), closes the window's group —
+// its ingest workers stop, the matrix stays fully queryable, and a durable
+// window takes its final checkpoint — and publishes a per-window Summary
+// to every Subscription, in seal order. Appends older than the seal
+// frontier fail with ErrLate (counted, never silently dropped).
+//
+// # Roll-ups and retention
+//
+// Config.RollUps defines coarser levels: with Window = 1s and RollUps =
+// {60, 60}, sealed 1s windows are summed into 1m windows, and those into
+// 1h windows, as soon as the watermark passes the coarse span. Because
+// GraphBLAS addition is linear, a roll-up window is exactly the sum of its
+// children — so a range query may answer from one coarse matrix instead of
+// many fine ones, and retention (Config.Retentions, per level) can expire
+// the fine windows while the coarse ones keep serving long-range queries.
+// Expiry closes and removes a sealed window (and deletes its durable
+// state); a Range resolved before the expiry keeps working — closed groups
+// remain queryable, so an in-flight query never races a deletion.
+//
+// # Range queries
+//
+// QueryRange(t0, t1) resolves a cover: a set of non-overlapping windows
+// whose spans tile [t0, t1), preferring the coarsest window that fits
+// entirely inside the range (one roll-up matrix instead of its many
+// children). Only the cover's windows are ever touched — per-window query
+// counters prove it — and each query merges the per-window, per-shard
+// pushdown results exactly as the shard layer merges shards: totals and
+// sums add, top-k ranks the merged vector, Lookup sums the (at most one
+// per window) cells. The result is bit-identical to materializing the
+// cover into one flat matrix and querying that.
+package window
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/hier"
+	"hhgb/internal/shard"
+)
+
+// ErrClosed is returned by Append, Seal, Flush, and Checkpoint after Close.
+var ErrClosed = errors.New("window: store is closed")
+
+// ErrLate is returned (wrapped; test with errors.Is) by Append when the
+// batch's timestamp falls in a window that has already been sealed: the
+// watermark passed it by more than Config.Lateness. The batch was not
+// applied; Stats().LateDrops counts the dropped entries.
+var ErrLate = errors.New("window: timestamp behind the seal frontier")
+
+// DefaultLateness is the default out-of-orderness budget: a window seals
+// only once the watermark passes its end by this much.
+const DefaultLateness = 0 * time.Second
+
+// Config describes a temporal window store.
+type Config struct {
+	// Window is the level-0 window duration. Required, > 0.
+	Window time.Duration
+	// RollUps lists the per-level roll-up factors: level i+1 windows span
+	// RollUps[i] level-i windows (each factor must be >= 2). Empty keeps a
+	// single level.
+	RollUps []int
+	// Retentions is the per-level retention: a sealed level-i window is
+	// expired once the watermark passes its end by Retentions[i]. Zero (or
+	// a missing entry) keeps that level forever. Expiring a level that
+	// still feeds an un-materialized roll-up loses data for long-range
+	// queries; retentions should be at least the parent level's span.
+	Retentions []time.Duration
+	// Lateness is the out-of-orderness budget: a window [s, s+W) seals
+	// once watermark >= s+W+Lateness. Appends behind the frontier fail
+	// with ErrLate.
+	Lateness time.Duration
+	// Shard configures every window's shard.Group. Shard.Durable.Dir, when
+	// set, is the STORE root: each window persists under its own
+	// subdirectory, and Recover restores the whole store from the root.
+	Shard shard.Config
+}
+
+// State of one window in its lifecycle.
+type State int32
+
+const (
+	// Active: the window's group is live and accepting appends.
+	Active State = iota
+	// Sealing: picked for sealing; appends are already refused.
+	Sealing
+	// Sealed: closed (workers stopped, queryable), summary published.
+	Sealed
+	// Expired: removed by retention; only visible in counters.
+	Expired
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Sealing:
+		return "sealing"
+	case Sealed:
+		return "sealed"
+	case Expired:
+		return "expired"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// key identifies a window: its level and aligned start time.
+type key struct {
+	level int
+	start int64
+}
+
+// win is one window: a shard.Group plus lifecycle state.
+//
+// Locking: state, queries, and rolled are guarded by the store mutex. wmu
+// is the append/seal barrier: appenders hold it shared around g.Update,
+// the sealer holds it exclusively while flipping state to Sealing — so a
+// seal never runs with an append in flight, and the seal-time summary is
+// complete.
+type win[T gb.Number] struct {
+	level      int
+	start, end int64 // event-time bounds [start, end), unix nanoseconds
+	g          *shard.Group[T]
+	dir        string // durable subdirectory; "" when in-memory
+
+	wmu     sync.RWMutex
+	state   State
+	rolled  bool  // summed into a sealed parent window
+	queries int64 // range-query cover inclusions (tests assert span locality)
+}
+
+// Store is a temporal window store over one logical nrows x ncols matrix.
+// Append is safe for concurrent use by any number of goroutines; queries
+// may run concurrently with ingest, sealing, and expiry.
+type Store[T gb.Number] struct {
+	nrows, ncols gb.Index
+	cfg          Config
+	spans        []int64 // per-level window span, nanoseconds
+
+	// mu guards the window map, watermark/frontier, counters, pending
+	// seal queue, and subscriber registry. It is never held across group
+	// calls (Update/Flush/Close/queries), which can block.
+	mu        sync.Mutex
+	wins      map[key]*win[T]
+	watermark int64 // largest event timestamp seen (exclusive frontier input)
+	sealedTo  int64 // level-0 windows ending at or before this are sealed
+	closed    bool
+	pending   []*win[T] // windows marked Sealing, in seal order
+
+	// sealMu serializes seal execution and subscriber dispatch, so every
+	// subscriber observes one summary per sealed window in global seal
+	// order. Never held together with mu.
+	sealMu sync.Mutex
+
+	subs    map[uint64]*Subscription[T]
+	nextSub uint64
+
+	stats Stats
+}
+
+// Stats counts the store's lifecycle events.
+type Stats struct {
+	Active    int   // windows currently accepting appends
+	Sealed    int   // sealed windows currently retained (all levels)
+	Seals     int64 // windows sealed so far (all levels)
+	RollUps   int64 // roll-up windows materialized
+	Expired   int64 // windows removed by retention
+	LateDrops int64 // entries refused with ErrLate
+}
+
+// Info describes one retained window; see Store.Windows.
+type Info struct {
+	Level      int
+	Start, End int64
+	State      State
+	Rolled     bool
+	Queries    int64 // range-query covers that included this window
+	Entries    int   // stored cells (sealed windows only; 0 for active)
+}
+
+// New returns an empty store. With Shard.Durable.Dir set, the root
+// directory is claimed (single owner, like a durable group's) and a store
+// manifest is written; restore an existing root with Recover instead.
+func New[T gb.Number](nrows, ncols gb.Index, cfg Config) (*Store[T], error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("%w: window duration %v", gb.ErrInvalidValue, cfg.Window)
+	}
+	if cfg.Lateness < 0 {
+		return nil, fmt.Errorf("%w: negative lateness %v", gb.ErrInvalidValue, cfg.Lateness)
+	}
+	spans := []int64{int64(cfg.Window)}
+	for i, f := range cfg.RollUps {
+		if f < 2 {
+			return nil, fmt.Errorf("%w: roll-up factor %d at level %d (need >= 2)", gb.ErrInvalidValue, f, i)
+		}
+		spans = append(spans, spans[len(spans)-1]*int64(f))
+	}
+	s := &Store[T]{
+		nrows: nrows,
+		ncols: ncols,
+		cfg:   cfg,
+		spans: spans,
+		wins:  make(map[key]*win[T]),
+		subs:  make(map[uint64]*Subscription[T]),
+	}
+	if cfg.Shard.Durable.Dir != "" {
+		if err := s.initDurable(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// NRows returns the row dimension.
+func (s *Store[T]) NRows() gb.Index { return s.nrows }
+
+// NCols returns the column dimension.
+func (s *Store[T]) NCols() gb.Index { return s.ncols }
+
+// Window returns the level-0 window duration.
+func (s *Store[T]) Window() time.Duration { return s.cfg.Window }
+
+// Levels returns the number of hierarchy levels (1 + len(RollUps)).
+func (s *Store[T]) Levels() int { return len(s.spans) }
+
+// Span returns the duration of one window at the given level.
+func (s *Store[T]) Span(level int) time.Duration { return time.Duration(s.spans[level]) }
+
+// Durable reports whether the store persists its windows.
+func (s *Store[T]) Durable() bool { return s.cfg.Shard.Durable.Dir != "" }
+
+// ShardsPerWindow returns the shard count each window's group runs with
+// (the configured value, or the GOMAXPROCS default the shard layer would
+// resolve).
+func (s *Store[T]) ShardsPerWindow() int {
+	if s.cfg.Shard.Shards > 0 {
+		return s.cfg.Shard.Shards
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Watermark returns the largest event timestamp observed.
+func (s *Store[T]) Watermark() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watermark
+}
+
+// SealedTo returns the seal frontier: every level-0 window ending at or
+// before it is sealed, and appends behind it fail with ErrLate.
+func (s *Store[T]) SealedTo() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealedTo
+}
+
+// alignDown floors ts to a span boundary. Timestamps are non-negative
+// (Append enforces it), so integer division is the floor.
+func alignDown(ts, span int64) int64 { return ts - ts%span }
+
+// alignUp ceils ts to a span boundary.
+func alignUp(ts, span int64) int64 {
+	if r := ts % span; r != 0 {
+		return ts - r + span
+	}
+	return ts
+}
+
+// groupConfig builds the shard.Config for one window's group.
+func (s *Store[T]) groupConfig(dir string) shard.Config {
+	cfg := s.cfg.Shard
+	cfg.Durable.Dir = dir
+	return cfg
+}
+
+// newWin creates (and registers) a window at the given level and start.
+// Callers hold mu.
+func (s *Store[T]) newWin(level int, start int64) (*win[T], error) {
+	dir := ""
+	if s.Durable() {
+		dir = s.winDir(level, start)
+	}
+	cfg := s.groupConfig(dir)
+	if level > 0 {
+		// Roll-up windows are write-once and immediately sealed: a flat
+		// single-level store with a large producer handoff ingests their
+		// few huge sorted runs with linear merges, where the streaming
+		// cascade (sized for endless small batches) would re-pay its
+		// whole promotion ladder on historical data.
+		cfg.Hier = hier.Config{}
+		if cfg.Handoff < 1<<16 {
+			cfg.Handoff = 1 << 16
+		}
+	}
+	g, err := shard.NewGroup[T](s.nrows, s.ncols, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := &win[T]{
+		level: level,
+		start: start,
+		end:   start + s.spans[level],
+		g:     g,
+		dir:   dir,
+	}
+	s.wins[key{level, start}] = w
+	if level == 0 {
+		s.stats.Active++
+	}
+	return w, nil
+}
+
+// Append routes one batch of updates, all stamped with the event timestamp
+// ts (unix nanoseconds, >= 0), into the level-0 window containing ts. It
+// is safe for concurrent use. Appends behind the seal frontier fail with
+// ErrLate; crossing a window boundary may trigger sealing (and roll-up and
+// expiry) work, which runs on the caller.
+func (s *Store[T]) Append(ts int64, rows, cols []gb.Index, vals []T) error {
+	if ts < 0 {
+		return fmt.Errorf("%w: negative timestamp %d", gb.ErrInvalidValue, ts)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if ts > s.watermark {
+		s.watermark = ts
+	}
+	start := alignDown(ts, s.spans[0])
+	if start < s.sealedTo {
+		s.stats.LateDrops += int64(len(rows))
+		s.mu.Unlock()
+		return fmt.Errorf("%w: ts %d is before frontier %d", ErrLate, ts, s.sealedTo)
+	}
+	w := s.wins[key{0, start}]
+	if w == nil {
+		var err error
+		if w, err = s.newWin(0, start); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	sealWork := s.scheduleSealsLocked()
+	s.mu.Unlock()
+
+	// Ingest outside the store lock: Update may block on a full shard
+	// queue, and the shared wmu excludes the sealer, so a seal-time
+	// summary always includes every append that beat it here.
+	w.wmu.RLock()
+	var err error
+	if w.state != Active {
+		// The window was picked for sealing between the lookup and the
+		// lock: the entry became late mid-flight (another producer pushed
+		// the watermark past it). Refuse it exactly like any late append.
+		err = fmt.Errorf("%w: window [%d,%d) sealed mid-append", ErrLate, w.start, w.end)
+		s.mu.Lock()
+		s.stats.LateDrops += int64(len(rows))
+		s.mu.Unlock()
+	} else {
+		err = w.g.Update(rows, cols, vals)
+	}
+	w.wmu.RUnlock()
+
+	if sealWork {
+		s.runSeals()
+	}
+	return err
+}
+
+// Seal advances the seal frontier to cover every level-0 window ending at
+// or before upTo (aligned down to a window boundary), sealing them — and
+// running any roll-ups and expiry that unlocks — before returning. It also
+// advances the watermark to upTo, so a quiet stream can be sealed by a
+// clock instead of by new data.
+func (s *Store[T]) Seal(upTo int64) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if upTo > s.watermark {
+		s.watermark = upTo
+	}
+	target := alignDown(upTo, s.spans[0])
+	sealWork := false
+	if target > s.sealedTo {
+		sealWork = s.scheduleSealsTo(target)
+	}
+	s.mu.Unlock()
+	if sealWork {
+		s.runSeals()
+	}
+	return nil
+}
+
+// scheduleSealsLocked derives the frontier from the watermark and lateness
+// and queues newly-sealable windows. Callers hold mu; returns whether any
+// seal work was queued (the caller then runs runSeals without mu).
+func (s *Store[T]) scheduleSealsLocked() bool {
+	if s.watermark < int64(s.cfg.Lateness) {
+		return false // the whole stream is still within the lateness budget
+	}
+	target := alignDown(s.watermark-int64(s.cfg.Lateness), s.spans[0])
+	if target <= s.sealedTo {
+		return false
+	}
+	return s.scheduleSealsTo(target)
+}
+
+// scheduleSealsTo marks every active level-0 window ending at or before
+// target as Sealing and queues it in start order (a map scan, NOT a walk
+// over boundaries: the frontier can jump by an absolute wall-clock span,
+// while live windows number at most a handful). Callers hold mu; the
+// frontier must be advancing (target > s.sealedTo). Empty boundaries seal
+// implicitly — there is no window to close — but the advance itself can
+// still unlock roll-ups and expiry, so this always reports seal work.
+func (s *Store[T]) scheduleSealsTo(target int64) bool {
+	var due []*win[T]
+	for _, w := range s.wins {
+		if w.level == 0 && w.state == Active && w.end <= target {
+			w.state = Sealing
+			s.stats.Active--
+			due = append(due, w)
+		}
+	}
+	sort.Slice(due, func(a, b int) bool { return due[a].start < due[b].start })
+	s.pending = append(s.pending, due...)
+	s.sealedTo = target
+	return true
+}
+
+// runSeals drains the pending-seal queue in order: each window is sealed
+// (append barrier, group close, summary publication), then roll-ups and
+// retention are applied. sealMu makes the whole sequence single-file, so
+// subscribers observe seal order and roll-ups never race their children.
+func (s *Store[T]) runSeals() {
+	s.sealMu.Lock()
+	defer s.sealMu.Unlock()
+	for {
+		s.mu.Lock()
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			break
+		}
+		w := s.pending[0]
+		s.pending = s.pending[1:]
+		s.mu.Unlock()
+		s.sealWin(w)
+	}
+	s.rollUp()
+	s.expire()
+	if s.Durable() {
+		s.persistMetaBestEffort()
+	}
+}
+
+// sealWin seals one window: exclude in-flight appends, close the group
+// (final checkpoint when durable), mark it on disk, publish its summary.
+// Runs under sealMu.
+func (s *Store[T]) sealWin(w *win[T]) {
+	w.wmu.Lock()
+	// State was Sealing since scheduling; appends that raced the schedule
+	// have either completed under the shared lock or will observe the
+	// state and report ErrLate.
+	w.wmu.Unlock()
+	// Close drains every producer buffer and queue, stops the workers,
+	// takes the final checkpoint when durable, and leaves the group fully
+	// queryable — a sealed window costs zero goroutines.
+	_ = w.g.Close()
+	if w.dir != "" {
+		s.markSealed(w)
+	}
+	sum := s.summarize(w)
+	s.mu.Lock()
+	w.state = Sealed
+	s.stats.Seals++
+	s.stats.Sealed++
+	subs := make([]*Subscription[T], 0, len(s.subs))
+	for _, sub := range s.subs {
+		if sub.wants(w.level) {
+			subs = append(subs, sub)
+		}
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.push(sum)
+	}
+}
+
+// summarize computes a sealed window's published summary in ONE row-major
+// pass over the window's merged matrix: total and distinct-row count fall
+// out of the iteration order, distinct columns from a set. The pushdown
+// vector reductions would answer the same questions, but their
+// column-wise vectors pay a comparison sort per seal — an order of
+// magnitude over this scan on the profile — and a sealed window will
+// never amortize a cache fill.
+func (s *Store[T]) summarize(w *win[T]) Summary[T] {
+	sum := Summary[T]{Level: w.level, Start: w.start, End: w.end}
+	q, err := w.g.Query()
+	if err != nil {
+		sum.Err = err
+		return sum
+	}
+	sum.Entries = q.NVals()
+	var total T
+	cols := make(map[gb.Index]struct{}, sum.Entries)
+	var lastRow gb.Index
+	q.Iterate(func(i, j gb.Index, v T) bool {
+		total += v
+		if sum.Sources == 0 || i != lastRow {
+			sum.Sources++
+			lastRow = i
+		}
+		cols[j] = struct{}{}
+		return true
+	})
+	sum.Total = total
+	sum.Destinations = len(cols)
+	return sum
+}
+
+// rollUp materializes every complete coarse window whose span the frontier
+// has passed: the children (sealed level-i windows inside the span) are
+// summed into a fresh level-i+1 group, which is immediately sealed and
+// published like any window. Runs under sealMu; cascades upward, so a 1m
+// completion can complete an hour.
+func (s *Store[T]) rollUp() {
+	for lvl := 0; lvl+1 < len(s.spans); lvl++ {
+		span := s.spans[lvl+1]
+		for {
+			s.mu.Lock()
+			// Find the earliest sealed, un-rolled child at this level; its
+			// parent span is the roll-up candidate.
+			var first *win[T]
+			for _, w := range s.wins {
+				if w.level == lvl && w.state == Sealed && !w.rolled {
+					if first == nil || w.start < first.start {
+						first = w
+					}
+				}
+			}
+			if first == nil {
+				s.mu.Unlock()
+				break
+			}
+			pstart := alignDown(first.start, span)
+			pend := pstart + span
+			if s.sealedTo < pend {
+				s.mu.Unlock()
+				break // the parent span is still open
+			}
+			var children []*win[T]
+			for b := pstart; b < pend; b += s.spans[lvl] {
+				if c := s.wins[key{lvl, b}]; c != nil && c.state == Sealed && !c.rolled {
+					children = append(children, c)
+				}
+			}
+			for _, c := range children {
+				c.rolled = true
+			}
+			s.mu.Unlock()
+			if err := s.materializeParent(lvl+1, pstart, children); err != nil {
+				// Un-mark so a later seal retries the roll-up; the fine
+				// windows keep answering queries either way.
+				s.mu.Lock()
+				for _, c := range children {
+					c.rolled = false
+				}
+				s.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// materializeParent builds one roll-up window as the matrix sum of its
+// children and seals it. Runs under sealMu. The parent's entries arrive
+// as a handful of huge row-major-sorted runs (each child's materialized
+// Σ), so the chunks are sized to keep the per-chunk merge linear work
+// dominant — re-cascading a historical matrix through small ingest
+// batches would roughly double the whole stream's ingest cost.
+func (s *Store[T]) materializeParent(level int, pstart int64, children []*win[T]) error {
+	s.mu.Lock()
+	if s.wins[key{level, pstart}] != nil {
+		s.mu.Unlock()
+		return nil // already materialized (recovery can leave one behind)
+	}
+	p, err := s.newWin(level, pstart)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// On ANY failure past this point the half-filled parent must vanish
+	// entirely — deregistered, closed, durable state deleted — or a later
+	// roll-up pass would see it registered, assume the work done, and a
+	// cover could serve the partial sum forever.
+	fill := func() error {
+		const chunk = 1 << 17
+		rows := make([]gb.Index, 0, chunk)
+		cols := make([]gb.Index, 0, chunk)
+		vals := make([]T, 0, chunk)
+		for _, c := range children {
+			q, err := c.g.Query()
+			if err != nil {
+				return err
+			}
+			flush := func() error {
+				if len(rows) == 0 {
+					return nil
+				}
+				err := p.g.Update(rows, cols, vals)
+				rows, cols, vals = rows[:0], cols[:0], vals[:0]
+				return err
+			}
+			var uerr error
+			q.Iterate(func(i, j gb.Index, v T) bool {
+				rows, cols, vals = append(rows, i), append(cols, j), append(vals, v)
+				if len(rows) == chunk {
+					if uerr = flush(); uerr != nil {
+						return false
+					}
+				}
+				return true
+			})
+			if uerr == nil {
+				uerr = flush()
+			}
+			if uerr != nil {
+				return uerr
+			}
+		}
+		return nil
+	}
+	if err := fill(); err != nil {
+		s.mu.Lock()
+		delete(s.wins, key{level, pstart})
+		s.mu.Unlock()
+		_ = p.g.Close()
+		if p.dir != "" {
+			s.removeWinDir(p)
+		}
+		return err
+	}
+	s.mu.Lock()
+	p.state = Sealing
+	s.stats.RollUps++
+	s.mu.Unlock()
+	s.sealWin(p)
+	return nil
+}
+
+// expire removes sealed windows whose retention has passed. Runs under
+// sealMu. Closed groups stay queryable, so a Range resolved before the
+// expiry keeps working; only the map entry (and any durable state) goes.
+func (s *Store[T]) expire() {
+	s.mu.Lock()
+	var victims []*win[T]
+	for k, w := range s.wins {
+		if w.state != Sealed {
+			continue
+		}
+		r := s.retention(w.level)
+		if r <= 0 {
+			continue
+		}
+		if s.watermark-w.end >= r {
+			w.state = Expired
+			s.stats.Sealed--
+			s.stats.Expired++
+			delete(s.wins, k)
+			victims = append(victims, w)
+		}
+	}
+	s.mu.Unlock()
+	for _, w := range victims {
+		if w.dir != "" {
+			s.removeWinDir(w)
+		}
+	}
+}
+
+// retention returns the configured retention for a level (0 = forever).
+func (s *Store[T]) retention(level int) int64 {
+	if level < len(s.cfg.Retentions) {
+		return int64(s.cfg.Retentions[level])
+	}
+	return 0
+}
+
+// Flush drains and completes all pending ingest work in every active
+// window (a durable group-commit point, like Sharded.Flush). Sealed
+// windows are already final.
+func (s *Store[T]) Flush() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	var live []*win[T]
+	for _, w := range s.wins {
+		if w.state == Active {
+			live = append(live, w)
+		}
+	}
+	s.mu.Unlock()
+	for _, w := range live {
+		if err := w.g.Flush(); err != nil && !errors.Is(err, shard.ErrClosed) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint checkpoints every active window's group (sealed windows took
+// their final checkpoint at seal time). It fails with shard.ErrNotDurable
+// on an in-memory store.
+func (s *Store[T]) Checkpoint() error {
+	if !s.Durable() {
+		return shard.ErrNotDurable
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	var live []*win[T]
+	for _, w := range s.wins {
+		if w.state == Active {
+			live = append(live, w)
+		}
+	}
+	s.mu.Unlock()
+	for _, w := range live {
+		if err := w.g.Checkpoint(); err != nil && !errors.Is(err, shard.ErrClosed) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops the store: active windows' groups close (final checkpoint
+// when durable) WITHOUT sealing — they resume as active after Recover —
+// and every subscription ends. The store stays fully queryable; Append,
+// Seal, Flush, and Checkpoint fail with ErrClosed afterwards. Close is
+// idempotent.
+func (s *Store[T]) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var live []*win[T]
+	for _, w := range s.wins {
+		if w.state == Active {
+			live = append(live, w)
+		}
+	}
+	subs := make([]*Subscription[T], 0, len(s.subs))
+	for _, sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	// Drain any queued seal work first so its windows close exactly once.
+	s.runSeals()
+	var first error
+	for _, w := range live {
+		w.wmu.Lock()
+		err := w.g.Close()
+		w.wmu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.Durable() {
+		s.persistMetaBestEffort()
+		shard.ReleaseDirLock(s.cfg.Shard.Durable.Dir)
+	}
+	for _, sub := range subs {
+		sub.Close()
+	}
+	return first
+}
+
+// Stats snapshots the lifecycle counters.
+func (s *Store[T]) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Windows lists every retained window (all levels), sorted by level then
+// start, with its per-window query counter — the observable the span-
+// locality tests assert on. Entries is filled for sealed windows only
+// (counting an active window would barrier its ingest).
+func (s *Store[T]) Windows() []Info {
+	s.mu.Lock()
+	infos := make([]Info, 0, len(s.wins))
+	sealed := make([]*win[T], 0, len(s.wins))
+	for _, w := range s.wins {
+		infos = append(infos, Info{
+			Level: w.level, Start: w.start, End: w.end,
+			State: w.state, Rolled: w.rolled, Queries: w.queries,
+		})
+		if w.state == Sealed {
+			sealed = append(sealed, w)
+		}
+	}
+	s.mu.Unlock()
+	counts := make(map[key]int, len(sealed))
+	for _, w := range sealed {
+		if n, err := w.g.NVals(); err == nil {
+			counts[key{w.level, w.start}] = n
+		}
+	}
+	for i := range infos {
+		infos[i].Entries = counts[key{infos[i].Level, infos[i].Start}]
+	}
+	sortInfos(infos)
+	return infos
+}
+
+func sortInfos(infos []Info) {
+	sort.Slice(infos, func(a, b int) bool {
+		if infos[a].Level != infos[b].Level {
+			return infos[a].Level < infos[b].Level
+		}
+		return infos[a].Start < infos[b].Start
+	})
+}

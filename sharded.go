@@ -72,6 +72,9 @@ func NewSharded(dim uint64, opts ...Option) (*Sharded, error) {
 	if o.syncEvery != 0 && o.durDir == "" {
 		return nil, fmt.Errorf("%w: WithSyncEvery requires WithDurability", gb.ErrInvalidValue)
 	}
+	if o.windowedOnly() {
+		return nil, fmt.Errorf("%w: windowing options apply to NewWindowed, not NewSharded", gb.ErrInvalidValue)
+	}
 	g, err := shard.NewGroup[uint64](gb.Index(dim), gb.Index(dim), shard.Config{
 		Shards:  o.shards,
 		Depth:   o.queueDepth,
@@ -114,6 +117,9 @@ func Recover(dir string, opts ...Option) (*Sharded, error) {
 	}
 	if o.shards != 0 || o.cuts != nil {
 		return nil, fmt.Errorf("%w: shard count and cuts are fixed by the recovered manifest", gb.ErrInvalidValue)
+	}
+	if o.windowedOnly() {
+		return nil, fmt.Errorf("%w: windowing options apply to NewWindowed, not Recover", gb.ErrInvalidValue)
 	}
 	if o.durDir != "" && o.durDir != dir {
 		return nil, fmt.Errorf("%w: WithDurability(%q) conflicts with Recover dir %q", gb.ErrInvalidValue, o.durDir, dir)

@@ -1,0 +1,205 @@
+package hhgb_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"hhgb"
+)
+
+// base is an arbitrary fixed wall-clock origin for the windowed tests.
+var base = time.Unix(1_700_000_000, 0)
+
+func TestWindowedFacadeEndToEnd(t *testing.T) {
+	wm, err := hhgb.NewWindowed(1<<20, time.Second,
+		hhgb.WithRollUps(4),
+		hhgb.WithLateness(time.Hour), // sealing driven explicitly below
+		hhgb.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wm.Close()
+	if wm.Window() != time.Second || wm.Levels() != 2 || wm.Span(1) != 4*time.Second {
+		t.Fatalf("shape: window=%v levels=%d span1=%v", wm.Window(), wm.Levels(), wm.Span(1))
+	}
+
+	sub := wm.Subscribe(0)
+	// Window w gets w+1 observations of (7, w).
+	for w := 0; w < 8; w++ {
+		ts := base.Add(time.Duration(w)*time.Second + 100*time.Millisecond)
+		for i := 0; i <= w; i++ {
+			if err := wm.Append(ts, []uint64{7}, []uint64{uint64(w)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := wm.Seal(base.Add(8 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	st := wm.WindowStats()
+	if st.Seals != 10 || st.RollUps != 2 { // 8 level-0 + 2 roll-ups sealed
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Range over windows 2..5: 3+4+5+6 = 18 packets.
+	v, err := wm.QueryRange(base.Add(2*time.Second), base.Add(6*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := v.TotalPackets(); err != nil || n != 18 {
+		t.Fatalf("TotalPackets = %d (%v), want 18", n, err)
+	}
+	if n, err := v.Entries(); err != nil || n != 4 {
+		t.Fatalf("Entries = %d (%v), want 4", n, err)
+	}
+	if got, ok, err := v.Lookup(7, 3); err != nil || !ok || got != 4 {
+		t.Fatalf("Lookup(7,3) = %d/%v/%v, want 4", got, ok, err)
+	}
+	top, err := v.TopSources(1)
+	if err != nil || len(top) != 1 || top[0].ID != 7 || top[0].Value != 18 {
+		t.Fatalf("TopSources = %v (%v)", top, err)
+	}
+	sum, err := v.Summary()
+	if err != nil || sum.TotalPackets != 18 || sum.Sources != 1 || sum.Destinations != 4 {
+		t.Fatalf("Summary = %+v (%v)", sum, err)
+	}
+
+	// An aligned roll-up epoch answers from one window.
+	v2, err := wm.QueryRange(base, base.Add(4*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Windows() != 1 {
+		t.Fatalf("rolled epoch covered by %d windows: %v", v2.Windows(), v2.Spans())
+	}
+	if n, _ := v2.TotalPackets(); n != 1+2+3+4 {
+		t.Fatalf("rolled epoch packets = %d, want 10", n)
+	}
+
+	// Late appends are refused, not silently dropped.
+	if err := wm.Append(base.Add(time.Second), []uint64{1}, []uint64{1}); !errors.Is(err, hhgb.ErrLate) {
+		t.Fatalf("late append: %v, want ErrLate", err)
+	}
+	if wm.WindowStats().LateDrops != 1 {
+		t.Fatalf("LateDrops = %d, want 1", wm.WindowStats().LateDrops)
+	}
+
+	// The subscription saw the eight level-0 seals in order.
+	wm.Close()
+	var got []hhgb.WindowSummary
+	for {
+		s, ok := sub.Next()
+		if !ok {
+			break
+		}
+		got = append(got, s)
+	}
+	if len(got) != 8 {
+		t.Fatalf("received %d summaries, want 8", len(got))
+	}
+	for i, s := range got {
+		if want := base.Add(time.Duration(i) * time.Second); !s.Start.Equal(want) {
+			t.Fatalf("summary %d starts %v, want %v", i, s.Start, want)
+		}
+		if s.Packets != uint64(i+1) || s.Entries != 1 {
+			t.Fatalf("summary %d: %+v", i, s)
+		}
+	}
+}
+
+func TestWindowedDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	wm, err := hhgb.NewWindowed(1<<16, time.Second,
+		hhgb.WithLateness(time.Hour),
+		hhgb.WithShards(2),
+		hhgb.WithDurability(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		ts := base.Add(time.Duration(w) * time.Second)
+		if err := wm.AppendWeighted(ts, []uint64{uint64(w)}, []uint64{9}, []uint64{100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wm.Seal(base.Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := hhgb.RecoverWindowed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Dim() != 1<<16 || rec.Window() != time.Second {
+		t.Fatalf("recovered shape: dim=%d window=%v", rec.Dim(), rec.Window())
+	}
+	st := rec.WindowStats()
+	if st.Sealed != 2 || st.Active != 2 {
+		t.Fatalf("recovered stats: %+v", st)
+	}
+	v, err := rec.QueryRange(base, base.Add(4*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := v.TotalPackets(); err != nil || n != 400 {
+		t.Fatalf("recovered packets = %d (%v), want 400", n, err)
+	}
+	// The recovered matrix keeps ingesting past the frontier.
+	if err := rec.Append(base.Add(5*time.Second), []uint64{5}, []uint64{5}); err != nil {
+		t.Fatal(err)
+	}
+	// Shape options are fixed by the manifest.
+	if _, err := hhgb.RecoverWindowed(dir, hhgb.WithRollUps(4)); err == nil {
+		t.Fatal("RecoverWindowed accepted WithRollUps")
+	}
+}
+
+func TestWindowedOptionsRejectedElsewhere(t *testing.T) {
+	if _, err := hhgb.New(1<<10, hhgb.WithRollUps(4)); err == nil {
+		t.Fatal("New accepted WithRollUps")
+	}
+	if _, err := hhgb.NewSharded(1<<10, hhgb.WithLateness(time.Second)); err == nil {
+		t.Fatal("NewSharded accepted WithLateness")
+	}
+	if _, err := hhgb.NewSharded(1<<10, hhgb.WithRetentions(time.Minute)); err == nil {
+		t.Fatal("NewSharded accepted WithRetentions")
+	}
+	if _, err := hhgb.NewWindowed(1<<10, 0); err == nil {
+		t.Fatal("NewWindowed accepted a zero window")
+	}
+	if _, err := hhgb.NewWindowed(1<<10, time.Second, hhgb.WithRollUps(1)); err == nil {
+		t.Fatal("NewWindowed accepted a roll-up factor of 1")
+	}
+}
+
+// ExampleNewWindowed streams timestamped traffic into one-second windows
+// rolled up in fours, then answers a range query from the hierarchy.
+func ExampleNewWindowed() {
+	start := time.Unix(1_700_000_000, 0)
+	wm, _ := hhgb.NewWindowed(1<<32, time.Second, hhgb.WithRollUps(4), hhgb.WithLateness(time.Hour))
+	defer wm.Close()
+
+	sub := wm.Subscribe(0)
+	for w := 0; w < 4; w++ {
+		ts := start.Add(time.Duration(w) * time.Second)
+		_ = wm.Append(ts, []uint64{10, 10}, []uint64{20, uint64(30 + w)})
+	}
+	_ = wm.Seal(start.Add(4 * time.Second)) // seals 4 windows, rolls up one 4s epoch
+
+	v, _ := wm.QueryRange(start.Add(1*time.Second), start.Add(3*time.Second))
+	packets, _ := v.TotalPackets()
+	fmt.Printf("windows touched: %d, packets: %d\n", v.Windows(), packets)
+
+	first, _ := sub.Next()
+	fmt.Printf("first sealed window: %ds, %d packets\n", first.Start.Unix()-start.Unix(), first.Packets)
+	// Output:
+	// windows touched: 2, packets: 4
+	// first sealed window: 0s, 2 packets
+}
