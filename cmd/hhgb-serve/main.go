@@ -18,8 +18,12 @@
 // is write-ahead-logged under dir and a client Flush is a group-commit
 // point; if dir already holds durable state (a previous run's — clean
 // shutdown or crash), it is recovered first, so restarting after kill -9
-// resumes from the durable prefix. With -tls-cert/-tls-key, every
-// connection speaks TLS.
+// resumes from the durable prefix. Client session dedup tables are
+// journaled and checkpointed with the store, so a reconnecting
+// hhgbclient resumes its exactly-once session across the restart: the
+// handshake reports the session's durable frontier and retransmitted
+// frames at or below it are acked without re-applying. With
+// -tls-cert/-tls-key, every connection speaks TLS.
 //
 // The process prints one "listening on ADDR" line once it accepts
 // connections (scripts parse it to learn a :0 port), serves operator
@@ -123,6 +127,12 @@ func run(addr string, scale, shards int, window time.Duration, rollups, retentio
 		closeStore()
 		return err
 	}
+	// The signal handler must be live before the listening line prints:
+	// scripts parse that line as "ready", and ready includes being safe
+	// to SIGINT/SIGTERM without killing the process over a half-open
+	// store.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	fmt.Printf("listening on %s\n", ln.Addr())
 
 	if statsAddr != "" {
@@ -140,8 +150,6 @@ func run(addr string, scale, shards int, window time.Duration, rollups, retentio
 
 	// Graceful shutdown: drain connections, then close the store (final
 	// checkpoint when durable).
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		s := <-sig
 		log.Printf("%v: draining", s)

@@ -15,6 +15,14 @@
 // Several trafficgen processes can hammer one server concurrently; each
 // should get its own -seed.
 //
+// The driver clients run exactly-once sessions with auto-reconnect: a
+// server restart mid-run (even kill -9 of a durable server) only pauses
+// the stream — unacked frames retransmit under the resumed session and
+// nothing lands twice. -verify closes the loop: after the final Flush it
+// compares the server's packet total against the weights actually
+// generated and exits nonzero on any mismatch, so a smoke run that kills
+// and restarts the server still asserts the exact -edges count landed.
+//
 // With -rate, edges carry event timestamps advancing 1/R seconds per edge
 // from -start (unix seconds): TSV output gains a fourth ts column
 // (nanoseconds), and -connect streams timestamped inserts — required
@@ -24,13 +32,16 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"hhgb"
 	"hhgb/hhgbclient"
 	"hhgb/internal/gb"
 	"hhgb/internal/powerlaw"
@@ -52,10 +63,11 @@ func main() {
 		batch   = flag.Int("batch", 4096, "entries per insert frame (with -connect)")
 		rate    = flag.Float64("rate", 0, "event-time edges per second; 0 = untimestamped edges")
 		start   = flag.Int64("start", 1_700_000_000, "event time of the first edge, unix seconds (with -rate)")
+		verify  = flag.Bool("verify", false, "after streaming, compare the server's packet total to the generated stream (with -connect)")
 	)
 	flag.Parse()
 	if *connect != "" {
-		if err := runConnect(*connect, *conns, *batch, *edges, *scale, *gen, *alpha, *seed, *rate, *start); err != nil {
+		if err := runConnect(*connect, *conns, *batch, *edges, *scale, *gen, *alpha, *seed, *rate, *start, *verify); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -98,9 +110,29 @@ func newGen(gen string, scale int, alpha float64, seed uint64) (func() powerlaw.
 	}
 }
 
+// retryTransient retries op while the server is briefly away (a restart
+// mid-run): the client's auto-reconnect re-dials on the next call, but
+// that dial keeps failing until the server is back on the address.
+// Definitive outcomes — success, an explicitly dropped batch, a closed
+// client — surface immediately; only transient unreachability is retried.
+func retryTransient(op func() error) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		err := op()
+		if err == nil ||
+			errors.Is(err, hhgbclient.ErrOverloaded) ||
+			errors.Is(err, hhgbclient.ErrRejected) ||
+			errors.Is(err, hhgbclient.ErrClosed) ||
+			time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 // runConnect streams the workload into a server over conns connections
 // and reports the aggregate rate.
-func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha float64, seed uint64, rate float64, startSec int64) error {
+func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha float64, seed uint64, rate float64, startSec int64, verify bool) error {
 	if conns < 1 {
 		return fmt.Errorf("-conns %d < 1", conns)
 	}
@@ -112,9 +144,10 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 	// are streamed whatever the split.
 	rem := edges % conns
 	var (
-		wg    sync.WaitGroup
-		errMu sync.Mutex
-		first error
+		wg          sync.WaitGroup
+		errMu       sync.Mutex
+		first       error
+		sentPackets atomic.Uint64 // total weight streamed and flushed
 	)
 	fail := func(err error) {
 		errMu.Lock()
@@ -137,7 +170,7 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 				fail(err)
 				return
 			}
-			c, err := hhgbclient.Dial(addr, hhgbclient.WithFlushEntries(batch))
+			c, err := hhgbclient.Dial(addr, hhgbclient.WithFlushEntries(batch), hhgbclient.WithReconnect())
 			if err != nil {
 				fail(fmt.Errorf("conn %d: %w", i, err))
 				return
@@ -155,7 +188,8 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 			src := make([]uint64, 0, batch)
 			dst := make([]uint64, 0, batch)
 			wgt := make([]uint64, 0, batch)
-			var batchTS int64 // event time of the buffered batch (timestamped mode)
+			var batchTS int64    // event time of the buffered batch (timestamped mode)
+			var myPackets uint64 // weight streamed by this connection
 			ship := func() error {
 				if len(src) == 0 {
 					return nil
@@ -166,8 +200,13 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 				} else {
 					err = c.AppendWeighted(src, dst, wgt)
 				}
+				if err != nil {
+					// An Append error consumes nothing: the local batch is
+					// intact and retryTransient re-ships it verbatim.
+					return err
+				}
 				src, dst, wgt = src[:0], dst[:0], wgt[:0]
-				return err
+				return nil
 			}
 			for k := 0; k < mine; k++ {
 				e := next()
@@ -178,7 +217,7 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 					ts := stamp(k)
 					w := int64(c.Window())
 					if len(src) > 0 && ts-ts%w != batchTS-batchTS%w {
-						if err := ship(); err != nil {
+						if err := retryTransient(ship); err != nil {
 							fail(fmt.Errorf("conn %d: %w", i, err))
 							return
 						}
@@ -190,20 +229,23 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 				src = append(src, e.Row)
 				dst = append(dst, e.Col)
 				wgt = append(wgt, e.Val)
+				myPackets += e.Val
 				if len(src) == batch {
-					if err := ship(); err != nil {
+					if err := retryTransient(ship); err != nil {
 						fail(fmt.Errorf("conn %d: %w", i, err))
 						return
 					}
 				}
 			}
-			if err := ship(); err != nil {
+			if err := retryTransient(ship); err != nil {
 				fail(fmt.Errorf("conn %d: %w", i, err))
 				return
 			}
-			if err := c.Flush(); err != nil {
+			if err := retryTransient(c.Flush); err != nil {
 				fail(fmt.Errorf("conn %d: flush: %w", i, err))
+				return
 			}
+			sentPackets.Add(myPackets)
 		}(i)
 	}
 	wg.Wait()
@@ -217,17 +259,26 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 
 	// One extra connection reads the server's aggregate view, so a smoke
 	// run doubles as an end-to-end query check.
-	c, err := hhgbclient.Dial(addr)
-	if err != nil {
+	var sum hhgb.Summary
+	if err := retryTransient(func() error {
+		c, err := hhgbclient.Dial(addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		sum, err = c.Summary()
 		return err
-	}
-	defer c.Close()
-	sum, err := c.Summary()
-	if err != nil {
+	}); err != nil {
 		return err
 	}
 	log.Printf("server summary: %d entries, %d sources, %d destinations, %d packets",
 		sum.Entries, sum.Sources, sum.Destinations, sum.TotalPackets)
+	if verify {
+		if want := sentPackets.Load(); sum.TotalPackets != want {
+			return fmt.Errorf("verify: server holds %d packets, stream carried %d (lost or doubled frames)", sum.TotalPackets, want)
+		}
+		log.Printf("verify: server totals match the sent stream exactly (%d packets)", sentPackets.Load())
+	}
 	return nil
 }
 

@@ -42,26 +42,44 @@
 // a black hole. Test with errors.Is against ErrOverloaded, ErrRejected,
 // ErrServerClosed, and ErrDisconnected.
 //
-// # Reconnect
+// # Sessions, reconnect, and exactly-once
 //
-// With WithReconnect, a client whose connection died re-dials and
-// re-handshakes on the next call. Batches that were acked are safe on the
-// server; batches still buffered locally (never sent) carry over to the
-// new session and ship normally. Batches sent but unacked at the moment
-// of disconnect have unknown fate — the server may or may not have
-// applied them — so the client does NOT re-send them (a duplicate would
-// double-count, since inserts accumulate); it counts them in Lost and
-// clears the sticky error only if there were none. A stream that needs
-// exactly-once across reconnects should Flush at its own commit points
-// and treat a non-zero Lost as the signal to reconcile (e.g. via Lookup)
-// before resuming.
+// Every client speaks an exactly-once session: Dial picks a random
+// session identifier (pin one with WithSession), every insert frame's
+// seq becomes the server's (session, seq) dedup key, and the client
+// keeps each sent-but-unacked frame in a retransmit ring. When the
+// connection dies, nothing is in doubt:
+//
+//   - Batches still buffered locally (never sent) carry over and ship
+//     normally.
+//   - Batches sent but unacked stay in the ring. On reconnect (explicit
+//     Reconnect, or the next call with WithReconnect) the client resumes
+//     its session; the server's Welcome reports the session's highest
+//     safely-applied seq, the client drops ring frames at or below it,
+//     and retransmits the rest in order. A frame the server had already
+//     applied — the ack was lost in transit — is recognized by its seq
+//     and acked again without re-applying, so nothing double-counts.
+//   - On a durable server, acked frames stay in the ring until a Flush
+//     or Checkpoint ack covers them: a server kill -9 may lose acked but
+//     un-fsynced batches, and the reconnecting client retransmits
+//     exactly those. Flush at your commit points to bound the ring.
+//
+// The two losses sessions cannot absorb are explicit, never silent: an
+// overloaded or rejected batch was definitively dropped by the server
+// (sticky ErrOverloaded/ErrRejected — retransmitting it could reorder
+// the stream, so the producer decides), and a client process crash loses
+// the ring itself (resuming a pinned session then continues at the
+// server's frontier; in-doubt frames of the dead process stay in doubt).
 package hhgbclient
 
 import (
+	"crypto/rand"
 	"crypto/tls"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -100,6 +118,7 @@ type options struct {
 	maxPending    int
 	dialTimeout   time.Duration
 	reconnect     bool
+	session       string
 	tls           *tls.Config
 }
 
@@ -159,6 +178,23 @@ func WithReconnect() Option {
 	}
 }
 
+// WithSession pins the client's exactly-once session identifier instead
+// of the random one Dial mints. Use it to resume a stream's session
+// across client processes: the reconnect handshake reports the session's
+// frontier, and the new process continues above it. Session identifiers
+// are at most proto.MaxSession bytes and must not be shared by
+// concurrent producers — the dedup key is (session, seq), so two writers
+// on one session silently drop each other's frames.
+func WithSession(id string) Option {
+	return func(o *options) error {
+		if id == "" || len(id) > proto.MaxSession {
+			return fmt.Errorf("hhgbclient: session id length %d outside [1, %d]", len(id), proto.MaxSession)
+		}
+		o.session = id
+		return nil
+	}
+}
+
 // WithTLS dials the server over TLS with the given configuration (nil is
 // rejected — pass an explicit config, e.g. one whose RootCAs hold the
 // server's certificate). Reconnects use it too.
@@ -174,9 +210,16 @@ func WithTLS(cfg *tls.Config) Option {
 
 // call is one pipelined request awaiting its response.
 type call struct {
-	kind    byte
-	entries int           // insert frames: batch size, for Lost accounting
-	done    chan response // nil for inserts (acked in the background)
+	kind byte
+	done chan response // nil for inserts (acked in the background)
+}
+
+// sentFrame is one insert frame in the retransmit ring: the encoded body
+// (its seq baked in, so a retransmission is byte-identical) plus the kind
+// to frame it under.
+type sentFrame struct {
+	kind byte
+	body []byte
 }
 
 type response struct {
@@ -191,20 +234,30 @@ type response struct {
 // for concurrent use; Append calls from multiple goroutines interleave at
 // batch granularity.
 type Client struct {
-	addr string
-	opt  options
+	addr    string
+	opt     options
+	session string // exactly-once session id; constant for the client's life
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signaled when the pipeline window opens or the conn dies
 	nc      net.Conn
 	w       *proto.Writer
 	welcome proto.Welcome
+	// seq numbers every request frame, monotonically across reconnects —
+	// never reset, because insert seqs are the session's dedup keys.
 	seq     uint64
 	pending map[uint64]*call
 	unacked int // pending insert frames
-	src     []uint64
-	dst     []uint64
-	wgt     []uint64
+	// sent is the retransmit ring: every insert frame written to the wire
+	// and not yet known safe on the server. Non-durable servers: removed
+	// on its ack. Durable servers: removed when a Flush/Checkpoint ack
+	// covers it (an ack alone does not survive kill -9). On reconnect,
+	// frames above the server's reported frontier retransmit in seq
+	// order.
+	sent map[uint64]sentFrame
+	src  []uint64
+	dst  []uint64
+	wgt  []uint64
 	// bufTS is the event-time bucket of the buffered entries (windowed
 	// sessions; meaningful only when bufTimed). All buffered entries share
 	// one bucket: AppendAt ships the buffer before starting a new one.
@@ -213,17 +266,13 @@ type Client struct {
 	subs     map[uint64]*clientSub // live subscriptions keyed by their seq
 	err      error                 // sticky: first async failure
 	dead     bool                  // connection-level failure (reconnect can clear)
-	closing  bool                  // Goodbye in flight: the server hanging up is expected
-	closed   bool
-	gen      int // bumped per (re)connect; receivers tag themselves with it
-
-	lostBatches int64
-	lostEntries int64
-	// unackedLoss marks losses not yet acknowledged by Reconnect: it —
-	// not the cumulative Lost counters — gates auto-reconnect, so a
-	// later loss-free disconnect still auto-reconnects once earlier
-	// losses were acknowledged.
-	unackedLoss bool
+	// lossErr marks the sticky error as a definitive batch loss
+	// (overload, rejection): auto-reconnect must not clear it — only an
+	// explicit Reconnect, which acknowledges the loss.
+	lossErr bool
+	closing bool // Goodbye in flight: the server hanging up is expected
+	closed  bool
+	gen     int // bumped per (re)connect; receivers tag themselves with it
 
 	tick *time.Ticker
 	stop chan struct{}
@@ -242,7 +291,16 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 			return nil, err
 		}
 	}
-	c := &Client{addr: addr, opt: o, stop: make(chan struct{})}
+	session := o.session
+	if session == "" {
+		var raw [16]byte
+		if _, err := rand.Read(raw[:]); err != nil {
+			return nil, fmt.Errorf("hhgbclient: minting session id: %v", err)
+		}
+		session = hex.EncodeToString(raw[:])
+	}
+	c := &Client{addr: addr, opt: o, session: session, stop: make(chan struct{})}
+	c.sent = make(map[uint64]sentFrame)
 	c.cond = sync.NewCond(&c.mu)
 	c.mu.Lock()
 	err := c.connectLocked()
@@ -277,7 +335,11 @@ func (c *Client) connectLocked() error {
 	}
 	w := proto.NewWriter(nc)
 	r := proto.NewReader(nc)
-	if err := w.WriteFrame(proto.KindHello, proto.AppendHello(nil)); err != nil {
+	// The resume seq is the highest seq this client has assigned: zero on
+	// the first connect, so the server can tell fresh sessions from
+	// resumed ones. The server's Welcome answers with its own (durable)
+	// frontier, which is the authoritative one.
+	if err := w.WriteFrame(proto.KindHello, proto.AppendHello(nil, c.session, c.seq)); err != nil {
 		nc.Close()
 		return fmt.Errorf("%w: %v", ErrDisconnected, err)
 	}
@@ -308,24 +370,67 @@ func (c *Client) connectLocked() error {
 		nc.Close()
 		return fmt.Errorf("hhgbclient: handshake: %v", err)
 	}
+	if c.gen > 0 && (wel.Dim != c.welcome.Dim || wel.Window != c.welcome.Window || wel.Durable != c.welcome.Durable) {
+		// A different server answered the session's address. Dedup state
+		// means nothing against a different store — refuse loudly rather
+		// than resume into it.
+		nc.Close()
+		return fmt.Errorf("hhgbclient: reconnected to a different server (dim %d→%d, window %d→%d, durable %v→%v)",
+			c.welcome.Dim, wel.Dim, c.welcome.Window, wel.Window, c.welcome.Durable, wel.Durable)
+	}
 	c.nc = nc
 	c.w = w
 	c.welcome = wel
-	c.seq = 0
 	c.pending = make(map[uint64]*call)
 	c.unacked = 0
 	c.dead = false
 	c.err = nil
 	c.gen++
-	// Subscriptions are per-session server state: a fresh session has
-	// none, so any survivors of the old one end here (their callbacks
-	// stop; re-Subscribe on the new session to resume).
+	// The server's frontier covers every ring frame at or below it: those
+	// are safely applied (and durable, on a durable server) — drop them.
+	for seq := range c.sent {
+		if seq <= wel.LastSeq {
+			delete(c.sent, seq)
+		}
+	}
+	// A resumed session (e.g. WithSession across a client restart) starts
+	// numbering above the server's frontier, or retransmits would collide
+	// with seqs the dedup table already holds.
+	if wel.LastSeq > c.seq {
+		c.seq = wel.LastSeq
+	}
+	// Subscriptions are per-connection server state: a fresh connection
+	// has none, so any survivors of the old one end here (their callbacks
+	// stop; re-Subscribe to resume).
 	for seq, sub := range c.subs {
 		delete(c.subs, seq)
 		sub.close()
 	}
 	c.subs = make(map[uint64]*clientSub)
 	go c.receive(r, nc, c.gen)
+	// Retransmit the ring in seq order under the resumed session, ahead
+	// of any new traffic. The server recognizes every frame it already
+	// applied by its seq and just re-acks it.
+	if len(c.sent) > 0 {
+		seqs := make([]uint64, 0, len(c.sent))
+		for seq := range c.sent {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			fr := c.sent[seq]
+			if err := c.w.WriteFrame(fr.kind, fr.body); err != nil {
+				c.failLocked(fmt.Errorf("%w: retransmit: %v", ErrDisconnected, err))
+				return c.err
+			}
+			c.pending[seq] = &call{kind: fr.kind}
+			c.unacked++
+		}
+		if err := c.w.Flush(); err != nil {
+			c.failLocked(fmt.Errorf("%w: retransmit: %v", ErrDisconnected, err))
+			return c.err
+		}
+	}
 	return nil
 }
 
@@ -456,7 +561,13 @@ func (c *Client) dispatch(gen int, f proto.Frame) (fatal bool) {
 	}
 	call, ok := c.pending[seq]
 	if !ok {
-		// Unknown seq: protocol violation from the server.
+		if seq <= c.seq {
+			// A response for a seq we assigned but no longer wait on: a
+			// duplicate delivery (e.g. the network replayed a frame and
+			// the server re-acked it). Exactly-once absorbs it silently.
+			return false
+		}
+		// A seq we never assigned: protocol violation from the server.
 		c.failLocked(fmt.Errorf("%w: response for unknown seq %d", ErrDisconnected, seq))
 		return true
 	}
@@ -464,17 +575,32 @@ func (c *Client) dispatch(gen int, f proto.Frame) (fatal bool) {
 	if call.kind == proto.KindInsert || call.kind == proto.KindInsertAt {
 		c.unacked--
 		if resp.err != nil {
-			// The server dropped this batch (overload, validation): its
-			// entries are definitively lost, and the failure is sticky —
-			// a producer loop must not keep streaming into a black hole.
-			c.lostBatches++
-			c.lostEntries += int64(call.entries)
+			// The server dropped this batch (overload, validation): it
+			// will never apply, so retransmitting it later could reorder
+			// the stream — out of the ring, and the failure is sticky so
+			// a producer loop cannot keep streaming into a black hole.
+			delete(c.sent, seq)
 			if c.err == nil {
 				c.err = resp.err
 			}
+			c.lossErr = true
+		} else if !c.welcome.Durable {
+			// Accepted on a non-durable server: as safe as it ever gets.
+			delete(c.sent, seq)
 		}
 		c.cond.Broadcast()
 		return false
+	}
+	if (call.kind == proto.KindFlush || call.kind == proto.KindCheckpoint) && resp.err == nil {
+		// The barrier covers every insert acked before it, and program
+		// order means every insert seq below the barrier's was acked
+		// first: those frames are now fsynced on a durable server — the
+		// ring can forget them.
+		for s := range c.sent {
+			if s < seq {
+				delete(c.sent, s)
+			}
+		}
 	}
 	call.done <- resp
 	return false
@@ -491,8 +617,9 @@ func (c *Client) sessionFailed(gen int, err error) {
 }
 
 // failLocked is the shared connection-death path: record the sticky
-// error, count unacked insert frames as lost, fail waiting calls, wake
-// blocked senders.
+// error, fail waiting calls, wake blocked senders. Unacked insert frames
+// stay in the retransmit ring — the next connection re-sends them under
+// the session, so a dead connection never loses them.
 func (c *Client) failLocked(err error) {
 	c.dead = true
 	if c.err == nil && !c.closed && !c.closing {
@@ -501,9 +628,6 @@ func (c *Client) failLocked(err error) {
 	for seq, call := range c.pending {
 		delete(c.pending, seq)
 		if call.kind == proto.KindInsert || call.kind == proto.KindInsertAt {
-			c.lostBatches++
-			c.lostEntries += int64(call.entries)
-			c.unackedLoss = true
 			c.unacked--
 		} else {
 			call.done <- response{err: err}
@@ -525,10 +649,11 @@ func (c *Client) readyLocked() error {
 	if c.closed {
 		return ErrClosed
 	}
-	if c.dead && c.opt.reconnect && !c.unackedLoss {
-		// Nothing of unacknowledged unknown fate: a fresh session is
-		// indistinguishable from an uninterrupted one (modulo
-		// server-side state, which acked batches already reached).
+	if c.dead && c.opt.reconnect && !c.lossErr {
+		// A dead connection lost nothing: resume the session, retransmit
+		// the ring, carry on. A sticky batch error (overload, rejection)
+		// is NOT auto-cleared — the producer must acknowledge the loss
+		// via Reconnect.
 		if err := c.connectLocked(); err != nil {
 			return err
 		}
@@ -576,11 +701,11 @@ func (c *Client) Durable() bool { return c.welcome.Durable }
 // AppendAt/AppendWeightedAt — plain Append is refused on both ends.
 func (c *Client) Window() time.Duration { return time.Duration(c.welcome.Window) }
 
-// Reconnect explicitly restarts a failed session — a dead connection, or
-// a live one poisoned by a sticky batch error — even when batches were
-// lost (WithReconnect only auto-reconnects loss-free sessions): calling
-// it acknowledges the losses, which stay readable via Lost. It is a
-// no-op on a healthy session and fails with ErrClosed after Close.
+// Reconnect explicitly restarts a failed connection — a dead one, or a
+// live one poisoned by a sticky batch error (which WithReconnect alone
+// never clears): calling it acknowledges any definitive batch loss and
+// resumes the session, retransmitting the ring. It is a no-op on a
+// healthy connection and fails with ErrClosed after Close.
 func (c *Client) Reconnect() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -591,19 +716,26 @@ func (c *Client) Reconnect() error {
 		return nil
 	}
 	if !c.dead {
-		c.failLocked(c.err) // tear the poisoned session down first
+		c.failLocked(c.err) // tear the poisoned connection down first
 	}
-	c.unackedLoss = false // calling Reconnect acknowledges the losses
+	c.lossErr = false // calling Reconnect acknowledges the loss
 	return c.connectLocked()
 }
 
-// Lost reports the insert frames (and their entries) whose fate is
-// unknown: sent but unacked when a connection died. They were not
-// re-sent; see the package comment.
-func (c *Client) Lost() (batches, entries int64) {
+// Session returns the client's exactly-once session identifier — the one
+// from WithSession, or the random one Dial minted. Persist it (plus your
+// own commit point) to resume the stream from another process.
+func (c *Client) Session() string { return c.session }
+
+// / Unacked reports the insert frames currently in the retransmit ring:
+// sent, but not yet known safe on the server (unacked; or acked but not
+// yet covered by a Flush/Checkpoint on a durable server). Zero after a
+// successful Flush means everything this client ever appended is applied
+// — and durable, on a durable server.
+func (c *Client) Unacked() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.lostBatches, c.lostEntries
+	return len(c.sent)
 }
 
 // Err returns the sticky error, if any.
@@ -619,6 +751,14 @@ func (c *Client) Err() error {
 // The slices are copied before the call returns. On a windowed server it
 // fails — use AppendAt, which carries the event timestamp the server
 // routes by.
+//
+// Append is all-or-nothing: a non-nil error means this call's entries
+// were NOT taken (retrying the same batch is safe), while nil means the
+// session owns them — buffered, shipped, or riding the retransmit ring —
+// even if the connection died mid-call (the failure surfaces on the next
+// call; reconnect replays whatever is in flight). Never re-send a batch
+// Append accepted: the copy would carry fresh seqs the server cannot
+// deduplicate.
 func (c *Client) Append(src, dst []uint64) error {
 	return c.append(src, dst, nil, 0, false)
 }
@@ -691,12 +831,32 @@ func (c *Client) append(src, dst, weight []uint64, ts int64, timed bool) error {
 	} else {
 		c.wgt = append(c.wgt, weight...)
 	}
+	// The buffering above is the transactional boundary: an error before
+	// it means this call consumed nothing (safe to retry verbatim), while
+	// from here on the session owns the entries, so ship failures are
+	// filtered through bufferedShipErr.
 	for len(c.src) >= c.opt.flushEntries {
 		if err := c.shipBufferLocked(); err != nil {
-			return err
+			return c.bufferedShipErr(err)
 		}
 	}
-	return c.flushWireLocked()
+	return c.bufferedShipErr(c.flushWireLocked())
+}
+
+// bufferedShipErr filters a ship failure that struck after the calling
+// append had already buffered its entries. A dying session is not a loss
+// at that point — every shipped frame sits in the retransmit ring and
+// the remainder stays in the local buffer, both replayed on the next
+// connection — and reporting it as the append's error would tempt the
+// caller into re-sending entries the session still owns, double-counting
+// them under fresh seqs that dedup cannot catch. The failure stays
+// sticky and surfaces on the next call's readyLocked instead. Close is
+// different: the caller tore the session down and must see that.
+func (c *Client) bufferedShipErr(err error) error {
+	if err == nil || errors.Is(err, ErrClosed) {
+		return err
+	}
+	return nil
 }
 
 // shipBufferLocked sends up to one threshold-sized insert frame from the
@@ -742,15 +902,19 @@ func (c *Client) shipBufferLocked() error {
 	if err != nil {
 		return err
 	}
-	if err := c.w.WriteFrame(kind, body); err != nil {
-		c.failLocked(fmt.Errorf("%w: %v", ErrDisconnected, err))
-		return c.err
-	}
-	c.pending[seq] = &call{kind: kind, entries: n}
-	c.unacked++
+	// Into the retransmit ring BEFORE the write: if the write tears the
+	// connection, the frame's fate is simply "unacked" and the next
+	// connection retransmits it — a dead socket loses nothing.
+	c.sent[seq] = sentFrame{kind: kind, body: body}
 	c.src = c.src[:copy(c.src, c.src[n:])]
 	c.dst = c.dst[:copy(c.dst, c.dst[n:])]
 	c.wgt = c.wgt[:copy(c.wgt, c.wgt[n:])]
+	if err := c.w.WriteFrame(kind, body); err != nil {
+		c.failLocked(fmt.Errorf("%w: %v", ErrDisconnected, err))
+		return nil
+	}
+	c.pending[seq] = &call{kind: kind}
+	c.unacked++
 	return nil
 }
 
@@ -995,7 +1159,7 @@ func (s *clientSub) close() {
 // the callbacks (after any already-queued summaries drain; the server
 // keeps pushing until the connection closes — frames for a cancelled
 // subscription are discarded). Subscriptions do not survive reconnects:
-// a new session starts with none, so re-Subscribe after Reconnect.
+// a new connection starts with none, so re-Subscribe after Reconnect.
 func (c *Client) Subscribe(level int, fn func(hhgb.WindowSummary)) (cancel func(), err error) {
 	if fn == nil {
 		return nil, fmt.Errorf("hhgbclient: Subscribe needs a callback")

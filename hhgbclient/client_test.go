@@ -329,8 +329,11 @@ func TestOverloadSurfacesAndReconnectRecovers(t *testing.T) {
 	if err := c.Flush(); !errors.Is(err, hhgbclient.ErrOverloaded) {
 		t.Fatalf("Flush after overload = %v, want ErrOverloaded", err)
 	}
-	if b, e := c.Lost(); b != 1 || e != 8 {
-		t.Fatalf("Lost = %d batches, %d entries; want 1, 8", b, e)
+	// The overloaded frame is definitively gone: it must leave the
+	// retransmit ring (replaying it after later frames advanced the
+	// session frontier would be silently dedup-dropped, masking the loss).
+	if n := c.Unacked(); n != 0 {
+		t.Fatalf("overloaded frame still in retransmit ring: %d unacked", n)
 	}
 	// Reconnect acknowledges the loss; smaller batches then fit.
 	if err := c.Reconnect(); err != nil {
@@ -415,8 +418,8 @@ func TestAutoReconnect(t *testing.T) {
 	if sum.Entries != 0 {
 		t.Fatalf("fresh server Summary = %+v", sum)
 	}
-	if b, _ := c.Lost(); b != 0 {
-		t.Fatalf("loss-free session reports %d lost batches", b)
+	if n := c.Unacked(); n != 0 {
+		t.Fatalf("loss-free session holds %d unacked frames after Flush", n)
 	}
 	if err := c.Append([]uint64{1}, []uint64{2}); err != nil {
 		t.Fatal(err)
@@ -427,6 +430,88 @@ func TestAutoReconnect(t *testing.T) {
 	if v, found, err := c.Lookup(1, 2); err != nil || !found || v != 1 {
 		t.Fatalf("Lookup after reconnect = %d, %v, %v", v, found, err)
 	}
+}
+
+// TestRetransmitAfterSeverExactlyOnce severs the connection while insert
+// frames may still be unacked in the retransmit ring, brings a new server
+// up over the SAME matrix (so the session table survives, as it does
+// across a durable server's restart), and proves the resumed session
+// replays exactly the frames the first server never applied: the final
+// matrix is bit-identical to the sent stream — nothing lost, nothing
+// doubled, whichever side of the ack each frame was severed on.
+func TestRetransmitAfterSeverExactlyOnce(t *testing.T) {
+	const dim = uint64(1) << 20
+	m, err := hhgb.NewSharded(dim, hhgb.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s1, err := server.New(server.Config{Matrix: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln1.Addr().String()
+	go s1.Serve(ln1)
+
+	c, err := hhgbclient.Dial(addr, hhgbclient.WithReconnect(),
+		hhgbclient.WithFlushEntries(32), hhgbclient.WithFlushInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// First half ships ~10 frames; the server dies right behind them, so
+	// any suffix may be unacked (or acked but the ack severed) — the
+	// retransmit ring owns whatever is in doubt.
+	s1a, d1a, w1a := streamDeterministic(t, c, 1, 5, 64, dim)
+	s1.Close()
+
+	s2, err := server.New(server.Config{Matrix: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s2.Serve(ln2)
+	defer s2.Close()
+
+	// Flush retries until the auto-reconnect lands; success means the ring
+	// was replayed under the resumed session and everything is applied.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err = c.Flush(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no reconnect before deadline; last error: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := c.Unacked(); n != 0 {
+		t.Fatalf("%d frames unacked after successful Flush", n)
+	}
+
+	// Second half proves the resumed session keeps numbering past the
+	// frontier instead of colliding with it.
+	s1b, d1b, w1b := streamDeterministic(t, c, 2, 5, 64, dim)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := hhgb.New(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.UpdateWeighted(append(s1a, s1b...), append(d1a, d1b...), append(w1a, w1b...)); err != nil {
+		t.Fatal(err)
+	}
+	assertSameState(t, m, ref)
 }
 
 // buildServe compiles cmd/hhgb-serve once per test run.

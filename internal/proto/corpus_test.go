@@ -71,7 +71,8 @@ func frames(t *testing.T, pairs ...any) []byte {
 }
 
 // seedCorpus enumerates every seed file the corpus should hold, keyed by
-// target and name. Bodies cover every frame kind of protocol version 2.
+// target and name. Bodies cover every frame kind of protocol version 3,
+// including the session-bearing Hello/Welcome handshake.
 func seedCorpus(t *testing.T) map[string]map[string][]byte {
 	t.Helper()
 	insert, err := AppendInsert(nil, 3, []uint64{1, 1 << 40}, []uint64{2, 1<<64 - 1}, []uint64{1, 9})
@@ -85,8 +86,10 @@ func seedCorpus(t *testing.T) map[string]map[string][]byte {
 	ws := AppendWindowSummary(nil, WindowSummary{Sub: 5, Level: 1, Start: 1e18, End: 2e18, Entries: 3, Sources: 2, Destinations: 3, Packets: 44})
 	return map[string]map[string][]byte{
 		"FuzzReaderNext": {
-			"handshake": frames(t, KindHello, AppendHello(nil),
-				KindWelcome, AppendWelcome(nil, Welcome{Version: Version, Dim: 1 << 32, Shards: 4, Durable: true, Window: 1e9})),
+			"handshake": frames(t, KindHello, AppendHello(nil, "seed-session", 41),
+				KindWelcome, AppendWelcome(nil, Welcome{Version: Version, Dim: 1 << 32, Shards: 4, Durable: true, Window: 1e9, LastSeq: 41})),
+			"handshake-anon": frames(t, KindHello, AppendHello(nil, "", 0),
+				KindWelcome, AppendWelcome(nil, Welcome{Version: Version, Dim: 1 << 20, Shards: 2})),
 			"ingest": frames(t, KindInsert, insert, KindInsertAt, insertAt,
 				KindFlush, AppendSeq(nil, 5), KindCheckpoint, AppendSeq(nil, 6), KindGoodbye, AppendSeq(nil, 7)),
 			"queries": frames(t, KindLookup, AppendLookup(nil, 8, 11, 13),
@@ -109,9 +112,14 @@ func seedCorpus(t *testing.T) map[string]map[string][]byte {
 		"FuzzParseInsertAt": {
 			"small": insertAt,
 		},
+		"FuzzParseHello": {
+			"session":   AppendHello(nil, "seed-session", 41),
+			"anonymous": AppendHello(nil, "", 0),
+			"truncated": AppendHello(nil, "seed-session", 41)[:7],
+		},
 		"FuzzParseBodies": {
-			"hello":         AppendHello(nil),
-			"welcome":       AppendWelcome(nil, Welcome{Version: Version, Dim: 1 << 24, Shards: 2, Window: 1e9}),
+			"hello":         AppendHello(nil, "seed-session", 41),
+			"welcome":       AppendWelcome(nil, Welcome{Version: Version, Dim: 1 << 24, Shards: 2, Window: 1e9, LastSeq: 41}),
 			"lookup":        AppendLookup(nil, 1, 2, 3),
 			"lookupresp":    AppendLookupResp(nil, 1, true, 300),
 			"topk":          AppendTopK(nil, 1, AxisSources, 5),
@@ -131,7 +139,7 @@ func seedCorpus(t *testing.T) map[string]map[string][]byte {
 // and otherwise verifies the checked-in files byte-match what the current
 // builders produce (so corpus and protocol can never drift apart), that
 // every FuzzReaderNext seed decodes as a clean frame stream, and that all
-// of version 2's frame kinds — the temporal ones included — appear in the
+// of version 3's frame kinds — the temporal ones included — appear in the
 // reader corpus.
 func TestSeedCorpusIsFreshAndValid(t *testing.T) {
 	want := seedCorpus(t)

@@ -71,12 +71,12 @@ func FuzzParseBodies(f *testing.F) {
 	f.Add(AppendTopKResp(nil, 5, []Ranked{{1, 2}, {3, 4}}))
 	f.Add(AppendSummaryResp(nil, 6, Summary{Entries: 10}))
 	f.Add(AppendError(nil, 7, ErrCodeOverload, "overloaded"))
-	f.Add(AppendHello(nil))
+	f.Add(AppendHello(nil, "sess-fuzz", 42))
 	f.Add(AppendRangeTopK(nil, 8, AxisSources, 10, 1e9, 2e9))
 	f.Add(AppendSubscribe(nil, 9, SubscribeAllLevels))
 	f.Add(AppendWindowSummary(nil, WindowSummary{Sub: 9, Start: 1e9, End: 2e9, Entries: 5, Packets: 50}))
 	f.Fuzz(func(t *testing.T, body []byte) {
-		_, _ = ParseHello(body)
+		_, _, _, _ = ParseHello(body)
 		_, _ = ParseWelcome(body)
 		_, _ = ParseSeq(body)
 		_, _, _, _ = ParseLookup(body)
@@ -92,6 +92,35 @@ func FuzzParseBodies(f *testing.F) {
 		_, _, _, _ = ParseRangeSummary(body)
 		_, _, _ = ParseSubscribe(body)
 		_, _ = ParseWindowSummary(body)
+	})
+}
+
+// FuzzParseHello targets the handshake parser on its own — the one parser
+// that must stay partially total: when the magic and version decode, the
+// version must come back even if the session fields are torn, so a server
+// can tell an old client from a hostile one. Seeds include a truncated
+// session-bearing Hello (the wire shape of a v3 frame cut mid-session).
+func FuzzParseHello(f *testing.F) {
+	good := AppendHello(nil, "sess-fuzz", 1<<40)
+	f.Add(good)
+	f.Add(good[:6]) // cut inside the session length/body: v3 truncation
+	f.Add(AppendHello(nil, "", 0))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		v, session, resume, err := ParseHello(body)
+		if err != nil {
+			if session != "" || resume != 0 {
+				t.Fatalf("error path leaked session %q / resume %d", session, resume)
+			}
+			if v != 0 && len(body) < 5 {
+				t.Fatalf("version %d from a %d-byte body", v, len(body))
+			}
+			return
+		}
+		if len(session) > MaxSession {
+			t.Fatalf("session of %d bytes exceeds MaxSession", len(session))
+		}
+		_ = v
 	})
 }
 

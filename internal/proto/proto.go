@@ -16,11 +16,20 @@
 //
 // # Session
 //
-// A session opens with the client's Hello (magic + protocol version) and
-// the server's Welcome (negotiated version, matrix dimension, shard count,
-// durability flag). Then the client pipelines requests, each carrying a
-// client-assigned sequence number (starting at 1; 0 is reserved for
-// connection-level errors), and the server responds per request:
+// A connection opens with the client's Hello — magic, protocol version,
+// a client-chosen session identifier, and the resume seq (the highest seq
+// the client believes acknowledged; informational) — and the server's
+// Welcome: negotiated version, matrix dimension, shard count, durability
+// flag, window duration, and LastSeq, the server's highest durably-applied
+// insert seq for that session. The session identifier, not the TCP
+// connection, is the exactly-once dedup scope: a client that reconnects
+// under the same session may retransmit any insert frame above LastSeq,
+// and the server acks duplicates without re-applying them. An empty
+// session opts out of dedup (fire-and-forget ingest). Then the client
+// pipelines requests, each carrying a client-assigned sequence number
+// (starting at 1, strictly increasing within the session across
+// reconnects; 0 is reserved for connection-level errors), and the server
+// responds per request:
 //
 //	Insert      → Ack          batch accepted into the ingest pipeline
 //	InsertAt    → Ack          ditto, timestamped (windowed servers)
@@ -68,8 +77,16 @@ const Magic uint32 = 0x48474231
 // Version is the protocol version this package speaks. A server refuses a
 // Hello with a different version (ErrCodeVersion) rather than guessing.
 // Version 2 added the temporal frames (InsertAt, Range*, Subscribe,
-// WindowSummary) and the Welcome window-duration field.
-const Version = 2
+// WindowSummary) and the Welcome window-duration field. Version 3 made
+// ingest exactly-once: Hello carries a session identifier and resume seq,
+// Welcome answers with the session's durable high-water mark (LastSeq),
+// and Insert/InsertAt seqs become the per-session dedup key.
+const Version = 3
+
+// MaxSession caps the Hello session identifier's length, matching the
+// WAL-side cap (wal.MaxSessionID) so every session the server accepts can
+// be journaled.
+const MaxSession = wal.MaxSessionID
 
 // MaxFrame caps a frame's length prefix (kind + body). Larger prefixes are
 // malformed: the reader errors instead of allocating.
@@ -277,25 +294,53 @@ func (r *bodyReader) done() error {
 	return nil
 }
 
-// AppendHello builds a Hello body: magic (4 bytes big-endian) + version.
-func AppendHello(buf []byte) []byte {
+// AppendHello builds a Hello body: magic (4 bytes big-endian), version,
+// session identifier (uvarint length + bytes; empty opts out of dedup),
+// and the client's resume seq — the highest seq it believes acknowledged,
+// 0 on a fresh session (informational: the server's own table decides).
+func AppendHello(buf []byte, session string, resumeSeq uint64) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, Magic)
-	return binary.AppendUvarint(buf, Version)
+	buf = binary.AppendUvarint(buf, Version)
+	buf = binary.AppendUvarint(buf, uint64(len(session)))
+	buf = append(buf, session...)
+	return binary.AppendUvarint(buf, resumeSeq)
 }
 
-// ParseHello returns the client's protocol version.
-func ParseHello(body []byte) (version uint64, err error) {
+// ParseHello returns the client's protocol version, session identifier,
+// and resume seq. When the magic and version parse but the session fields
+// do not — the shape of an older client's shorter Hello — the version is
+// still returned alongside the error, so a server can answer with a
+// version refusal instead of a generic malformed-frame error.
+func ParseHello(body []byte) (version uint64, session string, resumeSeq uint64, err error) {
 	if len(body) < 4 {
-		return 0, fmt.Errorf("%w: hello too short", ErrMalformed)
+		return 0, "", 0, fmt.Errorf("%w: hello too short", ErrMalformed)
 	}
 	if binary.BigEndian.Uint32(body) != Magic {
-		return 0, fmt.Errorf("%w: bad magic %#x", ErrMalformed, binary.BigEndian.Uint32(body))
+		return 0, "", 0, fmt.Errorf("%w: bad magic %#x", ErrMalformed, binary.BigEndian.Uint32(body))
 	}
 	r := bodyReader{b: body, off: 4}
 	if version, err = r.uvarint(); err != nil {
-		return 0, err
+		return 0, "", 0, err
 	}
-	return version, r.done()
+	n, err := r.uvarint()
+	if err != nil {
+		return version, "", 0, err
+	}
+	if n > MaxSession {
+		return version, "", 0, fmt.Errorf("%w: session id %d bytes exceeds %d", ErrMalformed, n, MaxSession)
+	}
+	if n > uint64(len(body)-r.off) {
+		return version, "", 0, fmt.Errorf("%w: truncated session id", ErrMalformed)
+	}
+	session = string(body[r.off : r.off+int(n)])
+	r.off += int(n)
+	if resumeSeq, err = r.uvarint(); err != nil {
+		return version, "", 0, err
+	}
+	if err := r.done(); err != nil {
+		return version, "", 0, err
+	}
+	return version, session, resumeSeq, nil
 }
 
 // Welcome is the server's half of the handshake.
@@ -310,6 +355,12 @@ type Welcome struct {
 	// the reverse. Clients also use it to cut timestamped batches at
 	// window boundaries.
 	Window uint64
+	// LastSeq is the server's highest durably-applied insert seq for the
+	// Hello's session (0 for a fresh or empty session): the client may
+	// drop every unacked frame at or below it from its retransmit ring
+	// and must retransmit everything above it. On a non-durable server it
+	// is the highest accepted seq instead.
+	LastSeq uint64
 }
 
 // AppendWelcome builds a Welcome body.
@@ -322,7 +373,8 @@ func AppendWelcome(buf []byte, w Welcome) []byte {
 		flags = 1
 	}
 	buf = append(buf, flags)
-	return binary.AppendUvarint(buf, w.Window)
+	buf = binary.AppendUvarint(buf, w.Window)
+	return binary.AppendUvarint(buf, w.LastSeq)
 }
 
 // ParseWelcome decodes a Welcome body.
@@ -348,6 +400,9 @@ func ParseWelcome(body []byte) (Welcome, error) {
 	}
 	w.Durable = flags == 1
 	if w.Window, err = r.uvarint(); err != nil {
+		return w, err
+	}
+	if w.LastSeq, err = r.uvarint(); err != nil {
 		return w, err
 	}
 	return w, r.done()

@@ -35,17 +35,47 @@ func roundTrip(t *testing.T, kind byte, body []byte) Frame {
 }
 
 func TestHelloWelcomeRoundTrip(t *testing.T) {
-	f := roundTrip(t, KindHello, AppendHello(nil))
-	v, err := ParseHello(f.Body)
-	if err != nil || v != Version {
-		t.Fatalf("ParseHello = %d, %v", v, err)
+	f := roundTrip(t, KindHello, AppendHello(nil, "sess-1", 42))
+	v, session, resume, err := ParseHello(f.Body)
+	if err != nil || v != Version || session != "sess-1" || resume != 42 {
+		t.Fatalf("ParseHello = %d, %q, %d, %v", v, session, resume, err)
+	}
+	// The anonymous (empty-session) Hello round-trips too.
+	v, session, resume, err = ParseHello(roundTrip(t, KindHello, AppendHello(nil, "", 0)).Body)
+	if err != nil || v != Version || session != "" || resume != 0 {
+		t.Fatalf("anonymous ParseHello = %d, %q, %d, %v", v, session, resume, err)
+	}
+	// An over-long session id is refused before allocating.
+	long := strings.Repeat("s", MaxSession+1)
+	if _, _, _, err := ParseHello(AppendHello(nil, long, 0)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized session = %v, want ErrMalformed", err)
 	}
 
-	in := Welcome{Version: Version, Dim: 1 << 32, Shards: 8, Durable: true}
+	in := Welcome{Version: Version, Dim: 1 << 32, Shards: 8, Durable: true, LastSeq: 7}
 	f = roundTrip(t, KindWelcome, AppendWelcome(nil, in))
 	out, err := ParseWelcome(f.Body)
 	if err != nil || out != in {
 		t.Fatalf("ParseWelcome = %+v, %v; want %+v", out, err, in)
+	}
+}
+
+// TestParseHelloReturnsVersionOnShortHello pins the property the server's
+// version refusal relies on: a v2-shaped Hello (magic + version only, no
+// session fields) fails to parse, but the version still comes back so the
+// server can answer ErrCodeVersion instead of a generic malformed error.
+func TestParseHelloReturnsVersionOnShortHello(t *testing.T) {
+	v2 := binary.BigEndian.AppendUint32(nil, Magic)
+	v2 = binary.AppendUvarint(v2, 2)
+	v, _, _, err := ParseHello(v2)
+	if err == nil {
+		t.Fatal("v2 hello parsed without error")
+	}
+	if v != 2 {
+		t.Fatalf("version = %d, want 2 alongside the error", v)
+	}
+	// Bad magic yields no version at all.
+	if v, _, _, err := ParseHello([]byte{0, 1, 2, 3, 4}); err == nil || v != 0 {
+		t.Fatalf("bad magic = %d, %v; want 0 and an error", v, err)
 	}
 }
 
@@ -276,7 +306,7 @@ func TestParsersRejectTruncation(t *testing.T) {
 		body  []byte
 		parse func([]byte) error
 	}{
-		{"hello", AppendHello(nil), func(b []byte) error { _, err := ParseHello(b); return err }},
+		{"hello", AppendHello(nil, "sess", 300), func(b []byte) error { _, _, _, err := ParseHello(b); return err }},
 		{"welcome", AppendWelcome(nil, Welcome{Version: 1, Dim: 10, Shards: 2}), func(b []byte) error { _, err := ParseWelcome(b); return err }},
 		{"insert", insert, func(b []byte) error { _, _, _, _, err := ParseInsert(b); return err }},
 		{"seq", AppendSeq(nil, 300), func(b []byte) error { _, err := ParseSeq(b); return err }},

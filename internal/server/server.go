@@ -37,7 +37,7 @@
 //     earlier frames are still draining. Overloaded inserts are NOT
 //     applied; the client decides whether to back off and retry.
 //
-// # Ack semantics
+// # Ack semantics and exactly-once sessions
 //
 // Ack(Insert) means accepted: validated and handed to the matrix's ingest
 // pipeline. It does NOT mean applied or durable. Ack(Flush) means every
@@ -46,6 +46,18 @@
 // snapshot compaction. A kill -9 after Ack(Flush) therefore loses nothing
 // that was flush-acked; inserts acked after the last Flush recover per
 // shard as far as each shard's group commit reached.
+//
+// A Hello carrying a session identifier upgrades the connection to
+// exactly-once ingest: each insert frame's seq becomes the (session, seq)
+// dedup key, the Welcome answers with the session's resume frontier
+// (highest durably-applied seq on a durable matrix), and a frame at or
+// below the frontier is acked without being re-applied (counted in
+// duplicates_dropped). A client that crashes, reconnects, and
+// retransmits its unacked frames under the same session therefore lands
+// each frame exactly once, across server restarts too — the dedup state
+// is journaled in the WAL and checkpointed into the manifest. Sessions
+// are client-chosen; producers must not share one. Empty-session
+// connections keep the at-least-accepted semantics above.
 //
 // # Shutdown
 //
@@ -129,6 +141,8 @@ type Server struct {
 	batches       atomic.Int64
 	entries       atomic.Int64
 	overloads     atomic.Int64
+	dupsDropped   atomic.Int64
+	sessResumed   atomic.Int64
 	rejected      atomic.Int64
 	flushes       atomic.Int64
 	checkpoints   atomic.Int64
@@ -258,12 +272,20 @@ const StatsVersion = 1
 // Stats is a point-in-time snapshot of the server's counters — the
 // versioned schema served at /stats.
 type Stats struct {
-	Version         int         `json:"version"`
-	ActiveConns     int         `json:"active_conns"`
-	TotalConns      int64       `json:"total_conns"`
-	InsertBatches   int64       `json:"insert_batches"`
-	InsertEntries   int64       `json:"insert_entries"`
-	Overloads       int64       `json:"overloads"`
+	Version       int   `json:"version"`
+	ActiveConns   int   `json:"active_conns"`
+	TotalConns    int64 `json:"total_conns"`
+	InsertBatches int64 `json:"insert_batches"`
+	InsertEntries int64 `json:"insert_entries"`
+	Overloads     int64 `json:"overloads"`
+	// DuplicatesDropped counts sessioned insert frames acked without
+	// being applied because their (session, seq) was already at or below
+	// the session's accepted frontier — the exactly-once dedup at work.
+	DuplicatesDropped int64 `json:"duplicates_dropped"`
+	// SessionsResumed counts handshakes that arrived with a nonzero
+	// resume seq: reconnecting clients picking an existing session back
+	// up.
+	SessionsResumed int64       `json:"sessions_resumed"`
 	Rejected        int64       `json:"rejected"`
 	Flushes         int64       `json:"flushes"`
 	Checkpoints     int64       `json:"checkpoints"`
@@ -291,20 +313,22 @@ type ConnStats struct {
 // Stats snapshots the aggregate and per-connection counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Version:         StatsVersion,
-		TotalConns:      s.totalConns.Load(),
-		InsertBatches:   s.batches.Load(),
-		InsertEntries:   s.entries.Load(),
-		Overloads:       s.overloads.Load(),
-		Rejected:        s.rejected.Load(),
-		Flushes:         s.flushes.Load(),
-		Checkpoints:     s.checkpoints.Load(),
-		Queries:         s.queries.Load(),
-		Subscriptions:   s.subscriptions.Load(),
-		WindowSummaries: s.summariesOut.Load(),
-		InFlightEntries: s.inFlight.Load(),
-		BytesIn:         s.closedBytesIn.Load(),
-		BytesOut:        s.closedBytesOut.Load(),
+		Version:           StatsVersion,
+		TotalConns:        s.totalConns.Load(),
+		InsertBatches:     s.batches.Load(),
+		InsertEntries:     s.entries.Load(),
+		Overloads:         s.overloads.Load(),
+		DuplicatesDropped: s.dupsDropped.Load(),
+		SessionsResumed:   s.sessResumed.Load(),
+		Rejected:          s.rejected.Load(),
+		Flushes:           s.flushes.Load(),
+		Checkpoints:       s.checkpoints.Load(),
+		Queries:           s.queries.Load(),
+		Subscriptions:     s.subscriptions.Load(),
+		WindowSummaries:   s.summariesOut.Load(),
+		InFlightEntries:   s.inFlight.Load(),
+		BytesIn:           s.closedBytesIn.Load(),
+		BytesOut:          s.closedBytesOut.Load(),
 	}
 	s.mu.Lock()
 	for c := range s.conns {
@@ -349,6 +373,11 @@ type conn struct {
 	srv *Server
 	id  uint64
 	nc  net.Conn
+
+	// session is the client-chosen exactly-once session identifier from
+	// the Hello; empty for plain at-least-accepted connections. Set once
+	// during the handshake, read-only afterwards.
+	session string
 
 	wmu sync.Mutex // guards w: the applier writes responses, the reader overload/fatal errors, subscription pushers
 	w   *proto.Writer
@@ -440,15 +469,19 @@ func (c *conn) run() {
 		c.sendErr(0, proto.ErrCodeMalformed, "expected hello", true)
 		return
 	}
-	v, err := proto.ParseHello(f.Body)
+	v, session, resumeSeq, err := proto.ParseHello(f.Body)
+	if v != 0 && v != proto.Version {
+		// The version field parsed and disagrees — including the shorter
+		// Hello of a pre-session client, whose body stops at the version.
+		// Answer with a version refusal, not a generic malformed error.
+		c.sendErr(0, proto.ErrCodeVersion, fmt.Sprintf("server speaks version %d, client %d", proto.Version, v), true)
+		return
+	}
 	if err != nil {
 		c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
 		return
 	}
-	if v != proto.Version {
-		c.sendErr(0, proto.ErrCodeVersion, fmt.Sprintf("server speaks version %d, client %d", proto.Version, v), true)
-		return
-	}
+	c.session = session
 	var (
 		wel proto.Welcome
 		app *hhgb.Appender
@@ -461,12 +494,20 @@ func (c *conn) run() {
 			Durable: wm.Durable(),
 			Window:  uint64(wm.Window()),
 		}
+		if session != "" {
+			wel.LastSeq = wm.SessionResume(session)
+		}
 	} else {
 		m := c.srv.cfg.Matrix
-		app, err = m.NewAppender()
-		if err != nil {
-			c.sendErr(0, proto.ErrCodeClosed, "matrix is closed", true)
-			return
+		if session == "" {
+			// Sessioned inserts take the dedup path straight into the
+			// shard queues; only plain connections get a per-conn
+			// appender.
+			app, err = m.NewAppender()
+			if err != nil {
+				c.sendErr(0, proto.ErrCodeClosed, "matrix is closed", true)
+				return
+			}
 		}
 		wel = proto.Welcome{
 			Version: proto.Version,
@@ -474,6 +515,12 @@ func (c *conn) run() {
 			Shards:  uint64(m.Shards()),
 			Durable: m.Durable(),
 		}
+		if session != "" {
+			wel.LastSeq = m.SessionResume(session)
+		}
+	}
+	if session != "" && resumeSeq > 0 {
+		c.srv.sessResumed.Add(1)
 	}
 	if err := c.send(proto.KindWelcome, proto.AppendWelcome(nil, wel), true); err != nil {
 		if app != nil {
@@ -721,7 +768,15 @@ func (c *conn) apply(app *hhgb.Appender) {
 				err = reject(req.seq, "server is windowed; use timestamped inserts (InsertAt)")
 				break
 			}
-			ierr := app.AppendWeighted(req.rows, req.cols, req.vals)
+			var (
+				dup  bool
+				ierr error
+			)
+			if c.session != "" {
+				dup, ierr = m.AppendWeightedSession(c.session, req.seq, req.rows, req.cols, req.vals)
+			} else {
+				ierr = app.AppendWeighted(req.rows, req.cols, req.vals)
+			}
 			s.inFlight.Add(-n)
 			if ierr != nil {
 				code := proto.ErrCodeRejected
@@ -730,6 +785,13 @@ func (c *conn) apply(app *hhgb.Appender) {
 				}
 				s.rejected.Add(1)
 				err = c.sendErr(req.seq, code, ierr.Error(), true)
+				break
+			}
+			if dup {
+				// A retransmit of an already-accepted frame: ack it (the
+				// client is waiting for exactly this) without re-applying.
+				s.dupsDropped.Add(1)
+				err = c.send(proto.KindAck, proto.AppendSeq(nil, req.seq), flush)
 				break
 			}
 			c.batches.Add(1)
@@ -744,9 +806,14 @@ func (c *conn) apply(app *hhgb.Appender) {
 				err = reject(req.seq, "server is not windowed; use plain inserts")
 				break
 			}
-			var ierr error
+			var (
+				dup  bool
+				ierr error
+			)
 			if req.ts > math.MaxInt64 {
 				ierr = fmt.Errorf("timestamp %d overflows", req.ts)
+			} else if c.session != "" {
+				dup, ierr = wm.AppendWeightedAtSession(c.session, req.seq, time.Unix(0, int64(req.ts)), req.rows, req.cols, req.vals)
 			} else {
 				ierr = wm.AppendWeighted(time.Unix(0, int64(req.ts)), req.rows, req.cols, req.vals)
 			}
@@ -758,6 +825,11 @@ func (c *conn) apply(app *hhgb.Appender) {
 				}
 				s.rejected.Add(1)
 				err = c.sendErr(req.seq, code, ierr.Error(), true)
+				break
+			}
+			if dup {
+				s.dupsDropped.Add(1)
+				err = c.send(proto.KindAck, proto.AppendSeq(nil, req.seq), flush)
 				break
 			}
 			c.batches.Add(1)
@@ -784,10 +856,16 @@ func (c *conn) apply(app *hhgb.Appender) {
 			// ack can immediately observe its inserts via another
 			// connection's queries. Windowed appends apply synchronously;
 			// Flush makes them query-visible the same way.
-			if wm != nil {
+			switch {
+			case wm != nil:
 				err = c.ackOp(req.seq, wm.Flush(), true)
-			} else {
+			case app != nil:
 				err = c.ackOp(req.seq, app.Flush(), true)
+			default:
+				// Sessioned flat connection: no per-conn appender to
+				// drain, but a full Flush gives the same visibility
+				// guarantee to the goodbye ack.
+				err = c.ackOp(req.seq, m.Flush(), true)
 			}
 		case proto.KindLookup, proto.KindRangeLookup:
 			s.queries.Add(1)

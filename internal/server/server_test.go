@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"io"
@@ -75,7 +76,12 @@ func (c *rawConn) next() proto.Frame {
 
 func (c *rawConn) handshake() proto.Welcome {
 	c.t.Helper()
-	c.send(proto.KindHello, proto.AppendHello(nil))
+	return c.handshakeSession("", 0)
+}
+
+func (c *rawConn) handshakeSession(session string, resumeSeq uint64) proto.Welcome {
+	c.t.Helper()
+	c.send(proto.KindHello, proto.AppendHello(nil, session, resumeSeq))
 	f := c.next()
 	if f.Kind != proto.KindWelcome {
 		c.t.Fatalf("handshake reply kind %#x", f.Kind)
@@ -160,8 +166,11 @@ func TestHandshakeAndIngestQueryRoundTrip(t *testing.T) {
 func TestVersionMismatchRefused(t *testing.T) {
 	_, _, addr := startServer(t, 1<<10, Config{})
 	c := dialRaw(t, addr)
-	body := proto.AppendHello(nil)
-	body[len(body)-1] = 99 // corrupt the version varint (single byte)
+	// A pre-session client's whole Hello: magic + a foreign version, no
+	// session fields. The server must answer with a version refusal, not
+	// a malformed-frame error.
+	body := binary.BigEndian.AppendUint32(nil, proto.Magic)
+	body = binary.AppendUvarint(body, 99)
 	c.send(proto.KindHello, body)
 	f := c.next()
 	if f.Kind != proto.KindError {
@@ -328,5 +337,61 @@ func TestStatsHandlerServesJSON(t *testing.T) {
 	}
 	if st.Conns[0].Remote == "" || st.BytesIn == 0 || st.BytesOut == 0 {
 		t.Fatalf("per-conn stats = %+v", st.Conns[0])
+	}
+}
+
+// TestSessionDedupAndResume covers the exactly-once path end to end on a
+// flat (non-durable) server: a retransmitted frame is acked without being
+// re-applied, a second connection resuming the session learns the
+// frontier in its Welcome, and its cross-connection retransmits are
+// dropped too.
+func TestSessionDedupAndResume(t *testing.T) {
+	srv, m, addr := startServer(t, 1<<20, Config{})
+	c := dialRaw(t, addr)
+	if w := c.handshakeSession("sess-A", 0); w.LastSeq != 0 {
+		t.Fatalf("fresh session LastSeq = %d, want 0", w.LastSeq)
+	}
+	body, err := proto.AppendInsert(nil, 1, []uint64{7}, []uint64{8}, []uint64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.send(proto.KindInsert, body)
+	c.expectAck(1)
+	// The exact same frame again: acked, not re-applied.
+	c.send(proto.KindInsert, body)
+	c.expectAck(1)
+	c.send(proto.KindFlush, proto.AppendSeq(nil, 2))
+	c.expectAck(2)
+	if v, ok, err := m.Lookup(7, 8); err != nil || !ok || v != 3 {
+		t.Fatalf("Lookup = %d, %v, %v; want 3 (the duplicate must not double it)", v, ok, err)
+	}
+
+	// A reconnecting client resumes the session on a new connection.
+	c2 := dialRaw(t, addr)
+	if w := c2.handshakeSession("sess-A", 1); w.LastSeq != 1 {
+		t.Fatalf("resumed session LastSeq = %d, want 1", w.LastSeq)
+	}
+	c2.send(proto.KindInsert, body) // retransmit of seq 1 across connections
+	c2.expectAck(1)
+	body2, err := proto.AppendInsert(nil, 2, []uint64{7}, []uint64{8}, []uint64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.send(proto.KindInsert, body2)
+	c2.expectAck(2)
+	c2.send(proto.KindFlush, proto.AppendSeq(nil, 3))
+	c2.expectAck(3)
+	if v, ok, err := m.Lookup(7, 8); err != nil || !ok || v != 7 {
+		t.Fatalf("Lookup = %d, %v, %v; want 7", v, ok, err)
+	}
+
+	st := srv.Stats()
+	if st.DuplicatesDropped != 2 || st.SessionsResumed != 1 {
+		t.Fatalf("stats: duplicates_dropped=%d sessions_resumed=%d, want 2/1",
+			st.DuplicatesDropped, st.SessionsResumed)
+	}
+	// Only the two fresh frames count as inserts.
+	if st.InsertBatches != 2 || st.InsertEntries != 2 {
+		t.Fatalf("stats: batches=%d entries=%d, want 2/2", st.InsertBatches, st.InsertEntries)
 	}
 }

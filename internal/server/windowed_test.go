@@ -206,8 +206,9 @@ func TestStatsSchemaPinned(t *testing.T) {
 	}
 	wantTop := []string{
 		"active_conns", "bytes_in", "bytes_out", "checkpoints", "conns",
-		"flushes", "in_flight_entries", "insert_batches", "insert_entries",
-		"overloads", "queries", "rejected", "subscriptions", "total_conns",
+		"duplicates_dropped", "flushes", "in_flight_entries",
+		"insert_batches", "insert_entries", "overloads", "queries",
+		"rejected", "sessions_resumed", "subscriptions", "total_conns",
 		"version", "window_summaries_pushed",
 	}
 	wantConn := []string{
@@ -311,7 +312,7 @@ func TestTLSListener(t *testing.T) {
 	}
 	defer plain.Close()
 	pw := proto.NewWriter(plain)
-	pw.WriteFrame(proto.KindHello, proto.AppendHello(nil))
+	pw.WriteFrame(proto.KindHello, proto.AppendHello(nil, "", 0))
 	pw.Flush()
 	plain.SetReadDeadline(time.Now().Add(2 * time.Second))
 	if f, err := proto.NewReader(plain).Next(); err == nil && f.Kind == proto.KindWelcome {

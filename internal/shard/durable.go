@@ -78,7 +78,7 @@ type Durability struct {
 const (
 	manifestName    = "MANIFEST.json"
 	lockName        = "LOCK"
-	manifestVersion = 1
+	manifestVersion = 2
 	walSuffix       = ".log"
 	snapSuffix      = ".hier"
 )
@@ -194,6 +194,13 @@ type manifest struct {
 	// shard's state at Epoch, or "" when the shard starts empty (only the
 	// initial epoch-0 manifest).
 	Snapshots []string `json:"snapshots"`
+	// Sessions, when present, has one entry per shard: the shard's
+	// exactly-once high-water table at the moment its Epoch snapshot was
+	// taken. It makes dedup state survive snapshot-only recovery — after a
+	// checkpoint truncates the logs, the manifest is the only carrier of
+	// the session frontiers the truncated records held. WAL replay then
+	// advances the tables past these seeds.
+	Sessions []map[string]uint64 `json:"sessions,omitempty"`
 }
 
 func readManifest(dir string) (*manifest, error) {
@@ -211,6 +218,9 @@ func readManifest(dir string) (*manifest, error) {
 	if m.Shards < 1 || len(m.Snapshots) != m.Shards {
 		return nil, fmt.Errorf("%w: manifest has %d shards, %d snapshots", gb.ErrInvalidValue, m.Shards, len(m.Snapshots))
 	}
+	if len(m.Sessions) != 0 && len(m.Sessions) != m.Shards {
+		return nil, fmt.Errorf("%w: manifest has %d shards, %d session tables", gb.ErrInvalidValue, m.Shards, len(m.Sessions))
+	}
 	return &m, nil
 }
 
@@ -221,7 +231,7 @@ func readManifest(dir string) (*manifest, error) {
 // manifest is about to reference are durable first — rename ordering
 // across a power loss is filesystem-dependent, and a manifest naming
 // nonexistent snapshots would be unrecoverable.
-func (g *Group[T]) commitManifest(epoch uint64, snaps []string) error {
+func (g *Group[T]) commitManifest(epoch uint64, snaps []string, sessions []map[string]uint64) error {
 	m := manifest{
 		Version:   manifestVersion,
 		NRows:     g.nrows,
@@ -230,6 +240,7 @@ func (g *Group[T]) commitManifest(epoch uint64, snaps []string) error {
 		Cuts:      g.cfg.Hier.Cuts,
 		Epoch:     epoch,
 		Snapshots: snaps,
+		Sessions:  sessions,
 	}
 	data, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
@@ -290,10 +301,17 @@ type shardWAL[T gb.Number] struct {
 	buf       []byte
 }
 
-// logBatch frames one ingest batch into the log and applies the
-// group-commit policy: every syncEvery-th batch forces an fsync.
-func (l *shardWAL[T]) logBatch(rows, cols []gb.Index, vals []T) error {
-	l.buf = wal.AppendBatchRecord(l.buf[:0], rows, cols, vals, l.put)
+// logBatch frames one ingest batch into the log — the exactly-once dedup
+// key first, then the batch record — and applies the group-commit policy:
+// every syncEvery-th batch forces an fsync. Unkeyed batches (local
+// ingest) carry the two-byte empty header.
+func (l *shardWAL[T]) logBatch(sess string, seq uint64, rows, cols []gb.Index, vals []T) error {
+	var err error
+	l.buf, err = wal.AppendSessionHeader(l.buf[:0], sess, seq)
+	if err != nil {
+		return err
+	}
+	l.buf = wal.AppendBatchRecord(l.buf, rows, cols, vals, l.put)
 	if err := l.f.Append(l.buf); err != nil {
 		return err
 	}
@@ -373,7 +391,7 @@ func (g *Group[T]) initDurability() error {
 		releaseDirLock(dir)
 		return err
 	}
-	if err := g.commitManifest(0, make([]string, len(g.workers))); err != nil {
+	if err := g.commitManifest(0, make([]string, len(g.workers)), nil); err != nil {
 		g.closeLogs()
 		releaseDirLock(dir)
 		return err
@@ -431,17 +449,23 @@ func (g *Group[T]) Checkpoint() error {
 	g.epoch++           // advance even on failure: names are never reused
 	g.ckptFailed = true // until this attempt fully commits
 	epoch := g.epoch
+	accepted := g.snapshotAccepted()
 	errs := make([]error, len(g.workers))
 	snaps := make([]string, len(g.workers))
+	tables := make([]map[string]uint64, len(g.workers))
 	if err := g.run(func(i int, w *worker[T]) {
-		snaps[i], errs[i] = g.checkpointShard(w, i, epoch, true)
+		snaps[i], tables[i], errs[i] = g.checkpointShard(w, i, epoch, true)
 	}); err != nil {
 		return err
 	}
 	if err := firstError(errs); err != nil {
 		return err
 	}
-	return g.commitEpoch(epoch, snaps)
+	if err := g.commitEpoch(epoch, snaps, tables); err != nil {
+		return err
+	}
+	g.commitDurableSessions(accepted)
+	return nil
 }
 
 // commitEpoch is the shared commit tail of every checkpoint flavor: the
@@ -449,9 +473,9 @@ func (g *Group[T]) Checkpoint() error {
 // pruning of everything they supersede. Both the barrier path (Checkpoint)
 // and the inline path (Close) MUST go through it so their crash-window
 // guarantees never diverge.
-func (g *Group[T]) commitEpoch(epoch uint64, snaps []string) error {
+func (g *Group[T]) commitEpoch(epoch uint64, snaps []string, sessions []map[string]uint64) error {
 	g.hook("snapshots")
-	if err := g.commitManifest(epoch, snaps); err != nil {
+	if err := g.commitManifest(epoch, snaps, sessions); err != nil {
 		return err
 	}
 	g.hook("manifest")
@@ -484,36 +508,45 @@ func (g *Group[T]) checkpointLocked() error {
 	g.epoch++
 	g.ckptFailed = true
 	epoch := g.epoch
+	accepted := g.snapshotAccepted()
 	snaps := make([]string, len(g.workers))
+	tables := make([]map[string]uint64, len(g.workers))
 	for i, w := range g.workers {
-		s, err := g.checkpointShard(w, i, epoch, false)
+		s, tab, err := g.checkpointShard(w, i, epoch, false)
 		if err != nil {
 			return err
 		}
-		snaps[i] = s
+		snaps[i], tables[i] = s, tab
 	}
-	return g.commitEpoch(epoch, snaps)
+	if err := g.commitEpoch(epoch, snaps, tables); err != nil {
+		return err
+	}
+	g.commitDurableSessions(accepted)
+	return nil
 }
 
 // checkpointShard runs one shard's checkpoint steps on the shard's own
 // goroutine (or inline once the workers are stopped): sync the live
 // segment, write the epoch snapshot, and — when the group keeps running —
 // rotate the log. Order matters: the sync must precede the rotation so a
-// crash anywhere in between leaves a replayable segment chain.
-func (g *Group[T]) checkpointShard(w *worker[T], i int, epoch uint64, rotate bool) (string, error) {
+// crash anywhere in between leaves a replayable segment chain. It also
+// copies the shard's session high-water table (safe here: the callback
+// runs on the table's owning goroutine) for the manifest, which must
+// carry the dedup frontier the about-to-be-truncated records held.
+func (g *Group[T]) checkpointShard(w *worker[T], i int, epoch uint64, rotate bool) (string, map[string]uint64, error) {
 	if w.log == nil {
-		return "", ErrClosed
+		return "", nil, ErrClosed
 	}
 	if w.err != nil {
-		return "", w.err
+		return "", nil, w.err
 	}
 	if err := w.log.sync(); err != nil {
 		w.err = fmt.Errorf("wal: %w", err) // sticky: see Flush
-		return "", w.err
+		return "", nil, w.err
 	}
 	name := snapName(i, epoch)
 	if err := writeSnapshot(filepath.Join(g.cfg.Durable.Dir, name), w.m, g.codec); err != nil {
-		return "", err
+		return "", nil, err
 	}
 	if rotate {
 		if err := w.log.rotate(g.cfg.Durable.Dir, epoch); err != nil {
@@ -522,11 +555,15 @@ func (g *Group[T]) checkpointShard(w *worker[T], i int, epoch uint64, rotate boo
 			// keep accepting batches would buffer frames over a closed
 			// file and report success.
 			w.err = fmt.Errorf("wal: %w", err)
-			return "", w.err
+			return "", nil, w.err
 		}
 	}
 	w.log.dirty = 0 // this epoch's snapshot covers everything logged so far
-	return name, nil
+	table := make(map[string]uint64, len(w.sessions))
+	for s, q := range w.sessions {
+		table[s] = q
+	}
+	return name, table, nil
 }
 
 func (g *Group[T]) hook(stage string) {
@@ -663,6 +700,7 @@ func RecoverGroup[T gb.Number](cfg Config) (*Group[T], RecoverStats, error) {
 		return nil, st, err
 	}
 	ms := make([]*hier.Matrix[T], man.Shards)
+	tables := make([]map[string]uint64, man.Shards)
 	perShard := make([]RecoverStats, man.Shards)
 	shardErrs := make([]error, man.Shards)
 	var wg sync.WaitGroup
@@ -670,7 +708,7 @@ func RecoverGroup[T gb.Number](cfg Config) (*Group[T], RecoverStats, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ms[i], perShard[i], shardErrs[i] = recoverShard[T](dir, man, i, segs[i], codec)
+			ms[i], tables[i], perShard[i], shardErrs[i] = recoverShard[T](dir, man, i, segs[i], codec)
 		}(i)
 	}
 	wg.Wait()
@@ -701,6 +739,39 @@ func RecoverGroup[T gb.Number](cfg Config) (*Group[T], RecoverStats, error) {
 	if err != nil {
 		return nil, st, err
 	}
+	// Hand each shard its recovered dedup table and derive the group
+	// frontiers. The resume frontier is the MINIMUM over shards: a frame
+	// above it may have reached some shards and not others (or reached a
+	// shard whose unsynced tail was lost, leaving no table entry at all —
+	// hence absent entries count as 0), so only the minimum is provably
+	// whole. Under-reporting is safe — the client retransmits the gap and
+	// the per-shard tables drop whatever half-applied fragments survived.
+	for i, w := range g.workers {
+		w.sessions = tables[i]
+	}
+	frontier := make(map[string]uint64)
+	for _, tab := range tables {
+		for s := range tab {
+			frontier[s] = 0
+		}
+	}
+	for s := range frontier {
+		min := uint64(0)
+		for k, tab := range tables {
+			q := tab[s]
+			if k == 0 || q < min {
+				min = q
+			}
+		}
+		frontier[s] = min
+	}
+	if len(frontier) > 0 {
+		g.accepted = frontier
+		g.durable = make(map[string]uint64, len(frontier))
+		for s, q := range frontier {
+			g.durable[s] = q
+		}
+	}
 	g.epoch = maxEpoch + 1
 	if st.ReplayedBatches > 0 || st.TornTails > 0 {
 		snaps := make([]string, len(g.workers))
@@ -719,7 +790,7 @@ func RecoverGroup[T gb.Number](cfg Config) (*Group[T], RecoverStats, error) {
 		if err := firstError(snapErrs); err != nil {
 			return nil, st, err
 		}
-		if err := g.commitManifest(g.epoch, snaps); err != nil {
+		if err := g.commitManifest(g.epoch, snaps, tables); err != nil {
 			return nil, st, err
 		}
 	}
@@ -747,34 +818,41 @@ func RecoverGroup[T gb.Number](cfg Config) (*Group[T], RecoverStats, error) {
 	return g, st, nil
 }
 
-// recoverShard rebuilds one shard's matrix: snapshot decode (or an empty
-// cascade), then segment replay in epoch order, tolerating a torn final
-// frame only in the newest segment. It touches only shard-local state, so
+// recoverShard rebuilds one shard's matrix and session high-water table:
+// snapshot decode (or an empty cascade) with the manifest's table seed,
+// then segment replay in epoch order, tolerating a torn final frame only
+// in the newest segment. It touches only shard-local state, so
 // RecoverGroup runs one per goroutine.
-func recoverShard[T gb.Number](dir string, man *manifest, i int, shardSegs []segment, codec gb.Codec[T]) (*hier.Matrix[T], RecoverStats, error) {
+func recoverShard[T gb.Number](dir string, man *manifest, i int, shardSegs []segment, codec gb.Codec[T]) (*hier.Matrix[T], map[string]uint64, RecoverStats, error) {
 	var st RecoverStats
 	var m *hier.Matrix[T]
+	table := make(map[string]uint64)
+	if len(man.Sessions) > i {
+		for s, q := range man.Sessions[i] {
+			table[s] = q
+		}
+	}
 	if snap := man.Snapshots[i]; snap != "" {
 		var err error
 		m, err = readSnapshot[T](filepath.Join(dir, snap), codec)
 		if err != nil {
-			return nil, st, fmt.Errorf("snapshot %s: %w", snap, err)
+			return nil, nil, st, fmt.Errorf("snapshot %s: %w", snap, err)
 		}
 		if m.NRows() != man.NRows || m.NCols() != man.NCols {
-			return nil, st, fmt.Errorf("%w: snapshot dims %dx%d != manifest %dx%d",
+			return nil, nil, st, fmt.Errorf("%w: snapshot dims %dx%d != manifest %dx%d",
 				gb.ErrInvalidValue, m.NRows(), m.NCols(), man.NRows, man.NCols)
 		}
 	} else {
 		var err error
 		m, err = hier.New[T](man.NRows, man.NCols, hier.Config{Cuts: man.Cuts})
 		if err != nil {
-			return nil, st, err
+			return nil, nil, st, err
 		}
 	}
 	for si, seg := range shardSegs {
-		batches, entries, torn, err := replaySegment(seg.path, m, codec, si == len(shardSegs)-1)
+		batches, entries, torn, err := replaySegment(seg.path, m, table, codec, si == len(shardSegs)-1)
 		if err != nil {
-			return nil, st, fmt.Errorf("replaying %s: %w", filepath.Base(seg.path), err)
+			return nil, nil, st, fmt.Errorf("replaying %s: %w", filepath.Base(seg.path), err)
 		}
 		st.ReplayedBatches += batches
 		st.ReplayedEntries += entries
@@ -782,7 +860,7 @@ func recoverShard[T gb.Number](dir string, man *manifest, i int, shardSegs []seg
 			st.TornTails++
 		}
 	}
-	return m, st, nil
+	return m, table, st, nil
 }
 
 type segment struct {
@@ -819,12 +897,16 @@ func listSegments(dir string, man *manifest) ([][]segment, uint64, error) {
 	return segs, maxEpoch, nil
 }
 
-// replaySegment applies one WAL segment's batches to a shard matrix. In
-// the shard's newest segment (last=true) a torn or corrupt final frame is
-// tolerated — the intact prefix is applied and torn=true is reported; in
-// any older segment (fully synced before its checkpoint rotated away from
-// it) the same condition is real corruption and fails the recovery.
-func replaySegment[T gb.Number](path string, m *hier.Matrix[T], codec gb.Codec[T], last bool) (batches, entries int, torn bool, err error) {
+// replaySegment applies one WAL segment's batches to a shard matrix,
+// advancing the session high-water table from each record's dedup header.
+// A sessioned record at or below the table — possible when a checkpoint's
+// manifest committed but its log truncation did not finish — replays the
+// table advance but not the batch, exactly mirroring the live dedup skip.
+// In the shard's newest segment (last=true) a torn or corrupt final frame
+// is tolerated — the intact prefix is applied and torn=true is reported;
+// in any older segment (fully synced before its checkpoint rotated away
+// from it) the same condition is real corruption and fails the recovery.
+func replaySegment[T gb.Number](path string, m *hier.Matrix[T], table map[string]uint64, codec gb.Codec[T], last bool) (batches, entries int, torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -848,12 +930,22 @@ func replaySegment[T gb.Number](path string, m *hier.Matrix[T], codec gb.Codec[T
 		if err != nil {
 			return batches, entries, false, err
 		}
-		rows, cols, vals, err := wal.DecodeBatchRecord(rec, codec.Get)
+		sess, seq, rest, err := wal.DecodeSessionHeader(rec)
+		if err != nil {
+			return batches, entries, false, err
+		}
+		if sess != "" && seq <= table[sess] {
+			continue // already covered by the snapshot or an earlier record
+		}
+		rows, cols, vals, err := wal.DecodeBatchRecord(rest, codec.Get)
 		if err != nil {
 			return batches, entries, false, err
 		}
 		if err := m.Update(rows, cols, vals); err != nil {
 			return batches, entries, false, err
+		}
+		if sess != "" {
+			table[sess] = seq
 		}
 		batches++
 		entries += len(rows)

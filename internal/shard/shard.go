@@ -9,6 +9,7 @@ import (
 
 	"hhgb/internal/gb"
 	"hhgb/internal/hier"
+	"hhgb/internal/wal"
 )
 
 // ErrClosed is returned by Update, Append, and Appender.Flush after the
@@ -77,6 +78,11 @@ type msg[T gb.Number] struct {
 	rows []gb.Index
 	cols []gb.Index
 	vals []T
+	// sess/seq tag a buffer with its exactly-once dedup key: the client
+	// session and insert-frame sequence number the entries came from
+	// (UpdateSession). Empty sess marks the unkeyed local-ingest path.
+	sess string
+	seq  uint64
 	do   func(m *hier.Matrix[T])
 	done chan struct{}
 }
@@ -93,6 +99,14 @@ type worker[T gb.Number] struct {
 	log *shardWAL[T] // nil when the group is not durable
 	err error        // first ingest error; owned by the worker goroutine
 
+	// sessions is the shard's exactly-once high-water table: per client
+	// session, the highest frame seq whose portion this shard has applied
+	// (and, durable groups, logged — the WAL journals the key alongside
+	// each batch, so recovery rebuilds the table). A retransmitted frame's
+	// portion at or below the mark is dropped without logging or applying.
+	// Owned by the worker goroutine, like the log.
+	sessions map[string]uint64
+
 	cache                  shardCache[T]
 	cacheHits, cacheMisses int64
 }
@@ -108,19 +122,32 @@ func (w *worker[T]) loop(wg *sync.WaitGroup) {
 		if w.err != nil {
 			continue // sticky: drop buffers after the first failure
 		}
+		// Exactly-once dedup: a sessioned buffer at or below this shard's
+		// high-water mark has already been logged and applied here — a
+		// retransmission after a reconnect or a crash on another shard —
+		// and is dropped whole, before the log sees it again.
+		if msg.sess != "" && msg.seq <= w.sessions[msg.sess] {
+			continue
+		}
 		// Log before applying (the WAL convention). A crash between the
 		// two replays the batch on recovery; the reverse order could not
 		// lose anything either (the loop is sequential, so an unlogged
 		// applied batch is always the last work the shard ever did), but
 		// log-first keeps "in the log" ⊇ "in the matrix" at every instant.
 		if w.log != nil {
-			if err := w.log.logBatch(msg.rows, msg.cols, msg.vals); err != nil {
+			if err := w.log.logBatch(msg.sess, msg.seq, msg.rows, msg.cols, msg.vals); err != nil {
 				w.err = fmt.Errorf("wal: %w", err)
 				continue
 			}
 		}
 		w.cache = shardCache[T]{} // this shard's reductions are stale now
 		w.err = w.m.Update(msg.rows, msg.cols, msg.vals)
+		if w.err == nil && msg.sess != "" {
+			if w.sessions == nil {
+				w.sessions = make(map[string]uint64)
+			}
+			w.sessions[msg.sess] = msg.seq
+		}
 	}
 }
 
@@ -160,6 +187,18 @@ type Group[T gb.Number] struct {
 	// every barrier's drain cost — bounded for the life of the group.
 	stripes   []*stripe[T]
 	stripeIdx atomic.Uint32
+
+	// sessMu guards the exactly-once session frontiers. accepted holds,
+	// per client session, the highest frame seq whose portions have been
+	// enqueued (UpdateSession advances it only after every shard took its
+	// slice, so a refused enqueue never marks a frame accepted); durable
+	// trails accepted on durable groups, advancing when a fsync barrier
+	// (Flush, Checkpoint, Close) commits a frontier snapshot taken before
+	// the barrier — ResumeSeq must never promise a seq a crash could
+	// lose. sessMu is a leaf lock: nothing is acquired while it is held.
+	sessMu   sync.Mutex
+	accepted map[string]uint64
+	durable  map[string]uint64
 
 	// codec converts values to and from the 8-byte wire word the WAL and
 	// snapshots use; chosen per T (floats bit-exact, integers lossless).
@@ -364,6 +403,149 @@ func (g *Group[T]) Update(rows, cols []gb.Index, vals []T) error {
 	return nil
 }
 
+// UpdateSession ingests one client insert frame under the exactly-once
+// protocol: (session, seq) is the frame's dedup key. A frame at or below
+// the accepted frontier returns dup=true without re-applying anything —
+// the ack-without-reapply path for retransmissions after a reconnect. A
+// fresh frame is hash-partitioned and enqueued like Update (skipping the
+// stripe buffers: the key must ride with exactly this frame's entries),
+// journaled with its key on durable groups, and advances the accepted
+// frontier; the durable frontier, which ResumeSeq reports on durable
+// groups, follows at the next Flush, Checkpoint, or Close. A session's
+// frames must be ingested in seq order (the network server processes a
+// connection sequentially, so a session's accepted seqs always form a
+// prefix of the client's stream — the property that makes a single
+// high-water mark a complete dedup test). An empty batch still advances
+// the frontier, so seq holes never form. Sessions longer than
+// wal.MaxSessionID, empty sessions, and zero seqs are rejected.
+func (g *Group[T]) UpdateSession(session string, seq uint64, rows, cols []gb.Index, vals []T) (bool, error) {
+	if session == "" || seq == 0 {
+		return false, fmt.Errorf("%w: session %q seq %d", gb.ErrInvalidValue, session, seq)
+	}
+	if len(session) > wal.MaxSessionID {
+		return false, fmt.Errorf("%w: session id %d bytes > %d", gb.ErrInvalidValue, len(session), wal.MaxSessionID)
+	}
+	if err := g.validate(rows, cols, vals); err != nil {
+		return false, err
+	}
+	g.sessMu.Lock()
+	prev := g.accepted[session]
+	g.sessMu.Unlock()
+	if seq <= prev {
+		return true, nil
+	}
+	g.mu.RLock()
+	if g.closed {
+		g.mu.RUnlock()
+		return false, ErrClosed
+	}
+	if len(rows) > 0 {
+		n := len(g.workers)
+		prows := make([][]gb.Index, n)
+		pcols := make([][]gb.Index, n)
+		pvals := make([][]T, n)
+		for k := range rows {
+			s := g.shardOf(rows[k], cols[k])
+			prows[s] = append(prows[s], rows[k])
+			pcols[s] = append(pcols[s], cols[k])
+			pvals[s] = append(pvals[s], vals[k])
+		}
+		for s := 0; s < n; s++ {
+			if len(prows[s]) == 0 {
+				continue
+			}
+			g.workers[s].in <- msg[T]{
+				rows: prows[s], cols: pcols[s], vals: pvals[s],
+				sess: session, seq: seq,
+			}
+		}
+	}
+	g.mu.RUnlock()
+	// Advance only after every shard took its slice: enqueueing cannot
+	// fail past the closed check above, so at this point the frame is in
+	// the shard queues in its entirety and "accepted" is true.
+	g.sessMu.Lock()
+	if g.accepted == nil {
+		g.accepted = make(map[string]uint64)
+	}
+	if seq > g.accepted[session] {
+		g.accepted[session] = seq
+	}
+	g.sessMu.Unlock()
+	return false, nil
+}
+
+// ResumeSeq reports the session's resume frontier — the highest frame seq
+// a reconnecting client may safely drop from its retransmit ring. Durable
+// groups report the durable frontier (what a crash provably preserves);
+// in-memory groups report the accepted frontier. Unknown sessions report
+// 0. Under-reporting is always safe: the client retransmits and the
+// per-shard high-water tables drop the duplicates.
+func (g *Group[T]) ResumeSeq(session string) uint64 {
+	g.sessMu.Lock()
+	defer g.sessMu.Unlock()
+	if g.Durable() {
+		return g.durable[session]
+	}
+	return g.accepted[session]
+}
+
+// SessionHighs merges the per-shard high-water tables, max per session:
+// the highest frame seq any shard has applied. Because a session's
+// accepted seqs form a prefix of its stream, after a barrier (which this
+// call is) the max over shards is exactly the frontier the fully-applied
+// stream reached — the windowed store stashes it when it seals a window.
+// Works on a closed group; the barrier then runs inline.
+func (g *Group[T]) SessionHighs() map[string]uint64 {
+	var mu sync.Mutex
+	out := make(map[string]uint64)
+	_ = g.run(func(i int, w *worker[T]) {
+		mu.Lock()
+		defer mu.Unlock()
+		for s, q := range w.sessions {
+			if q > out[s] {
+				out[s] = q
+			}
+		}
+	})
+	return out
+}
+
+// snapshotAccepted copies the accepted frontier. A durability barrier
+// captures it on entry so its commit publishes only seqs whose frames
+// were enqueued — and therefore logged and fsynced — before the barrier.
+func (g *Group[T]) snapshotAccepted() map[string]uint64 {
+	g.sessMu.Lock()
+	defer g.sessMu.Unlock()
+	if len(g.accepted) == 0 {
+		return nil
+	}
+	snap := make(map[string]uint64, len(g.accepted))
+	for s, q := range g.accepted {
+		snap[s] = q
+	}
+	return snap
+}
+
+// commitDurableSessions publishes a pre-barrier frontier snapshot as the
+// durable frontier, after the barrier succeeded. Max per key: a commit
+// must never move a session's durable frontier backwards.
+func (g *Group[T]) commitDurableSessions(snap map[string]uint64) {
+	if len(snap) == 0 {
+		return
+	}
+	g.sessMu.Lock()
+	defer g.sessMu.Unlock()
+	if g.durable == nil {
+		g.durable = make(map[string]uint64, len(snap))
+	}
+	for s, q := range snap {
+		if q > g.durable[s] {
+			g.durable[s] = q
+		}
+	}
+}
+
 // run executes f(i, w) once per shard on the shard's own goroutine (a
 // barrier: all batches accepted before the call are ingested first), then
 // waits for every shard. Appender buffers are drained and the barrier
@@ -447,6 +629,10 @@ func (g *Group[T]) Err() error {
 // snapshots and truncates the logs). It returns the first ingest or flush
 // error; after Close it reports the Close outcome.
 func (g *Group[T]) Flush() error {
+	var snap map[string]uint64
+	if g.Durable() {
+		snap = g.snapshotAccepted()
+	}
 	errs := make([]error, len(g.workers))
 	if err := g.run(func(i int, w *worker[T]) {
 		if w.err != nil {
@@ -468,7 +654,13 @@ func (g *Group[T]) Flush() error {
 	}); err != nil {
 		return err
 	}
-	return firstError(errs)
+	if err := firstError(errs); err != nil {
+		return err
+	}
+	// Every frame in the snapshot was enqueued before the barrier, so its
+	// records are under the fsync that just succeeded on every shard.
+	g.commitDurableSessions(snap)
+	return nil
 }
 
 // Close drains the producer buffers and queues, stops the workers, and

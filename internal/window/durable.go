@@ -48,7 +48,7 @@ import (
 const (
 	storeManifestName    = "WINDOWSTORE.json"
 	sealedMarkerName     = "SEALED"
-	storeManifestVersion = 1
+	storeManifestVersion = 2
 	winDirPrefix         = "win-L"
 )
 
@@ -63,6 +63,13 @@ type storeManifest struct {
 	LatenessNs int64    `json:"lateness_ns"`
 	SealedTo   int64    `json:"sealed_to"`
 	Watermark  int64    `json:"watermark"`
+	// Sessions is the store's durable exactly-once frontier at the last
+	// barrier: per client session, the highest frame seq provably on disk
+	// across every window — including windows sealed and since expired,
+	// whose own manifests are gone. Recovery seeds the store frontier from
+	// it; losing an advance (the write is best-effort at seal time)
+	// under-reports and merely forces a retransmission.
+	Sessions map[string]uint64 `json:"sessions,omitempty"`
 }
 
 // winDir names a window's subdirectory: level and zero-padded start, so
@@ -131,16 +138,56 @@ func (s *Store[T]) persistMeta() error {
 		m.Retentions = append(m.Retentions, int64(r))
 	}
 	s.mu.Unlock()
+	s.sessMu.Lock()
+	if len(s.durable) > 0 {
+		m.Sessions = make(map[string]uint64, len(s.durable))
+		for sess, q := range s.durable {
+			m.Sessions[sess] = q
+		}
+	}
+	s.sessMu.Unlock()
 	data, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
 		return err
 	}
 	root := s.cfg.Shard.Durable.Dir
 	tmp := filepath.Join(root, storeManifestName+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileSync(tmp, append(data, '\n')); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(root, storeManifestName))
+	if err := os.Rename(tmp, filepath.Join(root, storeManifestName)); err != nil {
+		return err
+	}
+	return syncDir(root)
+}
+
+// writeFileSync writes data to path and fsyncs it before returning; the
+// manifest carries the durable session frontier, and a frontier advance
+// should survive the same crash the barrier that produced it survived.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 func (s *Store[T]) persistMetaBestEffort() {
@@ -328,6 +375,10 @@ func Recover[T gb.Number](cfg Config) (*Store[T], RecoverStats, error) {
 		if sealed {
 			w.g.Close() // no-op checkpoint on a cleanly-closed group
 			s.markSealed(w)
+			// Re-stash the sealed window's session table (the barrier runs
+			// inline on a closed group) so retransmissions behind the
+			// frontier are still recognized as duplicates after a restart.
+			w.sessHigh = w.g.SessionHighs()
 			w.state = Sealed
 			s.stats.Sealed++
 			s.stats.Seals++
@@ -367,7 +418,7 @@ func buildRecovered[T gb.Number](man storeManifest, cfg Config) (*Store[T], erro
 		}
 		spans = append(spans, spans[len(spans)-1]*int64(f))
 	}
-	return &Store[T]{
+	s := &Store[T]{
 		nrows:     man.NRows,
 		ncols:     man.NCols,
 		cfg:       cfg,
@@ -376,5 +427,18 @@ func buildRecovered[T gb.Number](man storeManifest, cfg Config) (*Store[T], erro
 		subs:      make(map[uint64]*Subscription[T]),
 		watermark: man.Watermark,
 		sealedTo:  man.SealedTo,
-	}, nil
+	}
+	// Seed both session frontiers from the manifest: it is the only
+	// carrier of seqs whose windows sealed and expired. The recovered
+	// windows' own tables can only run ahead of it, and their dedup
+	// (group frontiers, sealed sessHigh stashes) absorbs the difference.
+	if len(man.Sessions) > 0 {
+		s.accepted = make(map[string]uint64, len(man.Sessions))
+		s.durable = make(map[string]uint64, len(man.Sessions))
+		for sess, q := range man.Sessions {
+			s.accepted[sess] = q
+			s.durable[sess] = q
+		}
+	}
+	return s, nil
 }

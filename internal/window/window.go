@@ -145,6 +145,14 @@ type win[T gb.Number] struct {
 	state   State
 	rolled  bool  // summed into a sealed parent window
 	queries int64 // range-query cover inclusions (tests assert span locality)
+
+	// sessHigh, stashed when the window seals (and at recovery for sealed
+	// windows), is the group's merged session high-water table: per client
+	// session, the highest frame seq applied into THIS window. It lets a
+	// retransmission that raced a seal be recognized as a duplicate — and
+	// acked — instead of refused with ErrLate. Immutable once stashed;
+	// guarded by the store mutex until then (nil while active).
+	sessHigh map[string]uint64
 }
 
 // Store is a temporal window store over one logical nrows x ncols matrix.
@@ -169,6 +177,17 @@ type Store[T gb.Number] struct {
 	// subscriber observes one summary per sealed window in global seal
 	// order. Never held together with mu.
 	sealMu sync.Mutex
+
+	// sessMu guards the store's exactly-once session frontiers, mirroring
+	// shard.Group's: accepted advances when a sessioned frame lands in (or
+	// is recognized by) a window; durable trails it, advancing only at
+	// store-wide barriers (Flush, Checkpoint, Close) — a frame's entries
+	// may spread across several windows' appends over time, so only a
+	// barrier that syncs every live window can prove a prefix durable.
+	// Leaf lock: nothing is acquired while it is held.
+	sessMu   sync.Mutex
+	accepted map[string]uint64
+	durable  map[string]uint64
 
 	subs    map[uint64]*Subscription[T]
 	nextSub uint64
@@ -386,6 +405,145 @@ func (s *Store[T]) Append(ts int64, rows, cols []gb.Index, vals []T) error {
 	return err
 }
 
+// AppendSession is Append under the exactly-once protocol: (session, seq)
+// is the frame's dedup key, exactly as in shard.Group.UpdateSession. A
+// frame at or below the store's accepted frontier — or at or below a
+// sealed target window's stashed high-water table — returns dup=true
+// without applying anything; a fresh frame routes into its window's group
+// with the key attached (journaled on durable stores) and advances the
+// accepted frontier. The durable frontier, which ResumeSeq reports on
+// durable stores, follows at the next Flush, Checkpoint, or Close. One
+// corner stays loud by design: a frame whose original delivery was lost
+// un-synced in a crash, retransmitted after its window was re-sealed,
+// fails with ErrLate — the data missed its window and is refused, never
+// silently dropped.
+func (s *Store[T]) AppendSession(session string, seq uint64, ts int64, rows, cols []gb.Index, vals []T) (bool, error) {
+	if session == "" || seq == 0 {
+		return false, fmt.Errorf("%w: session %q seq %d", gb.ErrInvalidValue, session, seq)
+	}
+	if ts < 0 {
+		return false, fmt.Errorf("%w: negative timestamp %d", gb.ErrInvalidValue, ts)
+	}
+	s.sessMu.Lock()
+	prev := s.accepted[session]
+	s.sessMu.Unlock()
+	if seq <= prev {
+		return true, nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
+	if ts > s.watermark {
+		s.watermark = ts
+	}
+	start := alignDown(ts, s.spans[0])
+	if start < s.sealedTo {
+		// Behind the frontier: a retransmission of a frame the sealed
+		// window already holds is a duplicate, not a late arrival.
+		if w := s.wins[key{0, start}]; w != nil && w.state == Sealed && seq <= w.sessHigh[session] {
+			s.mu.Unlock()
+			s.advanceAccepted(session, seq)
+			return true, nil
+		}
+		s.stats.LateDrops += int64(len(rows))
+		s.mu.Unlock()
+		return false, fmt.Errorf("%w: ts %d is before frontier %d", ErrLate, ts, s.sealedTo)
+	}
+	w := s.wins[key{0, start}]
+	if w == nil {
+		var err error
+		if w, err = s.newWin(0, start); err != nil {
+			s.mu.Unlock()
+			return false, err
+		}
+	}
+	sealWork := s.scheduleSealsLocked()
+	s.mu.Unlock()
+
+	w.wmu.RLock()
+	var dup bool
+	var err error
+	if w.state != Active {
+		err = fmt.Errorf("%w: window [%d,%d) sealed mid-append", ErrLate, w.start, w.end)
+		s.mu.Lock()
+		s.stats.LateDrops += int64(len(rows))
+		s.mu.Unlock()
+	} else {
+		// The group may still recognize the frame (its own frontier can
+		// run ahead of the store's after a recovery); either way a nil
+		// error means the frame is accounted for, so the store frontier
+		// advances.
+		dup, err = w.g.UpdateSession(session, seq, rows, cols, vals)
+		if err == nil {
+			s.advanceAccepted(session, seq)
+		}
+	}
+	w.wmu.RUnlock()
+
+	if sealWork {
+		s.runSeals()
+	}
+	return dup, err
+}
+
+// advanceAccepted moves the store's accepted frontier forward.
+func (s *Store[T]) advanceAccepted(session string, seq uint64) {
+	s.sessMu.Lock()
+	if s.accepted == nil {
+		s.accepted = make(map[string]uint64)
+	}
+	if seq > s.accepted[session] {
+		s.accepted[session] = seq
+	}
+	s.sessMu.Unlock()
+}
+
+// ResumeSeq reports the session's resume frontier, like
+// shard.Group.ResumeSeq: the durable frontier on durable stores, the
+// accepted frontier otherwise; 0 for unknown sessions.
+func (s *Store[T]) ResumeSeq(session string) uint64 {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if s.Durable() {
+		return s.durable[session]
+	}
+	return s.accepted[session]
+}
+
+// snapshotAccepted copies the accepted frontier at a barrier's entry.
+func (s *Store[T]) snapshotAccepted() map[string]uint64 {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if len(s.accepted) == 0 {
+		return nil
+	}
+	snap := make(map[string]uint64, len(s.accepted))
+	for sess, q := range s.accepted {
+		snap[sess] = q
+	}
+	return snap
+}
+
+// commitDurableSessions publishes a pre-barrier snapshot after every live
+// window synced; max per key, never backwards.
+func (s *Store[T]) commitDurableSessions(snap map[string]uint64) {
+	if len(snap) == 0 {
+		return
+	}
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if s.durable == nil {
+		s.durable = make(map[string]uint64, len(snap))
+	}
+	for sess, q := range snap {
+		if q > s.durable[sess] {
+			s.durable[sess] = q
+		}
+	}
+}
+
 // Seal advances the seal frontier to cover every level-0 window ending at
 // or before upTo (aligned down to a window boundary), sealing them — and
 // running any roll-ups and expiry that unlocks — before returning. It also
@@ -489,8 +647,15 @@ func (s *Store[T]) sealWin(w *win[T]) {
 	if w.dir != "" {
 		s.markSealed(w)
 	}
+	// Stash the window's merged session table before publishing the seal:
+	// a retransmission behind the new frontier consults it to tell
+	// duplicate from late. NOT committed to the store's durable frontier —
+	// a session's later frames may sit un-synced in other windows, and
+	// only a store-wide barrier proves a whole prefix durable.
+	highs := w.g.SessionHighs()
 	sum := s.summarize(w)
 	s.mu.Lock()
+	w.sessHigh = highs
 	w.state = Sealed
 	s.stats.Seals++
 	s.stats.Sealed++
@@ -710,6 +875,10 @@ func (s *Store[T]) retention(level int) int64 {
 // window (a durable group-commit point, like Sharded.Flush). Sealed
 // windows are already final.
 func (s *Store[T]) Flush() error {
+	var snap map[string]uint64
+	if s.Durable() {
+		snap = s.snapshotAccepted()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -727,6 +896,13 @@ func (s *Store[T]) Flush() error {
 			return err
 		}
 	}
+	// Every frame in the snapshot is now on disk: its portions sit either
+	// in a live window just fsynced, or in a window sealed since — whose
+	// final checkpoint already made them durable.
+	if s.Durable() {
+		s.commitDurableSessions(snap)
+		s.persistMetaBestEffort()
+	}
 	return nil
 }
 
@@ -737,6 +913,7 @@ func (s *Store[T]) Checkpoint() error {
 	if !s.Durable() {
 		return shard.ErrNotDurable
 	}
+	snap := s.snapshotAccepted()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -754,6 +931,8 @@ func (s *Store[T]) Checkpoint() error {
 			return err
 		}
 	}
+	s.commitDurableSessions(snap)
+	s.persistMetaBestEffort()
 	return nil
 }
 
@@ -763,6 +942,10 @@ func (s *Store[T]) Checkpoint() error {
 // Seal, Flush, and Checkpoint fail with ErrClosed afterwards. Close is
 // idempotent.
 func (s *Store[T]) Close() error {
+	var snap map[string]uint64
+	if s.Durable() {
+		snap = s.snapshotAccepted()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -792,6 +975,11 @@ func (s *Store[T]) Close() error {
 		}
 	}
 	if s.Durable() {
+		if first == nil {
+			// Every live window's final checkpoint succeeded, so the
+			// whole accepted frontier is on disk.
+			s.commitDurableSessions(snap)
+		}
 		s.persistMetaBestEffort()
 		shard.ReleaseDirLock(s.cfg.Shard.Durable.Dir)
 	}

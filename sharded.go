@@ -172,6 +172,31 @@ func (s *Sharded) AppendWeighted(src, dst, weight []uint64) error {
 	return appendWeighted(src, dst, weight, s.g.Update)
 }
 
+// AppendWeightedSession streams one insert frame under the exactly-once
+// protocol: (session, seq) is the frame's dedup key, and a frame at or
+// below the session's accepted frontier is acknowledged (dup=true)
+// without re-applying anything. A session's frames must be appended in
+// seq order — the network server's per-connection processing provides
+// this; sessions and seqs are its to assign. On a durable matrix the key
+// is journaled beside the batch, so dedup survives crash recovery.
+func (s *Sharded) AppendWeightedSession(session string, seq uint64, src, dst, weight []uint64) (bool, error) {
+	if len(src) != len(dst) || len(src) != len(weight) {
+		return false, fmt.Errorf("%w: batch lengths %d/%d/%d differ", gb.ErrInvalidValue, len(src), len(dst), len(weight))
+	}
+	rows := make([]gb.Index, len(src))
+	cols := make([]gb.Index, len(dst))
+	for k := range src {
+		rows[k] = gb.Index(src[k])
+		cols[k] = gb.Index(dst[k])
+	}
+	return s.g.UpdateSession(session, seq, rows, cols, weight)
+}
+
+// SessionResume reports a session's resume frontier: the highest insert
+// seq a reconnecting client may safely skip (durably applied on a durable
+// matrix; accepted otherwise). 0 for unknown sessions.
+func (s *Sharded) SessionResume(session string) uint64 { return s.g.ResumeSeq(session) }
+
 // Update is Append under its original name; it shares Append's ErrClosed
 // semantics.
 func (s *Sharded) Update(src, dst []uint64) error { return s.Append(src, dst) }

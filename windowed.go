@@ -162,6 +162,29 @@ func (w *Windowed) AppendWeighted(ts time.Time, src, dst, weight []uint64) error
 	})
 }
 
+// AppendWeightedAtSession streams one timestamped insert frame under the
+// exactly-once protocol: (session, seq) is the frame's dedup key, exactly
+// as in Sharded.AppendWeightedSession. A duplicate — at or below the
+// store frontier, or already held by the sealed window that would own ts
+// — returns dup=true without applying anything; a genuinely late frame
+// that was never applied still fails with ErrLate.
+func (w *Windowed) AppendWeightedAtSession(session string, seq uint64, ts time.Time, src, dst, weight []uint64) (bool, error) {
+	if len(src) != len(dst) || len(src) != len(weight) {
+		return false, fmt.Errorf("%w: batch lengths %d/%d/%d differ", gb.ErrInvalidValue, len(src), len(dst), len(weight))
+	}
+	rows := make([]gb.Index, len(src))
+	cols := make([]gb.Index, len(dst))
+	for k := range src {
+		rows[k] = gb.Index(src[k])
+		cols[k] = gb.Index(dst[k])
+	}
+	return w.s.AppendSession(session, seq, ts.UnixNano(), rows, cols, weight)
+}
+
+// SessionResume reports a session's resume frontier, like
+// Sharded.SessionResume.
+func (w *Windowed) SessionResume(session string) uint64 { return w.s.ResumeSeq(session) }
+
 // Seal seals every window ending at or before upTo (aligned down to a
 // window boundary), publishing their summaries and running any roll-ups
 // and retention expiry they unlock — the clock-driven alternative to
