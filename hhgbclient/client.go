@@ -62,14 +62,19 @@
 //   - On a durable server, acked frames stay in the ring until a Flush
 //     or Checkpoint ack covers them: a server kill -9 may lose acked but
 //     un-fsynced batches, and the reconnecting client retransmits
-//     exactly those. Flush at your commit points to bound the ring.
+//     exactly those. The ring is bounded: after WithMaxRing frames
+//     (default DefaultMaxRing) the client pipelines a Flush barrier on
+//     its own. Explicit Flush at your commit points still bounds what a
+//     client crash can leave in doubt.
 //
 // The two losses sessions cannot absorb are explicit, never silent: an
 // overloaded or rejected batch was definitively dropped by the server
 // (sticky ErrOverloaded/ErrRejected — retransmitting it could reorder
 // the stream, so the producer decides), and a client process crash loses
-// the ring itself (resuming a pinned session then continues at the
-// server's frontier; in-doubt frames of the dead process stay in doubt).
+// the ring itself (resuming a pinned session then continues with fresh
+// seqs above the server's minting floor, so new data is never mistaken
+// for a retransmission; frames the dead process sent but never got
+// flushed stay in doubt).
 package hhgbclient
 
 import (
@@ -106,6 +111,7 @@ const (
 	DefaultFlushEntries  = 4096
 	DefaultFlushInterval = 100 * time.Millisecond
 	DefaultMaxPending    = 64
+	DefaultMaxRing       = 1024
 )
 
 // Option configures Dial.
@@ -116,6 +122,7 @@ type options struct {
 	flushInterval time.Duration
 	intervalSet   bool
 	maxPending    int
+	maxRing       int
 	dialTimeout   time.Duration
 	reconnect     bool
 	session       string
@@ -157,6 +164,27 @@ func WithMaxPending(n int) Option {
 			return fmt.Errorf("hhgbclient: pending window %d < 1", n)
 		}
 		o.maxPending = n
+		return nil
+	}
+}
+
+// WithMaxRing bounds the retransmit ring on durable servers: once n sent
+// frames await durability cover, the client pipelines an automatic Flush
+// barrier (no extra round-trip — it rides the stream like any frame), and
+// its ack lets the ring forget everything the barrier covers. Without it
+// a producer that never calls Flush would grow the ring — and the
+// retransmit burst after a reconnect — without bound, since insert acks
+// alone do not survive a server kill -9. The bound is approximate (frames
+// already in flight when it trips still join the ring) and a no-op on
+// non-durable servers, where acks retire ring frames directly. Explicit
+// Flush calls at commit points remain the way to bound what a client
+// crash can leave in doubt.
+func WithMaxRing(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("hhgbclient: ring bound %d < 1", n)
+		}
+		o.maxRing = n
 		return nil
 	}
 }
@@ -255,7 +283,11 @@ type Client struct {
 	// frames above the server's reported frontier retransmit in seq
 	// order.
 	sent map[uint64]sentFrame
-	src  []uint64
+	// autoFlush is true while a WithMaxRing-inserted Flush barrier (a
+	// pending call with a nil done channel) rides the pipeline; one at a
+	// time is enough, since its ack trims the whole ring below it.
+	autoFlush bool
+	src       []uint64
 	dst  []uint64
 	wgt  []uint64
 	// bufTS is the event-time bucket of the buffered entries (windowed
@@ -285,6 +317,7 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		flushEntries:  DefaultFlushEntries,
 		flushInterval: DefaultFlushInterval,
 		maxPending:    DefaultMaxPending,
+		maxRing:       DefaultMaxRing,
 	}
 	for _, opt := range opts {
 		if err := opt(&o); err != nil {
@@ -383,6 +416,7 @@ func (c *Client) connectLocked() error {
 	c.welcome = wel
 	c.pending = make(map[uint64]*call)
 	c.unacked = 0
+	c.autoFlush = false
 	c.dead = false
 	c.err = nil
 	c.gen++
@@ -394,8 +428,19 @@ func (c *Client) connectLocked() error {
 		}
 	}
 	// A resumed session (e.g. WithSession across a client restart) starts
-	// numbering above the server's frontier, or retransmits would collide
-	// with seqs the dedup table already holds.
+	// numbering above the server's minting floor — HighSeq, the highest
+	// seq its dedup state has ever recorded for the session. LastSeq
+	// would not do: it deliberately under-reports (the durable frontier
+	// trails the accepted one until a barrier, and after server recovery
+	// it is the min over per-shard tables), and minting in
+	// (LastSeq, HighSeq] would reuse seqs a dead incarnation's
+	// acked-but-unflushed frames already carried — the server would ack
+	// the new frames as duplicates without applying them, silently
+	// dropping fresh data. The max with LastSeq is defensive: a
+	// well-formed Welcome always has HighSeq >= LastSeq.
+	if wel.HighSeq > c.seq {
+		c.seq = wel.HighSeq
+	}
 	if wel.LastSeq > c.seq {
 		c.seq = wel.LastSeq
 	}
@@ -425,6 +470,12 @@ func (c *Client) connectLocked() error {
 			}
 			c.pending[seq] = &call{kind: fr.kind}
 			c.unacked++
+		}
+		// A ring already at the WithMaxRing bound (the reconnect burst)
+		// gets its barrier right behind the retransmissions.
+		c.autoFlushLocked()
+		if c.dead {
+			return c.err
 		}
 		if err := c.w.Flush(); err != nil {
 			c.failLocked(fmt.Errorf("%w: retransmit: %v", ErrDisconnected, err))
@@ -591,15 +642,32 @@ func (c *Client) dispatch(gen int, f proto.Frame) (fatal bool) {
 		c.cond.Broadcast()
 		return false
 	}
-	if (call.kind == proto.KindFlush || call.kind == proto.KindCheckpoint) && resp.err == nil {
-		// The barrier covers every insert acked before it, and program
-		// order means every insert seq below the barrier's was acked
-		// first: those frames are now fsynced on a durable server — the
-		// ring can forget them.
-		for s := range c.sent {
-			if s < seq {
-				delete(c.sent, s)
+	if call.kind == proto.KindFlush || call.kind == proto.KindCheckpoint {
+		if resp.err == nil {
+			// The barrier covers every insert acked before it, and program
+			// order means every insert seq below the barrier's was acked
+			// first: those frames are now fsynced on a durable server — the
+			// ring can forget them.
+			for s := range c.sent {
+				if s < seq {
+					delete(c.sent, s)
+				}
 			}
+		}
+		if call.done == nil {
+			// A WithMaxRing auto-barrier: nobody waits on it. On a
+			// per-request error the ring simply stays until the next
+			// barrier — explicit or auto — covers it. If frames shipped
+			// behind the barrier already refilled the ring to the bound,
+			// chain the next one right away: a producer that went quiet
+			// mid-burst would otherwise strand a full pipeline window in
+			// the ring with no ship left to trigger it.
+			c.autoFlush = false
+			c.autoFlushLocked()
+			if c.autoFlush && !c.dead {
+				_ = c.flushWireLocked()
+			}
+			return false
 		}
 	}
 	call.done <- resp
@@ -629,10 +697,11 @@ func (c *Client) failLocked(err error) {
 		delete(c.pending, seq)
 		if call.kind == proto.KindInsert || call.kind == proto.KindInsertAt {
 			c.unacked--
-		} else {
+		} else if call.done != nil { // nil: a WithMaxRing auto-barrier
 			call.done <- response{err: err}
 		}
 	}
+	c.autoFlush = false
 	for seq, sub := range c.subs {
 		delete(c.subs, seq)
 		sub.close()
@@ -727,7 +796,7 @@ func (c *Client) Reconnect() error {
 // own commit point) to resume the stream from another process.
 func (c *Client) Session() string { return c.session }
 
-// / Unacked reports the insert frames currently in the retransmit ring:
+// Unacked reports the insert frames currently in the retransmit ring:
 // sent, but not yet known safe on the server (unacked; or acked but not
 // yet covered by a Flush/Checkpoint on a durable server). Zero after a
 // successful Flush means everything this client ever appended is applied
@@ -915,7 +984,29 @@ func (c *Client) shipBufferLocked() error {
 	}
 	c.pending[seq] = &call{kind: kind}
 	c.unacked++
+	c.autoFlushLocked()
 	return nil
+}
+
+// autoFlushLocked pipelines an automatic Flush barrier when the
+// retransmit ring has reached the WithMaxRing bound on a durable server
+// (elsewhere the ring retires on insert acks and needs no barrier). The
+// barrier is a pending call with no waiter — its ack trims the ring in
+// dispatch and nothing blocks on it. A write failure takes the usual
+// connection-death path; the ring itself is untouched either way. Callers
+// hold mu.
+func (c *Client) autoFlushLocked() {
+	if !c.welcome.Durable || c.autoFlush || len(c.sent) < c.opt.maxRing {
+		return
+	}
+	c.seq++
+	seq := c.seq
+	if err := c.w.WriteFrame(proto.KindFlush, proto.AppendSeq(nil, seq)); err != nil {
+		c.failLocked(fmt.Errorf("%w: %v", ErrDisconnected, err))
+		return
+	}
+	c.pending[seq] = &call{kind: proto.KindFlush}
+	c.autoFlush = true
 }
 
 // flushWireLocked pushes buffered frames to the socket. Callers hold mu.

@@ -514,6 +514,163 @@ func TestRetransmitAfterSeverExactlyOnce(t *testing.T) {
 	assertSameState(t, m, ref)
 }
 
+// startDurableServer runs an in-process server over a durable matrix
+// whose WAL fsyncs only at barriers, so the session's durable frontier
+// provably trails its accepted one between client Flushes.
+func startDurableServer(t *testing.T, dim uint64) (*server.Server, *hhgb.Sharded, string) {
+	t.Helper()
+	m, err := hhgb.NewSharded(dim, hhgb.WithShards(2),
+		hhgb.WithDurability(t.TempDir()), hhgb.WithSyncEvery(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	s, err := server.New(server.Config{Matrix: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return s, m, ln.Addr().String()
+}
+
+// TestFreshProcessResumeDoesNotLoseNewData is the cross-process resume
+// regression: a client flushes a commit point, streams more (acked but
+// never flushed), and dies with its retransmit ring. A new process
+// resuming the pinned session must mint its seqs above the server's
+// minting floor (Welcome.HighSeq, the accepted frontier) — seeding from
+// LastSeq (the durable frontier) made it reuse the dead process's seqs,
+// and the server acked its new batches as duplicates without applying
+// them.
+func TestFreshProcessResumeDoesNotLoseNewData(t *testing.T) {
+	const dim = uint64(1) << 20
+	srv, m, addr := startDurableServer(t, dim)
+
+	batch := func(base uint64) (src, dst, wgt []uint64) {
+		for k := uint64(0); k < 4; k++ {
+			src = append(src, base+k)
+			dst = append(dst, base+k+100)
+			wgt = append(wgt, 1)
+		}
+		return
+	}
+
+	c1, err := hhgbclient.Dial(addr, hhgbclient.WithSession("proc-sess"),
+		hhgbclient.WithFlushEntries(4), hhgbclient.WithFlushInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, d1, w1 := batch(1000)
+	if err := c1.AppendWeighted(s1, d1, w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Flush(); err != nil { // the process's commit point
+		t.Fatal(err)
+	}
+	s2, d2, w2 := batch(2000)
+	if err := c1.AppendWeighted(s2, d2, w2); err != nil {
+		t.Fatal(err)
+	}
+	// "Process death" mid-interval: abandon c1 without Close — a Goodbye
+	// would drain with a full Flush and advance the durable frontier,
+	// hiding the gap. Wait until the server accepted the in-flight frame
+	// (the dead process's ack may or may not have arrived; irrelevant),
+	// leaving accepted ahead of durable — the exact gap a fresh process
+	// used to mint into.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().InsertBatches < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never accepted the unflushed frame (batches=%d)", srv.Stats().InsertBatches)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	c2, err := hhgbclient.Dial(addr, hhgbclient.WithSession("proc-sess"),
+		hhgbclient.WithFlushEntries(4), hhgbclient.WithFlushInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	s3, d3, w3 := batch(3000)
+	if err := c2.AppendWeighted(s3, d3, w3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := hhgb.New(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range [][3][]uint64{{s1, d1, w1}, {s2, d2, w2}, {s3, d3, w3}} {
+		if err := ref.UpdateWeighted(b[0], b[1], b[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSameState(t, m, ref)
+}
+
+// TestMaxRingAutoBarrierBoundsRing pins WithMaxRing: on a durable server
+// a producer that never calls Flush must not grow the retransmit ring
+// past the bound — the client inserts its own pipelined Flush barriers,
+// whose acks let the ring forget covered frames.
+func TestMaxRingAutoBarrierBoundsRing(t *testing.T) {
+	const dim = uint64(1) << 20
+	_, m, addr := startDurableServer(t, dim)
+	c, err := hhgbclient.Dial(addr, hhgbclient.WithSession("ring-sess"),
+		hhgbclient.WithFlushEntries(1), hhgbclient.WithFlushInterval(0),
+		hhgbclient.WithMaxRing(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// 256 one-entry frames, never an explicit Flush. Without the auto
+	// barrier every one of them would sit in the ring (acks alone do not
+	// retire frames on a durable server).
+	src, dst, wgt := make([]uint64, 0, 256), make([]uint64, 0, 256), make([]uint64, 0, 256)
+	for k := uint64(0); k < 256; k++ {
+		src = append(src, k+1)
+		dst = append(dst, k+500)
+		wgt = append(wgt, 1)
+		if err := c.AppendWeighted(src[k:], dst[k:], wgt[k:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The bound is approximate while streaming (frames in flight when a
+	// barrier trips still join the ring), but once the producer goes
+	// quiet the barriers chain until the ring converges below the bound
+	// — nowhere near the 256 an unbounded ring would hold. Poll: ring
+	// trimming rides async acks.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := c.Unacked(); n < 8 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("ring held %d frames, want < 8 (auto barriers never trimmed)", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Unacked(); n != 0 {
+		t.Fatalf("%d frames unacked after explicit Flush", n)
+	}
+	ref, err := hhgb.New(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.UpdateWeighted(src, dst, wgt); err != nil {
+		t.Fatal(err)
+	}
+	assertSameState(t, m, ref)
+}
+
 // buildServe compiles cmd/hhgb-serve once per test run.
 func buildServe(t *testing.T) string {
 	t.Helper()

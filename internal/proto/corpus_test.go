@@ -87,7 +87,7 @@ func seedCorpus(t *testing.T) map[string]map[string][]byte {
 	return map[string]map[string][]byte{
 		"FuzzReaderNext": {
 			"handshake": frames(t, KindHello, AppendHello(nil, "seed-session", 41),
-				KindWelcome, AppendWelcome(nil, Welcome{Version: Version, Dim: 1 << 32, Shards: 4, Durable: true, Window: 1e9, LastSeq: 41})),
+				KindWelcome, AppendWelcome(nil, Welcome{Version: Version, Dim: 1 << 32, Shards: 4, Durable: true, Window: 1e9, LastSeq: 41, HighSeq: 44})),
 			"handshake-anon": frames(t, KindHello, AppendHello(nil, "", 0),
 				KindWelcome, AppendWelcome(nil, Welcome{Version: Version, Dim: 1 << 20, Shards: 2})),
 			"ingest": frames(t, KindInsert, insert, KindInsertAt, insertAt,
@@ -119,7 +119,7 @@ func seedCorpus(t *testing.T) map[string]map[string][]byte {
 		},
 		"FuzzParseBodies": {
 			"hello":         AppendHello(nil, "seed-session", 41),
-			"welcome":       AppendWelcome(nil, Welcome{Version: Version, Dim: 1 << 24, Shards: 2, Window: 1e9, LastSeq: 41}),
+			"welcome":       AppendWelcome(nil, Welcome{Version: Version, Dim: 1 << 24, Shards: 2, Window: 1e9, LastSeq: 41, HighSeq: 44}),
 			"lookup":        AppendLookup(nil, 1, 2, 3),
 			"lookupresp":    AppendLookupResp(nil, 1, true, 300),
 			"topk":          AppendTopK(nil, 1, AxisSources, 5),

@@ -20,11 +20,15 @@
 // a client-chosen session identifier, and the resume seq (the highest seq
 // the client believes acknowledged; informational) — and the server's
 // Welcome: negotiated version, matrix dimension, shard count, durability
-// flag, window duration, and LastSeq, the server's highest durably-applied
-// insert seq for that session. The session identifier, not the TCP
-// connection, is the exactly-once dedup scope: a client that reconnects
-// under the same session may retransmit any insert frame above LastSeq,
-// and the server acks duplicates without re-applying them. An empty
+// flag, window duration, and two session frontiers — LastSeq, the server's
+// highest durably-applied insert seq for that session (under-reported;
+// governs retransmit-ring trimming), and HighSeq, the highest seq its
+// dedup state has ever recorded (over-reported; governs minting — a
+// resuming client without its ring sends new frames strictly above it).
+// The session identifier, not the TCP connection, is the exactly-once
+// dedup scope: a client that reconnects under the same session may
+// retransmit any insert frame above LastSeq, and the server acks
+// duplicates without re-applying them. An empty
 // session opts out of dedup (fire-and-forget ingest). Then the client
 // pipelines requests, each carrying a client-assigned sequence number
 // (starting at 1, strictly increasing within the session across
@@ -360,7 +364,21 @@ type Welcome struct {
 	// drop every unacked frame at or below it from its retransmit ring
 	// and must retransmit everything above it. On a non-durable server it
 	// is the highest accepted seq instead.
+	//
+	// LastSeq deliberately under-reports — it trails the accepted
+	// frontier until a Flush/Checkpoint barrier, and after server
+	// recovery it is the min over per-shard session tables — so it is
+	// safe for trimming but NOT for choosing the next seq to send.
 	LastSeq uint64
+	// HighSeq is the seq-minting floor: the highest insert seq the
+	// server's dedup state has ever recorded for the Hello's session, on
+	// any shard (0 for a fresh or empty session). It is always >= LastSeq
+	// and deliberately over-reports. A client resuming a session without
+	// its in-memory retransmit ring (a fresh process) must mint new seqs
+	// strictly above HighSeq; minting in (LastSeq, HighSeq] would collide
+	// with seqs an earlier incarnation already used, and the server would
+	// ack the new frames as duplicates without applying them.
+	HighSeq uint64
 }
 
 // AppendWelcome builds a Welcome body.
@@ -374,7 +392,8 @@ func AppendWelcome(buf []byte, w Welcome) []byte {
 	}
 	buf = append(buf, flags)
 	buf = binary.AppendUvarint(buf, w.Window)
-	return binary.AppendUvarint(buf, w.LastSeq)
+	buf = binary.AppendUvarint(buf, w.LastSeq)
+	return binary.AppendUvarint(buf, w.HighSeq)
 }
 
 // ParseWelcome decodes a Welcome body.
@@ -403,6 +422,9 @@ func ParseWelcome(body []byte) (Welcome, error) {
 		return w, err
 	}
 	if w.LastSeq, err = r.uvarint(); err != nil {
+		return w, err
+	}
+	if w.HighSeq, err = r.uvarint(); err != nil {
 		return w, err
 	}
 	return w, r.done()

@@ -51,7 +51,7 @@ func TestHelloWelcomeRoundTrip(t *testing.T) {
 		t.Fatalf("oversized session = %v, want ErrMalformed", err)
 	}
 
-	in := Welcome{Version: Version, Dim: 1 << 32, Shards: 8, Durable: true, LastSeq: 7}
+	in := Welcome{Version: Version, Dim: 1 << 32, Shards: 8, Durable: true, LastSeq: 7, HighSeq: 9}
 	f = roundTrip(t, KindWelcome, AppendWelcome(nil, in))
 	out, err := ParseWelcome(f.Body)
 	if err != nil || out != in {

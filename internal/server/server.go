@@ -496,6 +496,7 @@ func (c *conn) run() {
 		}
 		if session != "" {
 			wel.LastSeq = wm.SessionResume(session)
+			wel.HighSeq = wm.SessionMint(session)
 		}
 	} else {
 		m := c.srv.cfg.Matrix
@@ -517,6 +518,7 @@ func (c *conn) run() {
 		}
 		if session != "" {
 			wel.LastSeq = m.SessionResume(session)
+			wel.HighSeq = m.SessionMint(session)
 		}
 	}
 	if session != "" && resumeSeq > 0 {

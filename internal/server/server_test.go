@@ -395,3 +395,88 @@ func TestSessionDedupAndResume(t *testing.T) {
 		t.Fatalf("stats: batches=%d entries=%d, want 2/2", st.InsertBatches, st.InsertEntries)
 	}
 }
+
+// TestCrossProcessResumeMintingFloor pins the two Welcome frontiers
+// against the scenario that used to lose data: on a durable server a
+// client flushes through seq 1, sends seq 3 (acked, never flushed), and
+// dies with its retransmit ring. The resuming process must learn both
+// LastSeq=1 — the under-reported trim/retransmit frontier — and
+// HighSeq=3 — the minting floor: a fresh frame minted at seq 3 (what
+// seeding from LastSeq produced) is dup-acked without being applied.
+func TestCrossProcessResumeMintingFloor(t *testing.T) {
+	// Huge sync-every: the WAL fsyncs only at barriers, so the durable
+	// frontier provably trails the accepted one between Flushes.
+	m, err := hhgb.NewSharded(1<<20, hhgb.WithShards(2),
+		hhgb.WithDurability(t.TempDir()), hhgb.WithSyncEvery(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	s, err := New(Config{Matrix: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	addr := ln.Addr().String()
+
+	c := dialRaw(t, addr)
+	if w := c.handshakeSession("sess-M", 0); w.LastSeq != 0 || w.HighSeq != 0 {
+		t.Fatalf("fresh session frontiers = %d/%d, want 0/0", w.LastSeq, w.HighSeq)
+	}
+	b1, err := proto.AppendInsert(nil, 1, []uint64{7}, []uint64{8}, []uint64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.send(proto.KindInsert, b1)
+	c.expectAck(1)
+	c.send(proto.KindFlush, proto.AppendSeq(nil, 2))
+	c.expectAck(2) // durable frontier: 1
+	b3, err := proto.AppendInsert(nil, 3, []uint64{9}, []uint64{10}, []uint64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.send(proto.KindInsert, b3)
+	c.expectAck(3) // accepted: 3, durable still 1
+
+	// The "fresh process" resumes: it must see both frontiers.
+	c2 := dialRaw(t, addr)
+	w := c2.handshakeSession("sess-M", 0)
+	if w.LastSeq != 1 {
+		t.Fatalf("resumed LastSeq = %d, want 1 (durable frontier under-reports)", w.LastSeq)
+	}
+	if w.HighSeq != 3 {
+		t.Fatalf("resumed HighSeq = %d, want 3 (accepted frontier is the minting floor)", w.HighSeq)
+	}
+	// Reusing a seq at or below HighSeq is exactly the loss mode: acked,
+	// never applied. The server's dedup cannot tell new data from a
+	// retransmission — that is why the client must mint above HighSeq.
+	bReused, err := proto.AppendInsert(nil, 3, []uint64{100}, []uint64{100}, []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.send(proto.KindInsert, bReused)
+	c2.expectAck(3)
+	// New data minted above HighSeq lands.
+	b4, err := proto.AppendInsert(nil, 4, []uint64{11}, []uint64{12}, []uint64{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.send(proto.KindInsert, b4)
+	c2.expectAck(4)
+	c2.send(proto.KindFlush, proto.AppendSeq(nil, 5))
+	c2.expectAck(5)
+	if v, ok, err := m.Lookup(11, 12); err != nil || !ok || v != 9 {
+		t.Fatalf("Lookup(11,12) = %d, %v, %v; want 9 (minted above HighSeq must apply)", v, ok, err)
+	}
+	if v, ok, err := m.Lookup(9, 10); err != nil || !ok || v != 5 {
+		t.Fatalf("Lookup(9,10) = %d, %v, %v; want 5", v, ok, err)
+	}
+	if _, ok, err := m.Lookup(100, 100); err != nil || ok {
+		t.Fatalf("Lookup(100,100) found=%v, %v; want absent (reused seq is dup-dropped)", ok, err)
+	}
+}

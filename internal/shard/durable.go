@@ -76,8 +76,16 @@ type Durability struct {
 }
 
 const (
-	manifestName    = "MANIFEST.json"
-	lockName        = "LOCK"
+	manifestName = "MANIFEST.json"
+	lockName     = "LOCK"
+	// manifestVersion 2 (the exactly-once release) added per-shard session
+	// tables to the manifest and a session header to every WAL record. The
+	// break from v1 is deliberate and strict — v1 segments would be
+	// misparsed under the new record layout, and "v1 but cleanly closed"
+	// cannot be told apart from "v1 with a live tail" reliably enough to
+	// risk it — so recovery refuses v1 directories outright: re-ingest
+	// them (or drain them through a v1 binary into a v2 server) rather
+	// than upgrading in place.
 	manifestVersion = 2
 	walSuffix       = ".log"
 	snapSuffix      = ".hier"
@@ -213,7 +221,7 @@ func readManifest(dir string) (*manifest, error) {
 		return nil, fmt.Errorf("shard: parsing %s: %w", manifestName, err)
 	}
 	if m.Version != manifestVersion {
-		return nil, fmt.Errorf("%w: manifest version %d, want %d", gb.ErrInvalidValue, m.Version, manifestVersion)
+		return nil, fmt.Errorf("%w: manifest version %d, want %d (v1 directories predate the session-bearing WAL layout and must be re-ingested)", gb.ErrInvalidValue, m.Version, manifestVersion)
 	}
 	if m.Shards < 1 || len(m.Snapshots) != m.Shards {
 		return nil, fmt.Errorf("%w: manifest has %d shards, %d snapshots", gb.ErrInvalidValue, m.Shards, len(m.Snapshots))
@@ -740,16 +748,27 @@ func RecoverGroup[T gb.Number](cfg Config) (*Group[T], RecoverStats, error) {
 		return nil, st, err
 	}
 	// Hand each shard its recovered dedup table and derive the group
-	// frontiers. The resume frontier is the MINIMUM over shards: a frame
-	// above it may have reached some shards and not others (or reached a
-	// shard whose unsynced tail was lost, leaving no table entry at all —
-	// hence absent entries count as 0), so only the minimum is provably
-	// whole. Under-reporting is safe — the client retransmits the gap and
-	// the per-shard tables drop whatever half-applied fragments survived.
+	// frontiers — one per safety direction. The resume frontier (accepted
+	// and durable) is the MINIMUM over shards: a frame above it may have
+	// reached some shards and not others (or reached a shard whose
+	// unsynced tail was lost, leaving no table entry at all — hence
+	// absent entries count as 0), so only the minimum is provably whole.
+	// Under-reporting is safe there — and required: the client
+	// retransmits the gap, UpdateSession's frontier check lets the
+	// retransmissions through, and the per-shard tables drop exactly the
+	// already-applied fragments, repairing any partial application.
+	// (Seeding accepted with the max instead would dup-ack those
+	// retransmissions without re-applying them — permanent data loss.)
+	// The minted floor is the MAXIMUM over shards: any seq some table
+	// remembers would be silently dup-dropped if a resuming client
+	// reused it for new data, so MintSeq must over-report. Sessions
+	// absent from every table keep whatever the manifest recorded via
+	// accepted (min == max == manifest frontier for those).
 	for i, w := range g.workers {
 		w.sessions = tables[i]
 	}
 	frontier := make(map[string]uint64)
+	minted := make(map[string]uint64)
 	for _, tab := range tables {
 		for s := range tab {
 			frontier[s] = 0
@@ -757,13 +776,18 @@ func RecoverGroup[T gb.Number](cfg Config) (*Group[T], RecoverStats, error) {
 	}
 	for s := range frontier {
 		min := uint64(0)
+		max := uint64(0)
 		for k, tab := range tables {
 			q := tab[s]
 			if k == 0 || q < min {
 				min = q
 			}
+			if q > max {
+				max = q
+			}
 		}
 		frontier[s] = min
+		minted[s] = max
 	}
 	if len(frontier) > 0 {
 		g.accepted = frontier
@@ -771,6 +795,7 @@ func RecoverGroup[T gb.Number](cfg Config) (*Group[T], RecoverStats, error) {
 		for s, q := range frontier {
 			g.durable[s] = q
 		}
+		g.minted = minted
 	}
 	g.epoch = maxEpoch + 1
 	if st.ReplayedBatches > 0 || st.TornTails > 0 {

@@ -275,6 +275,12 @@ func TestSessionMinFrontierUnderReport(t *testing.T) {
 	if got := rec.ResumeSeq("sess-kt"); got != 10 {
 		t.Fatalf("recovered ResumeSeq = %d, want 10 (min over shards; seq 11 touched one shard)", got)
 	}
+	// The minting floor is the other direction: seq 11 lives in one
+	// shard's table, so a resuming writer that reused it for new data
+	// would be silently dup-dropped there. MintSeq must over-report.
+	if got := rec.MintSeq("sess-kt"); got != 11 {
+		t.Fatalf("recovered MintSeq = %d, want 11 (max over shards)", got)
+	}
 	// The client, told 10, retransmits seq 11. The group frontier (also
 	// 10) lets it through; the owning shard's table says 11 and drops it.
 	if dup, err := rec.UpdateSession("sess-kt", 11, one, one, []uint64{5}); err != nil || dup {

@@ -195,10 +195,16 @@ type Group[T gb.Number] struct {
 	// trails accepted on durable groups, advancing when a fsync barrier
 	// (Flush, Checkpoint, Close) commits a frontier snapshot taken before
 	// the barrier — ResumeSeq must never promise a seq a crash could
-	// lose. sessMu is a leaf lock: nothing is acquired while it is held.
+	// lose. minted is only populated by recovery: the max over per-shard
+	// session tables, which can exceed the recovered accepted frontier
+	// (the min over shards) when a crash left a frame partially applied.
+	// MintSeq folds it in so a resuming client never reuses a seq some
+	// shard's table already remembers. sessMu is a leaf lock: nothing is
+	// acquired while it is held.
 	sessMu   sync.Mutex
 	accepted map[string]uint64
 	durable  map[string]uint64
+	minted   map[string]uint64
 
 	// codec converts values to and from the 8-byte wire word the WAL and
 	// snapshots use; chosen per T (floats bit-exact, integers lossless).
@@ -488,6 +494,27 @@ func (g *Group[T]) ResumeSeq(session string) uint64 {
 		return g.durable[session]
 	}
 	return g.accepted[session]
+}
+
+// MintSeq reports the session's seq-minting floor — the highest frame seq
+// the group's dedup state has ever recorded for the session, on any
+// shard. A resuming client that lost its retransmit ring (a fresh
+// process) must assign new frames seqs strictly above it; reusing a seq
+// at or below would be dup-dropped without applying. Always >= ResumeSeq:
+// over-reporting here is the safe direction, the opposite of ResumeSeq.
+// Live, the accepted frontier is that max (UpdateSession advances it only
+// after every shard took its slice of the frame); after recovery the
+// minted table carries the max over per-shard session tables, which
+// exceeds the recovered accepted frontier (the min over shards) when a
+// crash left a frame partially applied.
+func (g *Group[T]) MintSeq(session string) uint64 {
+	g.sessMu.Lock()
+	defer g.sessMu.Unlock()
+	q := g.accepted[session]
+	if m := g.minted[session]; m > q {
+		q = m
+	}
+	return q
 }
 
 // SessionHighs merges the per-shard high-water tables, max per session:

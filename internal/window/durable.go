@@ -46,8 +46,12 @@ import (
 // persist its own cursor over QueryRange.
 
 const (
-	storeManifestName    = "WINDOWSTORE.json"
-	sealedMarkerName     = "SEALED"
+	storeManifestName = "WINDOWSTORE.json"
+	sealedMarkerName  = "SEALED"
+	// storeManifestVersion tracks shard.manifestVersion: v2 is the
+	// exactly-once release (store-level session frontier, session-bearing
+	// per-window WALs). v1 store directories are refused, not migrated —
+	// see the shard manifestVersion comment; re-ingest them.
 	storeManifestVersion = 2
 	winDirPrefix         = "win-L"
 )
@@ -242,7 +246,7 @@ func Recover[T gb.Number](cfg Config) (*Store[T], RecoverStats, error) {
 		return nil, st, fmt.Errorf("window: parsing %s: %w", storeManifestName, err)
 	}
 	if man.Version != storeManifestVersion {
-		return nil, st, fmt.Errorf("%w: store manifest version %d, want %d", gb.ErrInvalidValue, man.Version, storeManifestVersion)
+		return nil, st, fmt.Errorf("%w: store manifest version %d, want %d (v1 directories predate the session-bearing WAL layout and must be re-ingested)", gb.ErrInvalidValue, man.Version, storeManifestVersion)
 	}
 	if man.WindowNs <= 0 {
 		return nil, st, fmt.Errorf("%w: store manifest window %dns", gb.ErrInvalidValue, man.WindowNs)
@@ -404,6 +408,24 @@ func Recover[T gb.Number](cfg Config) (*Store[T], RecoverStats, error) {
 			}
 		}
 		s.wins[key{w.level, w.start}] = w
+		// Fold the window's session table into the store's minting floor:
+		// any seq some window's shard remembers would be silently
+		// dup-dropped if a resuming client reused it, so MintSeq must see
+		// the max over every recovered window — the manifest frontier
+		// (already seeded into accepted) trails it by whatever was applied
+		// since the last store barrier.
+		highs := w.sessHigh
+		if highs == nil {
+			highs = w.g.SessionHighs()
+		}
+		for sess, q := range highs {
+			if s.minted == nil {
+				s.minted = make(map[string]uint64)
+			}
+			if q > s.minted[sess] {
+				s.minted[sess] = q
+			}
+		}
 	}
 	ok = true
 	return s, st, nil

@@ -155,6 +155,66 @@ func TestDurableWindowedKillPoints(t *testing.T) {
 		}
 	})
 
+	t.Run("session-minting-floor", func(t *testing.T) {
+		// The store manifest's session frontier advances only at store
+		// barriers, while a window's per-shard tables log every frame
+		// (SyncEvery 1 here): a sessioned frame accepted after the last
+		// Flush recovers into the window's tables but not the manifest.
+		// ResumeSeq must under-report from the manifest (the frame's
+		// durability is unproven store-wide) and MintSeq must over-report
+		// from the window tables (its seq is spent either way).
+		dir := t.TempDir()
+		s, err := New[uint64](dim, dim, durableCfg(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if dup, err := s.AppendSession("sess-W", 1, 5, []gb.Index{1}, []gb.Index{2}, []uint64{3}); err != nil || dup {
+			t.Fatalf("seq 1: dup=%v err=%v", dup, err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if dup, err := s.AppendSession("sess-W", 2, 7, []gb.Index{3}, []gb.Index{4}, []uint64{5}); err != nil || dup {
+			t.Fatalf("seq 2: dup=%v err=%v", dup, err)
+		}
+		// Drain the owning window's group (not a store barrier: the
+		// manifest frontier must stay at 1) so seq 2's synced WAL record
+		// is on disk when the "crash" copies the directory.
+		if err := s.wins[key{0, 0}].g.Err(); err != nil {
+			t.Fatal(err)
+		}
+		crash := copyDir(t, dir)
+		rec, _, err := Recover[uint64](durableCfg(crash))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rec.Close()
+		if got := rec.ResumeSeq("sess-W"); got != 1 {
+			t.Fatalf("recovered ResumeSeq = %d, want 1 (manifest frontier under-reports)", got)
+		}
+		if got := rec.MintSeq("sess-W"); got != 2 {
+			t.Fatalf("recovered MintSeq = %d, want 2 (window tables carry the spent seq)", got)
+		}
+		// The resuming client retransmits seq 2 — absorbed by the window's
+		// per-shard tables — and mints new data at 3, which must land.
+		if _, err := rec.AppendSession("sess-W", 2, 7, []gb.Index{3}, []gb.Index{4}, []uint64{5}); err != nil {
+			t.Fatal(err)
+		}
+		if dup, err := rec.AppendSession("sess-W", 3, 9, []gb.Index{5}, []gb.Index{6}, []uint64{7}); err != nil || dup {
+			t.Fatalf("seq 3: dup=%v err=%v", dup, err)
+		}
+		if err := rec.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		entries := []entry{
+			{ts: 5, r: 1, c: 2, v: 3},
+			{ts: 7, r: 3, c: 4, v: 5},
+			{ts: 9, r: 5, c: 6, v: 7},
+		}
+		verifyRecovered(t, rec, entries, 0, int64(time.Second))
+	})
+
 	t.Run("seal-marker-lost", func(t *testing.T) {
 		dir := t.TempDir()
 		s, entries := seedDurable(t, dir)

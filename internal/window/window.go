@@ -184,10 +184,14 @@ type Store[T gb.Number] struct {
 	// store-wide barriers (Flush, Checkpoint, Close) — a frame's entries
 	// may spread across several windows' appends over time, so only a
 	// barrier that syncs every live window can prove a prefix durable.
+	// minted is only populated by recovery — the max over every recovered
+	// window's per-shard session tables, which can exceed the recovered
+	// accepted frontier; MintSeq folds it in (see shard.Group.MintSeq).
 	// Leaf lock: nothing is acquired while it is held.
 	sessMu   sync.Mutex
 	accepted map[string]uint64
 	durable  map[string]uint64
+	minted   map[string]uint64
 
 	subs    map[uint64]*Subscription[T]
 	nextSub uint64
@@ -510,6 +514,21 @@ func (s *Store[T]) ResumeSeq(session string) uint64 {
 		return s.durable[session]
 	}
 	return s.accepted[session]
+}
+
+// MintSeq reports the session's seq-minting floor, like
+// shard.Group.MintSeq: the highest frame seq the store's dedup state has
+// ever recorded for the session, in any window, on any shard. Always >=
+// ResumeSeq; a resuming client without its retransmit ring must assign
+// new frames seqs strictly above it.
+func (s *Store[T]) MintSeq(session string) uint64 {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	q := s.accepted[session]
+	if m := s.minted[session]; m > q {
+		q = m
+	}
+	return q
 }
 
 // snapshotAccepted copies the accepted frontier at a barrier's entry.

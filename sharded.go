@@ -197,6 +197,14 @@ func (s *Sharded) AppendWeightedSession(session string, seq uint64, src, dst, we
 // matrix; accepted otherwise). 0 for unknown sessions.
 func (s *Sharded) SessionResume(session string) uint64 { return s.g.ResumeSeq(session) }
 
+// SessionMint reports a session's seq-minting floor: the highest insert
+// seq the matrix's dedup state has ever recorded for the session. Always
+// >= SessionResume — a resuming producer that lost its retransmit state
+// must assign new frames seqs strictly above it, or they would be
+// acknowledged as duplicates without being applied. 0 for unknown
+// sessions.
+func (s *Sharded) SessionMint(session string) uint64 { return s.g.MintSeq(session) }
+
 // Update is Append under its original name; it shares Append's ErrClosed
 // semantics.
 func (s *Sharded) Update(src, dst []uint64) error { return s.Append(src, dst) }

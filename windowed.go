@@ -185,6 +185,10 @@ func (w *Windowed) AppendWeightedAtSession(session string, seq uint64, ts time.T
 // Sharded.SessionResume.
 func (w *Windowed) SessionResume(session string) uint64 { return w.s.ResumeSeq(session) }
 
+// SessionMint reports a session's seq-minting floor, like
+// Sharded.SessionMint.
+func (w *Windowed) SessionMint(session string) uint64 { return w.s.MintSeq(session) }
+
 // Seal seals every window ending at or before upTo (aligned down to a
 // window boundary), publishing their summaries and running any roll-ups
 // and retention expiry they unlock — the clock-driven alternative to
