@@ -7,9 +7,11 @@
 //
 //	hhgb-serve [-addr host:port] [-scale S] [-shards N]
 //	           [-window D] [-rollups 60,60] [-retentions 5m,0] [-lateness D]
+//	           [-sub-queue N] [-sub-patience D]
 //	           [-durable dir] [-sync-every N]
 //	           [-tls-cert file -tls-key file]
-//	           [-stats host:port] [-max-inflight N] [-max-batch N] [-queue-depth N]
+//	           [-stats host:port] [-metrics]
+//	           [-max-inflight N] [-max-batch N] [-queue-depth N]
 //
 // With -window, inserts must carry event timestamps (hhgbclient.AppendAt);
 // the stream partitions into windows of that duration, rolled up by the
@@ -31,6 +33,17 @@
 // server.StatsVersion), and shuts down gracefully on SIGINT/SIGTERM: the
 // listener stops, every connection drains and acks, and the store closes
 // (final checkpoint when durable).
+//
+// With -metrics (needs -stats), the same address also serves Prometheus
+// text exposition at /metrics — every layer instrumented, counters
+// reconciling exactly with /stats — and the standard pprof profiles
+// under /debug/pprof/. With -sub-queue (needs -window), each summary
+// subscription is bounded to N undelivered summaries; a subscriber that
+// stays over the bound longer than -sub-patience (default: evict on the
+// next over-bound seal) is disconnected with a typed eviction error
+// rather than letting its backlog grow without bound. -sub-patience also
+// bounds how long a single summary write may block on a stalled
+// connection before the server gives up on it.
 package main
 
 import (
@@ -41,6 +54,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -69,24 +83,62 @@ func main() {
 		tlsCert     = flag.String("tls-cert", "", "TLS certificate file (with -tls-key; empty = plaintext)")
 		tlsKey      = flag.String("tls-key", "", "TLS private key file")
 		statsAddr   = flag.String("stats", "", "serve JSON stats on this address at /stats (empty = off)")
+		metricsOn   = flag.Bool("metrics", false, "serve Prometheus metrics at /metrics and pprof at /debug/pprof/ on the -stats address (needs -stats)")
+		subQueue    = flag.Int("sub-queue", 0, "per-subscriber summary queue bound (0 = unbounded, never evict; needs -window)")
+		subPatience = flag.Duration("sub-patience", 0, "how long a subscriber may stay over -sub-queue before eviction (0 = evict on the next over-bound seal)")
 		maxInflight = flag.Int64("max-inflight", 0, "aggregate in-flight entry budget (0 = default)")
 		maxBatch    = flag.Int("max-batch", 0, "per-frame entry cap (0 = default)")
 		queueDepth  = flag.Int("queue-depth", 0, "per-connection apply queue depth in frames (0 = default)")
 	)
 	flag.Parse()
 	if err := run(*addr, *scale, *shards, *window, *rollups, *retentions, *lateness,
-		*durable, *syncEvery, *tlsCert, *tlsKey, *statsAddr, *maxInflight, *maxBatch, *queueDepth); err != nil {
+		*durable, *syncEvery, *tlsCert, *tlsKey, *statsAddr, *metricsOn,
+		*subQueue, *subPatience, *maxInflight, *maxBatch, *queueDepth); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(addr string, scale, shards int, window time.Duration, rollups, retentions string, lateness time.Duration,
-	durable string, syncEvery int, tlsCert, tlsKey, statsAddr string, maxInflight int64, maxBatch, queueDepth int) error {
+	durable string, syncEvery int, tlsCert, tlsKey, statsAddr string, metricsOn bool,
+	subQueue int, subPatience time.Duration, maxInflight int64, maxBatch, queueDepth int) error {
 	cfg := server.Config{
 		MaxBatch:    maxBatch,
 		QueueDepth:  queueDepth,
 		MaxInFlight: maxInflight,
 		Logf:        log.Printf,
+	}
+	if metricsOn && statsAddr == "" {
+		return fmt.Errorf("-metrics needs -stats")
+	}
+	if subQueue < 0 {
+		return fmt.Errorf("-sub-queue must be >= 0")
+	}
+	if subPatience < 0 {
+		return fmt.Errorf("-sub-patience must be >= 0")
+	}
+	if (subQueue > 0 || subPatience > 0) && window == 0 {
+		return fmt.Errorf("-sub-queue/-sub-patience need -window")
+	}
+	if subPatience > 0 && subQueue == 0 {
+		return fmt.Errorf("-sub-patience needs -sub-queue")
+	}
+	var reg *hhgb.Metrics
+	if metricsOn {
+		reg = hhgb.NewMetrics()
+		cfg.Metrics = reg
+	}
+	if subPatience > 0 {
+		cfg.SubPatience = subPatience
+	}
+	var storeOpts []hhgb.Option
+	if reg != nil {
+		storeOpts = append(storeOpts, hhgb.WithMetrics(reg))
+	}
+	if subQueue > 0 {
+		storeOpts = append(storeOpts, hhgb.WithSubscriberQueue(subQueue))
+	}
+	if subPatience > 0 {
+		storeOpts = append(storeOpts, hhgb.WithSubscriberPatience(subPatience))
 	}
 	if (tlsCert == "") != (tlsKey == "") {
 		return fmt.Errorf("-tls-cert and -tls-key go together")
@@ -100,7 +152,7 @@ func run(addr string, scale, shards int, window time.Duration, rollups, retentio
 	}
 	var closeStore func() error
 	if window > 0 {
-		wm, err := openWindowed(scale, shards, window, rollups, retentions, lateness, durable, syncEvery)
+		wm, err := openWindowed(scale, shards, window, rollups, retentions, lateness, durable, syncEvery, storeOpts)
 		if err != nil {
 			return err
 		}
@@ -110,7 +162,7 @@ func run(addr string, scale, shards int, window time.Duration, rollups, retentio
 		if rollups != "" || retentions != "" || lateness != 0 {
 			return fmt.Errorf("-rollups/-retentions/-lateness need -window")
 		}
-		m, err := openMatrix(scale, shards, durable, syncEvery)
+		m, err := openMatrix(scale, shards, durable, syncEvery, storeOpts)
 		if err != nil {
 			return err
 		}
@@ -138,6 +190,14 @@ func run(addr string, scale, shards int, window time.Duration, rollups, retentio
 	if statsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/stats", srv.StatsHandler())
+		if reg != nil {
+			mux.Handle("/metrics", reg.Handler())
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		sl, err := net.Listen("tcp", statsAddr)
 		if err != nil {
 			ln.Close()
@@ -145,6 +205,9 @@ func run(addr string, scale, shards int, window time.Duration, rollups, retentio
 			return err
 		}
 		fmt.Printf("stats on http://%s/stats\n", sl.Addr())
+		if reg != nil {
+			fmt.Printf("metrics on http://%s/metrics\n", sl.Addr())
+		}
 		go http.Serve(sl, mux)
 	}
 
@@ -205,15 +268,16 @@ func parseDurations(s string) ([]time.Duration, error) {
 // openWindowed builds the service's temporal store: in-memory, freshly
 // durable, or recovered from a previous run's durable root.
 func openWindowed(scale, shards int, window time.Duration, rollups, retentions string, lateness time.Duration,
-	durable string, syncEvery int) (*hhgb.Windowed, error) {
+	durable string, syncEvery int, extra []hhgb.Option) (*hhgb.Windowed, error) {
 	if syncEvery != 0 && durable == "" {
 		return nil, fmt.Errorf("-sync-every requires -durable")
 	}
 	if durable != "" {
 		if _, err := os.Stat(filepath.Join(durable, "WINDOWSTORE.json")); err == nil {
 			// Existing durable store: recover it (the manifest fixes the
-			// shape; -scale/-shards/-window/... are ignored).
-			var ropts []hhgb.Option
+			// shape; -scale/-shards/-window/... are ignored, but tuning
+			// like metrics and subscriber bounds still applies).
+			ropts := append([]hhgb.Option(nil), extra...)
 			if syncEvery > 0 {
 				ropts = append(ropts, hhgb.WithSyncEvery(syncEvery))
 			}
@@ -226,7 +290,7 @@ func openWindowed(scale, shards int, window time.Duration, rollups, retentions s
 			return wm, nil
 		}
 	}
-	var opts []hhgb.Option
+	opts := append([]hhgb.Option(nil), extra...)
 	if shards > 0 {
 		opts = append(opts, hhgb.WithShards(shards))
 	}
@@ -254,9 +318,9 @@ func openWindowed(scale, shards int, window time.Duration, rollups, retentions s
 
 // openMatrix builds the service's flat matrix: in-memory, freshly
 // durable, or recovered from a previous run's durable state.
-func openMatrix(scale, shards int, durable string, syncEvery int) (*hhgb.Sharded, error) {
+func openMatrix(scale, shards int, durable string, syncEvery int, extra []hhgb.Option) (*hhgb.Sharded, error) {
 	dim := uint64(1) << uint(scale)
-	var opts []hhgb.Option
+	opts := append([]hhgb.Option(nil), extra...)
 	if shards > 0 {
 		opts = append(opts, hhgb.WithShards(shards))
 	}
@@ -271,8 +335,9 @@ func openMatrix(scale, shards int, durable string, syncEvery int) (*hhgb.Sharded
 	}
 	if _, err := os.Stat(filepath.Join(durable, "MANIFEST.json")); err == nil {
 		// Existing durable state: recover it (the manifest fixes the
-		// dimension and shard count; -scale/-shards are ignored).
-		var ropts []hhgb.Option
+		// dimension and shard count; -scale/-shards are ignored, but
+		// tuning like metrics still applies).
+		ropts := append([]hhgb.Option(nil), extra...)
 		if syncEvery > 0 {
 			ropts = append(ropts, hhgb.WithSyncEvery(syncEvery))
 		}

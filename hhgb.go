@@ -51,6 +51,7 @@ import (
 
 	"hhgb/internal/gb"
 	"hhgb/internal/hier"
+	"hhgb/internal/metrics"
 	"hhgb/internal/stats"
 )
 
@@ -65,21 +66,81 @@ const IPv6Space uint64 = ^uint64(0)
 type Option func(*options) error
 
 type options struct {
-	cuts       []int
-	shards     int
-	queueDepth int
-	handoff    int
-	durDir     string
-	syncEvery  int
-	rollups    []int
-	retentions []time.Duration
-	lateness   time.Duration
+	cuts        []int
+	shards      int
+	queueDepth  int
+	handoff     int
+	durDir      string
+	syncEvery   int
+	rollups     []int
+	retentions  []time.Duration
+	lateness    time.Duration
+	metrics     *Metrics
+	subQueue    int
+	subPatience time.Duration
 }
 
 // windowedOnly reports whether any option applying only to NewWindowed
 // was set; New and NewSharded reject those.
 func (o *options) windowedOnly() bool {
-	return o.rollups != nil || o.retentions != nil || o.lateness != 0
+	return o.rollups != nil || o.retentions != nil || o.lateness != 0 ||
+		o.subQueue != 0 || o.subPatience != 0
+}
+
+// Metrics is a metric registry: counters, gauges, and fixed-bucket
+// histograms rendered in Prometheus text exposition format by Handler or
+// WriteTo. One registry is typically shared by the matrix (WithMetrics),
+// the network server, and whatever else the process wants scraped.
+type Metrics = metrics.Registry
+
+// NewMetrics returns an empty metric registry.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// WithMetrics wires the matrix's instrumentation — shard batches applied,
+// WAL fsync and checkpoint latency, queue depths, and (windowed) window
+// lifecycle counts, seal lag, roll-up duration, subscriber health — into
+// the given registry. Without it the instruments still update, into a
+// registry nothing ever renders.
+func WithMetrics(m *Metrics) Option {
+	return func(o *options) error {
+		if m == nil {
+			return fmt.Errorf("%w: nil metrics registry", gb.ErrInvalidValue)
+		}
+		o.metrics = m
+		return nil
+	}
+}
+
+// WithSubscriberQueue bounds each window subscription's summary queue: a
+// subscription at or over n queued summaries starts a patience clock (see
+// WithSubscriberPatience), and one still full when it expires is evicted —
+// closed, backlog dropped, WindowSub.Evicted reporting true. The bound is
+// a trigger, not a hard cap: within patience, summaries keep queueing, so
+// a consumer that recovers misses nothing. The default (0) keeps queues
+// unbounded — no eviction, the pre-existing behavior. It applies only to
+// NewWindowed/RecoverWindowed; New and NewSharded reject it.
+func WithSubscriberQueue(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("%w: subscriber queue bound %d < 1", gb.ErrInvalidValue, n)
+		}
+		o.subQueue = n
+		return nil
+	}
+}
+
+// WithSubscriberPatience sets how long a full subscription (see
+// WithSubscriberQueue) is tolerated before eviction. The default with a
+// queue bound set is 0: evict on the first publish that finds the queue
+// at the bound. It applies only to NewWindowed/RecoverWindowed.
+func WithSubscriberPatience(d time.Duration) Option {
+	return func(o *options) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: subscriber patience %v <= 0", gb.ErrInvalidValue, d)
+		}
+		o.subPatience = d
+		return nil
+	}
 }
 
 // WithCuts sets explicit cascade cuts c1 … c(N-1); the matrix has

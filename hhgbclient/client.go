@@ -288,8 +288,8 @@ type Client struct {
 	// time is enough, since its ack trims the whole ring below it.
 	autoFlush bool
 	src       []uint64
-	dst  []uint64
-	wgt  []uint64
+	dst       []uint64
+	wgt       []uint64
 	// bufTS is the event-time bucket of the buffered entries (windowed
 	// sessions; meaningful only when bufTimed). All buffered entries share
 	// one bucket: AppendAt ships the buffer before starting a new one.

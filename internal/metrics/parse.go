@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks s as Prometheus text exposition format (the
+// subset this package emits): HELP/TYPE comments, then `name{labels}
+// value` samples whose value parses as a float and whose name matches the
+// metric name grammar. It is the well-formedness contract the CI smoke
+// asserts with curl, shared by the server-level schema tests.
+func ValidateExposition(s string) error {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for _, line := range lines {
+		if line == "" {
+			return fmt.Errorf("blank line")
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("unknown comment %q", line)
+		}
+		// name{labels} value | name value
+		rest := line
+		nameEnd := strings.IndexAny(rest, "{ ")
+		if nameEnd <= 0 {
+			return fmt.Errorf("no metric name in %q", line)
+		}
+		name := rest[:nameEnd]
+		if !validName(name, false) {
+			return fmt.Errorf("bad metric name %q", name)
+		}
+		rest = rest[nameEnd:]
+		if rest[0] == '{' {
+			end := labelsEnd(rest)
+			if end < 0 {
+				return fmt.Errorf("unterminated labels in %q", line)
+			}
+			rest = rest[end+1:]
+		}
+		if len(rest) == 0 || rest[0] != ' ' {
+			return fmt.Errorf("no value separator in %q", line)
+		}
+		if _, err := strconv.ParseFloat(strings.TrimPrefix(rest[1:], "+"), 64); err != nil {
+			return fmt.Errorf("bad value in %q: %v", line, err)
+		}
+	}
+	return nil
+}
+
+// labelsEnd returns the index of the closing '}' of a label block that
+// starts at s[0] == '{', honoring escaped quotes inside label values.
+func labelsEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}

@@ -153,6 +153,11 @@ const (
 	// ErrCodeInternal: an ingest or query error on the server; the message
 	// carries detail.
 	ErrCodeInternal uint64 = 7
+	// ErrCodeEvicted: the server disconnected this subscriber for falling
+	// too far behind the seal summary stream (its push queue stayed full
+	// past the server's patience). The connection closes after this frame;
+	// the client may reconnect and re-subscribe, accepting the gap.
+	ErrCodeEvicted uint64 = 8
 )
 
 // TopK axes.

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"hhgb/internal/metrics"
+	"hhgb/internal/proto"
+)
+
+// opNames maps request frame kinds to their op label on the server's
+// apply-latency histogram.
+var opNames = map[byte]string{
+	proto.KindInsert:       "insert",
+	proto.KindInsertAt:     "insert_at",
+	proto.KindFlush:        "flush",
+	proto.KindCheckpoint:   "checkpoint",
+	proto.KindGoodbye:      "goodbye",
+	proto.KindLookup:       "lookup",
+	proto.KindRangeLookup:  "range_lookup",
+	proto.KindTopK:         "topk",
+	proto.KindRangeTopK:    "range_topk",
+	proto.KindSummary:      "summary",
+	proto.KindRangeSummary: "range_summary",
+	proto.KindSubscribe:    "subscribe",
+}
+
+// opHistograms builds the per-op apply-latency histogram family, one
+// series per request kind. A nil registry wires them to the discard
+// registry so the apply loop never branches on instrumentation.
+func opHistograms(reg *metrics.Registry) map[byte]*metrics.Histogram {
+	r := metrics.OrDiscard(reg)
+	m := make(map[byte]*metrics.Histogram, len(opNames))
+	for kind, op := range opNames {
+		m[kind] = r.Histogram("hhgb_server_op_seconds",
+			"Apply latency per operation: dequeue to response handed to the writer.",
+			nil, metrics.L("op", op))
+	}
+	return m
+}
+
+// registerServerFuncs registers the server's sampled series: every /stats
+// v1 counter mirrored straight off the SAME atomics the JSON snapshot
+// reads — so /metrics and /stats reconcile exactly by construction — plus
+// the metrics-only frame counters and eviction count. Called once from
+// New, only with a real registry (sampling funcs hold the server alive).
+func registerServerFuncs(s *Server) {
+	r := s.cfg.Metrics
+	if r == nil {
+		return
+	}
+	r.CounterFunc("hhgb_server_connections_total",
+		"Connections accepted.",
+		func() int64 { return s.totalConns.Load() })
+	r.GaugeFunc("hhgb_server_active_conns",
+		"Connections currently open.",
+		func() int64 {
+			s.mu.Lock()
+			n := len(s.conns)
+			s.mu.Unlock()
+			return int64(n)
+		})
+	r.CounterFunc("hhgb_server_insert_batches_total",
+		"Insert frames applied (duplicates and refusals excluded).",
+		func() int64 { return s.batches.Load() })
+	r.CounterFunc("hhgb_server_insert_entries_total",
+		"Matrix entries applied from insert frames.",
+		func() int64 { return s.entries.Load() })
+	r.CounterFunc("hhgb_server_overloads_total",
+		"Insert frames refused over the in-flight entry budget.",
+		func() int64 { return s.overloads.Load() })
+	r.CounterFunc("hhgb_server_duplicates_dropped_total",
+		"Sessioned insert frames acked without re-applying (exactly-once dedup).",
+		func() int64 { return s.dupsDropped.Load() })
+	r.CounterFunc("hhgb_server_sessions_resumed_total",
+		"Handshakes that resumed an existing session (nonzero resume seq).",
+		func() int64 { return s.sessResumed.Load() })
+	r.CounterFunc("hhgb_server_rejected_total",
+		"Requests refused with a typed per-request error.",
+		func() int64 { return s.rejected.Load() })
+	r.CounterFunc("hhgb_server_flushes_total",
+		"Flush barriers requested by clients.",
+		func() int64 { return s.flushes.Load() })
+	r.CounterFunc("hhgb_server_checkpoints_total",
+		"Checkpoints requested by clients.",
+		func() int64 { return s.checkpoints.Load() })
+	r.CounterFunc("hhgb_server_queries_total",
+		"Query frames served (lookup, top-k, summary, and range forms).",
+		func() int64 { return s.queries.Load() })
+	r.CounterFunc("hhgb_server_subscriptions_total",
+		"Window summary subscriptions started.",
+		func() int64 { return s.subscriptions.Load() })
+	r.CounterFunc("hhgb_server_window_summaries_total",
+		"Window seal summaries written to subscribers.",
+		func() int64 { return s.summariesOut.Load() })
+	r.CounterFunc("hhgb_server_subscribers_evicted_total",
+		"Subscriber connections disconnected for not keeping up with summaries.",
+		func() int64 { return s.evictions.Load() })
+	r.GaugeFunc("hhgb_server_in_flight_entries",
+		"Decoded-but-unapplied insert entries across all connections.",
+		func() int64 { return s.inFlight.Load() })
+	r.GaugeFunc("hhgb_server_in_flight_budget",
+		"Configured aggregate in-flight entry budget (MaxInFlight).",
+		func() int64 { return s.cfg.MaxInFlight })
+	r.CounterFunc("hhgb_server_frames_in_total",
+		"Protocol frames decoded from clients.",
+		func() int64 { return s.framesIn.Load() })
+	r.CounterFunc("hhgb_server_frames_out_total",
+		"Protocol frames written to clients.",
+		func() int64 { return s.framesOut.Load() })
+	r.CounterFunc("hhgb_server_bytes_in_total",
+		"Wire bytes read from clients (closed connections plus live ones).",
+		func() int64 { return s.sumBytes(true) })
+	r.CounterFunc("hhgb_server_bytes_out_total",
+		"Wire bytes written to clients (closed connections plus live ones).",
+		func() int64 { return s.sumBytes(false) })
+}
+
+// sumBytes mirrors the Stats byte accounting: retired connections'
+// totals plus every live connection's running count.
+func (s *Server) sumBytes(in bool) int64 {
+	var n int64
+	if in {
+		n = s.closedBytesIn.Load()
+	} else {
+		n = s.closedBytesOut.Load()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		if in {
+			n += c.bytesIn.Load()
+		} else {
+			n += c.bytesOut.Load()
+		}
+	}
+	s.mu.Unlock()
+	return n
+}

@@ -83,6 +83,7 @@ import (
 	"time"
 
 	"hhgb"
+	"hhgb/internal/metrics"
 	"hhgb/internal/proto"
 )
 
@@ -96,6 +97,11 @@ const DefaultQueueDepth = 32
 
 // DefaultMaxInFlight is the default aggregate in-flight entry budget.
 const DefaultMaxInFlight = 1 << 21
+
+// DefaultSubPatience bounds how long one WindowSummary write to a
+// subscriber may block before the connection is declared slow and
+// evicted.
+const DefaultSubPatience = 10 * time.Second
 
 // Config describes a network ingest server.
 type Config struct {
@@ -122,6 +128,19 @@ type Config struct {
 	MaxInFlight int64
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives the server's instruments: every /stats
+	// counter mirrored off the same atomics (so the two endpoints always
+	// reconcile), frame counts, per-op latency histograms, and the
+	// in-flight budget. Nil disables registration; the apply path still
+	// observes into discarded instruments.
+	Metrics *metrics.Registry
+	// SubPatience bounds how long one WindowSummary write to a subscriber
+	// may block. A write that times out — the peer stopped reading —
+	// evicts the connection: a typed ErrCodeEvicted frame is attempted
+	// and the connection closes. Zero selects DefaultSubPatience. The
+	// windowed store's own queue bound (hhgb.WithSubscriberQueue) is the
+	// complementary policy for consumers that read, just too slowly.
+	SubPatience time.Duration
 }
 
 // Server accepts proto connections and feeds one Sharded matrix.
@@ -137,6 +156,8 @@ type Server struct {
 
 	inFlight atomic.Int64
 
+	opHist map[byte]*metrics.Histogram
+
 	totalConns    atomic.Int64
 	batches       atomic.Int64
 	entries       atomic.Int64
@@ -149,6 +170,11 @@ type Server struct {
 	queries       atomic.Int64
 	subscriptions atomic.Int64
 	summariesOut  atomic.Int64
+	evictions     atomic.Int64
+	// framesIn/framesOut are metrics-only (not part of the /stats v1
+	// schema): whole protocol frames decoded and written.
+	framesIn  atomic.Int64
+	framesOut atomic.Int64
 	// bytes of connections that have already closed; live connections are
 	// summed at Stats time.
 	closedBytesIn  atomic.Int64
@@ -170,7 +196,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = DefaultMaxInFlight
 	}
-	return &Server{cfg: cfg, conns: make(map[*conn]struct{})}, nil
+	if cfg.SubPatience <= 0 {
+		cfg.SubPatience = DefaultSubPatience
+	}
+	s := &Server{cfg: cfg, conns: make(map[*conn]struct{}), opHist: opHistograms(cfg.Metrics)}
+	registerServerFuncs(s)
+	return s, nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -419,6 +450,12 @@ func (c *conn) stats() ConnStats {
 // applier in a full kernel send buffer and hang Server.Close forever.
 const drainWriteGrace = 5 * time.Second
 
+// evictNoticeGrace bounds the best-effort ErrCodeEvicted frame written to
+// a subscriber being evicted — its socket is often the reason it fell
+// behind, so the notice gets one short deadline, then the connection
+// closes regardless.
+const evictNoticeGrace = time.Second
+
 // beginDrain asks the connection to stop reading: the reader observes the
 // flag (its blocking read is interrupted by the deadline) and falls into
 // the normal shutdown path — drain the queue, ack, close. The write side
@@ -444,8 +481,34 @@ func (c *conn) send(kind byte, body []byte, flush bool) error {
 			return err
 		}
 	}
+	c.srv.framesOut.Add(1)
 	c.bytesOut.Store(c.w.Bytes())
 	return nil
+}
+
+// sendTimed writes and flushes one frame under a write deadline of the
+// given grace, so a peer that stopped reading turns into a timeout error
+// instead of a goroutine wedged in a full send buffer. The deadline is
+// restored afterwards: cleared normally, re-armed to the drain grace if
+// the connection began draining meanwhile (checked AFTER the restore, so
+// a concurrent beginDrain can never be left with an unbounded write).
+func (c *conn) sendTimed(kind byte, body []byte, grace time.Duration) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.nc.SetWriteDeadline(time.Now().Add(grace))
+	err := c.w.WriteFrame(kind, body)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.nc.SetWriteDeadline(time.Time{})
+	if c.draining.Load() {
+		c.nc.SetWriteDeadline(time.Now().Add(drainWriteGrace))
+	}
+	if err == nil {
+		c.srv.framesOut.Add(1)
+	}
+	c.bytesOut.Store(c.w.Bytes())
+	return err
 }
 
 func (c *conn) sendErr(seq, code uint64, msg string, flush bool) error {
@@ -465,6 +528,7 @@ func (c *conn) run() {
 		c.srv.logf("conn %d: handshake read: %v", c.id, err)
 		return
 	}
+	c.srv.framesIn.Add(1)
 	if f.Kind != proto.KindHello {
 		c.sendErr(0, proto.ErrCodeMalformed, "expected hello", true)
 		return
@@ -544,6 +608,9 @@ func (c *conn) run() {
 	for {
 		f, err := r.Next()
 		c.bytesIn.Store(r.Bytes())
+		if err == nil {
+			c.srv.framesIn.Add(1)
+		}
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !c.draining.Load() {
 				if errors.Is(err, proto.ErrMalformed) {
@@ -603,6 +670,21 @@ func (c *conn) startSub(sub *hhgb.WindowSub, seq uint64) {
 		for {
 			ws, ok := sub.Next()
 			if !ok {
+				if sub.Evicted() {
+					// The windowed store cut the subscription loose: its
+					// queue stayed over the bound past the configured
+					// patience. Tell the client why (best effort, under a
+					// short deadline — the socket may be the reason it
+					// fell behind), then tear the whole connection down: a
+					// consumer that cannot keep up with summaries is not
+					// keeping up with anything.
+					c.srv.evictions.Add(1)
+					_ = c.sendTimed(proto.KindError,
+						proto.AppendError(nil, seq, proto.ErrCodeEvicted,
+							"subscriber evicted: summary backlog over bound past patience"),
+						evictNoticeGrace)
+					c.nc.Close()
+				}
 				return
 			}
 			body := proto.AppendWindowSummary(nil, proto.WindowSummary{
@@ -615,10 +697,19 @@ func (c *conn) startSub(sub *hhgb.WindowSub, seq uint64) {
 				Destinations: uint64(ws.Destinations),
 				Packets:      ws.Packets,
 			})
-			if err := c.send(proto.KindWindowSummary, body, true); err != nil {
-				// The write side is gone; the reader/applier teardown
-				// will close the connection. Stop pushing.
+			if err := c.sendTimed(proto.KindWindowSummary, body, c.srv.cfg.SubPatience); err != nil {
 				sub.Close()
+				// A deadline expiry means the peer stopped reading its
+				// summaries: evict it — close the connection so reader
+				// and applier tear down — and count it. No typed notice
+				// here: the summary write may have stopped mid-frame, so
+				// anything appended after it would be unparseable. Any
+				// other write error is ordinary teardown in progress.
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					c.srv.evictions.Add(1)
+					c.nc.Close()
+				}
 				return
 			}
 			c.srv.summariesOut.Add(1)
@@ -760,6 +851,7 @@ func (c *conn) apply(app *hhgb.Appender) {
 		return c.sendErr(seq, proto.ErrCodeRejected, msg, true)
 	}
 	for req := range c.queue {
+		begun := time.Now()
 		flush := len(c.queue) == 0
 		var err error
 		switch req.kind {
@@ -1004,6 +1096,9 @@ func (c *conn) apply(app *hhgb.Appender) {
 				break
 			}
 			c.startSub(sub, req.seq)
+		}
+		if h := s.opHist[req.kind]; h != nil {
+			h.Observe(time.Since(begun).Seconds())
 		}
 		if err != nil {
 			// The write side is gone; stop responding but keep draining

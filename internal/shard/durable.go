@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"hhgb/internal/gb"
 	"hhgb/internal/hier"
@@ -303,6 +304,7 @@ type shardWAL[T gb.Number] struct {
 	shard     int
 	f         *wal.File
 	put       func(T) uint64
+	met       *Metrics
 	syncEvery int
 	unsynced  int // batches appended since the last sync
 	dirty     int // batches appended since the last snapshotted checkpoint
@@ -341,9 +343,11 @@ func (l *shardWAL[T]) sync() error {
 	if l.unsynced == 0 {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.met.WALFsync.Observe(time.Since(start).Seconds())
 	l.unsynced = 0
 	return nil
 }
@@ -422,6 +426,7 @@ func (g *Group[T]) openLogs(epoch uint64) error {
 			shard:     i,
 			f:         f,
 			put:       g.codec.Put,
+			met:       g.cfg.Metrics,
 			syncEvery: g.cfg.Durable.SyncEvery,
 		}
 	}
@@ -454,6 +459,8 @@ func (g *Group[T]) Checkpoint() error {
 	}
 	g.ckptMu.Lock()
 	defer g.ckptMu.Unlock()
+	start := time.Now()
+	defer func() { g.cfg.Metrics.Checkpoint.Observe(time.Since(start).Seconds()) }()
 	g.epoch++           // advance even on failure: names are never reused
 	g.ckptFailed = true // until this attempt fully commits
 	epoch := g.epoch
@@ -513,6 +520,8 @@ func (g *Group[T]) checkpointLocked() error {
 			return nil
 		}
 	}
+	start := time.Now()
+	defer func() { g.cfg.Metrics.Checkpoint.Observe(time.Since(start).Seconds()) }()
 	g.epoch++
 	g.ckptFailed = true
 	epoch := g.epoch

@@ -1,0 +1,54 @@
+package shard
+
+import (
+	"hhgb/internal/metrics"
+)
+
+// Metrics is the shard layer's instrument set. All groups wired to the
+// same registry share one set — registration is idempotent, so repeated
+// NewMetrics calls against a registry hand back the same series rather
+// than colliding. A nil registry yields instruments on the shared discard
+// registry: always safe to update, never rendered.
+type Metrics struct {
+	// BatchesApplied counts ingest batches a shard worker applied to its
+	// cascade. Deduplicated retransmissions and batches dropped after a
+	// shard error are excluded — this is work done, not work offered.
+	BatchesApplied *metrics.Counter
+	// EntriesApplied counts the matrix entries inside those batches.
+	EntriesApplied *metrics.Counter
+	// WALFsync observes the latency of every WAL fsync: group commits,
+	// flush barriers, and the per-shard checkpoint syncs alike.
+	WALFsync *metrics.Histogram
+	// Checkpoint observes the end-to-end duration of each checkpoint
+	// that did work: barrier, per-shard fsync + snapshot (+ rotation on
+	// the live path), manifest commit, prune. Close's no-op checkpoint
+	// on a clean group records nothing.
+	Checkpoint *metrics.Histogram
+}
+
+// NewMetrics registers (or re-fetches) the shard instrument set on reg.
+// A nil reg wires the set to the discard registry.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	r := metrics.OrDiscard(reg)
+	return &Metrics{
+		BatchesApplied: r.Counter("hhgb_shard_batches_applied_total",
+			"Ingest batches applied by shard workers (dedup and error drops excluded)."),
+		EntriesApplied: r.Counter("hhgb_shard_entries_applied_total",
+			"Matrix entries applied by shard workers."),
+		WALFsync: r.Histogram("hhgb_shard_wal_fsync_seconds",
+			"Write-ahead-log fsync latency (group commits, flush barriers, checkpoints).", nil),
+		Checkpoint: r.Histogram("hhgb_shard_checkpoint_seconds",
+			"Checkpoint duration: barrier, fsync + snapshot per shard, manifest commit, prune.", nil),
+	}
+}
+
+// QueueDepth reports the number of batches sitting unprocessed on the
+// shard queues right now. It is a sampled gauge — exact only at a
+// barrier — meant for backpressure observability, not control flow.
+func (g *Group[T]) QueueDepth() int {
+	n := 0
+	for _, w := range g.workers {
+		n += len(w.in)
+	}
+	return n
+}

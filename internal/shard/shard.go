@@ -51,6 +51,10 @@ type Config struct {
 	// Durable configures per-shard write-ahead logging and checkpointing.
 	// The zero value keeps the group purely in-memory.
 	Durable Durability
+	// Metrics receives the shard layer's instruments (batches applied,
+	// WAL fsync and checkpoint latency). Nil wires them to the discard
+	// registry: updated but never rendered.
+	Metrics *Metrics
 }
 
 // withDefaults resolves zero values to the documented defaults.
@@ -66,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Durable.Dir != "" && c.Durable.SyncEvery <= 0 {
 		c.Durable.SyncEvery = DefaultSyncEvery
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics(nil)
 	}
 	return c
 }
@@ -97,7 +104,8 @@ type worker[T gb.Number] struct {
 	in  chan msg[T]
 	m   *hier.Matrix[T]
 	log *shardWAL[T] // nil when the group is not durable
-	err error        // first ingest error; owned by the worker goroutine
+	met *Metrics
+	err error // first ingest error; owned by the worker goroutine
 
 	// sessions is the shard's exactly-once high-water table: per client
 	// session, the highest frame seq whose portion this shard has applied
@@ -142,6 +150,10 @@ func (w *worker[T]) loop(wg *sync.WaitGroup) {
 		}
 		w.cache = shardCache[T]{} // this shard's reductions are stale now
 		w.err = w.m.Update(msg.rows, msg.cols, msg.vals)
+		if w.err == nil {
+			w.met.BatchesApplied.Inc()
+			w.met.EntriesApplied.Add(uint64(len(msg.rows)))
+		}
 		if w.err == nil && msg.sess != "" {
 			if w.sessions == nil {
 				w.sessions = make(map[string]uint64)
@@ -278,8 +290,9 @@ func buildGroup[T gb.Number](nrows, ncols gb.Index, cfg Config, ms []*hier.Matri
 			}
 		}
 		g.workers = append(g.workers, &worker[T]{
-			in: make(chan msg[T], cfg.Depth),
-			m:  m,
+			in:  make(chan msg[T], cfg.Depth),
+			m:   m,
+			met: cfg.Metrics,
 		})
 	}
 	// 2x GOMAXPROCS stripes: enough that round-robin rarely lands two

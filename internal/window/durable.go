@@ -428,6 +428,7 @@ func Recover[T gb.Number](cfg Config) (*Store[T], RecoverStats, error) {
 		}
 	}
 	ok = true
+	registerStoreFuncs(s)
 	return s, st, nil
 }
 
@@ -439,6 +440,9 @@ func buildRecovered[T gb.Number](man storeManifest, cfg Config) (*Store[T], erro
 			return nil, fmt.Errorf("%w: manifest roll-up factor %d at level %d", gb.ErrInvalidValue, f, i)
 		}
 		spans = append(spans, spans[len(spans)-1]*int64(f))
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics(nil)
 	}
 	s := &Store[T]{
 		nrows:     man.NRows,

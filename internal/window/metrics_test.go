@@ -1,0 +1,137 @@
+package window
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/metrics"
+)
+
+// sealN appends one entry per second starting at ts=0 and consumes from
+// keep after every append, so n level-0 windows seal deterministically on
+// the appending goroutine.
+func sealN(t *testing.T, s *Store[int64], n int, keep *Subscription[int64]) []Summary[int64] {
+	t.Helper()
+	var got []Summary[int64]
+	for i := 0; i <= n; i++ {
+		if err := s.Append(int64(i)*int64(time.Second), []gb.Index{1}, []gb.Index{2}, []int64{1}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if keep != nil {
+			for keep.Pending() > 0 {
+				sum, ok := keep.Next()
+				if !ok {
+					t.Fatal("healthy subscription closed early")
+				}
+				got = append(got, sum)
+			}
+		}
+	}
+	return got
+}
+
+// TestSubscriberEviction: with a queue bound of 1 and zero patience, a
+// subscriber that never consumes is evicted on the second publish, while
+// a healthy subscriber on the same store observes every seal in order.
+// Deterministic: all sealing and pushing runs on this goroutine.
+func TestSubscriberEviction(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, err := New[int64](64, 64, Config{
+		Window:             time.Second,
+		SubscriberQueue:    1,
+		SubscriberPatience: 0,
+		Metrics:            NewMetrics(reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	stalled := s.Subscribe()
+	healthy := s.Subscribe()
+
+	got := sealN(t, s, 3, healthy)
+	if len(got) != 3 {
+		t.Fatalf("healthy subscriber got %d summaries, want 3", len(got))
+	}
+	for i, sum := range got {
+		if want := int64(i) * int64(time.Second); sum.Start != want {
+			t.Errorf("summary %d start = %d, want %d (seal order broken)", i, sum.Start, want)
+		}
+	}
+	if !stalled.Evicted() {
+		t.Fatal("stalled subscriber not evicted")
+	}
+	if _, ok := stalled.Next(); ok {
+		t.Fatal("Next on an evicted subscription must report done")
+	}
+	if stalled.Pending() != 0 {
+		t.Fatalf("evicted backlog not dropped: %d pending", stalled.Pending())
+	}
+	if healthy.Evicted() {
+		t.Fatal("healthy subscriber wrongly marked evicted")
+	}
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "hhgb_window_subscribers_evicted_total 1\n") {
+		t.Errorf("eviction not counted:\n%s", out)
+	}
+	// 3 seals delivered to healthy + 1 queued on stalled before eviction.
+	if !strings.Contains(out, "hhgb_window_summaries_pushed_total 4\n") {
+		t.Errorf("summaries-pushed count wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "hhgb_window_seals_total 3\n") {
+		t.Errorf("seals counter wrong:\n%s", out)
+	}
+}
+
+// TestSubscriberBoundIsATrigger: within patience the bound does not drop
+// summaries — the queue grows past it, and a consumer that recovers sees
+// the full feed.
+func TestSubscriberBoundIsATrigger(t *testing.T) {
+	s, err := New[int64](64, 64, Config{
+		Window:             time.Second,
+		SubscriberQueue:    1,
+		SubscriberPatience: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	slow := s.Subscribe()
+	sealN(t, s, 3, nil)
+	if slow.Evicted() {
+		t.Fatal("evicted within patience")
+	}
+	if got := slow.Pending(); got != 3 {
+		t.Fatalf("queue holds %d summaries, want 3 (bound must not drop)", got)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := slow.Next(); !ok {
+			t.Fatalf("summary %d missing after recovery", i)
+		}
+	}
+}
+
+// TestUnboundedDefaultNeverEvicts pins the zero-value behavior: no bound,
+// no eviction, exactly as before the eviction policy existed.
+func TestUnboundedDefaultNeverEvicts(t *testing.T) {
+	s, err := New[int64](64, 64, Config{Window: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	slow := s.Subscribe()
+	sealN(t, s, 5, nil)
+	if slow.Evicted() {
+		t.Fatal("unbounded subscription evicted")
+	}
+	if got := slow.Pending(); got != 5 {
+		t.Fatalf("pending = %d, want 5", got)
+	}
+}

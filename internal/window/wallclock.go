@@ -1,0 +1,18 @@
+// This file is the window package's ONLY wall-clock reader. Windowing is
+// event-time-driven: sealing, roll-up, retention, and lateness all derive
+// from appended timestamps and the watermark, never from the machine
+// clock — that is what makes replays, backfills, and tests deterministic.
+// The two legitimate wall-clock uses (measuring how long a roll-up takes,
+// timing a slow subscriber's patience window) are confined here, and the
+// hhgbinvariants analyzer (tools/analyzers/hhgbinvariants) rejects
+// time.Now/time.Since in every other file of this package.
+package window
+
+import "time"
+
+// wallNow reads the machine clock, for operational measurement only —
+// never for window placement or seal decisions.
+func wallNow() time.Time { return time.Now() }
+
+// wallSince reports wall-clock time elapsed since t.
+func wallSince(t time.Time) time.Duration { return time.Since(t) }

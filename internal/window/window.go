@@ -92,6 +92,17 @@ type Config struct {
 	// set, is the STORE root: each window persists under its own
 	// subdirectory, and Recover restores the whole store from the root.
 	Shard shard.Config
+	// Metrics receives the window layer's instruments. Nil wires them to
+	// the discard registry and skips the per-store sampled gauges.
+	Metrics *Metrics
+	// SubscriberQueue bounds each subscription's summary queue: a
+	// subscription at or over the bound starts its patience clock, and
+	// one still full when the clock passes SubscriberPatience is evicted
+	// (see Subscription). Zero keeps the queue unbounded — no eviction.
+	SubscriberQueue int
+	// SubscriberPatience is how long a full subscription is tolerated
+	// before eviction. Zero evicts on the first over-bound publish.
+	SubscriberPatience time.Duration
 }
 
 // State of one window in its lifecycle.
@@ -236,6 +247,9 @@ func New[T gb.Number](nrows, ncols gb.Index, cfg Config) (*Store[T], error) {
 		}
 		spans = append(spans, spans[len(spans)-1]*int64(f))
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics(nil)
+	}
 	s := &Store[T]{
 		nrows: nrows,
 		ncols: ncols,
@@ -249,6 +263,7 @@ func New[T gb.Number](nrows, ncols gb.Index, cfg Config) (*Store[T], error) {
 			return nil, err
 		}
 	}
+	registerStoreFuncs(s)
 	return s, nil
 }
 
@@ -678,6 +693,7 @@ func (s *Store[T]) sealWin(w *win[T]) {
 	w.state = Sealed
 	s.stats.Seals++
 	s.stats.Sealed++
+	lag := s.watermark - w.end
 	subs := make([]*Subscription[T], 0, len(s.subs))
 	for _, sub := range s.subs {
 		if sub.wants(w.level) {
@@ -685,9 +701,16 @@ func (s *Store[T]) sealWin(w *win[T]) {
 		}
 	}
 	s.mu.Unlock()
-	for _, sub := range subs {
-		sub.push(sum)
+	if lag >= 0 {
+		s.cfg.Metrics.SealLag.Observe(float64(lag) / 1e9)
 	}
+	delivered := uint64(0)
+	for _, sub := range subs {
+		if sub.push(sum) {
+			delivered++
+		}
+	}
+	s.cfg.Metrics.SummariesPushed.Add(delivered)
 }
 
 // summarize computes a sealed window's published summary in ONE row-major
@@ -783,6 +806,8 @@ func (s *Store[T]) rollUp() {
 // dominant — re-cascading a historical matrix through small ingest
 // batches would roughly double the whole stream's ingest cost.
 func (s *Store[T]) materializeParent(level int, pstart int64, children []*win[T]) error {
+	begun := wallNow()
+	defer func() { s.cfg.Metrics.RollUp.Observe(wallSince(begun).Seconds()) }()
 	s.mu.Lock()
 	if s.wins[key{level, pstart}] != nil {
 		s.mu.Unlock()

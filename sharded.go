@@ -81,11 +81,25 @@ func NewSharded(dim uint64, opts ...Option) (*Sharded, error) {
 		Handoff: o.handoff,
 		Hier:    hier.Config{Cuts: o.cuts},
 		Durable: shard.Durability{Dir: o.durDir, SyncEvery: o.syncEvery},
+		Metrics: shard.NewMetrics(o.metrics),
 	})
 	if err != nil {
 		return nil, err
 	}
+	registerShardedFuncs(g, o.metrics)
 	return &Sharded{g: g, dim: dim}, nil
+}
+
+// registerShardedFuncs registers the flat matrix's sampled queue-depth
+// gauge. Only on a real registry: sampling funcs hold the group alive and
+// must not pile up on the shared discard registry.
+func registerShardedFuncs(g *shard.Group[uint64], m *Metrics) {
+	if m == nil {
+		return
+	}
+	m.GaugeFunc("hhgb_shard_queue_depth",
+		"Batches pending on the shard ingest queues.",
+		func() int64 { return int64(g.QueueDepth()) })
 }
 
 // Recover restores a durable Sharded matrix from the directory a previous
@@ -128,10 +142,12 @@ func Recover(dir string, opts ...Option) (*Sharded, error) {
 		Depth:   o.queueDepth,
 		Handoff: o.handoff,
 		Durable: shard.Durability{Dir: dir, SyncEvery: o.syncEvery},
+		Metrics: shard.NewMetrics(o.metrics),
 	})
 	if err != nil {
 		return nil, err
 	}
+	registerShardedFuncs(g, o.metrics)
 	return &Sharded{g: g, dim: uint64(g.NRows())}, nil
 }
 

@@ -1,0 +1,301 @@
+// Command hhgbinvariants is a vet tool enforcing two repo invariants that
+// the type system cannot express:
+//
+//   - timenow: the window engine (any package whose import path ends in
+//     internal/window) is event-time only. Wall-clock reads — time.Now,
+//     time.Since — are confined to the allowlisted wallclock.go, whose
+//     helpers exist precisely so instrumentation and eviction patience
+//     can use wall time without event-time logic ever depending on it.
+//
+//   - walwrite: the write-ahead log file (wal.Create and the Append,
+//     Sync, Close, Rotate methods of wal.File) is only touched by code
+//     that owns the group-commit barrier: the wal package itself and
+//     internal/shard/durable.go. Any other caller could reorder appends
+//     against the fsync barrier and silently break crash durability.
+//
+// Test files are exempt: the invariants guard production write paths and
+// event-time purity, not test scaffolding.
+//
+// The command speaks the cmd/go vet tool protocol, so it runs as
+//
+//	go build -o hhgbinvariants ./tools/analyzers/hhgbinvariants
+//	go vet -vettool=hhgbinvariants ./...
+//
+// Like golang.org/x/tools' unitchecker, it is invoked by the go command
+// once per package with a JSON config file; unlike unitchecker it is
+// pure standard library (this module has no dependencies, and its vet
+// tool does not get to be the exception). Diagnostics go to stderr as
+// file:line:col: message and the exit status is 2 when any are found.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	// The go command probes the tool before using it: -V=full asks for a
+	// content-addressed version (cached vet results are keyed on it) and
+	// -flags asks which analyzer flags exist (none here).
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-V=full", "--V=full":
+			fmt.Printf("hhgbinvariants version devel buildID=%s\n", selfID())
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) < 2 || !strings.HasSuffix(os.Args[len(os.Args)-1], ".cfg") {
+		fmt.Fprintln(os.Stderr, "usage: hhgbinvariants [-V=full] [-flags] vet.cfg")
+		os.Exit(1)
+	}
+	diags, err := run(os.Args[len(os.Args)-1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhgbinvariants: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+// selfID hashes the tool's own executable, so editing the checks
+// invalidates the go command's cached vet results.
+func selfID() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("%x", h.Sum(nil)[:16])
+			}
+		}
+	}
+	return "unknown"
+}
+
+// vetConfig mirrors the JSON the go command writes to vet.cfg (the
+// vetConfig struct in cmd/go/internal/work).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+const (
+	windowSuffix = "internal/window"
+	walSuffix    = "internal/wal"
+	shardSuffix  = "internal/shard"
+)
+
+func run(cfgPath string) ([]string, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	// The go command expects a facts file from every vet invocation and
+	// feeds it to dependents. These checks keep no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("hhgbinvariants\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	// "pkg [pkg.test]" test variants carry the production files too;
+	// strip the variant so the path suffix rules see the real package.
+	pkgPath := cfg.ImportPath
+	if i := strings.IndexByte(pkgPath, ' '); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	checkTime := pathHasSuffix(pkgPath, windowSuffix)
+	// Only packages that import the wal package can touch wal.File, so
+	// everything else — the vast majority, all of std included — skips
+	// parsing and typechecking entirely.
+	checkWAL := false
+	if !pathHasSuffix(pkgPath, walSuffix) {
+		for imp := range cfg.ImportMap {
+			if pathHasSuffix(imp, walSuffix) {
+				checkWAL = true
+				break
+			}
+		}
+	}
+	if !checkTime && !checkWAL {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports the way the compiler did: ImportMap takes the
+	// source import path to the resolved package path, PackageFile takes
+	// that to the export data the go command already built.
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tcfg := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("cannot resolve import %q", importPath)
+			}
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return compImp.Import(path)
+		}),
+		Error: func(error) {}, // keep going; the first error is returned by Check
+	}
+	if version.IsValid(cfg.GoVersion) {
+		tcfg.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	if _, err := tcfg.Check(cfg.ImportPath, fset, files, info); err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	var diags []string
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+	for _, f := range files {
+		base := filepath.Base(fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		if checkTime && base != "wallclock.go" {
+			checkTimeNow(f, info, report)
+		}
+		if checkWAL && !(pathHasSuffix(pkgPath, shardSuffix) && base == "durable.go") {
+			checkWALWrite(f, info, report)
+		}
+	}
+	return diags, nil
+}
+
+// checkTimeNow flags wall-clock reads in window-engine code.
+func checkTimeNow(f *ast.File, info *types.Info, report func(token.Pos, string, ...any)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "time" {
+			return true
+		}
+		if name := sel.Sel.Name; name == "Now" || name == "Since" {
+			report(sel.Pos(), "time.%s in the event-time-only window engine: use the wallclock.go helpers", name)
+		}
+		return true
+	})
+}
+
+// walFileMethods are the wal.File operations that move the on-disk log.
+var walFileMethods = map[string]bool{"Append": true, "Sync": true, "Close": true, "Rotate": true}
+
+// checkWALWrite flags wal.Create calls and wal.File write-side method
+// uses outside the barrier-owning code.
+func checkWALWrite(f *ast.File, info *types.Info, report func(token.Pos, string, ...any)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				if pathHasSuffix(pn.Imported().Path(), walSuffix) && sel.Sel.Name == "Create" {
+					report(sel.Pos(), "wal.Create outside the group-commit barrier: only %s and %s/durable.go may open the log", walSuffix, shardSuffix)
+				}
+				return true
+			}
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.MethodVal || !walFileMethods[sel.Sel.Name] {
+			return true
+		}
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return true
+		}
+		obj := named.Obj()
+		if obj.Name() == "File" && obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), walSuffix) {
+			report(sel.Pos(), "wal.File.%s outside the group-commit barrier: only %s and %s/durable.go may write the log", sel.Sel.Name, walSuffix, shardSuffix)
+		}
+		return true
+	})
+}
+
+// pathHasSuffix reports whether path ends with the given slash-separated
+// suffix on a path-element boundary ("a/internal/wal" matches
+// "internal/wal"; "a/xinternal/wal" does not).
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

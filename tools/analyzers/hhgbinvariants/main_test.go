@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFixtures drives the tool the way CI does — go vet -vettool over a
+// real module — against testdata/src/invariants.example, whose files
+// carry analysistest-style `// want `+"`regexp`"+` markers on the lines
+// that must be flagged. The comparison is exact in both directions:
+// every marker must produce a matching diagnostic, and every diagnostic
+// must land on a marked line. Files without markers (the allowlisted
+// wallclock.go, durable.go, the wal stub, the exempt _test.go) double as
+// the negative fixtures.
+func TestFixtures(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("no go tool on PATH: %v", err)
+	}
+	tool := filepath.Join(t.TempDir(), "hhgbinvariants")
+	build := exec.Command(goTool, "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building tool: %v\n%s", err, out)
+	}
+
+	fixdir, err := filepath.Abs(filepath.Join("testdata", "src", "invariants.example"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vet := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+	vet.Dir = fixdir
+	vet.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=", "GO111MODULE=on")
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Errorf("go vet exited 0 over fixtures that contain violations:\n%s", out)
+	}
+
+	got := parseDiags(t, out)
+	want := collectWant(t, fixdir)
+
+	for key, re := range want {
+		msg, ok := got[key]
+		if !ok {
+			t.Errorf("no diagnostic at %s (want match for %q)", key, re)
+			continue
+		}
+		if !regexp.MustCompile(re).MatchString(msg) {
+			t.Errorf("diagnostic at %s = %q, want match for %q", key, msg, re)
+		}
+		delete(got, key)
+	}
+	for key, msg := range got {
+		t.Errorf("unexpected diagnostic at %s: %q", key, msg)
+	}
+}
+
+// parseDiags extracts file:line keyed diagnostics from go vet output,
+// keying by basename so absolute/relative path rewriting by the go
+// command cannot break the comparison (fixture basenames are unique).
+func parseDiags(t *testing.T, out []byte) map[string]string {
+	t.Helper()
+	diagRE := regexp.MustCompile(`^(.*\.go):(\d+):\d+: (.*)$`)
+	got := map[string]string{}
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || strings.TrimSpace(line) == "" {
+			continue
+		}
+		m := diagRE.FindStringSubmatch(line)
+		if m == nil {
+			// "exit status 2"-style trailers and anything unexpected.
+			if !strings.HasPrefix(line, "exit status") {
+				t.Errorf("unparseable vet output line: %q", line)
+			}
+			continue
+		}
+		key := filepath.Base(m[1]) + ":" + m[2]
+		if prev, dup := got[key]; dup {
+			t.Errorf("two diagnostics on %s: %q and %q", key, prev, m[3])
+		}
+		got[key] = m[3]
+	}
+	return got
+}
+
+// collectWant scans the fixture tree for `// want `+"`re`"+` markers,
+// returning basename:line → expected-message regexp.
+func collectWant(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	wantRE := regexp.MustCompile("// want `([^`]+)`")
+	want := map[string]string{}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := filepath.Base(path) + ":" + strconv.Itoa(i+1)
+			if _, dup := want[key]; dup {
+				return fmt.Errorf("%s: one want marker per line", key)
+			}
+			want[key] = m[1]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no want markers found under testdata — fixture tree missing?")
+	}
+	return want
+}

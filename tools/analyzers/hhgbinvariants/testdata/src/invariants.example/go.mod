@@ -1,0 +1,3 @@
+module invariants.example
+
+go 1.24

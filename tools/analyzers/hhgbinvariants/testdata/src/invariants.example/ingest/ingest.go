@@ -1,0 +1,16 @@
+// Package ingest is an unrelated package reaching into the log: every
+// touch point — the constructor, a method value, a deferred call — must
+// be flagged.
+package ingest
+
+import "invariants.example/internal/wal"
+
+func Open(path string) error {
+	f, err := wal.Create(path) // want `wal\.Create outside the group-commit barrier`
+	if err != nil {
+		return err
+	}
+	sync := f.Sync  // want `wal\.File\.Sync outside the group-commit barrier`
+	defer f.Close() // want `wal\.File\.Close outside the group-commit barrier`
+	return sync()
+}

@@ -1,0 +1,11 @@
+// shard.go is barrier-owning-package code OUTSIDE durable.go: touching
+// the wal.File here bypasses the group-commit discipline and must be
+// flagged, even though the sibling file may do the same calls freely.
+package shard
+
+func (g *group) flushDirect(rec []byte) error {
+	if err := g.f.Append(rec); err != nil { // want `wal\.File\.Append outside the group-commit barrier`
+		return err
+	}
+	return g.f.Sync() // want `wal\.File\.Sync outside the group-commit barrier`
+}

@@ -1,0 +1,15 @@
+// engine.go violates the event-time-only invariant on purpose: the
+// fixture runner asserts the timenow check fires on each marked line.
+package window
+
+import "time"
+
+func sealLag(end time.Time) time.Duration {
+	now := time.Now()      // want `time\.Now in the event-time-only window engine`
+	lag := time.Since(end) // want `time\.Since in the event-time-only window engine`
+	if wallSince(end) > 0 {
+		lag += now.Sub(end) // time.Time methods are fine; only package-level reads are flagged
+	}
+	_ = wallNow()
+	return lag
+}

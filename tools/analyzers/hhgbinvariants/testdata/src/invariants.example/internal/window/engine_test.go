@@ -1,0 +1,14 @@
+// Test files are exempt from the invariants: no want markers here even
+// though this uses time.Now freely.
+package window
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSealLag(t *testing.T) {
+	if sealLag(time.Now()) < 0 {
+		t.Fatal("negative lag")
+	}
+}

@@ -66,7 +66,11 @@ func NewWindowed(dim uint64, windowDur time.Duration, opts ...Option) (*Windowed
 			Handoff: o.handoff,
 			Hier:    hier.Config{Cuts: o.cuts},
 			Durable: shard.Durability{Dir: o.durDir, SyncEvery: o.syncEvery},
+			Metrics: shard.NewMetrics(o.metrics),
 		},
+		Metrics:            window.NewMetrics(o.metrics),
+		SubscriberQueue:    o.subQueue,
+		SubscriberPatience: o.subPatience,
 	})
 	if err != nil {
 		return nil, err
@@ -101,7 +105,11 @@ func RecoverWindowed(dir string, opts ...Option) (*Windowed, error) {
 			Depth:   o.queueDepth,
 			Handoff: o.handoff,
 			Durable: shard.Durability{Dir: dir, SyncEvery: o.syncEvery},
+			Metrics: shard.NewMetrics(o.metrics),
 		},
+		Metrics:            window.NewMetrics(o.metrics),
+		SubscriberQueue:    o.subQueue,
+		SubscriberPatience: o.subPatience,
 	})
 	if err != nil {
 		return nil, err
@@ -369,6 +377,11 @@ func (s *WindowSub) Next() (WindowSummary, bool) {
 		}, true
 	}
 }
+
+// Evicted reports whether the store disconnected this subscription for
+// staying full past the patience deadline (see WithSubscriberQueue).
+// Once true, Next reports done immediately.
+func (s *WindowSub) Evicted() bool { return s.sub.Evicted() }
 
 // Close ends the subscription; Next drains what is queued, then reports
 // done. Idempotent.
