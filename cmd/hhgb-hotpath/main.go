@@ -1,0 +1,297 @@
+// Command hhgb-hotpath measures the allocation discipline of the ingest
+// hot path and enforces it as a hard gate: frame decode through appender
+// partitioning to shard apply, driven by a seeded power-law workload. It
+// runs two variants of the same pipeline in the same process and run —
+//
+//   - reference: the allocating decode (fresh batch slices per frame, the
+//     pre-pooling shape of the path), and
+//   - pooled: the production path (one reused decode batch per
+//     connection, slab-backed appender buffers),
+//
+// so the comparison is self-calibrating: no stored baseline can drift.
+// The run fails (exit 1) unless the pooled variant allocates strictly
+// less per frame than the reference, ingests at no less than
+// minSpeedRatio of its rate, and stays within the -budget allocs/frame
+// ceiling. The BENCH_hotpath.json trajectory records both points with
+// allocs/frame in Extra, and CI uploads it next to the other BENCH_*
+// artifacts.
+//
+// Allocations are counted process-wide (runtime.MemStats.Mallocs), so the
+// shard workers' apply-side behavior — cascade staging, merges, WAL
+// framing if durable — is inside the measurement, exactly like the
+// per-stage testing.AllocsPerRun budgets are not: this is the end-to-end
+// complement to those unit gates.
+//
+// The -seed flag selects the same deterministic R-MAT stream family used
+// by trafficgen and hhgb-shards, so a hot-path number is reproducible
+// from its recorded meta alone.
+//
+// Usage:
+//
+//	hhgb-hotpath [-edges N] [-batch N] [-scale S] [-shards N] [-handoff N]
+//	             [-seed N] [-benchtime Nx] [-budget N] [-out BENCH_hotpath.json]
+package main
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hhgb"
+	"hhgb/internal/bench"
+	"hhgb/internal/powerlaw"
+	"hhgb/internal/proto"
+	"hhgb/internal/shard"
+)
+
+// minSpeedRatio is the pooled-vs-reference ingest-rate gate: pooled must
+// reach at least this fraction of the reference rate measured in the same
+// run. The pooled path is expected to be at least as fast; the margin
+// only absorbs scheduler noise on loaded CI hosts.
+const minSpeedRatio = 0.9
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hhgb-hotpath: ")
+	var (
+		edges     = flag.Int("edges", 2_000_000, "total entries per variant")
+		batch     = flag.Int("batch", 4096, "entries per insert frame")
+		scale     = flag.Int("scale", 20, "R-MAT scale (2^scale vertices)")
+		shards    = flag.Int("shards", 4, "shard count")
+		handoff   = flag.Int("handoff", shard.DefaultHandoff, "per-shard producer buffer size in entries")
+		seed      = flag.Uint64("seed", 1, "R-MAT stream seed (shared family with trafficgen; 0 = draw and log one)")
+		benchtime = flag.String("benchtime", "3x", "passes per variant, as Nx (best pass is reported)")
+		budget    = flag.Float64("budget", 32, "pooled allocs/frame ceiling (hard gate)")
+		out       = flag.String("out", "BENCH_hotpath.json", "trajectory JSON output path (empty to skip)")
+	)
+	flag.Parse()
+	if *seed == 0 {
+		*seed = drawSeed()
+		log.Printf("-seed 0: drew seed %d; replay this exact workload with -seed %d", *seed, *seed)
+	}
+	reps, err := parseBenchtime(*benchtime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run(*edges, *batch, *scale, *shards, *handoff, *seed, reps, *budget, *out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// drawSeed returns a nonzero random seed for -seed 0 runs, logged by the
+// caller so any drawn workload is replayable — the same convention as
+// trafficgen's -seed 0.
+func drawSeed() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		log.Fatalf("drawing a random seed: %v", err)
+	}
+	s := binary.LittleEndian.Uint64(b[:])
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+func parseBenchtime(s string) (int, error) {
+	n, ok := strings.CutSuffix(s, "x")
+	if !ok {
+		return 0, fmt.Errorf("-benchtime %q: only the Nx form is supported", s)
+	}
+	reps, err := strconv.Atoi(n)
+	if err != nil || reps < 1 {
+		return 0, fmt.Errorf("-benchtime %q: bad repetition count", s)
+	}
+	return reps, nil
+}
+
+// sample is one variant's best measured pass.
+type sample struct {
+	insertsPerSec  float64
+	allocsPerFrame float64
+}
+
+func run(edges, batch, scale, shards, handoff int, seed uint64, reps int, budget float64, out string) error {
+	if batch < 1 || batch > proto.MaxBatch {
+		return fmt.Errorf("-batch %d out of range [1, %d]", batch, proto.MaxBatch)
+	}
+	bodies, total, err := encodeWorkload(edges, batch, scale, seed)
+	if err != nil {
+		return err
+	}
+	log.Printf("workload: %d frames × %d entries, scale %d, seed %d", len(bodies), batch, scale, seed)
+
+	variants := []struct {
+		name   string
+		ingest func([][]byte, *hhgb.Appender) error
+	}{
+		{"reference", ingestReference},
+		{"pooled", ingestPooled},
+	}
+	results := make(map[string]sample, len(variants))
+	for _, v := range variants {
+		best := sample{}
+		for pass := 0; pass < reps; pass++ {
+			s, err := measure(uint64(1)<<uint(scale), shards, handoff, bodies, total, v.ingest)
+			if err != nil {
+				return fmt.Errorf("%s pass %d: %w", v.name, pass, err)
+			}
+			if pass == 0 || s.insertsPerSec > best.insertsPerSec {
+				best.insertsPerSec = s.insertsPerSec
+			}
+			if pass == 0 || s.allocsPerFrame < best.allocsPerFrame {
+				best.allocsPerFrame = s.allocsPerFrame
+			}
+		}
+		results[v.name] = best
+		log.Printf("%-9s %12.0f inserts/s  %8.1f allocs/frame", v.name, best.insertsPerSec, best.allocsPerFrame)
+	}
+
+	ref, pooled := results["reference"], results["pooled"]
+	if out != "" {
+		tr := bench.NewTrajectory("hotpath", "inserts/s")
+		tr.Meta = map[string]string{
+			"edges":   strconv.Itoa(edges),
+			"batch":   strconv.Itoa(batch),
+			"scale":   strconv.Itoa(scale),
+			"shards":  strconv.Itoa(shards),
+			"handoff": strconv.Itoa(handoff),
+			"seed":    strconv.FormatUint(seed, 10),
+			"budget":  strconv.FormatFloat(budget, 'f', -1, 64),
+			"reps":    strconv.Itoa(reps),
+		}
+		tr.AddPoint("reference", 0, ref.insertsPerSec, map[string]float64{"allocs_per_frame": ref.allocsPerFrame})
+		tr.AddPoint("pooled", 1, pooled.insertsPerSec, map[string]float64{"allocs_per_frame": pooled.allocsPerFrame})
+		if err := tr.WriteFile(out); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", out)
+	}
+
+	// The gates: same-run comparison, then the absolute ceiling.
+	if pooled.allocsPerFrame >= ref.allocsPerFrame {
+		return fmt.Errorf("pooled path allocates %.1f/frame, reference %.1f/frame: pooling regressed",
+			pooled.allocsPerFrame, ref.allocsPerFrame)
+	}
+	if pooled.insertsPerSec < minSpeedRatio*ref.insertsPerSec {
+		return fmt.Errorf("pooled path at %.0f inserts/s is below %.0f%% of reference %.0f inserts/s",
+			pooled.insertsPerSec, 100*minSpeedRatio, ref.insertsPerSec)
+	}
+	if pooled.allocsPerFrame > budget {
+		return fmt.Errorf("pooled path allocates %.1f/frame, over the %.1f budget", pooled.allocsPerFrame, budget)
+	}
+	log.Printf("gates passed: pooled %.1f < reference %.1f allocs/frame, within budget %.1f",
+		pooled.allocsPerFrame, ref.allocsPerFrame, budget)
+	return nil
+}
+
+// encodeWorkload pre-encodes the seeded stream into insert frame bodies
+// so frame construction is outside every measurement.
+func encodeWorkload(edges, batch, scale int, seed uint64) ([][]byte, int, error) {
+	g, err := powerlaw.NewRMAT(scale, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	var bodies [][]byte
+	total := 0
+	for seq := uint64(1); total < edges; seq++ {
+		n := batch
+		if rem := edges - total; n > rem {
+			n = rem
+		}
+		rows, cols, vals := powerlaw.ToTuples(g.Edges(n))
+		body, err := proto.AppendInsert(nil, seq, rows, cols, vals)
+		if err != nil {
+			return nil, 0, err
+		}
+		bodies = append(bodies, body)
+		total += n
+	}
+	return bodies, total, nil
+}
+
+// measure runs one ingest pass over a fresh matrix and reports the rate
+// (timed through the final flush barrier, so queued work is never
+// credited) and the process-wide mallocs per frame.
+func measure(dim uint64, shards, handoff int, bodies [][]byte, total int, ingest func([][]byte, *hhgb.Appender) error) (sample, error) {
+	m, err := hhgb.NewSharded(dim, hhgb.WithShards(shards), hhgb.WithHandoff(handoff))
+	if err != nil {
+		return sample{}, err
+	}
+	defer m.Close()
+	a, err := m.NewAppender()
+	if err != nil {
+		return sample{}, err
+	}
+
+	// Warm pools and per-shard cascades with a prefix of the workload, then
+	// settle at a barrier so warm-up work cannot bleed into the counters.
+	warm := bodies
+	if len(warm) > 8 {
+		warm = warm[:8]
+	}
+	if err := ingest(warm, a); err != nil {
+		return sample{}, err
+	}
+	if err := m.Flush(); err != nil {
+		return sample{}, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := ingest(bodies, a); err != nil {
+		return sample{}, err
+	}
+	if err := a.Flush(); err != nil {
+		return sample{}, err
+	}
+	if err := m.Flush(); err != nil {
+		return sample{}, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err := a.Close(); err != nil {
+		return sample{}, err
+	}
+	return sample{
+		insertsPerSec:  float64(total) / elapsed.Seconds(),
+		allocsPerFrame: float64(after.Mallocs-before.Mallocs) / float64(len(bodies)),
+	}, nil
+}
+
+// ingestReference decodes every frame through the allocating parser —
+// fresh batch slices per frame, the pre-pooling shape of the read path.
+func ingestReference(bodies [][]byte, a *hhgb.Appender) error {
+	for _, body := range bodies {
+		_, rows, cols, vals, err := proto.ParseInsert(body)
+		if err != nil {
+			return err
+		}
+		if err := a.AppendWeighted(rows, cols, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingestPooled decodes every frame into one reused batch — the shape the
+// server runs per connection, minus the socket.
+func ingestPooled(bodies [][]byte, a *hhgb.Appender) error {
+	var b proto.Batch
+	for _, body := range bodies {
+		if _, err := proto.ParseInsertBatch(body, &b); err != nil {
+			return err
+		}
+		if err := a.AppendWeighted(b.Rows, b.Cols, b.Vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}

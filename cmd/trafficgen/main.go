@@ -15,6 +15,15 @@
 // Several trafficgen processes can hammer one server concurrently; each
 // should get its own -seed.
 //
+// Streams are deterministic per seed: two runs with the same -seed, -gen,
+// -scale and -alpha produce identical edges, so any run is replayable
+// from its flag line alone. -seed 0 asks for a fresh stream instead: one
+// seed is drawn at random, logged, and then used exactly like an explicit
+// seed — so an exploratory run that hits something interesting is
+// replayed by copying the logged value. hhgb-hotpath's -seed selects the
+// same stream family, so a workload found here feeds the allocation gate
+// unchanged.
+//
 // The driver clients run exactly-once sessions with auto-reconnect: a
 // server restart mid-run (even kill -9 of a durable server) only pauses
 // the stream — unacked frames retransmit under the resumed session and
@@ -32,6 +41,8 @@ package main
 
 import (
 	"bufio"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
@@ -55,7 +66,7 @@ func main() {
 		scale   = flag.Int("scale", 24, "vertex-space scale (2^scale vertices)")
 		gen     = flag.String("gen", "rmat", "generator: rmat | pareto")
 		alpha   = flag.Float64("alpha", 1.1, "pareto shape (pareto generator only)")
-		seed    = flag.Uint64("seed", 1, "generator seed")
+		seed    = flag.Uint64("seed", 1, "generator seed (0 = draw one at random and log it for replay)")
 		format  = flag.String("format", "tsv", "output format: tsv | matrix")
 		out     = flag.String("o", "-", "output file (- for stdout)")
 		connect = flag.String("connect", "", "stream to a hhgb-serve address instead of writing a file")
@@ -66,6 +77,10 @@ func main() {
 		verify  = flag.Bool("verify", false, "after streaming, compare the server's packet total to the generated stream (with -connect)")
 	)
 	flag.Parse()
+	if *seed == 0 {
+		*seed = drawSeed()
+		log.Printf("-seed 0: drew seed %d; replay this exact stream with -seed %d", *seed, *seed)
+	}
 	if *connect != "" {
 		if err := runConnect(*connect, *conns, *batch, *edges, *scale, *gen, *alpha, *seed, *rate, *start, *verify); err != nil {
 			log.Fatal(err)
@@ -75,6 +90,21 @@ func main() {
 	if err := run(*edges, *scale, *gen, *alpha, *seed, *format, *out, *rate, *start); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// drawSeed returns a nonzero random seed for -seed 0 runs. The draw comes
+// from the OS entropy source, not the generator family itself, so the
+// drawn seed carries no structure the stream could correlate with.
+func drawSeed() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		log.Fatalf("drawing a random seed: %v", err)
+	}
+	s := binary.LittleEndian.Uint64(b[:])
+	if s == 0 {
+		s = 1 // zero means "draw" on the flag; never use it as a seed
+	}
+	return s
 }
 
 // stamper assigns event timestamps: edge k happens k/rate seconds after

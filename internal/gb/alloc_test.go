@@ -1,0 +1,69 @@
+package gb
+
+import "testing"
+
+// The staging stage (AppendTuples → stageTuples) is where every ingest
+// batch lands in a cascade level; it must append into the pending SoA
+// without allocating once pending capacity has warmed. Wait is off the
+// per-batch path (it runs at merge/barrier cadence) but still carries a
+// documented budget: the pack/sort/unpack machinery reuses retained
+// scratch, so the only allocations are the fresh DCSR arrays (and the
+// merge result when the matrix already holds entries).
+
+func allocTuples(n int) (rows, cols []Index, vals []float64) {
+	rows = make([]Index, n)
+	cols = make([]Index, n)
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Spread across rows and columns, small indices: the narrow
+		// (packed-key radix) sort path, which is the steady state.
+		rows[i] = Index((i * 2654435761) % 1024)
+		cols[i] = Index((i * 40503) % 1024)
+		vals[i] = float64(i) + 0.5
+	}
+	return rows, cols, vals
+}
+
+func TestAllocBudgetStageTuples(t *testing.T) {
+	m := MustNewMatrix[float64](1024, 1024)
+	rows, cols, vals := allocTuples(256)
+	if err := m.AppendTuples(rows, cols, vals); err != nil { // warm pending capacity
+		t.Fatalf("AppendTuples: %v", err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		m.pRow = m.pRow[:0]
+		m.pCol = m.pCol[:0]
+		m.pVal = m.pVal[:0]
+		if err := m.AppendTuples(rows, cols, vals); err != nil {
+			t.Fatalf("AppendTuples: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm stageTuples allocates %.1f/op, budget is 0", allocs)
+	}
+}
+
+// waitAllocBudget documents the warm Wait allocation budget for a merging
+// matrix: the four DCSR arrays built from pending, the four arrays of the
+// merge result, and small bookkeeping. It is a ceiling, not a target —
+// the test exists to catch the sort path regressing back to
+// allocate-per-call (pre-SoA it was O(n) boxed tuples per Wait).
+const waitAllocBudget = 16
+
+func TestAllocBudgetWait(t *testing.T) {
+	m := MustNewMatrix[float64](1024, 1024)
+	rows, cols, vals := allocTuples(256)
+	if err := m.AppendTuples(rows, cols, vals); err != nil {
+		t.Fatalf("AppendTuples: %v", err)
+	}
+	m.Wait() // warm sort scratch and establish the merge target
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := m.AppendTuples(rows, cols, vals); err != nil {
+			t.Fatalf("AppendTuples: %v", err)
+		}
+		m.Wait()
+	})
+	if allocs > waitAllocBudget {
+		t.Fatalf("warm Wait allocates %.1f/op, budget is %d", allocs, waitAllocBudget)
+	}
+}

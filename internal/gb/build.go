@@ -6,7 +6,7 @@ import "fmt"
 // pairs with dup. Following GrB_Matrix_build, the matrix must be empty
 // (no stored entries and no pending updates).
 func (m *Matrix[T]) Build(rows, cols []Index, vals []T, dup BinaryOp[T]) error {
-	if len(m.col) != 0 || len(m.pending) != 0 {
+	if len(m.col) != 0 || len(m.pRow) != 0 {
 		return ErrOutputNotEmpty
 	}
 	if len(rows) != len(cols) || len(rows) != len(vals) {
@@ -15,16 +15,21 @@ func (m *Matrix[T]) Build(rows, cols []Index, vals []T, dup BinaryOp[T]) error {
 	if dup == nil {
 		return fmt.Errorf("%w: nil dup operator", ErrInvalidValue)
 	}
-	t := make([]Tuple[T], len(rows))
 	for k := range rows {
 		if rows[k] >= m.nrows || cols[k] >= m.ncols {
 			return fmt.Errorf("%w: (%d,%d) outside %d x %d", ErrIndexOutOfBounds, rows[k], cols[k], m.nrows, m.ncols)
 		}
-		t[k] = Tuple[T]{Row: rows[k], Col: cols[k], Val: vals[k]}
 	}
-	sortTuples(t)
-	t = combineDuplicates(t, dup)
-	m.rows, m.ptr, m.col, m.val = dcsrFromSortedTuples(t)
+	// Stage through the pending SoA buffers so Build shares the Wait
+	// sort/combine/assemble pipeline, just with dup in place of the
+	// matrix accumulator.
+	m.stageTuples(rows, cols, vals)
+	m.sortPending()
+	n := combineSoA(m.pRow, m.pCol, m.pVal, dup)
+	m.rows, m.ptr, m.col, m.val = m.dcsrFromPending(n)
+	m.pRow = m.pRow[:0]
+	m.pCol = m.pCol[:0]
+	m.pVal = m.pVal[:0]
 	return nil
 }
 

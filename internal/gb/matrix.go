@@ -23,10 +23,30 @@ type Matrix[T Number] struct {
 	col  []Index
 	val  []T
 
-	// pending holds staged updates not yet merged into the DCSR arrays.
-	pending []Tuple[T]
+	// Pending updates not yet merged into the DCSR arrays, in
+	// struct-of-arrays layout: entry k is (pRow[k], pCol[k], pVal[k]).
+	// SoA keeps the Wait sort/merge loop cache-friendly (the radix passes
+	// touch only the packed keys, never the values' padding) and lets the
+	// staging append copy each incoming batch with three memmoves instead
+	// of a per-entry struct assignment. The three slices grow in lockstep;
+	// Wait truncates them to length zero, retaining capacity, so a matrix
+	// in steady state stages updates without allocating.
+	pRow []Index
+	pCol []Index
+	pVal []T
+
+	// scratch holds the radix-sort ping-pong buffers, retained across
+	// Waits so sorting is allocation-free once warm.
+	scratch sortScratch[T]
 
 	accum BinaryOp[T]
+}
+
+// sortScratch is the retained workspace for sortPending: packed 64-bit
+// keys and the value payloads, double-buffered for the LSD radix passes.
+type sortScratch[T Number] struct {
+	keyA, keyB []uint64
+	valA, valB []T
 }
 
 // NewMatrix returns an empty nrows x ncols matrix with the default plus
@@ -52,7 +72,7 @@ func MustNewMatrix[T Number](nrows, ncols Index) *Matrix[T] {
 // updates are materialized. It must be called while no pending updates are
 // staged (typically right after construction).
 func (m *Matrix[T]) SetAccum(op BinaryOp[T]) error {
-	if len(m.pending) != 0 {
+	if len(m.pRow) != 0 {
 		return fmt.Errorf("%w: cannot change accumulator with pending updates", ErrInvalidValue)
 	}
 	m.accum = op
@@ -75,7 +95,7 @@ func (m *Matrix[T]) NVals() int {
 // PendingLen reports how many staged (not yet materialized) updates exist.
 // Together with the materialized entry count it bounds NVals from above;
 // the hierarchical cascade uses this to decide when a Wait is worthwhile.
-func (m *Matrix[T]) PendingLen() int { return len(m.pending) }
+func (m *Matrix[T]) PendingLen() int { return len(m.pRow) }
 
 // MaterializedNVals returns the number of entries in the DCSR structure,
 // ignoring pending updates. NVals() <= MaterializedNVals()+PendingLen().
@@ -86,7 +106,12 @@ func (m *Matrix[T]) SetElement(i, j Index, v T) error {
 	if i >= m.nrows || j >= m.ncols {
 		return fmt.Errorf("%w: (%d,%d) outside %d x %d", ErrIndexOutOfBounds, i, j, m.nrows, m.ncols)
 	}
-	m.pending = append(m.pending, Tuple[T]{Row: i, Col: j, Val: v})
+	if cap(m.pRow)-len(m.pRow) < 1 {
+		m.growPending(1)
+	}
+	m.pRow = append(m.pRow, i)
+	m.pCol = append(m.pCol, j)
+	m.pVal = append(m.pVal, v)
 	return nil
 }
 
@@ -102,15 +127,42 @@ func (m *Matrix[T]) AppendTuples(rows, cols []Index, vals []T) error {
 			return fmt.Errorf("%w: (%d,%d) outside %d x %d", ErrIndexOutOfBounds, rows[k], cols[k], m.nrows, m.ncols)
 		}
 	}
-	if cap(m.pending)-len(m.pending) < len(rows) {
-		grown := make([]Tuple[T], len(m.pending), len(m.pending)+len(rows))
-		copy(grown, m.pending)
-		m.pending = grown
-	}
-	for k := range rows {
-		m.pending = append(m.pending, Tuple[T]{Row: rows[k], Col: cols[k], Val: vals[k]})
-	}
+	m.stageTuples(rows, cols, vals)
 	return nil
+}
+
+// stageTuples copies a validated batch into the pending SoA buffers.
+// Growth is delegated to growPending so the steady-state path (capacity
+// already warm) stays free of allocation sites.
+//
+//hhgb:noalloc
+func (m *Matrix[T]) stageTuples(rows, cols []Index, vals []T) {
+	if cap(m.pRow)-len(m.pRow) < len(rows) {
+		m.growPending(len(rows))
+	}
+	m.pRow = append(m.pRow, rows...)
+	m.pCol = append(m.pCol, cols...)
+	m.pVal = append(m.pVal, vals...)
+}
+
+// growPending reserves room for n more pending entries, at least doubling
+// so repeated staging amortizes to O(1) copies per entry. The three SoA
+// slices grow together, keeping their capacities in lockstep.
+func (m *Matrix[T]) growPending(n int) {
+	want := len(m.pRow) + n
+	newCap := 2 * cap(m.pRow)
+	if newCap < want {
+		newCap = want
+	}
+	grownRow := make([]Index, len(m.pRow), newCap)
+	copy(grownRow, m.pRow)
+	m.pRow = grownRow
+	grownCol := make([]Index, len(m.pCol), newCap)
+	copy(grownCol, m.pCol)
+	m.pCol = grownCol
+	grownVal := make([]T, len(m.pVal), newCap)
+	copy(grownVal, m.pVal)
+	m.pVal = grownVal
 }
 
 // ExtractElement returns the stored value at (i, j). It forces completion of
@@ -170,7 +222,10 @@ func (m *Matrix[T]) Clear() {
 	m.ptr = []int{0}
 	m.col = nil
 	m.val = nil
-	m.pending = nil
+	m.pRow = nil
+	m.pCol = nil
+	m.pVal = nil
+	m.scratch = sortScratch[T]{}
 }
 
 // Dup returns a deep copy. Pending updates are materialized first so the
@@ -224,7 +279,7 @@ func (m *Matrix[T]) ExtractTuples() (rows, cols []Index, vals []T) {
 // String summarizes the matrix without dumping entries.
 func (m *Matrix[T]) String() string {
 	return fmt.Sprintf("gb.Matrix[%dx%d, nvals=%d(+%d pending), nnzrows=%d]",
-		m.nrows, m.ncols, len(m.col), len(m.pending), len(m.rows))
+		m.nrows, m.ncols, len(m.col), len(m.pRow), len(m.rows))
 }
 
 // searchIndex binary-searches a sorted Index slice and reports the position

@@ -7,18 +7,26 @@ import "slices"
 // nothing is pending. This is the analogue of GrB_Matrix_wait: after Wait,
 // NVals/Iterate/algebraic kernels see a fully assembled matrix.
 //
-// Cost: O(p log p) to sort p pending tuples plus O(p + nvals) to union-merge
-// with the existing structure. The hierarchical cascade keeps p and nvals
-// small at the lowest level, which is where almost all Waits happen.
+// Cost: O(p) radix passes to sort p pending entries (O(p log p) comparison
+// fallback for indices >= 2^32) plus O(p + nvals) to union-merge with the
+// existing structure. The hierarchical cascade keeps p and nvals small at
+// the lowest level, which is where almost all Waits happen.
+//
+// Allocation: the sort runs entirely in scratch buffers retained on the
+// matrix and the pending SoA slices are truncated (not released) after the
+// merge, so a warm Wait allocates only the output DCSR arrays — at most 8
+// exact-sized slices, independent of batch count.
 func (m *Matrix[T]) Wait() {
-	if len(m.pending) == 0 {
+	if len(m.pRow) == 0 {
 		return
 	}
-	sortTuples(m.pending)
-	dd := combineDuplicates(m.pending, m.accum)
-	m.pending = nil
+	m.sortPending()
+	n := combineSoA(m.pRow, m.pCol, m.pVal, m.accum)
 
-	pr, pp, pc, pv := dcsrFromSortedTuples(dd)
+	pr, pp, pc, pv := m.dcsrFromPending(n)
+	m.pRow = m.pRow[:0]
+	m.pCol = m.pCol[:0]
+	m.pVal = m.pVal[:0]
 	if len(m.col) == 0 {
 		m.rows, m.ptr, m.col, m.val = pr, pp, pc, pv
 		return
@@ -30,25 +38,68 @@ func (m *Matrix[T]) Wait() {
 	)
 }
 
-// sortTuples orders tuples by (row, col) ascending; equal keys keep their
-// relative order (stable), so duplicate combination is deterministic even
-// for non-commutative accumulators.
+// sortPending orders the pending SoA entries by (row, col) ascending;
+// equal keys keep their relative order (stable), so duplicate combination
+// is deterministic even for non-commutative accumulators.
 //
 // When every index fits in 32 bits — the IPv4 traffic-matrix case and the
 // hot path of the streaming benchmarks — the (row, col) pair packs into a
-// single uint64 key and an LSD radix sort (stable by construction) replaces
-// the comparison sort, skipping passes whose key byte is constant.
-func sortTuples[T Number](t []Tuple[T]) {
-	if len(t) < 2 {
+// single uint64 key sorted in the matrix's retained scratch: an LSD radix
+// sort (stable by construction) for large batches, a binary-insertion sort
+// for small ones, neither allocating once the scratch is warm. Indices
+// that need more than 32 bits fall back to a comparison sort over
+// temporary AoS tuples.
+func (m *Matrix[T]) sortPending() {
+	n := len(m.pRow)
+	if n < 2 {
 		return
 	}
 	var any Index
-	for k := range t {
-		any |= t[k].Row | t[k].Col
+	for k := 0; k < n; k++ {
+		any |= m.pRow[k] | m.pCol[k]
 	}
-	if any < 1<<32 && len(t) >= 128 {
-		radixSortPacked(t)
+	if any >= 1<<32 {
+		m.sortPendingWide()
 		return
+	}
+	s := &m.scratch
+	if cap(s.keyA) < n {
+		s.keyA = make([]uint64, n)
+		s.keyB = make([]uint64, n)
+		s.valA = make([]T, n)
+		s.valB = make([]T, n)
+	}
+	ka, kb := s.keyA[:n], s.keyB[:n]
+	va, vb := s.valA[:n], s.valB[:n]
+	andKey := ^uint64(0)
+	orKey := uint64(0)
+	for k := 0; k < n; k++ {
+		key := uint64(m.pRow[k])<<32 | uint64(m.pCol[k])
+		ka[k] = key
+		va[k] = m.pVal[k]
+		andKey &= key
+		orKey |= key
+	}
+	if n >= 128 {
+		ka, va = radixSortPacked(ka, kb, va, vb, andKey, orKey)
+	} else {
+		insertionSortPacked(ka, va)
+	}
+	for k := 0; k < n; k++ {
+		m.pRow[k] = Index(ka[k] >> 32)
+		m.pCol[k] = Index(ka[k] & 0xffffffff)
+		m.pVal[k] = va[k]
+	}
+}
+
+// sortPendingWide is the >=2^32-index fallback: a stable comparison sort
+// over temporary AoS tuples. It allocates; batches with indices that wide
+// are outside the packed-key hot path by construction.
+func (m *Matrix[T]) sortPendingWide() {
+	n := len(m.pRow)
+	t := make([]Tuple[T], n)
+	for k := 0; k < n; k++ {
+		t[k] = Tuple[T]{Row: m.pRow[k], Col: m.pCol[k], Val: m.pVal[k]}
 	}
 	slices.SortStableFunc(t, func(a, b Tuple[T]) int {
 		switch {
@@ -64,28 +115,21 @@ func sortTuples[T Number](t []Tuple[T]) {
 			return 0
 		}
 	})
+	for k := 0; k < n; k++ {
+		m.pRow[k] = t[k].Row
+		m.pCol[k] = t[k].Col
+		m.pVal[k] = t[k].Val
+	}
 }
 
-// radixSortPacked sorts tuples by the packed key row<<32|col with an LSD
-// byte-wise counting sort. Counting sort is stable, so the composition is
-// stable. Byte positions where every key agrees (all&any masks) are
-// skipped — power-law batches typically need only 4-6 of the 8 passes.
-func radixSortPacked[T Number](t []Tuple[T]) {
-	type packed struct {
-		key uint64
-		val T
-	}
-	n := len(t)
-	a := make([]packed, n)
-	b := make([]packed, n)
-	andKey := ^uint64(0)
-	orKey := uint64(0)
-	for k := range t {
-		key := uint64(t[k].Row)<<32 | uint64(t[k].Col)
-		a[k] = packed{key: key, val: t[k].Val}
-		andKey &= key
-		orKey |= key
-	}
+// radixSortPacked sorts the packed keys (values riding along) with an LSD
+// byte-wise counting sort, ping-ponging between the (ka, va) and (kb, vb)
+// buffer pairs. Counting sort is stable, so the composition is stable.
+// Byte positions where every key agrees (and/or masks) are skipped —
+// power-law batches typically need only 4-6 of the 8 passes. Returns the
+// buffer pair holding the sorted result.
+func radixSortPacked[T Number](ka, kb []uint64, va, vb []T, andKey, orKey uint64) ([]uint64, []T) {
+	n := len(ka)
 	var counts [256]int
 	for shift := uint(0); shift < 64; shift += 8 {
 		// Skip the pass if this byte is identical across all keys.
@@ -96,7 +140,7 @@ func radixSortPacked[T Number](t []Tuple[T]) {
 			counts[i] = 0
 		}
 		for k := 0; k < n; k++ {
-			counts[byte(a[k].key>>shift)]++
+			counts[byte(ka[k]>>shift)]++
 		}
 		sum := 0
 		for i := range counts {
@@ -105,54 +149,83 @@ func radixSortPacked[T Number](t []Tuple[T]) {
 			sum += c
 		}
 		for k := 0; k < n; k++ {
-			d := byte(a[k].key >> shift)
-			b[counts[d]] = a[k]
+			d := byte(ka[k] >> shift)
+			kb[counts[d]] = ka[k]
+			vb[counts[d]] = va[k]
 			counts[d]++
 		}
-		a, b = b, a
+		ka, kb = kb, ka
+		va, vb = vb, va
 	}
-	for k := range t {
-		t[k] = Tuple[T]{Row: Index(a[k].key >> 32), Col: Index(a[k].key & 0xffffffff), Val: a[k].val}
+	return ka, va
+}
+
+// insertionSortPacked is the small-batch packed-key sort: stable, in
+// place, allocation-free, and faster than setting up radix passes below
+// ~128 entries.
+func insertionSortPacked[T Number](keys []uint64, vals []T) {
+	for i := 1; i < len(keys); i++ {
+		k, v := keys[i], vals[i]
+		j := i - 1
+		for j >= 0 && keys[j] > k {
+			keys[j+1] = keys[j]
+			vals[j+1] = vals[j]
+			j--
+		}
+		keys[j+1] = k
+		vals[j+1] = v
 	}
 }
 
-// combineDuplicates collapses runs of equal (row, col) in sorted tuples by
-// folding values left-to-right with op. It reuses the input slice.
-func combineDuplicates[T Number](t []Tuple[T], op BinaryOp[T]) []Tuple[T] {
-	if len(t) == 0 {
-		return t
+// combineSoA collapses runs of equal (row, col) in the sorted SoA slices
+// by folding values left-to-right with op, in place. It returns the
+// deduplicated length.
+func combineSoA[T Number](rows, cols []Index, vals []T, op BinaryOp[T]) int {
+	if len(rows) == 0 {
+		return 0
 	}
 	w := 0
-	for r := 1; r < len(t); r++ {
-		if t[r].Row == t[w].Row && t[r].Col == t[w].Col {
-			t[w].Val = op(t[w].Val, t[r].Val)
+	for r := 1; r < len(rows); r++ {
+		if rows[r] == rows[w] && cols[r] == cols[w] {
+			vals[w] = op(vals[w], vals[r])
 		} else {
 			w++
-			t[w] = t[r]
+			rows[w] = rows[r]
+			cols[w] = cols[r]
+			vals[w] = vals[r]
 		}
 	}
-	return t[:w+1]
+	return w + 1
 }
 
-// dcsrFromSortedTuples builds DCSR arrays from sorted, duplicate-free tuples.
-func dcsrFromSortedTuples[T Number](t []Tuple[T]) (rows []Index, ptr []int, col []Index, val []T) {
-	col = make([]Index, len(t))
-	val = make([]T, len(t))
-	ptr = []int{0}
-	for k := range t {
-		if len(rows) == 0 || rows[len(rows)-1] != t[k].Row {
-			if len(rows) != 0 {
+// dcsrFromPending builds DCSR arrays from the first n sorted,
+// duplicate-free pending entries. A pre-pass counts distinct rows so
+// every output slice is allocated exactly once at its final size.
+func (m *Matrix[T]) dcsrFromPending(n int) (rows []Index, ptr []int, col []Index, val []T) {
+	if n == 0 {
+		return nil, []int{0}, nil, nil
+	}
+	nr := 1
+	for k := 1; k < n; k++ {
+		if m.pRow[k] != m.pRow[k-1] {
+			nr++
+		}
+	}
+	rows = make([]Index, 0, nr)
+	ptr = make([]int, 1, nr+1)
+	col = make([]Index, n)
+	val = make([]T, n)
+	copy(col, m.pCol[:n])
+	copy(val, m.pVal[:n])
+	for k := 0; k < n; k++ {
+		if k == 0 || m.pRow[k] != m.pRow[k-1] {
+			if k != 0 {
 				ptr = append(ptr, k)
 			}
-			rows = append(rows, t[k].Row)
+			rows = append(rows, m.pRow[k])
 		}
-		col[k] = t[k].Col
-		val[k] = t[k].Val
 	}
-	ptr = append(ptr, len(t))
-	if len(rows) == 0 {
-		ptr = []int{0}
-	}
+	ptr = append(ptr, n)
 	return rows, ptr, col, val
 }
 

@@ -1,0 +1,153 @@
+// Package pool provides bounded, deterministic free-lists for the ingest
+// hot path, plus a leak-detecting wrapper for tests.
+//
+// The production FreeList is a fixed-capacity channel, not a sync.Pool:
+// sync.Pool contents are released at GC, which makes "this stage allocates
+// zero" unfalsifiable — a test (or a production burst) racing a GC cycle
+// would see allocations that are not regressions. A channel free-list has
+// none of that nondeterminism: what was Put is there to Get, the capacity
+// bounds worst-case retained memory, and overflow simply falls to the
+// garbage collector.
+//
+// Ownership protocol (enforced by Checked in tests): every Get has exactly
+// one owner at a time, ownership transfers with the value (reader → apply
+// queue → applier in the server), and exactly one Put returns it — at ack
+// time, or on whichever error path consumed the value instead.
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the Get/Put contract shared by FreeList and Checked, so
+// production code can hold either (tests swap in a Checked without the
+// hot path knowing).
+type Pool[T any] interface {
+	Get() T
+	Put(T)
+}
+
+// FreeList is a bounded free-list: Get pops a recycled value or allocates
+// a fresh one; Put recycles up to the capacity and drops the rest. Both
+// are non-blocking and safe for concurrent use.
+type FreeList[T any] struct {
+	free  chan T
+	alloc func() T
+}
+
+// New returns a FreeList holding at most capacity idle values; alloc
+// makes a fresh value when the list is empty.
+func New[T any](capacity int, alloc func() T) *FreeList[T] {
+	return &FreeList[T]{free: make(chan T, capacity), alloc: alloc}
+}
+
+// Get returns a recycled value if one is idle, else a fresh allocation.
+func (l *FreeList[T]) Get() T {
+	select {
+	case v := <-l.free:
+		return v
+	default:
+		return l.alloc()
+	}
+}
+
+// Put recycles v for a future Get. If the list is already at capacity the
+// value is dropped for the garbage collector — Put never blocks.
+func (l *FreeList[T]) Put(v T) {
+	select {
+	case l.free <- v:
+	default:
+	}
+}
+
+// Idle reports how many values are currently recycled and waiting.
+func (l *FreeList[T]) Idle() int { return len(l.free) }
+
+// Checked wraps a FreeList with borrow accounting and optional poisoning,
+// for tests that must prove the ownership protocol: every borrowed value
+// returned exactly once, nothing foreign returned, nothing still borrowed
+// at drain. T must be of pointer (comparable, identity-carrying) kind.
+type Checked[T comparable] struct {
+	list   *FreeList[T]
+	poison func(T)
+
+	mu       sync.Mutex
+	borrowed map[T]bool
+	gets     atomic.Int64
+	puts     atomic.Int64
+	errs     []error
+}
+
+// NewChecked returns a leak-detecting pool. poison, if non-nil, is run on
+// every Put before the value is recycled; poisoning the contents proves
+// no consumer retains a reference past its Put (a retained reference
+// reads garbage and fails whatever asserted on it).
+func NewChecked[T comparable](capacity int, alloc func() T, poison func(T)) *Checked[T] {
+	return &Checked[T]{
+		list:     New(capacity, alloc),
+		poison:   poison,
+		borrowed: map[T]bool{},
+	}
+}
+
+// Get borrows a value and records the borrow.
+func (c *Checked[T]) Get() T {
+	v := c.list.Get()
+	c.gets.Add(1)
+	c.mu.Lock()
+	if c.borrowed[v] {
+		c.errs = append(c.errs, fmt.Errorf("pool: Get returned a value already borrowed (%v)", v))
+	}
+	c.borrowed[v] = true
+	c.mu.Unlock()
+	return v
+}
+
+// Put returns a borrowed value. Returning a value that was not borrowed
+// from this pool — a double return, or a foreign value — is recorded and
+// fails Verify.
+func (c *Checked[T]) Put(v T) {
+	c.puts.Add(1)
+	c.mu.Lock()
+	if !c.borrowed[v] {
+		c.errs = append(c.errs, fmt.Errorf("pool: Put of a value not currently borrowed (%v): double return or foreign value", v))
+		c.mu.Unlock()
+		return
+	}
+	delete(c.borrowed, v)
+	c.mu.Unlock()
+	if c.poison != nil {
+		c.poison(v)
+	}
+	c.list.Put(v)
+}
+
+// Outstanding reports how many borrowed values have not been returned.
+func (c *Checked[T]) Outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.borrowed)
+}
+
+// Stats returns the total Get and Put counts.
+func (c *Checked[T]) Stats() (gets, puts int64) {
+	return c.gets.Load(), c.puts.Load()
+}
+
+// Verify returns an error if any protocol violation was recorded or any
+// value is still borrowed. Call it after the system under test has fully
+// drained (server closed, appliers exited).
+func (c *Checked[T]) Verify() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.errs) > 0 {
+		return c.errs[0]
+	}
+	if len(c.borrowed) > 0 {
+		return fmt.Errorf("pool: %d borrowed value(s) never returned (gets=%d puts=%d)",
+			len(c.borrowed), c.gets.Load(), c.puts.Load())
+	}
+	return nil
+}

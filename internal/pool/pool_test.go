@@ -1,0 +1,117 @@
+package pool
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFreeListRecycles(t *testing.T) {
+	allocs := 0
+	l := New(2, func() *int { allocs++; return new(int) })
+	a := l.Get()
+	if allocs != 1 {
+		t.Fatalf("allocs = %d, want 1", allocs)
+	}
+	l.Put(a)
+	if got := l.Get(); got != a {
+		t.Fatalf("Get after Put returned a different value")
+	}
+	if allocs != 1 {
+		t.Fatalf("recycled Get allocated (allocs = %d)", allocs)
+	}
+}
+
+func TestFreeListBounded(t *testing.T) {
+	l := New(1, func() *int { return new(int) })
+	a, b := l.Get(), l.Get()
+	l.Put(a)
+	l.Put(b) // over capacity: dropped, not blocked
+	if l.Idle() != 1 {
+		t.Fatalf("Idle = %d, want 1", l.Idle())
+	}
+}
+
+func TestFreeListConcurrent(t *testing.T) {
+	l := New(8, func() *[]byte { b := make([]byte, 64); return &b })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v := l.Get()
+				(*v)[0]++
+				l.Put(v)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCheckedCleanProtocol(t *testing.T) {
+	c := NewChecked(4, func() *int { return new(int) }, nil)
+	a, b := c.Get(), c.Get()
+	c.Put(a)
+	c.Put(b)
+	if err := c.Verify(); err != nil {
+		t.Fatalf("Verify after balanced Get/Put: %v", err)
+	}
+	if gets, puts := c.Stats(); gets != 2 || puts != 2 {
+		t.Fatalf("Stats = (%d, %d), want (2, 2)", gets, puts)
+	}
+}
+
+func TestCheckedDetectsLeak(t *testing.T) {
+	c := NewChecked(4, func() *int { return new(int) }, nil)
+	c.Get()
+	err := c.Verify()
+	if err == nil || !strings.Contains(err.Error(), "never returned") {
+		t.Fatalf("Verify = %v, want leak error", err)
+	}
+	if c.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1", c.Outstanding())
+	}
+}
+
+func TestCheckedDetectsDoubleReturn(t *testing.T) {
+	c := NewChecked(4, func() *int { return new(int) }, nil)
+	a := c.Get()
+	c.Put(a)
+	c.Put(a)
+	err := c.Verify()
+	if err == nil || !strings.Contains(err.Error(), "double return") {
+		t.Fatalf("Verify = %v, want double-return error", err)
+	}
+}
+
+func TestCheckedDetectsForeignPut(t *testing.T) {
+	c := NewChecked(4, func() *int { return new(int) }, nil)
+	c.Put(new(int))
+	if err := c.Verify(); err == nil {
+		t.Fatal("Verify accepted a foreign Put")
+	}
+}
+
+func TestCheckedPoisons(t *testing.T) {
+	poisoned := 0
+	c := NewChecked(4, func() *[]byte { b := make([]byte, 4); return &b }, func(v *[]byte) {
+		poisoned++
+		for i := range *v {
+			(*v)[i] = 0xAA
+		}
+	})
+	v := c.Get()
+	copy(*v, []byte{1, 2, 3, 4})
+	c.Put(v)
+	if poisoned != 1 {
+		t.Fatalf("poison ran %d times, want 1", poisoned)
+	}
+	w := c.Get()
+	if (*w)[0] != 0xAA {
+		t.Fatalf("recycled value not poisoned: %v", *w)
+	}
+}
+
+var _ Pool[*int] = (*FreeList[*int])(nil)
+var _ Pool[*int] = (*Checked[*int])(nil)

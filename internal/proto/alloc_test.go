@@ -1,0 +1,66 @@
+package proto
+
+import "testing"
+
+// The decode stage of the ingest hot path must not allocate once its
+// scratch is warm: ParseInsertBatch and ParseInsertAtBatch decode into a
+// caller-owned Batch whose slices are reused across frames. These budgets
+// are load-bearing — a regression here multiplies into per-frame garbage
+// on every producer connection — so they are pinned at exactly zero.
+
+func insertBody(t testing.TB, n int) []byte {
+	t.Helper()
+	rows, cols, vals := make([]uint64, n), make([]uint64, n), make([]uint64, n)
+	for i := range rows {
+		rows[i] = uint64(i * 3)
+		cols[i] = uint64(i*7 + 1)
+		vals[i] = uint64(i + 1)
+	}
+	body, err := AppendInsert(nil, 42, rows, cols, vals)
+	if err != nil {
+		t.Fatalf("AppendInsert: %v", err)
+	}
+	return body
+}
+
+func TestAllocBudgetParseInsertBatch(t *testing.T) {
+	body := insertBody(t, 256)
+	var b Batch
+	if _, err := ParseInsertBatch(body, &b); err != nil { // warm the scratch
+		t.Fatalf("ParseInsertBatch: %v", err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := ParseInsertBatch(body, &b); err != nil {
+			t.Fatalf("ParseInsertBatch: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ParseInsertBatch allocates %.1f/op, budget is 0", allocs)
+	}
+}
+
+func TestAllocBudgetParseInsertAtBatch(t *testing.T) {
+	body := insertBody(t, 256)
+	// An InsertAt body is seq ‖ ts ‖ record; splice a timestamp in by
+	// re-encoding through the public helper.
+	rows, cols, vals := make([]uint64, 256), make([]uint64, 256), make([]uint64, 256)
+	for i := range rows {
+		rows[i], cols[i], vals[i] = uint64(i), uint64(i+1), uint64(i+2)
+	}
+	body, err := AppendInsertAt(body[:0], 42, 99, rows, cols, vals)
+	if err != nil {
+		t.Fatalf("AppendInsertAt: %v", err)
+	}
+	var b Batch
+	if _, _, err := ParseInsertAtBatch(body, &b); err != nil {
+		t.Fatalf("ParseInsertAtBatch: %v", err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := ParseInsertAtBatch(body, &b); err != nil {
+			t.Fatalf("ParseInsertAtBatch: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ParseInsertAtBatch allocates %.1f/op, budget is 0", allocs)
+	}
+}

@@ -83,6 +83,10 @@ func seedCorpus(t *testing.T) map[string]map[string][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	emptyInsert, err := AppendInsert(nil, 1, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ws := AppendWindowSummary(nil, WindowSummary{Sub: 5, Level: 1, Start: 1e18, End: 2e18, Entries: 3, Sources: 2, Destinations: 3, Packets: 44})
 	return map[string]map[string][]byte{
 		"FuzzReaderNext": {
@@ -111,6 +115,11 @@ func seedCorpus(t *testing.T) map[string]map[string][]byte {
 		},
 		"FuzzParseInsertAt": {
 			"small": insertAt,
+		},
+		"FuzzBatchRecordPooledRoundtrip": {
+			"small":     insert,
+			"empty":     emptyInsert,
+			"truncated": insert[:4],
 		},
 		"FuzzParseHello": {
 			"session":   AppendHello(nil, "seed-session", 41),

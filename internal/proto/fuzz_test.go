@@ -2,9 +2,13 @@ package proto
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"testing"
+
+	"hhgb/internal/pool"
+	"hhgb/internal/wal"
 )
 
 // The fuzz targets assert the protocol-robustness contract: arbitrary
@@ -140,6 +144,77 @@ func FuzzParseInsertAt(f *testing.F) {
 		}
 		if len(rows) > MaxBatch {
 			t.Fatalf("batch %d exceeds MaxBatch", len(rows))
+		}
+	})
+}
+
+// fuzzBatchPool is the pooled scratch under test in
+// FuzzBatchRecordPooledRoundtrip. It is package-level on purpose: scratch
+// survives from one fuzz execution to the next, and the poison scrambles
+// every returned batch — so if the pooled decode ever reads retained
+// memory instead of the input bytes, the scrambled residue of a previous
+// input diverges from the allocating reference and the fuzzer reports it.
+var fuzzBatchPool = pool.NewChecked(4,
+	func() *Batch { return new(Batch) },
+	func(b *Batch) {
+		for i := range b.Rows {
+			b.Rows[i] = 0xA5A5A5A5A5A5A5A5
+			b.Cols[i] = 0x5A5A5A5A5A5A5A5A
+			b.Vals[i] = 0xDEADDEADDEADDEAD
+		}
+	})
+
+// FuzzBatchRecordPooledRoundtrip drives the pooled batch-record path over
+// arbitrary session-framed insert bodies (seq ‖ record): pooled decode
+// must agree exactly with the allocating wal-level reference, a
+// successful decode must re-encode to bytes that decode to the same batch
+// and re-encode identically (a one-step fixed point — arbitrary inputs
+// may use non-minimal varints, so only the re-encoding is canonical), and
+// the leak-checked pool must stay balanced across every execution.
+func FuzzBatchRecordPooledRoundtrip(f *testing.F) {
+	good, _ := AppendInsert(nil, 9, []uint64{1, 1 << 60}, []uint64{2, 3}, []uint64{5, 6})
+	f.Add(good)
+	empty, _ := AppendInsert(nil, 1, nil, nil, nil)
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add(good[:4])
+	f.Fuzz(func(t *testing.T, body []byte) {
+		b := fuzzBatchPool.Get()
+		seq, err := ParseInsertBatch(body, b)
+		if err == nil {
+			// Cross-check against the allocating wal-level decoder on the
+			// record past the seq header: same values, no dependence on
+			// the poisoned scratch the pooled path decoded into.
+			_, k := binary.Uvarint(body)
+			refRows, refCols, refVals, werr := wal.DecodeBatchRecord(body[k:], identU64)
+			if werr != nil {
+				t.Fatalf("pooled parse ok, wal reference failed: %v", werr)
+			}
+			if !equalU64(b.Rows, refRows) || !equalU64(b.Cols, refCols) || !equalU64(b.Vals, refVals) {
+				t.Fatalf("pooled decode diverges from wal reference (n=%d)", b.Len())
+			}
+
+			enc, eerr := AppendInsert(nil, seq, b.Rows, b.Cols, b.Vals)
+			if eerr != nil {
+				t.Fatalf("re-encode of a decoded batch failed: %v", eerr)
+			}
+			b2 := fuzzBatchPool.Get()
+			seq2, perr := ParseInsertBatch(enc, b2)
+			if perr != nil || seq2 != seq {
+				t.Fatalf("re-encoded body failed to parse: seq=%d err=%v", seq2, perr)
+			}
+			if !equalU64(b.Rows, b2.Rows) || !equalU64(b.Cols, b2.Cols) || !equalU64(b.Vals, b2.Vals) {
+				t.Fatalf("decode(encode(batch)) != batch")
+			}
+			enc2, eerr := AppendInsert(nil, seq2, b2.Rows, b2.Cols, b2.Vals)
+			if eerr != nil || !bytes.Equal(enc, enc2) {
+				t.Fatalf("re-encode is not a fixed point (err %v)", eerr)
+			}
+			fuzzBatchPool.Put(b2)
+		}
+		fuzzBatchPool.Put(b)
+		if verr := fuzzBatchPool.Verify(); verr != nil {
+			t.Fatalf("pool protocol violated: %v", verr)
 		}
 	})
 }

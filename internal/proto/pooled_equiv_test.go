@@ -1,0 +1,121 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The pooled decode path (ParseInsertBatch into a reused Batch) must be
+// bit-identical to the allocating reference (ParseInsert) on every input —
+// including Batch reuse across frames of wildly different sizes, which is
+// exactly the state a pooled batch accumulates in production. The test
+// also re-encodes from the pooled result and demands the original bytes
+// back, closing the loop on both directions of the codec.
+func TestPooledInsertDecodeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var b Batch // deliberately reused across all iterations
+	for iter := 0; iter < 500; iter++ {
+		n := rng.Intn(300) // crosses the Batch's warm capacity both ways
+		rows := make([]uint64, n)
+		cols := make([]uint64, n)
+		vals := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			rows[i] = rng.Uint64() >> uint(rng.Intn(64))
+			cols[i] = rng.Uint64() >> uint(rng.Intn(64))
+			vals[i] = rng.Uint64() >> uint(rng.Intn(64))
+		}
+		seq := rng.Uint64()
+		withTS := iter%2 == 1
+		var body []byte
+		var err error
+		if withTS {
+			body, err = AppendInsertAt(nil, seq, uint64(iter), rows, cols, vals)
+		} else {
+			body, err = AppendInsert(nil, seq, rows, cols, vals)
+		}
+		if err != nil {
+			t.Fatalf("iter %d: encode: %v", iter, err)
+		}
+
+		var refSeq, refTS, gotSeq, gotTS uint64
+		var refRows, refCols, refVals []uint64
+		if withTS {
+			refSeq, refTS, refRows, refCols, refVals, err = ParseInsertAt(body)
+		} else {
+			refSeq, refRows, refCols, refVals, err = ParseInsert(body)
+		}
+		if err != nil {
+			t.Fatalf("iter %d: reference parse: %v", iter, err)
+		}
+		if withTS {
+			gotSeq, gotTS, err = ParseInsertAtBatch(body, &b)
+		} else {
+			gotSeq, err = ParseInsertBatch(body, &b)
+		}
+		if err != nil {
+			t.Fatalf("iter %d: pooled parse: %v", iter, err)
+		}
+		if gotSeq != refSeq || gotTS != refTS {
+			t.Fatalf("iter %d: header = (%d, %d), want (%d, %d)", iter, gotSeq, gotTS, refSeq, refTS)
+		}
+		if !equalU64(b.Rows, refRows) || !equalU64(b.Cols, refCols) || !equalU64(b.Vals, refVals) {
+			t.Fatalf("iter %d: pooled decode diverges from reference (n=%d)", iter, n)
+		}
+
+		// Round-trip: re-encode from the pooled batch; bytes must match.
+		var re []byte
+		if withTS {
+			re, err = AppendInsertAt(nil, seq, uint64(iter), b.Rows, b.Cols, b.Vals)
+		} else {
+			re, err = AppendInsert(nil, seq, b.Rows, b.Cols, b.Vals)
+		}
+		if err != nil {
+			t.Fatalf("iter %d: re-encode: %v", iter, err)
+		}
+		if !bytes.Equal(re, body) {
+			t.Fatalf("iter %d: re-encode not byte-identical", iter)
+		}
+	}
+}
+
+// equalU64 treats nil and empty as equal — the reference parser returns
+// nil slices for empty batches, the pooled one returns truncated scratch.
+func equalU64(a, b []uint64) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// Malformed bodies must leave the pooled batch's scratch intact (so a
+// failed decode cannot leak previous contents into the next success) and
+// must fail with the same classification as the reference.
+func TestPooledInsertDecodeErrorsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	good, err := AppendInsert(nil, 7, []uint64{1, 2}, []uint64{3, 4}, []uint64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	for iter := 0; iter < 500; iter++ {
+		body := append([]byte(nil), good...)
+		body = body[:rng.Intn(len(body))] // truncate at a random point
+		if len(body) > 0 && rng.Intn(2) == 0 {
+			body[rng.Intn(len(body))] ^= 0xFF
+		}
+		_, _, _, _, refErr := ParseInsert(body)
+		_, gotErr := ParseInsertBatch(body, &b)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("iter %d: reference err %v, pooled err %v", iter, refErr, gotErr)
+		}
+		if refErr == nil {
+			// Re-verify the successful decode agrees.
+			_, refRows, _, _, _ := ParseInsert(body)
+			if !equalU64(b.Rows, refRows) {
+				t.Fatalf("iter %d: decode divergence on mutated-but-valid body", iter)
+			}
+		}
+	}
+}

@@ -445,28 +445,81 @@ func AppendInsert(buf []byte, seq uint64, rows, cols, vals []uint64) ([]byte, er
 	return wal.AppendBatchRecord(buf, rows, cols, vals, func(v uint64) uint64 { return v }), nil
 }
 
-// ParseInsert decodes an Insert body. The batch's slice lengths always
-// match; index bounds are the server's to validate.
+// ParseInsert decodes an Insert body into fresh slices. The batch's slice
+// lengths always match; index bounds are the server's to validate. The
+// server's reader loop uses ParseInsertBatch with pooled scratch instead.
 func ParseInsert(body []byte) (seq uint64, rows, cols, vals []uint64, err error) {
-	r := bodyReader{b: body}
-	if seq, err = r.uvarint(); err != nil {
+	var b Batch
+	if seq, err = ParseInsertBatch(body, &b); err != nil {
 		return 0, nil, nil, nil, err
 	}
+	return seq, b.Rows, b.Cols, b.Vals, nil
+}
+
+// Batch is reusable decode scratch for Insert/InsertAt bodies: the three
+// entry slices are overwritten by each ParseInsertBatch/ParseInsertAtBatch
+// call, reusing their capacity. A Batch warmed to the connection's working
+// batch size makes decode allocation-free, which is why the server pools
+// them per connection instead of allocating per frame.
+type Batch struct {
+	Rows, Cols, Vals []uint64
+}
+
+// Len returns the number of entries in the decoded batch.
+func (b *Batch) Len() int { return len(b.Rows) }
+
+// errTruncatedCount is built once: the zero-allocation decode path must
+// not construct error values per failure.
+var errTruncatedCount = fmt.Errorf("%w: truncated batch count", ErrMalformed)
+
+// errOversizeBatch and wrapMalformed live outside the noalloc parse path
+// so their formatting allocations stay off it (errors are not steady
+// state).
+func errOversizeBatch(n uint64) error {
+	return fmt.Errorf("%w: batch of %d entries exceeds %d", ErrMalformed, n, MaxBatch)
+}
+
+func wrapMalformed(err error) error {
+	return fmt.Errorf("%w: %v", ErrMalformed, err)
+}
+
+// ParseInsertBatch decodes an Insert body into b, reusing its capacity.
+// It allocates nothing once b has warmed to the working batch size.
+//
+//hhgb:noalloc
+func ParseInsertBatch(body []byte, b *Batch) (seq uint64, err error) {
+	r := bodyReader{b: body}
+	if seq, err = r.uvarint(); err != nil {
+		return 0, err
+	}
+	return seq, parseBatchBody(body[r.off:], b)
+}
+
+// parseBatchBody decodes the WAL-codec batch record that terminates an
+// Insert/InsertAt body into b's scratch.
+//
+//hhgb:noalloc
+func parseBatchBody(rec []byte, b *Batch) error {
 	// Peek the batch count so an oversized batch errors before the WAL
-	// decoder's (record-bounded, but larger) allocation.
-	n, k := binary.Uvarint(body[r.off:])
+	// decoder's (record-bounded, but larger) scratch growth.
+	n, k := binary.Uvarint(rec)
 	if k <= 0 {
-		return 0, nil, nil, nil, fmt.Errorf("%w: truncated batch count", ErrMalformed)
+		return errTruncatedCount
 	}
 	if n > MaxBatch {
-		return 0, nil, nil, nil, fmt.Errorf("%w: batch of %d entries exceeds %d", ErrMalformed, n, MaxBatch)
+		return errOversizeBatch(n)
 	}
-	rows, cols, vals, err = wal.DecodeBatchRecord(body[r.off:], func(v uint64) uint64 { return v })
+	rows, cols, vals, err := wal.DecodeBatchRecordInto(rec, b.Rows[:0], b.Cols[:0], b.Vals[:0], identU64)
 	if err != nil {
-		return 0, nil, nil, nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		return wrapMalformed(err)
 	}
-	return seq, rows, cols, vals, nil
+	b.Rows, b.Cols, b.Vals = rows, cols, vals
+	return nil
 }
+
+// identU64 is the value codec for uint64 payloads; a named function (not a
+// closure) so taking its value never allocates.
+func identU64(v uint64) uint64 { return v }
 
 // AppendInsertAt builds an InsertAt body: seq, event timestamp (unix
 // nanoseconds; every entry in the frame shares it, so the server routes
@@ -481,27 +534,30 @@ func AppendInsertAt(buf []byte, seq uint64, ts uint64, rows, cols, vals []uint64
 	return wal.AppendBatchRecord(buf, rows, cols, vals, func(v uint64) uint64 { return v }), nil
 }
 
-// ParseInsertAt decodes an InsertAt body.
+// ParseInsertAt decodes an InsertAt body into fresh slices. The server's
+// reader loop uses ParseInsertAtBatch with pooled scratch instead.
 func ParseInsertAt(body []byte) (seq, ts uint64, rows, cols, vals []uint64, err error) {
+	var b Batch
+	if seq, ts, err = ParseInsertAtBatch(body, &b); err != nil {
+		return 0, 0, nil, nil, nil, err
+	}
+	return seq, ts, b.Rows, b.Cols, b.Vals, nil
+}
+
+// ParseInsertAtBatch decodes an InsertAt body into b, reusing its
+// capacity. It allocates nothing once b has warmed to the working batch
+// size.
+//
+//hhgb:noalloc
+func ParseInsertAtBatch(body []byte, b *Batch) (seq, ts uint64, err error) {
 	r := bodyReader{b: body}
 	if seq, err = r.uvarint(); err != nil {
-		return 0, 0, nil, nil, nil, err
+		return 0, 0, err
 	}
 	if ts, err = r.uvarint(); err != nil {
-		return 0, 0, nil, nil, nil, err
+		return 0, 0, err
 	}
-	n, k := binary.Uvarint(body[r.off:])
-	if k <= 0 {
-		return 0, 0, nil, nil, nil, fmt.Errorf("%w: truncated batch count", ErrMalformed)
-	}
-	if n > MaxBatch {
-		return 0, 0, nil, nil, nil, fmt.Errorf("%w: batch of %d entries exceeds %d", ErrMalformed, n, MaxBatch)
-	}
-	rows, cols, vals, err = wal.DecodeBatchRecord(body[r.off:], func(v uint64) uint64 { return v })
-	if err != nil {
-		return 0, 0, nil, nil, nil, fmt.Errorf("%w: %v", ErrMalformed, err)
-	}
-	return seq, ts, rows, cols, vals, nil
+	return seq, ts, parseBatchBody(body[r.off:], b)
 }
 
 // AppendRangeLookup builds a RangeLookup body: a Lookup restricted to the

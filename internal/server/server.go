@@ -84,6 +84,7 @@ import (
 
 	"hhgb"
 	"hhgb/internal/metrics"
+	"hhgb/internal/pool"
 	"hhgb/internal/proto"
 )
 
@@ -143,9 +144,22 @@ type Config struct {
 	SubPatience time.Duration
 }
 
+// batchPoolCap bounds how many idle decode batches the server retains
+// across all connections. Circulation above it falls to the garbage
+// collector; steady traffic recycles well under it.
+const batchPoolCap = 64
+
 // Server accepts proto connections and feeds one Sharded matrix.
 type Server struct {
 	cfg Config
+
+	// batchPool pools the insert decode scratch: the reader borrows a
+	// *proto.Batch per insert frame, decodes into it (reusing capacity),
+	// ownership rides the request through the apply queue, and the
+	// applier returns it once the matrix has copied the entries out — at
+	// ack time, or on whichever error path consumed the request. An
+	// interface so tests can swap in a leak-detecting pool.Checked.
+	batchPool pool.Pool[*proto.Batch]
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -199,7 +213,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SubPatience <= 0 {
 		cfg.SubPatience = DefaultSubPatience
 	}
-	s := &Server{cfg: cfg, conns: make(map[*conn]struct{}), opHist: opHistograms(cfg.Metrics)}
+	s := &Server{
+		cfg:       cfg,
+		conns:     make(map[*conn]struct{}),
+		opHist:    opHistograms(cfg.Metrics),
+		batchPool: pool.New(batchPoolCap, func() *proto.Batch { return new(proto.Batch) }),
+	}
 	registerServerFuncs(s)
 	return s, nil
 }
@@ -388,15 +407,15 @@ func (s *Server) StatsHandler() http.Handler {
 
 // request is one decoded client frame on a connection's apply queue.
 type request struct {
-	kind             byte
-	seq              uint64
-	rows, cols, vals []uint64 // insert, insertAt
-	ts               uint64   // insertAt: event time, unix nanoseconds
-	src, dst         uint64   // lookup, rangeLookup
-	axis             byte     // topk, rangeTopK
-	k                uint64   // topk, rangeTopK
-	t0, t1           uint64   // range queries: event-time bounds
-	level            byte     // subscribe
+	kind     byte
+	seq      uint64
+	batch    *proto.Batch // insert, insertAt: pooled; owner must return it
+	ts       uint64       // insertAt: event time, unix nanoseconds
+	src, dst uint64       // lookup, rangeLookup
+	axis     byte         // topk, rangeTopK
+	k        uint64       // topk, rangeTopK
+	t0, t1   uint64       // range queries: event-time bounds
+	level    byte         // subscribe
 }
 
 // conn is one accepted connection.
@@ -415,6 +434,10 @@ type conn struct {
 
 	queue    chan request
 	draining atomic.Bool
+
+	// ackBuf is the applier's reusable Ack body scratch (see conn.ack);
+	// owned by the applier goroutine exclusively.
+	ackBuf []byte
 
 	// subs are this connection's live window subscriptions; each owns a
 	// pusher goroutine writing WindowSummary frames under wmu. Guarded by
@@ -717,6 +740,28 @@ func (c *conn) startSub(sub *hhgb.WindowSub, seq uint64) {
 	}()
 }
 
+// admitInsert applies the reader-side size and overload policies to one
+// decoded insert batch, answering the refusing error frame itself.
+// false means the frame is dropped (the caller returns the batch).
+func (c *conn) admitInsert(b *proto.Batch, seq uint64) bool {
+	s := c.srv
+	if b.Len() > s.cfg.MaxBatch {
+		c.sendErr(seq, proto.ErrCodeTooLarge,
+			fmt.Sprintf("batch of %d entries exceeds server cap %d", b.Len(), s.cfg.MaxBatch), true)
+		return false
+	}
+	n := int64(b.Len())
+	if s.inFlight.Add(n) > s.cfg.MaxInFlight {
+		s.inFlight.Add(-n)
+		c.overloads.Add(1)
+		s.overloads.Add(1)
+		c.sendErr(seq, proto.ErrCodeOverload,
+			fmt.Sprintf("in-flight entry budget %d exhausted", s.cfg.MaxInFlight), true)
+		return false
+	}
+	return true
+}
+
 // decode turns one frame into a request, applying the overload and size
 // policies that run on the reader (so their error frames can overtake
 // queued work). fatal=true tears the connection down; drop=true skips
@@ -725,47 +770,31 @@ func (c *conn) decode(f proto.Frame) (req request, fatal, drop bool) {
 	s := c.srv
 	switch f.Kind {
 	case proto.KindInsert:
-		seq, rows, cols, vals, err := proto.ParseInsert(f.Body)
+		b := s.batchPool.Get()
+		seq, err := proto.ParseInsertBatch(f.Body, b)
 		if err != nil {
+			s.batchPool.Put(b)
 			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
 			return req, true, false
 		}
-		if len(rows) > s.cfg.MaxBatch {
-			c.sendErr(seq, proto.ErrCodeTooLarge,
-				fmt.Sprintf("batch of %d entries exceeds server cap %d", len(rows), s.cfg.MaxBatch), true)
+		if !c.admitInsert(b, seq) {
+			s.batchPool.Put(b)
 			return req, false, true
 		}
-		n := int64(len(rows))
-		if s.inFlight.Add(n) > s.cfg.MaxInFlight {
-			s.inFlight.Add(-n)
-			c.overloads.Add(1)
-			s.overloads.Add(1)
-			c.sendErr(seq, proto.ErrCodeOverload,
-				fmt.Sprintf("in-flight entry budget %d exhausted", s.cfg.MaxInFlight), true)
-			return req, false, true
-		}
-		return request{kind: f.Kind, seq: seq, rows: rows, cols: cols, vals: vals}, false, false
+		return request{kind: f.Kind, seq: seq, batch: b}, false, false
 	case proto.KindInsertAt:
-		seq, ts, rows, cols, vals, err := proto.ParseInsertAt(f.Body)
+		b := s.batchPool.Get()
+		seq, ts, err := proto.ParseInsertAtBatch(f.Body, b)
 		if err != nil {
+			s.batchPool.Put(b)
 			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
 			return req, true, false
 		}
-		if len(rows) > s.cfg.MaxBatch {
-			c.sendErr(seq, proto.ErrCodeTooLarge,
-				fmt.Sprintf("batch of %d entries exceeds server cap %d", len(rows), s.cfg.MaxBatch), true)
+		if !c.admitInsert(b, seq) {
+			s.batchPool.Put(b)
 			return req, false, true
 		}
-		n := int64(len(rows))
-		if s.inFlight.Add(n) > s.cfg.MaxInFlight {
-			s.inFlight.Add(-n)
-			c.overloads.Add(1)
-			s.overloads.Add(1)
-			c.sendErr(seq, proto.ErrCodeOverload,
-				fmt.Sprintf("in-flight entry budget %d exhausted", s.cfg.MaxInFlight), true)
-			return req, false, true
-		}
-		return request{kind: f.Kind, seq: seq, ts: ts, rows: rows, cols: cols, vals: vals}, false, false
+		return request{kind: f.Kind, seq: seq, ts: ts, batch: b}, false, false
 	case proto.KindFlush, proto.KindCheckpoint, proto.KindSummary, proto.KindGoodbye:
 		seq, err := proto.ParseSeq(f.Body)
 		if err != nil {
@@ -856,9 +885,11 @@ func (c *conn) apply(app *hhgb.Appender) {
 		var err error
 		switch req.kind {
 		case proto.KindInsert:
-			n := int64(len(req.rows))
+			b := req.batch
+			n := int64(b.Len())
 			if wm != nil {
 				s.inFlight.Add(-n)
+				s.batchPool.Put(b)
 				err = reject(req.seq, "server is windowed; use timestamped inserts (InsertAt)")
 				break
 			}
@@ -867,11 +898,15 @@ func (c *conn) apply(app *hhgb.Appender) {
 				ierr error
 			)
 			if c.session != "" {
-				dup, ierr = m.AppendWeightedSession(c.session, req.seq, req.rows, req.cols, req.vals)
+				dup, ierr = m.AppendWeightedSession(c.session, req.seq, b.Rows, b.Cols, b.Vals)
 			} else {
-				ierr = app.AppendWeighted(req.rows, req.cols, req.vals)
+				ierr = app.AppendWeighted(b.Rows, b.Cols, b.Vals)
 			}
 			s.inFlight.Add(-n)
+			// The matrix copied the entries out (or refused the batch);
+			// either way the scratch is dead — recycle it before writing
+			// the response.
+			s.batchPool.Put(b)
 			if ierr != nil {
 				code := proto.ErrCodeRejected
 				if errors.Is(ierr, hhgb.ErrClosed) {
@@ -885,18 +920,20 @@ func (c *conn) apply(app *hhgb.Appender) {
 				// A retransmit of an already-accepted frame: ack it (the
 				// client is waiting for exactly this) without re-applying.
 				s.dupsDropped.Add(1)
-				err = c.send(proto.KindAck, proto.AppendSeq(nil, req.seq), flush)
+				err = c.ack(req.seq, flush)
 				break
 			}
 			c.batches.Add(1)
 			c.entries.Add(n)
 			s.batches.Add(1)
 			s.entries.Add(n)
-			err = c.send(proto.KindAck, proto.AppendSeq(nil, req.seq), flush)
+			err = c.ack(req.seq, flush)
 		case proto.KindInsertAt:
-			n := int64(len(req.rows))
+			b := req.batch
+			n := int64(b.Len())
 			if wm == nil {
 				s.inFlight.Add(-n)
+				s.batchPool.Put(b)
 				err = reject(req.seq, "server is not windowed; use plain inserts")
 				break
 			}
@@ -907,11 +944,12 @@ func (c *conn) apply(app *hhgb.Appender) {
 			if req.ts > math.MaxInt64 {
 				ierr = fmt.Errorf("timestamp %d overflows", req.ts)
 			} else if c.session != "" {
-				dup, ierr = wm.AppendWeightedAtSession(c.session, req.seq, time.Unix(0, int64(req.ts)), req.rows, req.cols, req.vals)
+				dup, ierr = wm.AppendWeightedAtSession(c.session, req.seq, time.Unix(0, int64(req.ts)), b.Rows, b.Cols, b.Vals)
 			} else {
-				ierr = wm.AppendWeighted(time.Unix(0, int64(req.ts)), req.rows, req.cols, req.vals)
+				ierr = wm.AppendWeighted(time.Unix(0, int64(req.ts)), b.Rows, b.Cols, b.Vals)
 			}
 			s.inFlight.Add(-n)
+			s.batchPool.Put(b)
 			if ierr != nil {
 				code := proto.ErrCodeRejected
 				if errors.Is(ierr, hhgb.ErrClosed) {
@@ -923,14 +961,14 @@ func (c *conn) apply(app *hhgb.Appender) {
 			}
 			if dup {
 				s.dupsDropped.Add(1)
-				err = c.send(proto.KindAck, proto.AppendSeq(nil, req.seq), flush)
+				err = c.ack(req.seq, flush)
 				break
 			}
 			c.batches.Add(1)
 			c.entries.Add(n)
 			s.batches.Add(1)
 			s.entries.Add(n)
-			err = c.send(proto.KindAck, proto.AppendSeq(nil, req.seq), flush)
+			err = c.ack(req.seq, flush)
 		case proto.KindFlush:
 			s.flushes.Add(1)
 			if wm != nil {
@@ -1090,7 +1128,7 @@ func (c *conn) apply(app *hhgb.Appender) {
 			s.subscriptions.Add(1)
 			// Ack first (under program order), then start the pusher:
 			// every summary the client sees follows its subscribe ack.
-			err = c.send(proto.KindAck, proto.AppendSeq(nil, req.seq), true)
+			err = c.ack(req.seq, true)
 			if err != nil {
 				sub.Close()
 				break
@@ -1112,6 +1150,14 @@ func (c *conn) apply(app *hhgb.Appender) {
 	c.flushWriter()
 }
 
+// ack writes an Ack frame for seq, reusing the applier-owned scratch
+// buffer — the per-frame body allocation this avoids is the last one on
+// the steady-state ack path. Only the applier goroutine may call it.
+func (c *conn) ack(seq uint64, flush bool) error {
+	c.ackBuf = proto.AppendSeq(c.ackBuf[:0], seq)
+	return c.send(proto.KindAck, c.ackBuf, flush)
+}
+
 // ackOp acks a flush/checkpoint-style op, or reports its failure.
 func (c *conn) ackOp(seq uint64, opErr error, flush bool) error {
 	if opErr != nil {
@@ -1124,15 +1170,17 @@ func (c *conn) ackOp(seq uint64, opErr error, flush bool) error {
 		}
 		return c.sendErr(seq, code, opErr.Error(), true)
 	}
-	return c.send(proto.KindAck, proto.AppendSeq(nil, seq), flush)
+	return c.ack(seq, flush)
 }
 
 // drainQuietly consumes the rest of the queue after the write side failed,
-// releasing the in-flight budget without applying anything further.
+// releasing the in-flight budget (and the pooled batches) without applying
+// anything further.
 func (c *conn) drainQuietly() {
 	for req := range c.queue {
-		if req.kind == proto.KindInsert || req.kind == proto.KindInsertAt {
-			c.srv.inFlight.Add(-int64(len(req.rows)))
+		if req.batch != nil {
+			c.srv.inFlight.Add(-int64(req.batch.Len()))
+			c.srv.batchPool.Put(req.batch)
 		}
 	}
 }

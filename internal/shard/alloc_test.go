@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"testing"
+
+	"hhgb/internal/gb"
+	"hhgb/internal/hier"
+)
+
+// The append stage — Appender.append partitioning a validated batch into
+// slab-backed shard buffers — is the producer-side per-entry hot path and
+// must not allocate once each shard's buffer is slab-backed.
+//
+// Measurement note: AllocsPerRun counts process-global mallocs, so the
+// shard workers must stay idle while the loop runs. The test forces that
+// by choosing a Handoff far larger than everything the loop appends: no
+// buffer ever reaches the handoff size, so no message is sent and the
+// workers stay parked on their queues.
+func TestAllocBudgetAppenderAppend(t *testing.T) {
+	const (
+		handoff = 1 << 16
+		batch   = 256
+		runs    = 100
+	)
+	g, err := NewGroup[float64](1<<20, 1<<20, Config{
+		Shards:  4,
+		Handoff: handoff,
+		Hier:    hier.Config{Cuts: nil},
+	})
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	defer g.Close()
+
+	a, err := g.NewAppender()
+	if err != nil {
+		t.Fatalf("NewAppender: %v", err)
+	}
+	rows := make([]gb.Index, batch)
+	cols := make([]gb.Index, batch)
+	vals := make([]float64, batch)
+	for i := range rows {
+		rows[i] = gb.Index(i * 2654435761 % (1 << 20))
+		cols[i] = gb.Index(i * 40503 % (1 << 20))
+		vals[i] = 1
+	}
+	// Warm-up: attach a slab to every shard the batch touches. The loop
+	// appends runs×batch entries per shard at most, far under handoff, so
+	// no handoff (and no worker wake-up) happens inside the measurement.
+	if err := a.Append(rows, cols, vals); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if runs*batch >= handoff {
+		t.Fatalf("measurement would overflow the handoff buffer: %d >= %d", runs*batch, handoff)
+	}
+	allocs := testing.AllocsPerRun(runs, func() {
+		if err := a.Append(rows, cols, vals); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Appender.Append allocates %.1f/op, budget is 0", allocs)
+	}
+}
+
+// Single-shard groups take the bulk-copy branch of append; pin it too.
+func TestAllocBudgetAppenderAppendSingleShard(t *testing.T) {
+	g, err := NewGroup[float64](1<<20, 1<<20, Config{
+		Shards:  1,
+		Handoff: 1 << 16,
+		Hier:    hier.Config{Cuts: nil},
+	})
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	defer g.Close()
+	a, err := g.NewAppender()
+	if err != nil {
+		t.Fatalf("NewAppender: %v", err)
+	}
+	rows := make([]gb.Index, 256)
+	cols := make([]gb.Index, 256)
+	vals := make([]float64, 256)
+	for i := range rows {
+		rows[i], cols[i], vals[i] = gb.Index(i), gb.Index(i+1), 1
+	}
+	if err := a.Append(rows, cols, vals); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := a.Append(rows, cols, vals); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm single-shard Append allocates %.1f/op, budget is 0", allocs)
+	}
+}

@@ -80,6 +80,12 @@ func (a *Appender[T]) Append(rows, cols []gb.Index, vals []T) error {
 // append partitions a validated batch into the buffers. It requires g.mu
 // held (shared by the owning producer, exclusive by barriers) and the
 // appender to be exclusively owned for the duration of the call.
+//
+// This is the per-entry ingest hot path: buffer backing comes from the
+// group's slab free-list (attachSlab), so once the list is warm the loop
+// is one hash and three appends per entry with no allocation sites.
+//
+//hhgb:noalloc
 func (a *Appender[T]) append(rows, cols []gb.Index, vals []T) {
 	if len(a.rows) == 1 {
 		// Single shard: bulk-copy in handoff-sized chunks, no hashing.
@@ -88,6 +94,9 @@ func (a *Appender[T]) append(rows, cols []gb.Index, vals []T) {
 		// durable worker frames from it — by the handoff size, matching
 		// the per-entry bound of the multi-shard path.
 		for len(rows) > 0 {
+			if a.rows[0] == nil {
+				a.attachSlab(0)
+			}
 			n := a.handoff - len(a.rows[0])
 			if n > len(rows) {
 				n = len(rows)
@@ -105,9 +114,7 @@ func (a *Appender[T]) append(rows, cols []gb.Index, vals []T) {
 	for i := range rows {
 		sh := a.g.shardOf(rows[i], cols[i])
 		if a.rows[sh] == nil {
-			a.rows[sh] = make([]gb.Index, 0, a.handoff)
-			a.cols[sh] = make([]gb.Index, 0, a.handoff)
-			a.vals[sh] = make([]T, 0, a.handoff)
+			a.attachSlab(sh)
 		}
 		a.rows[sh] = append(a.rows[sh], rows[i])
 		a.cols[sh] = append(a.cols[sh], cols[i])
@@ -118,9 +125,18 @@ func (a *Appender[T]) append(rows, cols []gb.Index, vals []T) {
 	}
 }
 
+// attachSlab backs shard sh's empty buffer with a slab from the group's
+// free-list — recycled from a worker when the list is warm, freshly
+// allocated only while it is not.
+func (a *Appender[T]) attachSlab(sh int) {
+	s := a.g.getSlab()
+	a.rows[sh], a.cols[sh], a.vals[sh] = s.rows, s.cols, s.vals
+}
+
 // handoffShard moves one shard's buffer onto its queue, transferring
-// ownership of the backing arrays to the worker, and leaves an empty
-// buffer behind (reallocated lazily on next use). Requires g.mu held.
+// ownership of the backing arrays to the worker (who recycles them onto
+// the slab free-list after applying), and leaves an empty buffer behind
+// (re-backed from the free-list on next use). Requires g.mu held.
 func (a *Appender[T]) handoffShard(sh int) {
 	a.g.workers[sh].in <- msg[T]{rows: a.rows[sh], cols: a.cols[sh], vals: a.vals[sh]}
 	a.rows[sh] = nil

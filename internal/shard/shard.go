@@ -107,6 +107,12 @@ type worker[T gb.Number] struct {
 	met *Metrics
 	err error // first ingest error; owned by the worker goroutine
 
+	// slabs is the group's slab free-list: the worker recycles each data
+	// message's buffers here once Update has copied the entries out, which
+	// is what closes the appender → queue → worker → appender loop and
+	// makes steady-state ingest allocation-free.
+	slabs chan slab[T]
+
 	// sessions is the shard's exactly-once high-water table: per client
 	// session, the highest frame seq whose portion this shard has applied
 	// (and, durable groups, logged — the WAL journals the key alongside
@@ -127,39 +133,52 @@ func (w *worker[T]) loop(wg *sync.WaitGroup) {
 			close(msg.done)
 			continue
 		}
-		if w.err != nil {
-			continue // sticky: drop buffers after the first failure
+		w.ingest(msg)
+		// The buffers are dead on every path out of ingest — dropped,
+		// dedup-skipped, or copied into the cascade's pending staging —
+		// so recycle them for the next producer handoff.
+		if msg.rows != nil {
+			putSlab(w.slabs, slab[T]{rows: msg.rows[:0], cols: msg.cols[:0], vals: msg.vals[:0]})
 		}
-		// Exactly-once dedup: a sessioned buffer at or below this shard's
-		// high-water mark has already been logged and applied here — a
-		// retransmission after a reconnect or a crash on another shard —
-		// and is dropped whole, before the log sees it again.
-		if msg.sess != "" && msg.seq <= w.sessions[msg.sess] {
-			continue
+	}
+}
+
+// ingest applies one data message: exactly-once dedup, WAL logging,
+// cascade update, session high-water advance. The message's buffers are
+// consumed (copied out) by the time it returns.
+func (w *worker[T]) ingest(msg msg[T]) {
+	if w.err != nil {
+		return // sticky: drop buffers after the first failure
+	}
+	// Exactly-once dedup: a sessioned buffer at or below this shard's
+	// high-water mark has already been logged and applied here — a
+	// retransmission after a reconnect or a crash on another shard —
+	// and is dropped whole, before the log sees it again.
+	if msg.sess != "" && msg.seq <= w.sessions[msg.sess] {
+		return
+	}
+	// Log before applying (the WAL convention). A crash between the
+	// two replays the batch on recovery; the reverse order could not
+	// lose anything either (the loop is sequential, so an unlogged
+	// applied batch is always the last work the shard ever did), but
+	// log-first keeps "in the log" ⊇ "in the matrix" at every instant.
+	if w.log != nil {
+		if err := w.log.logBatch(msg.sess, msg.seq, msg.rows, msg.cols, msg.vals); err != nil {
+			w.err = fmt.Errorf("wal: %w", err)
+			return
 		}
-		// Log before applying (the WAL convention). A crash between the
-		// two replays the batch on recovery; the reverse order could not
-		// lose anything either (the loop is sequential, so an unlogged
-		// applied batch is always the last work the shard ever did), but
-		// log-first keeps "in the log" ⊇ "in the matrix" at every instant.
-		if w.log != nil {
-			if err := w.log.logBatch(msg.sess, msg.seq, msg.rows, msg.cols, msg.vals); err != nil {
-				w.err = fmt.Errorf("wal: %w", err)
-				continue
-			}
+	}
+	w.cache = shardCache[T]{} // this shard's reductions are stale now
+	w.err = w.m.Update(msg.rows, msg.cols, msg.vals)
+	if w.err == nil {
+		w.met.BatchesApplied.Inc()
+		w.met.EntriesApplied.Add(uint64(len(msg.rows)))
+	}
+	if w.err == nil && msg.sess != "" {
+		if w.sessions == nil {
+			w.sessions = make(map[string]uint64)
 		}
-		w.cache = shardCache[T]{} // this shard's reductions are stale now
-		w.err = w.m.Update(msg.rows, msg.cols, msg.vals)
-		if w.err == nil {
-			w.met.BatchesApplied.Inc()
-			w.met.EntriesApplied.Add(uint64(len(msg.rows)))
-		}
-		if w.err == nil && msg.sess != "" {
-			if w.sessions == nil {
-				w.sessions = make(map[string]uint64)
-			}
-			w.sessions[msg.sess] = msg.seq
-		}
+		w.sessions[msg.sess] = msg.seq
 	}
 }
 
@@ -176,6 +195,12 @@ type Group[T gb.Number] struct {
 	cfg          Config
 	workers      []*worker[T]
 	wg           sync.WaitGroup
+
+	// slabs and parts are the ingest free-lists (see slab.go): handoff
+	// buffers circulating producer → queue → worker → producer, and
+	// UpdateSession's per-call partition headers.
+	slabs chan slab[T]
+	parts chan *partScratch[T]
 
 	// mu is the producer/barrier lock: Update and Appender.Append hold it
 	// shared while partitioning into buffers and sending on the shard
@@ -277,7 +302,11 @@ func NewGroup[T gb.Number](nrows, ncols gb.Index, cfg Config) (*Group[T], error)
 // non-nil, supplies recovered per-shard matrices (len must equal
 // cfg.Shards); nil builds empty cascades. cfg must already be resolved.
 func buildGroup[T gb.Number](nrows, ncols gb.Index, cfg Config, ms []*hier.Matrix[T]) (*Group[T], error) {
-	g := &Group[T]{nrows: nrows, ncols: ncols, cfg: cfg, codec: defaultCodec[T]()}
+	g := &Group[T]{
+		nrows: nrows, ncols: ncols, cfg: cfg, codec: defaultCodec[T](),
+		slabs: newSlabList[T](cfg),
+		parts: make(chan *partScratch[T], 4),
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		m := (*hier.Matrix[T])(nil)
 		if ms != nil {
@@ -290,9 +319,10 @@ func buildGroup[T gb.Number](nrows, ncols gb.Index, cfg Config, ms []*hier.Matri
 			}
 		}
 		g.workers = append(g.workers, &worker[T]{
-			in:  make(chan msg[T], cfg.Depth),
-			m:   m,
-			met: cfg.Metrics,
+			in:    make(chan msg[T], cfg.Depth),
+			m:     m,
+			met:   cfg.Metrics,
+			slabs: g.slabs,
 		})
 	}
 	// 2x GOMAXPROCS stripes: enough that round-robin rarely lands two
@@ -459,25 +489,32 @@ func (g *Group[T]) UpdateSession(session string, seq uint64, rows, cols []gb.Ind
 		return false, ErrClosed
 	}
 	if len(rows) > 0 {
-		n := len(g.workers)
-		prows := make([][]gb.Index, n)
-		pcols := make([][]gb.Index, n)
-		pvals := make([][]T, n)
+		// Partition into recycled slabs through a recycled header scratch:
+		// the steady-state session path allocates nothing. Each non-empty
+		// partition's slab ownership transfers to its worker, which
+		// recycles it after applying; the header scratch is returned here.
+		p := g.getParts()
 		for k := range rows {
 			s := g.shardOf(rows[k], cols[k])
-			prows[s] = append(prows[s], rows[k])
-			pcols[s] = append(pcols[s], cols[k])
-			pvals[s] = append(pvals[s], vals[k])
+			if p.rows[s] == nil {
+				sl := g.getSlab()
+				p.rows[s], p.cols[s], p.vals[s] = sl.rows, sl.cols, sl.vals
+			}
+			p.rows[s] = append(p.rows[s], rows[k])
+			p.cols[s] = append(p.cols[s], cols[k])
+			p.vals[s] = append(p.vals[s], vals[k])
 		}
-		for s := 0; s < n; s++ {
-			if len(prows[s]) == 0 {
+		for s := range g.workers {
+			if p.rows[s] == nil {
 				continue
 			}
 			g.workers[s].in <- msg[T]{
-				rows: prows[s], cols: pcols[s], vals: pvals[s],
+				rows: p.rows[s], cols: p.cols[s], vals: p.vals[s],
 				sess: session, seq: seq,
 			}
+			p.rows[s], p.cols[s], p.vals[s] = nil, nil, nil
 		}
+		g.putParts(p)
 	}
 	g.mu.RUnlock()
 	// Advance only after every shard took its slice: enqueueing cannot

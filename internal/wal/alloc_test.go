@@ -1,0 +1,61 @@
+package wal
+
+import (
+	"math"
+	"testing"
+
+	"hhgb/internal/gb"
+)
+
+// The WAL encode stage runs on every durable worker's apply path: a batch
+// is framed into a retained record buffer before Append. Encode must not
+// allocate once the buffer has warmed to the working batch size, and the
+// streaming decode (recovery, network ingest replay) must fill retained
+// scratch without allocating either. Both budgets are pinned at zero.
+
+func allocBatch(n int) (rows, cols []gb.Index, vals []float64) {
+	rows = make([]gb.Index, n)
+	cols = make([]gb.Index, n)
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = gb.Index(i * 3)
+		cols[i] = gb.Index(i*5 + 1)
+		vals[i] = float64(i) + 0.25
+	}
+	return rows, cols, vals
+}
+
+func TestAllocBudgetAppendBatchRecord(t *testing.T) {
+	rows, cols, vals := allocBatch(256)
+	buf := AppendBatchRecord(nil, rows, cols, vals, math.Float64bits) // warm capacity
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendBatchRecord(buf[:0], rows, cols, vals, math.Float64bits)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AppendBatchRecord allocates %.1f/op, budget is 0", allocs)
+	}
+}
+
+func TestAllocBudgetDecodeBatchRecordInto(t *testing.T) {
+	rows, cols, vals := allocBatch(256)
+	rec := AppendBatchRecord(nil, rows, cols, vals, math.Float64bits)
+	var dr, dc []gb.Index
+	var dv []float64
+	var err error
+	dr, dc, dv, err = DecodeBatchRecordInto(rec, dr, dc, dv, math.Float64frombits) // warm scratch
+	if err != nil {
+		t.Fatalf("DecodeBatchRecordInto: %v", err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		dr, dc, dv, err = DecodeBatchRecordInto(rec, dr[:0], dc[:0], dv[:0], math.Float64frombits)
+		if err != nil {
+			t.Fatalf("DecodeBatchRecordInto: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm DecodeBatchRecordInto allocates %.1f/op, budget is 0", allocs)
+	}
+	if len(dr) != 256 || dr[255] != rows[255] || dv[255] != vals[255] {
+		t.Fatalf("decode mismatch after alloc run")
+	}
+}

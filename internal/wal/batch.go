@@ -37,56 +37,91 @@ func AppendBatchRecord[T gb.Number](buf []byte, rows, cols []gb.Index, vals []T,
 	return buf
 }
 
+// Decode errors are constructed once at package init: the zero-allocation
+// decode path must not build error values per failure, and callers only
+// ever errors.Is against gb.ErrInvalidValue anyway.
+var (
+	errBadBatchLen    = fmt.Errorf("%w: wal record: bad batch length", gb.ErrInvalidValue)
+	errBatchTooLong   = fmt.Errorf("%w: wal record: batch length exceeds record", gb.ErrInvalidValue)
+	errTruncatedField = fmt.Errorf("%w: wal record: truncated field", gb.ErrInvalidValue)
+	errTrailingBytes  = fmt.Errorf("%w: wal record: trailing bytes", gb.ErrInvalidValue)
+)
+
 // DecodeBatchRecord parses a record produced by AppendBatchRecord. The
 // record must be exactly one batch — trailing bytes are an error — and a
 // corrupt length prefix can never demand more memory than the record could
-// hold.
+// hold. It allocates fresh output slices; the streaming hot path uses
+// DecodeBatchRecordInto with retained scratch instead.
 func DecodeBatchRecord[T gb.Number](rec []byte, get func(uint64) T) (rows, cols []gb.Index, vals []T, err error) {
-	n, k := binary.Uvarint(rec)
+	return DecodeBatchRecordInto(rec, nil, nil, nil, get)
+}
+
+// DecodeBatchRecordInto parses a record produced by AppendBatchRecord into
+// the provided scratch slices, reusing their capacity (contents are
+// overwritten; lengths are reset). It returns the filled slices — which
+// alias the scratch when capacity sufficed — and allocates nothing once
+// the scratch has warmed to the working batch size.
+//
+//hhgb:noalloc
+func DecodeBatchRecordInto[T gb.Number](rec []byte, rows, cols []gb.Index, vals []T, get func(uint64) T) ([]gb.Index, []gb.Index, []T, error) {
+	n64, k := binary.Uvarint(rec)
 	if k <= 0 {
-		return nil, nil, nil, fmt.Errorf("%w: wal record: bad batch length", gb.ErrInvalidValue)
+		return nil, nil, nil, errBadBatchLen
 	}
-	off := k
 	// Each entry needs >=3 bytes (one per field); bound n before the
-	// three n-element allocations so a corrupt count can't demand
+	// three n-element (re)allocations so a corrupt count can't demand
 	// gigabytes ahead of the truncated-field error it would hit anyway.
-	if n > uint64(len(rec)-k)/3 {
-		return nil, nil, nil, fmt.Errorf("%w: wal record: batch length %d exceeds record", gb.ErrInvalidValue, n)
+	if n64 > uint64(len(rec)-k)/3 {
+		return nil, nil, nil, errBatchTooLong
 	}
-	next := func() (uint64, error) {
-		v, k := binary.Uvarint(rec[off:])
-		if k <= 0 {
-			return 0, fmt.Errorf("%w: wal record: truncated field", gb.ErrInvalidValue)
-		}
-		off += k
-		return v, nil
+	n := int(n64)
+	if cap(rows) < n || cap(cols) < n || cap(vals) < n {
+		rows, cols, vals = growBatchScratch(rows, cols, vals, n)
 	}
-	rows = make([]gb.Index, n)
-	cols = make([]gb.Index, n)
-	vals = make([]T, n)
-	for i := range rows {
-		v, err := next()
-		if err != nil {
-			return nil, nil, nil, err
+	rows, cols, vals = rows[:n], cols[:n], vals[:n]
+	off := k
+	for i := 0; i < n; i++ {
+		v, w := binary.Uvarint(rec[off:])
+		if w <= 0 {
+			return nil, nil, nil, errTruncatedField
 		}
+		off += w
 		rows[i] = gb.Index(v)
 	}
-	for i := range cols {
-		v, err := next()
-		if err != nil {
-			return nil, nil, nil, err
+	for i := 0; i < n; i++ {
+		v, w := binary.Uvarint(rec[off:])
+		if w <= 0 {
+			return nil, nil, nil, errTruncatedField
 		}
+		off += w
 		cols[i] = gb.Index(v)
 	}
-	for i := range vals {
-		v, err := next()
-		if err != nil {
-			return nil, nil, nil, err
+	for i := 0; i < n; i++ {
+		v, w := binary.Uvarint(rec[off:])
+		if w <= 0 {
+			return nil, nil, nil, errTruncatedField
 		}
+		off += w
 		vals[i] = get(v)
 	}
 	if off != len(rec) {
-		return nil, nil, nil, fmt.Errorf("%w: wal record: %d trailing bytes", gb.ErrInvalidValue, len(rec)-off)
+		return nil, nil, nil, errTrailingBytes
 	}
 	return rows, cols, vals, nil
+}
+
+// growBatchScratch replaces any of the three scratch slices whose capacity
+// is below n, keeping DecodeBatchRecordInto itself free of allocation
+// sites. Old contents are not preserved — decode overwrites everything.
+func growBatchScratch[T gb.Number](rows, cols []gb.Index, vals []T, n int) ([]gb.Index, []gb.Index, []T) {
+	if cap(rows) < n {
+		rows = make([]gb.Index, n)
+	}
+	if cap(cols) < n {
+		cols = make([]gb.Index, n)
+	}
+	if cap(vals) < n {
+		vals = make([]T, n)
+	}
+	return rows, cols, vals
 }

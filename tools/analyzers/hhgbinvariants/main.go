@@ -1,5 +1,5 @@
-// Command hhgbinvariants is a vet tool enforcing two repo invariants that
-// the type system cannot express:
+// Command hhgbinvariants is a vet tool enforcing three repo invariants
+// that the type system cannot express:
 //
 //   - timenow: the window engine (any package whose import path ends in
 //     internal/window) is event-time only. Wall-clock reads — time.Now,
@@ -12,6 +12,17 @@
 //     that owns the group-commit barrier: the wal package itself and
 //     internal/shard/durable.go. Any other caller could reorder appends
 //     against the fsync barrier and silently break crash durability.
+//
+//   - hotalloc: a function marked with a //hhgb:noalloc directive is on
+//     the ingest hot path and guarded by a testing.AllocsPerRun budget of
+//     zero. Its body must contain no allocation sites the budget tests
+//     could only catch at run time: no make or new, no heap-escaping
+//     &composite literals, no closures, no append whose result lands in a
+//     different variable (a guaranteed fresh backing array, where
+//     self-append is the amortized-reuse idiom), and no interface boxing
+//     of concrete arguments at call sites. The check is intra-procedural:
+//     growth paths live in unmarked helpers, which is exactly the
+//     structure the budgets enforce dynamically.
 //
 // Test files are exempt: the invariants guard production write paths and
 // event-time purity, not test scaffolding.
@@ -29,6 +40,7 @@
 package main
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -155,14 +167,25 @@ func run(cfgPath string) ([]string, error) {
 			}
 		}
 	}
-	if !checkTime && !checkWAL {
+	// The hotalloc check applies wherever the marker appears; a raw byte
+	// scan decides before paying for parse and typecheck. Only fully
+	// vetted packages reach this point (dependencies exit at VetxOnly),
+	// so the scan touches just the packages under vet.
+	checkAlloc := false
+	for _, name := range cfg.GoFiles {
+		if data, err := os.ReadFile(name); err == nil && bytes.Contains(data, []byte(noallocDirective)) {
+			checkAlloc = true
+			break
+		}
+	}
+	if !checkTime && !checkWAL && !checkAlloc {
 		return nil, nil
 	}
 
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
-		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution|parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
 				return nil, nil
@@ -199,6 +222,7 @@ func run(cfgPath string) ([]string, error) {
 		tcfg.GoVersion = cfg.GoVersion
 	}
 	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
@@ -224,8 +248,131 @@ func run(cfgPath string) ([]string, error) {
 		if checkWAL && !(pathHasSuffix(pkgPath, shardSuffix) && base == "durable.go") {
 			checkWALWrite(f, info, report)
 		}
+		if checkAlloc {
+			checkHotAlloc(f, info, report)
+		}
 	}
 	return diags, nil
+}
+
+// noallocDirective marks a function whose body must be allocation-free.
+const noallocDirective = "//hhgb:noalloc"
+
+// checkHotAlloc flags allocation sites inside //hhgb:noalloc functions.
+func checkHotAlloc(f *ast.File, info *types.Info, report func(token.Pos, string, ...any)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !hasNoAllocDirective(fd.Doc) {
+			continue
+		}
+		checkNoAllocBody(fd.Body, info, report)
+	}
+}
+
+func hasNoAllocDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == noallocDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNoAllocBody(body *ast.BlockStmt, info *types.Info, report func(token.Pos, string, ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					if name := b.Name(); name == "make" || name == "new" {
+						report(n.Pos(), "%s in a %s function: take the buffer from retained scratch or a free-list instead", name, noallocDirective)
+					}
+					return true
+				}
+			}
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			checkBoxedArgs(n, info, report)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "heap-escaping &composite literal in a %s function", noallocDirective)
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "closure in a %s function allocates its context: use a named function", noallocDirective)
+			return false // the closure body has its own (unmarked) budget
+		case *ast.AssignStmt:
+			checkAppendTargets(n, info, report)
+		}
+		return true
+	})
+}
+
+// checkAppendTargets flags append results assigned to a variable other
+// than the one appended to: `x = append(y, ...)` with x != y is a
+// guaranteed fresh backing array, where `x = append(x, ...)` only grows
+// on capacity misses — the amortized-reuse idiom the budgets allow.
+func checkAppendTargets(n *ast.AssignStmt, info *types.Info, report func(token.Pos, string, ...any)) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, rhs := range n.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if types.ExprString(n.Lhs[i]) != types.ExprString(call.Args[0]) {
+			report(call.Pos(), "append result assigned to a different variable in a %s function: this always allocates a fresh backing array", noallocDirective)
+		}
+	}
+}
+
+// checkBoxedArgs flags concrete values passed to interface parameters —
+// every such conversion may heap-allocate the boxed copy. Interface-typed
+// arguments (an error forwarded to an error parameter) pass unflagged.
+func checkBoxedArgs(call *ast.CallExpr, info *types.Info, report func(token.Pos, string, ...any)) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // slice passed whole
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg]
+		if at.Type == nil || types.IsInterface(at.Type) || at.IsNil() {
+			continue
+		}
+		report(arg.Pos(), "concrete %s boxed into interface parameter in a %s function", at.Type, noallocDirective)
+	}
 }
 
 // checkTimeNow flags wall-clock reads in window-engine code.
