@@ -15,6 +15,13 @@
 // connection count in their extras. The paper's aggregate-rate framing
 // (inserts/s vs producers) maps directly: connections are the network
 // analogue of ingest processes.
+//
+// Unless -latency-out is empty, a second sweep traces every insert frame
+// (server-side span sampling at rate 1) against a durable sessioned
+// server and writes BENCH_latency.json: per pipeline stage (decode,
+// queue, partition, ack, shard_wait, wal, apply, total) and connection
+// count, the p50 and p99 frame latency from the
+// hhgb_server_ingest_stage_seconds histograms.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -30,6 +38,7 @@ import (
 	"hhgb"
 	"hhgb/hhgbclient"
 	"hhgb/internal/bench"
+	"hhgb/internal/flight"
 	"hhgb/internal/powerlaw"
 	"hhgb/internal/server"
 )
@@ -46,6 +55,7 @@ func main() {
 		batch       = flag.Int("batch", 4096, "entries per insert frame in batched mode")
 		seed        = flag.Uint64("seed", 1, "workload seed")
 		out         = flag.String("out", "BENCH_net.json", "trajectory output file")
+		latencyOut  = flag.String("latency-out", "BENCH_latency.json", "per-stage latency trajectory output (empty = skip the latency sweep)")
 	)
 	flag.Parse()
 	if *singleEdges <= 0 {
@@ -58,7 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := run(*edges, *singleEdges, *scale, *shards, connCounts, *batch, *seed, *out); err != nil {
+	if err := run(*edges, *singleEdges, *scale, *shards, connCounts, *batch, *seed, *out, *latencyOut); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -75,7 +85,7 @@ func parseConns(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(edges, singleEdges, scale, shards int, connCounts []int, batch int, seed uint64, out string) error {
+func run(edges, singleEdges, scale, shards int, connCounts []int, batch int, seed uint64, out, latencyOut string) error {
 	traj := bench.NewTrajectory("net", "inserts/s")
 	traj.Meta = map[string]string{
 		"edges":        fmt.Sprint(edges),
@@ -109,7 +119,174 @@ func run(edges, singleEdges, scale, shards int, connCounts []int, batch int, see
 		return err
 	}
 	log.Printf("wrote %s (%d points)", out, len(traj.Points))
+	if latencyOut != "" {
+		if err := latencySweep(singleEdges, scale, shards, connCounts, batch, seed, latencyOut); err != nil {
+			return fmt.Errorf("latency sweep: %w", err)
+		}
+	}
 	return nil
+}
+
+// latencySweep measures where ingest latency goes: a durable sessioned
+// server traces EVERY insert frame (sample rate 1) into the per-stage
+// histograms, and the artifact reports each stage's p50/p99 per
+// connection count. Durability is on so the wal stage is real; edge
+// counts follow the single-frame budget — quantiles need thousands of
+// frames, not millions of edges.
+func latencySweep(edges, scale, shards int, connCounts []int, batch int, seed uint64, out string) error {
+	traj := bench.NewTrajectory("net_latency", "seconds")
+	traj.Meta = map[string]string{
+		"edges": fmt.Sprint(edges),
+		"scale": fmt.Sprint(scale),
+		"batch": fmt.Sprint(batch),
+	}
+	for _, conns := range connCounts {
+		stages, err := latencyPoint(edges, scale, shards, conns, batch, seed)
+		if err != nil {
+			return fmt.Errorf("conns=%d: %w", conns, err)
+		}
+		for _, st := range stages {
+			label := fmt.Sprintf("%s/conns=%d", st.name, conns)
+			traj.AddPoint(label, float64(conns), st.p99, map[string]float64{
+				"p50":    st.p50,
+				"frames": float64(st.count),
+			})
+			log.Printf("%-22s p50 %9.1fus  p99 %9.1fus  (%d frames)",
+				label, st.p50*1e6, st.p99*1e6, st.count)
+		}
+	}
+	if err := traj.WriteFile(out); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (%d points)", out, len(traj.Points))
+	return nil
+}
+
+// stageStat is one stage's latency distribution summary.
+type stageStat struct {
+	name     string
+	p50, p99 float64
+	count    uint64
+}
+
+// latencyPoint runs one traced configuration: a durable server sampling
+// every insert frame, conns sessioned clients streaming batched frames,
+// then the stage histograms' quantiles. Small frames (batch/4, min 64)
+// keep the frame count high enough for stable tails.
+func latencyPoint(edges, scale, shards, conns, batch int, seed uint64) ([]stageStat, error) {
+	dir, err := os.MkdirTemp("", "hhgb-netbench-lat-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	frame := batch / 4
+	if frame < 64 {
+		frame = 64
+	}
+	opts := []hhgb.Option{hhgb.WithDurability(dir)}
+	if shards > 0 {
+		opts = append(opts, hhgb.WithShards(shards))
+	}
+	m, err := hhgb.NewSharded(uint64(1)<<uint(scale), opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	reg := hhgb.NewMetrics()
+	srv, err := server.New(server.Config{
+		Matrix:      m,
+		Metrics:     reg,
+		TraceSample: 1,  // every frame: quantiles want the full population
+		SlowFrame:   -1, // histograms only; no ring in this process
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	per := edges / conns
+	if per < 1 {
+		per = 1
+	}
+	srcs := make([][]uint64, conns)
+	dsts := make([][]uint64, conns)
+	for i := range srcs {
+		g, err := powerlaw.NewRMAT(scale, seed+uint64(i)*0x9e3779b9)
+		if err != nil {
+			return nil, err
+		}
+		srcs[i] = make([]uint64, per)
+		dsts[i] = make([]uint64, per)
+		for k := 0; k < per; k++ {
+			e := g.Edge()
+			srcs[i][k], dsts[i][k] = e.Row, e.Col
+		}
+	}
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+	}
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := hhgbclient.Dial(addr,
+				hhgbclient.WithSession(fmt.Sprintf("netbench-lat-%d", i)),
+				hhgbclient.WithFlushEntries(frame),
+				hhgbclient.WithFlushInterval(0),
+				hhgbclient.WithMaxPending(1024))
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer c.Close()
+			src, dst := srcs[i], dsts[i]
+			for k := 0; k < per; k += frame {
+				end := k + frame
+				if end > per {
+					end = per
+				}
+				if err := c.Append(src[k:end], dst[k:end]); err != nil {
+					fail(err)
+					return
+				}
+			}
+			if err := c.Flush(); err != nil {
+				fail(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	// RegisterStageHistograms dedups against the server's own
+	// registration, so this fetches the very series the spans observed.
+	hists := flight.RegisterStageHistograms(reg)
+	stats := make([]stageStat, 0, len(hists))
+	for i, h := range hists {
+		stats = append(stats, stageStat{
+			name:  flight.Stage(i).String(),
+			p50:   h.Quantile(0.5),
+			p99:   h.Quantile(0.99),
+			count: h.Count(),
+		})
+	}
+	return stats, nil
 }
 
 // point measures one (conns, frame size) configuration end to end: fresh

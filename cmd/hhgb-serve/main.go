@@ -11,6 +11,7 @@
 //	           [-durable dir] [-sync-every N]
 //	           [-tls-cert file -tls-key file]
 //	           [-stats host:port] [-metrics]
+//	           [-trace-sample N] [-slow-frame D]
 //	           [-max-inflight N] [-max-batch N] [-queue-depth N]
 //
 // With -window, inserts must carry event timestamps (hhgbclient.AppendAt);
@@ -37,7 +38,17 @@
 // With -metrics (needs -stats), the same address also serves Prometheus
 // text exposition at /metrics — every layer instrumented, counters
 // reconciling exactly with /stats — and the standard pprof profiles
-// under /debug/pprof/. With -sub-queue (needs -window), each summary
+// under /debug/pprof/. The process always carries a flight recorder — a
+// fixed-size in-memory ring of structured events (connections, refusals,
+// WAL fsyncs, checkpoints, window seals) — dumpable as JSON at
+// /debug/events on the -stats address and to stderr on SIGQUIT (the
+// process keeps running). With -trace-sample N, one in N insert frames
+// additionally carries a latency span decomposing its end-to-end time
+// into per-stage histograms (hhgb_server_ingest_stage_seconds, under
+// -metrics); sampled frames slower than -slow-frame are recorded stage
+// by stage into the ring (0 records every sampled frame). Sampling adds
+// zero allocations to unsampled frames. With -sub-queue (needs
+// -window), each summary
 // subscription is bounded to N undelivered summaries; a subscriber that
 // stays over the bound longer than -sub-patience (default: evict on the
 // next over-bound seal) is disconnected with a typed eviction error
@@ -89,23 +100,35 @@ func main() {
 		maxInflight = flag.Int64("max-inflight", 0, "aggregate in-flight entry budget (0 = default)")
 		maxBatch    = flag.Int("max-batch", 0, "per-frame entry cap (0 = default)")
 		queueDepth  = flag.Int("queue-depth", 0, "per-connection apply queue depth in frames (0 = default)")
+		traceSample = flag.Int("trace-sample", 0, "sample 1 in N insert frames into per-stage latency spans (0 = off)")
+		slowFrame   = flag.Duration("slow-frame", 0, "record sampled frames at or over this end-to-end latency into the flight ring (0 = every sampled frame)")
 	)
 	flag.Parse()
 	if err := run(*addr, *scale, *shards, *window, *rollups, *retentions, *lateness,
 		*durable, *syncEvery, *tlsCert, *tlsKey, *statsAddr, *metricsOn,
-		*subQueue, *subPatience, *maxInflight, *maxBatch, *queueDepth); err != nil {
+		*subQueue, *subPatience, *maxInflight, *maxBatch, *queueDepth,
+		*traceSample, *slowFrame); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(addr string, scale, shards int, window time.Duration, rollups, retentions string, lateness time.Duration,
 	durable string, syncEvery int, tlsCert, tlsKey, statsAddr string, metricsOn bool,
-	subQueue int, subPatience time.Duration, maxInflight int64, maxBatch, queueDepth int) error {
+	subQueue int, subPatience time.Duration, maxInflight int64, maxBatch, queueDepth int,
+	traceSample int, slowFrame time.Duration) error {
+	// The flight recorder always runs: recording is allocation-free and
+	// the ring is fixed-size, so there is nothing to turn off. It is
+	// shared by the server and the store so both sides' events interleave
+	// on one timeline.
+	rec := hhgb.NewFlightRecorder(0)
 	cfg := server.Config{
 		MaxBatch:    maxBatch,
 		QueueDepth:  queueDepth,
 		MaxInFlight: maxInflight,
 		Logf:        log.Printf,
+		Flight:      rec,
+		TraceSample: traceSample,
+		SlowFrame:   slowFrame,
 	}
 	if metricsOn && statsAddr == "" {
 		return fmt.Errorf("-metrics needs -stats")
@@ -130,7 +153,7 @@ func run(addr string, scale, shards int, window time.Duration, rollups, retentio
 	if subPatience > 0 {
 		cfg.SubPatience = subPatience
 	}
-	var storeOpts []hhgb.Option
+	storeOpts := []hhgb.Option{hhgb.WithFlightRecorder(rec)}
 	if reg != nil {
 		storeOpts = append(storeOpts, hhgb.WithMetrics(reg))
 	}
@@ -185,11 +208,24 @@ func run(addr string, scale, shards int, window time.Duration, rollups, retentio
 	// store.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	// SIGQUIT dumps the flight ring to stderr and keeps serving (Notify
+	// replaces the runtime's default stack-dump-and-exit handling).
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			log.Printf("SIGQUIT: dumping flight recorder (%d events recorded)", rec.Len())
+			if err := rec.WriteJSON(os.Stderr); err != nil {
+				log.Printf("flight dump: %v", err)
+			}
+		}
+	}()
 	fmt.Printf("listening on %s\n", ln.Addr())
 
 	if statsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/stats", srv.StatsHandler())
+		mux.Handle("/debug/events", rec.Handler())
 		if reg != nil {
 			mux.Handle("/metrics", reg.Handler())
 			mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -11,7 +11,9 @@
 // With -connect, the generator becomes a load driver: -conns client
 // connections stream -edges edges total (split evenly) as batched insert
 // frames of -batch entries, then Flush — so the run ends at a durable
-// point on a durable server — and report the aggregate insert rate.
+// point on a durable server — and report the aggregate insert rate plus
+// client-observed ack latency (ship → server ack) as p50/p99/max across
+// every acked frame on every connection.
 // Several trafficgen processes can hammer one server concurrently; each
 // should get its own -seed.
 //
@@ -48,6 +50,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -160,6 +163,37 @@ func retryTransient(op func() error) error {
 	}
 }
 
+// ackStats aggregates client-observed ack round trips across every
+// connection. The observer runs on each client's receive goroutine, so
+// the append is mutex-guarded; one duration per acked frame is cheap
+// next to the frame itself.
+type ackStats struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func (a *ackStats) observe(d time.Duration) {
+	a.mu.Lock()
+	a.samples = append(a.samples, d)
+	a.mu.Unlock()
+}
+
+// report logs p50/p99/max over the collected round trips, if any.
+func (a *ackStats) report() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.samples) == 0 {
+		return
+	}
+	sort.Slice(a.samples, func(i, j int) bool { return a.samples[i] < a.samples[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(a.samples)-1))
+		return a.samples[i]
+	}
+	log.Printf("ack latency over %d frames: p50 %v, p99 %v, max %v",
+		len(a.samples), q(0.50), q(0.99), a.samples[len(a.samples)-1])
+}
+
 // runConnect streams the workload into a server over conns connections
 // and reports the aggregate rate.
 func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha float64, seed uint64, rate float64, startSec int64, verify bool) error {
@@ -186,6 +220,7 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 		}
 		errMu.Unlock()
 	}
+	var acks ackStats
 	start := time.Now()
 	for i := 0; i < conns; i++ {
 		wg.Add(1)
@@ -200,7 +235,8 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 				fail(err)
 				return
 			}
-			c, err := hhgbclient.Dial(addr, hhgbclient.WithFlushEntries(batch), hhgbclient.WithReconnect())
+			c, err := hhgbclient.Dial(addr, hhgbclient.WithFlushEntries(batch), hhgbclient.WithReconnect(),
+				hhgbclient.WithAckLatency(acks.observe))
 			if err != nil {
 				fail(fmt.Errorf("conn %d: %w", i, err))
 				return
@@ -286,6 +322,7 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 	total := edges
 	log.Printf("streamed %d edges over %d conns in %.2fs (%.0f inserts/s, batch %d)",
 		total, conns, elapsed.Seconds(), float64(total)/elapsed.Seconds(), batch)
+	acks.report()
 
 	// One extra connection reads the server's aggregate view, so a smoke
 	// run doubles as an end-to-end query check.

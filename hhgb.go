@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"time"
 
+	"hhgb/internal/flight"
 	"hhgb/internal/gb"
 	"hhgb/internal/hier"
 	"hhgb/internal/metrics"
@@ -78,6 +79,7 @@ type options struct {
 	metrics     *Metrics
 	subQueue    int
 	subPatience time.Duration
+	flight      *FlightRecorder
 }
 
 // windowedOnly reports whether any option applying only to NewWindowed
@@ -95,6 +97,39 @@ type Metrics = metrics.Registry
 
 // NewMetrics returns an empty metric registry.
 func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// FlightRecorder is a fixed-size preallocated ring of structured
+// operational events (WAL fsyncs, checkpoint phases, window seals,
+// roll-ups, expiries — and, wired into the network server, connection
+// and frame lifecycle). Recording is allocation-free and lock-light;
+// the ring is dumpable as JSON at any time (WriteJSON, Handler). One
+// recorder is typically shared by the matrix (WithFlightRecorder) and
+// the network server.
+type FlightRecorder = flight.Recorder
+
+// IngestSpan is a sampled frame's stage-latency span, threaded through
+// the session append paths by the network server. Most callers never
+// touch it; the plain Append methods pass nil.
+type IngestSpan = flight.Span
+
+// NewFlightRecorder returns a flight recorder holding the most recent n
+// events (rounded up to a power of two; n < 1 selects a 4096-event
+// ring). All memory is allocated up front.
+func NewFlightRecorder(n int) *FlightRecorder { return flight.NewRecorder(n) }
+
+// WithFlightRecorder wires the matrix's structured event stream — WAL
+// fsyncs, checkpoint begin/end, window seal/roll-up/expiry — into the
+// given ring. Without it no events are recorded (each site costs one
+// branch).
+func WithFlightRecorder(r *FlightRecorder) Option {
+	return func(o *options) error {
+		if r == nil {
+			return fmt.Errorf("%w: nil flight recorder", gb.ErrInvalidValue)
+		}
+		o.flight = r
+		return nil
+	}
+}
 
 // WithMetrics wires the matrix's instrumentation — shard batches applied,
 // WAL fsync and checkpoint latency, queue depths, and (windowed) window

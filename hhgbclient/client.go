@@ -127,6 +127,7 @@ type options struct {
 	reconnect     bool
 	session       string
 	tls           *tls.Config
+	ackLatency    func(time.Duration)
 }
 
 // WithFlushEntries sets the auto-batching threshold in entries: the local
@@ -236,10 +237,28 @@ func WithTLS(cfg *tls.Config) Option {
 	}
 }
 
+// WithAckLatency registers an observer invoked with the round-trip time
+// of every acked insert frame: ship (or retransmit) to server ack. The
+// observer runs on the client's receive goroutine with internal locks
+// held — it must be fast and must not call back into the client. Frames
+// retransmitted after a reconnect restart their clock at retransmission,
+// so a reported latency is always for one wire round trip, not the total
+// time in doubt.
+func WithAckLatency(fn func(time.Duration)) Option {
+	return func(o *options) error {
+		if fn == nil {
+			return errors.New("hhgbclient: WithAckLatency needs a non-nil observer")
+		}
+		o.ackLatency = fn
+		return nil
+	}
+}
+
 // call is one pipelined request awaiting its response.
 type call struct {
-	kind byte
-	done chan response // nil for inserts (acked in the background)
+	kind   byte
+	done   chan response // nil for inserts (acked in the background)
+	sentAt time.Time     // ship time for WithAckLatency; zero when unobserved
 }
 
 // sentFrame is one insert frame in the retransmit ring: the encoded body
@@ -468,7 +487,11 @@ func (c *Client) connectLocked() error {
 				c.failLocked(fmt.Errorf("%w: retransmit: %v", ErrDisconnected, err))
 				return c.err
 			}
-			c.pending[seq] = &call{kind: fr.kind}
+			pc := &call{kind: fr.kind}
+			if c.opt.ackLatency != nil {
+				pc.sentAt = time.Now()
+			}
+			c.pending[seq] = pc
 			c.unacked++
 		}
 		// A ring already at the WithMaxRing bound (the reconnect burst)
@@ -625,6 +648,9 @@ func (c *Client) dispatch(gen int, f proto.Frame) (fatal bool) {
 	delete(c.pending, seq)
 	if call.kind == proto.KindInsert || call.kind == proto.KindInsertAt {
 		c.unacked--
+		if c.opt.ackLatency != nil && !call.sentAt.IsZero() {
+			c.opt.ackLatency(time.Since(call.sentAt))
+		}
 		if resp.err != nil {
 			// The server dropped this batch (overload, validation): it
 			// will never apply, so retransmitting it later could reorder
@@ -982,7 +1008,11 @@ func (c *Client) shipBufferLocked() error {
 		c.failLocked(fmt.Errorf("%w: %v", ErrDisconnected, err))
 		return nil
 	}
-	c.pending[seq] = &call{kind: kind}
+	pc := &call{kind: kind}
+	if c.opt.ackLatency != nil {
+		pc.sentAt = time.Now()
+	}
+	c.pending[seq] = pc
 	c.unacked++
 	c.autoFlushLocked()
 	return nil

@@ -74,10 +74,7 @@ func NewAccumulo(cfg AccumuloConfig) (*Accumulo, error) {
 	if cfg.LogSyncEvery <= 0 {
 		cfg.LogSyncEvery = DefaultAccumuloConfig().LogSyncEvery
 	}
-	sink := cfg.LogSink
-	if sink == nil {
-		sink = io.Discard
-	}
+	sink := sinkOrDiscard(cfg.LogSink)
 	return &Accumulo{
 		cfg: cfg,
 		mem: skiplist.New(0x5eed),

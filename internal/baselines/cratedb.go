@@ -61,10 +61,7 @@ func NewCrateDB(cfg CrateDBConfig) (*CrateDB, error) {
 	if cfg.RefreshEvery <= 0 {
 		cfg.RefreshEvery = DefaultCrateDBConfig().RefreshEvery
 	}
-	sink := cfg.TranslogSink
-	if sink == nil {
-		sink = io.Discard
-	}
+	sink := sinkOrDiscard(cfg.TranslogSink)
 	c := &CrateDB{cfg: cfg}
 	for i := 0; i < cfg.Shards; i++ {
 		c.shards = append(c.shards, &crateShard{

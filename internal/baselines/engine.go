@@ -21,6 +21,7 @@ package baselines
 
 import (
 	"fmt"
+	"io"
 
 	"hhgb/internal/gb"
 	"hhgb/internal/powerlaw"
@@ -127,4 +128,15 @@ func ClassOf(name string) ScalingClass {
 // errClosed is returned when an engine is used after Close.
 func errClosed(name string) error {
 	return fmt.Errorf("%w: engine %s is closed", gb.ErrInvalidValue, name)
+}
+
+// sinkOrDiscard resolves an optional diagnostic/log sink: engines never
+// write to stdout/stderr on their own (TestEnginesQuiet pins this), so a
+// nil sink means the caller doesn't want the bytes and they go to
+// io.Discard rather than leaking anywhere visible.
+func sinkOrDiscard(w io.Writer) io.Writer {
+	if w == nil {
+		return io.Discard
+	}
+	return w
 }

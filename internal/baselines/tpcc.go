@@ -51,10 +51,7 @@ func NewTPCC(cfg TPCCConfig) (*TPCC, error) {
 	if cfg.TxnSize <= 0 {
 		cfg.TxnSize = DefaultTPCCConfig().TxnSize
 	}
-	sink := cfg.RedoSink
-	if sink == nil {
-		sink = io.Discard
-	}
+	sink := sinkOrDiscard(cfg.RedoSink)
 	return &TPCC{
 		cfg:   cfg,
 		tree:  btree.New(),

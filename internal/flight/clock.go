@@ -1,0 +1,27 @@
+package flight
+
+import "time"
+
+// clock.go is the ONLY file in internal/flight allowed to call time.Now
+// or time.Since — the hhgbinvariants `timenow` rule enforces it, exactly
+// as it pins internal/window to wallclock.go. Everything the flight
+// recorder stamps — ring events, span stage boundaries — goes through
+// Now below, so the whole latency-attribution plane runs on one
+// monotonic timeline that wall-clock steps cannot tear, and tests can
+// reason about a single clock source.
+
+// base anchors the package's monotonic timeline, captured once at
+// process start. time.Time carries a monotonic reading, so differences
+// against it are immune to wall-clock adjustment.
+var base = time.Now()
+
+// Now returns the current instant as monotonic nanoseconds since the
+// package base. It is the one clock every flight event and span stage
+// mark uses; keep arithmetic in these raw nanoseconds and convert to
+// wall time only at dump boundaries (wallAt).
+func Now() int64 { return int64(time.Since(base)) }
+
+// wallAt converts a monotonic timestamp from Now back to wall time for
+// human-facing dumps. The conversion shares the recorder's base, so two
+// events' wall times differ by exactly their monotonic distance.
+func wallAt(ns int64) time.Time { return base.Add(time.Duration(ns)) }

@@ -1,0 +1,369 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hhgb/internal/metrics"
+)
+
+func TestRecorderKeepsMostRecent(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 20; i++ {
+		r.Record(KindConnOpen, uint64(i), "s", 0, 0, 0, 0)
+	}
+	evs := r.Snapshot()
+	if len(evs) != 8 {
+		t.Fatalf("snapshot holds %d events, ring size 8", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(12 + i); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d (oldest-first, most recent 8)", i, e.Seq, want)
+		}
+		if e.Conn != e.Seq {
+			t.Fatalf("event %d conn = %d, want %d", i, e.Conn, e.Seq)
+		}
+		if e.Kind != "conn_open" || e.Session != "s" {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+	if r.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", r.Len())
+	}
+}
+
+func TestRecorderTimestampsMonotone(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(KindSeal, 0, "", 0, 1, 2, time.Millisecond)
+	r.Record(KindRollup, 0, "", 0, 0, 0, 0)
+	evs := r.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[1].TS < evs[0].TS {
+		t.Fatalf("timestamps went backwards: %d then %d", evs[0].TS, evs[1].TS)
+	}
+	if evs[0].A != 1 || evs[0].B != 2 || evs[0].Dur != int64(time.Millisecond) {
+		t.Fatalf("args not preserved: %+v", evs[0])
+	}
+	// Wall times must differ by exactly the monotonic distance.
+	if got := evs[1].Wall.Sub(evs[0].Wall); got != time.Duration(evs[1].TS-evs[0].TS) {
+		t.Fatalf("wall delta %v != monotonic delta %v", got, time.Duration(evs[1].TS-evs[0].TS))
+	}
+}
+
+func TestNilRecorderAndSpanSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(KindAck, 1, "x", 2, 3, 4, 5)
+	if r.Snapshot() != nil || r.Len() != 0 {
+		t.Fatal("nil recorder not empty")
+	}
+	var s *Span
+	s.EndStage(StageDecode)
+	s.MarkHandoff()
+	s.ObserveMax(StageWAL, time.Second)
+	s.ObserveShardWait()
+	s.Hold()
+	s.Done()
+	s.Drop()
+	var tr *Tracer
+	if tr.Active() {
+		t.Fatal("nil tracer active")
+	}
+	if sp := tr.Sample(1, "s", 2, Now()); sp != nil {
+		t.Fatal("nil tracer sampled")
+	}
+}
+
+func TestHandlerServesValidJSON(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(KindConnOpen, 7, "sess-1", 0, 0, 0, 0)
+	r.Record(KindConnClose, 7, "sess-1", 0, 0, 0, 0)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var d struct {
+		Recorded uint64  `json:"recorded_total"`
+		Events   []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatalf("dump does not parse: %v\n%s", err, rec.Body.String())
+	}
+	if d.Recorded != 2 || len(d.Events) != 2 {
+		t.Fatalf("dump = %+v", d)
+	}
+	if d.Events[0].Kind != "conn_open" || d.Events[1].Kind != "conn_close" {
+		t.Fatalf("kinds = %s, %s", d.Events[0].Kind, d.Events[1].Kind)
+	}
+}
+
+func TestTracerSamplesOneInN(t *testing.T) {
+	tr := NewTracer(nil, nil, 4, -1)
+	if !tr.Active() {
+		t.Fatal("tracer with rate 4 not active")
+	}
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if sp := tr.Sample(1, "s", uint64(i), Now()); sp != nil {
+			sampled++
+			sp.Done()
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("sampled %d of 400 at rate 4", sampled)
+	}
+	// Rate 0: enabled-but-disabled tracer never samples.
+	off := NewTracer(nil, nil, 0, -1)
+	if off.Active() {
+		t.Fatal("rate-0 tracer active")
+	}
+	for i := 0; i < 100; i++ {
+		if sp := off.Sample(1, "s", uint64(i), Now()); sp != nil {
+			t.Fatal("rate-0 tracer sampled")
+		}
+	}
+}
+
+// TestSpanSyncStagesSumToTotal pins the reconciliation invariant: the
+// four synchronous stages share boundary timestamps, so their sum equals
+// total exactly — not approximately.
+func TestSpanSyncStagesSumToTotal(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := NewTracer(reg, nil, 1, -1)
+	hist := RegisterStageHistograms(reg)
+
+	sp := tr.Sample(3, "sess", 9, Now())
+	if sp == nil {
+		t.Fatal("rate-1 tracer did not sample")
+	}
+	sp.EndStage(StageDecode)
+	time.Sleep(time.Millisecond)
+	sp.EndStage(StageQueue)
+	sp.MarkHandoff()
+	sp.Hold() // one shard partition
+	sp.EndStage(StagePartition)
+	sp.EndStage(StageAck)
+
+	// The "worker": async attribution arrives after the ack.
+	sp.ObserveShardWait()
+	sp.ObserveMax(StageWAL, 500*time.Microsecond)
+	sp.ObserveMax(StageApply, 200*time.Microsecond)
+	sum := sp.StageNanos(StageDecode) + sp.StageNanos(StageQueue) +
+		sp.StageNanos(StagePartition) + sp.StageNanos(StageAck)
+	sp.Done() // worker ref
+	sp.Done() // owner ref — finalizes
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), StageHistogramName) {
+		t.Fatalf("no %s family in exposition:\n%s", StageHistogramName, b.String())
+	}
+	for st := Stage(0); st < Stage(NumStages); st++ {
+		if hist[st].Count() != 1 {
+			t.Fatalf("stage %s observed %d times, want 1", st, hist[st].Count())
+		}
+	}
+	_, _, _, totalSum := hist[StageTotal].Snapshot()
+	_, _, _, syncSum := hist[StageDecode].Snapshot()
+	for _, st := range []Stage{StageQueue, StagePartition, StageAck} {
+		_, _, _, s := hist[st].Snapshot()
+		syncSum += s
+	}
+	if diff := totalSum - syncSum; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("sync stage sum %.12f != total %.12f", syncSum, totalSum)
+	}
+	if float64(sum)/1e9 != totalSum {
+		t.Fatalf("span nanos %.12f != observed total %.12f", float64(sum)/1e9, totalSum)
+	}
+}
+
+// TestTracerRecordsPipelineToRing: a sampled span past the slow
+// threshold lands in the ring as one causally ordered run.
+func TestTracerRecordsPipelineToRing(t *testing.T) {
+	rec := NewRecorder(64)
+	tr := NewTracer(nil, rec, 1, 0) // slow=0: record every sampled span
+	sp := tr.Sample(5, "sess", 42, Now())
+	sp.EndStage(StageDecode)
+	sp.EndStage(StageQueue)
+	sp.MarkHandoff()
+	sp.Hold()
+	sp.EndStage(StagePartition)
+	sp.EndStage(StageAck)
+	sp.ObserveShardWait()
+	sp.ObserveMax(StageWAL, time.Millisecond)
+	sp.ObserveMax(StageApply, time.Millisecond)
+	sp.Done()
+	sp.Done()
+
+	var kinds []string
+	var lastSeq uint64
+	for _, e := range rec.Snapshot() {
+		if e.FrameSeq != 42 {
+			continue
+		}
+		if len(kinds) > 0 && e.Seq != lastSeq+1 {
+			t.Fatalf("pipeline events not consecutive: seq %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		kinds = append(kinds, e.Kind)
+	}
+	want := []string{"frame_decode", "dequeue", "wal_append", "shard_apply", "ack"}
+	if len(kinds) != len(want) {
+		t.Fatalf("pipeline kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("pipeline kinds = %v, want %v", kinds, want)
+		}
+	}
+
+	// A dropped span must leave no trace and no observations.
+	before := rec.Len()
+	dp := tr.Sample(5, "sess", 43, Now())
+	dp.EndStage(StageDecode)
+	dp.Drop()
+	if rec.Len() != before {
+		t.Fatal("dropped span recorded events")
+	}
+}
+
+// TestSlowFrameMarker: with a positive threshold, only spans at or above
+// it are ring-recorded, and they carry the slow_frame marker.
+func TestSlowFrameMarker(t *testing.T) {
+	rec := NewRecorder(64)
+	tr := NewTracer(nil, rec, 1, 2*time.Millisecond)
+	fast := tr.Sample(1, "s", 1, Now())
+	fast.EndStage(StageDecode)
+	fast.EndStage(StageQueue)
+	fast.EndStage(StagePartition)
+	fast.EndStage(StageAck)
+	fast.Done()
+	if rec.Len() != 0 {
+		t.Fatalf("fast span recorded %d events", rec.Len())
+	}
+	slow := tr.Sample(1, "s", 2, Now())
+	slow.EndStage(StageDecode)
+	time.Sleep(3 * time.Millisecond)
+	slow.EndStage(StageQueue)
+	slow.EndStage(StagePartition)
+	slow.EndStage(StageAck)
+	slow.Done()
+	evs := rec.Snapshot()
+	if len(evs) == 0 {
+		t.Fatal("slow span not recorded")
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != "slow_frame" || last.FrameSeq != 2 {
+		t.Fatalf("last event = %+v, want slow_frame for frame 2", last)
+	}
+	if int64(last.A) != last.Dur || last.Dur < int64(2*time.Millisecond) {
+		t.Fatalf("slow_frame total = a:%d dur:%d", last.A, last.Dur)
+	}
+}
+
+// TestAllocBudgets pins the tracing plane's hot-path allocation costs:
+// ring records and unsampled Sample calls are free; a warm sampled span's
+// whole lifecycle allocates nothing (spans are pooled, not sync.Pooled).
+func TestAllocBudgets(t *testing.T) {
+	rec := NewRecorder(1024)
+	if a := testing.AllocsPerRun(200, func() {
+		rec.Record(KindAck, 1, "session", 2, 3, 4, 5)
+	}); a != 0 {
+		t.Fatalf("Record allocates %.1f/op, budget is 0", a)
+	}
+
+	off := NewTracer(nil, nil, 0, -1)
+	if a := testing.AllocsPerRun(200, func() {
+		if off.Sample(1, "s", 2, 0) != nil {
+			t.Fatal("rate-0 sampled")
+		}
+	}); a != 0 {
+		t.Fatalf("rate-0 Sample allocates %.1f/op, budget is 0", a)
+	}
+
+	miss := NewTracer(nil, nil, 1<<30, -1)
+	if a := testing.AllocsPerRun(200, func() {
+		if miss.Sample(1, "s", 2, Now()) != nil {
+			t.Fatal("unexpected sample")
+		}
+	}); a != 0 {
+		t.Fatalf("unsampled Sample allocates %.1f/op, budget is 0", a)
+	}
+
+	// Warm sampled lifecycle: Sample → stages → Done, span recycled each
+	// run. slow=-1 keeps the ring out of it; a second run with ring
+	// recording must also be free (RecordAt writes preallocated slots).
+	for _, cfg := range []struct {
+		name string
+		slow time.Duration
+	}{{"histograms-only", -1}, {"ring-recorded", 0}} {
+		tr := NewTracer(nil, rec, 1, cfg.slow)
+		warm := tr.Sample(9, "sess", 1, Now())
+		warm.Done()
+		if a := testing.AllocsPerRun(200, func() {
+			sp := tr.Sample(9, "sess", 1, Now())
+			if sp == nil {
+				t.Fatal("rate-1 did not sample")
+			}
+			sp.EndStage(StageDecode)
+			sp.EndStage(StageQueue)
+			sp.MarkHandoff()
+			sp.Hold()
+			sp.EndStage(StagePartition)
+			sp.EndStage(StageAck)
+			sp.ObserveShardWait()
+			sp.ObserveMax(StageWAL, time.Millisecond)
+			sp.Done()
+			sp.Done()
+		}); a != 0 {
+			t.Fatalf("%s: warm sampled span lifecycle allocates %.1f/op, budget is 0", cfg.name, a)
+		}
+	}
+}
+
+// TestRecorderConcurrent hammers the ring from many goroutines while
+// snapshots run — the per-slot locking must keep every dumped event
+// internally consistent (checked via the conn==fseq tie) under -race.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(128)
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 5000; i++ {
+				v := uint64(g)<<32 | uint64(i)
+				r.Record(KindFrameDecode, v, "s", v, 0, 0, 0)
+			}
+		}(g)
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range r.Snapshot() {
+				if e.Conn != e.FrameSeq {
+					t.Errorf("torn event: conn %d fseq %d", e.Conn, e.FrameSeq)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+}

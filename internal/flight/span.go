@@ -1,0 +1,316 @@
+package flight
+
+import (
+	"sync/atomic"
+	"time"
+
+	"hhgb/internal/metrics"
+	"hhgb/internal/pool"
+)
+
+// Stage is one leg of a sampled frame's journey through the ingest
+// pipeline. The first four are the synchronous chain the applier walks —
+// their durations share boundary timestamps, so
+// decode + queue + partition + ack == total exactly (the reconciliation
+// tests depend on it). The async stages are recorded by shard workers
+// after the ack may already be on the wire (the server acks on
+// queue-accept, not apply); each keeps the max across the frame's shard
+// partitions, approximating the critical path.
+type Stage uint8
+
+const (
+	// StageDecode: frame body parse into a pooled batch (reader goroutine).
+	StageDecode Stage = iota
+	// StageQueue: wait in the connection's bounded apply queue.
+	StageQueue
+	// StagePartition: the applier's matrix call — validate, dedup-check,
+	// partition, and hand off to the shard queues.
+	StagePartition
+	// StageAck: response written back to the client.
+	StageAck
+	// StageShardWait: shard-queue wait, handoff to worker dequeue (async).
+	StageShardWait
+	// StageWAL: per-shard WAL append + group-commit share (async).
+	StageWAL
+	// StageApply: per-shard matrix apply (async).
+	StageApply
+	// StageTotal: decode start to ack written — what the client observes.
+	StageTotal
+
+	numStages
+)
+
+// NumStages is the number of span stages (len of RegisterStageHistograms'
+// result).
+const NumStages = int(numStages)
+
+// String returns the stage's metric label.
+func (st Stage) String() string {
+	switch st {
+	case StageDecode:
+		return "decode"
+	case StageQueue:
+		return "queue"
+	case StagePartition:
+		return "partition"
+	case StageAck:
+		return "ack"
+	case StageShardWait:
+		return "shard_wait"
+	case StageWAL:
+		return "wal"
+	case StageApply:
+		return "apply"
+	case StageTotal:
+		return "total"
+	}
+	return "unknown"
+}
+
+// StageHistogramName is the per-stage ingest latency family every
+// sampled span observes into; one series per Stage label.
+const StageHistogramName = "hhgb_server_ingest_stage_seconds"
+
+// RegisterStageHistograms registers (or fetches, the registry dedups)
+// the stage-latency histogram family and returns the series indexed by
+// Stage. A nil registry wires them to the discard registry.
+func RegisterStageHistograms(reg *metrics.Registry) []*metrics.Histogram {
+	r := metrics.OrDiscard(reg)
+	h := make([]*metrics.Histogram, NumStages)
+	for st := Stage(0); st < numStages; st++ {
+		h[st] = r.Histogram(StageHistogramName,
+			"Sampled ingest frame latency decomposed by pipeline stage; decode+queue+partition+ack sum to total, shard_wait/wal/apply are async worker attribution.",
+			nil, metrics.L("stage", st.String()))
+	}
+	return h
+}
+
+// Span tracks one sampled frame through the pipeline. Spans are pooled:
+// the tracer owns their lifecycle via a refcount — the applier holds one
+// reference, each shard partition carrying the frame holds one more, and
+// the last release finalizes (observes histograms, records the ring,
+// recycles). All methods are nil-receiver safe, so unsampled frames cost
+// one branch per call site.
+type Span struct {
+	t       *Tracer
+	conn    uint64
+	sess    string
+	fseq    uint64
+	start   int64 // Now() when decode began
+	last    int64 // end of the previous sync stage
+	handoff int64 // Now() when the frame entered the shard queues
+	dropped bool  // refused/duplicate frame: recycle without observing
+	refs    atomic.Int32
+	stages  [numStages]atomic.Int64 // ns per stage
+}
+
+// EndStage closes the current synchronous stage at the current clock:
+// the stage's duration is the time since the previous EndStage (or the
+// span's start). Sync stages are single-threaded along the request's
+// path (reader → channel → applier), which is what lets them share
+// boundaries and sum exactly to total.
+//
+//hhgb:noalloc
+func (s *Span) EndStage(st Stage) {
+	if s == nil {
+		return
+	}
+	now := Now()
+	s.stages[st].Store(now - s.last)
+	s.last = now
+}
+
+// MarkHandoff stamps the instant the frame entered the shard queues;
+// workers measure StageShardWait against it.
+//
+//hhgb:noalloc
+func (s *Span) MarkHandoff() {
+	if s == nil {
+		return
+	}
+	s.handoff = Now()
+}
+
+// ObserveMax folds one shard's duration into an async stage, keeping the
+// maximum across the frame's partitions — the critical-path share.
+//
+//hhgb:noalloc
+func (s *Span) ObserveMax(st Stage, d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	ns := int64(d)
+	for {
+		cur := s.stages[st].Load()
+		if ns <= cur || s.stages[st].CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// ObserveShardWait records the shard-queue wait: handoff mark to now,
+// max across partitions.
+//
+//hhgb:noalloc
+func (s *Span) ObserveShardWait() {
+	if s == nil || s.handoff == 0 {
+		return
+	}
+	s.ObserveMax(StageShardWait, time.Duration(Now()-s.handoff))
+}
+
+// Hold adds one reference — taken once per shard partition the frame
+// fans out to, before the partition is enqueued.
+//
+//hhgb:noalloc
+func (s *Span) Hold() {
+	if s != nil {
+		s.refs.Add(1)
+	}
+}
+
+// Done releases one reference; the last release finalizes the span
+// (histograms observed, ring recorded, span recycled). After calling
+// Done the caller must not touch the span again.
+//
+//hhgb:noalloc
+func (s *Span) Done() {
+	if s == nil {
+		return
+	}
+	if s.refs.Add(-1) == 0 {
+		s.t.finalize(s)
+	}
+}
+
+// Drop abandons the span without observing it — for frames that were
+// refused or deduplicated, whose timings would pollute the stage
+// histograms. Only valid while the owner holds the sole reference.
+//
+//hhgb:noalloc
+func (s *Span) Drop() {
+	if s == nil {
+		return
+	}
+	s.dropped = true
+	s.Done()
+}
+
+// StageNanos returns a stage's recorded duration (test hook).
+func (s *Span) StageNanos(st Stage) int64 { return s.stages[st].Load() }
+
+// Tracer samples 1-in-N ingest frames into pooled spans and owns their
+// finalization. A nil *Tracer, or one with sample rate 0, never samples
+// and adds zero allocations to the hot path (Sample is one atomic add).
+type Tracer struct {
+	rec   *Recorder
+	every uint64 // sample 1 in every; 0 = never
+	slow  int64  // ring-record threshold in ns; see NewTracer
+	n     atomic.Uint64
+	spans *pool.FreeList[*Span]
+	hist  []*metrics.Histogram
+}
+
+// spanPoolSize bounds idle pooled spans; sampled frames in flight beyond
+// it fall back to fresh allocations (recycled by the GC).
+const spanPoolSize = 64
+
+// NewTracer returns a tracer sampling one in every `every` frames
+// (every < 1 disables sampling entirely — the tracer stays usable and
+// free). Stage histograms register on reg (nil = discard). Sampled spans
+// whose total latency reaches `slow` are recorded stage-by-stage into
+// rec; slow == 0 records every sampled span, slow < 0 records none.
+// KindSlowFrame marker events are only emitted when slow > 0.
+func NewTracer(reg *metrics.Registry, rec *Recorder, every int, slow time.Duration) *Tracer {
+	t := &Tracer{rec: rec, slow: int64(slow), hist: RegisterStageHistograms(reg)}
+	if every > 0 {
+		t.every = uint64(every)
+	}
+	t.spans = pool.New(spanPoolSize, func() *Span { return &Span{t: t} })
+	return t
+}
+
+// Active reports whether Sample can ever return a span — the hot path
+// uses it to skip even the clock read when tracing is off.
+//
+//hhgb:noalloc
+func (t *Tracer) Active() bool { return t != nil && t.every != 0 }
+
+// Sample returns a reset span for this frame if it is the 1-in-N pick,
+// nil otherwise. start is the frame's decode-begin instant (from Now).
+// The caller owns the returned span's initial reference.
+//
+//hhgb:noalloc
+func (t *Tracer) Sample(conn uint64, sess string, fseq uint64, start int64) *Span {
+	if t == nil || t.every == 0 {
+		return nil
+	}
+	if t.n.Add(1)%t.every != 0 {
+		return nil
+	}
+	s := t.spans.Get()
+	s.conn, s.sess, s.fseq = conn, sess, fseq
+	s.start, s.last, s.handoff = start, start, 0
+	s.dropped = false
+	for i := range s.stages {
+		s.stages[i].Store(0)
+	}
+	s.refs.Store(1)
+	return s
+}
+
+// finalize runs on the goroutine releasing the span's last reference:
+// observe the stage histograms, record the pipeline into the ring when
+// the span clears the slow threshold, and recycle.
+func (t *Tracer) finalize(s *Span) {
+	if !s.dropped {
+		total := s.last - s.start
+		s.stages[StageTotal].Store(total)
+		for st := Stage(0); st < numStages; st++ {
+			d := s.stages[st].Load()
+			if d < 0 {
+				d = 0
+			}
+			// Async stages are absent (not zero) on frames that never
+			// reached a shard worker — skip them so their histograms
+			// only describe frames they actually measured. Sync stages
+			// observe unconditionally to keep counts reconcilable.
+			switch st {
+			case StageShardWait, StageWAL, StageApply:
+				if d == 0 {
+					continue
+				}
+			}
+			t.hist[st].Observe(float64(d) / 1e9)
+		}
+		if t.rec != nil && t.slow >= 0 && total >= t.slow {
+			t.recordPipeline(s, total)
+		}
+	}
+	s.sess = "" // drop the session string reference before pooling
+	t.spans.Put(s)
+}
+
+// recordPipeline writes the span's stages to the ring as one causally
+// ordered run of events (consecutive claim numbers, pipeline order):
+// decode → queue → wal → apply → ack, with reconstructed end timestamps
+// for the sync stages and the finalize instant for the async ones.
+func (t *Tracer) recordPipeline(s *Span, total int64) {
+	r := t.rec
+	now := Now()
+	end := s.start + s.stages[StageDecode].Load()
+	r.RecordAt(end, KindFrameDecode, s.conn, s.sess, s.fseq, 0, 0, time.Duration(s.stages[StageDecode].Load()))
+	end += s.stages[StageQueue].Load()
+	r.RecordAt(end, KindDequeue, s.conn, s.sess, s.fseq, 0, 0, time.Duration(s.stages[StageQueue].Load()))
+	if d := s.stages[StageWAL].Load(); d > 0 {
+		r.RecordAt(now, KindWALAppend, s.conn, s.sess, s.fseq, 0, 0, time.Duration(d))
+	}
+	if d := s.stages[StageApply].Load(); d > 0 {
+		r.RecordAt(now, KindShardApply, s.conn, s.sess, s.fseq, 0, 0, time.Duration(d))
+	}
+	end += s.stages[StagePartition].Load() + s.stages[StageAck].Load()
+	r.RecordAt(end, KindAck, s.conn, s.sess, s.fseq, 0, 0, time.Duration(s.stages[StageAck].Load()))
+	if t.slow > 0 {
+		r.RecordAt(end, KindSlowFrame, s.conn, s.sess, s.fseq, uint64(total), 0, time.Duration(total))
+	}
+}

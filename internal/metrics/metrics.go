@@ -136,6 +136,56 @@ func (h *Histogram) Count() uint64 {
 	return n
 }
 
+// Snapshot returns the bucket upper bounds, the per-bucket (non-
+// cumulative) observation counts, the +Inf bucket's count, and the sum
+// of all observations. The bounds slice aliases the histogram's
+// immutable configuration; the counts are a copy.
+func (h *Histogram) Snapshot() (uppers []float64, counts []uint64, inf uint64, sum float64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.uppers, counts, h.inf.Load(), h.sum.load()
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observations by
+// linear interpolation inside the bucket holding it — the standard
+// fixed-bucket estimate, as precise as the bucket layout. Observations
+// in the +Inf bucket are reported as the highest finite bound (an
+// underestimate, flagged by comparing against Sum/Count). Returns 0 when
+// the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	uppers, counts, inf, _ := h.Snapshot()
+	total := inf
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var seen float64
+	lower := 0.0
+	for i, c := range counts {
+		if c > 0 && seen+float64(c) >= target {
+			frac := (target - seen) / float64(c)
+			return lower + (uppers[i]-lower)*frac
+		}
+		seen += float64(c)
+		lower = uppers[i]
+	}
+	if len(uppers) > 0 {
+		return uppers[len(uppers)-1]
+	}
+	return 0
+}
+
 // atomicFloat is a float64 updated by CAS on its bits.
 type atomicFloat struct {
 	bits atomic.Uint64

@@ -55,6 +55,7 @@ func TestMetricsSchemaPinned(t *testing.T) {
 		"hhgb_server_bytes_in_total":            "counter",
 		"hhgb_server_bytes_out_total":           "counter",
 		"hhgb_server_op_seconds":                "histogram",
+		"hhgb_server_ingest_stage_seconds":      "histogram",
 		"hhgb_shard_batches_applied_total":      "counter",
 		"hhgb_shard_entries_applied_total":      "counter",
 		"hhgb_shard_wal_fsync_seconds":          "histogram",

@@ -83,6 +83,7 @@ import (
 	"time"
 
 	"hhgb"
+	"hhgb/internal/flight"
 	"hhgb/internal/metrics"
 	"hhgb/internal/pool"
 	"hhgb/internal/proto"
@@ -142,6 +143,23 @@ type Config struct {
 	// windowed store's own queue bound (hhgb.WithSubscriberQueue) is the
 	// complementary policy for consumers that read, just too slowly.
 	SubPatience time.Duration
+	// Flight, when set, receives the server's structured event stream —
+	// connection open/close, refusals, subscriber evictions, and (via
+	// sampled spans) per-frame pipeline traces. Share one recorder with
+	// the matrix (hhgb.WithFlightRecorder) so matrix-side events (WAL
+	// fsyncs, checkpoints, seals) interleave on the same timeline.
+	Flight *flight.Recorder
+	// TraceSample samples one in every TraceSample insert frames into a
+	// per-stage latency span, observed into the
+	// hhgb_server_ingest_stage_seconds histograms and — past SlowFrame —
+	// recorded into Flight. Zero or negative disables sampling; unsampled
+	// frames pay one atomic add and zero allocations.
+	TraceSample int
+	// SlowFrame is the ring-record threshold for sampled frames: a
+	// sampled frame whose end-to-end latency reaches it is written to
+	// Flight stage by stage, with a slow_frame marker event. Zero records
+	// every sampled frame (no marker); negative records none.
+	SlowFrame time.Duration
 }
 
 // batchPoolCap bounds how many idle decode batches the server retains
@@ -171,6 +189,9 @@ type Server struct {
 	inFlight atomic.Int64
 
 	opHist map[byte]*metrics.Histogram
+	// tracer samples insert frames into stage-latency spans; always
+	// non-nil (an inactive tracer samples nothing and costs one branch).
+	tracer *flight.Tracer
 
 	totalConns    atomic.Int64
 	batches       atomic.Int64
@@ -217,6 +238,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		conns:     make(map[*conn]struct{}),
 		opHist:    opHistograms(cfg.Metrics),
+		tracer:    flight.NewTracer(cfg.Metrics, cfg.Flight, cfg.TraceSample, cfg.SlowFrame),
 		batchPool: pool.New(batchPoolCap, func() *proto.Batch { return new(proto.Batch) }),
 	}
 	registerServerFuncs(s)
@@ -416,6 +438,10 @@ type request struct {
 	k        uint64       // topk, rangeTopK
 	t0, t1   uint64       // range queries: event-time bounds
 	level    byte         // subscribe
+	// span is the frame's sampled latency span (inserts only, 1 in
+	// Config.TraceSample); nil on unsampled frames, and every span method
+	// is nil-safe, so the common path pays one branch per mark.
+	span *flight.Span
 }
 
 // conn is one accepted connection.
@@ -617,6 +643,7 @@ func (c *conn) run() {
 		}
 		return
 	}
+	c.srv.cfg.Flight.Record(flight.KindConnOpen, c.id, c.session, 0, uint64(wel.LastSeq), 0, 0)
 
 	// Applier: executes requests in order, writes responses. The write
 	// side flushes whenever the queue is momentarily empty — batching
@@ -658,6 +685,8 @@ func (c *conn) run() {
 	close(c.queue)
 	<-done
 	c.closeSubs()
+	c.srv.cfg.Flight.Record(flight.KindConnClose, c.id, c.session, 0,
+		uint64(c.bytesIn.Load()), uint64(c.bytesOut.Load()), 0)
 }
 
 // closeSubs ends every subscription and waits for their pushers, so no
@@ -702,6 +731,7 @@ func (c *conn) startSub(sub *hhgb.WindowSub, seq uint64) {
 					// consumer that cannot keep up with summaries is not
 					// keeping up with anything.
 					c.srv.evictions.Add(1)
+					c.srv.cfg.Flight.Record(flight.KindEviction, c.id, c.session, seq, 0, 0, 0)
 					_ = c.sendTimed(proto.KindError,
 						proto.AppendError(nil, seq, proto.ErrCodeEvicted,
 							"subscriber evicted: summary backlog over bound past patience"),
@@ -731,6 +761,7 @@ func (c *conn) startSub(sub *hhgb.WindowSub, seq uint64) {
 				var ne net.Error
 				if errors.As(err, &ne) && ne.Timeout() {
 					c.srv.evictions.Add(1)
+					c.srv.cfg.Flight.Record(flight.KindEviction, c.id, c.session, seq, 1, 0, 0)
 					c.nc.Close()
 				}
 				return
@@ -746,6 +777,8 @@ func (c *conn) startSub(sub *hhgb.WindowSub, seq uint64) {
 func (c *conn) admitInsert(b *proto.Batch, seq uint64) bool {
 	s := c.srv
 	if b.Len() > s.cfg.MaxBatch {
+		s.cfg.Flight.Record(flight.KindRefusal, c.id, c.session, seq,
+			uint64(proto.ErrCodeTooLarge), uint64(b.Len()), 0)
 		c.sendErr(seq, proto.ErrCodeTooLarge,
 			fmt.Sprintf("batch of %d entries exceeds server cap %d", b.Len(), s.cfg.MaxBatch), true)
 		return false
@@ -755,6 +788,8 @@ func (c *conn) admitInsert(b *proto.Batch, seq uint64) bool {
 		s.inFlight.Add(-n)
 		c.overloads.Add(1)
 		s.overloads.Add(1)
+		s.cfg.Flight.Record(flight.KindRefusal, c.id, c.session, seq,
+			uint64(proto.ErrCodeOverload), uint64(n), 0)
 		c.sendErr(seq, proto.ErrCodeOverload,
 			fmt.Sprintf("in-flight entry budget %d exhausted", s.cfg.MaxInFlight), true)
 		return false
@@ -770,6 +805,14 @@ func (c *conn) decode(f proto.Frame) (req request, fatal, drop bool) {
 	s := c.srv
 	switch f.Kind {
 	case proto.KindInsert:
+		// Trace sampling decides after admission (a refused frame must not
+		// hold a span), but the decode stage starts here — capture the
+		// clock before the parse so a sampled span charges parse plus
+		// admission to StageDecode.
+		var start int64
+		if s.tracer.Active() {
+			start = flight.Now()
+		}
 		b := s.batchPool.Get()
 		seq, err := proto.ParseInsertBatch(f.Body, b)
 		if err != nil {
@@ -781,8 +824,17 @@ func (c *conn) decode(f proto.Frame) (req request, fatal, drop bool) {
 			s.batchPool.Put(b)
 			return req, false, true
 		}
-		return request{kind: f.Kind, seq: seq, batch: b}, false, false
+		req = request{kind: f.Kind, seq: seq, batch: b}
+		if sp := s.tracer.Sample(c.id, c.session, seq, start); sp != nil {
+			sp.EndStage(flight.StageDecode)
+			req.span = sp
+		}
+		return req, false, false
 	case proto.KindInsertAt:
+		var start int64
+		if s.tracer.Active() {
+			start = flight.Now()
+		}
 		b := s.batchPool.Get()
 		seq, ts, err := proto.ParseInsertAtBatch(f.Body, b)
 		if err != nil {
@@ -794,7 +846,12 @@ func (c *conn) decode(f proto.Frame) (req request, fatal, drop bool) {
 			s.batchPool.Put(b)
 			return req, false, true
 		}
-		return request{kind: f.Kind, seq: seq, ts: ts, batch: b}, false, false
+		req = request{kind: f.Kind, seq: seq, ts: ts, batch: b}
+		if sp := s.tracer.Sample(c.id, c.session, seq, start); sp != nil {
+			sp.EndStage(flight.StageDecode)
+			req.span = sp
+		}
+		return req, false, false
 	case proto.KindFlush, proto.KindCheckpoint, proto.KindSummary, proto.KindGoodbye:
 		seq, err := proto.ParseSeq(f.Body)
 		if err != nil {
@@ -877,11 +934,16 @@ func (c *conn) apply(app *hhgb.Appender) {
 	// serve — with a typed per-request error, never a torn connection.
 	reject := func(seq uint64, msg string) error {
 		s.rejected.Add(1)
+		s.cfg.Flight.Record(flight.KindRefusal, c.id, c.session, seq,
+			uint64(proto.ErrCodeRejected), 0, 0)
 		return c.sendErr(seq, proto.ErrCodeRejected, msg, true)
 	}
 	for req := range c.queue {
 		begun := time.Now()
 		flush := len(c.queue) == 0
+		// Sampled inserts close their queue-wait stage at dequeue; nil-safe
+		// no-op for everything else.
+		req.span.EndStage(flight.StageQueue)
 		var err error
 		switch req.kind {
 		case proto.KindInsert:
@@ -890,6 +952,7 @@ func (c *conn) apply(app *hhgb.Appender) {
 			if wm != nil {
 				s.inFlight.Add(-n)
 				s.batchPool.Put(b)
+				req.span.Drop()
 				err = reject(req.seq, "server is windowed; use timestamped inserts (InsertAt)")
 				break
 			}
@@ -898,10 +961,11 @@ func (c *conn) apply(app *hhgb.Appender) {
 				ierr error
 			)
 			if c.session != "" {
-				dup, ierr = m.AppendWeightedSession(c.session, req.seq, b.Rows, b.Cols, b.Vals)
+				dup, ierr = m.AppendWeightedSessionSpan(c.session, req.seq, b.Rows, b.Cols, b.Vals, req.span)
 			} else {
 				ierr = app.AppendWeighted(b.Rows, b.Cols, b.Vals)
 			}
+			req.span.EndStage(flight.StagePartition)
 			s.inFlight.Add(-n)
 			// The matrix copied the entries out (or refused the batch);
 			// either way the scratch is dead — recycle it before writing
@@ -913,14 +977,18 @@ func (c *conn) apply(app *hhgb.Appender) {
 					code = proto.ErrCodeClosed
 				}
 				s.rejected.Add(1)
+				req.span.Drop()
 				err = c.sendErr(req.seq, code, ierr.Error(), true)
 				break
 			}
 			if dup {
 				// A retransmit of an already-accepted frame: ack it (the
 				// client is waiting for exactly this) without re-applying.
+				// Its timings describe the retransmit path, not ingest —
+				// drop the span unobserved.
 				s.dupsDropped.Add(1)
 				err = c.ack(req.seq, flush)
+				req.span.Drop()
 				break
 			}
 			c.batches.Add(1)
@@ -928,12 +996,15 @@ func (c *conn) apply(app *hhgb.Appender) {
 			s.batches.Add(1)
 			s.entries.Add(n)
 			err = c.ack(req.seq, flush)
+			req.span.EndStage(flight.StageAck)
+			req.span.Done()
 		case proto.KindInsertAt:
 			b := req.batch
 			n := int64(b.Len())
 			if wm == nil {
 				s.inFlight.Add(-n)
 				s.batchPool.Put(b)
+				req.span.Drop()
 				err = reject(req.seq, "server is not windowed; use plain inserts")
 				break
 			}
@@ -944,10 +1015,11 @@ func (c *conn) apply(app *hhgb.Appender) {
 			if req.ts > math.MaxInt64 {
 				ierr = fmt.Errorf("timestamp %d overflows", req.ts)
 			} else if c.session != "" {
-				dup, ierr = wm.AppendWeightedAtSession(c.session, req.seq, time.Unix(0, int64(req.ts)), b.Rows, b.Cols, b.Vals)
+				dup, ierr = wm.AppendWeightedAtSessionSpan(c.session, req.seq, time.Unix(0, int64(req.ts)), b.Rows, b.Cols, b.Vals, req.span)
 			} else {
 				ierr = wm.AppendWeighted(time.Unix(0, int64(req.ts)), b.Rows, b.Cols, b.Vals)
 			}
+			req.span.EndStage(flight.StagePartition)
 			s.inFlight.Add(-n)
 			s.batchPool.Put(b)
 			if ierr != nil {
@@ -956,12 +1028,14 @@ func (c *conn) apply(app *hhgb.Appender) {
 					code = proto.ErrCodeClosed
 				}
 				s.rejected.Add(1)
+				req.span.Drop()
 				err = c.sendErr(req.seq, code, ierr.Error(), true)
 				break
 			}
 			if dup {
 				s.dupsDropped.Add(1)
 				err = c.ack(req.seq, flush)
+				req.span.Drop()
 				break
 			}
 			c.batches.Add(1)
@@ -969,6 +1043,8 @@ func (c *conn) apply(app *hhgb.Appender) {
 			s.batches.Add(1)
 			s.entries.Add(n)
 			err = c.ack(req.seq, flush)
+			req.span.EndStage(flight.StageAck)
+			req.span.Done()
 		case proto.KindFlush:
 			s.flushes.Add(1)
 			if wm != nil {
@@ -1182,6 +1258,7 @@ func (c *conn) drainQuietly() {
 			c.srv.inFlight.Add(-int64(req.batch.Len()))
 			c.srv.batchPool.Put(req.batch)
 		}
+		req.span.Drop() // never applied; recycle unobserved
 	}
 }
 

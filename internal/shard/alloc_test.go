@@ -3,6 +3,7 @@ package shard
 import (
 	"testing"
 
+	"hhgb/internal/flight"
 	"hhgb/internal/gb"
 	"hhgb/internal/hier"
 )
@@ -60,6 +61,47 @@ func TestAllocBudgetAppenderAppend(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("warm Appender.Append allocates %.1f/op, budget is 0", allocs)
+	}
+}
+
+// The tracing plane must be free when it is not sampling: a group with a
+// flight recorder wired in (tracing compiled in, as every server now
+// runs) and nil spans (the unsampled case — sample rate 0) keeps the
+// session ingest path at zero allocations. The dup branch is the one a
+// reconnect retransmit storm hammers, so it is measured directly: every
+// frame below the accepted frontier must dedup without a single malloc,
+// recorder or not.
+func TestAllocBudgetSessionDedupTraced(t *testing.T) {
+	g, err := NewGroup[float64](1<<20, 1<<20, Config{
+		Shards:  4,
+		Handoff: 1 << 16,
+		Hier:    hier.Config{Cuts: nil},
+		Flight:  flight.NewRecorder(0),
+	})
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	defer g.Close()
+
+	rows := []gb.Index{1, 2, 3}
+	cols := []gb.Index{4, 5, 6}
+	vals := []float64{1, 1, 1}
+	// Advance the session frontier past the seq the loop replays, then
+	// drain so the workers are parked before the measurement.
+	if dup, err := g.UpdateSessionSpan("storm", 8, rows, cols, vals, nil); err != nil || dup {
+		t.Fatalf("seed frame: dup=%v err=%v", dup, err)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		dup, err := g.UpdateSessionSpan("storm", 3, rows, cols, vals, nil)
+		if err != nil || !dup {
+			t.Fatalf("dup=%v err=%v, want dup", dup, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("traced session dedup allocates %.1f/op, budget is 0", allocs)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"hhgb/internal/flight"
 	"hhgb/internal/gb"
 	"hhgb/internal/hier"
 	"hhgb/internal/wal"
@@ -305,6 +306,7 @@ type shardWAL[T gb.Number] struct {
 	f         *wal.File
 	put       func(T) uint64
 	met       *Metrics
+	rec       *flight.Recorder // nil-safe; fsync events for the flight ring
 	syncEvery int
 	unsynced  int // batches appended since the last sync
 	dirty     int // batches appended since the last snapshotted checkpoint
@@ -347,7 +349,9 @@ func (l *shardWAL[T]) sync() error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
-	l.met.WALFsync.Observe(time.Since(start).Seconds())
+	d := time.Since(start)
+	l.met.WALFsync.Observe(d.Seconds())
+	l.rec.Record(flight.KindWALFsync, 0, "", 0, uint64(l.shard), uint64(l.unsynced), d)
 	l.unsynced = 0
 	return nil
 }
@@ -427,6 +431,7 @@ func (g *Group[T]) openLogs(epoch uint64) error {
 			f:         f,
 			put:       g.codec.Put,
 			met:       g.cfg.Metrics,
+			rec:       g.cfg.Flight,
 			syncEvery: g.cfg.Durable.SyncEvery,
 		}
 	}
@@ -464,6 +469,8 @@ func (g *Group[T]) Checkpoint() error {
 	g.epoch++           // advance even on failure: names are never reused
 	g.ckptFailed = true // until this attempt fully commits
 	epoch := g.epoch
+	g.cfg.Flight.Record(flight.KindCheckpointBegin, 0, "", 0, epoch, 0, 0)
+	defer func() { g.cfg.Flight.Record(flight.KindCheckpointEnd, 0, "", 0, epoch, 0, time.Since(start)) }()
 	accepted := g.snapshotAccepted()
 	errs := make([]error, len(g.workers))
 	snaps := make([]string, len(g.workers))
@@ -525,6 +532,8 @@ func (g *Group[T]) checkpointLocked() error {
 	g.epoch++
 	g.ckptFailed = true
 	epoch := g.epoch
+	g.cfg.Flight.Record(flight.KindCheckpointBegin, 0, "", 0, epoch, 0, 0)
+	defer func() { g.cfg.Flight.Record(flight.KindCheckpointEnd, 0, "", 0, epoch, 0, time.Since(start)) }()
 	accepted := g.snapshotAccepted()
 	snaps := make([]string, len(g.workers))
 	tables := make([]map[string]uint64, len(g.workers))

@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"hhgb/internal/flight"
 	"hhgb/internal/gb"
 	"hhgb/internal/hier"
 	"hhgb/internal/wal"
@@ -55,6 +57,10 @@ type Config struct {
 	// WAL fsync and checkpoint latency). Nil wires them to the discard
 	// registry: updated but never rendered.
 	Metrics *Metrics
+	// Flight, when non-nil, receives structured ring events from the
+	// shard layer (WAL fsyncs, checkpoint phases). Recording is
+	// allocation-free; nil disables it at the cost of one branch.
+	Flight *flight.Recorder
 }
 
 // withDefaults resolves zero values to the documented defaults.
@@ -90,6 +96,10 @@ type msg[T gb.Number] struct {
 	// (UpdateSession). Empty sess marks the unkeyed local-ingest path.
 	sess string
 	seq  uint64
+	// span, when non-nil, is the sampled frame's latency span; the
+	// producer took one reference per partition (Hold), and the worker
+	// releases it after attributing shard-side stages (Done).
+	span *flight.Span
 	do   func(m *hier.Matrix[T])
 	done chan struct{}
 }
@@ -147,6 +157,16 @@ func (w *worker[T]) loop(wg *sync.WaitGroup) {
 // cascade update, session high-water advance. The message's buffers are
 // consumed (copied out) by the time it returns.
 func (w *worker[T]) ingest(msg msg[T]) {
+	// Sampled frames attribute their shard-side latency here: queue wait
+	// on dequeue, then the WAL and apply shares below. Every path out
+	// releases the partition's span reference; the span methods are
+	// nil-safe, so unsampled messages pay one branch.
+	defer msg.span.Done()
+	var spanMark int64
+	if msg.span != nil {
+		msg.span.ObserveShardWait()
+		spanMark = flight.Now()
+	}
 	if w.err != nil {
 		return // sticky: drop buffers after the first failure
 	}
@@ -167,9 +187,17 @@ func (w *worker[T]) ingest(msg msg[T]) {
 			w.err = fmt.Errorf("wal: %w", err)
 			return
 		}
+		if msg.span != nil {
+			now := flight.Now()
+			msg.span.ObserveMax(flight.StageWAL, time.Duration(now-spanMark))
+			spanMark = now
+		}
 	}
 	w.cache = shardCache[T]{} // this shard's reductions are stale now
 	w.err = w.m.Update(msg.rows, msg.cols, msg.vals)
+	if msg.span != nil {
+		msg.span.ObserveMax(flight.StageApply, time.Duration(flight.Now()-spanMark))
+	}
 	if w.err == nil {
 		w.met.BatchesApplied.Inc()
 		w.met.EntriesApplied.Add(uint64(len(msg.rows)))
@@ -468,6 +496,16 @@ func (g *Group[T]) Update(rows, cols []gb.Index, vals []T) error {
 // the frontier, so seq holes never form. Sessions longer than
 // wal.MaxSessionID, empty sessions, and zero seqs are rejected.
 func (g *Group[T]) UpdateSession(session string, seq uint64, rows, cols []gb.Index, vals []T) (bool, error) {
+	return g.UpdateSessionSpan(session, seq, rows, cols, vals, nil)
+}
+
+// UpdateSessionSpan is UpdateSession carrying a sampled frame's latency
+// span. When sp is non-nil, the handoff instant is stamped and each
+// non-empty partition takes one span reference before it is enqueued;
+// the shard workers attribute queue-wait, WAL, and apply time to the
+// span and release the references as they finish. The caller keeps its
+// own reference throughout — a dup or error return never transfers any.
+func (g *Group[T]) UpdateSessionSpan(session string, seq uint64, rows, cols []gb.Index, vals []T, sp *flight.Span) (bool, error) {
 	if session == "" || seq == 0 {
 		return false, fmt.Errorf("%w: session %q seq %d", gb.ErrInvalidValue, session, seq)
 	}
@@ -504,13 +542,18 @@ func (g *Group[T]) UpdateSession(session string, seq uint64, rows, cols []gb.Ind
 			p.cols[s] = append(p.cols[s], cols[k])
 			p.vals[s] = append(p.vals[s], vals[k])
 		}
+		sp.MarkHandoff()
 		for s := range g.workers {
 			if p.rows[s] == nil {
 				continue
 			}
+			// One span reference per partition, taken before the send:
+			// the worker's release must never race a reference not yet
+			// counted.
+			sp.Hold()
 			g.workers[s].in <- msg[T]{
 				rows: p.rows[s], cols: p.cols[s], vals: p.vals[s],
-				sess: session, seq: seq,
+				sess: session, seq: seq, span: sp,
 			}
 			p.rows[s], p.cols[s], p.vals[s] = nil, nil, nil
 		}

@@ -52,6 +52,7 @@ import (
 	"sync"
 	"time"
 
+	"hhgb/internal/flight"
 	"hhgb/internal/gb"
 	"hhgb/internal/hier"
 	"hhgb/internal/shard"
@@ -437,6 +438,14 @@ func (s *Store[T]) Append(ts int64, rows, cols []gb.Index, vals []T) error {
 // fails with ErrLate — the data missed its window and is refused, never
 // silently dropped.
 func (s *Store[T]) AppendSession(session string, seq uint64, ts int64, rows, cols []gb.Index, vals []T) (bool, error) {
+	return s.AppendSessionSpan(session, seq, ts, rows, cols, vals, nil)
+}
+
+// AppendSessionSpan is AppendSession carrying a sampled frame's latency
+// span, threaded through to the window group's UpdateSessionSpan so
+// shard workers can attribute the frame's async stages. A nil span is
+// the common (unsampled) case and costs nothing.
+func (s *Store[T]) AppendSessionSpan(session string, seq uint64, ts int64, rows, cols []gb.Index, vals []T, sp *flight.Span) (bool, error) {
 	if session == "" || seq == 0 {
 		return false, fmt.Errorf("%w: session %q seq %d", gb.ErrInvalidValue, session, seq)
 	}
@@ -494,7 +503,7 @@ func (s *Store[T]) AppendSession(session string, seq uint64, ts int64, rows, col
 		// run ahead of the store's after a recovery); either way a nil
 		// error means the frame is accounted for, so the store frontier
 		// advances.
-		dup, err = w.g.UpdateSession(session, seq, rows, cols, vals)
+		dup, err = w.g.UpdateSessionSpan(session, seq, rows, cols, vals, sp)
 		if err == nil {
 			s.advanceAccepted(session, seq)
 		}
@@ -704,6 +713,11 @@ func (s *Store[T]) sealWin(w *win[T]) {
 	if lag >= 0 {
 		s.cfg.Metrics.SealLag.Observe(float64(lag) / 1e9)
 	}
+	sealLag := time.Duration(0)
+	if lag > 0 {
+		sealLag = time.Duration(lag)
+	}
+	s.cfg.Shard.Flight.Record(flight.KindSeal, 0, "", 0, uint64(w.level), uint64(sum.Entries), sealLag)
 	delivered := uint64(0)
 	for _, sub := range subs {
 		if sub.push(sum) {
@@ -873,6 +887,7 @@ func (s *Store[T]) materializeParent(level int, pstart int64, children []*win[T]
 	p.state = Sealing
 	s.stats.RollUps++
 	s.mu.Unlock()
+	s.cfg.Shard.Flight.Record(flight.KindRollup, 0, "", 0, uint64(level), uint64(len(children)), wallSince(begun))
 	s.sealWin(p)
 	return nil
 }
@@ -901,6 +916,7 @@ func (s *Store[T]) expire() {
 	}
 	s.mu.Unlock()
 	for _, w := range victims {
+		s.cfg.Shard.Flight.Record(flight.KindExpiry, 0, "", 0, uint64(w.level), uint64(w.start), 0)
 		if w.dir != "" {
 			s.removeWinDir(w)
 		}

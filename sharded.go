@@ -82,6 +82,7 @@ func NewSharded(dim uint64, opts ...Option) (*Sharded, error) {
 		Hier:    hier.Config{Cuts: o.cuts},
 		Durable: shard.Durability{Dir: o.durDir, SyncEvery: o.syncEvery},
 		Metrics: shard.NewMetrics(o.metrics),
+		Flight:  o.flight,
 	})
 	if err != nil {
 		return nil, err
@@ -143,6 +144,7 @@ func Recover(dir string, opts ...Option) (*Sharded, error) {
 		Handoff: o.handoff,
 		Durable: shard.Durability{Dir: dir, SyncEvery: o.syncEvery},
 		Metrics: shard.NewMetrics(o.metrics),
+		Flight:  o.flight,
 	})
 	if err != nil {
 		return nil, err
@@ -196,6 +198,13 @@ func (s *Sharded) AppendWeighted(src, dst, weight []uint64) error {
 // this; sessions and seqs are its to assign. On a durable matrix the key
 // is journaled beside the batch, so dedup survives crash recovery.
 func (s *Sharded) AppendWeightedSession(session string, seq uint64, src, dst, weight []uint64) (bool, error) {
+	return s.AppendWeightedSessionSpan(session, seq, src, dst, weight, nil)
+}
+
+// AppendWeightedSessionSpan is AppendWeightedSession carrying a sampled
+// frame's latency span (see the network server's tracing); a nil span —
+// the unsampled common case — costs nothing.
+func (s *Sharded) AppendWeightedSessionSpan(session string, seq uint64, src, dst, weight []uint64, sp *IngestSpan) (bool, error) {
 	if len(src) != len(dst) || len(src) != len(weight) {
 		return false, fmt.Errorf("%w: batch lengths %d/%d/%d differ", gb.ErrInvalidValue, len(src), len(dst), len(weight))
 	}
@@ -205,7 +214,7 @@ func (s *Sharded) AppendWeightedSession(session string, seq uint64, src, dst, we
 		rows[k] = gb.Index(src[k])
 		cols[k] = gb.Index(dst[k])
 	}
-	return s.g.UpdateSession(session, seq, rows, cols, weight)
+	return s.g.UpdateSessionSpan(session, seq, rows, cols, weight, sp)
 }
 
 // SessionResume reports a session's resume frontier: the highest insert

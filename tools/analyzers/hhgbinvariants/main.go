@@ -1,11 +1,15 @@
 // Command hhgbinvariants is a vet tool enforcing three repo invariants
 // that the type system cannot express:
 //
-//   - timenow: the window engine (any package whose import path ends in
-//     internal/window) is event-time only. Wall-clock reads — time.Now,
-//     time.Since — are confined to the allowlisted wallclock.go, whose
-//     helpers exist precisely so instrumentation and eviction patience
-//     can use wall time without event-time logic ever depending on it.
+//   - timenow: wall-clock reads — time.Now, time.Since — are confined
+//     to one allowlisted file in each clock-isolated package. The window
+//     engine (import path ending internal/window) is event-time only;
+//     its wall reads live in wallclock.go, whose helpers exist precisely
+//     so instrumentation and eviction patience can use wall time without
+//     event-time logic ever depending on it. The flight tracing plane
+//     (internal/flight) stamps every event and span stage through the
+//     monotonic clock in clock.go; a stray time.Now elsewhere would mix
+//     wall and monotonic timestamps inside one ring.
 //
 //   - walwrite: the write-ahead log file (wal.Create and the Append,
 //     Sync, Close, Rotate methods of wal.File) is only touched by code
@@ -124,9 +128,22 @@ type vetConfig struct {
 
 const (
 	windowSuffix = "internal/window"
+	flightSuffix = "internal/flight"
 	walSuffix    = "internal/wal"
 	shardSuffix  = "internal/shard"
 )
+
+// timeRules maps each clock-isolated package (by import-path suffix) to
+// its single allowlisted wall-clock file and the domain named in the
+// diagnostic.
+var timeRules = []struct {
+	suffix string // package import-path suffix
+	exempt string // the one file allowed to read the wall clock
+	domain string // what the diagnostic calls the package
+}{
+	{windowSuffix, "wallclock.go", "the event-time-only window engine"},
+	{flightSuffix, "clock.go", "the monotonic-clock flight recorder"},
+}
 
 func run(cfgPath string) ([]string, error) {
 	data, err := os.ReadFile(cfgPath)
@@ -154,7 +171,14 @@ func run(cfgPath string) ([]string, error) {
 	if i := strings.IndexByte(pkgPath, ' '); i >= 0 {
 		pkgPath = pkgPath[:i]
 	}
-	checkTime := pathHasSuffix(pkgPath, windowSuffix)
+	timeExempt, timeDomain := "", ""
+	for _, r := range timeRules {
+		if pathHasSuffix(pkgPath, r.suffix) {
+			timeExempt, timeDomain = r.exempt, r.domain
+			break
+		}
+	}
+	checkTime := timeExempt != ""
 	// Only packages that import the wal package can touch wal.File, so
 	// everything else — the vast majority, all of std included — skips
 	// parsing and typechecking entirely.
@@ -242,8 +266,8 @@ func run(cfgPath string) ([]string, error) {
 		if strings.HasSuffix(base, "_test.go") {
 			continue
 		}
-		if checkTime && base != "wallclock.go" {
-			checkTimeNow(f, info, report)
+		if checkTime && base != timeExempt {
+			checkTimeNow(f, info, report, timeDomain, timeExempt)
 		}
 		if checkWAL && !(pathHasSuffix(pkgPath, shardSuffix) && base == "durable.go") {
 			checkWALWrite(f, info, report)
@@ -375,8 +399,8 @@ func checkBoxedArgs(call *ast.CallExpr, info *types.Info, report func(token.Pos,
 	}
 }
 
-// checkTimeNow flags wall-clock reads in window-engine code.
-func checkTimeNow(f *ast.File, info *types.Info, report func(token.Pos, string, ...any)) {
+// checkTimeNow flags wall-clock reads in clock-isolated packages.
+func checkTimeNow(f *ast.File, info *types.Info, report func(token.Pos, string, ...any), domain, exempt string) {
 	ast.Inspect(f, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
@@ -391,7 +415,7 @@ func checkTimeNow(f *ast.File, info *types.Info, report func(token.Pos, string, 
 			return true
 		}
 		if name := sel.Sel.Name; name == "Now" || name == "Since" {
-			report(sel.Pos(), "time.%s in the event-time-only window engine: use the wallclock.go helpers", name)
+			report(sel.Pos(), "time.%s in %s: use the %s helpers", name, domain, exempt)
 		}
 		return true
 	})

@@ -1,0 +1,9 @@
+// clock.go is the flight package's allowlisted clock file: the timenow
+// check must not flag anything here.
+package flight
+
+import "time"
+
+var base = time.Now()
+
+func monoNow() int64 { return int64(time.Since(base)) }

@@ -1,0 +1,16 @@
+// tracer.go violates the flight package's clock isolation on purpose:
+// the fixture runner asserts the timenow check fires on each marked
+// line. Mixing raw wall-clock reads with the monotonic base in clock.go
+// would put incomparable timestamps in one event ring.
+package flight
+
+import "time"
+
+func stamp(start time.Time) (int64, time.Duration) {
+	now := time.Now()        // want `time\.Now in the monotonic-clock flight recorder`
+	dur := time.Since(start) // want `time\.Since in the monotonic-clock flight recorder`
+	if monoNow() > 0 {
+		dur += now.Sub(start) // time.Time methods are fine; only package-level reads are flagged
+	}
+	return monoNow(), dur
+}

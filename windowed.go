@@ -67,6 +67,7 @@ func NewWindowed(dim uint64, windowDur time.Duration, opts ...Option) (*Windowed
 			Hier:    hier.Config{Cuts: o.cuts},
 			Durable: shard.Durability{Dir: o.durDir, SyncEvery: o.syncEvery},
 			Metrics: shard.NewMetrics(o.metrics),
+			Flight:  o.flight,
 		},
 		Metrics:            window.NewMetrics(o.metrics),
 		SubscriberQueue:    o.subQueue,
@@ -106,6 +107,7 @@ func RecoverWindowed(dir string, opts ...Option) (*Windowed, error) {
 			Handoff: o.handoff,
 			Durable: shard.Durability{Dir: dir, SyncEvery: o.syncEvery},
 			Metrics: shard.NewMetrics(o.metrics),
+			Flight:  o.flight,
 		},
 		Metrics:            window.NewMetrics(o.metrics),
 		SubscriberQueue:    o.subQueue,
@@ -177,6 +179,13 @@ func (w *Windowed) AppendWeighted(ts time.Time, src, dst, weight []uint64) error
 // — returns dup=true without applying anything; a genuinely late frame
 // that was never applied still fails with ErrLate.
 func (w *Windowed) AppendWeightedAtSession(session string, seq uint64, ts time.Time, src, dst, weight []uint64) (bool, error) {
+	return w.AppendWeightedAtSessionSpan(session, seq, ts, src, dst, weight, nil)
+}
+
+// AppendWeightedAtSessionSpan is AppendWeightedAtSession carrying a
+// sampled frame's latency span (see the network server's tracing); a
+// nil span — the unsampled common case — costs nothing.
+func (w *Windowed) AppendWeightedAtSessionSpan(session string, seq uint64, ts time.Time, src, dst, weight []uint64, sp *IngestSpan) (bool, error) {
 	if len(src) != len(dst) || len(src) != len(weight) {
 		return false, fmt.Errorf("%w: batch lengths %d/%d/%d differ", gb.ErrInvalidValue, len(src), len(dst), len(weight))
 	}
@@ -186,7 +195,7 @@ func (w *Windowed) AppendWeightedAtSession(session string, seq uint64, ts time.T
 		rows[k] = gb.Index(src[k])
 		cols[k] = gb.Index(dst[k])
 	}
-	return w.s.AppendSession(session, seq, ts.UnixNano(), rows, cols, weight)
+	return w.s.AppendSessionSpan(session, seq, ts.UnixNano(), rows, cols, weight, sp)
 }
 
 // SessionResume reports a session's resume frontier, like
