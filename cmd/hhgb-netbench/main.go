@@ -22,6 +22,14 @@
 // queue, partition, ack, shard_wait, wal, apply, total) and connection
 // count, the p50 and p99 frame latency from the
 // hhgb_server_ingest_stage_seconds histograms.
+//
+// Unless -query-out is empty, a third sweep measures the read path
+// against a windowed server spanning every query: after seeding a
+// multi-window store, one client drives -queries round trips of each
+// read op (lookup, top-k, summary, and their range forms) and
+// BENCH_query.json reports per-op client-observed rate with p50/p99
+// extras, plus the server-side per-stage quantiles from the
+// hhgb_query_stage_seconds histograms.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -56,6 +65,8 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "workload seed")
 		out         = flag.String("out", "BENCH_net.json", "trajectory output file")
 		latencyOut  = flag.String("latency-out", "BENCH_latency.json", "per-stage latency trajectory output (empty = skip the latency sweep)")
+		queryOut    = flag.String("query-out", "BENCH_query.json", "read-path latency trajectory output (empty = skip the query sweep)")
+		queries     = flag.Int("queries", 200, "round trips per read-op kind in the query sweep")
 	)
 	flag.Parse()
 	if *singleEdges <= 0 {
@@ -68,7 +79,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := run(*edges, *singleEdges, *scale, *shards, connCounts, *batch, *seed, *out, *latencyOut); err != nil {
+	if err := run(*edges, *singleEdges, *scale, *shards, connCounts, *batch, *seed, *out, *latencyOut, *queryOut, *queries); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -85,7 +96,7 @@ func parseConns(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(edges, singleEdges, scale, shards int, connCounts []int, batch int, seed uint64, out, latencyOut string) error {
+func run(edges, singleEdges, scale, shards int, connCounts []int, batch int, seed uint64, out, latencyOut, queryOut string, queries int) error {
 	traj := bench.NewTrajectory("net", "inserts/s")
 	traj.Meta = map[string]string{
 		"edges":        fmt.Sprint(edges),
@@ -124,6 +135,151 @@ func run(edges, singleEdges, scale, shards int, connCounts []int, batch int, see
 			return fmt.Errorf("latency sweep: %w", err)
 		}
 	}
+	if queryOut != "" {
+		if err := querySweep(singleEdges, scale, shards, queries, seed, queryOut); err != nil {
+			return fmt.Errorf("query sweep: %w", err)
+		}
+	}
+	return nil
+}
+
+// querySweep measures the read path end to end: a windowed server with
+// every query spanned (a 1ns SlowQuery threshold turns the query tracer
+// on; no flight ring is attached, so nothing is recorded), seeded with
+// edges spread across eight level-0 windows, then one client driving a
+// fixed mix of read ops. Per op kind the artifact reports the
+// client-observed rate with p50/p99 round-trip extras; per query stage
+// it reports the server-side quantiles from hhgb_query_stage_seconds —
+// so the artifact shows both what a caller waits and where the server
+// spends it.
+func querySweep(edges, scale, shards, queries int, seed uint64, out string) error {
+	const windows = 8
+	traj := bench.NewTrajectory("net_query", "queries/s")
+	traj.Meta = map[string]string{
+		"edges":   fmt.Sprint(edges),
+		"scale":   fmt.Sprint(scale),
+		"queries": fmt.Sprint(queries),
+		"windows": fmt.Sprint(windows),
+	}
+	opts := []hhgb.Option{hhgb.WithLateness(time.Hour)}
+	if shards > 0 {
+		opts = append(opts, hhgb.WithShards(shards))
+	}
+	wm, err := hhgb.NewWindowed(uint64(1)<<uint(scale), time.Second, opts...)
+	if err != nil {
+		return err
+	}
+	defer wm.Close()
+	reg := hhgb.NewMetrics()
+	srv, err := server.New(server.Config{
+		Windowed:  wm,
+		Metrics:   reg,
+		SlowQuery: time.Nanosecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+
+	c, err := hhgbclient.Dial(ln.Addr().String(),
+		hhgbclient.WithFlushInterval(0),
+		hhgbclient.WithMaxPending(1024))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	// Seed the store: edges/windows per window, contiguous event times.
+	base := time.Unix(1_700_000_000, 0)
+	g, err := powerlaw.NewRMAT(scale, seed)
+	if err != nil {
+		return err
+	}
+	per := edges / windows
+	if per < 1 {
+		per = 1
+	}
+	probe := g.Edge() // the pair the lookup ops probe; it is in window 0
+	for w := 0; w < windows; w++ {
+		src := make([]uint64, per)
+		dst := make([]uint64, per)
+		for k := range src {
+			e := g.Edge()
+			src[k], dst[k] = e.Row, e.Col
+		}
+		if w == 0 {
+			src[0], dst[0] = probe.Row, probe.Col
+		}
+		if err := c.AppendAt(base.Add(time.Duration(w)*time.Second), src, dst); err != nil {
+			return err
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+
+	t0 := base
+	tHalf := base.Add(windows / 2 * time.Second)
+	ops := []struct {
+		name string
+		fn   func() error
+	}{
+		{"lookup", func() error { _, _, err := c.Lookup(probe.Row, probe.Col); return err }},
+		{"range_lookup", func() error { _, _, err := c.RangeLookup(probe.Row, probe.Col, t0, tHalf); return err }},
+		{"topk", func() error { _, err := c.TopSources(10); return err }},
+		{"range_topk", func() error { _, err := c.RangeTopSources(10, t0, tHalf); return err }},
+		{"summary", func() error { _, err := c.Summary(); return err }},
+		{"range_summary", func() error { _, err := c.RangeSummary(t0, tHalf); return err }},
+	}
+	for i, op := range ops {
+		for w := 0; w < 5; w++ { // warm the pushdown caches and the path
+			if err := op.fn(); err != nil {
+				return fmt.Errorf("%s: %w", op.name, err)
+			}
+		}
+		durs := make([]time.Duration, queries)
+		total := time.Duration(0)
+		for q := range durs {
+			t := time.Now()
+			if err := op.fn(); err != nil {
+				return fmt.Errorf("%s: %w", op.name, err)
+			}
+			durs[q] = time.Since(t)
+			total += durs[q]
+		}
+		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+		p50 := durs[len(durs)/2].Seconds()
+		p99 := durs[len(durs)*99/100].Seconds()
+		rate := float64(queries) / total.Seconds()
+		traj.AddPoint("op/"+op.name, float64(i), rate, map[string]float64{
+			"p50":     p50,
+			"p99":     p99,
+			"queries": float64(queries),
+		})
+		log.Printf("%-20s %9.0f queries/s  p50 %8.1fus  p99 %8.1fus",
+			"op/"+op.name, rate, p50*1e6, p99*1e6)
+	}
+
+	// The server-side decomposition of the same traffic: where the time
+	// went, stage by stage. RegisterQueryStageHistograms dedups against
+	// the server's own registration, so this reads the very series the
+	// spans observed.
+	for i, h := range flight.RegisterQueryStageHistograms(reg) {
+		name := flight.QStage(i).String()
+		traj.AddPoint("stage/"+name, float64(i), h.Quantile(0.99), map[string]float64{
+			"p50":     h.Quantile(0.5),
+			"queries": float64(h.Count()),
+		})
+	}
+	if err := traj.WriteFile(out); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (%d points)", out, len(traj.Points))
 	return nil
 }
 

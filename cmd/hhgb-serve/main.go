@@ -11,7 +11,7 @@
 //	           [-durable dir] [-sync-every N]
 //	           [-tls-cert file -tls-key file]
 //	           [-stats host:port] [-metrics]
-//	           [-trace-sample N] [-slow-frame D]
+//	           [-trace-sample N] [-slow-frame D] [-slow-query D]
 //	           [-max-inflight N] [-max-batch N] [-queue-depth N]
 //
 // With -window, inserts must carry event timestamps (hhgbclient.AppendAt);
@@ -47,7 +47,19 @@
 // into per-stage histograms (hhgb_server_ingest_stage_seconds, under
 // -metrics); sampled frames slower than -slow-frame are recorded stage
 // by stage into the ring (0 records every sampled frame). Sampling adds
-// zero allocations to unsampled frames. With -sub-queue (needs
+// zero allocations to unsampled frames. Reads get the same treatment:
+// when tracing is on at all (-trace-sample, or a positive -slow-query),
+// EVERY query — lookup, top-k, summary, and their range forms — carries
+// a span decomposing it into decode/queue/plan/fanout/merge/encode/ack
+// stage histograms (hhgb_query_stage_seconds) plus fan-out-shape
+// histograms (hhgb_query_shards_touched, hhgb_query_windows_touched),
+// and queries at or over -slow-query land in the flight ring as a
+// causally ordered stage chain ending in a slow_query marker —
+// /debug/events?kind=slow_query lists them, ?limit=N bounds the dump.
+// Clients can also ask the server to EXPLAIN any read: the
+// hhgbclient.Explain* methods return the exact window cover a query is
+// served from, per-leg timings, uncovered holes, and pushdown-cache
+// traffic. With -sub-queue (needs
 // -window), each summary
 // subscription is bounded to N undelivered summaries; a subscriber that
 // stays over the bound longer than -sub-patience (default: evict on the
@@ -102,12 +114,13 @@ func main() {
 		queueDepth  = flag.Int("queue-depth", 0, "per-connection apply queue depth in frames (0 = default)")
 		traceSample = flag.Int("trace-sample", 0, "sample 1 in N insert frames into per-stage latency spans (0 = off)")
 		slowFrame   = flag.Duration("slow-frame", 0, "record sampled frames at or over this end-to-end latency into the flight ring (0 = every sampled frame)")
+		slowQuery   = flag.Duration("slow-query", 0, "record spanned queries at or over this end-to-end latency into the flight ring; a positive value turns query spans on by itself (0 = every spanned query, spans need -trace-sample; negative = ring off)")
 	)
 	flag.Parse()
 	if err := run(*addr, *scale, *shards, *window, *rollups, *retentions, *lateness,
 		*durable, *syncEvery, *tlsCert, *tlsKey, *statsAddr, *metricsOn,
 		*subQueue, *subPatience, *maxInflight, *maxBatch, *queueDepth,
-		*traceSample, *slowFrame); err != nil {
+		*traceSample, *slowFrame, *slowQuery); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -115,7 +128,7 @@ func main() {
 func run(addr string, scale, shards int, window time.Duration, rollups, retentions string, lateness time.Duration,
 	durable string, syncEvery int, tlsCert, tlsKey, statsAddr string, metricsOn bool,
 	subQueue int, subPatience time.Duration, maxInflight int64, maxBatch, queueDepth int,
-	traceSample int, slowFrame time.Duration) error {
+	traceSample int, slowFrame, slowQuery time.Duration) error {
 	// The flight recorder always runs: recording is allocation-free and
 	// the ring is fixed-size, so there is nothing to turn off. It is
 	// shared by the server and the store so both sides' events interleave
@@ -129,6 +142,7 @@ func run(addr string, scale, shards int, window time.Duration, rollups, retentio
 		Flight:      rec,
 		TraceSample: traceSample,
 		SlowFrame:   slowFrame,
+		SlowQuery:   slowQuery,
 	}
 	if metricsOn && statsAddr == "" {
 		return fmt.Errorf("-metrics needs -stats")

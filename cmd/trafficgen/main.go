@@ -7,6 +7,7 @@
 //	trafficgen [-edges N] [-scale S] [-gen rmat|pareto] [-alpha F] [-seed N]
 //	           [-rate R] [-start T] [-format tsv|matrix] [-o file]
 //	trafficgen -connect host:port [-conns N] [-batch N] [-edges N] [-scale S] [-gen ...] [-seed N] [-rate R] [-start T]
+//	           [-verify] [-query-rate R] [-queries N]
 //
 // With -connect, the generator becomes a load driver: -conns client
 // connections stream -edges edges total (split evenly) as batched insert
@@ -39,6 +40,13 @@
 // (nanoseconds), and -connect streams timestamped inserts — required
 // against a windowed hhgb-serve, whose window duration the client learns
 // in the handshake and uses to cut frames at window boundaries.
+//
+// The driver can mix reads into the run: -query-rate R paces a mixed
+// read workload (lookup, top-k, summary; plus their range forms on a
+// timestamped stream) on a dedicated connection while the stream runs,
+// and -queries N issues exactly N rounds of that mix after the final
+// Flush — a deterministic count smoke checks can assert against the
+// server's query metrics.
 package main
 
 import (
@@ -65,19 +73,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trafficgen: ")
 	var (
-		edges   = flag.Int("edges", 1_000_000, "edges to generate")
-		scale   = flag.Int("scale", 24, "vertex-space scale (2^scale vertices)")
-		gen     = flag.String("gen", "rmat", "generator: rmat | pareto")
-		alpha   = flag.Float64("alpha", 1.1, "pareto shape (pareto generator only)")
-		seed    = flag.Uint64("seed", 1, "generator seed (0 = draw one at random and log it for replay)")
-		format  = flag.String("format", "tsv", "output format: tsv | matrix")
-		out     = flag.String("o", "-", "output file (- for stdout)")
-		connect = flag.String("connect", "", "stream to a hhgb-serve address instead of writing a file")
-		conns   = flag.Int("conns", 1, "client connections (with -connect)")
-		batch   = flag.Int("batch", 4096, "entries per insert frame (with -connect)")
-		rate    = flag.Float64("rate", 0, "event-time edges per second; 0 = untimestamped edges")
-		start   = flag.Int64("start", 1_700_000_000, "event time of the first edge, unix seconds (with -rate)")
-		verify  = flag.Bool("verify", false, "after streaming, compare the server's packet total to the generated stream (with -connect)")
+		edges     = flag.Int("edges", 1_000_000, "edges to generate")
+		scale     = flag.Int("scale", 24, "vertex-space scale (2^scale vertices)")
+		gen       = flag.String("gen", "rmat", "generator: rmat | pareto")
+		alpha     = flag.Float64("alpha", 1.1, "pareto shape (pareto generator only)")
+		seed      = flag.Uint64("seed", 1, "generator seed (0 = draw one at random and log it for replay)")
+		format    = flag.String("format", "tsv", "output format: tsv | matrix")
+		out       = flag.String("o", "-", "output file (- for stdout)")
+		connect   = flag.String("connect", "", "stream to a hhgb-serve address instead of writing a file")
+		conns     = flag.Int("conns", 1, "client connections (with -connect)")
+		batch     = flag.Int("batch", 4096, "entries per insert frame (with -connect)")
+		rate      = flag.Float64("rate", 0, "event-time edges per second; 0 = untimestamped edges")
+		start     = flag.Int64("start", 1_700_000_000, "event time of the first edge, unix seconds (with -rate)")
+		verify    = flag.Bool("verify", false, "after streaming, compare the server's packet total to the generated stream (with -connect)")
+		queryRate = flag.Float64("query-rate", 0, "mixed read ops per second on a dedicated connection while the stream runs (with -connect)")
+		queries   = flag.Int("queries", 0, "rounds of the mixed read workload to issue after the stream flushes (with -connect; a deterministic count for smoke checks)")
 	)
 	flag.Parse()
 	if *seed == 0 {
@@ -85,7 +95,7 @@ func main() {
 		log.Printf("-seed 0: drew seed %d; replay this exact stream with -seed %d", *seed, *seed)
 	}
 	if *connect != "" {
-		if err := runConnect(*connect, *conns, *batch, *edges, *scale, *gen, *alpha, *seed, *rate, *start, *verify); err != nil {
+		if err := runConnect(*connect, *conns, *batch, *edges, *scale, *gen, *alpha, *seed, *rate, *start, *verify, *queryRate, *queries); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -194,9 +204,37 @@ func (a *ackStats) report() {
 		len(a.samples), q(0.50), q(0.99), a.samples[len(a.samples)-1])
 }
 
+// readMix builds the mixed read workload behind -query-rate and
+// -queries: point lookup, top-k, and summary, plus their range forms on
+// a timestamped (windowed) stream. The lookup probes the workload's own
+// first edge, so it always exercises a live cell; the range ops span the
+// whole stream.
+func readMix(c *hhgbclient.Client, gen string, scale int, alpha float64, seed uint64, stamp func(k int) int64, edges int) ([]func() error, error) {
+	next, err := newGen(gen, scale, alpha, seed)
+	if err != nil {
+		return nil, err
+	}
+	e := next()
+	ops := []func() error{
+		func() error { _, _, err := c.Lookup(e.Row, e.Col); return err },
+		func() error { _, err := c.TopSources(10); return err },
+		func() error { _, err := c.Summary(); return err },
+	}
+	if stamp != nil {
+		t0 := time.Unix(0, stamp(0))
+		t1 := time.Unix(0, stamp(edges-1)+1)
+		ops = append(ops,
+			func() error { _, _, err := c.RangeLookup(e.Row, e.Col, t0, t1); return err },
+			func() error { _, err := c.RangeTopSources(10, t0, t1); return err },
+			func() error { _, err := c.RangeSummary(t0, t1); return err },
+		)
+	}
+	return ops, nil
+}
+
 // runConnect streams the workload into a server over conns connections
 // and reports the aggregate rate.
-func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha float64, seed uint64, rate float64, startSec int64, verify bool) error {
+func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha float64, seed uint64, rate float64, startSec int64, verify bool, queryRate float64, queries int) error {
 	if conns < 1 {
 		return fmt.Errorf("-conns %d < 1", conns)
 	}
@@ -221,6 +259,43 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 		errMu.Unlock()
 	}
 	var acks ackStats
+	// -query-rate: a dedicated connection paces the mixed read workload
+	// while the stream runs — reads contending with writes, the shape the
+	// query observability plane is built to explain.
+	stopReads := make(chan struct{})
+	var readsDone sync.WaitGroup
+	var readsIssued atomic.Uint64
+	if queryRate > 0 {
+		readsDone.Add(1)
+		go func() {
+			defer readsDone.Done()
+			qc, err := hhgbclient.Dial(addr, hhgbclient.WithReconnect())
+			if err != nil {
+				log.Printf("query-rate: dial: %v", err)
+				return
+			}
+			defer qc.Close()
+			ops, err := readMix(qc, gen, scale, alpha, seed, newStamper(rate, startSec), edges)
+			if err != nil {
+				log.Printf("query-rate: %v", err)
+				return
+			}
+			tick := time.NewTicker(time.Duration(float64(time.Second) / queryRate))
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stopReads:
+					return
+				case <-tick.C:
+				}
+				if err := retryTransient(ops[i%len(ops)]); err != nil {
+					log.Printf("query-rate: %v", err)
+					return
+				}
+				readsIssued.Add(1)
+			}
+		}()
+	}
 	start := time.Now()
 	for i := 0; i < conns; i++ {
 		wg.Add(1)
@@ -315,6 +390,11 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 		}(i)
 	}
 	wg.Wait()
+	close(stopReads)
+	readsDone.Wait()
+	if queryRate > 0 {
+		log.Printf("query-rate: issued %d reads during the stream", readsIssued.Load())
+	}
 	if first != nil {
 		return first
 	}
@@ -345,6 +425,28 @@ func runConnect(addr string, conns, batch, edges, scale int, gen string, alpha f
 			return fmt.Errorf("verify: server holds %d packets, stream carried %d (lost or doubled frames)", sum.TotalPackets, want)
 		}
 		log.Printf("verify: server totals match the sent stream exactly (%d packets)", sentPackets.Load())
+	}
+	// -queries: a deterministic post-stream read mix — N rounds of every
+	// op in order — so smoke checks can assert exact per-family query
+	// counts in the server's /metrics.
+	if queries > 0 {
+		qc, err := hhgbclient.Dial(addr)
+		if err != nil {
+			return err
+		}
+		defer qc.Close()
+		ops, err := readMix(qc, gen, scale, alpha, seed, newStamper(rate, startSec), edges)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < queries; r++ {
+			for _, op := range ops {
+				if err := retryTransient(op); err != nil {
+					return fmt.Errorf("queries round %d: %w", r, err)
+				}
+			}
+		}
+		log.Printf("queries: issued %d reads (%d rounds of %d ops)", queries*len(ops), queries, len(ops))
 	}
 	return nil
 }

@@ -112,6 +112,19 @@ type FlightRecorder = flight.Recorder
 // touch it; the plain Append methods pass nil.
 type IngestSpan = flight.Span
 
+// QuerySpan is a spanned read op's stage-latency span, the query-path
+// analog of IngestSpan: the network server threads it through a
+// RangeView (Instrument) so per-window fan-out legs attribute into the
+// hhgb_query_stage_seconds histograms and the flight ring. Nil is always
+// a valid span.
+type QuerySpan = flight.QuerySpan
+
+// QueryExplain is the structured EXPLAIN trailer collected alongside a
+// query: the served cover (one timed leg per window), the uncovered
+// holes, and per-leg fan-out shape. Attach one with
+// RangeView.Instrument.
+type QueryExplain = flight.QueryExplain
+
 // NewFlightRecorder returns a flight recorder holding the most recent n
 // events (rounded up to a power of two; n < 1 selects a 4096-event
 // ring). All memory is allocated up front.

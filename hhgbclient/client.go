@@ -275,6 +275,7 @@ type response struct {
 	value   uint64
 	top     []hhgb.Ranked
 	summary hhgb.Summary
+	explain Explain
 }
 
 // Client is a connection to a network ingest server. All methods are safe
@@ -611,6 +612,14 @@ func (c *Client) dispatch(gen int, f proto.Frame) (fatal bool) {
 			MaxOutDegree: sum.MaxOutDegree,
 			MaxInDegree:  sum.MaxInDegree,
 		}
+	case proto.KindExplainResp:
+		s, e, err := proto.ParseExplainResp(f.Body)
+		if err != nil {
+			c.sessionFailed(gen, fmt.Errorf("%w: %v", ErrDisconnected, err))
+			return true
+		}
+		seq = s
+		resp.explain = explainFromWire(e)
 	case proto.KindError:
 		s, code, msg, err := proto.ParseError(f.Body)
 		if err != nil {
@@ -1220,6 +1229,169 @@ func (c *Client) RangeLookup(src, dst uint64, t0, t1 time.Time) (uint64, bool, e
 		return 0, false, err
 	}
 	return resp.value, resp.found, nil
+}
+
+// ExplainLeg is one window the server's query plan fanned out to: its
+// hierarchy level and event-time span, how many per-shard tasks the leg
+// issued, and how long it ran. On a flat (non-windowed) server a query
+// runs as a single leg with a zero span.
+type ExplainLeg struct {
+	Level    int
+	Span     hhgb.TimeSpan
+	Shards   int
+	Duration time.Duration
+}
+
+// Explain is the server's query plan and timing trailer for one read,
+// produced by the Explain* methods: the op that ran, the exact window
+// cover it was served from (the same cover a plain query over the same
+// range uses — bit for bit), the slices of the range no retained window
+// could serve, end-to-end execution time, and the shard pushdown-cache
+// traffic observed around the query. The cache counters are server-global
+// and therefore best-effort under concurrent load.
+type Explain struct {
+	// Op labels the wrapped query: "lookup", "topk", "summary", or their
+	// "range_" forms.
+	Op string
+	// Total is the server-side execution time: plan resolution through the
+	// last merged leg, excluding decode/queue/encode.
+	Total time.Duration
+	// Legs is the served cover in time order.
+	Legs []ExplainLeg
+	// Uncovered lists the slices of the range no retained window could
+	// tile: data expired at the requested resolution, or never ingested.
+	Uncovered []hhgb.TimeSpan
+	// CacheHits and CacheMisses count shard pushdown-cache traffic during
+	// the query (best-effort: concurrent queries share the counters).
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// explainOpLabel names a wrapped query kind for Explain.Op.
+func explainOpLabel(op byte) string {
+	switch op {
+	case proto.KindLookup:
+		return "lookup"
+	case proto.KindTopK:
+		return "topk"
+	case proto.KindSummary:
+		return "summary"
+	case proto.KindRangeLookup:
+		return "range_lookup"
+	case proto.KindRangeTopK:
+		return "range_topk"
+	case proto.KindRangeSummary:
+		return "range_summary"
+	default:
+		return fmt.Sprintf("op_%#x", op)
+	}
+}
+
+// explainFromWire converts the wire trailer to the public form.
+func explainFromWire(e proto.Explain) Explain {
+	out := Explain{
+		Op:          explainOpLabel(e.Op),
+		Total:       time.Duration(e.TotalNanos),
+		CacheHits:   e.CacheHits,
+		CacheMisses: e.CacheMisses,
+	}
+	if len(e.Legs) > 0 {
+		out.Legs = make([]ExplainLeg, len(e.Legs))
+		for i, l := range e.Legs {
+			out.Legs[i] = ExplainLeg{
+				Level:    int(l.Level),
+				Span:     hhgb.TimeSpan{Start: time.Unix(0, int64(l.Start)), End: time.Unix(0, int64(l.End))},
+				Shards:   int(l.Shards),
+				Duration: time.Duration(l.DurNanos),
+			}
+		}
+	}
+	if len(e.Uncovered) > 0 {
+		out.Uncovered = make([]hhgb.TimeSpan, len(e.Uncovered))
+		for i, s := range e.Uncovered {
+			out.Uncovered[i] = hhgb.TimeSpan{Start: time.Unix(0, int64(s.Start)), End: time.Unix(0, int64(s.End))}
+		}
+	}
+	return out
+}
+
+// explain runs one wrapped query op on the server in EXPLAIN mode: the
+// server executes the op (discarding its result) and replies with the
+// plan-and-timing trailer instead.
+func (c *Client) explain(q proto.ExplainReq) (Explain, error) {
+	// Validate the request up front so the build closure below cannot fail
+	// (roundTrip's builder has no error path).
+	if _, err := proto.AppendExplain(nil, q); err != nil {
+		return Explain{}, err
+	}
+	resp, err := c.roundTrip(proto.KindExplain, func(seq uint64) []byte {
+		q.Seq = seq
+		body, _ := proto.AppendExplain(nil, q)
+		return body
+	})
+	if err != nil {
+		return Explain{}, err
+	}
+	return resp.explain, nil
+}
+
+// ExplainLookup explains a Lookup(src, dst): the plan and timings the
+// server would use to serve it, without returning the value.
+func (c *Client) ExplainLookup(src, dst uint64) (Explain, error) {
+	return c.explain(proto.ExplainReq{Op: proto.KindLookup, Src: src, Dst: dst})
+}
+
+// ExplainTopSources explains a TopSources(k).
+func (c *Client) ExplainTopSources(k int) (Explain, error) {
+	return c.explain(proto.ExplainReq{Op: proto.KindTopK, Axis: proto.AxisSources, K: uint64(k)})
+}
+
+// ExplainTopDestinations explains a TopDestinations(k).
+func (c *Client) ExplainTopDestinations(k int) (Explain, error) {
+	return c.explain(proto.ExplainReq{Op: proto.KindTopK, Axis: proto.AxisDestinations, K: uint64(k)})
+}
+
+// ExplainSummary explains a Summary().
+func (c *Client) ExplainSummary() (Explain, error) {
+	return c.explain(proto.ExplainReq{Op: proto.KindSummary})
+}
+
+// ExplainRangeLookup explains a RangeLookup(src, dst, t0, t1): which
+// windows the cover picks, what part of the range is uncovered, and how
+// long each leg ran.
+func (c *Client) ExplainRangeLookup(src, dst uint64, t0, t1 time.Time) (Explain, error) {
+	a, b, err := tsRange(t0, t1)
+	if err != nil {
+		return Explain{}, err
+	}
+	return c.explain(proto.ExplainReq{Op: proto.KindRangeLookup, Src: src, Dst: dst, T0: a, T1: b})
+}
+
+// ExplainRangeTopSources explains a RangeTopSources(k, t0, t1).
+func (c *Client) ExplainRangeTopSources(k int, t0, t1 time.Time) (Explain, error) {
+	return c.explainRangeTopK(proto.AxisSources, k, t0, t1)
+}
+
+// ExplainRangeTopDestinations explains a RangeTopDestinations(k, t0, t1).
+func (c *Client) ExplainRangeTopDestinations(k int, t0, t1 time.Time) (Explain, error) {
+	return c.explainRangeTopK(proto.AxisDestinations, k, t0, t1)
+}
+
+func (c *Client) explainRangeTopK(axis byte, k int, t0, t1 time.Time) (Explain, error) {
+	a, b, err := tsRange(t0, t1)
+	if err != nil {
+		return Explain{}, err
+	}
+	return c.explain(proto.ExplainReq{Op: proto.KindRangeTopK, Axis: axis, K: uint64(k), T0: a, T1: b})
+}
+
+// ExplainRangeSummary explains a RangeSummary(t0, t1).
+func (c *Client) ExplainRangeSummary(t0, t1 time.Time) (Explain, error) {
+	a, b, err := tsRange(t0, t1)
+	if err != nil {
+		return Explain{}, err
+	}
+	return c.explain(proto.ExplainReq{Op: proto.KindRangeSummary, T0: a, T1: b})
 }
 
 // SubscribeAllLevels selects every hierarchy level in Subscribe.

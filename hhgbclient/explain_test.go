@@ -1,0 +1,350 @@
+package hhgbclient_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"hhgb"
+	"hhgb/hhgbclient"
+	"hhgb/internal/server"
+)
+
+// startWindowedForExplain runs an in-process windowed server and hands
+// back the store so tests can resolve the same cover the server serves.
+func startWindowedForExplain(t *testing.T) (*hhgb.Windowed, string) {
+	t.Helper()
+	wm, err := hhgb.NewWindowed(1<<20, time.Second, hhgb.WithShards(2), hhgb.WithLateness(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wm.Close() })
+	s, err := server.New(server.Config{Windowed: wm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return wm, ln.Addr().String()
+}
+
+// TestClientExplainWindowed drives the public Explain* surface against a
+// windowed server with a deliberate hole: traffic lands in windows 0, 1,
+// and 3, so a range over [0, 4s) must explain three cover legs and
+// report the missing second window as uncovered — bit-for-bit the spans
+// the equivalent RangeView resolves.
+func TestClientExplainWindowed(t *testing.T) {
+	wm, addr := startWindowedForExplain(t)
+	c, err := hhgbclient.Dial(addr, hhgbclient.WithFlushInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, win := range []int{0, 1, 3} {
+		ts := winBase.Add(time.Duration(win) * time.Second)
+		if err := c.AppendAt(ts, []uint64{uint64(win + 1)}, []uint64{9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	t0 := winBase
+	t1 := winBase.Add(4 * time.Second)
+	ex, err := c.ExplainRangeSummary(t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Op != "range_summary" {
+		t.Fatalf("explain op %q, want range_summary", ex.Op)
+	}
+	if ex.Total <= 0 {
+		t.Fatalf("explain total = %v, want > 0", ex.Total)
+	}
+
+	view, err := wm.QueryRange(t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := view.Spans()
+	if len(ex.Legs) != len(spans) {
+		t.Fatalf("explain has %d legs, served cover has %d windows", len(ex.Legs), len(spans))
+	}
+	for i, leg := range ex.Legs {
+		if !leg.Span.Start.Equal(spans[i].Start) || !leg.Span.End.Equal(spans[i].End) {
+			t.Errorf("leg %d span %v–%v, served span %v–%v",
+				i, leg.Span.Start, leg.Span.End, spans[i].Start, spans[i].End)
+		}
+		if leg.Level != 0 {
+			t.Errorf("leg %d level %d, want 0", i, leg.Level)
+		}
+		if leg.Shards != 2 {
+			t.Errorf("leg %d shards %d, want 2 (barrier on a 2-shard group)", i, leg.Shards)
+		}
+	}
+	holes := view.Uncovered()
+	if len(ex.Uncovered) != len(holes) {
+		t.Fatalf("explain reports %d holes, served view has %d", len(ex.Uncovered), len(holes))
+	}
+	for i, u := range ex.Uncovered {
+		if !u.Start.Equal(holes[i].Start) || !u.End.Equal(holes[i].End) {
+			t.Errorf("hole %d = %v–%v, served hole %v–%v", i, u.Start, u.End, holes[i].Start, holes[i].End)
+		}
+	}
+	wantHole := hhgb.TimeSpan{Start: winBase.Add(2 * time.Second), End: winBase.Add(3 * time.Second)}
+	found := false
+	for _, u := range ex.Uncovered {
+		if u.Start.Equal(wantHole.Start) && u.End.Equal(wantHole.End) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("uncovered %v does not include the skipped window %v", ex.Uncovered, wantHole)
+	}
+
+	// The other windowed forms answer too, over the all-time cover.
+	for _, probe := range []struct {
+		name string
+		call func() (hhgbclient.Explain, error)
+		op   string
+	}{
+		{"lookup", func() (hhgbclient.Explain, error) { return c.ExplainLookup(1, 9) }, "lookup"},
+		{"topk", func() (hhgbclient.Explain, error) { return c.ExplainTopSources(3) }, "topk"},
+		{"range_topk", func() (hhgbclient.Explain, error) { return c.ExplainRangeTopSources(3, t0, t1) }, "range_topk"},
+	} {
+		got, err := probe.call()
+		if err != nil {
+			t.Fatalf("%s: %v", probe.name, err)
+		}
+		if got.Op != probe.op || len(got.Legs) == 0 {
+			t.Fatalf("%s explain = op %q with %d legs", probe.name, got.Op, len(got.Legs))
+		}
+	}
+
+	// Range validation happens client-side, before any frame ships.
+	if _, err := c.ExplainRangeSummary(t1, t0); err == nil {
+		t.Fatal("backwards explain range accepted")
+	}
+}
+
+// TestClientExplainFlat: a flat server explains every non-range op as a
+// single leg with no window bounds, and refuses range ops outright.
+func TestClientExplainFlat(t *testing.T) {
+	_, _, addr := startServer(t, 1<<20, server.Config{})
+	c, err := hhgbclient.Dial(addr, hhgbclient.WithFlushInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Append([]uint64{3}, []uint64{4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	ex, err := c.ExplainLookup(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Op != "lookup" || len(ex.Legs) != 1 {
+		t.Fatalf("flat lookup explain = %+v", ex)
+	}
+	leg := ex.Legs[0]
+	if leg.Shards != 1 {
+		t.Errorf("flat lookup touched %d shards, want 1 (routed)", leg.Shards)
+	}
+	if leg.Span.Start.UnixNano() != 0 || leg.Span.End.UnixNano() != 0 {
+		t.Errorf("flat leg carries window bounds %v–%v, want none", leg.Span.Start, leg.Span.End)
+	}
+	if ex.Uncovered != nil {
+		t.Errorf("flat explain reports holes: %v", ex.Uncovered)
+	}
+
+	sum, err := c.ExplainSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Legs) != 1 || sum.Legs[0].Shards != 2 {
+		t.Fatalf("flat summary explain = %+v, want one 2-shard barrier leg", sum)
+	}
+
+	if _, err := c.ExplainRangeSummary(winBase, winBase.Add(time.Second)); err == nil {
+		t.Fatal("flat server accepted a range explain")
+	}
+}
+
+// spawnServeStats starts hhgb-serve with a stats listener and returns
+// both the dial address and the stats base URL, parsed from stdout.
+func spawnServeStats(t *testing.T, bin string, args ...string) (addr, statsURL string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-stats", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if a, ok := strings.CutPrefix(line, "listening on "); ok {
+			addr = a
+		}
+		if s, ok := strings.CutPrefix(line, "stats on "); ok {
+			statsURL = strings.TrimSuffix(s, "/stats")
+		}
+		if addr != "" && statsURL != "" {
+			go func() { // keep draining so the child never blocks on stdout
+				for sc.Scan() {
+				}
+			}()
+			return addr, statsURL
+		}
+	}
+	t.Fatalf("server never reported both addresses (scan err %v)", sc.Err())
+	return "", ""
+}
+
+// flightDump mirrors the /debug/events payload.
+type flightDump struct {
+	Recorded uint64 `json:"recorded_total"`
+	Events   []struct {
+		Seq      uint64 `json:"seq"`
+		Kind     string `json:"kind"`
+		Session  string `json:"session,omitempty"`
+		FrameSeq uint64 `json:"frame_seq,omitempty"`
+		A        uint64 `json:"a,omitempty"`
+		Dur      int64  `json:"dur_ns"`
+	} `json:"events"`
+}
+
+func getDump(t *testing.T, url string) flightDump {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	var d flightDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatalf("GET %s: dump does not parse: %v", url, err)
+	}
+	return d
+}
+
+// TestSlowQueryLogE2E is the acceptance-criterion test: against a real
+// hhgb-serve process running with -slow-query, a slow range query must
+// surface in /debug/events as a complete, causally ordered
+// decode → fanout → merge → encode → ack chain capped by the slow_query
+// marker, and the ?kind and ?limit filters must carve it out of the ring.
+func TestSlowQueryLogE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e test in -short mode")
+	}
+	bin := buildServe(t)
+	// -slow-query 1ns turns query spans on by itself and makes every
+	// query "slow", so the test does not depend on wall-clock behavior.
+	addr, statsURL := spawnServeStats(t, bin,
+		"-scale", "20", "-shards", "2", "-window", "1s", "-lateness", "1h",
+		"-slow-query", "1ns")
+
+	c, err := hhgbclient.Dial(addr, hhgbclient.WithFlushInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for win := 0; win < 4; win++ {
+		ts := winBase.Add(time.Duration(win) * time.Second)
+		if err := c.AppendAt(ts, []uint64{uint64(win + 1), 7}, []uint64{9, uint64(win + 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.RangeSummary(winBase, winBase.Add(4*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalPackets != 8 {
+		t.Fatalf("range summary total %d, want 8", sum.TotalPackets)
+	}
+
+	// The span finalizes just after the response ships; poll the ring
+	// until the slow_query marker lands.
+	var marker flightDump
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		marker = getDump(t, statsURL+"/debug/events?kind=slow_query")
+		if len(marker.Events) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no slow_query event reached /debug/events")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, e := range marker.Events {
+		if e.Kind != "slow_query" {
+			t.Fatalf("?kind=slow_query returned a %q event", e.Kind)
+		}
+	}
+	slow := marker.Events[len(marker.Events)-1]
+	if slow.A == 0 || int64(slow.A) != slow.Dur {
+		t.Fatalf("slow_query marker total a=%d dur=%d", slow.A, slow.Dur)
+	}
+
+	// The marker's query must have its whole stage chain in the ring, in
+	// causal (claim) order.
+	full := getDump(t, statsURL+"/debug/events")
+	var chain []string
+	var lastClaim uint64
+	for _, e := range full.Events {
+		if e.FrameSeq != slow.FrameSeq || !strings.HasPrefix(e.Kind, "query_") {
+			continue
+		}
+		if len(chain) > 0 && e.Seq != lastClaim+1 {
+			t.Fatalf("slow query chain not consecutive: claim %d after %d", e.Seq, lastClaim)
+		}
+		lastClaim = e.Seq
+		chain = append(chain, e.Kind)
+	}
+	want := []string{"query_decode", "query_plan", "query_fanout", "query_merge", "query_encode", "query_ack"}
+	if len(chain) != len(want) {
+		t.Fatalf("slow query chain = %v, want %v", chain, want)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("slow query chain = %v, want %v", chain, want)
+		}
+	}
+
+	// ?limit pulls just the tail.
+	if d := getDump(t, statsURL+"/debug/events?limit=3"); len(d.Events) > 3 {
+		t.Fatalf("?limit=3 returned %d events", len(d.Events))
+	} else if d.Recorded != full.Recorded && d.Recorded < full.Recorded {
+		t.Fatalf("limited dump recorded_total %d < full %d", d.Recorded, full.Recorded)
+	}
+}

@@ -367,3 +367,200 @@ func TestRecorderConcurrent(t *testing.T) {
 	close(stop)
 	reader.Wait()
 }
+
+// TestHandlerFilters: ?kind narrows the dump to one event kind, ?limit
+// keeps only the most recent N survivors, and a bad limit is a 400 —
+// the knobs that pull one slow-query chain out of a full ring.
+func TestHandlerFilters(t *testing.T) {
+	r := NewRecorder(32)
+	for i := uint64(1); i <= 4; i++ {
+		r.Record(KindAck, 1, "s", i, 0, 0, 0)
+	}
+	r.Record(KindSlowQuery, 1, "s", 9, 0, 0, 0)
+	h := r.Handler()
+
+	get := func(target string) (int, dump) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		var d dump
+		if rec.Code == 200 {
+			if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+				t.Fatalf("%s: dump does not parse: %v", target, err)
+			}
+		}
+		return rec.Code, d
+	}
+
+	if code, d := get("/debug/events?kind=slow_query"); code != 200 || len(d.Events) != 1 || d.Events[0].Kind != "slow_query" {
+		t.Fatalf("kind filter: code %d events %+v", code, d.Events)
+	}
+	if code, d := get("/debug/events?limit=2"); code != 200 || len(d.Events) != 2 {
+		t.Fatalf("limit filter: code %d, %d events", code, len(d.Events))
+	} else if d.Events[0].FrameSeq != 4 || d.Events[1].FrameSeq != 9 {
+		t.Fatalf("limit did not keep the most recent events: %+v", d.Events)
+	}
+	if code, d := get("/debug/events?kind=ack&limit=1"); code != 200 || len(d.Events) != 1 || d.Events[0].FrameSeq != 4 {
+		t.Fatalf("combined filter: code %d events %+v", code, d.Events)
+	}
+	// recorded_total stays the ring's true count, filtered or not.
+	if _, d := get("/debug/events?kind=slow_query"); d.Recorded != 5 {
+		t.Fatalf("recorded_total = %d under filter, want 5", d.Recorded)
+	}
+	if code, _ := get("/debug/events?limit=x"); code != 400 {
+		t.Fatalf("bad limit: code %d, want 400", code)
+	}
+	if code, _ := get("/debug/events?limit=-1"); code != 400 {
+		t.Fatalf("negative limit: code %d, want 400", code)
+	}
+}
+
+// TestQueryTracerSlowPolicy pins the three ring-recording regimes:
+// slow < 0 never records, slow == 0 records every sampled span without a
+// marker, slow > 0 records only spans at or over the threshold and ends
+// their chain with the slow_query marker carrying the total.
+func TestQueryTracerSlowPolicy(t *testing.T) {
+	drive := func(tr *QueryTracer, fseq uint64, sleep time.Duration) {
+		sp := tr.Sample(1, "s", fseq, Now())
+		if sp == nil {
+			t.Fatal("rate-1 query tracer did not sample")
+		}
+		sp.EndStage(QStageDecode)
+		sp.EndStage(QStageQueue)
+		sp.EndStage(QStagePlan)
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+		sp.Touch(0, 2)
+		sp.ObserveLeg(time.Microsecond)
+		sp.AdvanceStage(QStageFanout)
+		sp.EndStage(QStageMerge)
+		sp.EndStage(QStageEncode)
+		sp.EndStage(QStageAck)
+		sp.Done()
+	}
+
+	rec := NewRecorder(64)
+	drive(NewQueryTracer(nil, rec, 1, -1), 1, 0)
+	if rec.Len() != 0 {
+		t.Fatalf("slow<0 recorded %d events", rec.Len())
+	}
+
+	drive(NewQueryTracer(nil, rec, 1, 0), 2, 0)
+	evs := rec.Snapshot()
+	want := []string{"query_decode", "query_plan", "query_fanout", "query_merge", "query_encode", "query_ack"}
+	if len(evs) != len(want) {
+		t.Fatalf("slow=0 recorded %d events, want %d", len(evs), len(want))
+	}
+	for i, e := range evs {
+		if e.Kind != want[i] || e.FrameSeq != 2 {
+			t.Fatalf("event %d = %+v, want kind %s for query 2", i, e, want[i])
+		}
+	}
+	if evs[2].A != 2 || evs[2].B != 1 {
+		t.Fatalf("fanout event shape a=%d b=%d, want 2 shard tasks over 1 window", evs[2].A, evs[2].B)
+	}
+
+	slow := NewQueryTracer(nil, rec, 1, 2*time.Millisecond)
+	drive(slow, 3, 0) // fast: under threshold, not recorded
+	if n := len(rec.Snapshot()); n != len(want) {
+		t.Fatalf("fast query under slow>0 recorded: ring has %d events", n)
+	}
+	drive(slow, 4, 3*time.Millisecond)
+	evs = rec.Snapshot()
+	last := evs[len(evs)-1]
+	if last.Kind != "slow_query" || last.FrameSeq != 4 {
+		t.Fatalf("last event = %+v, want slow_query for query 4", last)
+	}
+	if int64(last.A) != last.Dur || last.Dur < int64(2*time.Millisecond) {
+		t.Fatalf("slow_query total = a:%d dur:%d", last.A, last.Dur)
+	}
+	var chain []string
+	for _, e := range evs {
+		if e.FrameSeq == 4 && e.Kind != "slow_query" {
+			chain = append(chain, e.Kind)
+		}
+	}
+	if len(chain) != len(want) {
+		t.Fatalf("slow query chain = %v, want %v", chain, want)
+	}
+
+	// A dropped span leaves no trace.
+	before := rec.Len()
+	dp := NewQueryTracer(nil, rec, 1, 0).Sample(1, "s", 5, Now())
+	dp.EndStage(QStageDecode)
+	dp.Drop()
+	if rec.Len() != before {
+		t.Fatal("dropped query span recorded events")
+	}
+}
+
+// TestQuerySpanAllocBudgets pins the read path's tracing costs: inactive
+// and unsampled tracers are free, and a warm sampled span's whole
+// lifecycle — stages, fan-out shape, finalize, ring record — allocates
+// nothing (spans are pooled).
+func TestQuerySpanAllocBudgets(t *testing.T) {
+	var off *QueryTracer
+	if off.Active() {
+		t.Fatal("nil query tracer active")
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		if off.Sample(1, "s", 2, 0) != nil {
+			t.Fatal("nil tracer sampled")
+		}
+	}); a != 0 {
+		t.Fatalf("nil-tracer Sample allocates %.1f/op, budget is 0", a)
+	}
+
+	zero := NewQueryTracer(nil, nil, 0, -1)
+	if zero.Active() {
+		t.Fatal("rate-0 query tracer active")
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		if zero.Sample(1, "s", 2, 0) != nil {
+			t.Fatal("rate-0 sampled")
+		}
+	}); a != 0 {
+		t.Fatalf("rate-0 Sample allocates %.1f/op, budget is 0", a)
+	}
+
+	// Nil-span methods (the unsampled query's per-stage cost) are free.
+	var nilSpan *QuerySpan
+	if a := testing.AllocsPerRun(200, func() {
+		nilSpan.EndStage(QStageDecode)
+		nilSpan.AdvanceStage(QStageFanout)
+		nilSpan.ObserveLeg(time.Microsecond)
+		nilSpan.Touch(0, 1)
+		nilSpan.TouchShards(1)
+		nilSpan.Done()
+	}); a != 0 {
+		t.Fatalf("nil-span methods allocate %.1f/op, budget is 0", a)
+	}
+
+	rec := NewRecorder(1024)
+	for _, cfg := range []struct {
+		name string
+		slow time.Duration
+	}{{"histograms-only", -1}, {"ring-recorded", 0}} {
+		tr := NewQueryTracer(nil, rec, 1, cfg.slow)
+		warm := tr.Sample(9, "sess", 1, Now())
+		warm.Done()
+		if a := testing.AllocsPerRun(200, func() {
+			sp := tr.Sample(9, "sess", 1, Now())
+			if sp == nil {
+				t.Fatal("rate-1 did not sample")
+			}
+			sp.EndStage(QStageDecode)
+			sp.EndStage(QStageQueue)
+			sp.EndStage(QStagePlan)
+			sp.Touch(0, 2)
+			sp.ObserveLeg(time.Microsecond)
+			sp.AdvanceStage(QStageFanout)
+			sp.EndStage(QStageMerge)
+			sp.EndStage(QStageEncode)
+			sp.EndStage(QStageAck)
+			sp.Done()
+		}); a != 0 {
+			t.Fatalf("%s query span lifecycle allocates %.1f/op, budget is 0", cfg.name, a)
+		}
+	}
+}

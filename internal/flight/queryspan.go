@@ -1,0 +1,406 @@
+package flight
+
+import (
+	"sync/atomic"
+	"time"
+
+	"hhgb/internal/metrics"
+	"hhgb/internal/pool"
+)
+
+// QStage is one leg of a sampled query's journey through the read path.
+// The first seven are the synchronous chain the request walks — decode on
+// the reader goroutine, queue wait, then plan/fanout/merge/encode/ack on
+// the applier — and their durations share boundary timestamps, so they
+// sum exactly to total (the reconciliation tests depend on it, as they do
+// for ingest spans). QStageFanoutMax is the async-style attribution: the
+// slowest single fan-out leg (one cover window's barrier on a windowed
+// store, the whole pushdown call on a flat one), folded by max exactly as
+// the ingest span folds its per-shard stages.
+type QStage uint8
+
+const (
+	// QStageDecode: query frame body parse (reader goroutine).
+	QStageDecode QStage = iota
+	// QStageQueue: wait in the connection's bounded apply queue.
+	QStageQueue
+	// QStagePlan: cover/route selection — QueryRange's greedy cover walk
+	// on a windowed store, the trivial shard route on a flat one.
+	QStagePlan
+	// QStageFanout: the per-shard (and per-window) fan-out: every cover
+	// window's pushdown barrier, including the interleaved per-window
+	// monoid merges a range query does between legs.
+	QStageFanout
+	// QStageMerge: the read-time merge tail after the last leg returns —
+	// top-k selection, summary reduction, cross-window accumulation.
+	QStageMerge
+	// QStageEncode: response body build.
+	QStageEncode
+	// QStageAck: response handed to the connection writer.
+	QStageAck
+	// QStageFanoutMax: the slowest single fan-out leg (max across legs).
+	QStageFanoutMax
+	// QStageTotal: decode start to response written.
+	QStageTotal
+
+	numQStages
+)
+
+// NumQueryStages is the number of query span stages (len of
+// RegisterQueryStageHistograms' result).
+const NumQueryStages = int(numQStages)
+
+// String returns the stage's metric label.
+func (st QStage) String() string {
+	switch st {
+	case QStageDecode:
+		return "decode"
+	case QStageQueue:
+		return "queue"
+	case QStagePlan:
+		return "plan"
+	case QStageFanout:
+		return "fanout"
+	case QStageMerge:
+		return "merge"
+	case QStageEncode:
+		return "encode"
+	case QStageAck:
+		return "ack"
+	case QStageFanoutMax:
+		return "fanout_max"
+	case QStageTotal:
+		return "total"
+	}
+	return "unknown"
+}
+
+// QueryStageHistogramName is the per-stage query latency family every
+// sampled query span observes into; one series per QStage label.
+const QueryStageHistogramName = "hhgb_query_stage_seconds"
+
+// QueryShardsHistogramName is the fan-out-shape histogram counting the
+// per-shard tasks one query fanned out to (summed across cover windows).
+const QueryShardsHistogramName = "hhgb_query_shards_touched"
+
+// QueryWindowsHistogramName is the fan-out-shape histogram family counting
+// cover windows touched per query, one series per hierarchy level.
+const QueryWindowsHistogramName = "hhgb_query_windows_touched"
+
+// countBuckets is the bucket layout for fan-out-shape histograms: counts,
+// not seconds. Powers of two up to 256 place both a single-shard lookup
+// and a cover that touched hundreds of fine windows.
+var countBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// windowLevelLabels is the fixed label set for the windows-touched family:
+// levels beyond the deepest practical roll-up hierarchy share "4+", so the
+// metric schema stays pinned regardless of store configuration.
+var windowLevelLabels = [...]string{"0", "1", "2", "3", "4+"}
+
+// RegisterQueryStageHistograms registers (or fetches) the query
+// stage-latency histogram family and returns the series indexed by
+// QStage. A nil registry wires them to the discard registry.
+func RegisterQueryStageHistograms(reg *metrics.Registry) []*metrics.Histogram {
+	r := metrics.OrDiscard(reg)
+	h := make([]*metrics.Histogram, NumQueryStages)
+	for st := QStage(0); st < numQStages; st++ {
+		h[st] = r.Histogram(QueryStageHistogramName,
+			"Sampled query latency decomposed by read-path stage; decode+queue+plan+fanout+merge+encode+ack sum to total, fanout_max is the slowest single fan-out leg.",
+			nil, metrics.L("stage", st.String()))
+	}
+	return h
+}
+
+// registerQueryShapeHistograms registers the fan-out-shape families.
+func registerQueryShapeHistograms(reg *metrics.Registry) (shards *metrics.Histogram, windows []*metrics.Histogram) {
+	r := metrics.OrDiscard(reg)
+	shards = r.Histogram(QueryShardsHistogramName,
+		"Per-shard fan-out tasks one sampled query issued, summed across its cover windows.",
+		countBuckets)
+	windows = make([]*metrics.Histogram, len(windowLevelLabels))
+	for i, lv := range windowLevelLabels {
+		windows[i] = r.Histogram(QueryWindowsHistogramName,
+			"Cover windows one sampled query touched, per hierarchy level.",
+			countBuckets, metrics.L("level", lv))
+	}
+	return shards, windows
+}
+
+// QuerySpan tracks one sampled query through the read path. Unlike ingest
+// spans, a query span has a single owner at every instant — the reader
+// hands it to the applier through the request queue, and every fan-out leg
+// is timed on the applier goroutine — so its fields need no atomics. All
+// methods are nil-receiver safe, so unsampled queries cost one branch per
+// call site.
+type QuerySpan struct {
+	t       *QueryTracer
+	conn    uint64
+	sess    string
+	fseq    uint64
+	start   int64 // Now() when decode began
+	last    int64 // end of the previous sync stage
+	dropped bool  // refused query: recycle without observing
+	stages  [numQStages]int64
+	shards  int64    // per-shard tasks fanned out to, summed across legs
+	windows [5]int64 // cover windows touched, by level (index 4 = "4+")
+}
+
+// EndStage closes the current synchronous stage at the current clock:
+// the stage's duration is the time since the previous EndStage (or the
+// span's start).
+//
+//hhgb:noalloc
+func (s *QuerySpan) EndStage(st QStage) {
+	if s == nil {
+		return
+	}
+	now := Now()
+	s.stages[st] = now - s.last
+	s.last = now
+}
+
+// AdvanceStage extends a stage to the current clock, accumulating: each
+// call adds the time since the previous stage boundary. Fan-out uses it —
+// a range query's legs interleave with per-window merges, so the fanout
+// stage is advanced once per leg (the interleaved merges accrue to it)
+// and the final merge tail is whatever EndStage(QStageMerge) closes
+// afterwards. The stages still partition [start, last] exactly.
+//
+//hhgb:noalloc
+func (s *QuerySpan) AdvanceStage(st QStage) {
+	if s == nil {
+		return
+	}
+	now := Now()
+	s.stages[st] += now - s.last
+	s.last = now
+}
+
+// ObserveLeg folds one fan-out leg's duration into QStageFanoutMax,
+// keeping the maximum across the query's legs — the critical-path leg.
+//
+//hhgb:noalloc
+func (s *QuerySpan) ObserveLeg(d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	if ns := int64(d); ns > s.stages[QStageFanoutMax] {
+		s.stages[QStageFanoutMax] = ns
+	}
+}
+
+// Touch records one fan-out leg's shape: the hierarchy level of the
+// window it hit and the number of per-shard tasks it issued (1 for a
+// routed lookup, the group's shard count for a barrier query).
+//
+//hhgb:noalloc
+func (s *QuerySpan) Touch(level, shards int) {
+	if s == nil {
+		return
+	}
+	if level < 0 {
+		level = 0
+	}
+	if level >= len(s.windows) {
+		level = len(s.windows) - 1
+	}
+	s.windows[level]++
+	s.shards += int64(shards)
+}
+
+// TouchShards records shards fan-out without a window (flat stores).
+//
+//hhgb:noalloc
+func (s *QuerySpan) TouchShards(n int) {
+	if s == nil {
+		return
+	}
+	s.shards += int64(n)
+}
+
+// Done finalizes the span: histograms observed, ring recorded when the
+// span clears the slow threshold, span recycled. The caller must not
+// touch the span again.
+//
+//hhgb:noalloc
+func (s *QuerySpan) Done() {
+	if s == nil {
+		return
+	}
+	s.t.finalize(s)
+}
+
+// Drop abandons the span without observing it — for queries that were
+// refused before doing representative work.
+//
+//hhgb:noalloc
+func (s *QuerySpan) Drop() {
+	if s == nil {
+		return
+	}
+	s.dropped = true
+	s.Done()
+}
+
+// StageNanos returns a stage's recorded duration (test hook).
+func (s *QuerySpan) StageNanos(st QStage) int64 { return s.stages[st] }
+
+// ExplainLeg is one fan-out leg of an explained query: the cover window
+// it hit (level and event-time bounds; zero for a flat store's single
+// leg), the per-shard tasks it issued, and how long the leg took.
+type ExplainLeg struct {
+	Level      int
+	Start, End int64 // event-time bounds, unix nanoseconds
+	Shards     int
+	Dur        time.Duration
+}
+
+// ExplainSpan is one uncovered hole of an explained range query.
+type ExplainSpan struct {
+	Start, End int64
+}
+
+// QueryExplain collects the structured EXPLAIN trailer for one query:
+// the served cover (one leg per window, timed), the uncovered holes, and
+// per-leg fan-out shape. The server fills it alongside (or instead of) a
+// sampled span; explain queries are diagnostic, so it may allocate.
+type QueryExplain struct {
+	Legs      []ExplainLeg
+	Uncovered []ExplainSpan
+}
+
+// QueryTracer samples queries into pooled spans and owns their
+// finalization, mirroring Tracer for the read path. A nil *QueryTracer,
+// or one with sample rate 0, never samples and adds zero allocations.
+type QueryTracer struct {
+	rec     *Recorder
+	every   uint64 // sample 1 in every; 0 = never
+	slow    int64  // ring-record threshold in ns; see NewQueryTracer
+	n       atomic.Uint64
+	spans   pool.Pool[*QuerySpan]
+	hist    []*metrics.Histogram
+	shards  *metrics.Histogram
+	windows []*metrics.Histogram
+}
+
+// NewQueryTracer returns a tracer sampling one in every `every` queries
+// (every < 1 disables sampling entirely). Stage and fan-out-shape
+// histograms register on reg (nil = discard). Sampled spans whose total
+// latency reaches `slow` are recorded stage-by-stage into rec as one
+// causally ordered chain; slow == 0 records every sampled span, slow < 0
+// records none. KindSlowQuery marker events are only emitted when
+// slow > 0.
+func NewQueryTracer(reg *metrics.Registry, rec *Recorder, every int, slow time.Duration) *QueryTracer {
+	t := &QueryTracer{rec: rec, slow: int64(slow), hist: RegisterQueryStageHistograms(reg)}
+	t.shards, t.windows = registerQueryShapeHistograms(reg)
+	if every > 0 {
+		t.every = uint64(every)
+	}
+	t.spans = pool.New(spanPoolSize, func() *QuerySpan { return &QuerySpan{t: t} })
+	return t
+}
+
+// SetPool replaces the span free-list — tests swap in a pool.Checked to
+// prove every sampled span is returned exactly once.
+func (t *QueryTracer) SetPool(p pool.Pool[*QuerySpan]) { t.spans = p }
+
+// AllocSpan allocates a fresh span owned by this tracer — the alloc hook
+// a SetPool replacement needs, since a span finalizes through its tracer.
+func (t *QueryTracer) AllocSpan() *QuerySpan { return &QuerySpan{t: t} }
+
+// Active reports whether Sample can ever return a span — the hot path
+// uses it to skip even the clock read when query tracing is off.
+//
+//hhgb:noalloc
+func (t *QueryTracer) Active() bool { return t != nil && t.every != 0 }
+
+// Sample returns a reset span for this query if it is the 1-in-N pick,
+// nil otherwise. start is the query's decode-begin instant (from Now).
+//
+//hhgb:noalloc
+func (t *QueryTracer) Sample(conn uint64, sess string, fseq uint64, start int64) *QuerySpan {
+	if t == nil || t.every == 0 {
+		return nil
+	}
+	if t.n.Add(1)%t.every != 0 {
+		return nil
+	}
+	s := t.spans.Get()
+	s.conn, s.sess, s.fseq = conn, sess, fseq
+	s.start, s.last = start, start
+	s.dropped = false
+	for i := range s.stages {
+		s.stages[i] = 0
+	}
+	s.shards = 0
+	for i := range s.windows {
+		s.windows[i] = 0
+	}
+	return s
+}
+
+// finalize observes the stage and fan-out-shape histograms, records the
+// pipeline into the ring when the span clears the slow threshold, and
+// recycles the span.
+func (t *QueryTracer) finalize(s *QuerySpan) {
+	if !s.dropped {
+		total := s.last - s.start
+		s.stages[QStageTotal] = total
+		for st := QStage(0); st < numQStages; st++ {
+			d := s.stages[st]
+			if d < 0 {
+				d = 0
+			}
+			// The max-leg stage is absent (not zero) on queries that never
+			// fanned out — skip it so its histogram only describes queries
+			// it actually measured. Sync stages observe unconditionally to
+			// keep counts reconcilable.
+			if st == QStageFanoutMax && d == 0 {
+				continue
+			}
+			t.hist[st].Observe(float64(d) / 1e9)
+		}
+		if s.shards > 0 {
+			t.shards.Observe(float64(s.shards))
+		}
+		for lv, n := range s.windows {
+			if n > 0 {
+				t.windows[lv].Observe(float64(n))
+			}
+		}
+		if t.rec != nil && t.slow >= 0 && total >= t.slow {
+			t.recordPipeline(s, total)
+		}
+	}
+	s.sess = "" // drop the session string reference before pooling
+	t.spans.Put(s)
+}
+
+// recordPipeline writes the span's stages to the ring as one causally
+// ordered run of events (consecutive claim numbers, pipeline order):
+// decode → plan → fanout → merge → encode → ack, with reconstructed end
+// timestamps (the queue wait is folded into the decode→plan gap). The
+// fanout event carries the fan-out shape in a (shard tasks) and b
+// (windows touched).
+func (t *QueryTracer) recordPipeline(s *QuerySpan, total int64) {
+	r := t.rec
+	end := s.start + s.stages[QStageDecode]
+	r.RecordAt(end, KindQueryDecode, s.conn, s.sess, s.fseq, 0, 0, time.Duration(s.stages[QStageDecode]))
+	end += s.stages[QStageQueue] + s.stages[QStagePlan]
+	r.RecordAt(end, KindQueryPlan, s.conn, s.sess, s.fseq, 0, 0, time.Duration(s.stages[QStagePlan]))
+	end += s.stages[QStageFanout]
+	var wins int64
+	for _, n := range s.windows {
+		wins += n
+	}
+	r.RecordAt(end, KindQueryFanout, s.conn, s.sess, s.fseq, uint64(s.shards), uint64(wins), time.Duration(s.stages[QStageFanout]))
+	end += s.stages[QStageMerge]
+	r.RecordAt(end, KindQueryMerge, s.conn, s.sess, s.fseq, 0, 0, time.Duration(s.stages[QStageMerge]))
+	end += s.stages[QStageEncode]
+	r.RecordAt(end, KindQueryEncode, s.conn, s.sess, s.fseq, 0, 0, time.Duration(s.stages[QStageEncode]))
+	end += s.stages[QStageAck]
+	r.RecordAt(end, KindQueryAck, s.conn, s.sess, s.fseq, 0, 0, time.Duration(s.stages[QStageAck]))
+	if t.slow > 0 {
+		r.RecordAt(end, KindSlowQuery, s.conn, s.sess, s.fseq, uint64(total), 0, time.Duration(total))
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,13 @@ const (
 	KindCheckpointBegin
 	KindCheckpointEnd
 	KindSlowFrame
+	KindQueryDecode
+	KindQueryPlan
+	KindQueryFanout
+	KindQueryMerge
+	KindQueryEncode
+	KindQueryAck
+	KindSlowQuery
 )
 
 // String returns the kind's JSON name.
@@ -79,6 +87,20 @@ func (k Kind) String() string {
 		return "checkpoint_end"
 	case KindSlowFrame:
 		return "slow_frame"
+	case KindQueryDecode:
+		return "query_decode"
+	case KindQueryPlan:
+		return "query_plan"
+	case KindQueryFanout:
+		return "query_fanout"
+	case KindQueryMerge:
+		return "query_merge"
+	case KindQueryEncode:
+		return "query_encode"
+	case KindQueryAck:
+		return "query_ack"
+	case KindSlowQuery:
+		return "slow_query"
 	}
 	return "unknown"
 }
@@ -244,10 +266,38 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 }
 
 // Handler serves the ring dump as application/json (the /debug/events
-// endpoint on the stats mux).
+// endpoint on the stats mux). Two optional query parameters narrow the
+// dump so a slow-query chain can be pulled without the whole ring:
+// ?kind=<name> keeps only events of that kind (exact Kind.String() name,
+// e.g. kind=slow_query), and ?limit=N keeps only the most recent N of
+// whatever survived the kind filter. A non-numeric or negative limit is
+// a 400.
 func (r *Recorder) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		events := r.Snapshot()
+		if kind := q.Get("kind"); kind != "" {
+			kept := events[:0]
+			for _, ev := range events {
+				if ev.Kind == kind {
+					kept = append(kept, ev)
+				}
+			}
+			events = kept
+		}
+		if lim := q.Get("limit"); lim != "" {
+			n, err := strconv.Atoi(lim)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			if n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = r.WriteJSON(w)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(dump{Recorded: r.Len(), Events: events})
 	})
 }

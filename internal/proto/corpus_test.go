@@ -88,6 +88,13 @@ func seedCorpus(t *testing.T) map[string]map[string][]byte {
 		t.Fatal(err)
 	}
 	ws := AppendWindowSummary(nil, WindowSummary{Sub: 5, Level: 1, Start: 1e18, End: 2e18, Entries: 3, Sources: 2, Destinations: 3, Packets: 44})
+	exReq, err := AppendExplain(nil, ExplainReq{Seq: 20, Op: KindRangeTopK, Axis: AxisSources, K: 5, T0: 1e18, T1: 2e18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exResp := AppendExplainResp(nil, 21, Explain{Op: KindRangeTopK, TotalNanos: 5e6, CacheHits: 3, CacheMisses: 1,
+		Legs:      []ExplainLeg{{Level: 1, Start: 1e18, End: 1e18 + 1e9, Shards: 2, DurNanos: 1e6}},
+		Uncovered: []ExplainSpan{{Start: 15e17, End: 16e17}}})
 	return map[string]map[string][]byte{
 		"FuzzReaderNext": {
 			"handshake": frames(t, KindHello, AppendHello(nil, "seed-session", 41),
@@ -103,6 +110,7 @@ func seedCorpus(t *testing.T) map[string]map[string][]byte {
 				KindRangeTopK, AppendRangeTopK(nil, 12, AxisSources, 10, 1e18, 2e18),
 				KindRangeSummary, AppendRangeSummary(nil, 13, 1e18, 2e18),
 				KindSubscribe, AppendSubscribe(nil, 14, SubscribeAllLevels)),
+			"explain": frames(t, KindExplain, exReq, KindExplainResp, exResp),
 			"responses": frames(t, KindAck, AppendSeq(nil, 15),
 				KindLookupResp, AppendLookupResp(nil, 16, true, 99),
 				KindTopKResp, AppendTopKResp(nil, 17, []Ranked{{1, 2}, {3, 4}}),
@@ -140,6 +148,8 @@ func seedCorpus(t *testing.T) map[string]map[string][]byte {
 			"rangesummary":  AppendRangeSummary(nil, 1, 1e18, 2e18),
 			"subscribe":     AppendSubscribe(nil, 1, 0),
 			"windowsummary": ws,
+			"explain":       exReq,
+			"explainresp":   exResp,
 		},
 	}
 }

@@ -79,6 +79,12 @@ func FuzzParseBodies(f *testing.F) {
 	f.Add(AppendRangeTopK(nil, 8, AxisSources, 10, 1e9, 2e9))
 	f.Add(AppendSubscribe(nil, 9, SubscribeAllLevels))
 	f.Add(AppendWindowSummary(nil, WindowSummary{Sub: 9, Start: 1e9, End: 2e9, Entries: 5, Packets: 50}))
+	if ex, err := AppendExplain(nil, ExplainReq{Seq: 10, Op: KindRangeTopK, Axis: AxisSources, K: 5, T0: 1e9, T1: 2e9}); err == nil {
+		f.Add(ex)
+	}
+	f.Add(AppendExplainResp(nil, 11, Explain{Op: KindRangeSummary, TotalNanos: 5e6,
+		Legs:      []ExplainLeg{{Start: 1e9, End: 2e9, Shards: 2, DurNanos: 1e6}},
+		Uncovered: []ExplainSpan{{Start: 2e9, End: 3e9}}}))
 	f.Fuzz(func(t *testing.T, body []byte) {
 		_, _, _, _ = ParseHello(body)
 		_, _ = ParseWelcome(body)
@@ -96,6 +102,10 @@ func FuzzParseBodies(f *testing.F) {
 		_, _, _, _ = ParseRangeSummary(body)
 		_, _, _ = ParseSubscribe(body)
 		_, _ = ParseWindowSummary(body)
+		_, _ = ParseExplain(body)
+		if _, e, err := ParseExplainResp(body); err == nil && len(e.Legs)+len(e.Uncovered) > len(body) {
+			t.Fatalf("explain trailer larger than its encoding")
+		}
 	})
 }
 

@@ -46,6 +46,7 @@
 //	RangeTopK   → TopKResp     over an event-time range
 //	RangeSummary→ SummaryResp  over an event-time range
 //	Subscribe   → Ack, then a stream of WindowSummary frames
+//	Explain     → ExplainResp  runs a wrapped query op, returns its trailer
 //	Goodbye     → Ack          server drained this connection's buffers
 //	(any)       → Error        per-request failure (seq echoes the request)
 //
@@ -122,6 +123,7 @@ const (
 	KindRangeTopK    byte = 0x0b
 	KindRangeSummary byte = 0x0c
 	KindSubscribe    byte = 0x0d
+	KindExplain      byte = 0x0e
 
 	KindWelcome       byte = 0x81
 	KindAck           byte = 0x82
@@ -130,6 +132,7 @@ const (
 	KindSummaryResp   byte = 0x85
 	KindError         byte = 0x86
 	KindWindowSummary byte = 0x87
+	KindExplainResp   byte = 0x88
 )
 
 // Error codes carried by Error frames.
@@ -889,4 +892,220 @@ func ParseError(body []byte) (seq, code uint64, msg string, err error) {
 	msg = string(body[r.off : r.off+int(n)])
 	r.off += int(n)
 	return seq, code, msg, r.done()
+}
+
+// ExplainReq is a decoded Explain request: one of the six query ops,
+// wrapped. The server executes the wrapped query for real and answers
+// with an ExplainResp carrying the structured trailer instead of the
+// query's normal response.
+type ExplainReq struct {
+	Seq uint64
+	// Op is the wrapped query kind: KindLookup, KindTopK, KindSummary,
+	// or their Range variants. Only the fields that op defines are
+	// meaningful; the body carries exactly those, in the op's own order.
+	Op       byte
+	Src, Dst uint64 // lookup ops
+	Axis     byte   // top-k ops
+	K        uint64 // top-k ops
+	T0, T1   uint64 // range ops
+}
+
+// explainOpFields returns which field groups an explainable op carries.
+func explainOpFields(op byte) (lookup, topk, ranged, ok bool) {
+	switch op {
+	case KindLookup:
+		return true, false, false, true
+	case KindTopK:
+		return false, true, false, true
+	case KindSummary:
+		return false, false, false, true
+	case KindRangeLookup:
+		return true, false, true, true
+	case KindRangeTopK:
+		return false, true, true, true
+	case KindRangeSummary:
+		return false, false, true, true
+	}
+	return false, false, false, false
+}
+
+// AppendExplain builds an Explain body: uvarint seq, the wrapped op kind,
+// then that op's own fields in its own order (minus the seq it would
+// carry standalone). Ops outside the explainable six are refused.
+func AppendExplain(buf []byte, q ExplainReq) ([]byte, error) {
+	lookup, topk, ranged, ok := explainOpFields(q.Op)
+	if !ok {
+		return nil, fmt.Errorf("%w: op 0x%02x is not explainable", ErrMalformed, q.Op)
+	}
+	if topk && q.Axis > AxisDestinations {
+		return nil, fmt.Errorf("%w: unknown axis %d", ErrMalformed, q.Axis)
+	}
+	buf = binary.AppendUvarint(buf, q.Seq)
+	buf = append(buf, q.Op)
+	if lookup {
+		buf = binary.AppendUvarint(buf, q.Src)
+		buf = binary.AppendUvarint(buf, q.Dst)
+	}
+	if topk {
+		buf = append(buf, q.Axis)
+		buf = binary.AppendUvarint(buf, q.K)
+	}
+	if ranged {
+		buf = binary.AppendUvarint(buf, q.T0)
+		buf = binary.AppendUvarint(buf, q.T1)
+	}
+	return buf, nil
+}
+
+// ParseExplain decodes an Explain body.
+func ParseExplain(body []byte) (ExplainReq, error) {
+	var q ExplainReq
+	r := bodyReader{b: body}
+	var err error
+	if q.Seq, err = r.uvarint(); err != nil {
+		return ExplainReq{}, err
+	}
+	if q.Op, err = r.byte(); err != nil {
+		return ExplainReq{}, err
+	}
+	lookup, topk, ranged, ok := explainOpFields(q.Op)
+	if !ok {
+		return ExplainReq{}, fmt.Errorf("%w: op 0x%02x is not explainable", ErrMalformed, q.Op)
+	}
+	if lookup {
+		if q.Src, err = r.uvarint(); err != nil {
+			return ExplainReq{}, err
+		}
+		if q.Dst, err = r.uvarint(); err != nil {
+			return ExplainReq{}, err
+		}
+	}
+	if topk {
+		if q.Axis, err = r.byte(); err != nil {
+			return ExplainReq{}, err
+		}
+		if q.Axis > AxisDestinations {
+			return ExplainReq{}, fmt.Errorf("%w: unknown axis %d", ErrMalformed, q.Axis)
+		}
+		if q.K, err = r.uvarint(); err != nil {
+			return ExplainReq{}, err
+		}
+	}
+	if ranged {
+		if q.T0, err = r.uvarint(); err != nil {
+			return ExplainReq{}, err
+		}
+		if q.T1, err = r.uvarint(); err != nil {
+			return ExplainReq{}, err
+		}
+	}
+	return q, r.done()
+}
+
+// ExplainLeg is one fan-out leg of an ExplainResp: the cover window it
+// hit (level and event-time bounds; zeros on a flat server's single leg),
+// the per-shard tasks it issued, and the leg's duration.
+type ExplainLeg struct {
+	Level      uint64
+	Start, End uint64 // event-time bounds, unix nanoseconds
+	Shards     uint64
+	DurNanos   uint64
+}
+
+// ExplainSpan is one uncovered hole of an explained range query.
+type ExplainSpan struct {
+	Start, End uint64
+}
+
+// Explain is the structured trailer an ExplainResp carries: the cover the
+// query was served from (one timed leg per window, in time order), the
+// uncovered holes, the end-to-end execution time, and the shard
+// pushdown-cache traffic observed around the query (best-effort under
+// concurrent load — the counters are server-global).
+type Explain struct {
+	Op          byte
+	TotalNanos  uint64
+	Legs        []ExplainLeg
+	Uncovered   []ExplainSpan
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// AppendExplainResp builds an ExplainResp body.
+func AppendExplainResp(buf []byte, seq uint64, e Explain) []byte {
+	buf = binary.AppendUvarint(buf, seq)
+	buf = append(buf, e.Op)
+	buf = binary.AppendUvarint(buf, e.TotalNanos)
+	buf = binary.AppendUvarint(buf, e.CacheHits)
+	buf = binary.AppendUvarint(buf, e.CacheMisses)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Legs)))
+	for _, l := range e.Legs {
+		for _, v := range [...]uint64{l.Level, l.Start, l.End, l.Shards, l.DurNanos} {
+			buf = binary.AppendUvarint(buf, v)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(e.Uncovered)))
+	for _, s := range e.Uncovered {
+		buf = binary.AppendUvarint(buf, s.Start)
+		buf = binary.AppendUvarint(buf, s.End)
+	}
+	return buf
+}
+
+// ParseExplainResp decodes an ExplainResp body.
+func ParseExplainResp(body []byte) (seq uint64, e Explain, err error) {
+	r := bodyReader{b: body}
+	if seq, err = r.uvarint(); err != nil {
+		return 0, e, err
+	}
+	if e.Op, err = r.byte(); err != nil {
+		return 0, Explain{}, err
+	}
+	if _, _, _, ok := explainOpFields(e.Op); !ok {
+		return 0, Explain{}, fmt.Errorf("%w: op 0x%02x is not explainable", ErrMalformed, e.Op)
+	}
+	for _, p := range [...]*uint64{&e.TotalNanos, &e.CacheHits, &e.CacheMisses} {
+		if *p, err = r.uvarint(); err != nil {
+			return 0, Explain{}, err
+		}
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, Explain{}, err
+	}
+	// Each leg needs >= 5 bytes; bound n before allocating.
+	if n > uint64(len(body)-r.off)/5 {
+		return 0, Explain{}, fmt.Errorf("%w: explain leg count %d exceeds body", ErrMalformed, n)
+	}
+	if n > 0 {
+		e.Legs = make([]ExplainLeg, n)
+	}
+	for i := range e.Legs {
+		l := &e.Legs[i]
+		for _, p := range [...]*uint64{&l.Level, &l.Start, &l.End, &l.Shards, &l.DurNanos} {
+			if *p, err = r.uvarint(); err != nil {
+				return 0, Explain{}, err
+			}
+		}
+	}
+	n, err = r.uvarint()
+	if err != nil {
+		return 0, Explain{}, err
+	}
+	// Each hole needs >= 2 bytes.
+	if n > uint64(len(body)-r.off)/2 {
+		return 0, Explain{}, fmt.Errorf("%w: explain hole count %d exceeds body", ErrMalformed, n)
+	}
+	if n > 0 {
+		e.Uncovered = make([]ExplainSpan, n)
+	}
+	for i := range e.Uncovered {
+		if e.Uncovered[i].Start, err = r.uvarint(); err != nil {
+			return 0, Explain{}, err
+		}
+		if e.Uncovered[i].End, err = r.uvarint(); err != nil {
+			return 0, Explain{}, err
+		}
+	}
+	return seq, e, r.done()
 }

@@ -20,6 +20,7 @@ var opNames = map[byte]string{
 	proto.KindSummary:      "summary",
 	proto.KindRangeSummary: "range_summary",
 	proto.KindSubscribe:    "subscribe",
+	proto.KindExplain:      "explain",
 }
 
 // opHistograms builds the per-op apply-latency histogram family, one

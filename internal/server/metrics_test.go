@@ -21,7 +21,7 @@ import (
 // silently lose a series they scrape.
 func TestMetricsSchemaPinned(t *testing.T) {
 	reg := hhgb.NewMetrics()
-	_, _, addr := startWindowedServer(t, Config{Metrics: reg}, hhgb.WithMetrics(reg))
+	_, _, addr := startWindowedServer(t, Config{Metrics: reg, TraceSample: 1}, hhgb.WithMetrics(reg))
 
 	// One frame of traffic so histograms and funcs all have samples.
 	c := dialRaw(t, addr)
@@ -32,6 +32,12 @@ func TestMetricsSchemaPinned(t *testing.T) {
 	}
 	c.send(proto.KindInsertAt, body)
 	c.expectAck(1)
+	// And one traced range query so the hhgb_query_* families carry samples.
+	t0 := uint64(winBase.UnixNano())
+	c.send(proto.KindRangeLookup, proto.AppendRangeLookup(nil, 2, 1, 2, t0, t0+uint64(time.Second)))
+	if f := c.next(); f.Kind != proto.KindLookupResp {
+		t.Fatalf("range lookup reply kind %#x", f.Kind)
+	}
 
 	want := map[string]string{
 		"hhgb_server_connections_total":         "counter",
@@ -56,6 +62,12 @@ func TestMetricsSchemaPinned(t *testing.T) {
 		"hhgb_server_bytes_out_total":           "counter",
 		"hhgb_server_op_seconds":                "histogram",
 		"hhgb_server_ingest_stage_seconds":      "histogram",
+		"hhgb_query_stage_seconds":              "histogram",
+		"hhgb_query_shards_touched":             "histogram",
+		"hhgb_query_windows_touched":            "histogram",
+		"hhgb_shard_cache_hits_total":           "counter",
+		"hhgb_shard_cache_misses_total":         "counter",
+		"hhgb_shard_cache_invalidations_total":  "counter",
 		"hhgb_shard_batches_applied_total":      "counter",
 		"hhgb_shard_entries_applied_total":      "counter",
 		"hhgb_shard_wal_fsync_seconds":          "histogram",

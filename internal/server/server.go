@@ -87,6 +87,7 @@ import (
 	"hhgb/internal/metrics"
 	"hhgb/internal/pool"
 	"hhgb/internal/proto"
+	"hhgb/internal/shard"
 )
 
 // ErrServerClosed is returned by Serve after Close.
@@ -160,6 +161,17 @@ type Config struct {
 	// Flight stage by stage, with a slow_frame marker event. Zero records
 	// every sampled frame (no marker); negative records none.
 	SlowFrame time.Duration
+	// SlowQuery is the ring-record threshold for query spans, the read
+	// path's analog of SlowFrame: a spanned query whose end-to-end
+	// latency reaches it lands in Flight as a causally ordered
+	// decode → plan → fanout → merge → encode → ack chain, with a
+	// slow_query marker event. Queries are orders of magnitude rarer
+	// than insert frames, so when tracing is on at all (TraceSample > 0
+	// or SlowQuery > 0) every query is spanned — into the
+	// hhgb_query_stage_seconds and fan-out-shape histograms — and
+	// SlowQuery only gates the ring. Zero records every spanned query
+	// (no marker); negative records none.
+	SlowQuery time.Duration
 }
 
 // batchPoolCap bounds how many idle decode batches the server retains
@@ -192,6 +204,14 @@ type Server struct {
 	// tracer samples insert frames into stage-latency spans; always
 	// non-nil (an inactive tracer samples nothing and costs one branch).
 	tracer *flight.Tracer
+	// qtracer spans read ops the same way; always non-nil. Every query is
+	// spanned when tracing is on at all (see Config.SlowQuery).
+	qtracer *flight.QueryTracer
+	// shardMet is the registry's shard instrument set — the same counters
+	// the fronted matrix's workers bump when Config.Metrics matches the
+	// matrix's registry (the deployment shape). EXPLAIN reads the
+	// pushdown-cache counters around a query to report its cache traffic.
+	shardMet *shard.Metrics
 
 	totalConns    atomic.Int64
 	batches       atomic.Int64
@@ -234,11 +254,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SubPatience <= 0 {
 		cfg.SubPatience = DefaultSubPatience
 	}
+	// Queries are rare next to insert frames: when tracing is on at all,
+	// span every query (1-in-1) so the stage histograms are complete and
+	// a slow query can never dodge the ring by losing the sample lottery.
+	qEvery := 0
+	if cfg.TraceSample > 0 || cfg.SlowQuery > 0 {
+		qEvery = 1
+	}
 	s := &Server{
 		cfg:       cfg,
 		conns:     make(map[*conn]struct{}),
 		opHist:    opHistograms(cfg.Metrics),
 		tracer:    flight.NewTracer(cfg.Metrics, cfg.Flight, cfg.TraceSample, cfg.SlowFrame),
+		qtracer:   flight.NewQueryTracer(cfg.Metrics, cfg.Flight, qEvery, cfg.SlowQuery),
+		shardMet:  shard.NewMetrics(cfg.Metrics),
 		batchPool: pool.New(batchPoolCap, func() *proto.Batch { return new(proto.Batch) }),
 	}
 	registerServerFuncs(s)
@@ -438,10 +467,13 @@ type request struct {
 	k        uint64       // topk, rangeTopK
 	t0, t1   uint64       // range queries: event-time bounds
 	level    byte         // subscribe
+	xop      byte         // explain: the wrapped query kind
 	// span is the frame's sampled latency span (inserts only, 1 in
 	// Config.TraceSample); nil on unsampled frames, and every span method
 	// is nil-safe, so the common path pays one branch per mark.
 	span *flight.Span
+	// qspan is the query-path analog (read ops only); same nil-safety.
+	qspan *flight.QuerySpan
 }
 
 // conn is one accepted connection.
@@ -797,6 +829,25 @@ func (c *conn) admitInsert(b *proto.Batch, seq uint64) bool {
 	return true
 }
 
+// queryStart captures the decode-begin clock for a query frame — zero
+// (no clock read) when query tracing is off.
+func (c *conn) queryStart() int64 {
+	if c.srv.qtracer.Active() {
+		return flight.Now()
+	}
+	return 0
+}
+
+// sampleQuery attaches a query span to a decoded read request when the
+// tracer picks it, closing the decode stage. No-op (nil span) when
+// tracing is off — the untraced path stays allocation-free.
+func (c *conn) sampleQuery(req *request, start int64) {
+	if sp := c.srv.qtracer.Sample(c.id, c.session, req.seq, start); sp != nil {
+		sp.EndStage(flight.QStageDecode)
+		req.qspan = sp
+	}
+}
+
 // decode turns one frame into a request, applying the overload and size
 // policies that run on the reader (so their error frames can overtake
 // queued work). fatal=true tears the connection down; drop=true skips
@@ -852,34 +903,53 @@ func (c *conn) decode(f proto.Frame) (req request, fatal, drop bool) {
 			req.span = sp
 		}
 		return req, false, false
-	case proto.KindFlush, proto.KindCheckpoint, proto.KindSummary, proto.KindGoodbye:
+	case proto.KindFlush, proto.KindCheckpoint, proto.KindGoodbye:
 		seq, err := proto.ParseSeq(f.Body)
 		if err != nil {
 			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
 			return req, true, false
 		}
 		return request{kind: f.Kind, seq: seq}, false, false
+	case proto.KindSummary:
+		start := c.queryStart()
+		seq, err := proto.ParseSeq(f.Body)
+		if err != nil {
+			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
+			return req, true, false
+		}
+		req = request{kind: f.Kind, seq: seq}
+		c.sampleQuery(&req, start)
+		return req, false, false
 	case proto.KindRangeLookup:
+		start := c.queryStart()
 		seq, src, dst, t0, t1, err := proto.ParseRangeLookup(f.Body)
 		if err != nil {
 			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
 			return req, true, false
 		}
-		return request{kind: f.Kind, seq: seq, src: src, dst: dst, t0: t0, t1: t1}, false, false
+		req = request{kind: f.Kind, seq: seq, src: src, dst: dst, t0: t0, t1: t1}
+		c.sampleQuery(&req, start)
+		return req, false, false
 	case proto.KindRangeTopK:
+		start := c.queryStart()
 		seq, axis, k, t0, t1, err := proto.ParseRangeTopK(f.Body)
 		if err != nil {
 			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
 			return req, true, false
 		}
-		return request{kind: f.Kind, seq: seq, axis: axis, k: k, t0: t0, t1: t1}, false, false
+		req = request{kind: f.Kind, seq: seq, axis: axis, k: k, t0: t0, t1: t1}
+		c.sampleQuery(&req, start)
+		return req, false, false
 	case proto.KindRangeSummary:
+		start := c.queryStart()
 		seq, t0, t1, err := proto.ParseRangeSummary(f.Body)
 		if err != nil {
 			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
 			return req, true, false
 		}
-		return request{kind: f.Kind, seq: seq, t0: t0, t1: t1}, false, false
+		req = request{kind: f.Kind, seq: seq, t0: t0, t1: t1}
+		c.sampleQuery(&req, start)
+		return req, false, false
 	case proto.KindSubscribe:
 		seq, level, err := proto.ParseSubscribe(f.Body)
 		if err != nil {
@@ -888,19 +958,36 @@ func (c *conn) decode(f proto.Frame) (req request, fatal, drop bool) {
 		}
 		return request{kind: f.Kind, seq: seq, level: level}, false, false
 	case proto.KindLookup:
+		start := c.queryStart()
 		seq, src, dst, err := proto.ParseLookup(f.Body)
 		if err != nil {
 			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
 			return req, true, false
 		}
-		return request{kind: f.Kind, seq: seq, src: src, dst: dst}, false, false
+		req = request{kind: f.Kind, seq: seq, src: src, dst: dst}
+		c.sampleQuery(&req, start)
+		return req, false, false
 	case proto.KindTopK:
+		start := c.queryStart()
 		seq, axis, k, err := proto.ParseTopK(f.Body)
 		if err != nil {
 			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
 			return req, true, false
 		}
-		return request{kind: f.Kind, seq: seq, axis: axis, k: k}, false, false
+		req = request{kind: f.Kind, seq: seq, axis: axis, k: k}
+		c.sampleQuery(&req, start)
+		return req, false, false
+	case proto.KindExplain:
+		start := c.queryStart()
+		q, err := proto.ParseExplain(f.Body)
+		if err != nil {
+			c.sendErr(0, proto.ErrCodeMalformed, err.Error(), true)
+			return req, true, false
+		}
+		req = request{kind: f.Kind, seq: q.Seq, xop: q.Op,
+			src: q.Src, dst: q.Dst, axis: q.Axis, k: q.K, t0: q.T0, t1: q.T1}
+		c.sampleQuery(&req, start)
+		return req, false, false
 	default:
 		c.sendErr(0, proto.ErrCodeMalformed, fmt.Sprintf("unexpected frame kind %#x", f.Kind), true)
 		return req, true, false
@@ -942,8 +1029,9 @@ func (c *conn) apply(app *hhgb.Appender) {
 		begun := time.Now()
 		flush := len(c.queue) == 0
 		// Sampled inserts close their queue-wait stage at dequeue; nil-safe
-		// no-op for everything else.
+		// no-op for everything else. Spanned queries likewise.
 		req.span.EndStage(flight.StageQueue)
+		req.qspan.EndStage(flight.QStageQueue)
 		var err error
 		switch req.kind {
 		case proto.KindInsert:
@@ -1085,8 +1173,19 @@ func (c *conn) apply(app *hhgb.Appender) {
 			)
 			switch {
 			case req.kind == proto.KindLookup && wm == nil:
+				req.qspan.EndStage(flight.QStagePlan) // trivial route
+				var legStart int64
+				if req.qspan != nil {
+					legStart = flight.Now()
+				}
 				v, found, qerr = m.Lookup(req.src, req.dst)
+				if req.qspan != nil {
+					req.qspan.ObserveLeg(time.Duration(flight.Now() - legStart))
+					req.qspan.TouchShards(1) // lookups route to one shard
+					req.qspan.AdvanceStage(flight.QStageFanout)
+				}
 			case wm == nil:
+				req.qspan.Drop()
 				err = reject(req.seq, "range queries need a windowed server")
 				rejected = true
 			default:
@@ -1097,6 +1196,10 @@ func (c *conn) apply(app *hhgb.Appender) {
 					view, qerr = rangeView(wm, req.t0, req.t1)
 				}
 				if qerr == nil {
+					req.qspan.EndStage(flight.QStagePlan)
+					if req.qspan != nil {
+						view.Instrument(req.qspan, nil)
+					}
 					v, found, qerr = view.Lookup(req.src, req.dst)
 				}
 			}
@@ -1104,10 +1207,16 @@ func (c *conn) apply(app *hhgb.Appender) {
 				break // the error frame already answered (err holds its write outcome)
 			}
 			if qerr != nil {
+				req.qspan.Drop()
 				err = c.sendErr(req.seq, proto.ErrCodeRejected, qerr.Error(), true)
 				break
 			}
-			err = c.send(proto.KindLookupResp, proto.AppendLookupResp(nil, req.seq, found, v), flush)
+			req.qspan.EndStage(flight.QStageMerge)
+			body := proto.AppendLookupResp(nil, req.seq, found, v)
+			req.qspan.EndStage(flight.QStageEncode)
+			err = c.send(proto.KindLookupResp, body, flush)
+			req.qspan.EndStage(flight.QStageAck)
+			req.qspan.Done()
 		case proto.KindTopK, proto.KindRangeTopK:
 			s.queries.Add(1)
 			var top []hhgb.Ranked
@@ -1115,12 +1224,23 @@ func (c *conn) apply(app *hhgb.Appender) {
 			var rejected bool
 			switch {
 			case req.kind == proto.KindTopK && wm == nil:
+				req.qspan.EndStage(flight.QStagePlan) // trivial route
+				var legStart int64
+				if req.qspan != nil {
+					legStart = flight.Now()
+				}
 				if req.axis == proto.AxisSources {
 					top, qerr = m.TopSources(int(req.k))
 				} else {
 					top, qerr = m.TopDestinations(int(req.k))
 				}
+				if req.qspan != nil {
+					req.qspan.ObserveLeg(time.Duration(flight.Now() - legStart))
+					req.qspan.TouchShards(m.Shards()) // all-shard barrier
+					req.qspan.AdvanceStage(flight.QStageFanout)
+				}
 			case wm == nil:
+				req.qspan.Drop()
 				err = reject(req.seq, "range queries need a windowed server")
 				rejected = true
 			default:
@@ -1131,6 +1251,10 @@ func (c *conn) apply(app *hhgb.Appender) {
 					view, qerr = rangeView(wm, req.t0, req.t1)
 				}
 				if qerr == nil {
+					req.qspan.EndStage(flight.QStagePlan)
+					if req.qspan != nil {
+						view.Instrument(req.qspan, nil)
+					}
 					if req.axis == proto.AxisSources {
 						top, qerr = view.TopSources(int(req.k))
 					} else {
@@ -1142,14 +1266,20 @@ func (c *conn) apply(app *hhgb.Appender) {
 				break
 			}
 			if qerr != nil {
+				req.qspan.Drop()
 				err = c.sendErr(req.seq, proto.ErrCodeInternal, qerr.Error(), true)
 				break
 			}
+			req.qspan.EndStage(flight.QStageMerge)
 			wire := make([]proto.Ranked, len(top))
 			for i, t := range top {
 				wire[i] = proto.Ranked{ID: t.ID, Value: t.Value}
 			}
-			err = c.send(proto.KindTopKResp, proto.AppendTopKResp(nil, req.seq, wire), flush)
+			body := proto.AppendTopKResp(nil, req.seq, wire)
+			req.qspan.EndStage(flight.QStageEncode)
+			err = c.send(proto.KindTopKResp, body, flush)
+			req.qspan.EndStage(flight.QStageAck)
+			req.qspan.Done()
 		case proto.KindSummary, proto.KindRangeSummary:
 			s.queries.Add(1)
 			var sum hhgb.Summary
@@ -1157,8 +1287,19 @@ func (c *conn) apply(app *hhgb.Appender) {
 			var rejected bool
 			switch {
 			case req.kind == proto.KindSummary && wm == nil:
+				req.qspan.EndStage(flight.QStagePlan) // trivial route
+				var legStart int64
+				if req.qspan != nil {
+					legStart = flight.Now()
+				}
 				sum, qerr = m.Summary()
+				if req.qspan != nil {
+					req.qspan.ObserveLeg(time.Duration(flight.Now() - legStart))
+					req.qspan.TouchShards(m.Shards()) // all-shard barrier
+					req.qspan.AdvanceStage(flight.QStageFanout)
+				}
 			case wm == nil:
+				req.qspan.Drop()
 				err = reject(req.seq, "range queries need a windowed server")
 				rejected = true
 			default:
@@ -1169,6 +1310,10 @@ func (c *conn) apply(app *hhgb.Appender) {
 					view, qerr = rangeView(wm, req.t0, req.t1)
 				}
 				if qerr == nil {
+					req.qspan.EndStage(flight.QStagePlan)
+					if req.qspan != nil {
+						view.Instrument(req.qspan, nil)
+					}
 					sum, qerr = view.Summary()
 				}
 			}
@@ -1176,17 +1321,77 @@ func (c *conn) apply(app *hhgb.Appender) {
 				break
 			}
 			if qerr != nil {
+				req.qspan.Drop()
 				err = c.sendErr(req.seq, proto.ErrCodeInternal, qerr.Error(), true)
 				break
 			}
-			err = c.send(proto.KindSummaryResp, proto.AppendSummaryResp(nil, req.seq, proto.Summary{
+			req.qspan.EndStage(flight.QStageMerge)
+			body := proto.AppendSummaryResp(nil, req.seq, proto.Summary{
 				Entries:      uint64(sum.Entries),
 				Sources:      uint64(sum.Sources),
 				Destinations: uint64(sum.Destinations),
 				TotalPackets: sum.TotalPackets,
 				MaxOutDegree: sum.MaxOutDegree,
 				MaxInDegree:  sum.MaxInDegree,
-			}), flush)
+			})
+			req.qspan.EndStage(flight.QStageEncode)
+			err = c.send(proto.KindSummaryResp, body, flush)
+			req.qspan.EndStage(flight.QStageAck)
+			req.qspan.Done()
+		case proto.KindExplain:
+			s.queries.Add(1)
+			// EXPLAIN runs the wrapped query for real and answers with its
+			// structured trailer instead of the query's normal response.
+			// Diagnostic path: it may allocate.
+			ex := &flight.QueryExplain{}
+			hits0 := s.shardMet.CacheHits.Value()
+			miss0 := s.shardMet.CacheMisses.Value()
+			execStart := flight.Now()
+			qerr, rejected := c.runExplain(req, ex)
+			if rejected {
+				req.qspan.Drop()
+				err = reject(req.seq, "range queries need a windowed server")
+				break
+			}
+			if qerr != nil {
+				req.qspan.Drop()
+				err = c.sendErr(req.seq, proto.ErrCodeInternal, qerr.Error(), true)
+				break
+			}
+			total := flight.Now() - execStart
+			req.qspan.EndStage(flight.QStageMerge)
+			e := proto.Explain{
+				Op:         req.xop,
+				TotalNanos: uint64(total),
+				// Best-effort under concurrent load: the counters are
+				// registry-global, so another connection's query may leak
+				// into the delta.
+				CacheHits:   s.shardMet.CacheHits.Value() - hits0,
+				CacheMisses: s.shardMet.CacheMisses.Value() - miss0,
+			}
+			if len(ex.Legs) > 0 {
+				e.Legs = make([]proto.ExplainLeg, len(ex.Legs))
+				for i, l := range ex.Legs {
+					e.Legs[i] = proto.ExplainLeg{
+						Level:    uint64(l.Level),
+						Start:    uint64(l.Start),
+						End:      uint64(l.End),
+						Shards:   uint64(l.Shards),
+						DurNanos: uint64(l.Dur),
+					}
+				}
+			}
+			if len(ex.Uncovered) > 0 {
+				e.Uncovered = make([]proto.ExplainSpan, len(ex.Uncovered))
+				for i, u := range ex.Uncovered {
+					e.Uncovered[i] = proto.ExplainSpan{Start: uint64(u.Start), End: uint64(u.End)}
+				}
+			}
+			body := proto.AppendExplainResp(nil, req.seq, e)
+			req.qspan.EndStage(flight.QStageEncode)
+			err = c.send(proto.KindExplainResp, body, flush)
+			req.qspan.EndStage(flight.QStageAck)
+			req.qspan.Done()
 		case proto.KindSubscribe:
 			if wm == nil {
 				err = reject(req.seq, "subscriptions need a windowed server")
@@ -1226,6 +1431,72 @@ func (c *conn) apply(app *hhgb.Appender) {
 	c.flushWriter()
 }
 
+// runExplain executes an Explain request's wrapped query op, discarding
+// its result and filling ex with the served cover, per-leg timings, and
+// fan-out shape. rejected=true means the op needs a windowed server and
+// this one is flat (the caller answers with the standard rejection).
+func (c *conn) runExplain(req request, ex *flight.QueryExplain) (qerr error, rejected bool) {
+	s := c.srv
+	m := s.cfg.Matrix
+	wm := s.cfg.Windowed
+	ranged := req.xop == proto.KindRangeLookup || req.xop == proto.KindRangeTopK || req.xop == proto.KindRangeSummary
+	if wm == nil {
+		if ranged {
+			return nil, true
+		}
+		// Flat store: the trivial route, then one fan-out leg covering the
+		// whole pushdown call (level/bounds zero — there is no window).
+		req.qspan.EndStage(flight.QStagePlan)
+		shards := m.Shards()
+		if req.xop == proto.KindLookup {
+			shards = 1
+		}
+		legStart := flight.Now()
+		switch req.xop {
+		case proto.KindLookup:
+			_, _, qerr = m.Lookup(req.src, req.dst)
+		case proto.KindTopK:
+			if req.axis == proto.AxisSources {
+				_, qerr = m.TopSources(int(req.k))
+			} else {
+				_, qerr = m.TopDestinations(int(req.k))
+			}
+		case proto.KindSummary:
+			_, qerr = m.Summary()
+		}
+		d := time.Duration(flight.Now() - legStart)
+		req.qspan.ObserveLeg(d)
+		req.qspan.TouchShards(shards)
+		req.qspan.AdvanceStage(flight.QStageFanout)
+		ex.Legs = []flight.ExplainLeg{{Shards: shards, Dur: d}}
+		return qerr, false
+	}
+	var view *hhgb.RangeView
+	if ranged {
+		view, qerr = rangeView(wm, req.t0, req.t1)
+	} else {
+		view, qerr = wm.AllTime()
+	}
+	if qerr != nil {
+		return qerr, false
+	}
+	req.qspan.EndStage(flight.QStagePlan)
+	view.Instrument(req.qspan, ex)
+	switch req.xop {
+	case proto.KindLookup, proto.KindRangeLookup:
+		_, _, qerr = view.Lookup(req.src, req.dst)
+	case proto.KindTopK, proto.KindRangeTopK:
+		if req.axis == proto.AxisSources {
+			_, qerr = view.TopSources(int(req.k))
+		} else {
+			_, qerr = view.TopDestinations(int(req.k))
+		}
+	case proto.KindSummary, proto.KindRangeSummary:
+		_, qerr = view.Summary()
+	}
+	return qerr, false
+}
+
 // ack writes an Ack frame for seq, reusing the applier-owned scratch
 // buffer — the per-frame body allocation this avoids is the last one on
 // the steady-state ack path. Only the applier goroutine may call it.
@@ -1259,6 +1530,7 @@ func (c *conn) drainQuietly() {
 			c.srv.batchPool.Put(req.batch)
 		}
 		req.span.Drop() // never applied; recycle unobserved
+		req.qspan.Drop()
 	}
 }
 

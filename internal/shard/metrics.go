@@ -24,6 +24,16 @@ type Metrics struct {
 	// the live path), manifest commit, prune. Close's no-op checkpoint
 	// on a clean group records nothing.
 	Checkpoint *metrics.Histogram
+	// CacheHits / CacheMisses count pushdown-cache outcomes, one per
+	// shard per cached quantity a query touches (the registry-level sum
+	// of the per-group CacheStats counters that have existed since the
+	// cache landed). CacheInvalidations counts the ingest batches that
+	// cleared a non-empty cache — invalidating an already-empty cache is
+	// free and not counted, so the rate reads as "warm reductions lost
+	// to writes".
+	CacheHits          *metrics.Counter
+	CacheMisses        *metrics.Counter
+	CacheInvalidations *metrics.Counter
 }
 
 // NewMetrics registers (or re-fetches) the shard instrument set on reg.
@@ -39,6 +49,12 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 			"Write-ahead-log fsync latency (group commits, flush barriers, checkpoints).", nil),
 		Checkpoint: r.Histogram("hhgb_shard_checkpoint_seconds",
 			"Checkpoint duration: barrier, fsync + snapshot per shard, manifest commit, prune.", nil),
+		CacheHits: r.Counter("hhgb_shard_cache_hits_total",
+			"Pushdown-cache hits: per-shard reductions served from the worker cache."),
+		CacheMisses: r.Counter("hhgb_shard_cache_misses_total",
+			"Pushdown-cache misses: per-shard reductions recomputed from the cascade."),
+		CacheInvalidations: r.Counter("hhgb_shard_cache_invalidations_total",
+			"Ingest batches that cleared a non-empty pushdown cache (warm reductions lost to writes)."),
 	}
 }
 

@@ -43,9 +43,17 @@ type shardCache[T gb.Number] struct {
 	vecs  [4]*gb.Vector[T] // indexed by vectorKind
 }
 
-// hit/miss bump the worker-owned counters (exposed via CacheStats).
-func (w *worker[T]) hit()  { w.cacheHits++ }
-func (w *worker[T]) miss() { w.cacheMisses++ }
+// hit/miss bump the worker-owned counters (exposed via CacheStats) and
+// mirror them into the registry-level shard metrics (one atomic add).
+func (w *worker[T]) hit() {
+	w.cacheHits++
+	w.met.CacheHits.Inc()
+}
+
+func (w *worker[T]) miss() {
+	w.cacheMisses++
+	w.met.CacheMisses.Inc()
+}
 
 // cacheVec stores a freshly computed per-shard vector, materialized so
 // later readers never mutate it.
@@ -55,25 +63,30 @@ func (w *worker[T]) cacheVec(kind vectorKind, v *gb.Vector[T]) {
 }
 
 // CacheCounters aggregates the per-shard pushdown-cache counters: one hit
-// or miss is counted per shard per cached quantity a query touches.
+// or miss is counted per shard per cached quantity a query touches, and
+// one invalidation per ingest batch that cleared a non-empty cache.
 type CacheCounters struct {
-	Hits   int64
-	Misses int64
+	Hits          int64
+	Misses        int64
+	Invalidations int64
 }
 
 // CacheStats sums the per-shard pushdown cache counters (a barrier, like
 // every query).
 func (g *Group[T]) CacheStats() CacheCounters {
-	hits := make([]int64, len(g.workers))
-	misses := make([]int64, len(g.workers))
+	counts := make([]CacheCounters, len(g.workers))
 	_ = g.run(func(i int, w *worker[T]) {
-		hits[i] = w.cacheHits
-		misses[i] = w.cacheMisses
+		counts[i] = CacheCounters{
+			Hits:          w.cacheHits,
+			Misses:        w.cacheMisses,
+			Invalidations: w.cacheInvals,
+		}
 	})
 	var out CacheCounters
-	for i := range hits {
-		out.Hits += hits[i]
-		out.Misses += misses[i]
+	for _, c := range counts {
+		out.Hits += c.Hits
+		out.Misses += c.Misses
+		out.Invalidations += c.Invalidations
 	}
 	return out
 }

@@ -131,8 +131,8 @@ type worker[T gb.Number] struct {
 	// Owned by the worker goroutine, like the log.
 	sessions map[string]uint64
 
-	cache                  shardCache[T]
-	cacheHits, cacheMisses int64
+	cache                               shardCache[T]
+	cacheHits, cacheMisses, cacheInvals int64
 }
 
 func (w *worker[T]) loop(wg *sync.WaitGroup) {
@@ -192,6 +192,13 @@ func (w *worker[T]) ingest(msg msg[T]) {
 			msg.span.ObserveMax(flight.StageWAL, time.Duration(now-spanMark))
 			spanMark = now
 		}
+	}
+	if w.cache != (shardCache[T]{}) {
+		// Only clearing a cache that held something counts as an
+		// invalidation — the common streaming case (batch after batch,
+		// nothing cached) stays at one struct store.
+		w.cacheInvals++
+		w.met.CacheInvalidations.Inc()
 	}
 	w.cache = shardCache[T]{} // this shard's reductions are stale now
 	w.err = w.m.Update(msg.rows, msg.cols, msg.vals)

@@ -3,7 +3,9 @@ package window
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"hhgb/internal/flight"
 	"hhgb/internal/gb"
 	"hhgb/internal/stats"
 )
@@ -28,6 +30,66 @@ type Range[T gb.Number] struct {
 	// held data are NOT listed — an empty window and no window are
 	// indistinguishable and both contribute nothing.
 	Uncovered []Span
+
+	// Instrumentation, set by Instrument and owned by the querying
+	// goroutine (a Range is not safe for concurrent queries once
+	// instrumented). Both nil on the normal path: each leg then costs
+	// two nil checks and no clock reads.
+	sp     *flight.QuerySpan
+	ex     *flight.QueryExplain
+	single bool // the in-flight query routes each leg to one shard
+}
+
+// Instrument attaches a sampled query span and/or an EXPLAIN collector to
+// the range. Either may be nil. The explain trailer's cover legs and
+// uncovered holes are filled here, straight from the resolved cover —
+// the trailer always matches what the Range serves, bit for bit; leg
+// timings and fan-out counts are filled in as the next query method
+// executes. Instrument supports one query method per call (re-instrument
+// to run another).
+func (r *Range[T]) Instrument(sp *flight.QuerySpan, ex *flight.QueryExplain) {
+	r.sp, r.ex = sp, ex
+	if ex == nil {
+		return
+	}
+	ex.Legs = make([]flight.ExplainLeg, len(r.cover))
+	for i, w := range r.cover {
+		ex.Legs[i] = flight.ExplainLeg{
+			Level:  w.level,
+			Start:  w.start,
+			End:    w.end,
+			Shards: w.g.NumShards(),
+		}
+	}
+	ex.Uncovered = make([]flight.ExplainSpan, len(r.Uncovered))
+	for i, s := range r.Uncovered {
+		ex.Uncovered[i] = flight.ExplainSpan{Start: s.Start, End: s.End}
+	}
+}
+
+// leg runs one cover window's pushdown call, timing it when the range is
+// instrumented: the duration max-folds into the span's fanout_max stage
+// and lands in the explain trailer's leg, and the fan-out shape (window
+// level, per-shard tasks) is counted.
+func (r *Range[T]) leg(i int, w *win[T], f func(w *win[T]) error) error {
+	if r.sp == nil && r.ex == nil {
+		return f(w)
+	}
+	shards := w.g.NumShards()
+	if r.single {
+		shards = 1
+	}
+	t0 := flight.Now()
+	err := f(w)
+	d := time.Duration(flight.Now() - t0)
+	r.sp.ObserveLeg(d)
+	r.sp.Touch(w.level, shards)
+	r.sp.AdvanceStage(flight.QStageFanout)
+	if r.ex != nil && i < len(r.ex.Legs) {
+		r.ex.Legs[i].Shards = shards
+		r.ex.Legs[i].Dur += d
+	}
+	return err
 }
 
 // QueryRange resolves the cover of [t0, t1): t0 is aligned down and t1 up
@@ -119,8 +181,8 @@ func (r *Range[T]) Spans() []Span {
 
 // each runs f over every cover window, stopping at the first error.
 func (r *Range[T]) each(f func(w *win[T]) error) error {
-	for _, w := range r.cover {
-		if err := f(w); err != nil {
+	for i, w := range r.cover {
+		if err := r.leg(i, w, f); err != nil {
 			return err
 		}
 	}
@@ -146,6 +208,10 @@ func (r *Range[T]) Total() (T, error) {
 // Lookup returns the accumulated value of one cell over the range: the
 // per-window single-shard lookups, added.
 func (r *Range[T]) Lookup(row, col gb.Index) (T, bool, error) {
+	// A lookup routes each window's leg to exactly one shard (runOne, not
+	// the all-shard barrier) — mark it so instrumented legs count 1.
+	r.single = true
+	defer func() { r.single = false }()
 	var total T
 	found := false
 	plus := gb.Plus[T]()
@@ -242,11 +308,17 @@ func (r *Range[T]) Materialize() (*gb.Matrix[T], error) {
 	}
 	parts := make([]*gb.Matrix[T], len(r.cover))
 	for i, w := range r.cover {
-		q, err := w.g.Query()
+		err := r.leg(i, w, func(w *win[T]) error {
+			q, err := w.g.Query()
+			if err != nil {
+				return err
+			}
+			parts[i] = q
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		parts[i] = q
 	}
 	return gb.Sum(parts...)
 }

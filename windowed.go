@@ -275,6 +275,13 @@ func (w *Windowed) QueryRange(t0, t1 time.Time) (*RangeView, error) {
 	return &RangeView{r: r}, nil
 }
 
+// Instrument attaches a query span and/or an EXPLAIN collector to the
+// view: the next query method's per-window fan-out legs are timed into
+// them. Either argument may be nil; the explain trailer's cover and
+// uncovered holes are filled immediately, from the same resolved cover
+// Spans and Uncovered report. One query method per Instrument call.
+func (v *RangeView) Instrument(sp *QuerySpan, ex *QueryExplain) { v.r.Instrument(sp, ex) }
+
 // Windows returns the number of windows in the cover.
 func (v *RangeView) Windows() int { return v.r.Windows() }
 
